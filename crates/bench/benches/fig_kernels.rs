@@ -1,0 +1,147 @@
+//! The computational kernels behind every figure of the evaluation.
+//!
+//! Each benchmark exercises exactly the code path that regenerates the
+//! corresponding figure (the `paper` binary produces the data series;
+//! these measure the kernels' cost):
+//!
+//! * `fig1` — Zipf generation (Eq. 1).
+//! * `fig3` / `fig4` / `fig5` — self-join σ for one sweep point of each
+//!   figure (all five histogram types at the paper's parameters).
+//! * `fig6` / `fig7` — one chain-join configuration: exact chain product
+//!   plus histogram estimation over 20 arrangements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freqdist::zipf::zipf_frequencies;
+use freqdist::FrequencySet;
+use query::metrics::{mean_relative_error, sigma};
+use query::montecarlo::{sample_chain, sample_self_join, HistogramSpec, RelationSpec};
+use std::hint::black_box;
+use vopt_hist::RoundingMode;
+
+const SEED: u64 = 0x5EED_1995;
+
+fn zipf(m: usize, z: f64) -> FrequencySet {
+    zipf_frequencies(1000, m, z).expect("valid Zipf")
+}
+
+fn five_types(beta: usize) -> [HistogramSpec; 5] {
+    [
+        HistogramSpec::Trivial,
+        HistogramSpec::EquiWidth(beta),
+        HistogramSpec::EquiDepth(beta),
+        HistogramSpec::VOptEndBiased(beta),
+        HistogramSpec::VOptSerial(beta),
+    ]
+}
+
+fn self_join_point(freqs: &FrequencySet, beta: usize) -> f64 {
+    five_types(beta)
+        .iter()
+        .map(|&spec| {
+            sigma(
+                &sample_self_join(freqs, spec, 20, SEED, RoundingMode::Exact)
+                    .expect("valid configuration"),
+            )
+        })
+        .sum()
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig_kernels/fig1_zipf_generation", |b| {
+        b.iter(|| {
+            for &z in &[0.0, 0.2, 0.5, 0.8, 1.0] {
+                black_box(zipf_frequencies(1000, 100, black_box(z)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let freqs = zipf(100, 1.0);
+    let mut g = c.benchmark_group("fig_kernels/fig3_selfjoin_by_buckets");
+    for &beta in &[1usize, 5, 15, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            b.iter(|| black_box(self_join_point(&freqs, beta)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_kernels/fig4_selfjoin_by_domain");
+    for &m in &[10usize, 100, 200] {
+        let freqs = zipf(m, 1.0);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &freqs, |b, freqs| {
+            b.iter(|| black_box(self_join_point(freqs, 5)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_kernels/fig5_selfjoin_by_skew");
+    for &z in &[0.0, 1.0, 3.0] {
+        let freqs = zipf(100, z);
+        g.bench_with_input(BenchmarkId::from_parameter(z), &freqs, |b, freqs| {
+            b.iter(|| black_box(self_join_point(freqs, 5)))
+        });
+    }
+    g.finish();
+}
+
+fn chain_relations(joins: usize) -> Vec<RelationSpec> {
+    let mut rels = vec![RelationSpec::horizontal(zipf(10, 1.0))];
+    for k in 1..joins {
+        let z = [0.5, 1.0, 1.5][k % 3];
+        rels.push(RelationSpec::matrix(zipf(100, z), 10, 10).expect("square"));
+    }
+    rels.push(RelationSpec::vertical(zipf(10, 0.5)));
+    rels
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_kernels/fig6_chain_by_joins");
+    for &joins in &[1usize, 3, 5] {
+        let rels = chain_relations(joins);
+        let specs: Vec<HistogramSpec> =
+            rels.iter().map(|_| HistogramSpec::VOptEndBiased(5)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(joins), &rels, |b, rels| {
+            b.iter(|| {
+                let samples =
+                    sample_chain(rels, &specs, 20, SEED, RoundingMode::Exact).unwrap();
+                black_box(mean_relative_error(&samples))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_kernels/fig7_chain_by_buckets");
+    let rels = chain_relations(5);
+    for &beta in &[1usize, 5, 10] {
+        let specs: Vec<HistogramSpec> = rels
+            .iter()
+            .map(|_| HistogramSpec::VOptSerial(beta))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(beta), &specs, |b, specs| {
+            b.iter(|| {
+                let samples =
+                    sample_chain(&rels, specs, 20, SEED, RoundingMode::Exact).unwrap();
+                black_box(mean_relative_error(&samples))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Relational-substrate micro-benchmarks.
+//!
+//! * Algorithm *Matrix* (§3.3) with the in-crate Fx hasher vs std's
+//!   SipHash — the hasher ablation DESIGN.md calls out.
+//! * Hash-join counting (ground truth for Theorem 2.1 cross-checks).
+//! * Algorithm *JointMatrix* end to end.
+//! * Catalog codec round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freqdist::zipf::zipf_frequencies;
+use relstore::codec::{decode_histogram, encode_histogram};
+use relstore::fxhash::fx_map_with_capacity;
+use relstore::generate::relation_from_frequency_set;
+use relstore::join::hash_join_count;
+use relstore::joint::joint_frequency_table;
+use relstore::stats::frequency_table;
+use relstore::{Relation, StoredHistogram};
+use std::collections::HashMap;
+use std::hint::black_box;
+use vopt_hist::construct::v_opt_end_biased;
+
+fn zipf_relation(rows: u64, m: usize, seed: u64) -> Relation {
+    let freqs = zipf_frequencies(rows, m, 1.0).expect("valid Zipf");
+    relation_from_frequency_set("r", "a", &freqs, seed).expect("valid frequencies")
+}
+
+fn bench_frequency_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/algorithm_matrix");
+    for &rows in &[10_000u64, 100_000] {
+        let rel = zipf_relation(rows, 1000, 7);
+        let col = rel.column_by_name("a").unwrap();
+        g.throughput(criterion::Throughput::Elements(rows));
+        g.bench_with_input(BenchmarkId::new("fxhash", rows), col, |b, col| {
+            b.iter(|| {
+                let mut counts = fx_map_with_capacity::<u64, u64>(1024);
+                for &v in black_box(col) {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+                black_box(counts.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("siphash", rows), col, |b, col| {
+            b.iter(|| {
+                let mut counts = HashMap::<u64, u64>::with_capacity(1024);
+                for &v in black_box(col) {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+                black_box(counts.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full_table", rows), &rel, |b, rel| {
+            b.iter(|| black_box(frequency_table(rel, "a").unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/hash_join_count");
+    for &rows in &[10_000u64, 100_000] {
+        let left = zipf_relation(rows, 1000, 1);
+        let right = zipf_relation(rows, 1000, 2);
+        g.throughput(criterion::Throughput::Elements(2 * rows));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(rows),
+            &(left, right),
+            |b, (l, r)| b.iter(|| black_box(hash_join_count(l, "a", r, "a").unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_joint_matrix(c: &mut Criterion) {
+    let left = zipf_relation(100_000, 1000, 3);
+    let right = zipf_relation(100_000, 1000, 4);
+    c.bench_function("substrate/algorithm_joint_matrix", |b| {
+        b.iter(|| black_box(joint_frequency_table(&left, "a", &right, "a").unwrap()))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let freqs = zipf_frequencies(100_000, 10_000, 1.0)
+        .expect("valid Zipf")
+        .into_vec();
+    let hist = v_opt_end_biased(&freqs, 20).expect("valid parameters").histogram;
+    let values: Vec<u64> = (0..freqs.len() as u64).collect();
+    let stored = StoredHistogram::from_histogram(&values, &hist).expect("matching lengths");
+    c.bench_function("substrate/codec_round_trip", |b| {
+        b.iter(|| {
+            let bytes = encode_histogram(black_box(&stored));
+            black_box(decode_histogram(bytes).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_frequency_scan,
+    bench_hash_join,
+    bench_joint_matrix,
+    bench_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table 1 (§4.3): construction cost of optimal histograms.
+//!
+//! Benchmarks Algorithm V-OptHist (exhaustive, the paper's algorithm),
+//! the O(M²β) DP equivalent, and Algorithm V-OptBiasHist across domain
+//! sizes and bucket counts. The paper's qualitative claim — exhaustive
+//! blows up with both M and β while end-biased stays near-linear — is
+//! directly visible in the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freqdist::generators::random_in_range;
+use std::hint::black_box;
+use vopt_hist::construct::{v_opt_end_biased, v_opt_serial, v_opt_serial_dp};
+
+fn freqs(m: usize) -> Vec<u64> {
+    random_in_range(m, 0, 1000, 0xBEEF ^ m as u64)
+        .expect("valid generator")
+        .into_vec()
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/exhaustive_serial");
+    for &m in &[20usize, 50, 100] {
+        let data = freqs(m);
+        for &beta in &[3usize, 5] {
+            // Keep the largest case out of the default run: C(99,4) ≈ 3.7M
+            // partitions per iteration is measurable but slow.
+            if m == 100 && beta == 5 {
+                g.sample_size(10);
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("b{beta}"), m),
+                &data,
+                |b, data| b.iter(|| v_opt_serial(black_box(data), beta).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/dp_serial");
+    for &m in &[20usize, 100, 1000] {
+        let data = freqs(m);
+        for &beta in &[3usize, 5, 10] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("b{beta}"), m),
+                &data,
+                |b, data| b.iter(|| v_opt_serial_dp(black_box(data), beta).unwrap()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_end_biased(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/end_biased");
+    // Large inputs take ~0.5 s/iteration; 10 samples keep the run short.
+    g.sample_size(10);
+    for &m in &[100usize, 1_000, 10_000, 100_000, 1_000_000] {
+        let data = freqs(m);
+        g.throughput(criterion::Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::new("b10", m), &data, |b, data| {
+            b.iter(|| v_opt_end_biased(black_box(data), 10).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exhaustive, bench_dp, bench_end_biased);
+criterion_main!(benches);

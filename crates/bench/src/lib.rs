@@ -1,0 +1,11 @@
+//! Host crate for the Criterion benchmarks; see `benches/`.
+//!
+//! * `table1_construction` — Table 1: V-OptHist (exhaustive and DP) vs
+//!   V-OptBiasHist construction cost across domain sizes and bucket
+//!   counts.
+//! * `fig_kernels` — the computational kernel behind each figure
+//!   (Figure 1 generation, Figures 3–5 self-join sweeps, Figures 6–7
+//!   chain-join estimation).
+//! * `substrate` — the relational substrate: Algorithm *Matrix* with the
+//!   Fx hasher vs SipHash, hash-join counting, Algorithm *JointMatrix*,
+//!   and catalog codec round-trips.

@@ -1,0 +1,159 @@
+//! Bucket-count advisor (§3.1).
+//!
+//! "By applying the error formula to histograms of various numbers of
+//! buckets, administrators can determine the minimum number of buckets
+//! required for tolerable errors." The advisor evaluates formula (3) for
+//! increasing `β` — using either the true v-optimal serial error (via the
+//! DP) or the cheap end-biased error — and reports the first `β` whose
+//! error falls below the tolerance.
+
+use crate::construct::{v_opt_end_biased, v_opt_serial_dp};
+use crate::error::Result;
+
+/// Which construction family the advisor budgets for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvisorFamily {
+    /// General serial histograms (error from the v-optimal DP).
+    Serial,
+    /// End-biased histograms (Algorithm V-OptBiasHist's error).
+    EndBiased,
+}
+
+/// One row of an error profile: the bucket count and the self-join error
+/// achieved by the family's optimal histogram at that count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileRow {
+    /// Number of buckets `β`.
+    pub buckets: usize,
+    /// Self-join error `S − S'` (formula (3)) of the optimal histogram.
+    pub error: f64,
+}
+
+/// The advisor's recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The smallest bucket count meeting the tolerance, if any within the
+    /// search bound.
+    pub buckets: usize,
+    /// The error at that bucket count.
+    pub error: f64,
+}
+
+/// Computes the error profile for `β ∈ 1..=max_buckets` (capped at `M`).
+pub fn error_profile(
+    freqs: &[u64],
+    family: AdvisorFamily,
+    max_buckets: usize,
+) -> Result<Vec<ProfileRow>> {
+    let cap = max_buckets.min(freqs.len());
+    let mut rows = Vec::with_capacity(cap);
+    for beta in 1..=cap {
+        let error = match family {
+            AdvisorFamily::Serial => v_opt_serial_dp(freqs, beta)?.error,
+            AdvisorFamily::EndBiased => v_opt_end_biased(freqs, beta)?.error,
+        };
+        rows.push(ProfileRow {
+            buckets: beta,
+            error,
+        });
+    }
+    Ok(rows)
+}
+
+/// Recommends the minimum `β ≤ max_buckets` whose optimal-histogram error
+/// does not exceed `tolerance`, or `None` if even `max_buckets` buckets
+/// are insufficient.
+///
+/// For near-uniform distributions the returned `β` is 1 — the paper's
+/// observation that "one or two buckets will suffice".
+///
+/// ```
+/// use vopt_hist::advisor::{recommend_buckets, AdvisorFamily};
+/// let uniform = vec![10u64; 50];
+/// let rec = recommend_buckets(&uniform, AdvisorFamily::EndBiased, 1.0, 10)
+///     .unwrap()
+///     .unwrap();
+/// assert_eq!(rec.buckets, 1);
+/// ```
+pub fn recommend_buckets(
+    freqs: &[u64],
+    family: AdvisorFamily,
+    tolerance: f64,
+    max_buckets: usize,
+) -> Result<Option<Recommendation>> {
+    for row in error_profile(freqs, family, max_buckets)? {
+        if row.error <= tolerance {
+            return Ok(Some(Recommendation {
+                buckets: row.buckets,
+                error: row.error,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_needs_one_bucket() {
+        let freqs = vec![10u64; 50];
+        for family in [AdvisorFamily::Serial, AdvisorFamily::EndBiased] {
+            let rec = recommend_buckets(&freqs, family, 0.5, 10)
+                .unwrap()
+                .expect("tolerance reachable");
+            assert_eq!(rec.buckets, 1);
+            assert_eq!(rec.error, 0.0);
+        }
+    }
+
+    #[test]
+    fn skewed_data_needs_more_buckets() {
+        let freqs = [1000u64, 500, 10, 9, 8, 7, 6, 5];
+        let rec = recommend_buckets(&freqs, AdvisorFamily::Serial, 30.0, 8)
+            .unwrap()
+            .expect("8 buckets give zero error");
+        assert!(rec.buckets > 1);
+        assert!(rec.error <= 30.0);
+    }
+
+    #[test]
+    fn profile_is_monotone_for_serial() {
+        let freqs = [13u64, 2, 8, 21, 4, 4, 30, 1];
+        let rows = error_profile(&freqs, AdvisorFamily::Serial, 8).unwrap();
+        for w in rows.windows(2) {
+            assert!(w[1].error <= w[0].error + 1e-9);
+        }
+        assert_eq!(rows.last().unwrap().error, 0.0);
+    }
+
+    #[test]
+    fn unreachable_tolerance_returns_none() {
+        let freqs = [1u64, 1000];
+        // β capped at 1; trivial error is large.
+        let rec = recommend_buckets(&freqs, AdvisorFamily::EndBiased, 1.0, 1).unwrap();
+        assert!(rec.is_none());
+    }
+
+    #[test]
+    fn end_biased_profile_upper_bounds_serial() {
+        let freqs = [40u64, 35, 30, 5, 4, 3, 2, 1];
+        let serial = error_profile(&freqs, AdvisorFamily::Serial, 6).unwrap();
+        let biased = error_profile(&freqs, AdvisorFamily::EndBiased, 6).unwrap();
+        for (s, b) in serial.iter().zip(&biased) {
+            assert!(
+                s.error <= b.error + 1e-9,
+                "serial must dominate end-biased at β={}",
+                s.buckets
+            );
+        }
+    }
+
+    #[test]
+    fn max_buckets_is_capped_at_domain_size() {
+        let freqs = [3u64, 4, 5];
+        let rows = error_profile(&freqs, AdvisorFamily::Serial, 10).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-bucket sufficient statistics.
+//!
+//! The error analysis of Proposition 3.1 needs, per bucket `bᵢ`, only the
+//! triple the paper calls `(Pᵢ, Tᵢ, Vᵢ)`: the number of frequencies, their
+//! sum, and their variance. [`BucketStats`] accumulates the sufficient
+//! statistics `(count, Σf, Σf²)` from which all three derive.
+
+use serde::{Deserialize, Serialize};
+
+/// Sufficient statistics of one histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketStats {
+    count: u64,
+    sum: u128,
+    sum_sq: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for BucketStats {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            sum_sq: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl BucketStats {
+    /// An empty bucket.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the statistics of a bucket holding exactly `freqs`.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        let mut b = Self::new();
+        for &f in freqs {
+            b.add(f);
+        }
+        b
+    }
+
+    /// Adds one frequency to the bucket.
+    pub fn add(&mut self, freq: u64) {
+        self.count += 1;
+        self.sum += freq as u128;
+        self.sum_sq += (freq as u128) * (freq as u128);
+        self.min = self.min.min(freq);
+        self.max = self.max.max(freq);
+    }
+
+    /// Merges another bucket into this one.
+    pub fn merge(&mut self, other: &BucketStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Smallest frequency in the bucket (`u64::MAX` for an empty bucket,
+    /// so that empty buckets compare as serial-compatible with anything).
+    pub fn min_freq(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest frequency in the bucket (0 for an empty bucket).
+    pub fn max_freq(&self) -> u64 {
+        self.max
+    }
+
+    /// `Pᵢ` — the number of frequencies in the bucket.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `Tᵢ` — the sum of the frequencies in the bucket.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// `Σ f²` over the bucket's frequencies.
+    pub fn sum_sq(&self) -> u128 {
+        self.sum_sq
+    }
+
+    /// True when the bucket holds no frequencies.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The bucket average `Tᵢ / Pᵢ` as a real number (0 for an empty
+    /// bucket).
+    pub fn average(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The paper's catalog representation rounds the average to "the
+    /// integer closest to `Σ t / |b|`".
+    pub fn average_rounded(&self) -> u64 {
+        self.average().round() as u64
+    }
+
+    /// `Vᵢ` — the population variance of the bucket's frequencies.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.average();
+        (self.sum_sq as f64 / n - mean * mean).max(0.0)
+    }
+
+    /// `Pᵢ · Vᵢ` — this bucket's contribution to the self-join error
+    /// `S − S'` of Proposition 3.1 (equivalently, the bucket's sum of
+    /// squared deviations from its mean).
+    pub fn error_contribution(&self) -> f64 {
+        self.variance() * self.count as f64
+    }
+
+    /// `Tᵢ² / Pᵢ` — this bucket's contribution to the approximate
+    /// self-join size `S'` of Proposition 3.1 (real-valued averages).
+    pub fn self_join_contribution(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            let t = self.sum as f64;
+            t * t / self.count as f64
+        }
+    }
+
+    /// True when every frequency in the bucket is identical (the paper's
+    /// *univalued* bucket). Zero-variance is exact on the integer
+    /// sufficient statistics: `P · Σf² == (Σf)²` iff all equal.
+    pub fn is_univalued(&self) -> bool {
+        self.count <= 1 || (self.count as u128) * self.sum_sq == self.sum * self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_matches_from_freqs() {
+        let mut a = BucketStats::new();
+        for f in [3u64, 5, 7] {
+            a.add(f);
+        }
+        assert_eq!(a, BucketStats::from_freqs(&[3, 5, 7]));
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 15);
+        assert_eq!(a.sum_sq(), 9 + 25 + 49);
+    }
+
+    #[test]
+    fn empty_bucket_is_benign() {
+        let b = BucketStats::new();
+        assert!(b.is_empty());
+        assert_eq!(b.average(), 0.0);
+        assert_eq!(b.variance(), 0.0);
+        assert_eq!(b.self_join_contribution(), 0.0);
+        assert!(b.is_univalued());
+    }
+
+    #[test]
+    fn average_and_rounding() {
+        let b = BucketStats::from_freqs(&[1, 2]);
+        assert_eq!(b.average(), 1.5);
+        assert_eq!(b.average_rounded(), 2); // round half away from zero
+        let c = BucketStats::from_freqs(&[1, 1, 2]);
+        assert_eq!(c.average_rounded(), 1);
+    }
+
+    #[test]
+    fn variance_matches_definition() {
+        // freqs 2, 4, 9 → mean 5, variance (9 + 1 + 16)/3
+        let b = BucketStats::from_freqs(&[2, 4, 9]);
+        assert!((b.variance() - 26.0 / 3.0).abs() < 1e-12);
+        assert!((b.error_contribution() - 26.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_join_identity() {
+        // S − S' per bucket: Σf² − T²/P == P·V.
+        let b = BucketStats::from_freqs(&[5, 9, 14, 2]);
+        let direct = b.sum_sq() as f64 - b.self_join_contribution();
+        assert!((direct - b.error_contribution()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn univalued_detection_is_exact() {
+        assert!(BucketStats::from_freqs(&[7, 7, 7]).is_univalued());
+        assert!(!BucketStats::from_freqs(&[7, 7, 8]).is_univalued());
+        assert!(BucketStats::from_freqs(&[0, 0]).is_univalued());
+        assert!(BucketStats::from_freqs(&[42]).is_univalued());
+        // Large values where f64 variance would lose precision: adjacent
+        // 2^53-scale integers are indistinguishable in f64 but the exact
+        // integer identity still separates them.
+        let big = 1u64 << 53;
+        let near = BucketStats::from_freqs(&[big, big - 1]);
+        assert!(!near.is_univalued());
+        let same = BucketStats::from_freqs(&[big, big]);
+        assert!(same.is_univalued());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = BucketStats::from_freqs(&[1, 2]);
+        let b = BucketStats::from_freqs(&[3]);
+        a.merge(&b);
+        assert_eq!(a, BucketStats::from_freqs(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn min_max_tracked_through_add_and_merge() {
+        let mut a = BucketStats::from_freqs(&[5, 2]);
+        assert_eq!((a.min_freq(), a.max_freq()), (2, 5));
+        a.merge(&BucketStats::from_freqs(&[9]));
+        assert_eq!((a.min_freq(), a.max_freq()), (2, 9));
+        let empty = BucketStats::new();
+        assert_eq!(empty.min_freq(), u64::MAX);
+        assert_eq!(empty.max_freq(), 0);
+    }
+}

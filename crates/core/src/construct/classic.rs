@@ -1,0 +1,154 @@
+//! The classical histograms the paper compares against: trivial,
+//! equi-width, and equi-depth (§2.3, §5.1).
+//!
+//! Equi-width and equi-depth bucket by *value order* (the natural order
+//! of the attribute domain, which for this crate is the value-index
+//! order), not by frequency order — that is precisely why the paper finds
+//! them inferior to serial histograms when value order and frequency
+//! order are uncorrelated.
+
+use crate::error::{HistError, Result};
+use crate::histogram::Histogram;
+
+/// The trivial histogram: a single bucket, i.e. the uniform-distribution
+/// assumption.
+pub fn trivial(freqs: &[u64]) -> Result<Histogram> {
+    Histogram::from_assignment(freqs, vec![0; freqs.len()], 1.min(freqs.len()))
+}
+
+/// An equi-width histogram with `buckets` buckets: the value-index range
+/// is split into `buckets` runs of (nearly) equal width.
+pub fn equi_width(freqs: &[u64], buckets: usize) -> Result<Histogram> {
+    let m = freqs.len();
+    if buckets == 0 || buckets > m {
+        return Err(HistError::InvalidBucketCount {
+            requested: buckets,
+            values: m,
+        });
+    }
+    let mut assignment = vec![0u32; m];
+    // Distribute the remainder across the first `m % buckets` buckets so
+    // all widths differ by at most one.
+    let base = m / buckets;
+    let extra = m % buckets;
+    let mut idx = 0usize;
+    for b in 0..buckets {
+        let width = base + usize::from(b < extra);
+        for _ in 0..width {
+            assignment[idx] = b as u32;
+            idx += 1;
+        }
+    }
+    Histogram::from_assignment(freqs, assignment, buckets)
+}
+
+/// An equi-depth (equi-height) histogram with `buckets` buckets: value
+/// indices are walked in order and cut so that each bucket holds (as
+/// nearly as possible) `T / buckets` tuples.
+///
+/// Every bucket is guaranteed non-empty even when a single frequency
+/// exceeds the target depth: a cut is also forced whenever the remaining
+/// values are only just enough to populate the remaining buckets.
+pub fn equi_depth(freqs: &[u64], buckets: usize) -> Result<Histogram> {
+    let m = freqs.len();
+    if buckets == 0 || buckets > m {
+        return Err(HistError::InvalidBucketCount {
+            requested: buckets,
+            values: m,
+        });
+    }
+    let total: u128 = freqs.iter().map(|&f| f as u128).sum();
+    let mut assignment = vec![0u32; m];
+    let mut bucket = 0usize;
+    let mut cum: u128 = 0;
+    for (i, &f) in freqs.iter().enumerate() {
+        assignment[i] = bucket as u32;
+        cum += f as u128;
+        if bucket + 1 == buckets {
+            continue; // last bucket absorbs the rest
+        }
+        let values_left = m - i - 1;
+        let buckets_left = buckets - bucket - 1;
+        // Cut when the running depth reaches the next quantile boundary,
+        // or when we must cut to keep later buckets non-empty.
+        let boundary = (bucket as u128 + 1) * total / buckets as u128;
+        if cum >= boundary || values_left == buckets_left {
+            bucket += 1;
+        }
+    }
+    Histogram::from_assignment(freqs, assignment, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_is_one_bucket() {
+        let h = trivial(&[1, 2, 3]).unwrap();
+        assert_eq!(h.num_buckets(), 1);
+        assert!(trivial(&[]).is_err());
+    }
+
+    #[test]
+    fn equi_width_splits_value_ranges_evenly() {
+        let freqs = [1u64, 2, 3, 4, 5, 6, 7];
+        let h = equi_width(&freqs, 3).unwrap();
+        // Widths 3, 2, 2.
+        assert_eq!(h.assignment(), &[0, 0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn equi_width_exact_division() {
+        let h = equi_width(&[1; 6], 3).unwrap();
+        assert_eq!(h.assignment(), &[0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn equi_width_one_bucket_per_value() {
+        let h = equi_width(&[5, 6, 7], 3).unwrap();
+        assert_eq!(h.assignment(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn equi_depth_balances_tuples_not_values() {
+        // One huge value then small ones: first bucket should stop at the
+        // huge value.
+        let freqs = [90u64, 5, 5, 5, 5];
+        let h = equi_depth(&freqs, 2).unwrap();
+        assert_eq!(h.bucket_of(0), 0);
+        assert!((1..5).all(|i| h.bucket_of(i) == 1));
+    }
+
+    #[test]
+    fn equi_depth_uniform_matches_equi_width() {
+        let freqs = [10u64; 12];
+        let d = equi_depth(&freqs, 4).unwrap();
+        let w = equi_width(&freqs, 4).unwrap();
+        assert_eq!(d.assignment(), w.assignment());
+    }
+
+    #[test]
+    fn equi_depth_never_leaves_empty_buckets() {
+        // All the mass up front would starve later buckets without the
+        // forced-cut rule.
+        let freqs = [100u64, 0, 0, 0];
+        let h = equi_depth(&freqs, 4).unwrap();
+        assert_eq!(h.num_buckets(), 4);
+        assert_eq!(h.assignment(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn equi_depth_zero_total() {
+        let h = equi_depth(&[0, 0, 0], 2).unwrap();
+        assert_eq!(h.num_buckets(), 2);
+    }
+
+    #[test]
+    fn bucket_count_validation() {
+        assert!(equi_width(&[1, 2], 3).is_err());
+        assert!(equi_width(&[1, 2], 0).is_err());
+        assert!(equi_depth(&[1, 2], 3).is_err());
+        assert!(equi_depth(&[1, 2], 0).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! End-biased histograms (Definition 2.2) and Algorithm V-OptBiasHist
+//! (§4.2, Theorem 4.2).
+//!
+//! An end-biased histogram with `β` buckets keeps the `β₁` highest and
+//! `β₂` lowest frequencies in singleton (univalued) buckets, with
+//! `β₁ + β₂ = β − 1`, and pools everything else into one multivalued
+//! bucket. Because univalued buckets carry zero variance, the v-optimal
+//! end-biased histogram is the split whose multivalued bucket has the
+//! least variance (formula (3)) — found in near-linear time.
+
+use super::{OptResult, PrefixSums};
+use crate::error::{HistError, Result};
+use crate::histogram::Histogram;
+use crate::partition::SortedFreqs;
+
+/// Builds the end-biased histogram that singles out the `high` highest
+/// and `low` lowest frequencies (ties broken by value index, stably).
+///
+/// The bucket count is `high + low + 1` when any values remain for the
+/// multivalued bucket, else `high + low`.
+pub fn end_biased(freqs: &[u64], high: usize, low: usize) -> Result<Histogram> {
+    let m = freqs.len();
+    if m == 0 {
+        return Err(HistError::EmptyFrequencies);
+    }
+    if high + low > m {
+        return Err(HistError::InvalidBiasSplit(format!(
+            "{high} high + {low} low singleton buckets exceed {m} values"
+        )));
+    }
+    let sorted = SortedFreqs::new(freqs);
+    let mid = m - high - low;
+    let num_buckets = high + low + usize::from(mid > 0);
+    let mut assignment = vec![0u32; m];
+    let mut bucket = 0u32;
+    // Lowest `low` ranks: singleton buckets.
+    for rank in 0..low {
+        assignment[sorted.order[rank]] = bucket;
+        bucket += 1;
+    }
+    // Middle ranks: one multivalued bucket (if non-empty).
+    if mid > 0 {
+        for rank in low..low + mid {
+            assignment[sorted.order[rank]] = bucket;
+        }
+        bucket += 1;
+    }
+    // Highest `high` ranks: singleton buckets.
+    for rank in low + mid..m {
+        assignment[sorted.order[rank]] = bucket;
+        bucket += 1;
+    }
+    Histogram::from_assignment(freqs, assignment, num_buckets)
+}
+
+/// Algorithm V-OptBiasHist: the v-optimal end-biased histogram with
+/// exactly `buckets` buckets.
+///
+/// Tries every split `β₁ + β₂ = β − 1` of singleton buckets between the
+/// high and low ends and keeps the one whose multivalued bucket has the
+/// smallest SSE. With the sort amortised this is `O(M log M + β)`; the
+/// paper reaches `O(M + (β−1) log M)` with a heap instead of a full sort,
+/// an implementation detail that does not change which histogram wins.
+pub fn v_opt_end_biased(freqs: &[u64], buckets: usize) -> Result<OptResult> {
+    let m = freqs.len();
+    if m == 0 {
+        return Err(HistError::EmptyFrequencies);
+    }
+    if buckets == 0 || buckets > m {
+        return Err(HistError::InvalidBucketCount {
+            requested: buckets,
+            values: m,
+        });
+    }
+    let sorted = SortedFreqs::new(freqs);
+    let prefix = PrefixSums::new(&sorted.sorted);
+    let singles = buckets - 1;
+
+    let mut best = f64::INFINITY;
+    let mut best_low = 0usize;
+    for low in 0..=singles {
+        let high = singles - low;
+        // Multivalued bucket spans sorted ranks low .. m - high.
+        let err = prefix.range_sse(low, m - high);
+        if err < best - 1e-12 {
+            best = err;
+            best_low = low;
+        }
+    }
+    let histogram = end_biased(freqs, singles - best_low, best_low)?;
+    Ok(OptResult {
+        histogram,
+        error: best,
+    })
+}
+
+/// Enumerates every end-biased histogram with exactly `buckets` buckets
+/// (all `β` splits of the `β − 1` singletons between high and low ends).
+/// Used by the §3.1 arrangement study.
+pub struct EndBiasedChoices<'a> {
+    freqs: &'a [u64],
+    singles: usize,
+    next_low: usize,
+    done: bool,
+}
+
+impl<'a> EndBiasedChoices<'a> {
+    /// Starts the enumeration.
+    pub fn new(freqs: &'a [u64], buckets: usize) -> Result<Self> {
+        if freqs.is_empty() {
+            return Err(HistError::EmptyFrequencies);
+        }
+        if buckets == 0 || buckets > freqs.len() {
+            return Err(HistError::InvalidBucketCount {
+                requested: buckets,
+                values: freqs.len(),
+            });
+        }
+        Ok(Self {
+            freqs,
+            singles: buckets - 1,
+            next_low: 0,
+            done: false,
+        })
+    }
+}
+
+impl Iterator for EndBiasedChoices<'_> {
+    type Item = Histogram;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.next_low > self.singles {
+            return None;
+        }
+        let low = self.next_low;
+        self.next_low += 1;
+        if self.next_low > self.singles {
+            self.done = true;
+        }
+        end_biased(self.freqs, self.singles - low, low).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_biased_singles_out_extremes() {
+        let freqs = [50u64, 3, 7, 5, 90];
+        let h = end_biased(&freqs, 1, 1).unwrap();
+        assert_eq!(h.num_buckets(), 3);
+        assert!(h.is_end_biased());
+        // 90 (idx 4) and 3 (idx 1) are alone.
+        assert_eq!(h.bucket(h.bucket_of(4) as usize).count(), 1);
+        assert_eq!(h.bucket(h.bucket_of(1) as usize).count(), 1);
+        // 50, 7, 5 share a bucket.
+        assert_eq!(h.bucket_of(0), h.bucket_of(2));
+        assert_eq!(h.bucket_of(2), h.bucket_of(3));
+    }
+
+    #[test]
+    fn end_biased_all_singletons() {
+        let freqs = [4u64, 2, 9];
+        let h = end_biased(&freqs, 2, 1).unwrap();
+        assert_eq!(h.num_buckets(), 3);
+        assert_eq!(h.self_join_error(), 0.0);
+    }
+
+    #[test]
+    fn end_biased_rejects_overfull_split() {
+        assert!(end_biased(&[1, 2], 2, 1).is_err());
+        assert!(end_biased(&[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn v_opt_end_biased_prefers_high_outliers_under_zipf_shape() {
+        // One dominant frequency: the best 2-bucket end-biased histogram
+        // singles out the top value.
+        let freqs = [100u64, 10, 9, 8, 10];
+        let opt = v_opt_end_biased(&freqs, 2).unwrap();
+        let h = &opt.histogram;
+        assert_eq!(h.bucket(h.bucket_of(0) as usize).count(), 1);
+        assert!(opt.error < 10.0);
+    }
+
+    #[test]
+    fn v_opt_end_biased_prefers_low_outliers_when_inverted() {
+        // Reverse-Zipf shape: one tiny frequency among large ones.
+        let freqs = [100u64, 99, 98, 1, 97];
+        let opt = v_opt_end_biased(&freqs, 2).unwrap();
+        let h = &opt.histogram;
+        assert_eq!(h.bucket(h.bucket_of(3) as usize).count(), 1);
+    }
+
+    #[test]
+    fn v_opt_matches_enumeration() {
+        let freqs = [13u64, 2, 8, 21, 4, 4, 30, 1, 9];
+        for beta in 1..=6 {
+            let opt = v_opt_end_biased(&freqs, beta).unwrap();
+            let brute = EndBiasedChoices::new(&freqs, beta)
+                .unwrap()
+                .map(|h| h.self_join_error())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (opt.error - brute).abs() < 1e-9,
+                "beta={beta}: fast {} vs brute {brute}",
+                opt.error
+            );
+        }
+    }
+
+    #[test]
+    fn error_equals_histogram_error() {
+        let freqs = [5u64, 25, 125, 1, 1, 1, 625];
+        let opt = v_opt_end_biased(&freqs, 3).unwrap();
+        assert!((opt.error - opt.histogram.self_join_error()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn result_is_end_biased_class() {
+        let freqs = [7u64, 7, 2, 91, 30, 12];
+        let opt = v_opt_end_biased(&freqs, 4).unwrap();
+        assert!(opt.histogram.is_end_biased());
+        assert!(opt.histogram.is_serial());
+    }
+
+    #[test]
+    fn enumeration_yields_beta_histograms() {
+        let freqs = [3u64, 1, 4, 1, 5];
+        let all: Vec<_> = EndBiasedChoices::new(&freqs, 3).unwrap().collect();
+        assert_eq!(all.len(), 3); // (high,low) ∈ {(2,0),(1,1),(0,2)}
+        for h in &all {
+            assert!(h.is_end_biased());
+        }
+    }
+
+    #[test]
+    fn one_bucket_is_trivial() {
+        let freqs = [3u64, 9];
+        let opt = v_opt_end_biased(&freqs, 1).unwrap();
+        assert_eq!(opt.histogram.num_buckets(), 1);
+        assert!((opt.error - opt.histogram.self_join_error()).abs() < 1e-9);
+    }
+}

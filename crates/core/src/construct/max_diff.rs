@@ -1,0 +1,118 @@
+//! MaxDiff histograms: a cheap serial heuristic.
+//!
+//! The paper surveys "variable-width histograms … where the buckets are
+//! chosen based on various criteria" (§1, citing Kooi and others); the
+//! gap-based criterion later named *MaxDiff* (Poosala, Ioannidis, Haas &
+//! Shekita, VLDB 1996 — the follow-up to this paper) places bucket
+//! boundaries at the `β−1` largest differences between adjacent sorted
+//! frequencies. It is serial by construction, costs only a sort, and in
+//! practice lands between V-OptBiasHist and the true v-optimal serial
+//! histogram — a useful third point on the paper's
+//! optimality/practicality trade-off curve.
+
+use super::{OptResult, PrefixSums};
+use crate::error::{HistError, Result};
+use crate::partition::SortedFreqs;
+
+/// Builds the MaxDiff serial histogram with exactly `buckets` buckets:
+/// cuts at the `β−1` largest adjacent gaps in the sorted frequency
+/// order (ties broken towards lower ranks for determinism).
+pub fn max_diff(freqs: &[u64], buckets: usize) -> Result<OptResult> {
+    let m = freqs.len();
+    if m == 0 {
+        return Err(HistError::EmptyFrequencies);
+    }
+    if buckets == 0 || buckets > m {
+        return Err(HistError::InvalidBucketCount {
+            requested: buckets,
+            values: m,
+        });
+    }
+    let sorted = SortedFreqs::new(freqs);
+    // Gap before sorted position i (cut candidates are 1..m).
+    let mut gaps: Vec<(u64, usize)> = sorted
+        .sorted
+        .windows(2)
+        .enumerate()
+        .map(|(i, w)| (w[1] - w[0], i + 1))
+        .collect();
+    // Largest gaps first; ties by position.
+    gaps.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut cuts: Vec<usize> = gaps
+        .into_iter()
+        .take(buckets - 1)
+        .map(|(_, pos)| pos)
+        .collect();
+    cuts.sort_unstable();
+    let histogram = sorted.histogram_from_cuts(freqs, &cuts)?;
+    let prefix = PrefixSums::new(&sorted.sorted);
+    let mut error = 0.0;
+    let mut lo = 0usize;
+    for &cut in &cuts {
+        error += prefix.range_sse(lo, cut);
+        lo = cut;
+    }
+    error += prefix.range_sse(lo, m);
+    Ok(OptResult { histogram, error })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{v_opt_serial_dp, trivial};
+
+    #[test]
+    fn cuts_at_the_largest_gaps() {
+        // Sorted: 1, 2, 3, 50, 51, 200 — the two biggest gaps are
+        // before 50 (47) and before 200 (149).
+        let freqs = [50u64, 1, 200, 2, 51, 3];
+        let opt = max_diff(&freqs, 3).unwrap();
+        let h = &opt.histogram;
+        // Clusters {1,2,3}, {50,51}, {200}.
+        assert_eq!(h.bucket_of(1), h.bucket_of(3));
+        assert_eq!(h.bucket_of(3), h.bucket_of(5));
+        assert_eq!(h.bucket_of(0), h.bucket_of(4));
+        assert_ne!(h.bucket_of(0), h.bucket_of(2));
+        assert!(h.is_serial());
+    }
+
+    #[test]
+    fn error_between_vopt_and_trivial() {
+        let freqs = [100u64, 99, 95, 50, 48, 10, 9, 8, 1, 1];
+        for beta in 2..=5 {
+            let md = max_diff(&freqs, beta).unwrap();
+            let vopt = v_opt_serial_dp(&freqs, beta).unwrap();
+            let triv = trivial(&freqs).unwrap().self_join_error();
+            assert!(vopt.error <= md.error + 1e-9, "beta={beta}");
+            assert!(md.error <= triv + 1e-9, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn reported_error_matches_histogram() {
+        let freqs = [7u64, 3, 9, 1, 12, 5];
+        let opt = max_diff(&freqs, 3).unwrap();
+        assert!((opt.error - opt.histogram.self_join_error()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_with_m_buckets_and_validates() {
+        let freqs = [4u64, 2, 9];
+        assert_eq!(max_diff(&freqs, 3).unwrap().error, 0.0);
+        assert!(max_diff(&[], 1).is_err());
+        assert!(max_diff(&freqs, 0).is_err());
+        assert!(max_diff(&freqs, 4).is_err());
+    }
+
+    #[test]
+    fn equal_frequencies_are_never_split_before_unequal() {
+        // All gaps zero except one: the single cut must land there.
+        let freqs = [5u64, 5, 5, 20, 20];
+        let opt = max_diff(&freqs, 2).unwrap();
+        let h = &opt.histogram;
+        assert_eq!(h.bucket_of(0), h.bucket_of(2));
+        assert_eq!(h.bucket_of(3), h.bucket_of(4));
+        assert_ne!(h.bucket_of(0), h.bucket_of(3));
+        assert_eq!(opt.error, 0.0);
+    }
+}

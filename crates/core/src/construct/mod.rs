@@ -1,0 +1,104 @@
+//! Histogram construction algorithms.
+//!
+//! * [`trivial`], [`equi_width`], [`equi_depth`] — the classical
+//!   histograms the paper compares against (§2.3, §5.1).
+//! * [`v_opt_serial`] — Algorithm V-OptHist (Theorem 4.1): exhaustive
+//!   search for the v-optimal serial histogram.
+//! * [`v_opt_serial_dp`] — an `O(M²β)` dynamic program computing the same
+//!   optimum (an engineering extension; equivalence is property-tested).
+//! * [`end_biased`], [`v_opt_end_biased`] — Definition 2.2 and Algorithm
+//!   V-OptBiasHist (Theorem 4.2).
+//! * [`max_diff`] — the gap-based serial heuristic of the cited
+//!   variable-width family (later named MaxDiff).
+//! * [`BiasedChoices`] — enumeration of general biased histograms, used
+//!   by the §3.1 arrangement study.
+//!
+//! All constructors take the per-value frequency slice (`freqs[i]` is the
+//! frequency of value index `i`) and return a [`Histogram`] mapping those
+//! same indices to buckets.
+
+mod biased;
+mod classic;
+mod dp;
+mod end_biased;
+mod max_diff;
+mod serial;
+
+pub use biased::{biased_histogram, BiasedChoices};
+pub use classic::{equi_depth, equi_width, trivial};
+pub use dp::v_opt_serial_dp;
+pub use end_biased::{end_biased, v_opt_end_biased, EndBiasedChoices};
+pub use max_diff::max_diff;
+pub use serial::{v_opt_serial, v_opt_serial_checked};
+
+use crate::histogram::Histogram;
+
+/// Prefix sums of frequencies and squared frequencies over a sorted
+/// frequency slice; lets any contiguous run's sum / SSE be read in O(1).
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixSums {
+    /// `sum[i]` = Σ of the first `i` frequencies.
+    sum: Vec<u128>,
+    /// `sum_sq[i]` = Σ of the first `i` squared frequencies.
+    sum_sq: Vec<u128>,
+}
+
+impl PrefixSums {
+    pub(crate) fn new(sorted: &[u64]) -> Self {
+        let mut sum = Vec::with_capacity(sorted.len() + 1);
+        let mut sum_sq = Vec::with_capacity(sorted.len() + 1);
+        sum.push(0);
+        sum_sq.push(0);
+        let (mut s, mut q) = (0u128, 0u128);
+        for &f in sorted {
+            s += f as u128;
+            q += (f as u128) * (f as u128);
+            sum.push(s);
+            sum_sq.push(q);
+        }
+        Self { sum, sum_sq }
+    }
+
+    /// Sum of frequencies in ranks `lo..hi`.
+    pub(crate) fn range_sum(&self, lo: usize, hi: usize) -> u128 {
+        self.sum[hi] - self.sum[lo]
+    }
+
+    /// Sum of squared deviations from the mean over ranks `lo..hi` —
+    /// the bucket's `Pᵢ·Vᵢ` error contribution (Proposition 3.1).
+    pub(crate) fn range_sse(&self, lo: usize, hi: usize) -> f64 {
+        let n = (hi - lo) as f64;
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let s = self.range_sum(lo, hi) as f64;
+        let q = (self.sum_sq[hi] - self.sum_sq[lo]) as f64;
+        (q - s * s / n).max(0.0)
+    }
+}
+
+/// The result of an optimality search: the winning histogram and its
+/// self-join error `S − S'` (the v-optimality objective).
+#[derive(Debug, Clone)]
+pub struct OptResult {
+    /// The optimal histogram found.
+    pub histogram: Histogram,
+    /// Its self-join error (formula (3) of Proposition 3.1).
+    pub error: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_read_ranges() {
+        let p = PrefixSums::new(&[1, 2, 3, 4]);
+        assert_eq!(p.range_sum(0, 4), 10);
+        assert_eq!(p.range_sum(1, 3), 5);
+        assert_eq!(p.range_sum(2, 2), 0);
+        // SSE of [2,3] → mean 2.5 → 0.25 + 0.25
+        assert!((p.range_sse(1, 3) - 0.5).abs() < 1e-12);
+        assert_eq!(p.range_sse(3, 3), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Algorithm V-OptHist (§4.1, Theorem 4.1): exhaustive search for the
+//! v-optimal serial histogram.
+//!
+//! The frequency set is sorted and partitioned into `β` contiguous runs
+//! in all `C(M−1, β−1)` possible ways; each partition's self-join error
+//! (formula (3)) is evaluated, and the minimum wins. The cost is
+//! `O(M log M + C(M−1, β−1)·β)` — exponential in `β`, which is exactly
+//! the impracticality the paper's end-biased histograms address.
+
+use super::{OptResult, PrefixSums};
+use crate::error::{HistError, Result};
+use crate::histogram::Histogram;
+use crate::partition::{ContiguousPartitions, SortedFreqs};
+
+/// Finds the v-optimal serial histogram with exactly `buckets` buckets by
+/// exhaustive enumeration (Algorithm V-OptHist).
+///
+/// By Theorem 3.3 the result is v-optimal for *any* query joining this
+/// relation on the histogram's attribute(s), independent of the other
+/// relations' contents.
+pub fn v_opt_serial(freqs: &[u64], buckets: usize) -> Result<OptResult> {
+    v_opt_serial_checked(freqs, buckets, u128::MAX)
+}
+
+/// Like [`v_opt_serial`] but refuses to start when the number of
+/// partitions to enumerate exceeds `max_partitions` — a guard for
+/// callers that must stay interactive. Algorithm V-OptBiasHist
+/// ([`super::v_opt_end_biased`]) is the practical alternative.
+pub fn v_opt_serial_checked(
+    freqs: &[u64],
+    buckets: usize,
+    max_partitions: u128,
+) -> Result<OptResult> {
+    let m = freqs.len();
+    if m == 0 {
+        return Err(HistError::EmptyFrequencies);
+    }
+    if buckets == 0 || buckets > m {
+        return Err(HistError::InvalidBucketCount {
+            requested: buckets,
+            values: m,
+        });
+    }
+    let work = ContiguousPartitions::count_partitions(m, buckets);
+    if work > max_partitions {
+        return Err(HistError::InvalidBucketCount {
+            requested: buckets,
+            values: m,
+        });
+    }
+
+    let sorted = SortedFreqs::new(freqs);
+    let prefix = PrefixSums::new(&sorted.sorted);
+
+    let mut best_error = f64::INFINITY;
+    let mut best_cuts: Vec<usize> = Vec::new();
+    for cuts in ContiguousPartitions::new(m, buckets)? {
+        let error = partition_error(&prefix, m, &cuts);
+        if error < best_error {
+            best_error = error;
+            best_cuts = cuts;
+        }
+    }
+    let histogram = sorted.histogram_from_cuts(freqs, &best_cuts)?;
+    Ok(OptResult {
+        histogram,
+        error: best_error,
+    })
+}
+
+/// Self-join error (formula (3)) of the serial histogram whose buckets
+/// are the runs delimited by `cuts` over `m` sorted frequencies.
+fn partition_error(prefix: &PrefixSums, m: usize, cuts: &[usize]) -> f64 {
+    let mut error = 0.0;
+    let mut lo = 0usize;
+    for &cut in cuts {
+        error += prefix.range_sse(lo, cut);
+        lo = cut;
+    }
+    error + prefix.range_sse(lo, m)
+}
+
+/// Builds the serial histogram induced by explicit cut points over the
+/// sorted frequency order (used by tests).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn serial_from_cuts(freqs: &[u64], cuts: &[usize]) -> Result<Histogram> {
+    SortedFreqs::new(freqs).histogram_from_cuts(freqs, cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::RoundingMode;
+
+    #[test]
+    fn one_bucket_equals_trivial_error() {
+        let freqs = [3u64, 1, 4, 1, 5];
+        let opt = v_opt_serial(&freqs, 1).unwrap();
+        let t = crate::construct::trivial(&freqs).unwrap();
+        assert!((opt.error - t.self_join_error()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m_buckets_is_exact() {
+        let freqs = [3u64, 1, 4, 1, 5];
+        let opt = v_opt_serial(&freqs, 5).unwrap();
+        assert_eq!(opt.error, 0.0);
+        assert_eq!(
+            opt.histogram.approx_self_join_size(RoundingMode::Exact),
+            freqs.iter().map(|&f| (f * f) as f64).sum::<f64>()
+        );
+    }
+
+    #[test]
+    fn optimum_beats_every_other_serial_histogram() {
+        let freqs = [10u64, 2, 7, 7, 1, 30];
+        let opt = v_opt_serial(&freqs, 3).unwrap();
+        for cuts in ContiguousPartitions::new(freqs.len(), 3).unwrap() {
+            let h = serial_from_cuts(&freqs, &cuts).unwrap();
+            assert!(
+                opt.error <= h.self_join_error() + 1e-9,
+                "cuts {cuts:?} beat the claimed optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_similar_frequencies() {
+        // Two tight clusters: the 2-bucket optimum must split them.
+        let freqs = [100u64, 99, 101, 5, 4, 6];
+        let opt = v_opt_serial(&freqs, 2).unwrap();
+        let h = &opt.histogram;
+        assert_eq!(h.bucket_of(0), h.bucket_of(1));
+        assert_eq!(h.bucket_of(1), h.bucket_of(2));
+        assert_eq!(h.bucket_of(3), h.bucket_of(4));
+        assert_eq!(h.bucket_of(4), h.bucket_of(5));
+        assert_ne!(h.bucket_of(0), h.bucket_of(3));
+    }
+
+    #[test]
+    fn reported_error_matches_histogram_error() {
+        let freqs = [9u64, 1, 8, 2, 7, 3];
+        for beta in 1..=4 {
+            let opt = v_opt_serial(&freqs, beta).unwrap();
+            assert!(
+                (opt.error - opt.histogram.self_join_error()).abs() < 1e-9,
+                "beta={beta}"
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_serial() {
+        let freqs = [5u64, 17, 2, 9, 9, 40, 1];
+        let opt = v_opt_serial(&freqs, 3).unwrap();
+        assert!(opt.histogram.is_serial());
+    }
+
+    #[test]
+    fn error_monotone_in_buckets() {
+        let freqs = [13u64, 2, 8, 21, 4, 4, 30, 1];
+        let mut prev = f64::INFINITY;
+        for beta in 1..=freqs.len() {
+            let e = v_opt_serial(&freqs, beta).unwrap().error;
+            assert!(e <= prev + 1e-9, "error increased at beta={beta}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn work_limit_enforced() {
+        let freqs: Vec<u64> = (0..40).collect();
+        assert!(matches!(
+            v_opt_serial_checked(&freqs, 10, 1_000),
+            Err(HistError::InvalidBucketCount { .. })
+        ));
+        assert!(v_opt_serial_checked(&freqs, 2, 1_000).is_ok());
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(v_opt_serial(&[], 1).is_err());
+        assert!(v_opt_serial(&[1, 2], 0).is_err());
+        assert!(v_opt_serial(&[1, 2], 3).is_err());
+    }
+}

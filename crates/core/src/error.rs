@@ -1,0 +1,59 @@
+//! Error type for histogram construction.
+
+use std::fmt;
+
+/// Errors produced while building or validating histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistError {
+    /// Construction was asked for zero buckets, or more buckets than
+    /// distinct values can fill.
+    InvalidBucketCount {
+        /// Buckets requested.
+        requested: usize,
+        /// Number of domain values available.
+        values: usize,
+    },
+    /// A histogram was built over an empty frequency collection.
+    EmptyFrequencies,
+    /// A bucket assignment references a bucket id out of range or leaves
+    /// a bucket empty.
+    InvalidAssignment(String),
+    /// A 2-D histogram's shape disagrees with the matrix it approximates.
+    ShapeMismatch {
+        /// Cells covered by the histogram.
+        histogram_cells: usize,
+        /// Cells of the matrix.
+        matrix_cells: usize,
+    },
+    /// End-biased construction was asked for an impossible split of
+    /// univalued buckets.
+    InvalidBiasSplit(String),
+}
+
+impl fmt::Display for HistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistError::InvalidBucketCount { requested, values } => write!(
+                f,
+                "cannot build {requested} bucket(s) over {values} domain value(s)"
+            ),
+            HistError::EmptyFrequencies => {
+                write!(f, "cannot build a histogram over an empty frequency set")
+            }
+            HistError::InvalidAssignment(msg) => write!(f, "invalid bucket assignment: {msg}"),
+            HistError::ShapeMismatch {
+                histogram_cells,
+                matrix_cells,
+            } => write!(
+                f,
+                "histogram covers {histogram_cells} cells but matrix has {matrix_cells}"
+            ),
+            HistError::InvalidBiasSplit(msg) => write!(f, "invalid bias split: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HistError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HistError>;

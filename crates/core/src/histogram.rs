@@ -1,0 +1,401 @@
+//! The [`Histogram`] type: a bucketisation of a relation attribute's
+//! domain values plus the Proposition 3.1 error formulas.
+//!
+//! A histogram is built *for* a concrete frequency assignment: value index
+//! `i` (a position in the relation's frequency vector, or a row-major cell
+//! of its frequency matrix) carries frequency `freqs[i]` and is mapped to
+//! bucket `assignment[i]`. The paper allows *any* subset of domain values
+//! to form a bucket (§2.3) — buckets are not required to be ranges of the
+//! natural value order — so the assignment vector is fully general.
+
+use crate::bucket::BucketStats;
+use crate::error::{HistError, Result};
+use serde::{Deserialize, Serialize};
+
+/// How bucket averages are materialised when approximating frequencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundingMode {
+    /// Real-valued averages `Tᵢ / Pᵢ` (used by all analysis formulas).
+    Exact,
+    /// "The integer closest to `Σ t / |b|`" — the representation the
+    /// paper describes for system catalogs (§2.3).
+    PaperRounded,
+}
+
+/// The most specific class a histogram belongs to, following the paper's
+/// taxonomy (§2.3, Definitions 2.1–2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HistogramClass {
+    /// One bucket: the uniform-distribution assumption.
+    Trivial,
+    /// Serial, with every bucket univalued except at most one, whose
+    /// univalued buckets hold the extreme frequencies (Definition 2.2).
+    /// End-biased histograms are serial.
+    EndBiased,
+    /// At most one multivalued bucket, but *not* serial (the univalued
+    /// buckets hold non-extreme frequencies).
+    Biased,
+    /// Buckets partition the frequency order contiguously
+    /// (Definition 2.1) but more than one bucket is multivalued.
+    Serial,
+    /// None of the above.
+    General,
+}
+
+/// A histogram over `M` domain values: a bucket id per value plus
+/// per-bucket sufficient statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `assignment[i]` is the bucket of value index `i`.
+    assignment: Vec<u32>,
+    buckets: Vec<BucketStats>,
+}
+
+impl Histogram {
+    /// Builds a histogram from an explicit bucket assignment.
+    ///
+    /// `freqs[i]` is the frequency of value index `i`;
+    /// `assignment[i] < num_buckets` names its bucket. Every bucket in
+    /// `0..num_buckets` must be non-empty.
+    pub fn from_assignment(
+        freqs: &[u64],
+        assignment: Vec<u32>,
+        num_buckets: usize,
+    ) -> Result<Self> {
+        if freqs.is_empty() {
+            return Err(HistError::EmptyFrequencies);
+        }
+        if assignment.len() != freqs.len() {
+            return Err(HistError::InvalidAssignment(format!(
+                "assignment covers {} values but {} frequencies were given",
+                assignment.len(),
+                freqs.len()
+            )));
+        }
+        if num_buckets == 0 || num_buckets > freqs.len() {
+            return Err(HistError::InvalidBucketCount {
+                requested: num_buckets,
+                values: freqs.len(),
+            });
+        }
+        let mut buckets = vec![BucketStats::new(); num_buckets];
+        for (&f, &b) in freqs.iter().zip(&assignment) {
+            let b = b as usize;
+            if b >= num_buckets {
+                return Err(HistError::InvalidAssignment(format!(
+                    "bucket id {b} out of range 0..{num_buckets}"
+                )));
+            }
+            buckets[b].add(f);
+        }
+        if let Some(empty) = buckets.iter().position(BucketStats::is_empty) {
+            return Err(HistError::InvalidAssignment(format!(
+                "bucket {empty} is empty"
+            )));
+        }
+        Ok(Self {
+            assignment,
+            buckets,
+        })
+    }
+
+    /// Number of buckets `β`.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of domain values `M` the histogram covers.
+    pub fn num_values(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The bucket id of value index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn bucket_of(&self, i: usize) -> u32 {
+        self.assignment[i]
+    }
+
+    /// Per-value bucket ids.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Statistics of bucket `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn bucket(&self, b: usize) -> &BucketStats {
+        &self.buckets[b]
+    }
+
+    /// All bucket statistics.
+    pub fn buckets(&self) -> &[BucketStats] {
+        &self.buckets
+    }
+
+    /// The approximate frequency of value index `i` under the histogram.
+    pub fn approx_frequency(&self, i: usize, mode: RoundingMode) -> f64 {
+        let b = &self.buckets[self.assignment[i] as usize];
+        match mode {
+            RoundingMode::Exact => b.average(),
+            RoundingMode::PaperRounded => b.average_rounded() as f64,
+        }
+    }
+
+    /// The full approximated frequency vector (one entry per value
+    /// index) — this is the paper's *histogram matrix* flattened.
+    pub fn approx_frequencies(&self, mode: RoundingMode) -> Vec<f64> {
+        let averages: Vec<f64> = self
+            .buckets
+            .iter()
+            .map(|b| match mode {
+                RoundingMode::Exact => b.average(),
+                RoundingMode::PaperRounded => b.average_rounded() as f64,
+            })
+            .collect();
+        self.assignment
+            .iter()
+            .map(|&b| averages[b as usize])
+            .collect()
+    }
+
+    /// Exact self-join size `S = Σ tᵢ²` of the underlying frequencies,
+    /// recovered from the buckets' sufficient statistics.
+    pub fn exact_self_join_size(&self) -> u128 {
+        self.buckets.iter().map(|b| b.sum_sq()).sum()
+    }
+
+    /// Approximate self-join size `S' = Σᵢ Tᵢ²/Pᵢ` (Proposition 3.1).
+    ///
+    /// With [`RoundingMode::PaperRounded`], each bucket contributes
+    /// `Pᵢ · round(Tᵢ/Pᵢ)²` instead.
+    pub fn approx_self_join_size(&self, mode: RoundingMode) -> f64 {
+        self.buckets
+            .iter()
+            .map(|b| match mode {
+                RoundingMode::Exact => b.self_join_contribution(),
+                RoundingMode::PaperRounded => {
+                    let a = b.average_rounded() as f64;
+                    b.count() as f64 * a * a
+                }
+            })
+            .sum()
+    }
+
+    /// Self-join estimation error `S − S' = Σᵢ Pᵢ·Vᵢ` (Proposition 3.1,
+    /// formula (3)). Always non-negative: histograms under-estimate
+    /// self-joins.
+    ///
+    /// This is the objective minimised by the v-optimal constructions.
+    pub fn self_join_error(&self) -> f64 {
+        self.buckets.iter().map(|b| b.error_contribution()).sum()
+    }
+
+    /// Whether the histogram is serial (Definition 2.1): for every pair
+    /// of buckets, all frequencies of one are ≤ all frequencies of the
+    /// other. Ties at a shared boundary are permitted (the definition's
+    /// strict inequalities are vacuous for equal frequencies, which carry
+    /// no error either way).
+    pub fn is_serial(&self) -> bool {
+        let mut ranges: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .map(|b| (b.min_freq(), b.max_freq()))
+            .collect();
+        ranges.sort_unstable();
+        ranges.windows(2).all(|w| w[0].1 <= w[1].0)
+    }
+
+    /// Whether at most one bucket is multivalued (the paper's *biased*
+    /// shape, Definition 2.2, without the end-placement requirement).
+    pub fn is_biased_shape(&self) -> bool {
+        self.buckets.iter().filter(|b| !b.is_univalued()).count() <= 1
+    }
+
+    /// Whether the histogram is end-biased (Definition 2.2): biased, and
+    /// every univalued bucket holds frequencies at or beyond the extremes
+    /// of the multivalued bucket.
+    pub fn is_end_biased(&self) -> bool {
+        if !self.is_biased_shape() {
+            return false;
+        }
+        let multi = self.buckets.iter().find(|b| !b.is_univalued());
+        match multi {
+            // All buckets univalued: vacuously end-biased (every bucket
+            // is at an "end" of an empty middle).
+            None => true,
+            Some(m) => self.buckets.iter().filter(|b| b.is_univalued()).all(|b| {
+                b.max_freq() <= m.min_freq() || b.min_freq() >= m.max_freq()
+            }),
+        }
+    }
+
+    /// The most specific class of this histogram.
+    pub fn class(&self) -> HistogramClass {
+        if self.num_buckets() == 1 {
+            return HistogramClass::Trivial;
+        }
+        let serial = self.is_serial();
+        let biased = self.is_biased_shape();
+        if serial && biased && self.is_end_biased() {
+            HistogramClass::EndBiased
+        } else if serial {
+            HistogramClass::Serial
+        } else if biased {
+            HistogramClass::Biased
+        } else {
+            HistogramClass::General
+        }
+    }
+
+    /// Catalog storage cost in entries, following §4's discussion: every
+    /// bucket stores its average, and every value outside the *largest*
+    /// bucket must be listed explicitly (values of the largest bucket are
+    /// implied by absence).
+    pub fn storage_entries(&self) -> usize {
+        let largest = self
+            .buckets
+            .iter()
+            .map(|b| b.count() as usize)
+            .max()
+            .unwrap_or(0);
+        self.num_buckets() + self.num_values() - largest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(freqs: &[u64], assignment: &[u32], n: usize) -> Histogram {
+        Histogram::from_assignment(freqs, assignment.to_vec(), n).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Histogram::from_assignment(&[], vec![], 1),
+            Err(HistError::EmptyFrequencies)
+        ));
+        assert!(matches!(
+            Histogram::from_assignment(&[1, 2], vec![0], 1),
+            Err(HistError::InvalidAssignment(_))
+        ));
+        assert!(matches!(
+            Histogram::from_assignment(&[1, 2], vec![0, 2], 2),
+            Err(HistError::InvalidAssignment(_))
+        ));
+        assert!(matches!(
+            Histogram::from_assignment(&[1, 2], vec![0, 0], 2),
+            Err(HistError::InvalidAssignment(_))
+        ));
+        assert!(matches!(
+            Histogram::from_assignment(&[1, 2], vec![0, 0], 0),
+            Err(HistError::InvalidBucketCount { .. })
+        ));
+        assert!(matches!(
+            Histogram::from_assignment(&[1], vec![0], 2),
+            Err(HistError::InvalidBucketCount { .. })
+        ));
+    }
+
+    #[test]
+    fn approx_frequencies_average_within_buckets() {
+        // values 0,1 in bucket 0 (freqs 10, 20), value 2 alone (freq 5).
+        let h = hist(&[10, 20, 5], &[0, 0, 1], 2);
+        assert_eq!(
+            h.approx_frequencies(RoundingMode::Exact),
+            vec![15.0, 15.0, 5.0]
+        );
+        assert_eq!(h.approx_frequency(2, RoundingMode::Exact), 5.0);
+    }
+
+    #[test]
+    fn rounded_mode_rounds_bucket_averages() {
+        let h = hist(&[1, 2], &[0, 0], 1);
+        assert_eq!(h.approx_frequencies(RoundingMode::PaperRounded), vec![2.0, 2.0]);
+        assert_eq!(h.approx_frequencies(RoundingMode::Exact), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn proposition_3_1_identities() {
+        let freqs = [7u64, 7, 3, 1, 12];
+        let h = hist(&freqs, &[0, 0, 1, 1, 2], 3);
+        // S from buckets == Σ f².
+        let s: u128 = freqs.iter().map(|&f| (f as u128) * (f as u128)).sum();
+        assert_eq!(h.exact_self_join_size(), s);
+        // S − S' == Σ PᵢVᵢ.
+        let direct = s as f64 - h.approx_self_join_size(RoundingMode::Exact);
+        assert!((direct - h.self_join_error()).abs() < 1e-9);
+        // And equals the error computed from the approximated vector.
+        let approx: f64 = h
+            .approx_frequencies(RoundingMode::Exact)
+            .iter()
+            .map(|a| a * a)
+            .sum();
+        assert!((approx - h.approx_self_join_size(RoundingMode::Exact)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_join_error_nonnegative() {
+        let h = hist(&[1, 100, 50, 2], &[0, 1, 0, 1], 2);
+        assert!(h.self_join_error() >= 0.0);
+    }
+
+    #[test]
+    fn serial_detection() {
+        // Buckets {1,2} and {8,9}: serial.
+        assert!(hist(&[1, 8, 2, 9], &[0, 1, 0, 1], 2).is_serial());
+        // Buckets {1,9} and {2,8}: interleaved, not serial.
+        assert!(!hist(&[1, 8, 2, 9], &[0, 0, 1, 1], 2).is_serial());
+        // Shared boundary value is fine.
+        assert!(hist(&[1, 2, 2, 9], &[0, 0, 1, 1], 2).is_serial());
+        // Single bucket is trivially serial.
+        assert!(hist(&[3, 1, 4], &[0, 0, 0], 1).is_serial());
+    }
+
+    #[test]
+    fn end_biased_detection() {
+        // Highest (9) and lowest (1) singled out, middle together.
+        let eb = hist(&[9, 4, 5, 1], &[0, 1, 1, 2], 3);
+        assert!(eb.is_end_biased());
+        assert_eq!(eb.class(), HistogramClass::EndBiased);
+        // A middle frequency singled out: biased but not end-biased.
+        let b = hist(&[9, 4, 5, 1], &[0, 1, 0, 0], 2);
+        assert!(b.is_biased_shape());
+        assert!(!b.is_end_biased());
+        assert_eq!(b.class(), HistogramClass::Biased);
+    }
+
+    #[test]
+    fn class_taxonomy() {
+        assert_eq!(hist(&[5, 1], &[0, 0], 1).class(), HistogramClass::Trivial);
+        // Two multivalued serial buckets.
+        assert_eq!(
+            hist(&[1, 2, 8, 9], &[0, 0, 1, 1], 2).class(),
+            HistogramClass::Serial
+        );
+        // Interleaved multivalued buckets: general.
+        assert_eq!(
+            hist(&[1, 8, 2, 9], &[0, 0, 1, 1], 2).class(),
+            HistogramClass::General
+        );
+        // All-univalued buckets classify as end-biased (serial).
+        assert_eq!(
+            hist(&[3, 7], &[0, 1], 2).class(),
+            HistogramClass::EndBiased
+        );
+    }
+
+    #[test]
+    fn storage_cost_excludes_largest_bucket() {
+        // 5 values, buckets of sizes 3 and 2 → 2 averages + 2 listed values.
+        let h = hist(&[1, 1, 1, 9, 9], &[0, 0, 0, 1, 1], 2);
+        assert_eq!(h.storage_entries(), 2 + 2);
+        // Trivial histogram stores only the average.
+        let t = hist(&[1, 2, 3], &[0, 0, 0], 1);
+        assert_eq!(t.storage_entries(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Serial, end-biased, and v-optimal histograms for query result size
+//! estimation — the core contribution of *Ioannidis & Poosala,
+//! "Balancing Histogram Optimality and Practicality for Query Result Size
+//! Estimation" (SIGMOD 1995)*.
+//!
+//! A [`Histogram`] partitions the domain values of a relation attribute
+//! into buckets and approximates every frequency in a bucket by the bucket
+//! average (§2.3). The paper's central findings, all implemented and
+//! tested here:
+//!
+//! * **Serial histograms** (buckets group frequencies contiguously in
+//!   frequency order, Definition 2.1) are optimal when the query result
+//!   size is extremal (Theorem 3.1) and *v-optimal* — minimising
+//!   `E[(S − S')²]` over arrangements — when only frequency sets are known
+//!   (Theorem 3.3).
+//! * The v-optimal histogram of a relation equals the optimal histogram
+//!   for its **self-join** and is therefore *query independent*
+//!   (Theorem 3.3). [`construct::v_opt_serial`] finds it by exhaustive
+//!   enumeration (Algorithm V-OptHist, Theorem 4.1);
+//!   [`construct::v_opt_serial_dp`] is an `O(M²β)` dynamic program proven
+//!   equivalent by tests.
+//! * **End-biased histograms** — `β−1` univalued buckets holding extreme
+//!   frequencies plus one multivalued bucket (Definition 2.2) — can be
+//!   found in near-linear time (Algorithm V-OptBiasHist, Theorem 4.2;
+//!   [`construct::v_opt_end_biased`]) and lose little accuracy.
+//! * Proposition 3.1's error formulas
+//!   ([`Histogram::approx_self_join_size`],
+//!   [`Histogram::self_join_error`]) let [`advisor`] recommend the number
+//!   of buckets needed for a target error.
+//!
+//! Histograms over two-dimensional frequency matrices (§2.3's `WorksFor`
+//! example) are provided by [`two_dim::MatrixHistogram`].
+//!
+//! # Example
+//!
+//! ```
+//! use vopt_hist::construct::{v_opt_end_biased, v_opt_serial_dp};
+//! use vopt_hist::RoundingMode;
+//!
+//! // Frequencies of a skewed attribute (from statistics collection).
+//! let freqs = [120u64, 80, 10, 9, 8, 7, 3, 2];
+//!
+//! // The paper's practical recommendation: v-optimal end-biased.
+//! let practical = v_opt_end_biased(&freqs, 4).unwrap();
+//! // The gold standard: the v-optimal serial histogram.
+//! let optimal = v_opt_serial_dp(&freqs, 4).unwrap();
+//!
+//! assert!(practical.error >= optimal.error);
+//! assert!(practical.histogram.is_end_biased());
+//! // Both under-estimate the self-join by exactly Σ PᵢVᵢ (Prop. 3.1).
+//! let s = practical.histogram.exact_self_join_size() as f64;
+//! let s_approx = practical.histogram.approx_self_join_size(RoundingMode::Exact);
+//! assert!((s - s_approx - practical.error).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod advisor;
+pub mod bucket;
+pub mod construct;
+pub mod error;
+pub mod histogram;
+pub mod partition;
+pub mod two_dim;
+
+pub use bucket::BucketStats;
+pub use error::HistError;
+pub use histogram::{Histogram, HistogramClass, RoundingMode};
+pub use two_dim::{grid_equi_depth, MatrixHistogram};

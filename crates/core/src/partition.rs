@@ -1,0 +1,221 @@
+//! Contiguous partitions of the frequency order.
+//!
+//! Serial histograms (Definition 2.1) are exactly those whose buckets are
+//! contiguous runs of the frequencies sorted by value. Algorithm V-OptHist
+//! (§4.1) "sorts B and then partitions it into β contiguous sets in all
+//! possible ways"; [`ContiguousPartitions`] enumerates those
+//! `C(M−1, β−1)` cut-point combinations.
+
+use crate::error::{HistError, Result};
+use crate::histogram::Histogram;
+
+/// A sorted view of a frequency slice: the permutation that sorts the
+/// value indices by ascending frequency, plus the sorted frequencies.
+///
+/// Construction algorithms work on the sorted order and then map bucket
+/// ids back to the original value indices through `order`.
+#[derive(Debug, Clone)]
+pub struct SortedFreqs {
+    /// `order[rank]` = original value index of the rank-th smallest
+    /// frequency. Ties broken by value index for determinism.
+    pub order: Vec<usize>,
+    /// Frequencies in ascending order (`sorted[rank] = freqs[order[rank]]`).
+    pub sorted: Vec<u64>,
+}
+
+impl SortedFreqs {
+    /// Sorts `freqs` ascending, remembering the original indices.
+    pub fn new(freqs: &[u64]) -> Self {
+        let mut order: Vec<usize> = (0..freqs.len()).collect();
+        order.sort_unstable_by_key(|&i| (freqs[i], i));
+        let sorted = order.iter().map(|&i| freqs[i]).collect();
+        Self { order, sorted }
+    }
+
+    /// Number of frequencies.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no frequencies.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Builds the [`Histogram`] whose bucket `k` holds the sorted ranks
+    /// `cuts[k-1]..cuts[k]` (with implicit `cuts[-1] = 0`,
+    /// `cuts[β-1] = M`). `cuts` are the *exclusive* ends of each bucket
+    /// except the last; they must be strictly increasing in `1..M`.
+    pub fn histogram_from_cuts(&self, freqs: &[u64], cuts: &[usize]) -> Result<Histogram> {
+        let m = self.len();
+        let num_buckets = cuts.len() + 1;
+        let mut assignment = vec![0u32; m];
+        let mut bucket = 0u32;
+        let mut next_cut = cuts.iter().copied().chain(std::iter::once(m));
+        let mut end = next_cut.next().unwrap_or(m);
+        for rank in 0..m {
+            while rank >= end {
+                bucket += 1;
+                end = next_cut.next().unwrap_or(m);
+            }
+            assignment[self.order[rank]] = bucket;
+        }
+        Histogram::from_assignment(freqs, assignment, num_buckets)
+    }
+}
+
+/// Enumerates all ways to cut `m` sorted frequencies into exactly
+/// `buckets` non-empty contiguous runs: all `C(m−1, buckets−1)` strictly
+/// increasing cut vectors in `1..m`.
+pub struct ContiguousPartitions {
+    m: usize,
+    cuts: Vec<usize>,
+    done: bool,
+}
+
+impl ContiguousPartitions {
+    /// Starts the enumeration. Errors if `buckets` is 0 or exceeds `m`.
+    pub fn new(m: usize, buckets: usize) -> Result<Self> {
+        if buckets == 0 || buckets > m {
+            return Err(HistError::InvalidBucketCount {
+                requested: buckets,
+                values: m,
+            });
+        }
+        Ok(Self {
+            m,
+            cuts: (1..buckets).collect(),
+            done: false,
+        })
+    }
+
+    /// Total number of partitions this enumeration will yield:
+    /// `C(m−1, buckets−1)`, saturating at `u128::MAX`.
+    pub fn count_partitions(m: usize, buckets: usize) -> u128 {
+        if buckets == 0 || buckets > m {
+            return 0;
+        }
+        let n = (m - 1) as u128;
+        let k = (buckets - 1).min(m - buckets) as u128;
+        let mut acc: u128 = 1;
+        for i in 0..k {
+            acc = match acc.checked_mul(n - i) {
+                Some(v) => v / (i + 1),
+                None => return u128::MAX,
+            };
+        }
+        acc
+    }
+}
+
+impl Iterator for ContiguousPartitions {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let current = self.cuts.clone();
+        // Advance to the next strictly increasing combination in 1..m.
+        let k = self.cuts.len();
+        if k == 0 {
+            self.done = true;
+            return Some(current);
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            // Max value for cut i is m - (k - i).
+            if self.cuts[i] < self.m - (k - i) {
+                self.cuts[i] += 1;
+                for j in i + 1..k {
+                    self.cuts[j] = self.cuts[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_freqs_orders_with_stable_ties() {
+        let s = SortedFreqs::new(&[5, 1, 5, 0]);
+        assert_eq!(s.sorted, vec![0, 1, 5, 5]);
+        assert_eq!(s.order, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn histogram_from_cuts_maps_back_to_value_indices() {
+        let freqs = [5u64, 1, 5, 0];
+        let s = SortedFreqs::new(&freqs);
+        // Buckets: ranks {0,1} (freqs 0,1) and ranks {2,3} (freqs 5,5).
+        let h = s.histogram_from_cuts(&freqs, &[2]).unwrap();
+        assert_eq!(h.bucket_of(3), 0); // freq 0
+        assert_eq!(h.bucket_of(1), 0); // freq 1
+        assert_eq!(h.bucket_of(0), 1); // freq 5
+        assert_eq!(h.bucket_of(2), 1); // freq 5
+        assert!(h.is_serial());
+    }
+
+    #[test]
+    fn enumeration_counts_binomials() {
+        let count = |m, b| ContiguousPartitions::new(m, b).unwrap().count();
+        assert_eq!(count(5, 1), 1);
+        assert_eq!(count(5, 2), 4); // C(4,1)
+        assert_eq!(count(5, 3), 6); // C(4,2)
+        assert_eq!(count(5, 5), 1);
+        assert_eq!(
+            ContiguousPartitions::count_partitions(5, 3),
+            6
+        );
+        assert_eq!(ContiguousPartitions::count_partitions(100, 5), {
+            // C(99,4)
+            99u128 * 98 * 97 * 96 / 24
+        });
+    }
+
+    #[test]
+    fn enumeration_yields_valid_strictly_increasing_cuts() {
+        for cuts in ContiguousPartitions::new(6, 3).unwrap() {
+            assert_eq!(cuts.len(), 2);
+            assert!(cuts[0] >= 1 && cuts[1] < 6 && cuts[0] < cuts[1]);
+        }
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_distinct() {
+        let all: Vec<_> = ContiguousPartitions::new(7, 4).unwrap().collect();
+        assert_eq!(all.len() as u128, ContiguousPartitions::count_partitions(7, 4));
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+
+    #[test]
+    fn invalid_bucket_counts_rejected() {
+        assert!(ContiguousPartitions::new(3, 0).is_err());
+        assert!(ContiguousPartitions::new(3, 4).is_err());
+        assert_eq!(ContiguousPartitions::count_partitions(3, 4), 0);
+    }
+
+    #[test]
+    fn every_partition_gives_a_serial_histogram() {
+        let freqs = [9u64, 2, 7, 2, 5, 1];
+        let s = SortedFreqs::new(&freqs);
+        for cuts in ContiguousPartitions::new(freqs.len(), 3).unwrap() {
+            let h = s.histogram_from_cuts(&freqs, &cuts).unwrap();
+            assert!(h.is_serial(), "cuts {cuts:?} produced non-serial histogram");
+            assert_eq!(h.num_buckets(), 3);
+        }
+    }
+}

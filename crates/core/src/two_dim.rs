@@ -1,0 +1,320 @@
+//! Histograms over two-dimensional frequency matrices (§2.3).
+//!
+//! For a relation appearing in the middle of a chain query, the histogram
+//! approximates its `M × N` frequency matrix: `D_j × D_{j+1}` is
+//! partitioned into buckets of *cells* and each cell is approximated by
+//! its bucket average (the paper's `WorksFor` example, Figure 2). Because
+//! buckets may be arbitrary subsets of cells, a 2-D histogram is exactly
+//! a 1-D [`Histogram`] over the matrix's row-major cells plus the shape —
+//! which is also why every construction algorithm (serial, end-biased,
+//! v-optimal…) applies unchanged: they depend only on the frequency
+//! *multiset*.
+
+use crate::error::{HistError, Result};
+use crate::histogram::{Histogram, RoundingMode};
+use freqdist::freq_matrix::{F64Matrix, FreqMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A histogram over the cells of an `M × N` frequency matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixHistogram {
+    rows: usize,
+    cols: usize,
+    inner: Histogram,
+}
+
+impl MatrixHistogram {
+    /// Wraps a cell histogram with its matrix shape. The histogram must
+    /// cover exactly `rows × cols` values.
+    pub fn new(rows: usize, cols: usize, inner: Histogram) -> Result<Self> {
+        if inner.num_values() != rows * cols {
+            return Err(HistError::ShapeMismatch {
+                histogram_cells: inner.num_values(),
+                matrix_cells: rows * cols,
+            });
+        }
+        Ok(Self { rows, cols, inner })
+    }
+
+    /// Builds a matrix histogram by running `construct` over the
+    /// matrix's row-major cells.
+    pub fn build<F>(matrix: &FreqMatrix, construct: F) -> Result<Self>
+    where
+        F: FnOnce(&[u64]) -> Result<Histogram>,
+    {
+        let inner = construct(matrix.cells())?;
+        Self::new(matrix.rows(), matrix.cols(), inner)
+    }
+
+    /// Rows of the approximated matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns of the approximated matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying cell histogram.
+    pub fn inner(&self) -> &Histogram {
+        &self.inner
+    }
+
+    /// The bucket of cell `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn bucket_of(&self, row: usize, col: usize) -> u32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.inner.bucket_of(row * self.cols + col)
+    }
+
+    /// The *histogram matrix* (§2.3): every cell replaced by its bucket
+    /// average under the chosen rounding mode.
+    pub fn histogram_matrix(&self, mode: RoundingMode) -> F64Matrix {
+        let cells = self.inner.approx_frequencies(mode);
+        F64Matrix::from_rows(self.rows, self.cols, cells)
+            .expect("histogram covers exactly rows*cols cells")
+    }
+
+    /// The histogram matrix with paper-style integer entries, as a
+    /// [`FreqMatrix`] (what a catalog would materialise).
+    pub fn histogram_matrix_rounded(&self) -> FreqMatrix {
+        let cells: Vec<u64> = self
+            .inner
+            .approx_frequencies(RoundingMode::PaperRounded)
+            .into_iter()
+            .map(|a| a as u64)
+            .collect();
+        FreqMatrix::from_rows(self.rows, self.cols, cells)
+            .expect("histogram covers exactly rows*cols cells")
+    }
+}
+
+/// Splits `weights` (in index order) into at most `parts` contiguous
+/// groups of roughly equal total weight, guaranteeing every group is
+/// non-empty. Returns the exclusive end index of each group.
+fn equi_depth_cuts(weights: &[u64], parts: usize) -> Vec<usize> {
+    let n = weights.len();
+    let parts = parts.clamp(1, n.max(1));
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut cuts = Vec::with_capacity(parts);
+    let mut cum: u128 = 0;
+    let mut group = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        cum += w as u128;
+        if group + 1 == parts {
+            break;
+        }
+        let boundary = (group as u128 + 1) * total / parts as u128;
+        let remaining = n - i - 1;
+        let groups_left = parts - group - 1;
+        if cum >= boundary || remaining == groups_left {
+            cuts.push(i + 1);
+            group += 1;
+        }
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// A grid equi-depth histogram in the style of Muralikrishna & DeWitt's
+/// multidimensional equi-depth histograms (cited by the paper as the
+/// state of the art for multi-attribute selections): rows are first cut
+/// into `row_parts` strips of roughly equal tuple mass in *value
+/// order*, then each strip's columns are cut into `col_parts` runs the
+/// same way. Buckets are the resulting rectangles.
+///
+/// This is the value-order baseline the 2-D serial histograms are
+/// compared against; like 1-D equi-depth it ignores frequency
+/// proximity, which is exactly what the paper's analysis faults.
+pub fn grid_equi_depth(
+    matrix: &FreqMatrix,
+    row_parts: usize,
+    col_parts: usize,
+) -> Result<MatrixHistogram> {
+    if matrix.is_empty() {
+        return Err(HistError::EmptyFrequencies);
+    }
+    if row_parts == 0 || col_parts == 0 {
+        return Err(HistError::InvalidBucketCount {
+            requested: row_parts.max(col_parts),
+            values: matrix.len(),
+        });
+    }
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let row_sums: Vec<u64> = (0..rows)
+        .map(|r| matrix.row(r).iter().sum())
+        .collect();
+    let row_cuts = equi_depth_cuts(&row_sums, row_parts);
+
+    let mut assignment = vec![0u32; rows * cols];
+    let mut bucket = 0u32;
+    let mut strip_start = 0usize;
+    for &strip_end in &row_cuts {
+        // Column mass within this strip.
+        let col_sums: Vec<u64> = (0..cols)
+            .map(|c| (strip_start..strip_end).map(|r| matrix.get(r, c)).sum())
+            .collect();
+        let col_cuts = equi_depth_cuts(&col_sums, col_parts);
+        let mut col_start = 0usize;
+        for &col_end in &col_cuts {
+            for r in strip_start..strip_end {
+                for c in col_start..col_end {
+                    assignment[r * cols + c] = bucket;
+                }
+            }
+            bucket += 1;
+            col_start = col_end;
+        }
+        strip_start = strip_end;
+    }
+    let inner = Histogram::from_assignment(matrix.cells(), assignment, bucket as usize)?;
+    MatrixHistogram::new(rows, cols, inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{trivial, v_opt_serial_dp};
+
+    /// A 4×5 frequency matrix in the spirit of the paper's `WorksFor`
+    /// example (Figure 2): departments × years.
+    fn works_for() -> FreqMatrix {
+        FreqMatrix::from_rows(
+            4,
+            5,
+            vec![
+                10, 10, 12, 30, 35, // toy
+                2, 2, 3, 3, 4, // jewelry
+                30, 32, 31, 30, 29, // shoe
+                5, 5, 40, 6, 5, // candy
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        let m = works_for();
+        let h = trivial(m.cells()).unwrap();
+        assert!(MatrixHistogram::new(4, 5, h.clone()).is_ok());
+        assert!(matches!(
+            MatrixHistogram::new(5, 5, h),
+            Err(HistError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_matrix_histogram_is_uniform() {
+        let m = works_for();
+        let mh = MatrixHistogram::build(&m, trivial).unwrap();
+        let approx = mh.histogram_matrix(RoundingMode::Exact);
+        let avg = m.total() as f64 / 20.0;
+        for &c in approx.cells() {
+            assert!((c - avg).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn serial_buckets_track_frequency_not_position() {
+        let m = works_for();
+        let mh =
+            MatrixHistogram::build(&m, |cells| Ok(v_opt_serial_dp(cells, 3)?.histogram))
+                .unwrap();
+        assert!(mh.inner().is_serial());
+        // Cells with near-identical frequencies share buckets regardless
+        // of where they sit in the matrix: 30 (toy, 1993) and 30
+        // (shoe, 1990) and 29/31/32 cluster together.
+        assert_eq!(mh.bucket_of(0, 3), mh.bucket_of(2, 0));
+        assert_eq!(mh.bucket_of(2, 4), mh.bucket_of(2, 1));
+    }
+
+    #[test]
+    fn rounded_matrix_is_integer_valued() {
+        let m = works_for();
+        let mh = MatrixHistogram::build(&m, trivial).unwrap();
+        let r = mh.histogram_matrix_rounded();
+        // avg = 324/20 = 16.2 → 16
+        assert!(r.cells().iter().all(|&c| c == 16));
+    }
+
+    #[test]
+    fn histogram_matrix_preserves_shape() {
+        let m = works_for();
+        let mh = MatrixHistogram::build(&m, trivial).unwrap();
+        let hm = mh.histogram_matrix(RoundingMode::Exact);
+        assert_eq!((hm.rows(), hm.cols()), (4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn bucket_of_out_of_bounds_panics() {
+        let m = works_for();
+        let mh = MatrixHistogram::build(&m, trivial).unwrap();
+        let _ = mh.bucket_of(4, 0);
+    }
+
+    #[test]
+    fn grid_equi_depth_partitions_into_rectangles() {
+        let m = works_for();
+        let g = grid_equi_depth(&m, 2, 2).unwrap();
+        assert_eq!(g.inner().num_buckets(), 4);
+        // Buckets are rectangles: cells in the same (strip, column run)
+        // share a bucket; check a row-contiguity witness.
+        let b00 = g.bucket_of(0, 0);
+        assert_eq!(g.bucket_of(0, 1), b00);
+        // Every cell is covered.
+        let covered: u64 = g.inner().buckets().iter().map(|b| b.count()).sum();
+        assert_eq!(covered, 20);
+    }
+
+    #[test]
+    fn grid_equi_depth_uniform_matrix_is_balanced() {
+        let m = FreqMatrix::from_rows(4, 4, vec![5; 16]).unwrap();
+        let g = grid_equi_depth(&m, 2, 2).unwrap();
+        for b in g.inner().buckets() {
+            assert_eq!(b.count(), 4);
+            assert_eq!(b.variance(), 0.0);
+        }
+    }
+
+    #[test]
+    fn grid_equi_depth_handles_skewed_mass() {
+        // All mass in one cell: every bucket must still be non-empty.
+        let mut m = FreqMatrix::zeros(3, 3);
+        *m.get_mut(0, 0) = 900;
+        let g = grid_equi_depth(&m, 3, 3).unwrap();
+        assert_eq!(g.inner().num_buckets(), 9);
+        let covered: u64 = g.inner().buckets().iter().map(|b| b.count()).sum();
+        assert_eq!(covered, 9);
+    }
+
+    #[test]
+    fn grid_equi_depth_validates() {
+        let m = works_for();
+        assert!(grid_equi_depth(&m, 0, 2).is_err());
+        assert!(grid_equi_depth(&m, 2, 0).is_err());
+        // More parts than rows/cols clamps rather than failing.
+        let g = grid_equi_depth(&m, 10, 10).unwrap();
+        assert_eq!(g.inner().num_buckets(), 4 * 5);
+    }
+
+    #[test]
+    fn serial_two_dim_beats_grid_equi_depth_on_self_join_error() {
+        // The 2-D extension of the paper's main finding: frequency-based
+        // bucketing beats value-order grids at equal bucket count.
+        let m = works_for();
+        let grid = grid_equi_depth(&m, 2, 3).unwrap(); // 6 buckets
+        let serial =
+            MatrixHistogram::build(&m, |c| Ok(v_opt_serial_dp(c, 6)?.histogram))
+                .unwrap();
+        assert!(
+            serial.inner().self_join_error() <= grid.inner().self_join_error(),
+            "serial {} vs grid {}",
+            serial.inner().self_join_error(),
+            grid.inner().self_join_error()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Abstract syntax of the supported query shape.
+//!
+//! `SELECT COUNT(*) FROM t₁, t₂, … WHERE <conjunction>` — the paper's
+//! tree function-free equality-join queries with the selection forms of
+//! §2.2/§6 (`=`, `<>`, `IN`, `BETWEEN`).
+
+/// A qualified column reference `table.column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// The relation name.
+    pub table: String,
+    /// The column name.
+    pub column: String,
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// An equality join predicate `t₁.a = t₂.b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPredicate {
+    /// Left side.
+    pub left: ColumnRef,
+    /// Right side.
+    pub right: ColumnRef,
+}
+
+/// A single-table filter predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterOp {
+    /// `col = v`.
+    Equals(u64),
+    /// `col <> v`.
+    NotEquals(u64),
+    /// `col IN (v₁, v₂, …)`.
+    In(Vec<u64>),
+    /// `col BETWEEN lo AND hi` (inclusive, on the stored values).
+    Between(u64, u64),
+}
+
+/// A filter applied to one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterPredicate {
+    /// The filtered column.
+    pub column: ColumnRef,
+    /// The predicate.
+    pub op: FilterOp,
+}
+
+impl FilterPredicate {
+    /// Whether a concrete value passes the filter.
+    pub fn matches(&self, value: u64) -> bool {
+        match &self.op {
+            FilterOp::Equals(v) => value == *v,
+            FilterOp::NotEquals(v) => value != *v,
+            FilterOp::In(vs) => vs.contains(&value),
+            FilterOp::Between(lo, hi) => (*lo..=*hi).contains(&value),
+        }
+    }
+}
+
+/// A parsed `SELECT COUNT(*)` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// Relations in the FROM clause, in order.
+    pub tables: Vec<String>,
+    /// Equality join predicates.
+    pub joins: Vec<JoinPredicate>,
+    /// Single-table filters.
+    pub filters: Vec<FilterPredicate>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matching() {
+        let col = ColumnRef {
+            table: "t".into(),
+            column: "a".into(),
+        };
+        let eq = FilterPredicate {
+            column: col.clone(),
+            op: FilterOp::Equals(5),
+        };
+        assert!(eq.matches(5));
+        assert!(!eq.matches(6));
+        let ne = FilterPredicate {
+            column: col.clone(),
+            op: FilterOp::NotEquals(5),
+        };
+        assert!(!ne.matches(5));
+        assert!(ne.matches(6));
+        let inn = FilterPredicate {
+            column: col.clone(),
+            op: FilterOp::In(vec![1, 3]),
+        };
+        assert!(inn.matches(3));
+        assert!(!inn.matches(2));
+        let bt = FilterPredicate {
+            column: col,
+            op: FilterOp::Between(2, 4),
+        };
+        assert!(bt.matches(2) && bt.matches(4));
+        assert!(!bt.matches(1) && !bt.matches(5));
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let c = ColumnRef {
+            table: "orders".into(),
+            column: "part".into(),
+        };
+        assert_eq!(c.to_string(), "orders.part");
+    }
+}

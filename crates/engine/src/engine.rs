@@ -1,0 +1,527 @@
+//! The engine: registration, ANALYZE, exact execution, and
+//! histogram-driven estimation.
+//!
+//! Estimation follows the classic System-R decomposition the paper's
+//! histograms plug into:
+//!
+//! ```text
+//! |Q| ≈ Π |Rᵢ| × Π sel(filter) × Π sel(join)
+//! sel(join R.a = S.b) = Σ_v âR(v)·âS(v) / (|R|·|S|)
+//! sel(filter)        = Σ_{v passes} â(v) / |R|
+//! ```
+//!
+//! with the per-value `â` read from the stored catalog histograms (§4
+//! layout) over the column's value dictionary, and independence assumed
+//! between predicates. Execution is exact: filters materialise, joins
+//! hash.
+
+use crate::ast::{ColumnRef, FilterPredicate, Query};
+use crate::error::{EngineError, Result};
+use crate::parser;
+use relstore::catalog::StatKey;
+use relstore::join::materialize_join;
+use relstore::stats::frequency_table;
+use relstore::{Catalog, Relation, Schema, StoredHistogram};
+use std::collections::{HashMap, HashSet};
+
+/// A registry of relations with statistics, able to execute and estimate
+/// `COUNT(*)` queries.
+#[derive(Debug, Default)]
+pub struct Engine {
+    relations: HashMap<String, Relation>,
+    catalog: Catalog,
+    /// Sorted distinct values per (relation, column), captured at
+    /// ANALYZE time (the "value dictionary" a real system keeps as
+    /// column metadata).
+    domains: HashMap<(String, String), Vec<u64>>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a relation under its own name.
+    pub fn register(&mut self, relation: Relation) {
+        self.relations.insert(relation.name().to_string(), relation);
+    }
+
+    /// The statistics catalog (for inspection).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// A registered relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))
+    }
+
+    /// ANALYZEs every column of every registered relation: collects the
+    /// value dictionary and stores a v-optimal end-biased histogram with
+    /// `buckets` buckets (the paper's practical recommendation).
+    pub fn analyze_all(&mut self, buckets: usize) -> Result<()> {
+        let names: Vec<String> = self.relations.keys().cloned().collect();
+        for name in names {
+            let relation = &self.relations[&name];
+            let columns: Vec<String> = relation
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
+            for column in columns {
+                let relation = &self.relations[&name];
+                let table = frequency_table(relation, &column)?;
+                self.domains
+                    .insert((name.clone(), column.clone()), table.values.clone());
+                if !table.freqs.is_empty() {
+                    self.catalog.analyze_end_biased(relation, &column, buckets)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a query against this engine's dialect (binding happens at
+    /// execution/estimation time).
+    pub fn parse(&self, text: &str) -> Result<Query> {
+        parser::parse(text)
+    }
+
+    /// Checks that every table/column the query names exists.
+    pub(crate) fn bind(&self, query: &Query) -> Result<()> {
+        if query.tables.is_empty() {
+            return Err(EngineError::InvalidJoinGraph("no tables".into()));
+        }
+        let in_from: HashSet<&String> = query.tables.iter().collect();
+        let check_col = |c: &ColumnRef| -> Result<()> {
+            if !in_from.contains(&c.table) {
+                return Err(EngineError::UnknownRelation(format!(
+                    "{} (not in FROM clause)",
+                    c.table
+                )));
+            }
+            let rel = self.relation(&c.table)?;
+            if rel.schema().index_of(&c.column).is_none() {
+                return Err(EngineError::UnknownColumn {
+                    relation: c.table.clone(),
+                    column: c.column.clone(),
+                });
+            }
+            Ok(())
+        };
+        for t in &query.tables {
+            self.relation(t)?;
+        }
+        for j in &query.joins {
+            check_col(&j.left)?;
+            check_col(&j.right)?;
+        }
+        for f in &query.filters {
+            check_col(&f.column)?;
+        }
+        Ok(())
+    }
+
+    /// Applies all of a table's filters, materialising the surviving
+    /// rows.
+    pub(crate) fn filtered_base(&self, table: &str, filters: &[&FilterPredicate]) -> Result<Relation> {
+        let rel = self.relation(table)?;
+        if filters.is_empty() {
+            return Ok(rel.clone());
+        }
+        let cols: Vec<(&[u64], &FilterPredicate)> = filters
+            .iter()
+            .map(|f| Ok((rel.column_by_name(&f.column.column)?, *f)))
+            .collect::<Result<_>>()?;
+        let keep: Vec<usize> = (0..rel.num_rows())
+            .filter(|&row| cols.iter().all(|(col, f)| f.matches(col[row])))
+            .collect();
+        let columns: Vec<Vec<u64>> = (0..rel.schema().arity())
+            .map(|c| keep.iter().map(|&r| rel.column(c)[r]).collect())
+            .collect();
+        Ok(Relation::from_columns(
+            rel.name().to_string(),
+            rel.schema().clone(),
+            columns,
+        )?)
+    }
+
+    /// Renames every column of `rel` to `table.column`, so multi-way
+    /// joins never collide on names.
+    pub(crate) fn qualified(rel: &Relation) -> Result<Relation> {
+        let names: Vec<String> = rel
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| format!("{}.{}", rel.name(), c.name))
+            .collect();
+        let columns: Vec<Vec<u64>> = (0..rel.schema().arity())
+            .map(|c| rel.column(c).to_vec())
+            .collect();
+        Ok(Relation::from_columns(
+            rel.name().to_string(),
+            Schema::new(names)?,
+            columns,
+        )?)
+    }
+
+    /// Keeps the rows of `rel` where two of its columns are equal (a
+    /// join predicate between two already-joined tables).
+    pub(crate) fn filter_equal_columns(rel: Relation, a: &str, b: &str) -> Result<Relation> {
+        let ca = rel.column_by_name(a)?.to_vec();
+        let cb = rel.column_by_name(b)?.to_vec();
+        let keep: Vec<usize> = (0..rel.num_rows()).filter(|&r| ca[r] == cb[r]).collect();
+        let columns: Vec<Vec<u64>> = (0..rel.schema().arity())
+            .map(|c| keep.iter().map(|&r| rel.column(c)[r]).collect())
+            .collect();
+        Ok(Relation::from_columns(
+            rel.name().to_string(),
+            rel.schema().clone(),
+            columns,
+        )?)
+    }
+
+    /// Executes the query exactly: filter, then hash-join along the join
+    /// graph (cross products are rejected). Returns the `COUNT(*)`.
+    pub fn execute(&self, query: &Query) -> Result<u128> {
+        self.bind(query)?;
+        // Filters grouped per table.
+        let mut per_table: HashMap<&str, Vec<&FilterPredicate>> = HashMap::new();
+        for f in &query.filters {
+            per_table.entry(f.column.table.as_str()).or_default().push(f);
+        }
+        // Filtered, qualified base relations.
+        let mut bases: HashMap<String, Relation> = HashMap::new();
+        for t in &query.tables {
+            let filtered =
+                self.filtered_base(t, per_table.get(t.as_str()).map_or(&[][..], Vec::as_slice))?;
+            bases.insert(t.clone(), Self::qualified(&filtered)?);
+        }
+
+        if query.tables.len() == 1 {
+            return Ok(bases[&query.tables[0]].num_rows() as u128);
+        }
+
+        // Greedy connected join order.
+        let mut joined: HashSet<String> = HashSet::new();
+        let mut pending: Vec<&crate::ast::JoinPredicate> = query.joins.iter().collect();
+        // Start from the first table that appears in some join predicate
+        // (binding guarantees tables exist; a table in no predicate means
+        // a cross product, rejected below).
+        let first = query
+            .tables
+            .iter()
+            .find(|t| {
+                query
+                    .joins
+                    .iter()
+                    .any(|j| &j.left.table == *t || &j.right.table == *t)
+            })
+            .ok_or_else(|| {
+                EngineError::InvalidJoinGraph("no join predicates between tables".into())
+            })?;
+        let mut acc = bases[first].clone();
+        joined.insert(first.clone());
+
+        while joined.len() < query.tables.len() || !pending.is_empty() {
+            // First apply any predicate whose both sides are joined
+            // (a residual equality inside acc).
+            if let Some(idx) = pending.iter().position(|j| {
+                joined.contains(&j.left.table) && joined.contains(&j.right.table)
+            }) {
+                let j = pending.remove(idx);
+                acc = Self::filter_equal_columns(
+                    acc,
+                    &j.left.to_string(),
+                    &j.right.to_string(),
+                )?;
+                continue;
+            }
+            // Otherwise join one new table connected to the current set.
+            let Some(idx) = pending.iter().position(|j| {
+                joined.contains(&j.left.table) != joined.contains(&j.right.table)
+            }) else {
+                return Err(EngineError::InvalidJoinGraph(format!(
+                    "tables {:?} are not connected to the rest of the query",
+                    query
+                        .tables
+                        .iter()
+                        .filter(|t| !joined.contains(*t))
+                        .collect::<Vec<_>>()
+                )));
+            };
+            let j = pending.remove(idx);
+            let (acc_side, new_side) = if joined.contains(&j.left.table) {
+                (&j.left, &j.right)
+            } else {
+                (&j.right, &j.left)
+            };
+            let new_rel = &bases[&new_side.table];
+            // The last join of the query only needs a count — skip the
+            // (potentially huge) materialisation.
+            if joined.len() + 1 == query.tables.len() && pending.is_empty() {
+                return Ok(relstore::join::hash_join_count(
+                    &acc,
+                    &acc_side.to_string(),
+                    new_rel,
+                    &new_side.to_string(),
+                )?);
+            }
+            acc = materialize_join(
+                &acc,
+                &acc_side.to_string(),
+                new_rel,
+                &new_side.to_string(),
+            )?;
+            joined.insert(new_side.table.clone());
+        }
+        Ok(acc.num_rows() as u128)
+    }
+
+    fn stored(&self, c: &ColumnRef) -> Result<StoredHistogram> {
+        self.catalog
+            .get(&StatKey::new(c.table.clone(), &[c.column.as_str()]))
+            .map_err(|_| EngineError::MissingStatistics(c.to_string()))
+    }
+
+    fn domain(&self, c: &ColumnRef) -> Result<&[u64]> {
+        self.domains
+            .get(&(c.table.clone(), c.column.clone()))
+            .map(Vec::as_slice)
+            .ok_or_else(|| EngineError::MissingStatistics(c.to_string()))
+    }
+
+    /// Estimated mass (tuple count) a filter keeps, from the stored
+    /// histogram over the column's value dictionary.
+    pub(crate) fn filter_mass(&self, f: &FilterPredicate) -> Result<f64> {
+        let hist = self.stored(&f.column)?;
+        let domain = self.domain(&f.column)?;
+        Ok(domain
+            .iter()
+            .filter(|&&v| f.matches(v))
+            .map(|&v| hist.approx_frequency(v) as f64)
+            .sum())
+    }
+
+    /// Estimates the query's `COUNT(*)` from catalog statistics alone —
+    /// no base data is touched.
+    pub fn estimate(&self, query: &Query) -> Result<f64> {
+        self.bind(query)?;
+        // Base cardinalities and filter selectivities.
+        let mut estimate = 1.0f64;
+        for t in &query.tables {
+            let rows = self.relation(t)?.num_rows() as f64;
+            estimate *= rows;
+            if rows == 0.0 {
+                return Ok(0.0);
+            }
+        }
+        for f in &query.filters {
+            let rows = self.relation(&f.column.table)?.num_rows() as f64;
+            let mass = self.filter_mass(f)?;
+            estimate *= (mass / rows).clamp(0.0, 1.0);
+        }
+        // Join selectivities.
+        for j in &query.joins {
+            estimate *= self.join_selectivity(j)?;
+        }
+        Ok(estimate)
+    }
+
+    /// Selectivity of one equality join predicate, from the stored
+    /// histograms: `Σ_v âL(v)·âR(v) / (|L|·|R|)` over the union of both
+    /// columns' value dictionaries.
+    pub(crate) fn join_selectivity(&self, j: &crate::ast::JoinPredicate) -> Result<f64> {
+        let lh = self.stored(&j.left)?;
+        let rh = self.stored(&j.right)?;
+        let mut domain: Vec<u64> = self
+            .domain(&j.left)?
+            .iter()
+            .chain(self.domain(&j.right)?)
+            .copied()
+            .collect();
+        domain.sort_unstable();
+        domain.dedup();
+        let overlap: f64 = query::estimate::estimate_two_way_join(&lh, &rh, &domain);
+        let l_rows = self.relation(&j.left.table)?.num_rows() as f64;
+        let r_rows = self.relation(&j.right.table)?.num_rows() as f64;
+        Ok((overlap / (l_rows * r_rows)).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdist::zipf::zipf_frequencies;
+    use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
+    use freqdist::{Arrangement, FreqMatrix};
+
+    fn engine_with_chain() -> Engine {
+        // r0(a), r1(a, b), r2(b): a classic chain.
+        let mut e = Engine::new();
+        let f0 = zipf_frequencies(200, 10, 1.0).unwrap();
+        e.register(relation_from_frequency_set("r0", "a", &f0, 1).unwrap());
+        let fm = zipf_frequencies(300, 100, 0.8).unwrap();
+        let arr = Arrangement::random_batch(100, 1, 7).remove(0);
+        let matrix = FreqMatrix::from_arrangement(&fm, 10, 10, &arr).unwrap();
+        let a_vals: Vec<u64> = (0..10).collect();
+        let b_vals: Vec<u64> = (0..10).collect();
+        e.register(
+            relation_from_matrix("r1", "a", "b", &a_vals, &b_vals, &matrix, 2).unwrap(),
+        );
+        let f2 = zipf_frequencies(150, 10, 0.5).unwrap();
+        e.register(relation_from_frequency_set("r2", "b", &f2, 3).unwrap());
+        e.analyze_all(5).unwrap();
+        e
+    }
+
+    #[test]
+    fn single_table_count() {
+        let e = engine_with_chain();
+        let q = e.parse("SELECT COUNT(*) FROM r0").unwrap();
+        assert_eq!(e.execute(&q).unwrap(), 200);
+        assert!((e.estimate(&q).unwrap() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filtered_count_matches_direct_computation() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0 WHERE r0.a IN (0, 1)")
+            .unwrap();
+        let exact = e.execute(&q).unwrap();
+        let direct = e
+            .relation("r0")
+            .unwrap()
+            .column_by_name("a")
+            .unwrap()
+            .iter()
+            .filter(|&&v| v == 0 || v == 1)
+            .count();
+        assert_eq!(exact, direct as u128);
+    }
+
+    #[test]
+    fn two_way_join_matches_hash_join() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a")
+            .unwrap();
+        let exact = e.execute(&q).unwrap();
+        let direct = relstore::join::hash_join_count(
+            e.relation("r0").unwrap(),
+            "a",
+            e.relation("r1").unwrap(),
+            "a",
+        )
+        .unwrap();
+        assert_eq!(exact, direct);
+    }
+
+    #[test]
+    fn chain_join_with_filter_executes() {
+        let e = engine_with_chain();
+        let q = e
+            .parse(
+                "SELECT COUNT(*) FROM r0, r1, r2 \
+                 WHERE r0.a = r1.a AND r1.b = r2.b AND r2.b <> 0",
+            )
+            .unwrap();
+        let exact = e.execute(&q).unwrap();
+        assert!(exact > 0);
+        // And the estimate lands within a factor of 3 on this mild skew.
+        let est = e.estimate(&q).unwrap();
+        let ratio = est / exact as f64;
+        assert!(
+            (0.33..=3.0).contains(&ratio),
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn estimates_track_exact_sizes_for_joins() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a")
+            .unwrap();
+        let exact = e.execute(&q).unwrap() as f64;
+        let est = e.estimate(&q).unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.5,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn cross_product_rejected() {
+        let e = engine_with_chain();
+        let q = e.parse("SELECT COUNT(*) FROM r0, r2").unwrap();
+        assert!(matches!(
+            e.execute(&q),
+            Err(EngineError::InvalidJoinGraph(_))
+        ));
+        // Disconnected subgraph too.
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1, r2 WHERE r0.a = r1.a")
+            .unwrap();
+        assert!(matches!(
+            e.execute(&q),
+            Err(EngineError::InvalidJoinGraph(_))
+        ));
+    }
+
+    #[test]
+    fn binding_errors() {
+        let e = engine_with_chain();
+        let q = e.parse("SELECT COUNT(*) FROM nope").unwrap();
+        assert!(matches!(e.execute(&q), Err(EngineError::UnknownRelation(_))));
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0 WHERE r0.zzz = 1")
+            .unwrap();
+        assert!(matches!(e.execute(&q), Err(EngineError::UnknownColumn { .. })));
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0 WHERE r2.b = 1")
+            .unwrap();
+        assert!(matches!(e.execute(&q), Err(EngineError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn estimate_requires_statistics() {
+        let mut e = Engine::new();
+        let f0 = zipf_frequencies(100, 5, 0.0).unwrap();
+        e.register(relation_from_frequency_set("t", "a", &f0, 1).unwrap());
+        let q = e.parse("SELECT COUNT(*) FROM t WHERE t.a = 1").unwrap();
+        assert!(matches!(
+            e.estimate(&q),
+            Err(EngineError::MissingStatistics(_))
+        ));
+        // Execution works without statistics.
+        assert_eq!(e.execute(&q).unwrap(), 20);
+    }
+
+    #[test]
+    fn self_join_predicate_within_one_table_pair() {
+        // Join predicate between two already-joined tables acts as a
+        // residual filter: r0.a = r1.a AND r0.a = r1.b.
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = r1.b")
+            .unwrap();
+        let exact = e.execute(&q).unwrap();
+        // Direct computation: Σ over rows of r1 with a == b of freq_r0(a).
+        let r0 = e.relation("r0").unwrap();
+        let r1 = e.relation("r1").unwrap();
+        let t0 = frequency_table(r0, "a").unwrap();
+        let mut expect: u128 = 0;
+        for row in r1.iter_rows() {
+            if row[0] == row[1] {
+                expect += t0.frequency_of(row[0]) as u128;
+            }
+        }
+        assert_eq!(exact, expect);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the query engine.
+
+use std::fmt;
+
+/// Errors from parsing, binding, executing, or estimating queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Tokenizer rejected the input.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Parser rejected the token stream.
+    Parse {
+        /// Token index where parsing failed.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A query references a relation the engine does not know.
+    UnknownRelation(String),
+    /// A query references a column a relation does not have.
+    UnknownColumn {
+        /// The relation.
+        relation: String,
+        /// The missing column.
+        column: String,
+    },
+    /// The join graph is disconnected (the engine refuses cross
+    /// products) or otherwise unusable.
+    InvalidJoinGraph(String),
+    /// Statistics are missing for a column the estimator needs
+    /// (run `analyze_all` first).
+    MissingStatistics(String),
+    /// A storage-layer error bubbled up.
+    Store(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            EngineError::Parse { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            EngineError::UnknownRelation(name) => write!(f, "unknown relation '{name}'"),
+            EngineError::UnknownColumn { relation, column } => {
+                write!(f, "relation '{relation}' has no column '{column}'")
+            }
+            EngineError::InvalidJoinGraph(msg) => write!(f, "invalid join graph: {msg}"),
+            EngineError::MissingStatistics(what) => {
+                write!(f, "no statistics for {what}; run analyze first")
+            }
+            EngineError::Store(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<relstore::StoreError> for EngineError {
+    fn from(e: relstore::StoreError) -> Self {
+        EngineError::Store(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

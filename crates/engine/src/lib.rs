@@ -1,0 +1,46 @@
+//! A `COUNT(*)` query engine over the relational substrate.
+//!
+//! The paper's histograms exist to serve a query optimizer; this crate
+//! closes the loop with the smallest engine that exercises them the way
+//! System R-style optimizers do:
+//!
+//! * [`parser`] — a SQL-ish front end for
+//!   `SELECT COUNT(*) FROM … WHERE …` with equality joins and
+//!   `=`, `<>`, `IN`, `BETWEEN` filters.
+//! * [`Engine`] — registers [`relstore::Relation`]s, ANALYZEs columns
+//!   into the statistics catalog, **executes** queries exactly (filter +
+//!   hash-join pipeline), and **estimates** their result sizes from the
+//!   stored histograms with the classic
+//!   `Π |σ(Rᵢ)| × Π sel(join)` decomposition.
+//!
+//! ```
+//! use engine::Engine;
+//! use freqdist::zipf::zipf_frequencies;
+//! use relstore::generate::relation_from_frequency_set;
+//!
+//! let mut engine = Engine::new();
+//! let freqs = zipf_frequencies(1000, 50, 1.0).unwrap();
+//! engine.register(relation_from_frequency_set("orders", "part", &freqs, 1).unwrap());
+//! engine.analyze_all(8).unwrap();
+//!
+//! let q = engine.parse("SELECT COUNT(*) FROM orders WHERE orders.part = 0").unwrap();
+//! let exact = engine.execute(&q).unwrap() as f64;
+//! let est = engine.estimate(&q).unwrap();
+//! assert!(exact > 0.0);
+//! assert!((est - exact).abs() / exact < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod engine;
+pub mod error;
+pub mod explain;
+pub mod parser;
+pub mod token;
+
+pub use ast::Query;
+pub use engine::Engine;
+pub use explain::{ExplainOutput, PlanStep};
+pub use error::{EngineError, Result};

@@ -1,0 +1,273 @@
+//! Recursive-descent parser for the SQL-ish query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT COUNT ( * ) FROM tables [ WHERE conjunction ]
+//! tables     := ident { , ident }
+//! conjunction:= predicate { AND predicate }
+//! predicate  := colref = colref            -- join
+//!             | colref = number            -- equality filter
+//!             | colref <> number           -- not-equals filter
+//!             | colref IN ( number { , number } )
+//!             | colref BETWEEN number AND number
+//! colref     := ident . ident
+//! ```
+
+use crate::ast::{ColumnRef, FilterOp, FilterPredicate, JoinPredicate, Query};
+use crate::error::{EngineError, Result};
+use crate::token::{tokenize, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> EngineError {
+        EngineError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(self.error(format!(
+                "expected {}, found {}",
+                want.describe(),
+                t.describe()
+            ))),
+            None => Err(self.error(format!("expected {}, found end of input", want.describe()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(word) => Ok(()),
+            Some(t) => Err(self.error(format!("expected {word}, found {}", t.describe()))),
+            None => Err(self.error(format!("expected {word}, found end of input"))),
+        }
+    }
+
+    fn at_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(word))
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => {
+                // Reserved words may not be used as names (keeps the
+                // grammar unambiguous).
+                const RESERVED: [&str; 8] =
+                    ["select", "count", "from", "where", "and", "in", "between", "not"];
+                if RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)) {
+                    Err(self.error(format!("'{s}' is a reserved word, expected {what}")))
+                } else {
+                    Ok(s)
+                }
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {}", t.describe()))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(n),
+            Some(t) => Err(self.error(format!("expected a number, found {}", t.describe()))),
+            None => Err(self.error("expected a number, found end of input")),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let table = self.identifier("a table name")?;
+        self.expect(&Token::Dot)?;
+        let column = self.identifier("a column name")?;
+        Ok(ColumnRef { table, column })
+    }
+
+    fn predicate(&mut self, query: &mut Query) -> Result<()> {
+        let left = self.column_ref()?;
+        match self.next() {
+            Some(Token::Eq) => match self.peek() {
+                Some(Token::Number(_)) => {
+                    let v = self.number()?;
+                    query.filters.push(FilterPredicate {
+                        column: left,
+                        op: FilterOp::Equals(v),
+                    });
+                    Ok(())
+                }
+                Some(Token::Ident(_)) => {
+                    let right = self.column_ref()?;
+                    query.joins.push(JoinPredicate { left, right });
+                    Ok(())
+                }
+                other => Err(self.error(format!(
+                    "expected a number or column after '=', found {}",
+                    other.map_or("end of input".into(), Token::describe)
+                ))),
+            },
+            Some(Token::Neq) => {
+                let v = self.number()?;
+                query.filters.push(FilterPredicate {
+                    column: left,
+                    op: FilterOp::NotEquals(v),
+                });
+                Ok(())
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("in") => {
+                self.expect(&Token::LParen)?;
+                let mut values = vec![self.number()?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.next();
+                    values.push(self.number()?);
+                }
+                self.expect(&Token::RParen)?;
+                query.filters.push(FilterPredicate {
+                    column: left,
+                    op: FilterOp::In(values),
+                });
+                Ok(())
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("between") => {
+                let lo = self.number()?;
+                self.expect_keyword("and")?;
+                let hi = self.number()?;
+                if lo > hi {
+                    return Err(self.error(format!("empty BETWEEN range {lo} AND {hi}")));
+                }
+                query.filters.push(FilterPredicate {
+                    column: left,
+                    op: FilterOp::Between(lo, hi),
+                });
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!(
+                "expected '=', '<>', IN, or BETWEEN, found {}",
+                t.describe()
+            ))),
+            None => Err(self.error("expected a predicate operator, found end of input")),
+        }
+    }
+}
+
+/// Parses one `SELECT COUNT(*)` query.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("select")?;
+    p.expect_keyword("count")?;
+    p.expect(&Token::LParen)?;
+    p.expect(&Token::Star)?;
+    p.expect(&Token::RParen)?;
+    p.expect_keyword("from")?;
+
+    let mut query = Query {
+        tables: vec![p.identifier("a table name")?],
+        joins: Vec::new(),
+        filters: Vec::new(),
+    };
+    while p.peek() == Some(&Token::Comma) {
+        p.next();
+        query.tables.push(p.identifier("a table name")?);
+    }
+
+    if p.at_keyword("where") {
+        p.next();
+        p.predicate(&mut query)?;
+        while p.at_keyword("and") {
+            p.next();
+            p.predicate(&mut query)?;
+        }
+    }
+    if let Some(t) = p.peek() {
+        return Err(p.error(format!("unexpected trailing {}", t.describe())));
+    }
+    // Duplicate table names would make column references ambiguous.
+    for (i, t) in query.tables.iter().enumerate() {
+        if query.tables[..i].contains(t) {
+            return Err(EngineError::Parse {
+                position: 0,
+                message: format!("table '{t}' listed twice (aliases are not supported)"),
+            });
+        }
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_table_count() {
+        let q = parse("SELECT COUNT(*) FROM orders").unwrap();
+        assert_eq!(q.tables, vec!["orders"]);
+        assert!(q.joins.is_empty());
+        assert!(q.filters.is_empty());
+    }
+
+    #[test]
+    fn parses_join_and_filters() {
+        let q = parse(
+            "select count(*) from r0, r1 \
+             where r0.a = r1.a and r0.b = 5 and r1.c <> 7 \
+             and r1.d in (1, 2, 3) and r0.e between 10 and 20",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["r0", "r1"]);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left.to_string(), "r0.a");
+        assert_eq!(q.joins[0].right.to_string(), "r1.a");
+        assert_eq!(q.filters.len(), 4);
+        assert_eq!(q.filters[0].op, FilterOp::Equals(5));
+        assert_eq!(q.filters[1].op, FilterOp::NotEquals(7));
+        assert_eq!(q.filters[2].op, FilterOp::In(vec![1, 2, 3]));
+        assert_eq!(q.filters[3].op, FilterOp::Between(10, 20));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("SeLeCt CoUnT(*) FrOm t WhErE t.a = 1").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT * FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE a = 1").is_err()); // unqualified
+        assert!(parse("SELECT COUNT(*) FROM t WHERE t.a = ").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE t.a BETWEEN 5 AND 2").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t extra").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t, t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM select").is_err());
+    }
+
+    #[test]
+    fn number_on_left_is_rejected() {
+        assert!(parse("SELECT COUNT(*) FROM t WHERE 5 = t.a").is_err());
+    }
+
+    #[test]
+    fn in_list_requires_parens_and_values() {
+        assert!(parse("SELECT COUNT(*) FROM t WHERE t.a IN ()").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE t.a IN (1,)").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE t.a IN (1, 2)").is_ok());
+    }
+}

@@ -1,0 +1,191 @@
+//! Tokenizer for the SQL-ish query language.
+
+use crate::error::{EngineError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+}
+
+impl Token {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("'{s}'"),
+            Token::Number(n) => format!("number {n}"),
+            Token::LParen => "'('".into(),
+            Token::RParen => "')'".into(),
+            Token::Comma => "','".into(),
+            Token::Dot => "'.'".into(),
+            Token::Star => "'*'".into(),
+            Token::Eq => "'='".into(),
+            Token::Neq => "'<>'".into(),
+        }
+    }
+}
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(EngineError::Lex {
+                        position: i,
+                        message: "expected '<>' (only equality predicates are supported)"
+                            .into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    return Err(EngineError::Lex {
+                        position: i,
+                        message: "expected '!='".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<u64>().map_err(|e| EngineError::Lex {
+                    position: start,
+                    message: format!("bad number '{text}': {e}"),
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(EngineError::Lex {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_query() {
+        let tokens =
+            tokenize("SELECT COUNT(*) FROM t WHERE t.a = 5 AND t.b <> 7").unwrap();
+        assert_eq!(tokens[0], Token::Ident("SELECT".into()));
+        assert_eq!(tokens[1], Token::Ident("COUNT".into()));
+        assert_eq!(tokens[2], Token::LParen);
+        assert_eq!(tokens[3], Token::Star);
+        assert_eq!(tokens[4], Token::RParen);
+        assert!(tokens.contains(&Token::Number(5)));
+        assert!(tokens.contains(&Token::Neq));
+    }
+
+    #[test]
+    fn neq_spellings() {
+        assert_eq!(tokenize("<>").unwrap(), vec![Token::Neq]);
+        assert_eq!(tokenize("!=").unwrap(), vec![Token::Neq]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(tokenize("a $ b"), Err(EngineError::Lex { .. })));
+        assert!(matches!(tokenize("a < b"), Err(EngineError::Lex { .. })));
+        assert!(matches!(tokenize("a ! b"), Err(EngineError::Lex { .. })));
+    }
+
+    #[test]
+    fn numbers_and_identifiers_split_correctly() {
+        let tokens = tokenize("t1.a=42").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Number(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn overlong_number_is_an_error() {
+        assert!(tokenize("99999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("   ").unwrap().is_empty());
+    }
+}

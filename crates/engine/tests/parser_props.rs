@@ -1,0 +1,132 @@
+//! Property tests for the SQL front end: the parser must be total (never
+//! panic) and round-trip structurally valid queries.
+
+use engine::ast::{FilterOp, Query};
+use engine::parser::parse;
+use proptest::prelude::*;
+
+/// Renders a structurally valid query back to SQL text.
+fn render(q: &Query) -> String {
+    let mut out = format!("SELECT COUNT(*) FROM {}", q.tables.join(", "));
+    let mut preds: Vec<String> = Vec::new();
+    for j in &q.joins {
+        preds.push(format!("{} = {}", j.left, j.right));
+    }
+    for f in &q.filters {
+        let p = match &f.op {
+            FilterOp::Equals(v) => format!("{} = {v}", f.column),
+            FilterOp::NotEquals(v) => format!("{} <> {v}", f.column),
+            FilterOp::In(vs) => format!(
+                "{} IN ({})",
+                f.column,
+                vs.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+            ),
+            FilterOp::Between(lo, hi) => format!("{} BETWEEN {lo} AND {hi}", f.column),
+        };
+        preds.push(p);
+    }
+    if !preds.is_empty() {
+        out.push_str(" WHERE ");
+        out.push_str(&preds.join(" AND "));
+    }
+    out
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| {
+        !["select", "count", "from", "where", "and", "in", "between", "not"]
+            .contains(&s.as_str())
+    })
+}
+
+fn column_ref(table: String) -> impl Strategy<Value = engine::ast::ColumnRef> {
+    ident().prop_map(move |column| engine::ast::ColumnRef {
+        table: table.clone(),
+        column,
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (prop::collection::vec(ident(), 1..4))
+        .prop_filter("distinct tables", |ts| {
+            let mut s = ts.clone();
+            s.sort();
+            s.dedup();
+            s.len() == ts.len()
+        })
+        .prop_flat_map(|tables| {
+            let n = tables.len();
+            let t0 = tables[0].clone();
+            let t_last = tables[n - 1].clone();
+            // Chain joins keep the query structurally valid.
+            let joins: Vec<_> = (0..n.saturating_sub(1))
+                .map(|i| {
+                    let l = tables[i].clone();
+                    let r = tables[i + 1].clone();
+                    (column_ref(l), column_ref(r)).prop_map(|(left, right)| {
+                        engine::ast::JoinPredicate { left, right }
+                    })
+                })
+                .collect();
+            let filters = prop::collection::vec(
+                prop_oneof![
+                    (column_ref(t0.clone()), any::<u32>())
+                        .prop_map(|(c, v)| engine::ast::FilterPredicate {
+                            column: c,
+                            op: FilterOp::Equals(v as u64),
+                        }),
+                    (column_ref(t_last.clone()), any::<u32>())
+                        .prop_map(|(c, v)| engine::ast::FilterPredicate {
+                            column: c,
+                            op: FilterOp::NotEquals(v as u64),
+                        }),
+                    (
+                        column_ref(t0.clone()),
+                        prop::collection::vec(any::<u32>(), 1..4)
+                    )
+                        .prop_map(|(c, vs)| engine::ast::FilterPredicate {
+                            column: c,
+                            op: FilterOp::In(vs.into_iter().map(u64::from).collect()),
+                        }),
+                    (column_ref(t_last.clone()), any::<u32>(), any::<u32>())
+                        .prop_map(|(c, a, b)| engine::ast::FilterPredicate {
+                            column: c,
+                            op: FilterOp::Between(
+                                a.min(b) as u64,
+                                a.max(b) as u64
+                            ),
+                        }),
+                ],
+                0..4,
+            );
+            (Just(tables), joins, filters).prop_map(|(tables, joins, filters)| Query {
+                tables,
+                joins,
+                filters,
+            })
+        })
+}
+
+proptest! {
+    /// Render → parse is the identity on structurally valid queries.
+    #[test]
+    fn round_trip(q in query_strategy()) {
+        let text = render(&q);
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("'{text}' failed: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// The parser is total: arbitrary ASCII input returns Ok or Err,
+    /// never panics.
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Prefixing valid queries with garbage always fails cleanly.
+    #[test]
+    fn garbage_prefix_fails(q in query_strategy(), junk in "[a-z]{1,5}") {
+        let text = format!("{junk} {}", render(&q));
+        prop_assert!(parse(&text).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! CLI that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! paper [--csv DIR] <experiment>...
+//! paper all
+//! ```
+//!
+//! Experiments: fig1, table1, fig3, fig4, fig5, fig6, fig7, sec31,
+//! real-life, ablations. With `--csv DIR`, each table is also written as
+//! `DIR/<id>.csv` (figure tables at full resolution).
+
+use experiments::{ablation, fig1, joins, plan_regret, real_life, report::Table, sec31, selfjoin, table1, tree_ext};
+use std::io::Write;
+
+const USAGE: &str = "usage: paper [--csv DIR] <experiment>...\n\
+experiments: all, fig1, table1, fig3, fig4, fig5, fig6, fig7, sec31, real-life, plan-regret, tree, ablations";
+
+fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig1",
+        "table1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "sec31",
+        "real-life",
+        "plan-regret",
+        "tree",
+        "ablations",
+    ]
+}
+
+/// Exhaustive-search cap for Table 1 (the 200-value β=5 column is
+/// C(199,4) ≈ 6.4e7 partitions — about a second in release mode).
+const TABLE1_CAP: u128 = 100_000_000;
+/// Largest domain the O(M²β) DP is timed at (~10¹² ops/row at 10⁶ values).
+const TABLE1_DP_MAX: usize = 10_000;
+
+fn run_experiment(id: &str) -> Result<Vec<(String, Table)>, String> {
+    let one = |t: Table| vec![(id.to_string(), t)];
+    Ok(match id {
+        "fig1" => one(fig1::run()),
+        "table1" => one(table1::run(TABLE1_CAP, TABLE1_DP_MAX)),
+        "fig3" => one(selfjoin::fig3()),
+        "fig4" => one(selfjoin::fig4()),
+        "fig5" => one(selfjoin::fig5()),
+        "fig6" => one(joins::fig6()),
+        "fig7" => one(joins::fig7()),
+        "sec31" => one(sec31::run()),
+        "real-life" => one(real_life::run()),
+        "plan-regret" => one(plan_regret::run()),
+        "tree" => one(tree_ext::run()),
+        "ablations" => ablation::run()
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("ablation{}", i + 1), t))
+            .collect(),
+        other => return Err(format!("unknown experiment '{other}'\n{USAGE}")),
+    })
+}
+
+fn csv_table_for(id: &str) -> Option<Table> {
+    // Figure CSVs are written at full resolution where that differs from
+    // the printed table.
+    match id {
+        "fig1" => Some(fig1::run_full()),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => match it.next() {
+                Some(dir) => csv_dir = Some(dir),
+                None => {
+                    eprintln!("--csv needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = all_ids().into_iter().map(String::from).collect();
+    }
+
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match run_experiment(id) {
+            Ok(tables) => {
+                for (name, table) in &tables {
+                    let _ = writeln!(out, "{}", table.render());
+                    if let Some(dir) = &csv_dir {
+                        let csv = csv_table_for(name)
+                            .map(|t| t.to_csv())
+                            .unwrap_or_else(|| table.to_csv());
+                        let path = format!("{dir}/{name}.csv");
+                        if let Err(e) = std::fs::write(&path, csv) {
+                            eprintln!("cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "[{id} completed in {:.2}s]\n",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 1: the Zipf frequency distribution of Eq. (1).
+//!
+//! T = 1000 tuples over M = 100 domain values; the x-axis is the rank of
+//! the attribute value by descending frequency. The paper's z values are
+//! OCR-garbled ("z = 0,0.02,..,0.1"); the curves it plots are visibly
+//! skewed, so we use z ∈ {0.0, 0.2, 0.5, 0.8, 1.0} (see DESIGN.md's
+//! substitution table).
+
+use crate::config::RELATION_SIZE;
+use crate::report::Table;
+use freqdist::zipf::zipf_frequencies;
+
+/// The z values plotted.
+pub const Z_VALUES: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+/// Domain size M of Figure 1.
+pub const DOMAIN: usize = 100;
+
+/// Ranks sampled for the printed table (the full 1..=100 series is in
+/// the CSV).
+const PRINTED_RANKS: [usize; 10] = [1, 2, 3, 5, 10, 20, 40, 60, 80, 100];
+
+/// Generates the Figure 1 series: one frequency column per z value.
+pub fn run() -> Table {
+    run_with(RELATION_SIZE, DOMAIN, &Z_VALUES, &PRINTED_RANKS)
+}
+
+/// Full-resolution version (every rank), used for CSV export.
+pub fn run_full() -> Table {
+    let ranks: Vec<usize> = (1..=DOMAIN).collect();
+    run_with(RELATION_SIZE, DOMAIN, &Z_VALUES, &ranks)
+}
+
+fn run_with(total: u64, domain: usize, zs: &[f64], ranks: &[usize]) -> Table {
+    let mut headers = vec!["rank".to_string()];
+    headers.extend(zs.iter().map(|z| format!("z={z}")));
+    let mut table = Table {
+        title: format!(
+            "Figure 1: Zipf frequencies (T={total}, M={domain}; frequency by rank)"
+        ),
+        headers,
+        rows: Vec::new(),
+    };
+    let series: Vec<Vec<u64>> = zs
+        .iter()
+        .map(|&z| {
+            zipf_frequencies(total, domain, z)
+                .expect("valid Zipf parameters")
+                .into_vec()
+        })
+        .collect();
+    for &rank in ranks {
+        let mut row = vec![rank.to_string()];
+        for s in &series {
+            row.push(s[rank - 1].to_string());
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = run();
+        assert_eq!(t.headers.len(), 1 + Z_VALUES.len());
+        assert_eq!(t.rows.len(), PRINTED_RANKS.len());
+    }
+
+    #[test]
+    fn uniform_column_is_flat_and_skewed_column_decays() {
+        let t = run_full();
+        // Column 1 is z=0: every entry 10.
+        assert!(t.rows.iter().all(|r| r[1] == "10"));
+        // Column 5 is z=1: rank 1 much larger than rank 100.
+        let first: u64 = t.rows[0][5].parse().unwrap();
+        let last: u64 = t.rows[99][5].parse().unwrap();
+        assert!(first > 10 * last.max(1));
+    }
+
+    #[test]
+    fn each_series_totals_relation_size() {
+        let t = run_full();
+        for col in 1..t.headers.len() {
+            let total: u64 = t.rows.iter().map(|r| r[col].parse::<u64>().unwrap()).sum();
+            assert_eq!(total, RELATION_SIZE, "column {}", t.headers[col]);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Figures 6–7: mean relative error `E[|S−S'|/S]` on arbitrary chain
+//! join queries (§5.2).
+//!
+//! Query shape: the two end relations have M = 10 one-dimensional
+//! matrices; the middle relations have 10 × 10 two-dimensional matrices
+//! (100 frequencies each). Each relation's frequency set is Zipf with a z
+//! drawn from the query class's pool:
+//!
+//! * low skew    — z ∈ {0.0, 0.1, 0.25, 0.5, 0.75}
+//! * mixed skew  — z ∈ all ten values
+//! * high skew   — z ∈ {1.0, 1.5, 2.0, 2.5, 3.0}
+//!
+//! Errors are averaged over [`crate::config::ARRANGEMENTS`] random
+//! arrangements per configuration and several z draws. The trivial
+//! histogram "falls way outside the charts" except at low skew, exactly
+//! as the paper notes — its column is included for completeness.
+
+use crate::config::{seed_for, ARRANGEMENTS, RELATION_SIZE};
+use crate::par::par_map;
+use crate::report::{fmt_f64, Table};
+use freqdist::zipf::zipf_frequencies;
+use query::metrics::mean_relative_error;
+use query::montecarlo::{sample_chain, HistogramSpec, RelationSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vopt_hist::RoundingMode;
+
+/// The ten z values of §5.2.
+pub const ALL_Z: [f64; 10] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0];
+
+/// A query class: which z values its relations draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkewClass {
+    /// z ∈ {0.0 … 0.75}.
+    Low,
+    /// z ∈ all values.
+    Mixed,
+    /// z ∈ {1.0 … 3.0}.
+    High,
+}
+
+impl SkewClass {
+    /// The z pool of the class.
+    pub fn pool(&self) -> &'static [f64] {
+        match self {
+            SkewClass::Low => &ALL_Z[..5],
+            SkewClass::Mixed => &ALL_Z[..],
+            SkewClass::High => &ALL_Z[5..],
+        }
+    }
+
+    /// Label used in table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SkewClass::Low => "low",
+            SkewClass::Mixed => "mixed",
+            SkewClass::High => "high",
+        }
+    }
+}
+
+/// Domain size of the end relations (vectors).
+pub const END_DOMAIN: usize = 10;
+/// Side of the middle relations' square matrices.
+pub const MID_SIDE: usize = 10;
+/// Independent z draws averaged per configuration.
+pub const Z_DRAWS: usize = 5;
+
+/// Builds the relation specs of one chain query with `joins` joins whose
+/// per-relation z values are drawn from `class`'s pool.
+fn build_relations(joins: usize, class: SkewClass, rng: &mut StdRng) -> Vec<RelationSpec> {
+    assert!(joins >= 1, "a chain query needs at least one join");
+    let num_relations = joins + 1;
+    let pool = class.pool();
+    let draw_z = |rng: &mut StdRng| pool[rng.random_range(0..pool.len())];
+    let mut rels = Vec::with_capacity(num_relations);
+    let z0 = draw_z(rng);
+    rels.push(RelationSpec::horizontal(
+        zipf_frequencies(RELATION_SIZE, END_DOMAIN, z0).expect("valid Zipf"),
+    ));
+    for _ in 1..num_relations - 1 {
+        let z = draw_z(rng);
+        rels.push(
+            RelationSpec::matrix(
+                zipf_frequencies(RELATION_SIZE, MID_SIDE * MID_SIDE, z)
+                    .expect("valid Zipf"),
+                MID_SIDE,
+                MID_SIDE,
+            )
+            .expect("square shape matches frequency count"),
+        );
+    }
+    let zn = draw_z(rng);
+    rels.push(RelationSpec::vertical(
+        zipf_frequencies(RELATION_SIZE, END_DOMAIN, zn).expect("valid Zipf"),
+    ));
+    rels
+}
+
+/// Mean relative error of one (class, joins, histogram, β) configuration,
+/// averaged over [`Z_DRAWS`] z draws × [`ARRANGEMENTS`] arrangements.
+pub fn mean_rel_error(
+    class: SkewClass,
+    joins: usize,
+    make_spec: impl Fn(usize) -> HistogramSpec,
+    beta: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for draw in 0..Z_DRAWS {
+        let rels = build_relations(joins, class, &mut rng);
+        let specs: Vec<HistogramSpec> = rels.iter().map(|_| make_spec(beta)).collect();
+        let samples = sample_chain(
+            &rels,
+            &specs,
+            ARRANGEMENTS,
+            seed ^ (draw as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            RoundingMode::Exact,
+        )
+        .expect("valid chain configuration");
+        total += mean_relative_error(&samples);
+    }
+    total / Z_DRAWS as f64
+}
+
+/// Figure 6: error vs number of joins (β = 5), three skew classes,
+/// trivial / end-biased / serial histograms.
+pub fn fig6() -> Table {
+    let joins: Vec<usize> = (1..=6).collect();
+    let seed = seed_for("fig6");
+    let classes = [SkewClass::Low, SkewClass::Mixed, SkewClass::High];
+    let rows = par_map(joins.clone(), 8, |&n| {
+        let mut cells = Vec::new();
+        for class in classes {
+            for (name, make) in type_makers() {
+                let _ = name;
+                cells.push(mean_rel_error(class, n, make, 5, seed));
+            }
+        }
+        cells
+    });
+    let mut headers = vec!["joins".to_string()];
+    for class in classes {
+        for (name, _) in type_makers() {
+            headers.push(format!("{}:{}", class.label(), name));
+        }
+    }
+    let mut table = Table {
+        title: "Figure 6: E[|S-S'|/S] vs number of joins (buckets=5)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for (n, cells) in joins.iter().zip(rows) {
+        let mut row = vec![n.to_string()];
+        row.extend(cells.iter().map(|&v| fmt_f64(v)));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 7: error vs number of buckets at 5 joins, three skew classes.
+pub fn fig7() -> Table {
+    let betas: Vec<usize> = (1..=10).collect();
+    let seed = seed_for("fig7");
+    let classes = [SkewClass::Low, SkewClass::Mixed, SkewClass::High];
+    let rows = par_map(betas.clone(), 8, |&beta| {
+        let mut cells = Vec::new();
+        for class in classes {
+            for (name, make) in type_makers() {
+                let _ = name;
+                cells.push(mean_rel_error(class, 5, make, beta, seed));
+            }
+        }
+        cells
+    });
+    let mut headers = vec!["buckets".to_string()];
+    for class in classes {
+        for (name, _) in type_makers() {
+            headers.push(format!("{}:{}", class.label(), name));
+        }
+    }
+    let mut table = Table {
+        title: "Figure 7: E[|S-S'|/S] vs number of buckets (5 joins)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    for (beta, cells) in betas.iter().zip(rows) {
+        let mut row = vec![beta.to_string()];
+        row.extend(cells.iter().map(|&v| fmt_f64(v)));
+        table.push_row(row);
+    }
+    table
+}
+
+type Maker = fn(usize) -> HistogramSpec;
+
+/// The histogram families compared in §5.2 (trivial is included; the
+/// paper omits its off-chart curves).
+fn type_makers() -> [(&'static str, Maker); 3] {
+    [
+        ("trivial", (|_| HistogramSpec::Trivial) as Maker),
+        ("end-biased", (HistogramSpec::VOptEndBiased) as Maker),
+        ("serial", (HistogramSpec::VOptSerial) as Maker),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_pools() {
+        assert_eq!(SkewClass::Low.pool().len(), 5);
+        assert_eq!(SkewClass::High.pool().len(), 5);
+        assert_eq!(SkewClass::Mixed.pool().len(), 10);
+        assert!(SkewClass::Low.pool().iter().all(|&z| z <= 0.75));
+        assert!(SkewClass::High.pool().iter().all(|&z| z >= 1.0));
+    }
+
+    #[test]
+    fn chain_relations_have_paper_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let rels = build_relations(3, SkewClass::Mixed, &mut rng);
+        assert_eq!(rels.len(), 4);
+        assert_eq!((rels[0].rows, rels[0].cols), (1, 10));
+        assert_eq!((rels[1].rows, rels[1].cols), (10, 10));
+        assert_eq!((rels[2].rows, rels[2].cols), (10, 10));
+        assert_eq!((rels[3].rows, rels[3].cols), (10, 1));
+    }
+
+    #[test]
+    fn serial_not_worse_than_trivial_on_high_skew() {
+        let seed = seed_for("test-joins");
+        let serial = mean_rel_error(SkewClass::High, 2, HistogramSpec::VOptSerial, 5, seed);
+        let trivial =
+            mean_rel_error(SkewClass::High, 2, |_| HistogramSpec::Trivial, 5, seed);
+        assert!(
+            serial < trivial,
+            "serial {serial} should beat trivial {trivial} on high skew"
+        );
+    }
+
+    #[test]
+    fn errors_grow_with_joins_for_end_biased_high_skew() {
+        let seed = seed_for("test-joins-growth");
+        let e1 = mean_rel_error(SkewClass::High, 1, HistogramSpec::VOptEndBiased, 5, seed);
+        let e5 = mean_rel_error(SkewClass::High, 5, HistogramSpec::VOptEndBiased, 5, seed);
+        assert!(
+            e5 > e1,
+            "5-join error {e5} should exceed 1-join error {e1}"
+        );
+    }
+}

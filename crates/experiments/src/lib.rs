@@ -1,0 +1,33 @@
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation (§5), plus the §3.1 arrangement study and the
+//! ablations called out in DESIGN.md.
+//!
+//! Each module exposes a `run(...) -> Table`/`-> Vec<Table>` function
+//! returning printable results; the `paper` binary is the CLI entry
+//! point:
+//!
+//! ```text
+//! cargo run --release -p experiments --bin paper -- all
+//! cargo run --release -p experiments --bin paper -- fig3
+//! ```
+//!
+//! Everything is seeded and deterministic; EXPERIMENTS.md records the
+//! outputs against the paper's claims.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod config;
+pub mod fig1;
+pub mod joins;
+pub mod par;
+pub mod plan_regret;
+pub mod real_life;
+pub mod report;
+pub mod sec31;
+pub mod selfjoin;
+pub mod table1;
+pub mod tree_ext;
+
+pub use report::Table;

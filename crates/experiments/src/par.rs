@@ -1,0 +1,73 @@
+//! Minimal fork-join parallel map built on crossbeam's scoped threads.
+//!
+//! The figure sweeps are embarrassingly parallel across their x-axis
+//! points; this helper fans each point out to a scoped worker while
+//! preserving input order. Timing experiments (Table 1, ablations) stay
+//! sequential on purpose — wall-clock numbers should not fight for
+//! cores.
+
+/// Applies `f` to every item, in parallel, preserving order.
+///
+/// Spawns at most `max_threads` scoped workers (clamped to the item
+/// count). Panics in workers propagate.
+pub fn par_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = max_threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        for (item_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("every slot was filled by its chunk's worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(items.clone(), 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = par_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(Vec::<u64>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(vec![7], 16, |&x| x);
+        assert_eq!(out, vec![7]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Figures 3–5: self-join error `σ = sqrt(E[(S−S')²])` for the five
+//! histogram types (§5.1.1).
+//!
+//! * Figure 3 — σ as a function of the number of buckets
+//!   (M = 100, z = 1).
+//! * Figure 4 — σ as a function of the join domain size M
+//!   (β = 5, z = 1).
+//! * Figure 5 — σ as a function of the Zipf skew z (β = 5, M = 100).
+//!
+//! "To correctly model the equi-depth and equi-width histograms, we
+//! assume no correlation between the natural ordering of the domain
+//! values and the ordering of their frequencies": those two types are
+//! averaged over random arrangements; the frequency-based types are
+//! deterministic.
+
+use crate::config::{seed_for, ARRANGEMENTS, RELATION_SIZE};
+use crate::par::par_map;
+use crate::report::{fmt_f64, Table};
+use freqdist::zipf::zipf_frequencies;
+use freqdist::FrequencySet;
+use query::metrics::sigma;
+use query::montecarlo::{sample_self_join, HistogramSpec};
+use vopt_hist::RoundingMode;
+
+/// The five histogram types of §5.1, in the paper's reporting order.
+pub fn histogram_types(beta: usize) -> [HistogramSpec; 5] {
+    [
+        HistogramSpec::Trivial,
+        HistogramSpec::EquiWidth(beta),
+        HistogramSpec::EquiDepth(beta),
+        HistogramSpec::VOptEndBiased(beta),
+        HistogramSpec::VOptSerial(beta),
+    ]
+}
+
+/// σ of one histogram type on the self-join of `freqs`.
+pub fn sigma_for(freqs: &FrequencySet, spec: HistogramSpec, seed: u64) -> f64 {
+    let samples = sample_self_join(freqs, spec, ARRANGEMENTS, seed, RoundingMode::Exact)
+        .expect("valid self-join configuration");
+    sigma(&samples)
+}
+
+fn row_for(freqs: &FrequencySet, beta: usize, seed: u64) -> Vec<f64> {
+    histogram_types(beta)
+        .iter()
+        .map(|&spec| sigma_for(freqs, spec, seed))
+        .collect()
+}
+
+const TYPE_HEADERS: [&str; 5] =
+    ["trivial", "equi-width", "equi-depth", "end-biased", "serial"];
+
+/// Figure 3: σ vs β for β ∈ 1..=30, M = 100, z = 1.
+///
+/// The paper plots the optimal serial histogram only up to β = 5 because
+/// Algorithm V-OptHist is exponential; our DP computes the identical
+/// optimum for every β, so the full serial curve is shown (the β ≤ 5
+/// prefix is directly comparable with the paper's figure).
+pub fn fig3() -> Table {
+    let freqs = zipf_frequencies(RELATION_SIZE, 100, 1.0).expect("valid Zipf");
+    let betas: Vec<usize> = (1..=30).collect();
+    let seed = seed_for("fig3");
+    let rows = par_map(betas.clone(), 8, |&beta| row_for(&freqs, beta, seed));
+    let mut table = Table::new(
+        "Figure 3: self-join sigma vs number of buckets (M=100, z=1, T=1000)",
+        &[&["buckets"], &TYPE_HEADERS[..]].concat(),
+    );
+    for (beta, sigmas) in betas.iter().zip(rows) {
+        let mut row = vec![beta.to_string()];
+        row.extend(sigmas.iter().map(|&s| fmt_f64(s)));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 4: σ vs M for M ∈ {10, 25, …, 200}, β = 5, z = 1.
+pub fn fig4() -> Table {
+    let ms: Vec<usize> = vec![10, 25, 50, 75, 100, 125, 150, 175, 200];
+    let seed = seed_for("fig4");
+    let rows = par_map(ms.clone(), 8, |&m| {
+        let freqs = zipf_frequencies(RELATION_SIZE, m, 1.0).expect("valid Zipf");
+        row_for(&freqs, 5, seed)
+    });
+    let mut table = Table::new(
+        "Figure 4: self-join sigma vs join domain size (buckets=5, z=1, T=1000)",
+        &[&["M"], &TYPE_HEADERS[..]].concat(),
+    );
+    for (m, sigmas) in ms.iter().zip(rows) {
+        let mut row = vec![m.to_string()];
+        row.extend(sigmas.iter().map(|&s| fmt_f64(s)));
+        table.push_row(row);
+    }
+    table
+}
+
+/// Figure 5: σ vs z for z ∈ {0.0, 0.25, …, 4.5}, β = 5, M = 100.
+pub fn fig5() -> Table {
+    let zs: Vec<f64> = (0..=18).map(|i| i as f64 * 0.25).collect();
+    let seed = seed_for("fig5");
+    let rows = par_map(zs.clone(), 8, |&z| {
+        let freqs = zipf_frequencies(RELATION_SIZE, 100, z).expect("valid Zipf");
+        row_for(&freqs, 5, seed)
+    });
+    let mut table = Table::new(
+        "Figure 5: self-join sigma vs Zipf skew (buckets=5, M=100, T=1000)",
+        &[&["z"], &TYPE_HEADERS[..]].concat(),
+    );
+    for (z, sigmas) in zs.iter().zip(rows) {
+        let mut row = vec![format!("{z:.2}")];
+        row.extend(sigmas.iter().map(|&s| fmt_f64(s)));
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_serial_dominates_and_improves() {
+        let t = fig3();
+        assert_eq!(t.rows.len(), 30);
+        // serial (col 5) ≤ end-biased (col 4) at every β.
+        for row in &t.rows {
+            let serial: f64 = row[5].parse().unwrap();
+            let biased: f64 = row[4].parse().unwrap();
+            assert!(serial <= biased + 1e-6, "row {row:?}");
+        }
+        // Errors at β=30 are far below β=1 for the optimal classes.
+        let first: f64 = t.rows[0][5].parse().unwrap();
+        let last: f64 = t.rows[29][5].parse().unwrap();
+        assert!(last < first * 0.2);
+    }
+
+    #[test]
+    fn fig3_trivial_is_constant() {
+        let t = fig3();
+        let v0 = &t.rows[0][1];
+        assert!(t.rows.iter().all(|r| &r[1] == v0));
+    }
+
+    #[test]
+    fn fig5_shape_has_interior_maximum_for_frequency_based() {
+        let t = fig5();
+        // End-biased column: low at z=0, rises, then falls at high skew
+        // ("high skew is easy to handle because the choice of buckets is
+        // easy").
+        let col: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        let max = col.iter().cloned().fold(0.0f64, f64::max);
+        let max_idx = col.iter().position(|&v| v == max).unwrap();
+        assert!(max_idx > 0, "maximum at z=0");
+        assert!(max_idx < col.len() - 1, "maximum at z=4.5");
+        assert!(col[0] < max * 0.5);
+        assert!(*col.last().unwrap() < max * 0.5);
+    }
+}

@@ -1,0 +1,195 @@
+//! Arrangements of a frequency set over a join domain (§3.2).
+//!
+//! When only frequency *sets* are known, the paper defines optimality in
+//! expectation over all possible arrangements of each set's elements in
+//! the relation's frequency matrix. An [`Arrangement`] is the permutation
+//! that places frequency `indices[i]` into cell `i` (row-major).
+
+use crate::error::{FreqError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A permutation of `0..n` describing how a frequency set is laid out over
+/// the cells of a frequency matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrangement {
+    indices: Vec<usize>,
+}
+
+impl Arrangement {
+    /// The identity arrangement of length `n` (frequency `i` goes to cell
+    /// `i`).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            indices: (0..n).collect(),
+        }
+    }
+
+    /// Validates that `indices` is a permutation of `0..indices.len()`.
+    pub fn from_indices(indices: Vec<usize>) -> Result<Self> {
+        let n = indices.len();
+        let mut seen = vec![false; n];
+        for &i in &indices {
+            if i >= n || seen[i] {
+                return Err(FreqError::InvalidParameter(format!(
+                    "indices are not a permutation of 0..{n}"
+                )));
+            }
+            seen[i] = true;
+        }
+        Ok(Self { indices })
+    }
+
+    /// A uniformly random arrangement from a seeded RNG (reproducible).
+    pub fn random(n: usize, rng: &mut StdRng) -> Self {
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        Self { indices }
+    }
+
+    /// `count` independent random arrangements derived from `seed`.
+    pub fn random_batch(n: usize, count: usize, seed: u64) -> Vec<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| Self::random(n, &mut rng)).collect()
+    }
+
+    /// Length of the permutation.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The underlying permutation: cell `i` receives frequency
+    /// `indices()[i]`.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Applies the arrangement to a slice, producing the permuted copy.
+    pub fn apply<T: Copy>(&self, values: &[T]) -> Result<Vec<T>> {
+        if values.len() != self.indices.len() {
+            return Err(FreqError::ArrangementLength {
+                arrangement: self.indices.len(),
+                cells: values.len(),
+            });
+        }
+        Ok(self.indices.iter().map(|&i| values[i]).collect())
+    }
+}
+
+/// Iterates over *all* `n!` arrangements of length `n` in lexicographic
+/// order. Only sensible for small `n`; used by the §3.1 arrangement study
+/// which enumerates every relative arrangement of two frequency sets.
+pub struct AllArrangements {
+    next: Option<Vec<usize>>,
+}
+
+impl AllArrangements {
+    /// Starts the enumeration at the identity permutation.
+    pub fn new(n: usize) -> Self {
+        Self {
+            next: Some((0..n).collect()),
+        }
+    }
+}
+
+impl Iterator for AllArrangements {
+    type Item = Arrangement;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let current = self.next.take()?;
+        let result = Arrangement {
+            indices: current.clone(),
+        };
+        // Compute the lexicographic successor (standard next-permutation).
+        let mut p = current;
+        let n = p.len();
+        if n >= 2 {
+            let mut i = n - 1;
+            while i > 0 && p[i - 1] >= p[i] {
+                i -= 1;
+            }
+            if i > 0 {
+                let mut j = n - 1;
+                while p[j] <= p[i - 1] {
+                    j -= 1;
+                }
+                p.swap(i - 1, j);
+                p[i..].reverse();
+                self.next = Some(p);
+            }
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_in_place() {
+        let a = Arrangement::identity(4);
+        assert_eq!(a.apply(&[10, 20, 30, 40]).unwrap(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn from_indices_rejects_non_permutations() {
+        assert!(Arrangement::from_indices(vec![0, 0, 1]).is_err());
+        assert!(Arrangement::from_indices(vec![0, 3]).is_err());
+        assert!(Arrangement::from_indices(vec![2, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn apply_checks_length() {
+        let a = Arrangement::identity(3);
+        assert!(a.apply(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let batch1 = Arrangement::random_batch(10, 5, 42);
+        let batch2 = Arrangement::random_batch(10, 5, 42);
+        assert_eq!(batch1, batch2);
+        let batch3 = Arrangement::random_batch(10, 5, 43);
+        assert_ne!(batch1, batch3);
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Arrangement::random(20, &mut rng);
+        let mut sorted = a.indices().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_arrangements_counts_factorial() {
+        assert_eq!(AllArrangements::new(0).count(), 1);
+        assert_eq!(AllArrangements::new(1).count(), 1);
+        assert_eq!(AllArrangements::new(4).count(), 24);
+    }
+
+    #[test]
+    fn all_arrangements_are_distinct_permutations() {
+        let all: Vec<_> = AllArrangements::new(3).collect();
+        assert_eq!(all.len(), 6);
+        for a in &all {
+            let mut s = a.indices().to_vec();
+            s.sort_unstable();
+            assert_eq!(s, vec![0, 1, 2]);
+        }
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Chain products of frequency matrices (Theorem 2.1).
+//!
+//! The result size of a chain equality-join query
+//! `Q := (R₀.a₁ = R₁.a₁ and … and R_{N−1}.a_N = R_N.a_N)` equals the
+//! product `T₀ · T₁ · … · T_N` of the frequency matrices of its relations,
+//! where `T₀` is a horizontal vector and `T_N` a vertical vector.
+
+use crate::error::{FreqError, Result};
+use crate::freq_matrix::{F64Matrix, FreqMatrix, U128Matrix};
+
+fn validate_chain_shapes(shapes: &[(usize, usize)]) -> Result<()> {
+    if shapes.is_empty() {
+        return Err(FreqError::InvalidChain("empty chain".into()));
+    }
+    let first = shapes[0];
+    if first.0 != 1 {
+        return Err(FreqError::InvalidChain(format!(
+            "first matrix must be a horizontal vector (1 x M), got {} x {}",
+            first.0, first.1
+        )));
+    }
+    let last = shapes[shapes.len() - 1];
+    if last.1 != 1 {
+        return Err(FreqError::InvalidChain(format!(
+            "last matrix must be a vertical vector (N x 1), got {} x {}",
+            last.0, last.1
+        )));
+    }
+    for (pos, window) in shapes.windows(2).enumerate() {
+        if window[0].1 != window[1].0 {
+            return Err(FreqError::DimensionMismatch {
+                left_cols: window[0].1,
+                right_rows: window[1].0,
+                position: pos + 1,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact result size of the chain query described by `matrices`
+/// (Theorem 2.1), with overflow checking.
+///
+/// The chain must start with a `1 × M` vector and end with an `N × 1`
+/// vector; inner dimensions must agree.
+///
+/// ```
+/// use freqdist::{chain_product, FreqMatrix};
+/// // |R0 ⋈ R1| where both have frequencies (3, 4): 3·3 + 4·4 = 25.
+/// let s = chain_product(&[
+///     FreqMatrix::horizontal(vec![3, 4]),
+///     FreqMatrix::vertical(vec![3, 4]),
+/// ]).unwrap();
+/// assert_eq!(s, 25);
+/// ```
+pub fn chain_product(matrices: &[FreqMatrix]) -> Result<u128> {
+    let shapes: Vec<_> = matrices.iter().map(|m| (m.rows(), m.cols())).collect();
+    validate_chain_shapes(&shapes)?;
+    let mut acc = U128Matrix::from(&matrices[0]);
+    for m in &matrices[1..] {
+        acc = acc.mul_exact(&U128Matrix::from(m))?;
+    }
+    acc.scalar()
+        .ok_or_else(|| FreqError::InvalidChain("product did not reduce to a scalar".into()))
+}
+
+/// Approximate result size of a chain whose matrices hold real-valued
+/// (histogram-approximated) frequencies.
+pub fn chain_product_f64(matrices: &[F64Matrix]) -> Result<f64> {
+    let shapes: Vec<_> = matrices.iter().map(|m| (m.rows(), m.cols())).collect();
+    validate_chain_shapes(&shapes)?;
+    let mut acc = matrices[0].clone();
+    for m in &matrices[1..] {
+        acc = acc.mul(m)?;
+    }
+    acc.scalar()
+        .ok_or_else(|| FreqError::InvalidChain("product did not reduce to a scalar".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2.2 of the paper, with one consistent completion of the
+    /// partially printed matrix for R₁ (see DESIGN.md): the published
+    /// result size is S = 19,265.
+    fn example_2_2() -> Vec<FreqMatrix> {
+        let t0 = FreqMatrix::horizontal(vec![20, 15]);
+        let t1 = FreqMatrix::from_rows(2, 3, vec![25, 10, 12, 4, 12, 3]).unwrap();
+        let t2 = FreqMatrix::vertical(vec![21, 16, 5]);
+        vec![t0, t1, t2]
+    }
+
+    #[test]
+    fn example_2_2_result_size() {
+        assert_eq!(chain_product(&example_2_2()).unwrap(), 19_265);
+    }
+
+    #[test]
+    fn example_2_2_selection_variant() {
+        // Q := (R0.a1 = R1.a1 and (R1.a2 = u1 or R1.a2 = u3)): replace T2
+        // by the indicator vector (1 0 1)ᵀ.
+        let mats = example_2_2();
+        let sel = FreqMatrix::vertical(vec![1, 0, 1]);
+        let s = chain_product(&[mats[0].clone(), mats[1].clone(), sel]).unwrap();
+        // 20·25 + 20·12 + 15·4 + 15·3 = 500 + 240 + 60 + 45 = 845
+        assert_eq!(s, 845);
+    }
+
+    #[test]
+    fn two_relation_join() {
+        // Self-join expressed as a chain: [a b] · [a b]ᵀ = a² + b².
+        let h = FreqMatrix::horizontal(vec![3, 4]);
+        let v = FreqMatrix::vertical(vec![3, 4]);
+        assert_eq!(chain_product(&[h, v]).unwrap(), 25);
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(matches!(
+            chain_product(&[]),
+            Err(FreqError::InvalidChain(_))
+        ));
+    }
+
+    #[test]
+    fn non_vector_ends_rejected() {
+        let sq = FreqMatrix::from_rows(2, 2, vec![1, 2, 3, 4]).unwrap();
+        let v = FreqMatrix::vertical(vec![1, 1]);
+        assert!(chain_product(&[sq.clone(), v.clone()]).is_err());
+        let h = FreqMatrix::horizontal(vec![1, 1]);
+        assert!(chain_product(&[h, sq]).is_err());
+    }
+
+    #[test]
+    fn inner_dimension_mismatch_reports_position() {
+        let h = FreqMatrix::horizontal(vec![1, 1]);
+        let mid = FreqMatrix::from_rows(3, 2, vec![1; 6]).unwrap();
+        let v = FreqMatrix::vertical(vec![1, 1]);
+        match chain_product(&[h, mid, v]) {
+            Err(FreqError::DimensionMismatch { position, .. }) => assert_eq!(position, 1),
+            other => panic!("expected dimension mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f64_chain_matches_exact_on_integers() {
+        let mats = example_2_2();
+        let f64_mats: Vec<_> = mats.iter().map(|m| m.to_f64()).collect();
+        let exact = chain_product(&mats).unwrap() as f64;
+        let approx = chain_product_f64(&f64_mats).unwrap();
+        assert!((exact - approx).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singleton_chain_of_scalar_works() {
+        // A 1×1 "matrix" is simultaneously a valid horizontal and
+        // vertical vector; the product is its own entry.
+        let m = FreqMatrix::from_rows(1, 1, vec![42]).unwrap();
+        assert_eq!(chain_product(&[m]).unwrap(), 42);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by the frequency-distribution substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or combining frequency structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FreqError {
+    /// A matrix was built from a flat buffer whose length does not match
+    /// the requested `rows × cols` shape.
+    ShapeMismatch {
+        /// Rows requested.
+        rows: usize,
+        /// Columns requested.
+        cols: usize,
+        /// Length of the provided buffer.
+        len: usize,
+    },
+    /// Two matrices in a chain product have incompatible inner dimensions.
+    DimensionMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+        /// Zero-based index of the right operand within the chain.
+        position: usize,
+    },
+    /// A chain product was requested for an empty chain, or a chain whose
+    /// ends are not `1 × M` / `N × 1` vectors.
+    InvalidChain(String),
+    /// An exact (`u128`) computation overflowed.
+    Overflow(&'static str),
+    /// An arrangement's length does not match the structure it permutes.
+    ArrangementLength {
+        /// Length of the arrangement.
+        arrangement: usize,
+        /// Number of cells being permuted.
+        cells: usize,
+    },
+    /// A generator was asked for an impossible configuration
+    /// (e.g. zero domain values).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for FreqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreqError::ShapeMismatch { rows, cols, len } => write!(
+                f,
+                "cannot shape buffer of length {len} into a {rows}x{cols} matrix"
+            ),
+            FreqError::DimensionMismatch {
+                left_cols,
+                right_rows,
+                position,
+            } => write!(
+                f,
+                "chain product dimension mismatch at operand {position}: \
+                 left has {left_cols} columns but right has {right_rows} rows"
+            ),
+            FreqError::InvalidChain(msg) => write!(f, "invalid matrix chain: {msg}"),
+            FreqError::Overflow(what) => write!(f, "u128 overflow while computing {what}"),
+            FreqError::ArrangementLength { arrangement, cells } => write!(
+                f,
+                "arrangement of length {arrangement} cannot permute {cells} cells"
+            ),
+            FreqError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FreqError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FreqError>;

@@ -1,0 +1,443 @@
+//! Frequency matrices (§2.2).
+//!
+//! The frequency matrix `T_j` of relation `R_j` in a chain query is an
+//! `M_j × M_{j+1}` matrix whose entry `(k, l)` is the frequency of the
+//! attribute-value pair `<d_k, d_l>`. The two end relations of a chain are
+//! a horizontal (`1 × M`) and a vertical (`N × 1`) vector respectively.
+
+use crate::arrangement::Arrangement;
+use crate::error::{FreqError, Result};
+use crate::freq_set::FrequencySet;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major matrix of `u64` frequencies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreqMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl FreqMatrix {
+    /// Builds a matrix from a row-major buffer.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<u64>) -> Result<Self> {
+        if rows * cols != data.len() {
+            return Err(FreqError::ShapeMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// A `1 × M` horizontal vector (the first relation of a chain).
+    pub fn horizontal(data: Vec<u64>) -> Self {
+        let cols = data.len();
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
+    }
+
+    /// An `N × 1` vertical vector (the last relation of a chain).
+    pub fn vertical(data: Vec<u64>) -> Self {
+        let rows = data.len();
+        Self {
+            rows,
+            cols: 1,
+            data,
+        }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Arranges a frequency set into a matrix of the given shape according
+    /// to `arrangement`: cell `i` (row-major) receives frequency
+    /// `freqs[arrangement[i]]`. This is the paper's notion of an
+    /// *arrangement of the elements of `B_j` in the frequency matrix*.
+    pub fn from_arrangement(
+        freqs: &FrequencySet,
+        rows: usize,
+        cols: usize,
+        arrangement: &Arrangement,
+    ) -> Result<Self> {
+        if rows * cols != freqs.len() {
+            return Err(FreqError::ShapeMismatch {
+                rows,
+                cols,
+                len: freqs.len(),
+            });
+        }
+        if arrangement.len() != freqs.len() {
+            return Err(FreqError::ArrangementLength {
+                arrangement: arrangement.len(),
+                cells: freqs.len(),
+            });
+        }
+        let src = freqs.as_slice();
+        let data = arrangement.indices().iter().map(|&i| src[i]).collect();
+        Self::from_rows(rows, cols, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of cells (`rows × cols`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds, mirroring slice indexing.
+    pub fn get(&self, row: usize, col: usize) -> u64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable entry at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut u64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// The row-major cell buffer.
+    pub fn cells(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// The frequency set of this matrix: all cells, attachment forgotten.
+    pub fn frequency_set(&self) -> FrequencySet {
+        FrequencySet::new(self.data.clone())
+    }
+
+    /// Total tuple count of the relation this matrix describes.
+    pub fn total(&self) -> u128 {
+        self.data.iter().map(|&f| f as u128).sum()
+    }
+
+    /// The transpose (used e.g. to turn a selection row vector into the
+    /// vertical vector the chain product expects, Example 2.2).
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Exact matrix product with overflow checking.
+    pub fn mul_exact(&self, rhs: &Self) -> Result<U128Matrix> {
+        U128Matrix::from(self).mul_exact(&U128Matrix::from(rhs))
+    }
+
+    /// Converts to a real-valued matrix, e.g. before mixing with
+    /// histogram approximations.
+    pub fn to_f64(&self) -> F64Matrix {
+        F64Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v as f64).collect(),
+        }
+    }
+}
+
+/// A dense `u128` matrix used for exact chain products.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct U128Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u128>,
+}
+
+impl U128Matrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> u128 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// The single entry of a `1 × 1` matrix, if it is one.
+    pub fn scalar(&self) -> Option<u128> {
+        (self.rows == 1 && self.cols == 1).then(|| self.data[0])
+    }
+
+    /// Checked matrix multiplication.
+    pub fn mul_exact(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.rows {
+            return Err(FreqError::DimensionMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+                position: 0,
+            });
+        }
+        let mut out = vec![0u128; self.rows * rhs.cols];
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let b = rhs.data[k * rhs.cols + c];
+                    let prod = a
+                        .checked_mul(b)
+                        .ok_or(FreqError::Overflow("matrix product entry"))?;
+                    let cell = &mut out[r * rhs.cols + c];
+                    *cell = cell
+                        .checked_add(prod)
+                        .ok_or(FreqError::Overflow("matrix product accumulation"))?;
+                }
+            }
+        }
+        Ok(Self {
+            rows: self.rows,
+            cols: rhs.cols,
+            data: out,
+        })
+    }
+}
+
+impl From<&FreqMatrix> for U128Matrix {
+    fn from(m: &FreqMatrix) -> Self {
+        Self {
+            rows: m.rows,
+            cols: m.cols,
+            data: m.data.iter().map(|&v| v as u128).collect(),
+        }
+    }
+}
+
+/// A dense `f64` matrix used for histogram-approximated chain products.
+#[derive(Debug, Clone, PartialEq)]
+pub struct F64Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl F64Matrix {
+    /// Builds a matrix from a row-major buffer.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows * cols != data.len() {
+            return Err(FreqError::ShapeMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major cell buffer.
+    pub fn cells(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The single entry of a `1 × 1` matrix, if it is one.
+    pub fn scalar(&self) -> Option<f64> {
+        (self.rows == 1 && self.cols == 1).then(|| self.data[0])
+    }
+
+    /// Matrix multiplication in `f64`.
+    pub fn mul(&self, rhs: &Self) -> Result<Self> {
+        if self.cols != rhs.rows {
+            return Err(FreqError::DimensionMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+                position: 0,
+            });
+        }
+        let mut out = vec![0f64; self.rows * rhs.cols];
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[r * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[r * rhs.cols + c] += a * rhs.data[k * rhs.cols + c];
+                }
+            }
+        }
+        Ok(Self {
+            rows: self.rows,
+            cols: rhs.cols,
+            data: out,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        assert!(FreqMatrix::from_rows(2, 3, vec![0; 6]).is_ok());
+        assert!(matches!(
+            FreqMatrix::from_rows(2, 3, vec![0; 5]),
+            Err(FreqError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn vectors_have_expected_shape() {
+        let h = FreqMatrix::horizontal(vec![20, 15]);
+        assert_eq!((h.rows(), h.cols()), (1, 2));
+        let v = FreqMatrix::vertical(vec![21, 16, 5]);
+        assert_eq!((v.rows(), v.cols()), (3, 1));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut m = FreqMatrix::zeros(2, 2);
+        *m.get_mut(1, 0) = 7;
+        assert_eq!(m.get(1, 0), 7);
+        assert_eq!(m.row(1), &[7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let m = FreqMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = FreqMatrix::from_rows(2, 3, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        let t = m.transpose();
+        assert_eq!((t.rows(), t.cols()), (3, 2));
+        assert_eq!(t.get(0, 1), 4);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn product_small() {
+        // [1 2] * [[3],[4]] = [11]
+        let a = FreqMatrix::horizontal(vec![1, 2]);
+        let b = FreqMatrix::vertical(vec![3, 4]);
+        let p = a.mul_exact(&b).unwrap();
+        assert_eq!(p.scalar(), Some(11));
+    }
+
+    #[test]
+    fn product_dimension_mismatch() {
+        let a = FreqMatrix::horizontal(vec![1, 2]);
+        let b = FreqMatrix::vertical(vec![3, 4, 5]);
+        assert!(matches!(
+            a.mul_exact(&b),
+            Err(FreqError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn product_overflow_detected() {
+        let a = FreqMatrix::horizontal(vec![u64::MAX]);
+        let big = U128Matrix {
+            rows: 1,
+            cols: 1,
+            data: vec![u128::MAX],
+        };
+        let left = U128Matrix::from(&a);
+        assert!(matches!(
+            left.mul_exact(&big),
+            Err(FreqError::Overflow(_))
+        ));
+    }
+
+    #[test]
+    fn arrangement_placement() {
+        let fs = FrequencySet::new(vec![10, 20, 30, 40]);
+        let arr = Arrangement::from_indices(vec![3, 2, 1, 0]).unwrap();
+        let m = FreqMatrix::from_arrangement(&fs, 2, 2, &arr).unwrap();
+        assert_eq!(m.cells(), &[40, 30, 20, 10]);
+    }
+
+    #[test]
+    fn arrangement_shape_mismatch() {
+        let fs = FrequencySet::new(vec![1, 2, 3]);
+        let arr = Arrangement::identity(3);
+        assert!(FreqMatrix::from_arrangement(&fs, 2, 2, &arr).is_err());
+    }
+
+    #[test]
+    fn frequency_set_forgets_positions() {
+        let m = FreqMatrix::from_rows(2, 2, vec![5, 1, 1, 5]).unwrap();
+        assert_eq!(m.frequency_set().sorted_desc(), vec![5, 5, 1, 1]);
+        assert_eq!(m.total(), 12);
+    }
+
+    #[test]
+    fn f64_product_matches_exact_on_integers() {
+        let a = FreqMatrix::from_rows(2, 2, vec![1, 2, 3, 4]).unwrap();
+        let b = FreqMatrix::from_rows(2, 2, vec![5, 6, 7, 8]).unwrap();
+        let exact = a.mul_exact(&b).unwrap();
+        let approx = a.to_f64().mul(&b.to_f64()).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(exact.get(r, c) as f64, approx.cells()[r * 2 + c]);
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Frequency sets (§2.2).
+//!
+//! The *frequency set* of a relation collects all entries of its frequency
+//! matrix while ignoring which attribute value each frequency is attached
+//! to; it may contain duplicates. The paper's key practical result
+//! (Theorem 3.3) is that the v-optimal histogram of a relation can be
+//! identified from its frequency set alone.
+
+use crate::stats;
+use serde::{Deserialize, Serialize};
+
+/// A multiset of non-negative integer frequencies.
+///
+/// The internal order is whatever the caller supplied; use
+/// [`FrequencySet::sorted_desc`] / [`FrequencySet::sorted_asc`] for the
+/// canonical orders used by serial-histogram construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencySet {
+    freqs: Vec<u64>,
+}
+
+impl FrequencySet {
+    /// Wraps a vector of frequencies.
+    pub fn new(freqs: Vec<u64>) -> Self {
+        Self { freqs }
+    }
+
+    /// The frequencies in their stored order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.freqs
+    }
+
+    /// Number of frequencies, i.e. the number of distinct attribute
+    /// values `M` (the paper's domain size).
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True when the set holds no frequencies.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Total number of tuples `T = Σ tᵢ`.
+    pub fn total(&self) -> u128 {
+        self.freqs.iter().map(|&f| f as u128).sum()
+    }
+
+    /// Exact self-join result size `S = Σ tᵢ²` (Theorem 2.1 applied to a
+    /// relation joined with itself). Self-joins maximise the result size
+    /// among arrangements (§3.1), which is why the paper's v-optimality
+    /// reduces to self-join optimality.
+    pub fn self_join_size(&self) -> u128 {
+        self.freqs
+            .iter()
+            .map(|&f| (f as u128) * (f as u128))
+            .sum()
+    }
+
+    /// A copy of the frequencies sorted descending (the order used when
+    /// displaying Zipf ranks, Figure 1).
+    pub fn sorted_desc(&self) -> Vec<u64> {
+        let mut v = self.freqs.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// A copy of the frequencies sorted ascending (the order over which
+    /// serial histograms place contiguous buckets).
+    pub fn sorted_asc(&self) -> Vec<u64> {
+        let mut v = self.freqs.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mean frequency.
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.freqs)
+    }
+
+    /// Population variance of the frequencies.
+    pub fn variance(&self) -> f64 {
+        stats::population_variance(&self.freqs)
+    }
+
+    /// Maximum frequency (0 for an empty set).
+    pub fn max(&self) -> u64 {
+        self.freqs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum frequency (0 for an empty set).
+    pub fn min(&self) -> u64 {
+        self.freqs.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Consumes the set, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.freqs
+    }
+}
+
+impl From<Vec<u64>> for FrequencySet {
+    fn from(freqs: Vec<u64>) -> Self {
+        Self::new(freqs)
+    }
+}
+
+impl FromIterator<u64> for FrequencySet {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a FrequencySet {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.freqs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sizes() {
+        let fs = FrequencySet::new(vec![20, 15]);
+        assert_eq!(fs.total(), 35);
+        assert_eq!(fs.self_join_size(), 400 + 225);
+        assert_eq!(fs.len(), 2);
+        assert!(!fs.is_empty());
+    }
+
+    #[test]
+    fn empty_set() {
+        let fs = FrequencySet::new(vec![]);
+        assert_eq!(fs.total(), 0);
+        assert_eq!(fs.self_join_size(), 0);
+        assert_eq!(fs.max(), 0);
+        assert_eq!(fs.min(), 0);
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn sorted_orders() {
+        let fs = FrequencySet::new(vec![3, 1, 2]);
+        assert_eq!(fs.sorted_desc(), vec![3, 2, 1]);
+        assert_eq!(fs.sorted_asc(), vec![1, 2, 3]);
+        // Original order untouched.
+        assert_eq!(fs.as_slice(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn self_join_size_does_not_overflow_u64() {
+        let fs = FrequencySet::new(vec![u32::MAX as u64 + 7; 4]);
+        // Each square exceeds u64::MAX/4; u128 accumulation must hold.
+        let sq = (u32::MAX as u128 + 7) * (u32::MAX as u128 + 7);
+        assert_eq!(fs.self_join_size(), 4 * sq);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let fs: FrequencySet = (1..=5u64).collect();
+        assert_eq!(fs.len(), 5);
+        assert_eq!(fs.total(), 15);
+    }
+
+    #[test]
+    fn mean_and_variance_delegate() {
+        let fs = FrequencySet::new(vec![2, 4]);
+        assert_eq!(fs.mean(), 3.0);
+        assert!((fs.variance() - 1.0).abs() < 1e-12);
+    }
+}

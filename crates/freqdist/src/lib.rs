@@ -1,0 +1,47 @@
+//! Frequency distributions for query result size estimation.
+//!
+//! This crate is the data-model substrate for the reproduction of
+//! *Ioannidis & Poosala, "Balancing Histogram Optimality and Practicality
+//! for Query Result Size Estimation" (SIGMOD 1995)*. It provides:
+//!
+//! * [`FrequencySet`] — the multiset of value frequencies of a relation
+//!   attribute (§2.2 of the paper), ignoring which domain value each
+//!   frequency is attached to.
+//! * [`FreqMatrix`] — the frequency matrix `T_j` of a relation: an
+//!   `M × N` matrix whose entry `(k, l)` is the frequency of the pair
+//!   `<d_k, d_l>` in the two join attributes of the relation. Horizontal
+//!   (`1 × M`) and vertical (`N × 1`) vectors model the two end relations
+//!   of a chain query.
+//! * [`chain_product`] — Theorem 2.1: the result
+//!   size of a chain equality-join query equals the product of the
+//!   frequency matrices of its relations.
+//! * [`zipf::zipf_frequencies`] — the Zipf generator of Eq. (1), the
+//!   paper's canonical skewed distribution.
+//! * [`Arrangement`] — a permutation assigning the elements of a frequency
+//!   set to domain values; the paper's average-case analysis (§3.2) takes
+//!   expectations over all arrangements.
+//!
+//! Frequencies are `u64`; exact sizes are `u128` (overflow-checked);
+//! analysis math is `f64`. All random generation is seeded and
+//! reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrangement;
+pub mod chain;
+pub mod error;
+pub mod freq_matrix;
+pub mod freq_set;
+pub mod generators;
+pub mod majorization;
+pub mod stats;
+pub mod tensor;
+pub mod zipf;
+
+pub use arrangement::Arrangement;
+pub use chain::{chain_product, chain_product_f64};
+pub use error::{FreqError, Result};
+pub use freq_matrix::FreqMatrix;
+pub use freq_set::FrequencySet;
+pub use tensor::{FreqTensor, Tensor};

@@ -1,0 +1,133 @@
+//! Majorization — the mathematical machinery behind Theorem 3.1.
+//!
+//! The paper derives serial-histogram optimality "using results from the
+//! mathematical theory of majorization [Marshall & Olkin]". This module
+//! implements the pieces the derivation rests on:
+//!
+//! * the majorization partial order on frequency vectors
+//!   ([`majorizes`]);
+//! * the rearrangement inequality ([`rearrangement_max`] /
+//!   [`rearrangement_min`]): over all arrangements of two frequency
+//!   sets, the 2-way join size `Σ f₀(v)·f₁(v)` is maximised when both
+//!   are sorted the same way — which is why the *self-join* (identically
+//!   arranged by definition) realises the extremal case Theorem 3.1
+//!   covers and why Theorem 3.3 can reduce v-optimality to self-join
+//!   optimality.
+
+use crate::freq_set::FrequencySet;
+
+/// Whether `a` majorizes `b`: both sum to the same total and every
+/// prefix of `a`'s descending order dominates `b`'s.
+///
+/// Majorization captures "more skewed than": the Zipf family is totally
+/// ordered by it (higher `z` majorizes lower `z` at equal `T`, `M`).
+pub fn majorizes(a: &FrequencySet, b: &FrequencySet) -> bool {
+    if a.len() != b.len() || a.total() != b.total() {
+        return false;
+    }
+    let da = a.sorted_desc();
+    let db = b.sorted_desc();
+    let mut pa: u128 = 0;
+    let mut pb: u128 = 0;
+    for (&x, &y) in da.iter().zip(&db) {
+        pa += x as u128;
+        pb += y as u128;
+        if pa < pb {
+            return false;
+        }
+    }
+    true
+}
+
+/// The maximum of `Σ a(v)·b(v)` over all relative arrangements of the
+/// two frequency sets: both sorted the same way (rearrangement
+/// inequality). This is the extremal join size of §3.1.
+pub fn rearrangement_max(a: &FrequencySet, b: &FrequencySet) -> u128 {
+    let da = a.sorted_desc();
+    let db = b.sorted_desc();
+    da.iter()
+        .zip(&db)
+        .map(|(&x, &y)| (x as u128) * (y as u128))
+        .sum()
+}
+
+/// The minimum of `Σ a(v)·b(v)` over all relative arrangements: one
+/// sorted ascending against the other descending.
+pub fn rearrangement_min(a: &FrequencySet, b: &FrequencySet) -> u128 {
+    let da = a.sorted_desc();
+    let db = b.sorted_asc();
+    da.iter()
+        .zip(&db)
+        .map(|(&x, &y)| (x as u128) * (y as u128))
+        .sum()
+}
+
+/// The self-join size of a set equals its rearrangement maximum with
+/// itself — the identity at the heart of Theorem 3.3.
+pub fn self_join_is_rearrangement_max(a: &FrequencySet) -> bool {
+    a.self_join_size() == rearrangement_max(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrangement::AllArrangements;
+    use crate::zipf::zipf_frequencies;
+
+    #[test]
+    fn zipf_family_is_majorization_ordered() {
+        let low = zipf_frequencies(1000, 20, 0.5).unwrap();
+        let high = zipf_frequencies(1000, 20, 2.0).unwrap();
+        assert!(majorizes(&high, &low));
+        assert!(!majorizes(&low, &high));
+        // Reflexive.
+        assert!(majorizes(&low, &low));
+    }
+
+    #[test]
+    fn uniform_is_majorized_by_everything_of_equal_total() {
+        let uni = FrequencySet::new(vec![10; 10]);
+        let skewed = FrequencySet::new(vec![91, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(majorizes(&skewed, &uni));
+        assert!(!majorizes(&uni, &skewed));
+    }
+
+    #[test]
+    fn different_totals_are_incomparable() {
+        let a = FrequencySet::new(vec![5, 5]);
+        let b = FrequencySet::new(vec![5, 6]);
+        assert!(!majorizes(&a, &b));
+        assert!(!majorizes(&b, &a));
+    }
+
+    #[test]
+    fn rearrangement_bounds_are_tight_over_all_arrangements() {
+        let a = FrequencySet::new(vec![7, 1, 4, 2, 9]);
+        let b = FrequencySet::new(vec![3, 8, 1, 5, 2]);
+        let max = rearrangement_max(&a, &b);
+        let min = rearrangement_min(&a, &b);
+        let mut seen_max = 0u128;
+        let mut seen_min = u128::MAX;
+        for arr in AllArrangements::new(5) {
+            let bb = arr.apply(b.as_slice()).unwrap();
+            let s: u128 = a
+                .as_slice()
+                .iter()
+                .zip(&bb)
+                .map(|(&x, &y)| (x as u128) * (y as u128))
+                .sum();
+            seen_max = seen_max.max(s);
+            seen_min = seen_min.min(s);
+        }
+        assert_eq!(max, seen_max);
+        assert_eq!(min, seen_min);
+    }
+
+    #[test]
+    fn self_join_realises_the_maximum() {
+        for z in [0.0, 0.7, 1.5] {
+            let fs = zipf_frequencies(500, 15, z).unwrap();
+            assert!(self_join_is_rearrangement_max(&fs), "z={z}");
+        }
+    }
+}

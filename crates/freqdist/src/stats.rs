@@ -1,0 +1,140 @@
+//! Scalar statistics over frequency collections.
+//!
+//! These helpers back Proposition 3.1 of the paper (bucket variances) and
+//! the experimental error measures of §5 (standard deviation of the size
+//! error, mean relative error).
+
+/// Arithmetic mean of a slice of `u64` frequencies, as `f64`.
+///
+/// Returns `0.0` for an empty slice (an empty bucket contributes nothing).
+pub fn mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: u128 = values.iter().map(|&v| v as u128).sum();
+    sum as f64 / values.len() as f64
+}
+
+/// Population variance of a slice of `u64` frequencies.
+///
+/// The paper's error formula (3) uses the *population* variance `V_i` of
+/// the frequencies in each bucket (not the sample variance): the bucket is
+/// the whole population of frequencies it holds.
+pub fn population_variance(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let m = mean(values);
+    let sum_sq: f64 = values.iter().map(|&v| (v as f64) * (v as f64)).sum();
+    // E[X²] − E[X]²; clamp tiny negative round-off to zero.
+    (sum_sq / n - m * m).max(0.0)
+}
+
+/// Population standard deviation.
+pub fn population_stddev(values: &[u64]) -> f64 {
+    population_variance(values).sqrt()
+}
+
+/// Mean of a slice of `f64` samples (e.g. per-arrangement errors).
+pub fn mean_f64(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Root mean square of a slice of `f64` samples.
+///
+/// The experimental sections of the paper report
+/// `σ = sqrt(E[(S − S')²])`; given the per-arrangement differences this is
+/// exactly their root mean square.
+pub fn rms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    (sum_sq / values.len() as f64).sqrt()
+}
+
+/// Sum of squared deviations from the mean (`n · variance`).
+///
+/// This is the quantity minimised per bucket by v-optimal partitioning:
+/// the self-join error of a bucket equals its SSE (Proposition 3.1).
+pub fn sse(values: &[u64]) -> f64 {
+    population_variance(values) * values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[2, 4, 6]), 4.0);
+    }
+
+    #[test]
+    fn mean_handles_large_values_without_overflow() {
+        let big = u64::MAX;
+        let m = mean(&[big, big]);
+        assert!((m - big as f64).abs() < big as f64 * 1e-9);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(population_variance(&[5, 5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // values 1, 3 → mean 2, variance ((1)² + (1)²)/2 = 1
+        assert!((population_variance(&[1, 3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        // A case prone to catastrophic cancellation.
+        let vals = vec![1_000_000_007u64; 100];
+        assert!(population_variance(&vals) >= 0.0);
+    }
+
+    #[test]
+    fn stddev_is_sqrt_of_variance() {
+        let vals = [1u64, 2, 3, 4, 5];
+        assert!(
+            (population_stddev(&vals) - population_variance(&vals).sqrt()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn rms_simple() {
+        // rms of (3, -4) = sqrt((9 + 16)/2) = sqrt(12.5)
+        assert!((rms(&[3.0, -4.0]) - 12.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_empty_is_zero() {
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn sse_equals_n_times_variance() {
+        let vals = [1u64, 5, 9, 13];
+        let direct: f64 = {
+            let m = mean(&vals);
+            vals.iter().map(|&v| (v as f64 - m).powi(2)).sum()
+        };
+        assert!((sse(&vals) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_f64_simple() {
+        assert_eq!(mean_f64(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

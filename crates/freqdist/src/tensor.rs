@@ -1,0 +1,309 @@
+//! N-dimensional frequency tensors.
+//!
+//! §2.2 of the paper: "Generalizing the results presented in this paper
+//! to arbitrary tree queries is straightforward. The required
+//! mathematical machinery becomes hairier (tensors must be used) but its
+//! essence remains unchanged." This module supplies that machinery: a
+//! dense row-major [`Tensor`] over any numeric cell type, with the two
+//! contraction primitives tree-query evaluation needs —
+//! [`Tensor::scale_axis`] (multiply slices along one axis by a weight
+//! vector, i.e. absorb a neighbour's message) and [`Tensor::sum_to_axis`]
+//! (marginalise every other axis, i.e. emit a message).
+//!
+//! [`FreqTensor`] (`u64` cells) is the k-attribute generalisation of
+//! [`crate::FreqMatrix`]; exact arithmetic runs in `u128`, estimates in
+//! `f64`.
+
+use crate::error::{FreqError, Result};
+use crate::freq_set::FrequencySet;
+use serde::{Deserialize, Serialize};
+use std::ops::{AddAssign, Mul};
+
+/// Cell types tensors can hold: plain numeric semantics are enough.
+pub trait Cell:
+    Copy + Default + PartialEq + AddAssign + Mul<Output = Self> + std::fmt::Debug
+{
+}
+impl<T> Cell for T where
+    T: Copy + Default + PartialEq + AddAssign + Mul<Output = T> + std::fmt::Debug
+{
+}
+
+/// A dense row-major tensor of arbitrary rank.
+///
+/// Rank 1 is a vector, rank 2 a matrix; a relation with `k` join
+/// attributes in a tree query carries a rank-`k` frequency tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tensor<T> {
+    dims: Vec<usize>,
+    data: Vec<T>,
+}
+
+/// Frequency tensor with integer cells.
+pub type FreqTensor = Tensor<u64>;
+
+impl<T: Cell> Tensor<T> {
+    /// Builds a tensor from a row-major buffer (last axis fastest).
+    pub fn from_data(dims: Vec<usize>, data: Vec<T>) -> Result<Self> {
+        let expected: usize = dims.iter().product();
+        if dims.is_empty() || expected != data.len() {
+            return Err(FreqError::ShapeMismatch {
+                rows: dims.first().copied().unwrap_or(0),
+                cols: dims.iter().skip(1).product(),
+                len: data.len(),
+            });
+        }
+        Ok(Self { dims, data })
+    }
+
+    /// An all-default (zero) tensor.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self> {
+        let len: usize = dims.iter().product();
+        if dims.is_empty() {
+            return Err(FreqError::InvalidParameter(
+                "a tensor needs at least one axis".into(),
+            ));
+        }
+        Ok(Self {
+            dims,
+            data: vec![T::default(); len],
+        })
+    }
+
+    /// Axis lengths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Rank (number of axes).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no cells (some axis has length 0).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major cells (last axis fastest).
+    pub fn cells(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Linear offset of a multi-index.
+    fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len());
+        let mut off = 0usize;
+        for (i, (&ix, &d)) in index.iter().zip(&self.dims).enumerate() {
+            debug_assert!(ix < d, "index {ix} out of bounds for axis {i} (len {d})");
+            off = off * d + ix;
+        }
+        off
+    }
+
+    /// Cell at a multi-index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the index is out of bounds or has the
+    /// wrong arity.
+    pub fn get(&self, index: &[usize]) -> T {
+        self.data[self.offset(index)]
+    }
+
+    /// Mutable cell at a multi-index.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the index is out of bounds.
+    pub fn get_mut(&mut self, index: &[usize]) -> &mut T {
+        let off = self.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Stride of one step along `axis` and the length of the repeat
+    /// block that encloses it.
+    fn axis_geometry(&self, axis: usize) -> (usize, usize) {
+        let stride: usize = self.dims[axis + 1..].iter().product();
+        let block = stride * self.dims[axis];
+        (stride, block)
+    }
+
+    /// Multiplies every slice along `axis` by the matching weight:
+    /// `t[.., v, ..] *= weights[v]`. This is how a tree node absorbs a
+    /// neighbour's message on the shared join attribute.
+    pub fn scale_axis(&mut self, axis: usize, weights: &[T]) -> Result<()> {
+        if axis >= self.rank() {
+            return Err(FreqError::InvalidParameter(format!(
+                "axis {axis} out of range for rank {}",
+                self.rank()
+            )));
+        }
+        if weights.len() != self.dims[axis] {
+            return Err(FreqError::ShapeMismatch {
+                rows: self.dims[axis],
+                cols: 1,
+                len: weights.len(),
+            });
+        }
+        let (stride, block) = self.axis_geometry(axis);
+        for chunk in self.data.chunks_mut(block) {
+            for (v, &w) in weights.iter().enumerate() {
+                for cell in &mut chunk[v * stride..(v + 1) * stride] {
+                    *cell = *cell * w;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marginalises every axis except `axis`:
+    /// `out[v] = Σ_{other indices} t[.., v, ..]`. This is the message a
+    /// tree node emits towards the neighbour joined on `axis`.
+    pub fn sum_to_axis(&self, axis: usize) -> Result<Vec<T>> {
+        if axis >= self.rank() {
+            return Err(FreqError::InvalidParameter(format!(
+                "axis {axis} out of range for rank {}",
+                self.rank()
+            )));
+        }
+        let (stride, block) = self.axis_geometry(axis);
+        let mut out = vec![T::default(); self.dims[axis]];
+        for chunk in self.data.chunks(block) {
+            for (v, slot) in out.iter_mut().enumerate() {
+                for &cell in &chunk[v * stride..(v + 1) * stride] {
+                    *slot += cell;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all cells.
+    pub fn sum_all(&self) -> T {
+        let mut acc = T::default();
+        for &c in &self.data {
+            acc += c;
+        }
+        acc
+    }
+
+    /// Maps the cell type.
+    pub fn map<U: Cell>(&self, f: impl Fn(T) -> U) -> Tensor<U> {
+        Tensor {
+            dims: self.dims.clone(),
+            data: self.data.iter().map(|&c| f(c)).collect(),
+        }
+    }
+}
+
+impl FreqTensor {
+    /// The frequency set of the tensor (all cells, positions forgotten) —
+    /// exactly what histogram construction consumes, for any rank.
+    pub fn frequency_set(&self) -> FrequencySet {
+        FrequencySet::new(self.data.clone())
+    }
+
+    /// Total tuples of the relation this tensor describes.
+    pub fn total(&self) -> u128 {
+        self.data.iter().map(|&c| c as u128).sum()
+    }
+
+    /// Widens to `u128` cells for exact arithmetic.
+    pub fn to_u128(&self) -> Tensor<u128> {
+        self.map(|c| c as u128)
+    }
+
+    /// Converts to `f64` cells for estimation arithmetic.
+    pub fn to_f64(&self) -> Tensor<f64> {
+        self.map(|c| c as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> FreqTensor {
+        // 2 x 2 x 2, cells 1..=8 in row-major order.
+        Tensor::from_data(vec![2, 2, 2], (1..=8).collect()).unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert!(Tensor::<u64>::from_data(vec![2, 3], vec![0; 6]).is_ok());
+        assert!(Tensor::<u64>::from_data(vec![2, 3], vec![0; 5]).is_err());
+        assert!(Tensor::<u64>::from_data(vec![], vec![]).is_err());
+        assert!(Tensor::<u64>::zeros(vec![]).is_err());
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let t = cube();
+        assert_eq!(t.get(&[0, 0, 0]), 1);
+        assert_eq!(t.get(&[0, 0, 1]), 2);
+        assert_eq!(t.get(&[0, 1, 0]), 3);
+        assert_eq!(t.get(&[1, 0, 0]), 5);
+        assert_eq!(t.get(&[1, 1, 1]), 8);
+    }
+
+    #[test]
+    fn sum_all_and_total() {
+        let t = cube();
+        assert_eq!(t.sum_all(), 36);
+        assert_eq!(t.total(), 36);
+    }
+
+    #[test]
+    fn sum_to_axis_marginalises() {
+        let t = cube();
+        // Axis 0: [1+2+3+4, 5+6+7+8]
+        assert_eq!(t.sum_to_axis(0).unwrap(), vec![10, 26]);
+        // Axis 1: [1+2+5+6, 3+4+7+8]
+        assert_eq!(t.sum_to_axis(1).unwrap(), vec![14, 22]);
+        // Axis 2: [1+3+5+7, 2+4+6+8]
+        assert_eq!(t.sum_to_axis(2).unwrap(), vec![16, 20]);
+        assert!(t.sum_to_axis(3).is_err());
+    }
+
+    #[test]
+    fn scale_axis_multiplies_slices() {
+        let mut t = cube();
+        t.scale_axis(1, &[10, 1]).unwrap();
+        // Cells with middle index 0 scaled by 10.
+        assert_eq!(t.get(&[0, 0, 0]), 10);
+        assert_eq!(t.get(&[0, 1, 0]), 3);
+        assert_eq!(t.get(&[1, 0, 1]), 60);
+        assert!(t.scale_axis(0, &[1]).is_err());
+        assert!(t.scale_axis(9, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn scale_then_sum_is_weighted_marginal() {
+        let mut t = cube();
+        t.scale_axis(2, &[2, 3]).unwrap();
+        // Weighted marginal onto axis 0:
+        // [ (1*2+2*3)+(3*2+4*3), (5*2+6*3)+(7*2+8*3) ]
+        assert_eq!(t.sum_to_axis(0).unwrap(), vec![8 + 18, 28 + 38]);
+    }
+
+    #[test]
+    fn rank_one_tensor_behaves_like_vector() {
+        let t: FreqTensor = Tensor::from_data(vec![4], vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(t.sum_to_axis(0).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(t.sum_all(), 10);
+    }
+
+    #[test]
+    fn map_and_conversions() {
+        let t = cube();
+        let f = t.to_f64();
+        assert_eq!(f.get(&[1, 1, 1]), 8.0);
+        let u = t.to_u128();
+        assert_eq!(u.sum_all(), 36u128);
+        assert_eq!(t.frequency_set().sorted_desc()[0], 8);
+    }
+}

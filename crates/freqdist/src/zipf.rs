@@ -1,0 +1,169 @@
+//! The Zipf frequency generator of Eq. (1).
+//!
+//! For relation size `T`, domain size `M`, and skew `z ≥ 0`, Eq. (1) of
+//! the paper generates frequencies
+//!
+//! ```text
+//! tᵢ = T · (1/iᶻ) / Σ_{k=1..M} (1/kᶻ),    1 ≤ i ≤ M,
+//! ```
+//!
+//! where `i` ranks the attribute values by descending frequency. `z = 0`
+//! is the uniform distribution; the skew increases monotonically with `z`.
+
+use crate::error::{FreqError, Result};
+use crate::freq_set::FrequencySet;
+
+/// Real-valued Zipf frequencies, highest first (exactly Eq. (1), before
+/// any rounding).
+pub fn zipf_frequencies_f64(total: u64, domain: usize, z: f64) -> Result<Vec<f64>> {
+    if domain == 0 {
+        return Err(FreqError::InvalidParameter(
+            "Zipf domain size must be positive".into(),
+        ));
+    }
+    if z.is_nan() || z < 0.0 {
+        return Err(FreqError::InvalidParameter(format!(
+            "Zipf skew must be a non-negative number, got {z}"
+        )));
+    }
+    let weights: Vec<f64> = (1..=domain).map(|i| (i as f64).powf(-z)).collect();
+    let norm: f64 = weights.iter().sum();
+    Ok(weights
+        .into_iter()
+        .map(|w| total as f64 * w / norm)
+        .collect())
+}
+
+/// Integer Zipf frequencies, highest first, rounded so that the total is
+/// exactly `total` (largest-remainder rounding).
+///
+/// ```
+/// let fs = freqdist::zipf::zipf_frequencies(1000, 100, 1.0).unwrap();
+/// assert_eq!(fs.total(), 1000);
+/// assert_eq!(fs.len(), 100);
+/// assert!(fs.as_slice()[0] > 10 * fs.as_slice()[99].max(1));
+/// ```
+///
+/// Databases store integer frequencies; naive per-entry rounding of
+/// Eq. (1) drifts the relation size by up to `M/2` tuples, which would
+/// perturb the experiments' fixed `T = 1000`. Largest-remainder rounding
+/// preserves the total exactly while staying within 1 of the real value
+/// for every entry.
+pub fn zipf_frequencies(total: u64, domain: usize, z: f64) -> Result<FrequencySet> {
+    let real = zipf_frequencies_f64(total, domain, z)?;
+    let mut floors: Vec<u64> = real.iter().map(|&r| r.floor() as u64).collect();
+    let assigned: u64 = floors.iter().sum();
+    let mut remainder = total.saturating_sub(assigned) as usize;
+
+    // Distribute the leftover tuples to the entries with the largest
+    // fractional parts; ties broken by rank (higher frequency first) so
+    // the result stays monotonically non-increasing.
+    let mut order: Vec<usize> = (0..domain).collect();
+    order.sort_by(|&a, &b| {
+        let fa = real[a] - real[a].floor();
+        let fb = real[b] - real[b].floor();
+        fb.partial_cmp(&fa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &idx in &order {
+        if remainder == 0 {
+            break;
+        }
+        floors[idx] += 1;
+        remainder -= 1;
+    }
+    // If remainder still > domain (total >> domain impossible here since
+    // fractional parts < 1 each and sum of fractions == total - assigned
+    // < domain), nothing left to do.
+    Ok(FrequencySet::new(floors))
+}
+
+/// The rank/frequency series plotted in Figure 1: pairs
+/// `(rank, frequency)` for ranks `1..=M`.
+pub fn zipf_rank_series(total: u64, domain: usize, z: f64) -> Result<Vec<(usize, u64)>> {
+    let fs = zipf_frequencies(total, domain, z)?;
+    Ok(fs
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (i + 1, f))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let fs = zipf_frequencies(1000, 100, 0.0).unwrap();
+        assert!(fs.as_slice().iter().all(|&f| f == 10));
+        assert_eq!(fs.total(), 1000);
+    }
+
+    #[test]
+    fn total_is_exact_for_many_configs() {
+        for &(t, m, z) in &[
+            (1000u64, 100usize, 1.0f64),
+            (1000, 100, 0.5),
+            (1000, 7, 2.0),
+            (12345, 13, 3.0),
+            (10, 100, 1.0), // more values than tuples: many zeros
+        ] {
+            let fs = zipf_frequencies(t, m, z).unwrap();
+            assert_eq!(fs.total(), t as u128, "T={t} M={m} z={z}");
+            assert_eq!(fs.len(), m);
+        }
+    }
+
+    #[test]
+    fn frequencies_are_non_increasing() {
+        let fs = zipf_frequencies(1000, 50, 1.5).unwrap();
+        let v = fs.as_slice();
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn skew_increases_top_frequency() {
+        let top = |z: f64| zipf_frequencies(1000, 100, z).unwrap().as_slice()[0];
+        assert!(top(0.0) < top(0.5));
+        assert!(top(0.5) < top(1.0));
+        assert!(top(1.0) < top(2.0));
+    }
+
+    #[test]
+    fn real_valued_matches_eq_1() {
+        // For M = 3, z = 1: weights 1, 1/2, 1/3; norm 11/6.
+        let r = zipf_frequencies_f64(11, 3, 1.0).unwrap();
+        assert!((r[0] - 6.0).abs() < 1e-12);
+        assert!((r[1] - 3.0).abs() < 1e-12);
+        assert!((r[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounding_stays_within_one_of_real() {
+        let real = zipf_frequencies_f64(1000, 37, 1.3).unwrap();
+        let rounded = zipf_frequencies(1000, 37, 1.3).unwrap();
+        for (r, &i) in real.iter().zip(rounded.as_slice()) {
+            assert!((r - i as f64).abs() <= 1.0, "entry drifted: real {r}, int {i}");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(zipf_frequencies(1000, 0, 1.0).is_err());
+        assert!(zipf_frequencies(1000, 10, f64::NAN).is_err());
+        assert!(zipf_frequencies(1000, 10, -1.0).is_err());
+    }
+
+    #[test]
+    fn rank_series_is_one_indexed() {
+        let series = zipf_rank_series(1000, 5, 1.0).unwrap();
+        assert_eq!(series.len(), 5);
+        assert_eq!(series[0].0, 1);
+        assert_eq!(series[4].0, 5);
+        let total: u64 = series.iter().map(|&(_, f)| f).sum();
+        assert_eq!(total, 1000);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the query layer.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A chain query was malformed (wrong vector ends, dimension
+    /// mismatches, empty chain).
+    InvalidChain(String),
+    /// Histogram statistics do not match the relation shape they are
+    /// attached to.
+    StatsShapeMismatch(String),
+    /// A frequency-structure error bubbled up.
+    Freq(String),
+    /// A histogram error bubbled up.
+    Hist(String),
+    /// A selection predicate was invalid for the domain it applies to.
+    InvalidSelection(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidChain(msg) => write!(f, "invalid chain query: {msg}"),
+            QueryError::StatsShapeMismatch(msg) => {
+                write!(f, "statistics do not match relation: {msg}")
+            }
+            QueryError::Freq(msg) => write!(f, "frequency error: {msg}"),
+            QueryError::Hist(msg) => write!(f, "histogram error: {msg}"),
+            QueryError::InvalidSelection(msg) => write!(f, "invalid selection: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<freqdist::FreqError> for QueryError {
+    fn from(e: freqdist::FreqError) -> Self {
+        QueryError::Freq(e.to_string())
+    }
+}
+
+impl From<vopt_hist::HistError> for QueryError {
+    fn from(e: vopt_hist::HistError) -> Self {
+        QueryError::Hist(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,34 @@
+//! Chain equality-join and selection queries: exact result sizes and
+//! histogram-based estimation (§2.2–§2.4 of the paper).
+//!
+//! * [`model::ChainQuery`] — the paper's canonical query shape
+//!   `Q := (R₀.a₁ = R₁.a₁ and … and R_{N−1}.a_N = R_N.a_N)`,
+//!   represented by the frequency matrices of its relations.
+//! * [`estimate`] — approximate result sizes when every relation is
+//!   replaced by its histogram matrix; also the catalog-driven 2-way
+//!   estimator an optimizer would actually call.
+//! * [`selection`] — equality, IN, NOT-EQUALS, and range selections
+//!   encoded as indicator vectors, as in §2.2 and §6.
+//! * [`montecarlo`] — expectation over arrangements (§3.2): the engine
+//!   behind the paper's v-optimality experiments and behind the
+//!   Theorem 3.2 check `E[S − S'] = 0`.
+//! * [`metrics`] — the error measures reported in §5:
+//!   `σ = sqrt(E[(S−S')²])` and the mean relative error `E[|S−S'|/S]`.
+//! * [`planner`] — a miniature cost-based join-order optimizer that
+//!   turns estimation error into measurable plan regret (the paper's
+//!   opening motivation).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod estimate;
+pub mod metrics;
+pub mod model;
+pub mod montecarlo;
+pub mod planner;
+pub mod selection;
+pub mod tree;
+
+pub use error::{QueryError, Result};
+pub use model::{ChainQuery, RelationStats};

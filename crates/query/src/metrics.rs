@@ -1,0 +1,134 @@
+//! The error measures of the paper's experimental study (§5).
+//!
+//! §5.1 reports `σ = sqrt(E[(S − S')²])`, "based on which v-optimality is
+//! essentially defined"; §5.2 reports the mean relative error
+//! `E[|S − S'| / S]`.
+
+/// One paired observation: the exact size `S` and the estimate `S'` for
+/// one arrangement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeSample {
+    /// Exact result size.
+    pub exact: f64,
+    /// Histogram estimate.
+    pub estimate: f64,
+}
+
+impl SizeSample {
+    /// Signed error `S − S'`.
+    pub fn error(&self) -> f64 {
+        self.exact - self.estimate
+    }
+
+    /// Relative error `|S − S'| / S`; zero-size queries contribute the
+    /// absolute error (a convention that keeps empty-result arrangements
+    /// from producing infinities while still penalising misestimates).
+    pub fn relative_error(&self) -> f64 {
+        if self.exact == 0.0 {
+            self.estimate.abs()
+        } else {
+            (self.exact - self.estimate).abs() / self.exact
+        }
+    }
+}
+
+/// `E[S − S']` over the samples (Theorem 3.2 predicts ≈ 0 for *any*
+/// histogram when the expectation ranges over all arrangements).
+pub fn mean_error(samples: &[SizeSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(SizeSample::error).sum::<f64>() / samples.len() as f64
+}
+
+/// `σ = sqrt(E[(S − S')²])` — the figure-3/4/5 y-axis.
+pub fn sigma(samples: &[SizeSample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let ms: f64 = samples.iter().map(|s| s.error() * s.error()).sum::<f64>()
+        / samples.len() as f64;
+    ms.sqrt()
+}
+
+/// `E[|S − S'| / S]` — the figure-6/7 y-axis.
+///
+/// The expectation is conditioned on `S > 0`: arrangements whose true
+/// result is empty have no well-defined relative error (the paper's
+/// metric is undefined there and its setup never surfaces the case; at
+/// high skews our integer Zipf matrices do produce empty joins).
+/// Returns 0 when every sample has `S = 0`.
+pub fn mean_relative_error(samples: &[SizeSample]) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    for s in samples {
+        if s.exact > 0.0 {
+            sum += s.relative_error();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<SizeSample> {
+        vec![
+            SizeSample { exact: 100.0, estimate: 90.0 },
+            SizeSample { exact: 100.0, estimate: 110.0 },
+        ]
+    }
+
+    #[test]
+    fn mean_error_cancels_symmetric_misses() {
+        assert_eq!(mean_error(&samples()), 0.0);
+    }
+
+    #[test]
+    fn sigma_does_not_cancel() {
+        assert!((sigma(&samples()) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_scales_by_exact() {
+        assert!((mean_relative_error(&samples()) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exact_uses_absolute() {
+        let s = SizeSample { exact: 0.0, estimate: 5.0 };
+        assert_eq!(s.relative_error(), 5.0);
+    }
+
+    #[test]
+    fn mean_relative_error_conditions_on_nonempty_results() {
+        let samples = vec![
+            SizeSample { exact: 100.0, estimate: 90.0 }, // rel err 0.1
+            SizeSample { exact: 0.0, estimate: 5000.0 }, // excluded
+        ];
+        assert!((mean_relative_error(&samples) - 0.1).abs() < 1e-12);
+        let all_zero = vec![SizeSample { exact: 0.0, estimate: 1.0 }];
+        assert_eq!(mean_relative_error(&all_zero), 0.0);
+    }
+
+    #[test]
+    fn empty_samples_are_zero() {
+        assert_eq!(mean_error(&[]), 0.0);
+        assert_eq!(sigma(&[]), 0.0);
+        assert_eq!(mean_relative_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_estimates_have_zero_everything() {
+        let s = vec![SizeSample { exact: 7.0, estimate: 7.0 }];
+        assert_eq!(mean_error(&s), 0.0);
+        assert_eq!(sigma(&s), 0.0);
+        assert_eq!(mean_relative_error(&s), 0.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Expectation over arrangements (§3.2): the experimental engine.
+//!
+//! When only frequency *sets* are known, the paper evaluates a histogram
+//! by averaging over all possible arrangements of each set's elements in
+//! the relation's frequency matrix. This module draws seeded random
+//! arrangements, materialises the exact and histogram-approximated
+//! matrices for each, and returns the paired size samples that
+//! [`crate::metrics`] reduces to `σ` and `E[|S−S'|/S]`.
+//!
+//! The key modelling point (§5.1): *frequency-based* histograms (trivial,
+//! serial, end-biased) depend only on the frequency multiset, so their
+//! approximation permutes along with the frequencies; *value-order-based*
+//! histograms (equi-width, equi-depth) bucket by domain position and must
+//! be rebuilt for every arrangement — that is how "no correlation between
+//! the natural ordering of the domain values and the ordering of their
+//! frequencies" is modelled.
+
+use crate::error::{QueryError, Result};
+use crate::metrics::SizeSample;
+use freqdist::freq_matrix::F64Matrix;
+use freqdist::{chain_product, chain_product_f64, Arrangement, FreqMatrix, FrequencySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vopt_hist::construct::{
+    equi_depth, equi_width, max_diff, trivial, v_opt_end_biased, v_opt_serial_dp,
+};
+use vopt_hist::{Histogram, RoundingMode};
+
+/// How to build the histogram of one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramSpec {
+    /// One bucket (uniform assumption).
+    Trivial,
+    /// Equi-width with `β` buckets (value-order based).
+    EquiWidth(usize),
+    /// Equi-depth with `β` buckets (value-order based).
+    EquiDepth(usize),
+    /// V-optimal serial with `β` buckets (frequency based; built with the
+    /// DP, which equals the exhaustive optimum).
+    VOptSerial(usize),
+    /// V-optimal end-biased with `β` buckets (frequency based).
+    VOptEndBiased(usize),
+    /// MaxDiff serial heuristic with `β` buckets (frequency based;
+    /// buckets cut at the largest sorted-frequency gaps).
+    MaxDiff(usize),
+}
+
+impl HistogramSpec {
+    /// Whether the histogram depends only on the frequency multiset (and
+    /// therefore permutes with the frequencies across arrangements).
+    pub fn is_frequency_based(&self) -> bool {
+        matches!(
+            self,
+            HistogramSpec::Trivial
+                | HistogramSpec::VOptSerial(_)
+                | HistogramSpec::VOptEndBiased(_)
+                | HistogramSpec::MaxDiff(_)
+        )
+    }
+
+    /// Buckets requested (1 for trivial).
+    pub fn buckets(&self) -> usize {
+        match *self {
+            HistogramSpec::Trivial => 1,
+            HistogramSpec::EquiWidth(b)
+            | HistogramSpec::EquiDepth(b)
+            | HistogramSpec::VOptSerial(b)
+            | HistogramSpec::VOptEndBiased(b)
+            | HistogramSpec::MaxDiff(b) => b,
+        }
+    }
+
+    /// Builds the histogram over a concrete frequency vector.
+    pub fn build(&self, freqs: &[u64]) -> Result<Histogram> {
+        let beta = self.buckets().min(freqs.len());
+        Ok(match *self {
+            HistogramSpec::Trivial => trivial(freqs)?,
+            HistogramSpec::EquiWidth(_) => equi_width(freqs, beta)?,
+            HistogramSpec::EquiDepth(_) => equi_depth(freqs, beta)?,
+            HistogramSpec::VOptSerial(_) => v_opt_serial_dp(freqs, beta)?.histogram,
+            HistogramSpec::VOptEndBiased(_) => v_opt_end_biased(freqs, beta)?.histogram,
+            HistogramSpec::MaxDiff(_) => max_diff(freqs, beta)?.histogram,
+        })
+    }
+
+    /// Short label used by experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HistogramSpec::Trivial => "trivial",
+            HistogramSpec::EquiWidth(_) => "equi-width",
+            HistogramSpec::EquiDepth(_) => "equi-depth",
+            HistogramSpec::VOptSerial(_) => "serial",
+            HistogramSpec::VOptEndBiased(_) => "end-biased",
+            HistogramSpec::MaxDiff(_) => "maxdiff",
+        }
+    }
+}
+
+/// One relation of a simulated chain: its frequency set and the shape of
+/// its frequency matrix.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// The frequency set `B_j`.
+    pub freqs: FrequencySet,
+    /// Rows of the frequency matrix (1 for the first relation).
+    pub rows: usize,
+    /// Columns of the frequency matrix (1 for the last relation).
+    pub cols: usize,
+}
+
+impl RelationSpec {
+    /// A horizontal end relation over `M` values.
+    pub fn horizontal(freqs: FrequencySet) -> Self {
+        let cols = freqs.len();
+        Self {
+            freqs,
+            rows: 1,
+            cols,
+        }
+    }
+
+    /// A vertical end relation over `M` values.
+    pub fn vertical(freqs: FrequencySet) -> Self {
+        let rows = freqs.len();
+        Self {
+            freqs,
+            rows,
+            cols: 1,
+        }
+    }
+
+    /// A middle relation with an `rows × cols` matrix.
+    pub fn matrix(freqs: FrequencySet, rows: usize, cols: usize) -> Result<Self> {
+        if rows * cols != freqs.len() {
+            return Err(QueryError::StatsShapeMismatch(format!(
+                "{} frequencies cannot fill a {rows}x{cols} matrix",
+                freqs.len()
+            )));
+        }
+        Ok(Self { freqs, rows, cols })
+    }
+}
+
+/// Draws `samples` arrangements of a chain query and returns the paired
+/// exact/estimated sizes.
+///
+/// `histograms[j]` builds relation `j`'s statistics. Frequency-based
+/// histograms are constructed once from the frequency set; value-order
+/// histograms are reconstructed for every arrangement.
+pub fn sample_chain(
+    relations: &[RelationSpec],
+    histograms: &[HistogramSpec],
+    samples: usize,
+    seed: u64,
+    mode: RoundingMode,
+) -> Result<Vec<SizeSample>> {
+    if relations.len() != histograms.len() {
+        return Err(QueryError::StatsShapeMismatch(format!(
+            "{} relations but {} histogram specs",
+            relations.len(),
+            histograms.len()
+        )));
+    }
+    if relations.is_empty() {
+        return Err(QueryError::InvalidChain("no relations".into()));
+    }
+
+    // Pre-build frequency-based approximations (they permute with the
+    // frequencies, so one vector per relation suffices).
+    let mut fixed_approx: Vec<Option<Vec<f64>>> = Vec::with_capacity(relations.len());
+    for (rel, spec) in relations.iter().zip(histograms) {
+        if spec.is_frequency_based() {
+            let h = spec.build(rel.freqs.as_slice())?;
+            fixed_approx.push(Some(h.approx_frequencies(mode)));
+        } else {
+            fixed_approx.push(None);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut exact_mats = Vec::with_capacity(relations.len());
+        let mut approx_mats = Vec::with_capacity(relations.len());
+        for (j, rel) in relations.iter().enumerate() {
+            let arr = Arrangement::random(rel.freqs.len(), &mut rng);
+            let exact =
+                FreqMatrix::from_arrangement(&rel.freqs, rel.rows, rel.cols, &arr)?;
+            let approx_cells: Vec<f64> = match &fixed_approx[j] {
+                Some(a) => arr.apply(a)?,
+                None => {
+                    // Value-order histogram: build on the arranged vector.
+                    let arranged = arr.apply(rel.freqs.as_slice())?;
+                    let h = histograms[j].build(&arranged)?;
+                    h.approx_frequencies(mode)
+                }
+            };
+            approx_mats.push(F64Matrix::from_rows(rel.rows, rel.cols, approx_cells)?);
+            exact_mats.push(exact);
+        }
+        let exact = chain_product(&exact_mats)? as f64;
+        let estimate = chain_product_f64(&approx_mats)?;
+        out.push(SizeSample { exact, estimate });
+    }
+    Ok(out)
+}
+
+/// Self-join sampling (Figures 3–5): the relation is joined with itself,
+/// so `S = Σ t²` is arrangement-independent; only value-order histograms
+/// vary across arrangements.
+pub fn sample_self_join(
+    freqs: &FrequencySet,
+    histogram: HistogramSpec,
+    samples: usize,
+    seed: u64,
+    mode: RoundingMode,
+) -> Result<Vec<SizeSample>> {
+    let exact = freqs.self_join_size() as f64;
+    if histogram.is_frequency_based() {
+        // Deterministic: one construction, identical samples.
+        let h = histogram.build(freqs.as_slice())?;
+        let estimate = h.approx_self_join_size(mode);
+        return Ok(vec![SizeSample { exact, estimate }; samples.max(1)]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let arr = Arrangement::random(freqs.len(), &mut rng);
+        let arranged = arr.apply(freqs.as_slice())?;
+        let h = histogram.build(&arranged)?;
+        let estimate = h
+            .approx_frequencies(mode)
+            .iter()
+            .map(|a| a * a)
+            .sum::<f64>();
+        out.push(SizeSample { exact, estimate });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mean_error, mean_relative_error, sigma};
+    use freqdist::zipf::zipf_frequencies;
+
+    fn zipf(m: usize, z: f64) -> FrequencySet {
+        zipf_frequencies(1000, m, z).unwrap()
+    }
+
+    #[test]
+    fn self_join_exact_histogram_has_zero_sigma() {
+        let freqs = zipf(10, 1.0);
+        let s = sample_self_join(
+            &freqs,
+            HistogramSpec::VOptSerial(10),
+            5,
+            1,
+            RoundingMode::Exact,
+        )
+        .unwrap();
+        assert!(sigma(&s) < 1e-9);
+    }
+
+    #[test]
+    fn self_join_histogram_ranking_matches_paper() {
+        // Paper §5.1: serial ≤ end-biased ≤ equi-depth ≤ equi-width ≈ trivial
+        // (average ranking; with a common seed and enough samples the
+        // ordering of the frequency-based classes is deterministic).
+        let freqs = zipf(100, 1.0);
+        let beta = 5;
+        let run = |spec| {
+            sigma(
+                &sample_self_join(&freqs, spec, 30, 99, RoundingMode::Exact).unwrap(),
+            )
+        };
+        let serial = run(HistogramSpec::VOptSerial(beta));
+        let biased = run(HistogramSpec::VOptEndBiased(beta));
+        let depth = run(HistogramSpec::EquiDepth(beta));
+        let width = run(HistogramSpec::EquiWidth(beta));
+        let triv = run(HistogramSpec::Trivial);
+        assert!(serial <= biased + 1e-9);
+        assert!(biased <= depth * 1.05, "biased {biased} vs depth {depth}");
+        assert!(depth <= width * 1.2, "depth {depth} vs width {width}");
+        assert!(width <= triv * 1.2, "width {width} vs trivial {triv}");
+    }
+
+    #[test]
+    fn chain_sampling_is_reproducible() {
+        let rels = vec![
+            RelationSpec::horizontal(zipf(5, 1.0)),
+            RelationSpec::vertical(zipf(5, 0.5)),
+        ];
+        let specs = vec![HistogramSpec::VOptEndBiased(2); 2];
+        let a = sample_chain(&rels, &specs, 10, 7, RoundingMode::Exact).unwrap();
+        let b = sample_chain(&rels, &specs, 10, 7, RoundingMode::Exact).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exact_histograms_give_zero_error_on_chains() {
+        let rels = vec![
+            RelationSpec::horizontal(zipf(4, 1.0)),
+            RelationSpec::matrix(zipf(16, 1.0), 4, 4).unwrap(),
+            RelationSpec::vertical(zipf(4, 0.0)),
+        ];
+        // β = M: every histogram is exact.
+        let specs = vec![
+            HistogramSpec::VOptSerial(4),
+            HistogramSpec::VOptSerial(16),
+            HistogramSpec::VOptSerial(4),
+        ];
+        let s = sample_chain(&rels, &specs, 8, 3, RoundingMode::Exact).unwrap();
+        assert!(mean_relative_error(&s) < 1e-9);
+    }
+
+    #[test]
+    fn theorem_3_2_mean_error_vanishes() {
+        // E[S − S'] ≈ 0 over arrangements for any histogram (here the
+        // trivial one, whose estimate is the same for every arrangement).
+        let rels = vec![
+            RelationSpec::horizontal(zipf(6, 1.5)),
+            RelationSpec::vertical(zipf(6, 1.0)),
+        ];
+        let specs = vec![HistogramSpec::Trivial; 2];
+        let s = sample_chain(&rels, &specs, 4000, 11, RoundingMode::Exact).unwrap();
+        let me = mean_error(&s);
+        let scale = s.iter().map(|x| x.exact).sum::<f64>() / s.len() as f64;
+        assert!(
+            me.abs() < 0.05 * scale,
+            "mean error {me} not small relative to mean size {scale}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let rels = vec![RelationSpec::horizontal(zipf(4, 1.0))];
+        assert!(sample_chain(&rels, &[], 1, 0, RoundingMode::Exact).is_err());
+        assert!(RelationSpec::matrix(zipf(5, 1.0), 2, 2).is_err());
+    }
+
+    #[test]
+    fn more_buckets_reduce_chain_error() {
+        let rels = vec![
+            RelationSpec::horizontal(zipf(8, 1.5)),
+            RelationSpec::matrix(zipf(64, 1.5), 8, 8).unwrap(),
+            RelationSpec::vertical(zipf(8, 1.5)),
+        ];
+        let err_at = |beta: usize| {
+            let specs = vec![
+                HistogramSpec::VOptEndBiased(beta),
+                HistogramSpec::VOptEndBiased(beta),
+                HistogramSpec::VOptEndBiased(beta),
+            ];
+            mean_relative_error(
+                &sample_chain(&rels, &specs, 30, 5, RoundingMode::Exact).unwrap(),
+            )
+        };
+        let e1 = err_at(1);
+        let e4 = err_at(4);
+        let e8 = err_at(8);
+        assert!(e4 <= e1 + 1e-9, "β=4 ({e4}) worse than β=1 ({e1})");
+        assert!(e8 <= e4 + 1e-9, "β=8 ({e8}) worse than β=4 ({e4})");
+    }
+}

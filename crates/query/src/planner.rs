@@ -1,0 +1,353 @@
+//! A miniature cost-based join-order optimizer.
+//!
+//! The paper's opening motivation is that optimizers pick access plans
+//! from *estimated* intermediate result sizes, and that estimation errors
+//! "may increase exponentially with the number of joins". This module
+//! closes that loop: it enumerates the join orders of a chain query
+//! (contiguous-segment dynamic programming, the classic matrix-chain
+//! shape), costs each plan by the sum of its intermediate result sizes,
+//! and lets callers compare the plan chosen under histogram estimates
+//! with the plan chosen under the true sizes.
+//!
+//! The result quantifies the paper's point directly: better histograms →
+//! better plans, measured as the true-cost ratio between the
+//! estimate-chosen plan and the truly optimal plan.
+
+use crate::error::{QueryError, Result};
+use crate::model::{ChainQuery, RelationStats};
+use freqdist::freq_matrix::F64Matrix;
+use freqdist::FreqMatrix;
+use vopt_hist::RoundingMode;
+
+/// A join tree over relations `lo..=hi` of a chain query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanNode {
+    /// A base relation (its index in the chain).
+    Leaf(usize),
+    /// A join of two adjacent segments.
+    Join(Box<PlanNode>, Box<PlanNode>),
+}
+
+impl PlanNode {
+    /// The inclusive relation-index range this subtree covers.
+    fn range(&self) -> (usize, usize) {
+        match self {
+            PlanNode::Leaf(i) => (*i, *i),
+            PlanNode::Join(l, r) => (l.range().0, r.range().1),
+        }
+    }
+
+    /// Renders the tree with parentheses, e.g. `((R0 R1) R2)`.
+    pub fn render(&self) -> String {
+        match self {
+            PlanNode::Leaf(i) => format!("R{i}"),
+            PlanNode::Join(l, r) => format!("({} {})", l.render(), r.render()),
+        }
+    }
+}
+
+/// Result cardinalities of every contiguous segment of a chain query:
+/// `size(i, j)` = |Rᵢ ⋈ … ⋈ Rⱼ|.
+#[derive(Debug, Clone)]
+pub struct SegmentSizes {
+    n: usize,
+    /// Row-major upper-triangular storage: `sizes[i * n + j]` for i ≤ j.
+    sizes: Vec<f64>,
+}
+
+impl SegmentSizes {
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.n
+    }
+
+    /// `|Rᵢ ⋈ … ⋈ Rⱼ|` (i ≤ j).
+    ///
+    /// # Panics
+    /// Panics if `i > j` or `j ≥ n`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i <= j && j < self.n, "invalid segment ({i}, {j})");
+        self.sizes[i * self.n + j]
+    }
+
+    fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> Result<f64>) -> Result<Self> {
+        let mut sizes = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                sizes[i * n + j] = f(i, j)?;
+            }
+        }
+        Ok(Self { n, sizes })
+    }
+}
+
+/// Sum of all entries of a matrix product over `mats[i..=j]` — the
+/// cardinality of the segment's join result (each entry counts the
+/// result tuples for one (left value, right value) pair).
+fn segment_cardinality_f64(mats: &[F64Matrix], i: usize, j: usize) -> Result<f64> {
+    let mut acc = mats[i].clone();
+    for m in &mats[i + 1..=j] {
+        acc = acc.mul(m)?;
+    }
+    Ok(acc.cells().iter().sum())
+}
+
+/// Exact segment sizes of a chain query (Theorem 2.1 applied to every
+/// contiguous sub-chain).
+pub fn exact_segment_sizes(query: &ChainQuery) -> Result<SegmentSizes> {
+    let mats: Vec<F64Matrix> = query.matrices().iter().map(FreqMatrix::to_f64).collect();
+    SegmentSizes::from_fn(query.num_relations(), |i, j| {
+        segment_cardinality_f64(&mats, i, j)
+    })
+}
+
+/// Histogram-estimated segment sizes.
+pub fn estimated_segment_sizes(
+    query: &ChainQuery,
+    stats: &[RelationStats],
+    mode: RoundingMode,
+) -> Result<SegmentSizes> {
+    if stats.len() != query.num_relations() {
+        return Err(QueryError::StatsShapeMismatch(format!(
+            "{} relations but {} histograms",
+            query.num_relations(),
+            stats.len()
+        )));
+    }
+    let mats: Vec<F64Matrix> = query
+        .matrices()
+        .iter()
+        .zip(stats)
+        .map(|(m, s)| s.histogram_matrix(m, mode))
+        .collect::<Result<_>>()?;
+    SegmentSizes::from_fn(query.num_relations(), |i, j| {
+        segment_cardinality_f64(&mats, i, j)
+    })
+}
+
+/// A costed join plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPlan {
+    /// The join tree.
+    pub tree: PlanNode,
+    /// Total cost under the sizes it was optimised for: the sum of every
+    /// join node's output cardinality (the root included; it is common
+    /// to all plans and does not affect the ranking).
+    pub cost: f64,
+}
+
+/// Finds the plan minimising the sum of intermediate result sizes by
+/// dynamic programming over contiguous segments.
+pub fn optimal_plan(sizes: &SegmentSizes) -> JoinPlan {
+    let n = sizes.num_relations();
+    assert!(n >= 1, "a plan needs at least one relation");
+    // best[i][j] = (cost, split) for segment i..=j; cost excludes the
+    // segment's own output at accumulation time, added when used.
+    let mut cost = vec![vec![0.0f64; n]; n];
+    let mut split = vec![vec![0usize; n]; n];
+    for len in 2..=n {
+        for i in 0..=n - len {
+            let j = i + len - 1;
+            let mut best = f64::INFINITY;
+            let mut best_k = i;
+            for k in i..j {
+                let c = cost[i][k] + cost[k + 1][j];
+                if c < best {
+                    best = c;
+                    best_k = k;
+                }
+            }
+            cost[i][j] = best + sizes.get(i, j);
+            split[i][j] = best_k;
+        }
+    }
+    fn build(split: &[Vec<usize>], i: usize, j: usize) -> PlanNode {
+        if i == j {
+            return PlanNode::Leaf(i);
+        }
+        let k = split[i][j];
+        PlanNode::Join(
+            Box::new(build(split, i, k)),
+            Box::new(build(split, k + 1, j)),
+        )
+    }
+    JoinPlan {
+        tree: build(&split, 0, n - 1),
+        cost: cost[0][n - 1],
+    }
+}
+
+/// Evaluates an arbitrary plan tree under a (typically *true*) size
+/// table: the sum of every join node's output cardinality.
+pub fn plan_cost(tree: &PlanNode, sizes: &SegmentSizes) -> f64 {
+    match tree {
+        PlanNode::Leaf(_) => 0.0,
+        PlanNode::Join(l, r) => {
+            let (lo, _) = l.range();
+            let (_, hi) = r.range();
+            plan_cost(l, sizes) + plan_cost(r, sizes) + sizes.get(lo, hi)
+        }
+    }
+}
+
+/// Convenience: how much worse (in true cost) is the plan chosen with
+/// `estimated` sizes than the truly optimal plan? 1.0 means the
+/// estimates picked an optimal plan.
+///
+/// The comparison excludes the root join's output — it is identical for
+/// every plan of the same query, so including it only dilutes the
+/// ratio; what distinguishes plans is the cost of their *intermediate*
+/// results.
+pub fn plan_quality(exact: &SegmentSizes, estimated: &SegmentSizes) -> f64 {
+    let n = exact.num_relations();
+    let root = exact.get(0, n - 1);
+    let true_best = optimal_plan(exact);
+    let est_best = optimal_plan(estimated);
+    let est_true = (plan_cost(&est_best.tree, exact) - root).max(0.0);
+    let best_true = (plan_cost(&true_best.tree, exact) - root).max(0.0);
+    if best_true <= f64::EPSILON {
+        // No intermediate work for the optimal plan: the chosen plan is
+        // either also free (quality 1) or strictly wasteful.
+        return if est_true <= f64::EPSILON {
+            1.0
+        } else {
+            est_true.max(1.0)
+        };
+    }
+    est_true / best_true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vopt_hist::construct::trivial;
+    use vopt_hist::MatrixHistogram;
+
+    /// A 4-relation chain where joining the right end first is much
+    /// cheaper: R2 ⋈ R3 is tiny, R0 ⋈ R1 is huge.
+    fn skewed_chain() -> ChainQuery {
+        ChainQuery::new(vec![
+            FreqMatrix::horizontal(vec![50, 50]),
+            FreqMatrix::from_rows(2, 2, vec![40, 40, 40, 40]).unwrap(),
+            FreqMatrix::from_rows(2, 2, vec![1, 0, 0, 1]).unwrap(),
+            FreqMatrix::vertical(vec![1, 1]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_segment_sizes_match_chain_product() {
+        let q = skewed_chain();
+        let sizes = exact_segment_sizes(&q).unwrap();
+        let full = q.exact_size().unwrap() as f64;
+        assert!((sizes.get(0, 3) - full).abs() < 1e-9);
+        // Single-relation segments: total tuple counts.
+        assert!((sizes.get(0, 0) - 100.0).abs() < 1e-9);
+        assert!((sizes.get(1, 1) - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_plan_prefers_small_intermediates() {
+        let q = skewed_chain();
+        let sizes = exact_segment_sizes(&q).unwrap();
+        let plan = optimal_plan(&sizes);
+        // The cheap side (R2 ⋈ R3) must be joined before touching R0⋈R1
+        // directly: the optimal tree is (R0 (R1 (R2 R3))).
+        assert_eq!(plan.tree.render(), "(R0 (R1 (R2 R3)))");
+        assert!((plan.cost - plan_cost(&plan.tree, &sizes)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_cost_agrees_with_dp_cost_for_any_tree() {
+        let q = skewed_chain();
+        let sizes = exact_segment_sizes(&q).unwrap();
+        // Left-deep tree.
+        let left_deep = PlanNode::Join(
+            Box::new(PlanNode::Join(
+                Box::new(PlanNode::Join(
+                    Box::new(PlanNode::Leaf(0)),
+                    Box::new(PlanNode::Leaf(1)),
+                )),
+                Box::new(PlanNode::Leaf(2)),
+            )),
+            Box::new(PlanNode::Leaf(3)),
+        );
+        let dp = optimal_plan(&sizes);
+        assert!(dp.cost <= plan_cost(&left_deep, &sizes) + 1e-9);
+    }
+
+    #[test]
+    fn estimated_sizes_with_exact_histograms_match_exact() {
+        let q = skewed_chain();
+        let stats: Vec<RelationStats> = q
+            .matrices()
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                if m.rows() == 1 || m.cols() == 1 {
+                    let cells = m.cells();
+                    RelationStats::Vector(
+                        vopt_hist::construct::v_opt_serial_dp(cells, cells.len())
+                            .unwrap()
+                            .histogram,
+                    )
+                } else {
+                    let _ = i;
+                    RelationStats::Matrix(
+                        MatrixHistogram::build(m, |c| {
+                            Ok(vopt_hist::construct::v_opt_serial_dp(c, c.len())?.histogram)
+                        })
+                        .unwrap(),
+                    )
+                }
+            })
+            .collect();
+        let exact = exact_segment_sizes(&q).unwrap();
+        let est = estimated_segment_sizes(&q, &stats, RoundingMode::Exact).unwrap();
+        for i in 0..4 {
+            for j in i..4 {
+                assert!(
+                    (exact.get(i, j) - est.get(i, j)).abs() < 1e-6,
+                    "segment ({i}, {j})"
+                );
+            }
+        }
+        assert!((plan_quality(&exact, &est) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_histograms_can_pick_worse_plans() {
+        let q = skewed_chain();
+        let stats: Vec<RelationStats> = q
+            .matrices()
+            .iter()
+            .map(|m| {
+                if m.rows() == 1 || m.cols() == 1 {
+                    RelationStats::Vector(trivial(m.cells()).unwrap())
+                } else {
+                    RelationStats::Matrix(MatrixHistogram::build(m, trivial).unwrap())
+                }
+            })
+            .collect();
+        let exact = exact_segment_sizes(&q).unwrap();
+        let est = estimated_segment_sizes(&q, &stats, RoundingMode::Exact).unwrap();
+        let quality = plan_quality(&exact, &est);
+        assert!(quality >= 1.0, "quality ratio must be >= 1, got {quality}");
+    }
+
+    #[test]
+    fn single_relation_plan() {
+        let sizes = SegmentSizes::from_fn(1, |_, _| Ok(42.0)).unwrap();
+        let plan = optimal_plan(&sizes);
+        assert_eq!(plan.tree, PlanNode::Leaf(0));
+        assert_eq!(plan.cost, 0.0);
+        assert_eq!(plan_cost(&plan.tree, &sizes), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segment")]
+    fn segment_bounds_checked() {
+        let sizes = SegmentSizes::from_fn(2, |_, _| Ok(1.0)).unwrap();
+        let _ = sizes.get(1, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Selections as indicator vectors (§2.2, Example 2.2, §6).
+//!
+//! "A multi-tuple relation R₀ can be used to represent selections of the
+//! form (R₁.a₁=c₁ or R₁.a₁=c₂ or … or R₁.a₁=c_m)." A selection on either
+//! end of a chain is therefore an indicator vector multiplied into the
+//! chain product. §6 adds that NOT-EQUALS is the complement, and range
+//! predicates are disjunctions of the in-range values — "serial
+//! histograms are in fact v-optimal for queries with general selections".
+
+use crate::error::{QueryError, Result};
+use freqdist::FreqMatrix;
+
+/// A selection predicate over a domain of `M` values identified by their
+/// indices `0..M` (the arbitrary numbering of §2.2; ranges refer to the
+/// natural order of the underlying values, which the caller encodes in
+/// the index assignment).
+///
+/// ```
+/// use query::selection::Selection;
+/// let freqs = [100u64, 40, 30, 20, 10];
+/// assert_eq!(Selection::Equals(0).exact_size(&freqs).unwrap(), 100);
+/// assert_eq!(Selection::Range { lo: 2, hi: 4 }.exact_size(&freqs).unwrap(), 60);
+/// assert_eq!(Selection::NotEquals(0).exact_size(&freqs).unwrap(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// `a = v`.
+    Equals(usize),
+    /// `a = v₁ or a = v₂ or …`.
+    In(Vec<usize>),
+    /// `a ≠ v` (the complement of equality, §6).
+    NotEquals(usize),
+    /// `lo ≤ a ≤ hi` in index order (a disjunctive equality selection
+    /// over the in-range values, §6).
+    Range {
+        /// Lowest selected index, inclusive.
+        lo: usize,
+        /// Highest selected index, inclusive.
+        hi: usize,
+    },
+    /// No filtering (the all-ones vector).
+    All,
+}
+
+impl Selection {
+    /// The 0/1 indicator over a domain of `domain_size` values.
+    pub fn indicator(&self, domain_size: usize) -> Result<Vec<u64>> {
+        let check = |i: usize| -> Result<()> {
+            if i >= domain_size {
+                Err(QueryError::InvalidSelection(format!(
+                    "value index {i} out of domain 0..{domain_size}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let mut v = vec![0u64; domain_size];
+        match self {
+            Selection::Equals(i) => {
+                check(*i)?;
+                v[*i] = 1;
+            }
+            Selection::In(indices) => {
+                for &i in indices {
+                    check(i)?;
+                    v[i] = 1;
+                }
+            }
+            Selection::NotEquals(i) => {
+                check(*i)?;
+                v.iter_mut().for_each(|x| *x = 1);
+                v[*i] = 0;
+            }
+            Selection::Range { lo, hi } => {
+                if lo > hi {
+                    return Err(QueryError::InvalidSelection(format!(
+                        "empty range {lo}..={hi}"
+                    )));
+                }
+                check(*hi)?;
+                v[*lo..=*hi].iter_mut().for_each(|x| *x = 1);
+            }
+            Selection::All => v.iter_mut().for_each(|x| *x = 1),
+        }
+        Ok(v)
+    }
+
+    /// The selection as the horizontal vector that replaces `R₀` in a
+    /// chain query.
+    pub fn as_horizontal(&self, domain_size: usize) -> Result<FreqMatrix> {
+        Ok(FreqMatrix::horizontal(self.indicator(domain_size)?))
+    }
+
+    /// The selection as the vertical vector that replaces `R_N` in a
+    /// chain query (Example 2.2's transpose trick).
+    pub fn as_vertical(&self, domain_size: usize) -> Result<FreqMatrix> {
+        Ok(FreqMatrix::vertical(self.indicator(domain_size)?))
+    }
+
+    /// Exact size of the selection applied directly to a frequency
+    /// vector: `Σ_{selected v} t_v`.
+    pub fn exact_size(&self, freqs: &[u64]) -> Result<u128> {
+        let ind = self.indicator(freqs.len())?;
+        Ok(freqs
+            .iter()
+            .zip(&ind)
+            .map(|(&f, &b)| (f as u128) * (b as u128))
+            .sum())
+    }
+
+    /// Estimated size of the selection against a histogram-approximated
+    /// frequency vector.
+    pub fn estimated_size(&self, approx_freqs: &[f64]) -> Result<f64> {
+        let ind = self.indicator(approx_freqs.len())?;
+        Ok(approx_freqs
+            .iter()
+            .zip(&ind)
+            .map(|(&f, &b)| f * b as f64)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdist::chain_product;
+    use vopt_hist::construct::v_opt_end_biased;
+    use vopt_hist::RoundingMode;
+
+    const FREQS: [u64; 5] = [100, 40, 30, 20, 10];
+
+    #[test]
+    fn indicators() {
+        assert_eq!(Selection::Equals(2).indicator(4).unwrap(), vec![0, 0, 1, 0]);
+        assert_eq!(
+            Selection::In(vec![0, 3]).indicator(4).unwrap(),
+            vec![1, 0, 0, 1]
+        );
+        assert_eq!(
+            Selection::NotEquals(1).indicator(4).unwrap(),
+            vec![1, 0, 1, 1]
+        );
+        assert_eq!(
+            Selection::Range { lo: 1, hi: 2 }.indicator(4).unwrap(),
+            vec![0, 1, 1, 0]
+        );
+        assert_eq!(Selection::All.indicator(3).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn out_of_domain_rejected() {
+        assert!(Selection::Equals(4).indicator(4).is_err());
+        assert!(Selection::In(vec![0, 9]).indicator(4).is_err());
+        assert!(Selection::Range { lo: 3, hi: 1 }.indicator(4).is_err());
+        assert!(Selection::Range { lo: 0, hi: 4 }.indicator(4).is_err());
+    }
+
+    #[test]
+    fn exact_sizes() {
+        assert_eq!(Selection::Equals(0).exact_size(&FREQS).unwrap(), 100);
+        assert_eq!(
+            Selection::NotEquals(0).exact_size(&FREQS).unwrap(),
+            40 + 30 + 20 + 10
+        );
+        assert_eq!(
+            Selection::Range { lo: 2, hi: 4 }.exact_size(&FREQS).unwrap(),
+            60
+        );
+        assert_eq!(Selection::All.exact_size(&FREQS).unwrap(), 200);
+    }
+
+    #[test]
+    fn selection_as_chain_matches_direct_computation() {
+        // (σ_{a∈{0,2}} R) as a chain: indicator · freq-vector.
+        let sel = Selection::In(vec![0, 2]);
+        let chain = vec![
+            sel.as_horizontal(5).unwrap(),
+            FreqMatrix::vertical(FREQS.to_vec()),
+        ];
+        assert_eq!(
+            chain_product(&chain).unwrap(),
+            sel.exact_size(&FREQS).unwrap()
+        );
+    }
+
+    #[test]
+    fn estimated_selection_uses_bucket_averages() {
+        let opt = v_opt_end_biased(&FREQS, 2).unwrap();
+        let approx = opt.histogram.approx_frequencies(RoundingMode::Exact);
+        // Top value is singled out → exact estimate for Equals(0).
+        let est = Selection::Equals(0).estimated_size(&approx).unwrap();
+        assert!((est - 100.0).abs() < 1e-9);
+        // The pooled values share an average of 25.
+        let est = Selection::Equals(4).estimated_size(&approx).unwrap();
+        assert!((est - 25.0).abs() < 1e-9);
+        // All-selection is unbiased in Exact mode.
+        let est = Selection::All.estimated_size(&approx).unwrap();
+        assert!((est - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn not_equals_is_complement_of_equals() {
+        let opt = v_opt_end_biased(&FREQS, 3).unwrap();
+        let approx = opt.histogram.approx_frequencies(RoundingMode::Exact);
+        let all = Selection::All.estimated_size(&approx).unwrap();
+        for i in 0..FREQS.len() {
+            let eq = Selection::Equals(i).estimated_size(&approx).unwrap();
+            let ne = Selection::NotEquals(i).estimated_size(&approx).unwrap();
+            assert!((all - eq - ne).abs() < 1e-9);
+        }
+    }
+}

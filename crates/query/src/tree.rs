@@ -1,0 +1,493 @@
+//! Arbitrary tree queries (§2.2's generalisation).
+//!
+//! The paper restricts its exposition to chain queries but notes that
+//! "generalizing … to arbitrary tree queries is straightforward. The
+//! required mathematical machinery becomes hairier (tensors must be
+//! used) but its essence remains unchanged." This module does the
+//! generalisation: a [`TreeQuery`] is a tree of relations, each carrying
+//! a frequency tensor with one axis per join attribute, and edges naming
+//! which axes join. The exact result size is computed by sum-product
+//! message passing over the tree (each message is the tensor marginal
+//! onto the shared axis after absorbing the subtree's messages — exactly
+//! the matrix chain product when the tree is a path). Estimation
+//! replaces every tensor by its histogram tensor; histograms over tensor
+//! cells are the same objects as everywhere else, because construction
+//! depends only on the frequency multiset.
+
+use crate::error::{QueryError, Result};
+use freqdist::tensor::{Cell, FreqTensor, Tensor};
+use vopt_hist::{Histogram, RoundingMode};
+
+/// One join edge of a tree query: relation `a`'s axis `a_axis` equi-joins
+/// relation `b`'s axis `b_axis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeEdge {
+    /// First relation (index into the query's relation list).
+    pub a: usize,
+    /// Joining axis of `a`'s tensor.
+    pub a_axis: usize,
+    /// Second relation.
+    pub b: usize,
+    /// Joining axis of `b`'s tensor.
+    pub b_axis: usize,
+}
+
+/// A tree function-free equality-join query over relations carrying
+/// frequency tensors.
+#[derive(Debug, Clone)]
+pub struct TreeQuery {
+    relations: Vec<FreqTensor>,
+    edges: Vec<TreeEdge>,
+    /// adjacency[node] = (edge index, neighbour) pairs.
+    adjacency: Vec<Vec<(usize, usize)>>,
+}
+
+impl TreeQuery {
+    /// Builds and validates a tree query: `edges` must form a spanning
+    /// tree of the relations, and every edge's axes must exist and agree
+    /// on domain size.
+    pub fn new(relations: Vec<FreqTensor>, edges: Vec<TreeEdge>) -> Result<Self> {
+        let n = relations.len();
+        if n == 0 {
+            return Err(QueryError::InvalidChain("no relations".into()));
+        }
+        if edges.len() != n - 1 {
+            return Err(QueryError::InvalidChain(format!(
+                "a tree over {n} relations needs {} edges, got {}",
+                n - 1,
+                edges.len()
+            )));
+        }
+        let mut adjacency = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            if e.a >= n || e.b >= n {
+                return Err(QueryError::InvalidChain(format!(
+                    "edge {i} references a relation out of range 0..{n}"
+                )));
+            }
+            if e.a == e.b {
+                return Err(QueryError::InvalidChain(format!(
+                    "edge {i} is a self-loop on relation {}",
+                    e.a
+                )));
+            }
+            let da = relations[e.a].dims();
+            let db = relations[e.b].dims();
+            if e.a_axis >= da.len() || e.b_axis >= db.len() {
+                return Err(QueryError::InvalidChain(format!(
+                    "edge {i} names a non-existent tensor axis"
+                )));
+            }
+            if da[e.a_axis] != db[e.b_axis] {
+                return Err(QueryError::InvalidChain(format!(
+                    "edge {i}: join domains disagree ({} vs {})",
+                    da[e.a_axis], db[e.b_axis]
+                )));
+            }
+            adjacency[e.a].push((i, e.b));
+            adjacency[e.b].push((i, e.a));
+        }
+        // Connectivity check (n−1 edges + connected ⇒ tree).
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &(_, v) in &adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(QueryError::InvalidChain(
+                "edges do not connect all relations".into(),
+            ));
+        }
+        Ok(Self {
+            relations,
+            edges,
+            adjacency,
+        })
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The relations' frequency tensors.
+    pub fn relations(&self) -> &[FreqTensor] {
+        &self.relations
+    }
+
+    /// The join edges.
+    pub fn edges(&self) -> &[TreeEdge] {
+        &self.edges
+    }
+
+    fn axis_of(&self, edge: usize, node: usize) -> usize {
+        let e = &self.edges[edge];
+        if e.a == node {
+            e.a_axis
+        } else {
+            e.b_axis
+        }
+    }
+
+    /// Generic sum-product evaluation over per-node tensors.
+    fn evaluate<T: Cell>(&self, tensors: &[Tensor<T>]) -> Result<T> {
+        // Iterative post-order from root 0 (recursion depth could be
+        // O(n) on path-shaped trees; fine, but explicit stacks keep the
+        // evaluation robust for very long chains too).
+        let n = tensors.len();
+        let mut order = Vec::with_capacity(n);
+        let mut parent_edge: Vec<Option<usize>> = vec![None; n];
+        let mut parent: Vec<usize> = vec![usize::MAX; n];
+        let mut stack = vec![0usize];
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &(edge, v) in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent_edge[v] = Some(edge);
+                    parent[v] = u;
+                    stack.push(v);
+                }
+            }
+        }
+        // Messages indexed by edge; process nodes in reverse DFS order
+        // (children before parents).
+        let mut messages: Vec<Option<Vec<T>>> = vec![None; self.edges.len()];
+        for &u in order.iter().rev() {
+            let mut t = tensors[u].clone();
+            for &(edge, v) in &self.adjacency[u] {
+                if parent_edge[u] == Some(edge) && parent[u] == v {
+                    continue; // towards the parent; absorb children only
+                }
+                let msg = messages[edge]
+                    .take()
+                    .expect("child message computed before parent (post-order)");
+                t.scale_axis(self.axis_of(edge, u), &msg)?;
+            }
+            match parent_edge[u] {
+                Some(edge) => {
+                    let axis = self.axis_of(edge, u);
+                    messages[edge] = Some(t.sum_to_axis(axis)?);
+                }
+                None => return Ok(t.sum_all()), // root
+            }
+        }
+        unreachable!("root is always last in reverse post-order")
+    }
+
+    /// Exact result size via `u128` sum-product (the tensor analogue of
+    /// Theorem 2.1).
+    pub fn exact_size(&self) -> Result<u128> {
+        let tensors: Vec<Tensor<u128>> =
+            self.relations.iter().map(FreqTensor::to_u128).collect();
+        self.evaluate(&tensors)
+    }
+
+    /// Estimated result size with one histogram per relation, each built
+    /// over the relation's tensor cells.
+    pub fn estimated_size(&self, stats: &[Histogram], mode: RoundingMode) -> Result<f64> {
+        if stats.len() != self.relations.len() {
+            return Err(QueryError::StatsShapeMismatch(format!(
+                "{} relations but {} histograms",
+                self.relations.len(),
+                stats.len()
+            )));
+        }
+        let mut tensors = Vec::with_capacity(self.relations.len());
+        for (rel, hist) in self.relations.iter().zip(stats) {
+            if hist.num_values() != rel.len() {
+                return Err(QueryError::StatsShapeMismatch(format!(
+                    "histogram covers {} values but tensor has {} cells",
+                    hist.num_values(),
+                    rel.len()
+                )));
+            }
+            let cells = hist.approx_frequencies(mode);
+            tensors.push(
+                Tensor::<f64>::from_data(rel.dims().to_vec(), cells)
+                    .expect("same shape as the relation tensor"),
+            );
+        }
+        self.evaluate(&tensors)
+    }
+
+    /// Brute-force result size by enumerating all join-attribute value
+    /// combinations; exponential, for cross-checking tiny queries in
+    /// tests.
+    pub fn exact_size_brute_force(&self) -> Result<u128> {
+        // Collect the distinct join variables: union-find over
+        // (relation, axis) pairs connected by edges.
+        let mut var_of: Vec<Vec<Option<usize>>> = self
+            .relations
+            .iter()
+            .map(|t| vec![None; t.rank()])
+            .collect();
+        let mut domains: Vec<usize> = Vec::new();
+        for e in &self.edges {
+            let existing = var_of[e.a][e.a_axis].or(var_of[e.b][e.b_axis]);
+            let var = match existing {
+                Some(v) => v,
+                None => {
+                    domains.push(self.relations[e.a].dims()[e.a_axis]);
+                    domains.len() - 1
+                }
+            };
+            var_of[e.a][e.a_axis] = Some(var);
+            var_of[e.b][e.b_axis] = Some(var);
+        }
+        // Non-join axes get their own variables too.
+        for (r, axes) in var_of.iter_mut().enumerate() {
+            for (axis, slot) in axes.iter_mut().enumerate() {
+                if slot.is_none() {
+                    domains.push(self.relations[r].dims()[axis]);
+                    *slot = Some(domains.len() - 1);
+                }
+            }
+        }
+        // Enumerate the cross product of all variable domains.
+        let mut assignment = vec![0usize; domains.len()];
+        let mut total: u128 = 0;
+        loop {
+            let mut product: u128 = 1;
+            for (r, tensor) in self.relations.iter().enumerate() {
+                let index: Vec<usize> = (0..tensor.rank())
+                    .map(|axis| assignment[var_of[r][axis].expect("assigned")])
+                    .collect();
+                product = product
+                    .checked_mul(tensor.get(&index) as u128)
+                    .ok_or(freqdist::FreqError::Overflow("brute force product"))?;
+                if product == 0 {
+                    break;
+                }
+            }
+            total = total
+                .checked_add(product)
+                .ok_or(freqdist::FreqError::Overflow("brute force sum"))?;
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == assignment.len() {
+                    return Ok(total);
+                }
+                assignment[i] += 1;
+                if assignment[i] < domains[i] {
+                    break;
+                }
+                assignment[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdist::zipf::zipf_frequencies;
+    use freqdist::{chain_product, FreqMatrix};
+    use vopt_hist::construct::{trivial, v_opt_serial_dp};
+
+    fn vector(data: Vec<u64>) -> FreqTensor {
+        let n = data.len();
+        Tensor::from_data(vec![n], data).unwrap()
+    }
+
+    fn matrix(rows: usize, cols: usize, data: Vec<u64>) -> FreqTensor {
+        Tensor::from_data(vec![rows, cols], data).unwrap()
+    }
+
+    /// Example 2.2 as a degenerate (path-shaped) tree.
+    fn example_2_2() -> TreeQuery {
+        TreeQuery::new(
+            vec![
+                vector(vec![20, 15]),
+                matrix(2, 3, vec![25, 10, 12, 4, 12, 3]),
+                vector(vec![21, 16, 5]),
+            ],
+            vec![
+                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
+                TreeEdge { a: 1, a_axis: 1, b: 2, b_axis: 0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chain_as_tree_matches_matrix_product() {
+        let q = example_2_2();
+        assert_eq!(q.exact_size().unwrap(), 19_265);
+        // Against the matrix-product formulation too.
+        let mats = vec![
+            FreqMatrix::horizontal(vec![20, 15]),
+            FreqMatrix::from_rows(2, 3, vec![25, 10, 12, 4, 12, 3]).unwrap(),
+            FreqMatrix::vertical(vec![21, 16, 5]),
+        ];
+        assert_eq!(q.exact_size().unwrap(), chain_product(&mats).unwrap());
+    }
+
+    #[test]
+    fn tree_matches_brute_force() {
+        let q = example_2_2();
+        assert_eq!(q.exact_size().unwrap(), q.exact_size_brute_force().unwrap());
+    }
+
+    /// A genuine (non-chain) star: a rank-3 hub joined by three leaves.
+    fn star() -> TreeQuery {
+        let hub = Tensor::from_data(
+            vec![2, 3, 2],
+            vec![1, 4, 2, 0, 3, 5, 2, 2, 0, 1, 6, 1],
+        )
+        .unwrap();
+        TreeQuery::new(
+            vec![
+                hub,
+                vector(vec![7, 2]),
+                vector(vec![1, 3, 5]),
+                vector(vec![4, 4]),
+            ],
+            vec![
+                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
+                TreeEdge { a: 0, a_axis: 1, b: 2, b_axis: 0 },
+                TreeEdge { a: 0, a_axis: 2, b: 3, b_axis: 0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn star_query_matches_brute_force() {
+        let q = star();
+        assert_eq!(q.exact_size().unwrap(), q.exact_size_brute_force().unwrap());
+    }
+
+    /// Two relations joining the *same* attribute of a hub (a shared
+    /// axis): R1.a = H.a and R2.a = H.a.
+    #[test]
+    fn shared_axis_tree_matches_brute_force() {
+        let q = TreeQuery::new(
+            vec![
+                vector(vec![5, 3, 2]),
+                vector(vec![1, 0, 4]),
+                vector(vec![2, 2, 2]),
+            ],
+            vec![
+                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
+                TreeEdge { a: 0, a_axis: 0, b: 2, b_axis: 0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(q.exact_size().unwrap(), q.exact_size_brute_force().unwrap());
+        // By hand: Σ_v 5·1·2 + 3·0·2 + 2·4·2 = 10 + 0 + 16 = 26.
+        assert_eq!(q.exact_size().unwrap(), 26);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_trees() {
+        let v = vector(vec![1, 2]);
+        // Wrong edge count.
+        assert!(TreeQuery::new(vec![v.clone(), v.clone()], vec![]).is_err());
+        // Self loop.
+        assert!(TreeQuery::new(
+            vec![v.clone(), v.clone()],
+            vec![TreeEdge { a: 0, a_axis: 0, b: 0, b_axis: 0 }],
+        )
+        .is_err());
+        // Domain mismatch.
+        assert!(TreeQuery::new(
+            vec![v.clone(), vector(vec![1, 2, 3])],
+            vec![TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 }],
+        )
+        .is_err());
+        // Disconnected (cycle among 0-1 plus island 2 is impossible with
+        // n-1 edges unless an edge repeats — build a 3-node case with a
+        // doubled edge).
+        assert!(TreeQuery::new(
+            vec![v.clone(), v.clone(), v.clone()],
+            vec![
+                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
+                TreeEdge { a: 1, a_axis: 0, b: 0, b_axis: 0 },
+            ],
+        )
+        .is_err());
+        // Bad axis.
+        assert!(TreeQuery::new(
+            vec![v.clone(), v],
+            vec![TreeEdge { a: 0, a_axis: 1, b: 1, b_axis: 0 }],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn estimation_with_m_bucket_histograms_is_exact() {
+        let q = star();
+        let stats: Vec<Histogram> = q
+            .relations()
+            .iter()
+            .map(|t| {
+                v_opt_serial_dp(t.cells(), t.len()).unwrap().histogram
+            })
+            .collect();
+        let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();
+        let exact = q.exact_size().unwrap() as f64;
+        assert!((est - exact).abs() < 1e-6 * exact.max(1.0));
+    }
+
+    #[test]
+    fn trivial_histograms_estimate_star_uniformly() {
+        let q = star();
+        let stats: Vec<Histogram> = q
+            .relations()
+            .iter()
+            .map(|t| trivial(t.cells()).unwrap())
+            .collect();
+        let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();
+        // Uniform hub avg = 27/12; leaves 4.5, 3, 4. Estimate = Σ over
+        // 12 combinations: 12 · (27/12 · 4.5 · 3 · 4) = 27 · 54.
+        assert!((est - 27.0 * 54.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serial_beats_trivial_on_skewed_star() {
+        // A skewed hub: v-optimal serial histograms should estimate the
+        // star's size much better than the uniformity assumption.
+        let hub_freqs = zipf_frequencies(1000, 36, 1.5).unwrap();
+        let hub = Tensor::from_data(vec![6, 6], hub_freqs.into_vec()).unwrap();
+        let leaf1 = vector(zipf_frequencies(100, 6, 1.0).unwrap().into_vec());
+        let leaf2 = vector(zipf_frequencies(100, 6, 1.0).unwrap().into_vec());
+        let q = TreeQuery::new(
+            vec![hub, leaf1, leaf2],
+            vec![
+                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
+                TreeEdge { a: 0, a_axis: 1, b: 2, b_axis: 0 },
+            ],
+        )
+        .unwrap();
+        let exact = q.exact_size().unwrap() as f64;
+        let err = |beta: usize| {
+            let stats: Vec<Histogram> = q
+                .relations()
+                .iter()
+                .map(|t| {
+                    v_opt_serial_dp(t.cells(), beta.min(t.len())).unwrap().histogram
+                })
+                .collect();
+            let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();
+            (exact - est).abs()
+        };
+        assert!(err(5) < err(1), "5 buckets ({}) vs 1 ({})", err(5), err(1));
+    }
+
+    #[test]
+    fn stats_arity_checked() {
+        let q = star();
+        assert!(q.estimated_size(&[], RoundingMode::Exact).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the query and estimation layer.
+
+use freqdist::{FreqMatrix, FrequencySet};
+use proptest::prelude::*;
+use query::metrics::{mean_error, SizeSample};
+use query::montecarlo::{sample_chain, sample_self_join, HistogramSpec, RelationSpec};
+use query::selection::Selection;
+use query::{ChainQuery, RelationStats};
+use vopt_hist::construct::v_opt_serial_dp;
+use vopt_hist::RoundingMode;
+
+fn freqs_strategy(max: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..200, 2..=max)
+}
+
+proptest! {
+    /// Estimation with M-bucket histograms is exact for any 2-relation
+    /// chain.
+    #[test]
+    fn exact_histograms_are_exact(fa in freqs_strategy(12), fb in freqs_strategy(12)) {
+        let n = fa.len().min(fb.len());
+        let (fa, fb) = (&fa[..n], &fb[..n]);
+        let q = ChainQuery::new(vec![
+            FreqMatrix::horizontal(fa.to_vec()),
+            FreqMatrix::vertical(fb.to_vec()),
+        ]).unwrap();
+        let stats = vec![
+            RelationStats::Vector(v_opt_serial_dp(fa, n).unwrap().histogram),
+            RelationStats::Vector(v_opt_serial_dp(fb, n).unwrap().histogram),
+        ];
+        let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();
+        let exact = q.exact_size().unwrap() as f64;
+        prop_assert!((est - exact).abs() <= 1e-6 * exact.max(1.0));
+    }
+
+    /// The All-selection estimate conserves the relation size in Exact
+    /// mode for any histogram the engine can build.
+    #[test]
+    fn all_selection_conserves_mass(freqs in freqs_strategy(16), beta in 1usize..6) {
+        prop_assume!(beta <= freqs.len());
+        for spec in [
+            HistogramSpec::Trivial,
+            HistogramSpec::EquiDepth(beta),
+            HistogramSpec::VOptSerial(beta),
+            HistogramSpec::VOptEndBiased(beta),
+        ] {
+            let h = spec.build(&freqs).unwrap();
+            let approx = h.approx_frequencies(RoundingMode::Exact);
+            let est = Selection::All.estimated_size(&approx).unwrap();
+            let total: u64 = freqs.iter().sum();
+            prop_assert!((est - total as f64).abs() <= 1e-6 * (total as f64 + 1.0));
+        }
+    }
+
+    /// Equality + complement estimates always sum to the All estimate.
+    #[test]
+    fn complement_identity(freqs in freqs_strategy(16), idx in 0usize..16) {
+        prop_assume!(idx < freqs.len());
+        let h = HistogramSpec::VOptEndBiased(3.min(freqs.len())).build(&freqs).unwrap();
+        let approx = h.approx_frequencies(RoundingMode::Exact);
+        let all = Selection::All.estimated_size(&approx).unwrap();
+        let eq = Selection::Equals(idx).estimated_size(&approx).unwrap();
+        let ne = Selection::NotEquals(idx).estimated_size(&approx).unwrap();
+        prop_assert!((all - eq - ne).abs() < 1e-9 * (all.abs() + 1.0));
+    }
+
+    /// Self-join sampling with a frequency-based histogram is exactly
+    /// Proposition 3.1's S': the estimate never exceeds S and the error
+    /// equals Σ PᵢVᵢ.
+    #[test]
+    fn self_join_sampling_matches_prop31(freqs in freqs_strategy(20), beta in 1usize..6) {
+        prop_assume!(beta <= freqs.len());
+        let fs = FrequencySet::new(freqs.clone());
+        let samples = sample_self_join(
+            &fs, HistogramSpec::VOptSerial(beta), 3, 0, RoundingMode::Exact,
+        ).unwrap();
+        let h = v_opt_serial_dp(&freqs, beta).unwrap().histogram;
+        for s in &samples {
+            prop_assert!((s.estimate - h.approx_self_join_size(RoundingMode::Exact)).abs() < 1e-6);
+            prop_assert!(s.estimate <= s.exact + 1e-6, "self-join over-estimated");
+            prop_assert!(
+                ((s.exact - s.estimate) - h.self_join_error()).abs()
+                    <= 1e-6 * (s.exact + 1.0)
+            );
+        }
+    }
+
+    /// Theorem 3.2 in miniature: over many arrangements the signed error
+    /// of a trivial-histogram estimate centres on zero (tolerance scaled
+    /// by the sample σ).
+    #[test]
+    fn mean_error_centres_on_zero(fa in freqs_strategy(8), fb in freqs_strategy(8)) {
+        let n = fa.len().min(fb.len());
+        let rels = vec![
+            RelationSpec::horizontal(FrequencySet::new(fa[..n].to_vec())),
+            RelationSpec::vertical(FrequencySet::new(fb[..n].to_vec())),
+        ];
+        let samples = sample_chain(
+            &rels,
+            &[HistogramSpec::Trivial, HistogramSpec::Trivial],
+            1500,
+            9,
+            RoundingMode::Exact,
+        ).unwrap();
+        let me = mean_error(&samples);
+        let spread = query::metrics::sigma(&samples);
+        prop_assert!(me.abs() <= 0.2 * spread + 1e-6,
+            "mean error {me} too far from 0 (sigma {spread})");
+    }
+
+    /// Size samples: relative error is non-negative and zero iff exact.
+    #[test]
+    fn relative_error_basics(exact in 0.0f64..1e6, estimate in 0.0f64..1e6) {
+        let s = SizeSample { exact, estimate };
+        prop_assert!(s.relative_error() >= 0.0);
+        if (exact - estimate).abs() < f64::EPSILON {
+            prop_assert!(s.relative_error() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! The statistics catalog (§4 storage discussion).
+//!
+//! Commercial systems of the paper's era (e.g. DB2's
+//! `SYSIBM.SYSCOLDIST`) store per-column frequency statistics in catalog
+//! tables. [`StoredHistogram`] implements the compact layout §4
+//! describes: every bucket stores its (integer-rounded) average, values
+//! are listed explicitly only for buckets *other than the largest*, and
+//! "not finding a valid attribute value among those explicitly stored
+//! implies that it belongs to the missing bucket and has that special
+//! frequency". End-biased histograms make this layout tiny: β−1 listed
+//! values plus two averages.
+//!
+//! [`Catalog`] is the concurrent registry: keyed by relation and column
+//! list, with per-relation update counters so estimator code can reason
+//! about staleness (the paper declares update-propagation *schedules* out
+//! of scope; the counters are the hook such a schedule would use).
+
+use crate::catalog2d::StoredMatrixHistogram;
+use crate::error::{Result, StoreError};
+use crate::relation::Relation;
+use crate::stats::{frequency_matrix_table, frequency_table};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vopt_hist::construct::v_opt_end_biased;
+use vopt_hist::{Histogram, MatrixHistogram};
+
+/// A histogram in the paper's compact catalog layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredHistogram {
+    /// Paper-rounded average frequency per bucket.
+    bucket_avgs: Vec<u64>,
+    /// The bucket whose values are *not* listed (the largest bucket).
+    default_bucket: u32,
+    /// `(domain value, bucket)` for every value outside the default
+    /// bucket, sorted by value for binary search.
+    exceptions: Vec<(u64, u32)>,
+}
+
+impl StoredHistogram {
+    /// Converts an analysis [`Histogram`] plus the domain values it was
+    /// built over into the compact catalog form.
+    ///
+    /// `values[i]` is the domain value of histogram value-index `i`.
+    pub fn from_histogram(values: &[u64], hist: &Histogram) -> Result<Self> {
+        if values.len() != hist.num_values() {
+            return Err(StoreError::InvalidParameter(format!(
+                "{} domain values but histogram covers {}",
+                values.len(),
+                hist.num_values()
+            )));
+        }
+        let bucket_avgs: Vec<u64> = hist
+            .buckets()
+            .iter()
+            .map(|b| b.average_rounded())
+            .collect();
+        let default_bucket = hist
+            .buckets()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.count())
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        let mut exceptions: Vec<(u64, u32)> = values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| {
+                let b = hist.bucket_of(i);
+                (b != default_bucket).then_some((v, b))
+            })
+            .collect();
+        exceptions.sort_unstable_by_key(|&(v, _)| v);
+        Ok(Self {
+            bucket_avgs,
+            default_bucket,
+            exceptions,
+        })
+    }
+
+    /// Reassembles a stored histogram from its raw parts (used by the
+    /// binary codec). Validates bucket references and exception order.
+    pub fn from_parts(
+        bucket_avgs: Vec<u64>,
+        default_bucket: u32,
+        exceptions: Vec<(u64, u32)>,
+    ) -> Result<Self> {
+        let n = bucket_avgs.len();
+        if n == 0 {
+            return Err(StoreError::InvalidParameter(
+                "a stored histogram needs at least one bucket".into(),
+            ));
+        }
+        if (default_bucket as usize) >= n {
+            return Err(StoreError::InvalidParameter(format!(
+                "default bucket {default_bucket} out of range 0..{n}"
+            )));
+        }
+        for w in exceptions.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(StoreError::InvalidParameter(
+                    "exception values must be strictly increasing".into(),
+                ));
+            }
+        }
+        if let Some(&(v, b)) = exceptions.iter().find(|&&(_, b)| (b as usize) >= n) {
+            return Err(StoreError::InvalidParameter(format!(
+                "exception value {v} references bucket {b} out of range 0..{n}"
+            )));
+        }
+        Ok(Self {
+            bucket_avgs,
+            default_bucket,
+            exceptions,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_avgs.len()
+    }
+
+    /// Bucket averages (paper-rounded).
+    pub fn bucket_avgs(&self) -> &[u64] {
+        &self.bucket_avgs
+    }
+
+    /// The implicit bucket id.
+    pub fn default_bucket(&self) -> u32 {
+        self.default_bucket
+    }
+
+    /// Explicitly listed `(value, bucket)` pairs.
+    pub fn exceptions(&self) -> &[(u64, u32)] {
+        &self.exceptions
+    }
+
+    /// The approximate frequency of a domain value: the average of its
+    /// listed bucket, or the default bucket's average when unlisted.
+    pub fn approx_frequency(&self, value: u64) -> u64 {
+        match self.exceptions.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.bucket_avgs[self.exceptions[i].1 as usize],
+            Err(_) => self.bucket_avgs[self.default_bucket as usize],
+        }
+    }
+
+    /// Catalog entries consumed: one per bucket average plus one per
+    /// listed value (the §4 storage cost this layout optimises).
+    pub fn storage_entries(&self) -> usize {
+        self.bucket_avgs.len() + self.exceptions.len()
+    }
+}
+
+/// Key of a catalog entry: relation name plus the column list the
+/// statistics cover.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StatKey {
+    /// Relation name.
+    pub relation: String,
+    /// Attribute(s) the histogram covers, in order.
+    pub columns: Vec<String>,
+}
+
+impl StatKey {
+    /// Builds a key.
+    pub fn new(relation: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            relation: relation.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    fn display(&self) -> String {
+        format!("{}({})", self.relation, self.columns.join(", "))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    histogram: StoredHistogram,
+    built_at_version: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MatrixEntry {
+    histogram: StoredMatrixHistogram,
+    built_at_version: u64,
+}
+
+/// A concurrent statistics catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    entries: RwLock<HashMap<StatKey, Entry>>,
+    /// Attribute-pair statistics (2-D histograms), in their own
+    /// namespace, as systems keep single- and multi-column distribution
+    /// statistics in distinct catalog tables.
+    matrix_entries: RwLock<HashMap<StatKey, MatrixEntry>>,
+    /// Updates observed per relation since catalog creation.
+    versions: RwLock<HashMap<String, u64>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a histogram for `key`, stamping it with the relation's
+    /// current update version.
+    pub fn put(&self, key: StatKey, histogram: StoredHistogram) {
+        let version = self.version_of(&key.relation);
+        self.entries.write().insert(
+            key,
+            Entry {
+                histogram,
+                built_at_version: version,
+            },
+        );
+    }
+
+    /// Fetches a histogram.
+    pub fn get(&self, key: &StatKey) -> Result<StoredHistogram> {
+        self.entries
+            .read()
+            .get(key)
+            .map(|e| e.histogram.clone())
+            .ok_or_else(|| StoreError::MissingStatistics {
+                key: key.display(),
+            })
+    }
+
+    /// Records that `updates` tuples changed in `relation` (insert,
+    /// delete, or modify). Histograms built before these updates become
+    /// stale.
+    pub fn note_updates(&self, relation: &str, updates: u64) {
+        *self
+            .versions
+            .write()
+            .entry(relation.to_string())
+            .or_insert(0) += updates;
+    }
+
+    /// How many updates `relation` has seen since the stored histogram
+    /// was built.
+    pub fn staleness(&self, key: &StatKey) -> Result<u64> {
+        let entries = self.entries.read();
+        let entry = entries.get(key).ok_or_else(|| StoreError::MissingStatistics {
+            key: key.display(),
+        })?;
+        Ok(self.version_of(&key.relation) - entry.built_at_version)
+    }
+
+    /// All keys currently stored, in unspecified order.
+    pub fn keys(&self) -> Vec<StatKey> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// A snapshot of every 1-D entry (for persistence).
+    pub fn snapshot_1d(&self) -> Vec<(StatKey, StoredHistogram)> {
+        let mut all: Vec<(StatKey, StoredHistogram)> = self
+            .entries
+            .read()
+            .iter()
+            .map(|(k, e)| (k.clone(), e.histogram.clone()))
+            .collect();
+        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
+        all
+    }
+
+    /// A snapshot of every 2-D entry (for persistence).
+    pub fn snapshot_2d(&self) -> Vec<(StatKey, StoredMatrixHistogram)> {
+        let mut all: Vec<(StatKey, StoredMatrixHistogram)> = self
+            .matrix_entries
+            .read()
+            .iter()
+            .map(|(k, e)| (k.clone(), e.histogram.clone()))
+            .collect();
+        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
+        all
+    }
+
+    fn version_of(&self, relation: &str) -> u64 {
+        self.versions.read().get(relation).copied().unwrap_or(0)
+    }
+
+    /// End-to-end ANALYZE for one column: runs Algorithm *Matrix* over
+    /// the relation, builds the v-optimal end-biased histogram with
+    /// `buckets` buckets (the paper's recommended practical choice), and
+    /// stores it. Returns the key.
+    pub fn analyze_end_biased(
+        &self,
+        relation: &Relation,
+        column: &str,
+        buckets: usize,
+    ) -> Result<StatKey> {
+        let table = frequency_table(relation, column)?;
+        let opt = v_opt_end_biased(&table.freqs, buckets.min(table.freqs.len()))?;
+        let stored = StoredHistogram::from_histogram(&table.values, &opt.histogram)?;
+        let key = StatKey::new(relation.name(), &[column]);
+        self.put(key.clone(), stored);
+        Ok(key)
+    }
+
+    /// Stores a 2-D histogram for an attribute pair.
+    pub fn put_matrix(&self, key: StatKey, histogram: StoredMatrixHistogram) {
+        let version = self.version_of(&key.relation);
+        self.matrix_entries.write().insert(
+            key,
+            MatrixEntry {
+                histogram,
+                built_at_version: version,
+            },
+        );
+    }
+
+    /// Fetches a 2-D histogram.
+    pub fn get_matrix(&self, key: &StatKey) -> Result<StoredMatrixHistogram> {
+        self.matrix_entries
+            .read()
+            .get(key)
+            .map(|e| e.histogram.clone())
+            .ok_or_else(|| StoreError::MissingStatistics {
+                key: key.display(),
+            })
+    }
+
+    /// Staleness of a 2-D histogram.
+    pub fn matrix_staleness(&self, key: &StatKey) -> Result<u64> {
+        let entries = self.matrix_entries.read();
+        let entry = entries.get(key).ok_or_else(|| StoreError::MissingStatistics {
+            key: key.display(),
+        })?;
+        Ok(self.version_of(&key.relation) - entry.built_at_version)
+    }
+
+    /// End-to-end ANALYZE for an attribute pair: collects the frequency
+    /// matrix (Algorithm *Matrix* on pairs), builds the v-optimal
+    /// end-biased histogram over its cells, and stores it.
+    pub fn analyze_matrix_end_biased(
+        &self,
+        relation: &Relation,
+        first: &str,
+        second: &str,
+        buckets: usize,
+    ) -> Result<StatKey> {
+        let table = frequency_matrix_table(relation, first, second)?;
+        let hist = MatrixHistogram::build(&table.matrix, |cells| {
+            Ok(v_opt_end_biased(cells, buckets.min(cells.len()))?.histogram)
+        })?;
+        let stored = StoredMatrixHistogram::from_matrix_histogram(
+            &table.row_values,
+            &table.col_values,
+            &hist,
+        )?;
+        let key = StatKey::new(relation.name(), &[first, second]);
+        self.put_matrix(key.clone(), stored);
+        Ok(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::relation_from_frequency_set;
+    use freqdist::FrequencySet;
+    use vopt_hist::construct::end_biased;
+    use vopt_hist::RoundingMode;
+
+    #[test]
+    fn stored_histogram_round_trips_approximations() {
+        let freqs = [90u64, 10, 9, 8, 2];
+        let values = [100u64, 200, 300, 400, 500];
+        let hist = end_biased(&freqs, 1, 1).unwrap();
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            let expected = hist.approx_frequency(i, RoundingMode::PaperRounded) as u64;
+            assert_eq!(stored.approx_frequency(v), expected, "value {v}");
+        }
+        // Unknown values fall into the default (largest) bucket.
+        assert_eq!(stored.approx_frequency(9999), stored.bucket_avgs()[stored.default_bucket() as usize]);
+    }
+
+    #[test]
+    fn storage_cost_is_beta_minus_one_values_for_end_biased() {
+        let freqs = [90u64, 10, 9, 8, 2, 3, 4, 5];
+        let hist = end_biased(&freqs, 2, 1).unwrap();
+        let values: Vec<u64> = (0..8).collect();
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        // 4 buckets (3 singletons + pool) + 3 listed values.
+        assert_eq!(stored.storage_entries(), 4 + 3);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let hist = end_biased(&[1, 2, 3], 1, 0).unwrap();
+        assert!(StoredHistogram::from_histogram(&[1, 2], &hist).is_err());
+    }
+
+    #[test]
+    fn catalog_put_get_and_miss() {
+        let cat = Catalog::new();
+        let key = StatKey::new("orders", &["customer_id"]);
+        assert!(matches!(
+            cat.get(&key),
+            Err(StoreError::MissingStatistics { .. })
+        ));
+        let hist = end_biased(&[5, 5, 50], 1, 0).unwrap();
+        let stored = StoredHistogram::from_histogram(&[1, 2, 3], &hist).unwrap();
+        cat.put(key.clone(), stored.clone());
+        assert_eq!(cat.get(&key).unwrap(), stored);
+        assert_eq!(cat.keys(), vec![key]);
+    }
+
+    #[test]
+    fn staleness_tracks_updates_since_build() {
+        let cat = Catalog::new();
+        let key = StatKey::new("r", &["a"]);
+        cat.note_updates("r", 5);
+        let hist = end_biased(&[1, 2], 1, 0).unwrap();
+        cat.put(
+            key.clone(),
+            StoredHistogram::from_histogram(&[10, 20], &hist).unwrap(),
+        );
+        assert_eq!(cat.staleness(&key).unwrap(), 0);
+        cat.note_updates("r", 3);
+        assert_eq!(cat.staleness(&key).unwrap(), 3);
+        // Other relations don't interfere.
+        cat.note_updates("s", 100);
+        assert_eq!(cat.staleness(&key).unwrap(), 3);
+    }
+
+    #[test]
+    fn analyze_end_biased_end_to_end() {
+        let freqs = FrequencySet::new(vec![50, 3, 3, 3, 3, 3, 90]);
+        let rel = relation_from_frequency_set("emp", "dept", &freqs, 77).unwrap();
+        let cat = Catalog::new();
+        let key = cat.analyze_end_biased(&rel, "dept", 3).unwrap();
+        let stored = cat.get(&key).unwrap();
+        assert_eq!(stored.num_buckets(), 3);
+        // The two dominant values (0 → 50, 6 → 90) must be singled out.
+        assert_eq!(stored.approx_frequency(0), 50);
+        assert_eq!(stored.approx_frequency(6), 90);
+        assert_eq!(stored.approx_frequency(1), 3);
+    }
+
+    #[test]
+    fn analyze_matrix_end_biased_end_to_end() {
+        use crate::generate::relation_from_matrix;
+        use freqdist::FreqMatrix;
+        let m = FreqMatrix::from_rows(2, 3, vec![90, 5, 6, 4, 5, 70]).unwrap();
+        let rel =
+            relation_from_matrix("emp", "dept", "year", &[10, 20], &[1, 2, 3], &m, 5)
+                .unwrap();
+        let cat = Catalog::new();
+        let key = cat
+            .analyze_matrix_end_biased(&rel, "dept", "year", 3)
+            .unwrap();
+        assert_eq!(key.columns, vec!["dept".to_string(), "year".to_string()]);
+        let stored = cat.get_matrix(&key).unwrap();
+        // The two dominant pairs are singled out exactly.
+        assert_eq!(stored.approx_frequency(10, 1), 90);
+        assert_eq!(stored.approx_frequency(20, 3), 70);
+        // Pooled pairs share the average (5+6+4+5)/4 = 5.
+        assert_eq!(stored.approx_frequency(10, 2), 5);
+        assert_eq!(cat.matrix_staleness(&key).unwrap(), 0);
+        cat.note_updates("emp", 9);
+        assert_eq!(cat.matrix_staleness(&key).unwrap(), 9);
+        // 1-D and 2-D namespaces are distinct.
+        assert!(cat.get(&key).is_err());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cat = Arc::new(Catalog::new());
+        let hist = end_biased(&[1, 2, 3], 1, 0).unwrap();
+        let stored = StoredHistogram::from_histogram(&[1, 2, 3], &hist).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let cat = Arc::clone(&cat);
+            let stored = stored.clone();
+            handles.push(std::thread::spawn(move || {
+                let key = StatKey::new(format!("r{t}"), &["a"]);
+                cat.put(key.clone(), stored);
+                cat.note_updates(&format!("r{t}"), 1);
+                cat.staleness(&key).unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+        assert_eq!(cat.keys().len(), 8);
+    }
+}

@@ -1,0 +1,221 @@
+//! Two-dimensional catalog histograms (attribute pairs).
+//!
+//! Middle relations of a chain query need statistics over *pairs* of
+//! join attributes (§2.2's two-dimensional frequency matrices; compare
+//! Muralikrishna & DeWitt's multidimensional histograms, which the paper
+//! cites as related work). [`StoredMatrixHistogram`] is the 2-D analogue
+//! of [`crate::catalog::StoredHistogram`]: bucket averages plus explicit
+//! `(value₁, value₂) → bucket` exceptions for everything outside the
+//! largest bucket.
+
+use crate::error::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+use vopt_hist::MatrixHistogram;
+
+/// A 2-D histogram in the compact catalog layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredMatrixHistogram {
+    bucket_avgs: Vec<u64>,
+    default_bucket: u32,
+    /// `(first value, second value, bucket)`, sorted by the value pair.
+    exceptions: Vec<(u64, u64, u32)>,
+}
+
+impl StoredMatrixHistogram {
+    /// Converts an analysis [`MatrixHistogram`] plus the two value
+    /// dictionaries into the compact catalog form.
+    ///
+    /// `row_values[k]` / `col_values[l]` are the domain values of matrix
+    /// cell `(k, l)`.
+    pub fn from_matrix_histogram(
+        row_values: &[u64],
+        col_values: &[u64],
+        hist: &MatrixHistogram,
+    ) -> Result<Self> {
+        if row_values.len() != hist.rows() || col_values.len() != hist.cols() {
+            return Err(StoreError::InvalidParameter(format!(
+                "dictionaries ({} x {}) do not match histogram shape ({} x {})",
+                row_values.len(),
+                col_values.len(),
+                hist.rows(),
+                hist.cols()
+            )));
+        }
+        let inner = hist.inner();
+        let bucket_avgs: Vec<u64> = inner
+            .buckets()
+            .iter()
+            .map(|b| b.average_rounded())
+            .collect();
+        let default_bucket = inner
+            .buckets()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.count())
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+        let mut exceptions = Vec::new();
+        for (k, &rv) in row_values.iter().enumerate() {
+            for (l, &cv) in col_values.iter().enumerate() {
+                let b = hist.bucket_of(k, l);
+                if b != default_bucket {
+                    exceptions.push((rv, cv, b));
+                }
+            }
+        }
+        exceptions.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        Ok(Self {
+            bucket_avgs,
+            default_bucket,
+            exceptions,
+        })
+    }
+
+    /// Reassembles from raw parts (used by the binary codec).
+    pub fn from_parts(
+        bucket_avgs: Vec<u64>,
+        default_bucket: u32,
+        exceptions: Vec<(u64, u64, u32)>,
+    ) -> Result<Self> {
+        let n = bucket_avgs.len();
+        if n == 0 {
+            return Err(StoreError::InvalidParameter(
+                "a stored histogram needs at least one bucket".into(),
+            ));
+        }
+        if (default_bucket as usize) >= n {
+            return Err(StoreError::InvalidParameter(format!(
+                "default bucket {default_bucket} out of range 0..{n}"
+            )));
+        }
+        for w in exceptions.windows(2) {
+            if (w[0].0, w[0].1) >= (w[1].0, w[1].1) {
+                return Err(StoreError::InvalidParameter(
+                    "exception pairs must be strictly increasing".into(),
+                ));
+            }
+        }
+        if exceptions.iter().any(|&(_, _, b)| (b as usize) >= n) {
+            return Err(StoreError::InvalidParameter(format!(
+                "exception references bucket out of range 0..{n}"
+            )));
+        }
+        Ok(Self {
+            bucket_avgs,
+            default_bucket,
+            exceptions,
+        })
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_avgs.len()
+    }
+
+    /// Bucket averages (paper-rounded).
+    pub fn bucket_avgs(&self) -> &[u64] {
+        &self.bucket_avgs
+    }
+
+    /// The implicit bucket id.
+    pub fn default_bucket(&self) -> u32 {
+        self.default_bucket
+    }
+
+    /// Explicitly listed `(value₁, value₂, bucket)` triples.
+    pub fn exceptions(&self) -> &[(u64, u64, u32)] {
+        &self.exceptions
+    }
+
+    /// The approximate frequency of a value pair.
+    pub fn approx_frequency(&self, first: u64, second: u64) -> u64 {
+        match self
+            .exceptions
+            .binary_search_by_key(&(first, second), |&(a, b, _)| (a, b))
+        {
+            Ok(i) => self.bucket_avgs[self.exceptions[i].2 as usize],
+            Err(_) => self.bucket_avgs[self.default_bucket as usize],
+        }
+    }
+
+    /// Catalog entries consumed (averages + listed pairs).
+    pub fn storage_entries(&self) -> usize {
+        self.bucket_avgs.len() + self.exceptions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqdist::FreqMatrix;
+    use vopt_hist::construct::v_opt_end_biased;
+    use vopt_hist::RoundingMode;
+
+    fn sample() -> (Vec<u64>, Vec<u64>, MatrixHistogram) {
+        let m = FreqMatrix::from_rows(2, 3, vec![90, 5, 6, 4, 5, 70]).unwrap();
+        let mh = MatrixHistogram::build(&m, |cells| {
+            Ok(v_opt_end_biased(cells, 3)?.histogram)
+        })
+        .unwrap();
+        (vec![10, 20], vec![1, 2, 3], mh)
+    }
+
+    #[test]
+    fn round_trips_approximations() {
+        let (rows, cols, mh) = sample();
+        let stored =
+            StoredMatrixHistogram::from_matrix_histogram(&rows, &cols, &mh).unwrap();
+        for (k, &rv) in rows.iter().enumerate() {
+            for (l, &cv) in cols.iter().enumerate() {
+                let expect = mh
+                    .inner()
+                    .approx_frequency(k * cols.len() + l, RoundingMode::PaperRounded)
+                    as u64;
+                assert_eq!(stored.approx_frequency(rv, cv), expect, "pair ({rv},{cv})");
+            }
+        }
+        // Unknown pairs fall into the default bucket.
+        assert_eq!(
+            stored.approx_frequency(99, 99),
+            stored.bucket_avgs()[stored.default_bucket() as usize]
+        );
+    }
+
+    #[test]
+    fn end_biased_storage_is_small() {
+        let (rows, cols, mh) = sample();
+        let stored =
+            StoredMatrixHistogram::from_matrix_histogram(&rows, &cols, &mh).unwrap();
+        // 3 buckets: two singletons (90 and 70) + pool → 3 avgs + 2 pairs.
+        assert_eq!(stored.storage_entries(), 3 + 2);
+    }
+
+    #[test]
+    fn dictionary_shape_checked() {
+        let (_, cols, mh) = sample();
+        assert!(
+            StoredMatrixHistogram::from_matrix_histogram(&[1], &cols, &mh).is_err()
+        );
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(StoredMatrixHistogram::from_parts(vec![], 0, vec![]).is_err());
+        assert!(StoredMatrixHistogram::from_parts(vec![1], 1, vec![]).is_err());
+        assert!(
+            StoredMatrixHistogram::from_parts(vec![1, 2], 0, vec![(1, 1, 5)]).is_err()
+        );
+        assert!(StoredMatrixHistogram::from_parts(
+            vec![1, 2],
+            0,
+            vec![(1, 2, 1), (1, 1, 1)]
+        )
+        .is_err());
+        assert!(StoredMatrixHistogram::from_parts(
+            vec![1, 2],
+            0,
+            vec![(1, 1, 1), (1, 2, 1)]
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,395 @@
+//! Self-contained binary persistence for catalog histograms.
+//!
+//! The sanctioned dependency set includes `serde` but no serialisation
+//! *format* crate, so the catalog ships its own little-endian,
+//! length-prefixed codec built on [`bytes`]. The format is versioned by a
+//! magic header and deliberately simple: it encodes exactly the compact
+//! §4 layout of [`StoredHistogram`].
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic      : b"VOH1"
+//! n_buckets  : u32
+//! avgs       : n_buckets × u64
+//! default    : u32
+//! n_except   : u64
+//! exceptions : n_except × (u64 value, u32 bucket)
+//! ```
+
+use crate::catalog::StoredHistogram;
+use crate::catalog2d::StoredMatrixHistogram;
+use crate::error::{Result, StoreError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"VOH1";
+const MAGIC_2D: &[u8; 4] = b"VOH2";
+
+/// Encodes a stored histogram into its binary catalog representation.
+pub fn encode_histogram(hist: &StoredHistogram) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        4 + 4 + hist.bucket_avgs().len() * 8 + 4 + 8 + hist.exceptions().len() * 12,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(hist.bucket_avgs().len() as u32);
+    for &avg in hist.bucket_avgs() {
+        buf.put_u64_le(avg);
+    }
+    buf.put_u32_le(hist.default_bucket());
+    buf.put_u64_le(hist.exceptions().len() as u64);
+    for &(value, bucket) in hist.exceptions() {
+        buf.put_u64_le(value);
+        buf.put_u32_le(bucket);
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, bytes: usize, what: &str) -> Result<()> {
+    if buf.remaining() < bytes {
+        return Err(StoreError::Codec(format!(
+            "truncated input: need {bytes} byte(s) for {what}, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes a histogram previously produced by [`encode_histogram`].
+pub fn decode_histogram(mut data: Bytes) -> Result<StoredHistogram> {
+    need(&data, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StoreError::Codec(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    need(&data, 4, "bucket count")?;
+    let n_buckets = data.get_u32_le() as usize;
+    need(&data, n_buckets * 8, "bucket averages")?;
+    let mut avgs = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        avgs.push(data.get_u64_le());
+    }
+    need(&data, 4, "default bucket")?;
+    let default = data.get_u32_le();
+    if (default as usize) >= n_buckets {
+        return Err(StoreError::Codec(format!(
+            "default bucket {default} out of range 0..{n_buckets}"
+        )));
+    }
+    need(&data, 8, "exception count")?;
+    let n_except = data.get_u64_le() as usize;
+    need(&data, n_except * 12, "exceptions")?;
+    let mut exceptions = Vec::with_capacity(n_except);
+    let mut prev: Option<u64> = None;
+    for _ in 0..n_except {
+        let value = data.get_u64_le();
+        let bucket = data.get_u32_le();
+        if (bucket as usize) >= n_buckets {
+            return Err(StoreError::Codec(format!(
+                "exception bucket {bucket} out of range 0..{n_buckets}"
+            )));
+        }
+        if prev.is_some_and(|p| p >= value) {
+            return Err(StoreError::Codec(
+                "exception values must be strictly increasing".into(),
+            ));
+        }
+        prev = Some(value);
+        exceptions.push((value, bucket));
+    }
+    if data.has_remaining() {
+        return Err(StoreError::Codec(format!(
+            "{} trailing byte(s) after histogram",
+            data.remaining()
+        )));
+    }
+    StoredHistogram::from_parts(avgs, default, exceptions)
+}
+
+/// Encodes a 2-D stored histogram. Same layout as the 1-D format except
+/// the magic is `VOH2` and each exception carries two values.
+pub fn encode_matrix_histogram(hist: &StoredMatrixHistogram) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        4 + 4 + hist.bucket_avgs().len() * 8 + 4 + 8 + hist.exceptions().len() * 20,
+    );
+    buf.put_slice(MAGIC_2D);
+    buf.put_u32_le(hist.bucket_avgs().len() as u32);
+    for &avg in hist.bucket_avgs() {
+        buf.put_u64_le(avg);
+    }
+    buf.put_u32_le(hist.default_bucket());
+    buf.put_u64_le(hist.exceptions().len() as u64);
+    for &(a, b, bucket) in hist.exceptions() {
+        buf.put_u64_le(a);
+        buf.put_u64_le(b);
+        buf.put_u32_le(bucket);
+    }
+    buf.freeze()
+}
+
+/// Decodes a 2-D histogram produced by [`encode_matrix_histogram`].
+pub fn decode_matrix_histogram(mut data: Bytes) -> Result<StoredMatrixHistogram> {
+    need(&data, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC_2D {
+        return Err(StoreError::Codec(format!(
+            "bad magic {magic:?}, expected {MAGIC_2D:?}"
+        )));
+    }
+    need(&data, 4, "bucket count")?;
+    let n_buckets = data.get_u32_le() as usize;
+    need(&data, n_buckets * 8, "bucket averages")?;
+    let mut avgs = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        avgs.push(data.get_u64_le());
+    }
+    need(&data, 4, "default bucket")?;
+    let default = data.get_u32_le();
+    need(&data, 8, "exception count")?;
+    let n_except = data.get_u64_le() as usize;
+    need(&data, n_except * 20, "exceptions")?;
+    let mut exceptions = Vec::with_capacity(n_except);
+    for _ in 0..n_except {
+        let a = data.get_u64_le();
+        let b = data.get_u64_le();
+        let bucket = data.get_u32_le();
+        exceptions.push((a, b, bucket));
+    }
+    if data.has_remaining() {
+        return Err(StoreError::Codec(format!(
+            "{} trailing byte(s) after histogram",
+            data.remaining()
+        )));
+    }
+    StoredMatrixHistogram::from_parts(avgs, default, exceptions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vopt_hist::construct::end_biased;
+
+    fn sample() -> StoredHistogram {
+        let freqs = [90u64, 10, 9, 8, 2, 7];
+        let hist = end_biased(&freqs, 2, 1).unwrap();
+        let values: Vec<u64> = (0..6).map(|i| i * 100).collect();
+        StoredHistogram::from_histogram(&values, &hist).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let encoded = encode_histogram(&h);
+        let decoded = decode_histogram(encoded).unwrap();
+        assert_eq!(h, decoded);
+    }
+
+    #[test]
+    fn round_trip_preserves_estimates() {
+        let h = sample();
+        let decoded = decode_histogram(encode_histogram(&h)).unwrap();
+        for v in [0u64, 100, 200, 300, 400, 500, 12345] {
+            assert_eq!(h.approx_frequency(v), decoded.approx_frequency(v));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_histogram(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert!(matches!(
+            decode_histogram(Bytes::from(bytes)),
+            Err(StoreError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_boundary() {
+        let bytes = encode_histogram(&sample()).to_vec();
+        for cut in 0..bytes.len() {
+            let truncated = Bytes::copy_from_slice(&bytes[..cut]);
+            assert!(
+                decode_histogram(truncated).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_histogram(&sample()).to_vec();
+        bytes.push(0);
+        assert!(decode_histogram(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_default_bucket_rejected() {
+        // Hand-craft: 1 bucket, default id 7.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(1);
+        buf.put_u64_le(42);
+        buf.put_u32_le(7);
+        buf.put_u64_le(0);
+        assert!(decode_histogram(buf.freeze()).is_err());
+    }
+
+    fn sample_2d() -> StoredMatrixHistogram {
+        use freqdist::FreqMatrix;
+        use vopt_hist::construct::v_opt_end_biased;
+        use vopt_hist::MatrixHistogram;
+        let m = FreqMatrix::from_rows(2, 3, vec![90, 5, 6, 4, 5, 70]).unwrap();
+        let mh = MatrixHistogram::build(&m, |c| Ok(v_opt_end_biased(c, 3)?.histogram))
+            .unwrap();
+        StoredMatrixHistogram::from_matrix_histogram(&[10, 20], &[1, 2, 3], &mh)
+            .unwrap()
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let h = sample_2d();
+        let decoded = decode_matrix_histogram(encode_matrix_histogram(&h)).unwrap();
+        assert_eq!(h, decoded);
+        for (a, b) in [(10u64, 1u64), (10, 2), (20, 3), (7, 7)] {
+            assert_eq!(h.approx_frequency(a, b), decoded.approx_frequency(a, b));
+        }
+    }
+
+    #[test]
+    fn matrix_magic_is_distinct_from_1d() {
+        let h1 = sample();
+        let h2 = sample_2d();
+        assert!(decode_matrix_histogram(encode_histogram(&h1)).is_err());
+        assert!(decode_histogram(encode_matrix_histogram(&h2)).is_err());
+    }
+
+    #[test]
+    fn matrix_truncation_rejected() {
+        let bytes = encode_matrix_histogram(&sample_2d()).to_vec();
+        for cut in [0usize, 3, 7, bytes.len() - 1] {
+            assert!(decode_matrix_histogram(Bytes::copy_from_slice(&bytes[..cut]))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn unsorted_exceptions_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(1);
+        buf.put_u64_le(2);
+        buf.put_u32_le(0);
+        buf.put_u64_le(2);
+        buf.put_u64_le(10);
+        buf.put_u32_le(1);
+        buf.put_u64_le(5); // decreasing
+        buf.put_u32_le(1);
+        assert!(decode_histogram(buf.freeze()).is_err());
+    }
+}
+
+/// Encodes an entire catalog snapshot (all 1-D and 2-D histograms with
+/// their keys) as one binary blob. Staleness counters are deliberately
+/// not persisted: reloaded statistics start fresh, exactly as after an
+/// ANALYZE.
+///
+/// Layout: magic `VOHC`, `u32` 1-D entry count, entries, `u32` 2-D
+/// entry count, entries. Each entry is `key` (relation + column list as
+/// length-prefixed UTF-8) followed by a length-prefixed histogram blob
+/// in the `VOH1`/`VOH2` format.
+pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
+    fn put_str(buf: &mut BytesMut, s: &str) {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+    fn put_key(buf: &mut BytesMut, key: &crate::catalog::StatKey) {
+        put_str(buf, &key.relation);
+        buf.put_u16_le(key.columns.len() as u16);
+        for c in &key.columns {
+            put_str(buf, c);
+        }
+    }
+    let ones = catalog.snapshot_1d();
+    let twos = catalog.snapshot_2d();
+    let mut buf = BytesMut::new();
+    buf.put_slice(b"VOHC");
+    buf.put_u32_le(ones.len() as u32);
+    for (key, hist) in &ones {
+        put_key(&mut buf, key);
+        let blob = encode_histogram(hist);
+        buf.put_u32_le(blob.len() as u32);
+        buf.put_slice(&blob);
+    }
+    buf.put_u32_le(twos.len() as u32);
+    for (key, hist) in &twos {
+        put_key(&mut buf, key);
+        let blob = encode_matrix_histogram(hist);
+        buf.put_u32_le(blob.len() as u32);
+        buf.put_slice(&blob);
+    }
+    buf.freeze()
+}
+
+/// Decodes a catalog snapshot produced by [`encode_catalog`] into a
+/// fresh catalog (all statistics start unstale).
+pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
+    fn get_str(data: &mut Bytes) -> Result<String> {
+        need(data, 4, "string length")?;
+        let len = data.get_u32_le() as usize;
+        need(data, len, "string bytes")?;
+        let bytes = data.split_to(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Codec(format!("bad utf8: {e}")))
+    }
+    fn get_key(data: &mut Bytes) -> Result<crate::catalog::StatKey> {
+        let relation = get_str(data)?;
+        need(data, 2, "column count")?;
+        let n = data.get_u16_le() as usize;
+        let mut columns = Vec::with_capacity(n);
+        for _ in 0..n {
+            columns.push(get_str(data)?);
+        }
+        Ok(crate::catalog::StatKey { relation, columns })
+    }
+    fn get_blob(data: &mut Bytes) -> Result<Bytes> {
+        need(data, 4, "blob length")?;
+        let len = data.get_u32_le() as usize;
+        need(data, len, "blob bytes")?;
+        Ok(data.split_to(len))
+    }
+
+    need(&data, 4, "magic")?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != b"VOHC" {
+        return Err(StoreError::Codec(format!(
+            "bad catalog magic {magic:?}, expected VOHC"
+        )));
+    }
+    let catalog = crate::catalog::Catalog::new();
+    need(&data, 4, "1-D entry count")?;
+    let n1 = data.get_u32_le() as usize;
+    for _ in 0..n1 {
+        let key = get_key(&mut data)?;
+        let hist = decode_histogram(get_blob(&mut data)?)?;
+        catalog.put(key, hist);
+    }
+    need(&data, 4, "2-D entry count")?;
+    let n2 = data.get_u32_le() as usize;
+    for _ in 0..n2 {
+        let key = get_key(&mut data)?;
+        let hist = decode_matrix_histogram(get_blob(&mut data)?)?;
+        catalog.put_matrix(key, hist);
+    }
+    if data.has_remaining() {
+        return Err(StoreError::Codec(format!(
+            "{} trailing byte(s) after catalog",
+            data.remaining()
+        )));
+    }
+    Ok(catalog)
+}

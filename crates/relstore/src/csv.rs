@@ -1,0 +1,128 @@
+//! Minimal CSV import/export for relations.
+//!
+//! A deliberately small dialect — header line of column names, `u64`
+//! cells, comma separators, no quoting — enough to move synthetic
+//! relations in and out of the `histctl` tool and external plotting
+//! scripts without adding a CSV dependency.
+
+use crate::error::{Result, StoreError};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Writes a relation as CSV to any writer (header + one line per tuple).
+pub fn write_csv<W: Write>(relation: &Relation, out: W) -> Result<()> {
+    let mut out = BufWriter::new(out);
+    let header: Vec<&str> = relation
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.as_str())
+        .collect();
+    writeln!(out, "{}", header.join(","))
+        .map_err(|e| StoreError::InvalidParameter(format!("write: {e}")))?;
+    for row in relation.iter_rows() {
+        let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+        writeln!(out, "{}", cells.join(","))
+            .map_err(|e| StoreError::InvalidParameter(format!("write: {e}")))?;
+    }
+    out.flush()
+        .map_err(|e| StoreError::InvalidParameter(format!("flush: {e}")))?;
+    Ok(())
+}
+
+/// Reads a relation from CSV: a header of column names followed by rows
+/// of `u64` cells. Blank lines are skipped; ragged or non-numeric rows
+/// are errors with line numbers.
+pub fn read_csv<R: BufRead>(input: R, name: &str) -> Result<Relation> {
+    let mut lines = input.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            Some((_, Ok(line))) if line.trim().is_empty() => continue,
+            Some((_, Ok(line))) => break line,
+            Some((n, Err(e))) => {
+                return Err(StoreError::InvalidParameter(format!(
+                    "line {}: {e}",
+                    n + 1
+                )))
+            }
+            None => return Err(StoreError::InvalidParameter("empty input".into())),
+        }
+    };
+    let columns: Vec<String> = header.split(',').map(|c| c.trim().to_string()).collect();
+    let arity = columns.len();
+    let schema = Schema::new(columns)?;
+    let mut relation = Relation::empty(name, schema);
+    for (n, line) in lines {
+        let line =
+            line.map_err(|e| StoreError::InvalidParameter(format!("line {}: {e}", n + 1)))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row: std::result::Result<Vec<u64>, _> =
+            line.split(',').map(|c| c.trim().parse::<u64>()).collect();
+        let row = row.map_err(|e| {
+            StoreError::InvalidParameter(format!("line {}: {e}", n + 1))
+        })?;
+        if row.len() != arity {
+            return Err(StoreError::ArityMismatch {
+                expected: arity,
+                got: row.len(),
+            });
+        }
+        relation.push_row(&row)?;
+    }
+    Ok(relation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut r = Relation::empty("r", schema);
+        r.push_row(&[1, 10]).unwrap();
+        r.push_row(&[2, 20]).unwrap();
+        r
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        write_csv(&r, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), "r").unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn format_is_plain_csv() {
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,10\n2,20\n");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "a,b\n\n1,2\n\n3,4\n";
+        let r = read_csv(text.as_bytes(), "r").unwrap();
+        assert_eq!(r.num_rows(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_csv("a,b\n1,x\n".as_bytes(), "r").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = read_csv("a,b\n1\n".as_bytes(), "r").unwrap_err();
+        assert!(matches!(err, StoreError::ArityMismatch { .. }));
+        assert!(read_csv("".as_bytes(), "r").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let r = read_csv(" a , b \n 1 , 2 \n".as_bytes(), "r").unwrap();
+        assert_eq!(r.schema().index_of("a"), Some(0));
+        assert_eq!(r.column(1), &[2]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by the storage, statistics, and catalog layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A named column does not exist in the relation's schema.
+    UnknownColumn {
+        /// The column that was requested.
+        column: String,
+        /// The relation it was requested from.
+        relation: String,
+    },
+    /// Row data did not match the schema arity.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A catalog lookup missed.
+    MissingStatistics {
+        /// Catalog key (relation, columns) that was requested.
+        key: String,
+    },
+    /// Binary decoding failed.
+    Codec(String),
+    /// A histogram or frequency-structure error bubbled up.
+    Hist(String),
+    /// An invalid parameter (e.g. empty sample, zero rows requested).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownColumn { column, relation } => {
+                write!(f, "relation '{relation}' has no column '{column}'")
+            }
+            StoreError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            StoreError::MissingStatistics { key } => {
+                write!(f, "no statistics in catalog for {key}")
+            }
+            StoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+            StoreError::Hist(msg) => write!(f, "histogram error: {msg}"),
+            StoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<vopt_hist::HistError> for StoreError {
+    fn from(e: vopt_hist::HistError) -> Self {
+        StoreError::Hist(e.to_string())
+    }
+}
+
+impl From<freqdist::FreqError> for StoreError {
+    fn from(e: freqdist::FreqError) -> Self {
+        StoreError::Hist(e.to_string())
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

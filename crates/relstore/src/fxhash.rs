@@ -1,0 +1,127 @@
+//! An FxHash-style hasher for integer-keyed hash tables.
+//!
+//! Algorithm *Matrix* (§3.3) builds per-value frequency counters with a
+//! hash table in a single scan; SipHash (std's default) dominates that
+//! scan for integer keys. The Rust performance guide recommends
+//! `rustc-hash`'s Fx algorithm for exactly this case; since only the
+//! sanctioned offline crates may be used, we implement the same
+//! multiply-rotate mix here (~15 lines) rather than add a dependency.
+//! The `substrate` bench compares it against SipHash.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx multiplier (from Firefox / rustc-hash): a large odd
+/// constant close to 2⁶⁴/φ, giving good avalanche for sequential keys.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic hasher for trusted integer keys.
+///
+/// Not HashDoS-resistant — statistics collection hashes our own data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add_to_hash(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add_to_hash(value as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Creates an empty [`FxHashMap`] with at least `capacity` slots.
+pub fn fx_map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // The low bits (used by HashMap for bucket selection) must differ
+        // across sequential keys.
+        let mut low_bits = std::collections::HashSet::new();
+        for v in 0u64..64 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            low_bits.insert(hasher.finish() & 0x3f);
+        }
+        assert!(low_bits.len() > 32, "only {} distinct low-bit patterns", low_bits.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_whole_words() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn partial_tail_bytes_hash() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abd");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn works_as_hashmap_hasher() {
+        let mut m: FxHashMap<u64, u64> = fx_map_with_capacity(100);
+        for i in 0..1000u64 {
+            *m.entry(i % 37).or_insert(0) += 1;
+        }
+        assert_eq!(m.len(), 37);
+        assert_eq!(m.values().sum::<u64>(), 1000);
+    }
+}

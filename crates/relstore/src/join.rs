@@ -1,0 +1,203 @@
+//! Hash-join execution.
+//!
+//! The substrate's ground truth: result sizes computed by actually
+//! joining tuples, against which Theorem 2.1's matrix products are
+//! cross-checked in the integration tests. [`hash_join_count`] counts
+//! matches without materialising them; [`materialize_join`] produces the
+//! result relation (for small inputs and chain-join ground truth).
+
+use crate::error::Result;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// Counts the result size of `left ⋈ right` on one equality predicate by
+/// building a frequency table over the build side and probing with the
+/// other — no tuples are materialised, so result sizes far beyond memory
+/// are exact and cheap.
+pub fn hash_join_count(
+    left: &Relation,
+    left_col: &str,
+    right: &Relation,
+    right_col: &str,
+) -> Result<u128> {
+    let build = left.column_by_name(left_col)?;
+    let probe = right.column_by_name(right_col)?;
+    let mut table: FxHashMap<u64, u64> = fx_map_with_capacity(build.len().min(1 << 16));
+    for &v in build {
+        *table.entry(v).or_insert(0) += 1;
+    }
+    let mut count: u128 = 0;
+    for v in probe {
+        if let Some(&c) = table.get(v) {
+            count += c as u128;
+        }
+    }
+    Ok(count)
+}
+
+/// Materialises `left ⋈ right` on one equality predicate. Output columns
+/// are all of `left`'s followed by all of `right`'s, with the right
+/// columns renamed `"<right name>.<col>"` on clashes.
+///
+/// Intended for small inputs (tests, chain-join ground truth); the output
+/// size is the true join cardinality.
+pub fn materialize_join(
+    left: &Relation,
+    left_col: &str,
+    right: &Relation,
+    right_col: &str,
+) -> Result<Relation> {
+    let l_key = left.column_by_name(left_col)?;
+    let r_key = right.column_by_name(right_col)?;
+
+    // Build: key → row indices of the left relation.
+    let mut table: FxHashMap<u64, Vec<u32>> = fx_map_with_capacity(l_key.len().min(1 << 16));
+    for (i, &v) in l_key.iter().enumerate() {
+        table.entry(v).or_default().push(i as u32);
+    }
+
+    let mut names: Vec<String> = left
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.name.clone())
+        .collect();
+    for c in right.schema().columns() {
+        let name = if names.contains(&c.name) {
+            format!("{}.{}", right.name(), c.name)
+        } else {
+            c.name.clone()
+        };
+        names.push(name);
+    }
+    let schema = Schema::new(names)?;
+
+    let l_arity = left.schema().arity();
+    let r_arity = right.schema().arity();
+    let mut columns: Vec<Vec<u64>> = vec![Vec::new(); l_arity + r_arity];
+    for (j, &v) in r_key.iter().enumerate() {
+        if let Some(rows) = table.get(&v) {
+            for &i in rows {
+                for (c, col) in columns.iter_mut().take(l_arity).enumerate() {
+                    col.push(left.column(c)[i as usize]);
+                }
+                for c in 0..r_arity {
+                    columns[l_arity + c].push(right.column(c)[j]);
+                }
+            }
+        }
+    }
+    Relation::from_columns(
+        format!("{}_join_{}", left.name(), right.name()),
+        schema,
+        columns,
+    )
+}
+
+/// Executes a chain query `R₀ ⋈ R₁ ⋈ … ⋈ R_N` by repeated materialising
+/// joins and returns the exact result cardinality.
+///
+/// `joins[k]` names the join columns between the running result and
+/// `relations[k + 1]`: `(left column name in the running result, right
+/// column name in relations[k + 1])`. Ground truth for small chains.
+pub fn chain_join_count(relations: &[&Relation], joins: &[(&str, &str)]) -> Result<u128> {
+    assert_eq!(
+        joins.len() + 1,
+        relations.len(),
+        "a chain of N+1 relations has N joins"
+    );
+    if relations.is_empty() {
+        return Ok(0);
+    }
+    if relations.len() == 1 {
+        return Ok(relations[0].num_rows() as u128);
+    }
+    let mut acc = relations[0].clone();
+    for (k, &(lcol, rcol)) in joins.iter().enumerate() {
+        // The last join only needs the count, not the tuples.
+        if k + 2 == relations.len() {
+            return hash_join_count(&acc, lcol, relations[k + 1], rcol);
+        }
+        acc = materialize_join(&acc, lcol, relations[k + 1], rcol)?;
+    }
+    Ok(acc.num_rows() as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relation(name: &str, cols: &[&str], rows: &[&[u64]]) -> Relation {
+        let schema = Schema::new(cols.iter().copied()).unwrap();
+        let mut r = Relation::empty(name, schema);
+        for row in rows {
+            r.push_row(row).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn count_matches_materialisation() {
+        let l = relation("l", &["a", "x"], &[&[1, 100], &[1, 101], &[2, 102]]);
+        let r = relation("r", &["a", "y"], &[&[1, 7], &[2, 8], &[2, 9], &[3, 10]]);
+        let count = hash_join_count(&l, "a", &r, "a").unwrap();
+        let mat = materialize_join(&l, "a", &r, "a").unwrap();
+        assert_eq!(count, mat.num_rows() as u128);
+        assert_eq!(count, 2 + 2); // value 1: 2*1, value 2: 1*2
+    }
+
+    #[test]
+    fn join_on_empty_side_is_empty() {
+        let l = relation("l", &["a"], &[]);
+        let r = relation("r", &["a"], &[&[1]]);
+        assert_eq!(hash_join_count(&l, "a", &r, "a").unwrap(), 0);
+        assert_eq!(materialize_join(&l, "a", &r, "a").unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn materialised_schema_renames_clashes() {
+        let l = relation("l", &["a", "b"], &[&[1, 2]]);
+        let r = relation("rr", &["a", "c"], &[&[1, 3]]);
+        let j = materialize_join(&l, "a", &r, "a").unwrap();
+        let names: Vec<_> = j
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "rr.a", "c"]);
+        assert_eq!(j.iter_rows().next().unwrap(), vec![1, 2, 1, 3]);
+    }
+
+    #[test]
+    fn chain_of_three_relations() {
+        // R0(a1), R1(a1, a2), R2(a2) — the paper's canonical chain shape.
+        let r0 = relation("r0", &["a1"], &[&[1], &[1], &[2]]);
+        let r1 = relation(
+            "r1",
+            &["a1", "a2"],
+            &[&[1, 10], &[1, 11], &[2, 10], &[3, 12]],
+        );
+        let r2 = relation("r2", &["a2"], &[&[10], &[10], &[11]]);
+        let count =
+            chain_join_count(&[&r0, &r1, &r2], &[("a1", "a1"), ("a2", "a2")]).unwrap();
+        // Exact: value-level product. r0.a1: {1:2, 2:1}; pairs in r1;
+        // r2.a2: {10:2, 11:1}.
+        // (1,10):1*2*2=4  (1,11):1*2*1=2  (2,10):1*1*2=2  (3,12): no a1=3 in r0.
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn single_relation_chain_counts_rows() {
+        let r = relation("r", &["a"], &[&[1], &[2]]);
+        assert_eq!(chain_join_count(&[&r], &[]).unwrap(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a chain of N+1 relations has N joins")]
+    fn mismatched_joins_panic() {
+        let r = relation("r", &["a"], &[&[1]]);
+        let _ = chain_join_count(&[&r, &r], &[]);
+    }
+}

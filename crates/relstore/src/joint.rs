@@ -1,0 +1,144 @@
+//! Algorithm *JointMatrix* (§3.3): building the joint-frequency table of
+//! two join relations.
+//!
+//! "First, the frequencies of the domain values of attribute a₁ in R₀ and
+//! R₁ are computed. … Next, these two lists of ⟨attribute, frequency⟩
+//! pairs are joined on the attribute value to give the joint-frequency
+//! matrix." The join step is what makes collecting joint information
+//! "quite expensive" compared to per-relation frequency sets — the cost
+//! asymmetry that motivates Theorem 3.3.
+
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::stats::{frequency_table, FrequencyTable};
+
+/// One row of a joint-frequency table: a join value and its frequency in
+/// each relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JointRow {
+    /// The join attribute value.
+    pub value: u64,
+    /// Its frequency in the left relation.
+    pub left_freq: u64,
+    /// Its frequency in the right relation.
+    pub right_freq: u64,
+}
+
+/// The joint-frequency table of a 2-way join (§2.2's "(2N+1)-column
+/// table" specialised to N = 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JointFrequencyTable {
+    /// Rows for every value present in *both* relations (values missing
+    /// from either side contribute no join tuples and are dropped by the
+    /// inner join of the frequency lists).
+    pub rows: Vec<JointRow>,
+}
+
+impl JointFrequencyTable {
+    /// The exact 2-way join result size: `Σ_v f₀(v)·f₁(v)`.
+    pub fn join_size(&self) -> u128 {
+        self.rows
+            .iter()
+            .map(|r| (r.left_freq as u128) * (r.right_freq as u128))
+            .sum()
+    }
+}
+
+/// Joins two frequency tables on the attribute value (merge join over the
+/// sorted value lists).
+pub fn join_frequency_tables(
+    left: &FrequencyTable,
+    right: &FrequencyTable,
+) -> JointFrequencyTable {
+    let mut rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.values.len() && j < right.values.len() {
+        match left.values[i].cmp(&right.values[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                rows.push(JointRow {
+                    value: left.values[i],
+                    left_freq: left.freqs[i],
+                    right_freq: right.freqs[j],
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    JointFrequencyTable { rows }
+}
+
+/// Algorithm *JointMatrix* end to end: scan both relations (Algorithm
+/// *Matrix*), then join the frequency lists.
+pub fn joint_frequency_table(
+    left: &Relation,
+    left_col: &str,
+    right: &Relation,
+    right_col: &str,
+) -> Result<JointFrequencyTable> {
+    let lt = frequency_table(left, left_col)?;
+    let rt = frequency_table(right, right_col)?;
+    Ok(join_frequency_tables(&lt, &rt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn relation_with(col: &str, values: &[u64]) -> Relation {
+        let schema = Schema::new([col]).unwrap();
+        let mut r = Relation::empty("r", schema);
+        for &v in values {
+            r.push_row(&[v]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn joins_on_common_values_only() {
+        let l = relation_with("a", &[1, 1, 2, 5]);
+        let r = relation_with("a", &[1, 2, 2, 3]);
+        let joint = joint_frequency_table(&l, "a", &r, "a").unwrap();
+        assert_eq!(
+            joint.rows,
+            vec![
+                JointRow { value: 1, left_freq: 2, right_freq: 1 },
+                JointRow { value: 2, left_freq: 1, right_freq: 2 },
+            ]
+        );
+        assert_eq!(joint.join_size(), 2 + 2);
+    }
+
+    #[test]
+    fn disjoint_relations_have_empty_joint_table() {
+        let l = relation_with("a", &[1, 2]);
+        let r = relation_with("a", &[3, 4]);
+        let joint = joint_frequency_table(&l, "a", &r, "a").unwrap();
+        assert!(joint.rows.is_empty());
+        assert_eq!(joint.join_size(), 0);
+    }
+
+    #[test]
+    fn self_join_gives_squared_frequencies() {
+        let rel = relation_with("a", &[7, 7, 7, 9]);
+        let joint = joint_frequency_table(&rel, "a", &rel, "a").unwrap();
+        assert_eq!(joint.join_size(), 9 + 1);
+    }
+
+    #[test]
+    fn paper_example_2_2_first_join() {
+        // R0 over {v1=1, v2=2}: 20 and 15 tuples; R1.a1 frequencies are
+        // its matrix row sums 25+10+12=47 and 4+12+3=19.
+        let mut r0_vals = vec![1u64; 20];
+        r0_vals.extend(vec![2u64; 15]);
+        let r0 = relation_with("a1", &r0_vals);
+        let mut r1_vals = vec![1u64; 47];
+        r1_vals.extend(vec![2u64; 19]);
+        let r1 = relation_with("a1", &r1_vals);
+        let joint = joint_frequency_table(&r0, "a1", &r1, "a1").unwrap();
+        assert_eq!(joint.join_size(), 20 * 47 + 15 * 19);
+    }
+}

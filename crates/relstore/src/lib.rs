@@ -1,0 +1,47 @@
+//! Columnar relational substrate for the histogram reproduction.
+//!
+//! The paper assumes a database system around its histograms: relations
+//! to scan, a statistics collector (Algorithms *Matrix* and *JointMatrix*
+//! of §3.3), joins to validate result sizes against, sampling to find
+//! high frequencies cheaply (§4.2's DB2/MVS technique), and catalogs that
+//! store histograms compactly (§4's storage discussion). This crate
+//! builds all of that:
+//!
+//! * [`Relation`] — dictionary-encoded columnar storage with schemas.
+//! * [`stats`] — Algorithm *Matrix*: single-scan frequency vectors and
+//!   matrices via a hash table; [`joint`] — Algorithm *JointMatrix*.
+//! * [`join`] — hash-join execution producing exact result cardinalities
+//!   (the ground truth Theorem 2.1 is cross-checked against).
+//! * [`sample`] — reservoir sampling and a Space-Saving sketch for
+//!   identifying the β−1 highest frequencies without a full scan.
+//! * [`catalog`] — a concurrent statistics catalog storing histograms in
+//!   the paper's compact layout (values of the largest bucket are implied
+//!   by absence), with staleness tracking and a self-contained binary
+//!   codec.
+//! * [`generate`] — materialisation of relations from frequency
+//!   distributions, so every synthetic experiment runs against real
+//!   tuples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod catalog2d;
+pub mod codec;
+pub mod csv;
+pub mod error;
+pub mod fxhash;
+pub mod generate;
+pub mod join;
+pub mod joint;
+pub mod maintenance;
+pub mod relation;
+pub mod sample;
+pub mod schema;
+pub mod stats;
+
+pub use catalog::{Catalog, StoredHistogram};
+pub use catalog2d::StoredMatrixHistogram;
+pub use error::{Result, StoreError};
+pub use relation::Relation;
+pub use schema::{ColumnDef, Schema};

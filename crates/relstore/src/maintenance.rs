@@ -1,0 +1,156 @@
+//! Histogram refresh policies.
+//!
+//! §2.3 of the paper: "delaying the propagation of database updates to
+//! the histogram may introduce additional errors. Appropriate schedules
+//! of database update propagation to histograms are an issue that is
+//! beyond the scope of this paper." This module supplies the hook such a
+//! schedule plugs into — a threshold policy over the catalog's staleness
+//! counters, in the style of production ANALYZE daemons (e.g.
+//! PostgreSQL's autovacuum thresholds): refresh once
+//! `updates > base + fraction × rows`.
+
+use crate::catalog::{Catalog, StatKey};
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// When to re-ANALYZE a column's statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshPolicy {
+    /// Absolute update count below which statistics are never refreshed
+    /// (avoids thrashing on small relations).
+    pub base_threshold: u64,
+    /// Refresh once updates exceed `base_threshold + fraction × rows`.
+    pub staleness_fraction: f64,
+}
+
+impl Default for RefreshPolicy {
+    /// PostgreSQL-like defaults: 50 updates + 10% of the relation.
+    fn default() -> Self {
+        Self {
+            base_threshold: 50,
+            staleness_fraction: 0.10,
+        }
+    }
+}
+
+impl RefreshPolicy {
+    /// Whether statistics with `staleness` updates over a relation of
+    /// `rows` tuples should be rebuilt.
+    pub fn due(&self, staleness: u64, rows: usize) -> bool {
+        let threshold =
+            self.base_threshold as f64 + self.staleness_fraction * rows as f64;
+        (staleness as f64) > threshold
+    }
+}
+
+/// Outcome of a maintenance pass over one catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceOutcome {
+    /// Statistics were fresh enough; nothing done.
+    Fresh,
+    /// Statistics were rebuilt (scan + construct + store).
+    Refreshed,
+}
+
+/// Checks one single-column entry against the policy and re-ANALYZEs it
+/// when due. Returns what happened.
+///
+/// The rebuilt histogram uses the same bucket budget as requested; the
+/// relation is scanned with Algorithm *Matrix* exactly as the original
+/// ANALYZE did.
+pub fn maintain_column(
+    catalog: &Catalog,
+    relation: &Relation,
+    column: &str,
+    buckets: usize,
+    policy: &RefreshPolicy,
+) -> Result<MaintenanceOutcome> {
+    let key = StatKey::new(relation.name(), &[column]);
+    let staleness = match catalog.staleness(&key) {
+        Ok(s) => s,
+        // Never analyzed: build the first histogram now.
+        Err(_) => {
+            catalog.analyze_end_biased(relation, column, buckets)?;
+            return Ok(MaintenanceOutcome::Refreshed);
+        }
+    };
+    if policy.due(staleness, relation.num_rows()) {
+        catalog.analyze_end_biased(relation, column, buckets)?;
+        Ok(MaintenanceOutcome::Refreshed)
+    } else {
+        Ok(MaintenanceOutcome::Fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::relation_from_frequency_set;
+    use freqdist::FrequencySet;
+
+    fn relation() -> Relation {
+        let freqs = FrequencySet::new(vec![50, 30, 10, 5, 5]);
+        relation_from_frequency_set("t", "c", &freqs, 3).unwrap()
+    }
+
+    #[test]
+    fn policy_thresholds() {
+        let p = RefreshPolicy::default();
+        // 100-row relation: threshold = 50 + 10 = 60.
+        assert!(!p.due(0, 100));
+        assert!(!p.due(60, 100));
+        assert!(p.due(61, 100));
+        let strict = RefreshPolicy {
+            base_threshold: 0,
+            staleness_fraction: 0.0,
+        };
+        assert!(strict.due(1, 1_000_000));
+        assert!(!strict.due(0, 1_000_000));
+    }
+
+    #[test]
+    fn first_maintenance_analyzes() {
+        let cat = Catalog::new();
+        let rel = relation();
+        let out =
+            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Refreshed);
+        assert!(cat.get(&StatKey::new("t", &["c"])).is_ok());
+    }
+
+    #[test]
+    fn fresh_statistics_are_left_alone() {
+        let cat = Catalog::new();
+        let rel = relation();
+        maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out =
+            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Fresh);
+    }
+
+    #[test]
+    fn stale_statistics_are_refreshed_and_staleness_resets() {
+        let cat = Catalog::new();
+        let rel = relation();
+        let key = StatKey::new("t", &["c"]);
+        maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        // 100 rows → threshold 50 + 10 = 60.
+        cat.note_updates("t", 61);
+        let out =
+            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Refreshed);
+        assert_eq!(cat.staleness(&key).unwrap(), 0);
+    }
+
+    #[test]
+    fn below_threshold_updates_do_not_refresh() {
+        let cat = Catalog::new();
+        let rel = relation();
+        maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        cat.note_updates("t", 30);
+        let out =
+            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Fresh);
+        assert_eq!(cat.staleness(&StatKey::new("t", &["c"])).unwrap(), 30);
+    }
+}

@@ -1,0 +1,177 @@
+//! Columnar relations.
+//!
+//! A [`Relation`] stores its tuples column-wise (`Vec<u64>` per column),
+//! which makes the single-column scans of Algorithm *Matrix* and the
+//! key-column probes of the hash join cache-friendly. Values are
+//! dictionary-encoded domain ids.
+
+use crate::error::{Result, StoreError};
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+
+/// A named, columnar relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    columns: Vec<Vec<u64>>,
+    rows: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Self {
+            name: name.into(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Builds a relation directly from columns (all must share a length).
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Vec<u64>>,
+    ) -> Result<Self> {
+        if columns.len() != schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                expected: schema.arity(),
+                got: columns.len(),
+            });
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(StoreError::InvalidParameter(
+                "columns have unequal lengths".into(),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Appends one tuple.
+    pub fn push_row(&mut self, row: &[u64]) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `T`.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// A column by position.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn column(&self, idx: usize) -> &[u64] {
+        &self.columns[idx]
+    }
+
+    /// A column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[u64]> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| StoreError::UnknownColumn {
+                column: name.into(),
+                relation: self.name.clone(),
+            })?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Iterates tuples row-wise (materialising a small buffer per row);
+    /// intended for tests and small relations.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<u64>> + '_ {
+        (0..self.rows).map(move |r| self.columns.iter().map(|c| c[r]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col() -> Relation {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let mut r = Relation::empty("r", schema);
+        r.push_row(&[1, 10]).unwrap();
+        r.push_row(&[2, 20]).unwrap();
+        r.push_row(&[1, 30]).unwrap();
+        r
+    }
+
+    #[test]
+    fn push_and_scan() {
+        let r = two_col();
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.column(0), &[1, 2, 1]);
+        assert_eq!(r.column_by_name("b").unwrap(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut r = two_col();
+        assert!(matches!(
+            r.push_row(&[1]),
+            Err(StoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let r = two_col();
+        assert!(matches!(
+            r.column_by_name("z"),
+            Err(StoreError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn from_columns_validates_lengths() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        assert!(Relation::from_columns("r", schema.clone(), vec![vec![1], vec![]]).is_err());
+        let ok = Relation::from_columns("r", schema.clone(), vec![vec![1], vec![2]]).unwrap();
+        assert_eq!(ok.num_rows(), 1);
+        assert!(Relation::from_columns("r", schema, vec![vec![1]]).is_err());
+    }
+
+    #[test]
+    fn iter_rows_round_trips() {
+        let r = two_col();
+        let rows: Vec<_> = r.iter_rows().collect();
+        assert_eq!(rows, vec![vec![1, 10], vec![2, 20], vec![1, 30]]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty("e", Schema::new(["x"]).unwrap());
+        assert_eq!(r.num_rows(), 0);
+        assert_eq!(r.iter_rows().count(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Sampling-based detection of high frequencies (§4.2).
+//!
+//! "Sampling can be used to identify the β−1 highest frequencies, which
+//! is an extremely fast operation, requiring constant amount of very
+//! small space. Something similar is done in DB2/MVS in order to identify
+//! the 10 highest frequencies in each attribute."
+//!
+//! Two implementations are provided:
+//!
+//! * [`reservoir_sample`] + [`top_k_from_sample`] — the classic
+//!   fixed-space random sample with frequency scaling.
+//! * [`SpaceSaving`] — a deterministic heavy-hitter sketch (Metwally et
+//!   al.) offered as a streaming alternative; its guaranteed over-count
+//!   bound suits the same "find the univalued-bucket candidates" role.
+//!
+//! The paper also notes the technique fails for distributions with many
+//! high and few *low* frequencies (reverse-Zipf): there is no cheap way
+//! to find the lowest frequencies by sampling. The `ablations` experiment
+//! measures exactly that failure mode.
+
+use crate::error::{Result, StoreError};
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Draws a uniform reservoir sample of `k` items from `data` (Vitter's
+/// Algorithm R), seeded for reproducibility. Returns all of `data` when
+/// `k >= data.len()`.
+pub fn reservoir_sample(data: &[u64], k: usize, seed: u64) -> Vec<u64> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if k >= data.len() {
+        return data.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<u64> = data[..k].to_vec();
+    for (i, &v) in data.iter().enumerate().skip(k) {
+        let j = rng.random_range(0..=i);
+        if j < k {
+            reservoir[j] = v;
+        }
+    }
+    reservoir
+}
+
+/// An estimated high-frequency value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimatedFrequency {
+    /// The attribute value.
+    pub value: u64,
+    /// Its estimated frequency in the full column (sample count scaled by
+    /// the sampling fraction).
+    pub estimated_freq: u64,
+}
+
+/// Estimates the `k` highest-frequency values from a sample of a column
+/// of `population` total rows.
+///
+/// Values are ranked by sample count; counts are scaled back to the
+/// population. Ties are broken by value for determinism.
+pub fn top_k_from_sample(
+    sample: &[u64],
+    population: usize,
+    k: usize,
+) -> Result<Vec<EstimatedFrequency>> {
+    if sample.is_empty() {
+        return Err(StoreError::InvalidParameter(
+            "cannot estimate frequencies from an empty sample".into(),
+        ));
+    }
+    let mut counts: FxHashMap<u64, u64> = fx_map_with_capacity(sample.len().min(1 << 12));
+    for &v in sample {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
+    // Descending count, ascending value.
+    ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let scale = population as f64 / sample.len() as f64;
+    Ok(ranked
+        .into_iter()
+        .take(k)
+        .map(|(value, c)| EstimatedFrequency {
+            value,
+            estimated_freq: (c as f64 * scale).round() as u64,
+        })
+        .collect())
+}
+
+/// The Space-Saving heavy-hitter sketch: tracks at most `capacity`
+/// counters; any value with true frequency above `N / capacity` is
+/// guaranteed to be present after a full pass.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// value → (count, overestimation when it took over a counter)
+    counters: FxHashMap<u64, (u64, u64)>,
+    processed: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a sketch with `capacity` counters (must be positive).
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(StoreError::InvalidParameter(
+                "SpaceSaving needs at least one counter".into(),
+            ));
+        }
+        Ok(Self {
+            capacity,
+            counters: fx_map_with_capacity(capacity),
+            processed: 0,
+        })
+    }
+
+    /// Observes one value.
+    pub fn observe(&mut self, value: u64) {
+        self.processed += 1;
+        if let Some(entry) = self.counters.get_mut(&value) {
+            entry.0 += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(value, (1, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // the guaranteed over-estimation bound.
+        let (&min_value, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|&(v, &(c, _))| (c, *v))
+            .expect("capacity > 0 so counters is non-empty");
+        self.counters.remove(&min_value);
+        self.counters.insert(value, (min_count + 1, min_count));
+    }
+
+    /// Observes a whole column.
+    pub fn observe_all(&mut self, data: &[u64]) {
+        for &v in data {
+            self.observe(v);
+        }
+    }
+
+    /// Total values observed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The current top-`k` candidates: `(value, count upper bound,
+    /// guaranteed lower bound)`, sorted by count descending.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64, u64)> {
+        let mut all: Vec<(u64, u64, u64)> = self
+            .counters
+            .iter()
+            .map(|(&v, &(c, over))| (v, c, c - over))
+            .collect();
+        all.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_column() -> Vec<u64> {
+        // Value 1: 500×, value 2: 300×, value 3: 100×, values 10..110: 1×.
+        let mut col = Vec::new();
+        col.extend(std::iter::repeat_n(1u64, 500));
+        col.extend(std::iter::repeat_n(2u64, 300));
+        col.extend(std::iter::repeat_n(3u64, 100));
+        col.extend(10..110u64);
+        col
+    }
+
+    #[test]
+    fn reservoir_is_right_size_and_reproducible() {
+        let col = skewed_column();
+        let s1 = reservoir_sample(&col, 100, 9);
+        let s2 = reservoir_sample(&col, 100, 9);
+        assert_eq!(s1.len(), 100);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, reservoir_sample(&col, 100, 10));
+    }
+
+    #[test]
+    fn reservoir_small_population_returns_all() {
+        assert_eq!(reservoir_sample(&[1, 2, 3], 10, 0), vec![1, 2, 3]);
+        assert!(reservoir_sample(&[1, 2, 3], 0, 0).is_empty());
+    }
+
+    #[test]
+    fn sample_top_k_finds_heavy_values() {
+        let col = skewed_column();
+        let sample = reservoir_sample(&col, 200, 42);
+        let top = top_k_from_sample(&sample, col.len(), 2).unwrap();
+        let values: Vec<u64> = top.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![1, 2]);
+        // Scaled estimate of the top value within 40% of truth.
+        let est = top[0].estimated_freq as f64;
+        assert!((est - 500.0).abs() < 200.0, "estimate {est} too far from 500");
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(top_k_from_sample(&[], 10, 1).is_err());
+    }
+
+    #[test]
+    fn space_saving_guarantees_heavy_hitters() {
+        let col = skewed_column();
+        let mut ss = SpaceSaving::new(10).unwrap();
+        ss.observe_all(&col);
+        assert_eq!(ss.processed(), col.len() as u64);
+        let top: Vec<u64> = ss.top_k(3).iter().map(|&(v, _, _)| v).collect();
+        // 1, 2, 3 all exceed N/capacity = 100 and must be present.
+        assert!(top.contains(&1));
+        assert!(top.contains(&2));
+        assert!(top.contains(&3));
+        // Counts are upper bounds.
+        for &(v, upper, lower) in &ss.top_k(3) {
+            let truth = col.iter().filter(|&&x| x == v).count() as u64;
+            assert!(upper >= truth, "upper bound violated for {v}");
+            assert!(lower <= truth, "lower bound violated for {v}");
+        }
+    }
+
+    #[test]
+    fn space_saving_exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(100).unwrap();
+        ss.observe_all(&[5, 5, 6]);
+        let top = ss.top_k(2);
+        assert_eq!(top[0], (5, 2, 2));
+        assert_eq!(top[1], (6, 1, 1));
+    }
+
+    #[test]
+    fn space_saving_zero_capacity_rejected() {
+        assert!(SpaceSaving::new(0).is_err());
+    }
+}

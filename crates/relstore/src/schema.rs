@@ -1,0 +1,88 @@
+//! Relation schemas.
+//!
+//! Columns hold dictionary-encoded `u64` domain values (§2.2's domains
+//! `D_j` — the numbering of attribute values is arbitrary and need not
+//! reflect any natural ordering, which is exactly the paper's modelling
+//! assumption for equi-width/equi-depth comparisons).
+
+use crate::error::{Result, StoreError};
+use serde::{Deserialize, Serialize};
+
+/// One column of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within the schema.
+    pub name: String,
+}
+
+impl ColumnDef {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+/// An ordered list of named columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema from column names. Duplicate names are rejected.
+    pub fn new<I, S>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let columns: Vec<ColumnDef> = names.into_iter().map(ColumnDef::new).collect();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|other| other.name == c.name) {
+                return Err(StoreError::InvalidParameter(format!(
+                    "duplicate column name '{}'",
+                    c.name
+                )));
+            }
+        }
+        Ok(Self { columns })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of a named column.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(["a", "b", "c"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(Schema::new(["a", "a"]).is_err());
+    }
+
+    #[test]
+    fn empty_schema_allowed() {
+        let s = Schema::new(Vec::<String>::new()).unwrap();
+        assert_eq!(s.arity(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Whole-catalog snapshot persistence: encode → decode round trips,
+//! including 2-D entries, with staleness reset on reload.
+
+use bytes::Bytes;
+use freqdist::zipf::zipf_frequencies;
+use relstore::catalog::StatKey;
+use relstore::codec::{decode_catalog, encode_catalog};
+use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
+use relstore::Catalog;
+
+fn populated_catalog() -> Catalog {
+    let cat = Catalog::new();
+    let fa = zipf_frequencies(500, 40, 1.0).unwrap();
+    let ra = relation_from_frequency_set("orders", "part", &fa, 1).unwrap();
+    cat.analyze_end_biased(&ra, "part", 6).unwrap();
+    let fb = zipf_frequencies(300, 25, 0.5).unwrap();
+    let rb = relation_from_frequency_set("stock", "part", &fb, 2).unwrap();
+    cat.analyze_end_biased(&rb, "part", 4).unwrap();
+    // A 2-D entry.
+    let fm = zipf_frequencies(200, 12, 0.8).unwrap();
+    let m = freqdist::FreqMatrix::from_arrangement(
+        &fm,
+        3,
+        4,
+        &freqdist::Arrangement::identity(12),
+    )
+    .unwrap();
+    let rp = relation_from_matrix("emp", "dept", "year", &[1, 2, 3], &[7, 8, 9, 10], &m, 3)
+        .unwrap();
+    cat.analyze_matrix_end_biased(&rp, "dept", "year", 3).unwrap();
+    cat
+}
+
+#[test]
+fn snapshot_round_trips_every_entry() {
+    let cat = populated_catalog();
+    let restored = decode_catalog(encode_catalog(&cat)).unwrap();
+
+    for key in cat.keys() {
+        let original = cat.get(&key).unwrap();
+        let reloaded = restored.get(&key).unwrap();
+        assert_eq!(original, reloaded, "{key:?}");
+    }
+    let key2d = StatKey::new("emp", &["dept", "year"]);
+    assert_eq!(
+        cat.get_matrix(&key2d).unwrap(),
+        restored.get_matrix(&key2d).unwrap()
+    );
+}
+
+#[test]
+fn snapshot_resets_staleness() {
+    let cat = populated_catalog();
+    cat.note_updates("orders", 99);
+    let key = StatKey::new("orders", &["part"]);
+    assert_eq!(cat.staleness(&key).unwrap(), 99);
+    let restored = decode_catalog(encode_catalog(&cat)).unwrap();
+    assert_eq!(restored.staleness(&key).unwrap(), 0);
+}
+
+#[test]
+fn empty_catalog_round_trips() {
+    let cat = Catalog::new();
+    let restored = decode_catalog(encode_catalog(&cat)).unwrap();
+    assert!(restored.keys().is_empty());
+}
+
+#[test]
+fn snapshot_is_deterministic() {
+    let a = encode_catalog(&populated_catalog());
+    let b = encode_catalog(&populated_catalog());
+    assert_eq!(a, b, "snapshot encoding must be order-stable");
+}
+
+#[test]
+fn corrupted_snapshots_rejected() {
+    let bytes = encode_catalog(&populated_catalog()).to_vec();
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    assert!(decode_catalog(Bytes::from(bad)).is_err());
+    // Truncations at structural boundaries.
+    for cut in [0usize, 3, 7, 20, bytes.len() - 1] {
+        assert!(
+            decode_catalog(Bytes::copy_from_slice(&bytes[..cut])).is_err(),
+            "cut at {cut} decoded successfully"
+        );
+    }
+    // Trailing garbage.
+    let mut long = bytes.clone();
+    long.push(0);
+    assert!(decode_catalog(Bytes::from(long)).is_err());
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the relational substrate.
+
+use freqdist::FrequencySet;
+use proptest::prelude::*;
+use relstore::catalog::StoredHistogram;
+use relstore::codec::{decode_histogram, encode_histogram};
+use relstore::generate::relation_from_frequency_set;
+use relstore::join::{hash_join_count, materialize_join};
+use relstore::joint::joint_frequency_table;
+use relstore::sample::SpaceSaving;
+use relstore::stats::frequency_table;
+use vopt_hist::construct::v_opt_end_biased;
+
+fn freqs_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..40, 1..=20)
+}
+
+proptest! {
+    /// Algorithm Matrix recovers exactly the frequencies a relation was
+    /// generated from (zero-frequency values excepted), and the total
+    /// matches the row count.
+    #[test]
+    fn frequency_table_is_exact(freqs in freqs_strategy(), seed in any::<u64>()) {
+        let fs = FrequencySet::new(freqs.clone());
+        let rel = relation_from_frequency_set("r", "a", &fs, seed).unwrap();
+        let t = frequency_table(&rel, "a").unwrap();
+        prop_assert_eq!(t.frequency_set().total(), fs.total());
+        for (i, &f) in freqs.iter().enumerate() {
+            prop_assert_eq!(t.frequency_of(i as u64), f);
+        }
+    }
+
+    /// Join cardinality is symmetric and equals both the joint-frequency
+    /// product and the materialised row count.
+    #[test]
+    fn join_count_symmetry_and_agreement(
+        fa in freqs_strategy(),
+        fb in freqs_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let ra = relation_from_frequency_set("a", "k", &FrequencySet::new(fa), seed).unwrap();
+        let rb = relation_from_frequency_set("b", "k", &FrequencySet::new(fb), seed ^ 1).unwrap();
+        let ab = hash_join_count(&ra, "k", &rb, "k").unwrap();
+        let ba = hash_join_count(&rb, "k", &ra, "k").unwrap();
+        prop_assert_eq!(ab, ba);
+        let joint = joint_frequency_table(&ra, "k", &rb, "k").unwrap().join_size();
+        prop_assert_eq!(ab, joint);
+        let mat = materialize_join(&ra, "k", &rb, "k").unwrap();
+        prop_assert_eq!(ab, mat.num_rows() as u128);
+    }
+
+    /// The codec is lossless for any stored end-biased histogram.
+    #[test]
+    fn codec_round_trips(freqs in prop::collection::vec(0u64..1000, 2..=30), beta in 1usize..6) {
+        prop_assume!(beta <= freqs.len());
+        let hist = v_opt_end_biased(&freqs, beta).unwrap().histogram;
+        let values: Vec<u64> = (0..freqs.len() as u64).map(|v| v * 3 + 1).collect();
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        let decoded = decode_histogram(encode_histogram(&stored)).unwrap();
+        prop_assert_eq!(&decoded, &stored);
+        for &v in &values {
+            prop_assert_eq!(decoded.approx_frequency(v), stored.approx_frequency(v));
+        }
+    }
+
+    /// Space-Saving bounds hold for any stream: lower ≤ truth ≤ upper.
+    #[test]
+    fn space_saving_bounds(stream in prop::collection::vec(0u64..15, 1..200), cap in 1usize..10) {
+        let mut ss = SpaceSaving::new(cap).unwrap();
+        ss.observe_all(&stream);
+        for (v, upper, lower) in ss.top_k(cap) {
+            let truth = stream.iter().filter(|&&x| x == v).count() as u64;
+            prop_assert!(lower <= truth, "lower bound broken for {v}");
+            prop_assert!(upper >= truth, "upper bound broken for {v}");
+        }
+        // Any value with count > N/cap must be tracked.
+        let n = stream.len() as u64;
+        for v in 0u64..15 {
+            let truth = stream.iter().filter(|&&x| x == v).count() as u64;
+            if truth > n / cap as u64 {
+                prop_assert!(
+                    ss.top_k(cap).iter().any(|&(x, _, _)| x == v),
+                    "heavy hitter {v} (count {truth}) missing"
+                );
+            }
+        }
+    }
+
+    /// Stored-histogram estimates over the whole domain conserve roughly
+    /// the relation size (each value contributes its bucket's rounded
+    /// average; rounding drifts by at most 0.5 per value).
+    #[test]
+    fn stored_histogram_mass_conservation(freqs in prop::collection::vec(0u64..100, 2..=25)) {
+        let beta = 3.min(freqs.len());
+        let hist = v_opt_end_biased(&freqs, beta).unwrap().histogram;
+        let values: Vec<u64> = (0..freqs.len() as u64).collect();
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        let est: u64 = values.iter().map(|&v| stored.approx_frequency(v)).sum();
+        let total: u64 = freqs.iter().sum();
+        prop_assert!(
+            (est as i128 - total as i128).unsigned_abs() <= freqs.len() as u128,
+            "estimated mass {est} vs true {total}"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! The bucket-count advisor (§3.1): "administrators can determine the
+//! minimum number of buckets required for tolerable errors" from the
+//! error formula of Proposition 3.1 — no query execution needed.
+//!
+//! ```text
+//! cargo run --release --example bucket_advisor
+//! ```
+
+use freqdist::generators::{real_life_like, MixtureParams};
+use freqdist::zipf::zipf_frequencies;
+use vopt_hist::advisor::{error_profile, recommend_buckets, AdvisorFamily};
+
+fn main() {
+    let distributions: Vec<(&str, Vec<u64>)> = vec![
+        (
+            "uniform (z=0)",
+            zipf_frequencies(1000, 100, 0.0).expect("valid").into_vec(),
+        ),
+        (
+            "zipf z=1",
+            zipf_frequencies(1000, 100, 1.0).expect("valid").into_vec(),
+        ),
+        (
+            "zipf z=2",
+            zipf_frequencies(1000, 100, 2.0).expect("valid").into_vec(),
+        ),
+        (
+            "real-life-like",
+            real_life_like(&MixtureParams::default(), 9)
+                .expect("valid")
+                .into_vec(),
+        ),
+    ];
+
+    // Error profile: how fast does the optimal error fall with β?
+    println!("self-join error (S - S') of the v-optimal serial histogram:\n");
+    print!("{:<16}", "distribution");
+    let betas = [1usize, 2, 3, 5, 10, 20];
+    for b in betas {
+        print!("{:>10}", format!("beta={b}"));
+    }
+    println!();
+    for (name, freqs) in &distributions {
+        let profile =
+            error_profile(freqs, AdvisorFamily::Serial, 20).expect("valid profile");
+        print!("{name:<16}");
+        for b in betas {
+            let err = profile[b - 1].error;
+            print!("{:>10.0}", err);
+        }
+        println!();
+    }
+
+    // Recommendation: buckets needed to bring the error under a target.
+    let tolerance = 500.0;
+    println!("\nbuckets recommended for self-join error <= {tolerance}:");
+    for (name, freqs) in &distributions {
+        for family in [AdvisorFamily::Serial, AdvisorFamily::EndBiased] {
+            let rec = recommend_buckets(freqs, family, tolerance, 50).expect("profile");
+            match rec {
+                Some(r) => println!(
+                    "  {name:<16} {family:?}: {} buckets (error {:.0})",
+                    r.buckets, r.error
+                ),
+                None => println!("  {name:<16} {family:?}: >50 buckets needed"),
+            }
+        }
+    }
+
+    println!(
+        "\nNear-uniform data needs one bucket; the more skewed the attribute,\n\
+         the more buckets the advisor asks for — and end-biased histograms\n\
+         need only slightly more than optimal serial ones."
+    );
+}

@@ -1,0 +1,102 @@
+//! Closing the loop with the optimizer: do better histograms pick better
+//! join orders?
+//!
+//! ```text
+//! cargo run --release --example join_ordering
+//! ```
+//!
+//! A 5-relation chain query is planned three times — with trivial
+//! histograms (the uniformity assumption), with v-optimal end-biased
+//! histograms, and with the true sizes — and each chosen plan is costed
+//! under the *true* intermediate sizes. The paper's motivation in one
+//! table: estimation error turns directly into plan regret.
+
+use freqdist::zipf::zipf_frequencies;
+use freqdist::{Arrangement, FreqMatrix};
+use query::planner::{estimated_segment_sizes, exact_segment_sizes, optimal_plan, plan_cost};
+use query::{ChainQuery, RelationStats};
+use vopt_hist::construct::{trivial, v_opt_end_biased};
+use vopt_hist::{MatrixHistogram, RoundingMode};
+
+fn main() {
+    // Build a 5-relation chain with mixed skews; arrangements are seeded
+    // so the run is reproducible.
+    let m = 8usize;
+    let zs = [1.5, 0.2, 2.0, 0.8, 1.2];
+    let mut mats = Vec::new();
+    mats.push(FreqMatrix::horizontal(
+        zipf_frequencies(1000, m, zs[0]).expect("valid Zipf").into_vec(),
+    ));
+    for (k, &z) in zs[1..4].iter().enumerate() {
+        let freqs = zipf_frequencies(1000, m * m, z).expect("valid Zipf");
+        let arr = Arrangement::random_batch(m * m, 1, 7 + k as u64).remove(0);
+        mats.push(FreqMatrix::from_arrangement(&freqs, m, m, &arr).expect("square"));
+    }
+    mats.push(FreqMatrix::vertical(
+        zipf_frequencies(1000, m, zs[4]).expect("valid Zipf").into_vec(),
+    ));
+    let query = ChainQuery::new(mats).expect("valid chain");
+
+    let stats_with = |beta: Option<usize>| -> Vec<RelationStats> {
+        query
+            .matrices()
+            .iter()
+            .map(|mat| {
+                let build = |cells: &[u64]| match beta {
+                    None => trivial(cells),
+                    Some(b) => Ok(v_opt_end_biased(cells, b.min(cells.len()))
+                        .expect("valid parameters")
+                        .histogram),
+                };
+                if mat.rows() == 1 || mat.cols() == 1 {
+                    RelationStats::Vector(build(mat.cells()).expect("valid"))
+                } else {
+                    RelationStats::Matrix(
+                        MatrixHistogram::build(mat, build).expect("valid"),
+                    )
+                }
+            })
+            .collect()
+    };
+
+    let exact = exact_segment_sizes(&query).expect("sizes");
+    let true_best = optimal_plan(&exact);
+
+    println!(
+        "true optimal plan: {}   (cost {:.3e})\n",
+        true_best.tree.render(),
+        true_best.cost
+    );
+    println!(
+        "{:<22} {:<22} {:>14} {:>8}",
+        "statistics", "chosen plan", "true cost", "regret"
+    );
+
+    let mut report = |name: &str, stats: Option<Vec<RelationStats>>| {
+        let sizes = match &stats {
+            None => exact.clone(),
+            Some(s) => estimated_segment_sizes(&query, s, RoundingMode::Exact)
+                .expect("sizes"),
+        };
+        let plan = optimal_plan(&sizes);
+        let true_cost = plan_cost(&plan.tree, &exact);
+        println!(
+            "{:<22} {:<22} {:>14.3e} {:>7.2}x",
+            name,
+            plan.tree.render(),
+            true_cost,
+            true_cost / true_best.cost
+        );
+    };
+
+    report("trivial (uniformity)", Some(stats_with(None)));
+    report("end-biased beta=3", Some(stats_with(Some(3))));
+    report("end-biased beta=8", Some(stats_with(Some(8))));
+    report("exact sizes", None);
+
+    println!(
+        "\nRegret = (true cost of the chosen plan) / (true cost of the best\n\
+         plan). Histograms that capture the skew steer the optimizer to\n\
+         cheaper join orders."
+    );
+}

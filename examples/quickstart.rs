@@ -1,0 +1,68 @@
+//! Quickstart: build histograms over a skewed attribute and watch the
+//! estimation error shrink.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow mirrors how a database system would use this library:
+//! generate a relation with a Zipf-distributed attribute, collect its
+//! frequency statistics in one scan (Algorithm *Matrix*), build each of
+//! the paper's histogram classes, and compare their self-join size
+//! estimates with the exact answer.
+
+use freqdist::zipf::zipf_frequencies;
+use query::metrics::sigma;
+use query::montecarlo::{sample_self_join, HistogramSpec};
+use relstore::generate::relation_from_frequency_set;
+use relstore::stats::frequency_table;
+use vopt_hist::RoundingMode;
+
+fn main() {
+    // A relation with 1000 tuples over 100 distinct values, Zipf z = 1.
+    let freqs = zipf_frequencies(1000, 100, 1.0).expect("valid Zipf parameters");
+    let relation = relation_from_frequency_set("orders", "customer", &freqs, 42)
+        .expect("valid frequencies");
+    println!(
+        "relation '{}' with {} tuples over {} distinct customers",
+        relation.name(),
+        relation.num_rows(),
+        freqs.len()
+    );
+
+    // Statistics collection: one scan, one hash table (§3.3).
+    let stats = frequency_table(&relation, "customer").expect("column exists");
+    let collected = stats.frequency_set();
+    let exact = collected.self_join_size();
+    println!("exact self-join size S = {exact}\n");
+
+    // Compare the five histogram classes of the paper at β = 5 buckets.
+    println!("{:<12} {:>14} {:>12}", "histogram", "sigma(S-S')", "vs trivial");
+    let beta = 5;
+    let types = [
+        HistogramSpec::Trivial,
+        HistogramSpec::EquiWidth(beta),
+        HistogramSpec::EquiDepth(beta),
+        HistogramSpec::VOptEndBiased(beta),
+        HistogramSpec::VOptSerial(beta),
+    ];
+    let mut trivial_sigma = None;
+    for spec in types {
+        let samples = sample_self_join(&collected, spec, 20, 7, RoundingMode::Exact)
+            .expect("valid configuration");
+        let s = sigma(&samples);
+        let baseline = *trivial_sigma.get_or_insert(s);
+        println!(
+            "{:<12} {:>14.1} {:>11.1}%",
+            spec.label(),
+            s,
+            100.0 * s / baseline
+        );
+    }
+
+    println!(
+        "\nThe v-optimal serial histogram minimises the error; the end-biased\n\
+         histogram gets close at a fraction of the construction cost — the\n\
+         paper's recommended trade-off."
+    );
+}

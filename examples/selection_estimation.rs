@@ -1,0 +1,60 @@
+//! Selections beyond equality (§2.2, §6): IN-lists, ranges, and
+//! NOT-EQUALS, all encoded as indicator vectors and estimated from one
+//! serial histogram.
+//!
+//! ```text
+//! cargo run --release --example selection_estimation
+//! ```
+
+use freqdist::zipf::zipf_frequencies;
+use query::selection::Selection;
+use vopt_hist::construct::{equi_width, v_opt_serial_dp};
+use vopt_hist::RoundingMode;
+
+fn main() {
+    // A skewed attribute over 50 values. The value indices 0..50 are the
+    // attribute's natural order; Zipf ranks are assigned round-robin so
+    // value order and frequency order are uncorrelated, as in real data.
+    let by_rank = zipf_frequencies(10_000, 50, 1.5)
+        .expect("valid Zipf")
+        .into_vec();
+    let mut freqs = vec![0u64; 50];
+    for (rank, &f) in by_rank.iter().enumerate() {
+        // rank r → value (17·r + 3) mod 50 (a fixed pseudo-random spread).
+        freqs[(17 * rank + 3) % 50] = f;
+    }
+
+    let beta = 6;
+    let serial = v_opt_serial_dp(&freqs, beta).expect("valid").histogram;
+    let width = equi_width(&freqs, beta).expect("valid");
+
+    let queries: Vec<(&str, Selection)> = vec![
+        ("a = hottest", Selection::Equals(3)), // rank 0 landed at index 3
+        ("a = coldest", Selection::Equals((17 * 49 + 3) % 50)),
+        ("a IN {5 values}", Selection::In(vec![0, 10, 20, 30, 40])),
+        ("10 <= a <= 19", Selection::Range { lo: 10, hi: 19 }),
+        ("a != hottest", Selection::NotEquals(3)),
+    ];
+
+    println!(
+        "{:<18} {:>8} {:>16} {:>16}",
+        "selection", "actual", "serial estimate", "equi-width est."
+    );
+    for (name, sel) in queries {
+        let actual = sel.exact_size(&freqs).expect("valid selection");
+        let s_est = sel
+            .estimated_size(&serial.approx_frequencies(RoundingMode::Exact))
+            .expect("valid selection");
+        let w_est = sel
+            .estimated_size(&width.approx_frequencies(RoundingMode::Exact))
+            .expect("valid selection");
+        println!("{name:<18} {actual:>8} {s_est:>16.1} {w_est:>16.1}");
+    }
+
+    println!(
+        "\nThe serial histogram isolates the hot values, so point and range\n\
+         predicates over cold regions stop inheriting the hot values' mass;\n\
+         the equi-width histogram smears them together (§6: serial histograms\n\
+         are v-optimal for general selections too)."
+    );
+}

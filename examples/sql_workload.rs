@@ -1,0 +1,110 @@
+//! A SQL workload through the engine: parse, execute exactly, estimate
+//! from catalog histograms, and report per-query Q-errors.
+//!
+//! ```text
+//! cargo run --release --example sql_workload
+//! ```
+//!
+//! Q-error = max(est/actual, actual/est) — the standard measure of
+//! cardinality estimation quality. The same workload is estimated twice:
+//! with 1-bucket (uniformity) statistics and with 10-bucket v-optimal
+//! end-biased histograms.
+
+use engine::Engine;
+use freqdist::zipf::zipf_frequencies;
+use freqdist::{Arrangement, FreqMatrix};
+use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
+
+fn build_engine() -> Engine {
+    let mut e = Engine::new();
+    // orders(part), lineitem(part, supplier), suppliers(supplier)
+    let orders = zipf_frequencies(20_000, 200, 1.2).expect("valid Zipf");
+    e.register(relation_from_frequency_set("orders", "part", &orders, 1).expect("valid"));
+
+    let pairs = zipf_frequencies(50_000, 200 * 50, 0.9).expect("valid Zipf");
+    let arr = Arrangement::random_batch(200 * 50, 1, 9).remove(0);
+    let matrix = FreqMatrix::from_arrangement(&pairs, 200, 50, &arr).expect("shape");
+    let parts: Vec<u64> = (0..200).collect();
+    let sups: Vec<u64> = (0..50).collect();
+    e.register(
+        relation_from_matrix("lineitem", "part", "supplier", &parts, &sups, &matrix, 2)
+            .expect("valid"),
+    );
+
+    let suppliers = zipf_frequencies(5_000, 50, 0.4).expect("valid Zipf");
+    e.register(
+        relation_from_frequency_set("suppliers", "supplier", &suppliers, 3)
+            .expect("valid"),
+    );
+    e
+}
+
+fn q_error(est: f64, actual: u128) -> f64 {
+    if actual == 0 {
+        return if est <= 1.0 { 1.0 } else { est };
+    }
+    let a = actual as f64;
+    (est / a).max(a / est.max(1e-9))
+}
+
+fn main() {
+    let workload = [
+        "SELECT COUNT(*) FROM orders WHERE orders.part = 0",
+        "SELECT COUNT(*) FROM orders WHERE orders.part BETWEEN 100 AND 150",
+        "SELECT COUNT(*) FROM orders, lineitem WHERE orders.part = lineitem.part",
+        "SELECT COUNT(*) FROM lineitem, suppliers \
+         WHERE lineitem.supplier = suppliers.supplier AND suppliers.supplier IN (0, 1, 2)",
+        "SELECT COUNT(*) FROM orders, lineitem, suppliers \
+         WHERE orders.part = lineitem.part \
+         AND lineitem.supplier = suppliers.supplier \
+         AND orders.part <> 0",
+    ];
+
+    println!(
+        "{:<4} {:>12} {:>14} {:>9} {:>14} {:>9}",
+        "q", "actual", "est(beta=1)", "q-err", "est(beta=10)", "q-err"
+    );
+
+    // Two engines over identical data, analyzed at different budgets.
+    let mut uniform = build_engine();
+    uniform.analyze_all(1).expect("analyze");
+    let mut skewed = build_engine();
+    skewed.analyze_all(10).expect("analyze");
+
+    for (i, text) in workload.iter().enumerate() {
+        let q = uniform.parse(text).expect("valid query");
+        let actual = uniform.execute(&q).expect("executes");
+        let e1 = uniform.estimate(&q).expect("estimates");
+        let e10 = skewed.estimate(&q).expect("estimates");
+        println!(
+            "Q{:<3} {:>12} {:>14.0} {:>8.2}x {:>14.0} {:>8.2}x",
+            i + 1,
+            actual,
+            e1,
+            q_error(e1, actual),
+            e10,
+            q_error(e10, actual)
+        );
+    }
+
+    println!(
+        "\nThe 10-bucket end-biased statistics cut the worst Q-errors of the\n\
+         uniformity assumption — the paper's practicality argument, measured\n\
+         on the optimizer's own yardstick."
+    );
+
+    // EXPLAIN ANALYZE of a selective 3-way join: statistics-driven join
+    // order with estimated vs actual cardinalities per step. (The
+    // unfiltered Q5 would materialise ~400M intermediate rows; the
+    // filter keeps the demo light.)
+    let q = skewed
+        .parse(
+            "SELECT COUNT(*) FROM orders, lineitem, suppliers \
+             WHERE orders.part = lineitem.part \
+             AND lineitem.supplier = suppliers.supplier \
+             AND orders.part IN (0, 1, 2) AND suppliers.supplier = 0",
+        )
+        .expect("valid query");
+    let plan = skewed.explain_analyze(&q).expect("plan executes");
+    println!("\nEXPLAIN ANALYZE (beta=10):\n{plan}");
+}

@@ -1,0 +1,228 @@
+//! `histctl` — a small command-line tool around the histogram library:
+//! generate synthetic relations as CSV, ANALYZE a column into a binary
+//! catalog histogram, inspect it, and estimate selection/join sizes —
+//! the end-to-end workflow a DBA would drive.
+//!
+//! ```text
+//! histctl generate --rows 10000 --distinct 500 --skew 1.2 --out orders.csv
+//! histctl analyze  --input orders.csv --column part --buckets 10 --out orders.voh
+//! histctl inspect  --hist orders.voh
+//! histctl estimate-eq   --hist orders.voh --value 42
+//! histctl estimate-join --left orders.voh --right stock.voh --domain 500
+//! ```
+
+use freqdist::zipf::zipf_frequencies;
+use query::estimate::{estimate_equality, estimate_two_way_join};
+use relstore::codec::{decode_histogram, encode_histogram};
+use relstore::generate::relation_from_frequency_set;
+use relstore::stats::frequency_table;
+use relstore::{Relation, StoredHistogram};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use vopt_hist::construct::v_opt_end_biased;
+
+const USAGE: &str = "usage: histctl <command> [--flag value]...
+commands:
+  generate      --rows N --distinct M --skew Z --out FILE.csv [--column NAME] [--seed S]
+  analyze       --input FILE.csv --column NAME --buckets B --out FILE.voh
+  inspect       --hist FILE.voh
+  estimate-eq   --hist FILE.voh --value V
+  estimate-join --left A.voh --right B.voh --domain MAX_VALUE
+  query         --sql QUERY --tables name=a.csv,name2=b.csv [--buckets B]
+                (executes COUNT(*) exactly and prints the histogram estimate)";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{flag}'"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}\n{USAGE}"))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, name: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("--{name}: cannot parse '{value}'"))
+}
+
+/// Writes a relation as CSV via `relstore::csv`.
+fn write_csv(relation: &Relation, path: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    relstore::csv::write_csv(relation, file).map_err(|e| e.to_string())
+}
+
+/// Reads a CSV relation via `relstore::csv`.
+fn read_csv(path: &str, name: &str) -> Result<Relation, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("read {path}: {e}"))?;
+    relstore::csv::read_csv(std::io::BufReader::new(file), name)
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_histogram(path: &str) -> Result<StoredHistogram, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    decode_histogram(bytes.into()).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let rows: u64 = parse_num(required(flags, "rows")?, "rows")?;
+    let distinct: usize = parse_num(required(flags, "distinct")?, "distinct")?;
+    let skew: f64 = parse_num(required(flags, "skew")?, "skew")?;
+    let out = required(flags, "out")?;
+    let column = flags.get("column").map(String::as_str).unwrap_or("value");
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let freqs = zipf_frequencies(rows, distinct, skew).map_err(|e| e.to_string())?;
+    let relation =
+        relation_from_frequency_set("generated", column, &freqs, seed)
+            .map_err(|e| e.to_string())?;
+    write_csv(&relation, out)?;
+    println!(
+        "wrote {} rows over {} distinct values (zipf z={skew}) to {out}",
+        relation.num_rows(),
+        distinct
+    );
+    Ok(())
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = required(flags, "input")?;
+    let column = required(flags, "column")?;
+    let buckets: usize = parse_num(required(flags, "buckets")?, "buckets")?;
+    let out = required(flags, "out")?;
+    let relation = read_csv(input, "input")?;
+    let table = frequency_table(&relation, column).map_err(|e| e.to_string())?;
+    if table.freqs.is_empty() {
+        return Err(format!("{input}: column '{column}' has no values"));
+    }
+    let opt = v_opt_end_biased(&table.freqs, buckets.min(table.freqs.len()))
+        .map_err(|e| e.to_string())?;
+    let stored = StoredHistogram::from_histogram(&table.values, &opt.histogram)
+        .map_err(|e| e.to_string())?;
+    let bytes = encode_histogram(&stored);
+    std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "analyzed {} rows, {} distinct values -> {} buckets, {} catalog entries, \
+         self-join error {:.1}; wrote {} bytes to {out}",
+        relation.num_rows(),
+        table.num_values(),
+        stored.num_buckets(),
+        stored.storage_entries(),
+        opt.error,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
+    let hist = load_histogram(required(flags, "hist")?)?;
+    println!(
+        "buckets: {}   catalog entries: {}   default bucket: {}",
+        hist.num_buckets(),
+        hist.storage_entries(),
+        hist.default_bucket()
+    );
+    for (i, &avg) in hist.bucket_avgs().iter().enumerate() {
+        let members: Vec<String> = hist
+            .exceptions()
+            .iter()
+            .filter(|&&(_, b)| b as usize == i)
+            .map(|&(v, _)| v.to_string())
+            .collect();
+        if i as u32 == hist.default_bucket() {
+            println!("  bucket {i}: avg {avg}  (all values not listed below)");
+        } else {
+            println!("  bucket {i}: avg {avg}  values [{}]", members.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_estimate_eq(flags: &HashMap<String, String>) -> Result<(), String> {
+    let hist = load_histogram(required(flags, "hist")?)?;
+    let value: u64 = parse_num(required(flags, "value")?, "value")?;
+    println!("{}", estimate_equality(&hist, value));
+    Ok(())
+}
+
+fn cmd_estimate_join(flags: &HashMap<String, String>) -> Result<(), String> {
+    let left = load_histogram(required(flags, "left")?)?;
+    let right = load_histogram(required(flags, "right")?)?;
+    let max: u64 = parse_num(required(flags, "domain")?, "domain")?;
+    let domain: Vec<u64> = (0..max).collect();
+    println!("{:.0}", estimate_two_way_join(&left, &right, &domain));
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let sql = required(flags, "sql")?;
+    let tables = required(flags, "tables")?;
+    let buckets: usize = flags
+        .get("buckets")
+        .map(|b| parse_num(b, "buckets"))
+        .transpose()?
+        .unwrap_or(10);
+    let mut eng = engine::Engine::new();
+    for spec in tables.split(',') {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--tables entry '{spec}' is not name=file.csv"))?;
+        let relation = read_csv(path.trim(), name.trim())?;
+        eng.register(relation);
+    }
+    eng.analyze_all(buckets).map_err(|e| e.to_string())?;
+    let query = eng.parse(sql).map_err(|e| e.to_string())?;
+    let actual = eng.execute(&query).map_err(|e| e.to_string())?;
+    let estimate = eng.estimate(&query).map_err(|e| e.to_string())?;
+    let q_err = {
+        let a = (actual as f64).max(1.0);
+        (estimate.max(1e-9) / a).max(a / estimate.max(1e-9))
+    };
+    println!("actual   {actual}");
+    println!("estimate {estimate:.0}   (beta={buckets}, q-error {q_err:.2}x)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
+        "generate" => cmd_generate(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "estimate-eq" => cmd_estimate_eq(&flags),
+        "estimate-join" => cmd_estimate_join(&flags),
+        "query" => cmd_query(&flags),
+        "-h" | "--help" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("histctl: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

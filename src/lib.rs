@@ -1,0 +1,28 @@
+//! Facade crate for the reproduction of *Ioannidis & Poosala,
+//! "Balancing Histogram Optimality and Practicality for Query Result Size
+//! Estimation" (SIGMOD 1995)*.
+//!
+//! Re-exports the workspace crates under one roof so that examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`freqdist`] — frequency sets/matrices, Zipf and synthetic
+//!   generators, arrangements, and exact chain products (Theorem 2.1).
+//! * [`vopt_hist`] — the paper's contribution: serial, end-biased, and
+//!   v-optimal histogram construction, error formulas, and the
+//!   bucket-count advisor.
+//! * [`relstore`] — a columnar relational substrate with statistics
+//!   collection (Algorithms *Matrix* and *JointMatrix*), hash joins,
+//!   sampling, and a statistics catalog.
+//! * [`query`] — chain-join and selection queries, exact result sizes,
+//!   and histogram-based estimation.
+//! * [`engine`] — a `COUNT(*)` query engine: SQL-ish parser, exact
+//!   execution, and System-R-style estimation from the catalog.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and per-experiment index.
+
+pub use engine;
+pub use freqdist;
+pub use query;
+pub use relstore;
+pub use vopt_hist;

@@ -1,0 +1,122 @@
+//! Engine-level estimation quality: the full system path (SQL text →
+//! catalog statistics → estimate) against exact execution, across
+//! statistics budgets.
+
+use engine::Engine;
+use freqdist::zipf::zipf_frequencies;
+use freqdist::{Arrangement, FreqMatrix};
+use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
+
+fn build_engine() -> Engine {
+    let mut e = Engine::new();
+    let orders = zipf_frequencies(1_500, 100, 1.2).unwrap();
+    e.register(relation_from_frequency_set("orders", "part", &orders, 1).unwrap());
+    let pairs = zipf_frequencies(2_500, 100 * 20, 0.9).unwrap();
+    let arr = Arrangement::random_batch(100 * 20, 1, 9).remove(0);
+    let matrix = FreqMatrix::from_arrangement(&pairs, 100, 20, &arr).unwrap();
+    let parts: Vec<u64> = (0..100).collect();
+    let sups: Vec<u64> = (0..20).collect();
+    e.register(
+        relation_from_matrix("lineitem", "part", "supplier", &parts, &sups, &matrix, 2)
+            .unwrap(),
+    );
+    let suppliers = zipf_frequencies(400, 20, 0.4).unwrap();
+    e.register(relation_from_frequency_set("suppliers", "supplier", &suppliers, 3).unwrap());
+    e
+}
+
+fn q_error(est: f64, actual: u128) -> f64 {
+    let a = (actual as f64).max(1.0);
+    (est.max(1e-9) / a).max(a / est.max(1e-9))
+}
+
+const WORKLOAD: [&str; 5] = [
+    "SELECT COUNT(*) FROM orders WHERE orders.part = 0",
+    "SELECT COUNT(*) FROM orders WHERE orders.part BETWEEN 50 AND 80",
+    "SELECT COUNT(*) FROM orders, lineitem WHERE orders.part = lineitem.part",
+    "SELECT COUNT(*) FROM lineitem, suppliers WHERE lineitem.supplier = suppliers.supplier",
+    "SELECT COUNT(*) FROM orders, lineitem, suppliers \
+     WHERE orders.part = lineitem.part AND lineitem.supplier = suppliers.supplier",
+];
+
+/// More buckets never hurt the workload's worst Q-error, and ten-bucket
+/// statistics keep every query within a modest factor.
+#[test]
+fn bucket_budget_improves_q_error() {
+    let mut uniform = build_engine();
+    uniform.analyze_all(1).unwrap();
+    let mut skewed = build_engine();
+    skewed.analyze_all(10).unwrap();
+
+    let mut worst_uniform = 1.0f64;
+    let mut worst_skewed = 1.0f64;
+    for text in WORKLOAD {
+        let q = uniform.parse(text).unwrap();
+        let actual = uniform.execute(&q).unwrap();
+        worst_uniform = worst_uniform.max(q_error(uniform.estimate(&q).unwrap(), actual));
+        worst_skewed = worst_skewed.max(q_error(skewed.estimate(&q).unwrap(), actual));
+    }
+    assert!(
+        worst_skewed <= worst_uniform,
+        "10 buckets ({worst_skewed:.2}x) should not be worse than 1 ({worst_uniform:.2}x)"
+    );
+    assert!(
+        worst_skewed < 3.0,
+        "10-bucket worst q-error {worst_skewed:.2}x too large"
+    );
+}
+
+/// Execution agrees with the substrate's hash joins regardless of the
+/// textual route in.
+#[test]
+fn sql_execution_matches_substrate() {
+    let mut e = build_engine();
+    e.analyze_all(5).unwrap();
+    let q = e
+        .parse("SELECT COUNT(*) FROM orders, lineitem WHERE orders.part = lineitem.part")
+        .unwrap();
+    let via_sql = e.execute(&q).unwrap();
+    let direct = relstore::join::hash_join_count(
+        e.relation("orders").unwrap(),
+        "part",
+        e.relation("lineitem").unwrap(),
+        "part",
+    )
+    .unwrap();
+    assert_eq!(via_sql, direct);
+}
+
+/// Exact-statistics estimation (β = number of distinct values) makes
+/// 2-way join estimates exact.
+#[test]
+fn exact_statistics_give_exact_join_estimates() {
+    let mut e = build_engine();
+    e.analyze_all(10_000).unwrap(); // clamped to M per column
+    let q = e
+        .parse("SELECT COUNT(*) FROM orders, lineitem WHERE orders.part = lineitem.part")
+        .unwrap();
+    let actual = e.execute(&q).unwrap() as f64;
+    let est = e.estimate(&q).unwrap();
+    assert!(
+        (est - actual).abs() < 1e-6 * actual,
+        "est {est} vs actual {actual}"
+    );
+}
+
+/// Filters compose with joins in the estimate and keep it on the right
+/// order of magnitude.
+#[test]
+fn filtered_join_estimates_are_sane() {
+    let mut e = build_engine();
+    e.analyze_all(10).unwrap();
+    let q = e
+        .parse(
+            "SELECT COUNT(*) FROM orders, lineitem \
+             WHERE orders.part = lineitem.part AND orders.part IN (0, 1, 2)",
+        )
+        .unwrap();
+    let actual = e.execute(&q).unwrap();
+    let est = e.estimate(&q).unwrap();
+    assert!(actual > 0);
+    assert!(q_error(est, actual) < 3.0, "est {est} vs actual {actual}");
+}

@@ -1,0 +1,203 @@
+//! End-to-end checks of the paper's named results: Example 2.2,
+//! Theorem 3.2, Theorem 3.3, Corollary 3.1, and the §5 ranking.
+
+use freqdist::zipf::zipf_frequencies;
+use freqdist::FreqMatrix;
+use query::metrics::{mean_error, sigma};
+use query::montecarlo::{sample_chain, sample_self_join, HistogramSpec, RelationSpec};
+use query::selection::Selection;
+use query::{ChainQuery, RelationStats};
+use vopt_hist::construct::{v_opt_end_biased, v_opt_serial_dp};
+use vopt_hist::partition::{ContiguousPartitions, SortedFreqs};
+use vopt_hist::RoundingMode;
+
+fn example_2_2_matrices() -> Vec<FreqMatrix> {
+    vec![
+        FreqMatrix::horizontal(vec![20, 15]),
+        FreqMatrix::from_rows(2, 3, vec![25, 10, 12, 4, 12, 3]).unwrap(),
+        FreqMatrix::vertical(vec![21, 16, 5]),
+    ]
+}
+
+/// Example 2.2: S = 19,265, via the query layer.
+#[test]
+fn example_2_2_through_query_layer() {
+    let q = ChainQuery::new(example_2_2_matrices()).unwrap();
+    assert_eq!(q.exact_size().unwrap(), 19_265);
+}
+
+/// Example 2.2's selection variant: replacing T₂ by the indicator of
+/// {u₁, u₃}.
+#[test]
+fn example_2_2_selection_variant() {
+    let mats = example_2_2_matrices();
+    let sel = Selection::In(vec![0, 2]).as_vertical(3).unwrap();
+    let q = ChainQuery::new(vec![mats[0].clone(), mats[1].clone(), sel]).unwrap();
+    assert_eq!(q.exact_size().unwrap(), 845);
+}
+
+/// Theorem 3.2: E[S − S'] = 0 over arrangements, for any histogram.
+/// Monte-Carlo with a large sample; the mean error must be tiny relative
+/// to σ (the fluctuation scale), for several histogram classes.
+#[test]
+fn theorem_3_2_expected_error_is_zero() {
+    let rels = vec![
+        RelationSpec::horizontal(zipf_frequencies(300, 8, 1.2).unwrap()),
+        RelationSpec::vertical(zipf_frequencies(300, 8, 0.7).unwrap()),
+    ];
+    for spec in [
+        HistogramSpec::Trivial,
+        HistogramSpec::VOptEndBiased(3),
+        HistogramSpec::EquiDepth(3),
+    ] {
+        let samples =
+            sample_chain(&rels, &[spec, spec], 6000, 17, RoundingMode::Exact).unwrap();
+        let me = mean_error(&samples);
+        let sg = sigma(&samples).max(1.0);
+        assert!(
+            me.abs() < 0.08 * sg,
+            "{}: mean error {me} vs sigma {sg}",
+            spec.label()
+        );
+    }
+}
+
+/// Theorem 3.3: the self-join-optimal (v-optimal) histogram minimises
+/// E[(S − S')²] for a join with an *arbitrary other relation* — compare
+/// against every other serial histogram of the same bucket count.
+#[test]
+fn theorem_3_3_self_join_optimum_is_v_optimal() {
+    let m = 7usize;
+    let beta = 3usize;
+    let b0 = zipf_frequencies(200, m, 1.3).unwrap();
+    let b1 = zipf_frequencies(150, m, 0.4).unwrap(); // different contents
+    let samples_for = |h0: &vopt_hist::Histogram| -> f64 {
+        // Fixed trivial histogram on the other relation; only R0's
+        // histogram varies.
+        let approx0 = h0.approx_frequencies(RoundingMode::Exact);
+        let rels = [&b0, &b1];
+        let mut sum_sq = 0.0;
+        let n = 4000usize;
+        let mut rng_arrs =
+            freqdist::Arrangement::random_batch(m, 2 * n, 23).into_iter();
+        for _ in 0..n {
+            let a0 = rng_arrs.next().unwrap();
+            let a1 = rng_arrs.next().unwrap();
+            let f0 = a0.apply(rels[0].as_slice()).unwrap();
+            let f1 = a1.apply(rels[1].as_slice()).unwrap();
+            let e0 = a0.apply(&approx0).unwrap();
+            // Other relation approximated exactly (isolates R0's choice).
+            let exact: f64 = f0
+                .iter()
+                .zip(&f1)
+                .map(|(&x, &y)| (x as f64) * (y as f64))
+                .sum();
+            let est: f64 = e0
+                .iter()
+                .zip(&f1)
+                .map(|(x, &y)| x * (y as f64))
+                .sum();
+            sum_sq += (exact - est) * (exact - est);
+        }
+        sum_sq / n as f64
+    };
+
+    let vopt = v_opt_serial_dp(b0.as_slice(), beta).unwrap();
+    let v_err = samples_for(&vopt.histogram);
+    let sorted = SortedFreqs::new(b0.as_slice());
+    for cuts in ContiguousPartitions::new(m, beta).unwrap() {
+        let h = sorted.histogram_from_cuts(b0.as_slice(), &cuts).unwrap();
+        let err = samples_for(&h);
+        // Allow a small Monte-Carlo tolerance.
+        assert!(
+            v_err <= err * 1.05 + 1e-6,
+            "cuts {cuts:?}: v-opt {v_err} vs alternative {err}"
+        );
+    }
+}
+
+/// Corollary 3.1 at system level: for self-joins the optimal biased
+/// histogram is end-biased, so V-OptBiasHist's error can never be beaten
+/// by moving a singleton to a non-extreme frequency.
+#[test]
+fn corollary_3_1_end_biased_optimal_among_biased() {
+    let freqs = zipf_frequencies(500, 12, 1.0).unwrap();
+    let fast = v_opt_end_biased(freqs.as_slice(), 4).unwrap();
+    let brute = vopt_hist::construct::BiasedChoices::new(freqs.as_slice(), 4)
+        .unwrap()
+        .map(|h| h.self_join_error())
+        .fold(f64::INFINITY, f64::min);
+    assert!((fast.error - brute).abs() < 1e-6);
+}
+
+/// §5.1's headline ranking at the paper's exact parameters
+/// (M = 100, z = 1): serial ≤ end-biased ≤ equi-depth ≤ trivial at
+/// β = 5, and "much less than half the error of the equi-depth
+/// histogram" for every β.
+///
+/// The paper's companion remark that end-biased error is "usually less
+/// than twice" the serial error holds at small bucket counts; at larger
+/// β the true serial optimum (which our DP reaches for all β, unlike
+/// the paper's exhaustive search, cut off at β = 5) pulls much further
+/// ahead — the ratio is recorded in EXPERIMENTS.md. We assert the
+/// factor-two bound where it genuinely holds (β ≤ 3).
+#[test]
+fn section_5_ranking_and_factor_two() {
+    let freqs = zipf_frequencies(1000, 100, 1.0).unwrap();
+    let sig = |spec| {
+        sigma(&sample_self_join(&freqs, spec, 20, 3, RoundingMode::Exact).unwrap())
+    };
+    let serial = sig(HistogramSpec::VOptSerial(5));
+    let biased = sig(HistogramSpec::VOptEndBiased(5));
+    let depth = sig(HistogramSpec::EquiDepth(5));
+    let trivial = sig(HistogramSpec::Trivial);
+    assert!(serial <= biased);
+    assert!(biased <= depth);
+    assert!(depth <= trivial);
+    // "much less than half the error of the equi-depth histogram"
+    assert!(biased < depth / 2.0, "biased {biased} vs depth {depth}");
+    // Factor-two closeness at small bucket counts.
+    for beta in [2usize, 3] {
+        let s = sig(HistogramSpec::VOptSerial(beta));
+        let b = sig(HistogramSpec::VOptEndBiased(beta));
+        assert!(
+            b <= 2.0 * s,
+            "beta={beta}: end-biased ({b}) more than twice serial ({s})"
+        );
+    }
+}
+
+/// The estimator is exact when every relation gets M buckets, end to end
+/// through the ChainQuery layer with a 2-D middle relation.
+#[test]
+fn exact_histograms_recover_exact_size_through_chain_query() {
+    let f0 = zipf_frequencies(100, 4, 1.0).unwrap();
+    let fm = zipf_frequencies(200, 12, 0.9).unwrap();
+    let f2 = zipf_frequencies(80, 3, 0.2).unwrap();
+    let mid = FreqMatrix::from_arrangement(
+        &fm,
+        4,
+        3,
+        &freqdist::Arrangement::identity(12),
+    )
+    .unwrap();
+    let q = ChainQuery::new(vec![
+        FreqMatrix::horizontal(f0.as_slice().to_vec()),
+        mid.clone(),
+        FreqMatrix::vertical(f2.as_slice().to_vec()),
+    ])
+    .unwrap();
+    let stats = vec![
+        RelationStats::Vector(v_opt_serial_dp(f0.as_slice(), 4).unwrap().histogram),
+        RelationStats::Matrix(
+            vopt_hist::MatrixHistogram::build(&mid, |c| {
+                Ok(v_opt_serial_dp(c, 12)?.histogram)
+            })
+            .unwrap(),
+        ),
+        RelationStats::Vector(v_opt_serial_dp(f2.as_slice(), 3).unwrap().histogram),
+    ];
+    let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();
+    let exact = q.exact_size().unwrap() as f64;
+    assert!((est - exact).abs() < 1e-6 * exact.max(1.0));
+}

@@ -1,0 +1,177 @@
+//! The system path end to end: relations → ANALYZE → catalog → codec →
+//! optimizer estimates, cross-checked against both the analysis-layer
+//! histograms and real join execution.
+
+use freqdist::zipf::zipf_frequencies;
+use query::estimate::{estimate_selection, estimate_two_way_join};
+use query::selection::Selection;
+use relstore::catalog::{StatKey, StoredHistogram};
+use relstore::codec::{decode_histogram, encode_histogram};
+use relstore::generate::relation_from_frequency_set;
+use relstore::join::hash_join_count;
+use relstore::sample::{reservoir_sample, top_k_from_sample};
+use relstore::stats::frequency_table;
+use relstore::Catalog;
+use vopt_hist::construct::v_opt_end_biased;
+use vopt_hist::RoundingMode;
+
+/// Stored (catalog) estimates equal the analysis-layer histogram's
+/// paper-rounded estimates for every domain value.
+#[test]
+fn catalog_histogram_matches_analysis_histogram() {
+    let freqs = zipf_frequencies(2000, 64, 1.1).unwrap();
+    let rel = relation_from_frequency_set("r", "a", &freqs, 5).unwrap();
+    let table = frequency_table(&rel, "a").unwrap();
+    let opt = v_opt_end_biased(&table.freqs, 8).unwrap();
+    let stored = StoredHistogram::from_histogram(&table.values, &opt.histogram).unwrap();
+    for (i, &v) in table.values.iter().enumerate() {
+        assert_eq!(
+            stored.approx_frequency(v),
+            opt.histogram.approx_frequency(i, RoundingMode::PaperRounded) as u64,
+            "value {v}"
+        );
+    }
+}
+
+/// ANALYZE → catalog → codec → join estimate vs actual execution: the
+/// estimate lands within a sane band of the truth for skewed data (the
+/// top frequencies are represented exactly, so the error is bounded by
+/// the pooled tail).
+#[test]
+fn catalog_join_estimate_tracks_actual_join() {
+    let m = 200usize;
+    let fa = zipf_frequencies(10_000, m, 1.2).unwrap();
+    let fb = zipf_frequencies(8_000, m, 1.0).unwrap();
+    let ra = relation_from_frequency_set("A", "k", &fa, 1).unwrap();
+    let rb = relation_from_frequency_set("B", "k", &fb, 2).unwrap();
+
+    let cat = Catalog::new();
+    let ka = cat.analyze_end_biased(&ra, "k", 12).unwrap();
+    let kb = cat.analyze_end_biased(&rb, "k", 12).unwrap();
+
+    // Round both histograms through the binary codec, as a real catalog
+    // table read would.
+    let ha = decode_histogram(encode_histogram(&cat.get(&ka).unwrap())).unwrap();
+    let hb = decode_histogram(encode_histogram(&cat.get(&kb).unwrap())).unwrap();
+
+    let domain: Vec<u64> = (0..m as u64).collect();
+    let est = estimate_two_way_join(&ha, &hb, &domain);
+    let actual = hash_join_count(&ra, "k", &rb, "k").unwrap() as f64;
+    let rel_err = (est - actual).abs() / actual;
+    assert!(
+        rel_err < 0.30,
+        "estimate {est} vs actual {actual} (rel err {rel_err:.2})"
+    );
+
+    // The trivial histogram (1 bucket) must do worse on this skew.
+    let ta = cat.analyze_end_biased(&ra, "k", 1).unwrap();
+    let tb = cat.analyze_end_biased(&rb, "k", 1).unwrap();
+    let est_triv = estimate_two_way_join(
+        &cat.get(&ta).unwrap(),
+        &cat.get(&tb).unwrap(),
+        &domain,
+    );
+    let triv_err = (est_triv - actual).abs() / actual;
+    assert!(
+        rel_err < triv_err,
+        "end-biased ({rel_err:.3}) should beat trivial ({triv_err:.3})"
+    );
+}
+
+/// Selection estimates from the catalog match direct computation against
+/// the stored averages, and range/complement arithmetic is consistent.
+#[test]
+fn catalog_selection_estimates_are_consistent() {
+    let m = 50usize;
+    let freqs = zipf_frequencies(5000, m, 1.5).unwrap();
+    let rel = relation_from_frequency_set("r", "a", &freqs, 9).unwrap();
+    let cat = Catalog::new();
+    let key = cat.analyze_end_biased(&rel, "a", 6).unwrap();
+    let h = cat.get(&key).unwrap();
+    let domain: Vec<u64> = (0..m as u64).collect();
+
+    let all = estimate_selection(&h, &domain, &Selection::All).unwrap();
+    for i in [0usize, 7, 49] {
+        let eq = estimate_selection(&h, &domain, &Selection::Equals(i)).unwrap();
+        let ne = estimate_selection(&h, &domain, &Selection::NotEquals(i)).unwrap();
+        assert!((all - eq - ne).abs() < 1e-9);
+    }
+    let lo = estimate_selection(&h, &domain, &Selection::Range { lo: 0, hi: 24 }).unwrap();
+    let hi = estimate_selection(&h, &domain, &Selection::Range { lo: 25, hi: 49 }).unwrap();
+    assert!((all - lo - hi).abs() < 1e-9);
+}
+
+/// §4.2's practical pipeline: sampling identifies the top frequencies,
+/// which then seed the end-biased histogram's univalued buckets; the
+/// result approximates the exact-statistics histogram closely on Zipf
+/// data.
+#[test]
+fn sampling_seeded_end_biased_close_to_exact() {
+    let m = 500usize;
+    let freqs = zipf_frequencies(50_000, m, 1.0).unwrap();
+    let rel = relation_from_frequency_set("r", "a", &freqs, 13).unwrap();
+    let col = rel.column_by_name("a").unwrap();
+
+    // Exact path.
+    let table = frequency_table(&rel, "a").unwrap();
+    let exact_hist = v_opt_end_biased(&table.freqs, 10).unwrap().histogram;
+    let exact_stored =
+        StoredHistogram::from_histogram(&table.values, &exact_hist).unwrap();
+
+    // Sampled path: top-9 values from a 2% sample.
+    let sample = reservoir_sample(col, col.len() / 50, 3);
+    let top = top_k_from_sample(&sample, col.len(), 9).unwrap();
+
+    // The sampled top-9 must contain most of the exact top-9's values.
+    let exact_top: Vec<u64> = (0..9)
+        .map(|i| {
+            let mut idx: Vec<usize> = (0..table.values.len()).collect();
+            idx.sort_by_key(|&j| std::cmp::Reverse(table.freqs[j]));
+            table.values[idx[i]]
+        })
+        .collect();
+    let hits = exact_top
+        .iter()
+        .filter(|v| top.iter().any(|e| e.value == **v))
+        .count();
+    assert!(hits >= 7, "only {hits}/9 of the true top values were found");
+
+    // And the self-join estimates of the two paths agree within 15%.
+    let domain: Vec<u64> = (0..m as u64).collect();
+    let exact_est = query::estimate::estimate_self_join(&exact_stored, &domain);
+    // Build the sampled histogram: singleton buckets for sampled top
+    // values with their scaled counts, one pooled bucket for the rest.
+    let total: u64 = rel.num_rows() as u64;
+    let top_mass: u64 = top.iter().map(|e| e.estimated_freq).sum();
+    let rest_avg = (total.saturating_sub(top_mass)) / (m as u64 - top.len() as u64);
+    let mut avgs: Vec<u64> = vec![rest_avg];
+    let mut exceptions: Vec<(u64, u32)> = Vec::new();
+    for (i, e) in top.iter().enumerate() {
+        avgs.push(e.estimated_freq);
+        exceptions.push((e.value, (i + 1) as u32));
+    }
+    exceptions.sort_unstable_by_key(|&(v, _)| v);
+    let sampled_stored = StoredHistogram::from_parts(avgs, 0, exceptions).unwrap();
+    let sampled_est = query::estimate::estimate_self_join(&sampled_stored, &domain);
+    let rel_diff = (exact_est - sampled_est).abs() / exact_est;
+    assert!(
+        rel_diff < 0.15,
+        "sampled estimate {sampled_est} vs exact-stat estimate {exact_est}"
+    );
+}
+
+/// Catalog metadata behaves across the whole flow.
+#[test]
+fn catalog_keys_and_staleness_flow() {
+    let freqs = zipf_frequencies(100, 10, 0.5).unwrap();
+    let rel = relation_from_frequency_set("t", "c", &freqs, 21).unwrap();
+    let cat = Catalog::new();
+    let key = cat.analyze_end_biased(&rel, "c", 3).unwrap();
+    assert_eq!(key, StatKey::new("t", &["c"]));
+    assert_eq!(cat.staleness(&key).unwrap(), 0);
+    cat.note_updates("t", 42);
+    assert_eq!(cat.staleness(&key).unwrap(), 42);
+    // Re-analyze resets staleness.
+    let key2 = cat.analyze_end_biased(&rel, "c", 3).unwrap();
+    assert_eq!(cat.staleness(&key2).unwrap(), 0);
+}
