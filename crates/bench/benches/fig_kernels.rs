@@ -103,12 +103,13 @@ fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig_kernels/fig6_chain_by_joins");
     for &joins in &[1usize, 3, 5] {
         let rels = chain_relations(joins);
-        let specs: Vec<HistogramSpec> =
-            rels.iter().map(|_| HistogramSpec::VOptEndBiased(5)).collect();
+        let specs: Vec<HistogramSpec> = rels
+            .iter()
+            .map(|_| HistogramSpec::VOptEndBiased(5))
+            .collect();
         g.bench_with_input(BenchmarkId::from_parameter(joins), &rels, |b, rels| {
             b.iter(|| {
-                let samples =
-                    sample_chain(rels, &specs, 20, SEED, RoundingMode::Exact).unwrap();
+                let samples = sample_chain(rels, &specs, 20, SEED, RoundingMode::Exact).unwrap();
                 black_box(mean_relative_error(&samples))
             })
         });
@@ -126,8 +127,7 @@ fn bench_fig7(c: &mut Criterion) {
             .collect();
         g.bench_with_input(BenchmarkId::from_parameter(beta), &specs, |b, specs| {
             b.iter(|| {
-                let samples =
-                    sample_chain(&rels, specs, 20, SEED, RoundingMode::Exact).unwrap();
+                let samples = sample_chain(&rels, specs, 20, SEED, RoundingMode::Exact).unwrap();
                 black_box(mean_relative_error(&samples))
             })
         });
@@ -135,13 +135,5 @@ fn bench_fig7(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig1,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7
-);
+criterion_group!(benches, bench_fig1, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7);
 criterion_main!(benches);

@@ -82,7 +82,9 @@ fn bench_codec(c: &mut Criterion) {
     let freqs = zipf_frequencies(100_000, 10_000, 1.0)
         .expect("valid Zipf")
         .into_vec();
-    let hist = v_opt_end_biased(&freqs, 20).expect("valid parameters").histogram;
+    let hist = v_opt_end_biased(&freqs, 20)
+        .expect("valid parameters")
+        .histogram;
     let values: Vec<u64> = (0..freqs.len() as u64).collect();
     let stored = StoredHistogram::from_histogram(&values, &hist).expect("matching lengths");
     c.bench_function("substrate/codec_round_trip", |b| {

@@ -27,11 +27,9 @@ fn bench_exhaustive(c: &mut Criterion) {
             if m == 100 && beta == 5 {
                 g.sample_size(10);
             }
-            g.bench_with_input(
-                BenchmarkId::new(format!("b{beta}"), m),
-                &data,
-                |b, data| b.iter(|| v_opt_serial(black_box(data), beta).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("b{beta}"), m), &data, |b, data| {
+                b.iter(|| v_opt_serial(black_box(data), beta).unwrap())
+            });
         }
     }
     g.finish();
@@ -42,11 +40,9 @@ fn bench_dp(c: &mut Criterion) {
     for &m in &[20usize, 100, 1000] {
         let data = freqs(m);
         for &beta in &[3usize, 5, 10] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("b{beta}"), m),
-                &data,
-                |b, data| b.iter(|| v_opt_serial_dp(black_box(data), beta).unwrap()),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("b{beta}"), m), &data, |b, data| {
+                b.iter(|| v_opt_serial_dp(black_box(data), beta).unwrap())
+            });
         }
     }
     g.finish();

@@ -18,6 +18,7 @@ use crate::partition::SortedFreqs;
 /// cuts at the `β−1` largest adjacent gaps in the sorted frequency
 /// order (ties broken towards lower ranks for determinism).
 pub fn max_diff(freqs: &[u64], buckets: usize) -> Result<OptResult> {
+    let _timer = super::construction_timer("max_diff");
     let m = freqs.len();
     if m == 0 {
         return Err(HistError::EmptyFrequencies);
@@ -59,7 +60,7 @@ pub fn max_diff(freqs: &[u64], buckets: usize) -> Result<OptResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::construct::{v_opt_serial_dp, trivial};
+    use crate::construct::{trivial, v_opt_serial_dp};
 
     #[test]
     fn cuts_at_the_largest_gaps() {

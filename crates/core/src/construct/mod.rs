@@ -33,6 +33,32 @@ pub use serial::{v_opt_serial, v_opt_serial_checked};
 
 use crate::histogram::Histogram;
 
+/// RAII construction timer: opens a span named after the histogram
+/// class and, on drop, records the wall time into the per-class
+/// latency histogram `construction_seconds{class="<class>"}`. Inert
+/// when recording is disabled.
+pub(crate) struct ConstructionTimer {
+    inner: Option<(obs::SpanGuard, &'static str)>,
+}
+
+pub(crate) fn construction_timer(class: &'static str) -> ConstructionTimer {
+    if !obs::enabled() {
+        return ConstructionTimer { inner: None };
+    }
+    ConstructionTimer {
+        inner: Some((obs::span(class), class)),
+    }
+}
+
+impl Drop for ConstructionTimer {
+    fn drop(&mut self) {
+        if let Some((span, class)) = self.inner.take() {
+            let elapsed = span.finish();
+            obs::histogram(&obs::labeled("construction_seconds", "class", class)).observe(elapsed);
+        }
+    }
+}
+
 /// Prefix sums of frequencies and squared frequencies over a sorted
 /// frequency slice; lets any contiguous run's sum / SSE be read in O(1).
 #[derive(Debug, Clone)]

@@ -31,6 +31,7 @@ pub fn v_opt_serial_checked(
     buckets: usize,
     max_partitions: u128,
 ) -> Result<OptResult> {
+    let _timer = super::construction_timer("v_opt_serial");
     let m = freqs.len();
     if m == 0 {
         return Err(HistError::EmptyFrequencies);

@@ -226,9 +226,11 @@ impl Histogram {
             // All buckets univalued: vacuously end-biased (every bucket
             // is at an "end" of an empty middle).
             None => true,
-            Some(m) => self.buckets.iter().filter(|b| b.is_univalued()).all(|b| {
-                b.max_freq() <= m.min_freq() || b.min_freq() >= m.max_freq()
-            }),
+            Some(m) => self
+                .buckets
+                .iter()
+                .filter(|b| b.is_univalued())
+                .all(|b| b.max_freq() <= m.min_freq() || b.min_freq() >= m.max_freq()),
         }
     }
 
@@ -315,7 +317,10 @@ mod tests {
     #[test]
     fn rounded_mode_rounds_bucket_averages() {
         let h = hist(&[1, 2], &[0, 0], 1);
-        assert_eq!(h.approx_frequencies(RoundingMode::PaperRounded), vec![2.0, 2.0]);
+        assert_eq!(
+            h.approx_frequencies(RoundingMode::PaperRounded),
+            vec![2.0, 2.0]
+        );
         assert_eq!(h.approx_frequencies(RoundingMode::Exact), vec![1.5, 1.5]);
     }
 
@@ -383,10 +388,7 @@ mod tests {
             HistogramClass::General
         );
         // All-univalued buckets classify as end-biased (serial).
-        assert_eq!(
-            hist(&[3, 7], &[0, 1], 2).class(),
-            HistogramClass::EndBiased
-        );
+        assert_eq!(hist(&[3, 7], &[0, 1], 2).class(), HistogramClass::EndBiased);
     }
 
     #[test]

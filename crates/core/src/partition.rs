@@ -173,10 +173,7 @@ mod tests {
         assert_eq!(count(5, 2), 4); // C(4,1)
         assert_eq!(count(5, 3), 6); // C(4,2)
         assert_eq!(count(5, 5), 1);
-        assert_eq!(
-            ContiguousPartitions::count_partitions(5, 3),
-            6
-        );
+        assert_eq!(ContiguousPartitions::count_partitions(5, 3), 6);
         assert_eq!(ContiguousPartitions::count_partitions(100, 5), {
             // C(99,4)
             99u128 * 98 * 97 * 96 / 24
@@ -194,7 +191,10 @@ mod tests {
     #[test]
     fn enumeration_is_exhaustive_and_distinct() {
         let all: Vec<_> = ContiguousPartitions::new(7, 4).unwrap().collect();
-        assert_eq!(all.len() as u128, ContiguousPartitions::count_partitions(7, 4));
+        assert_eq!(
+            all.len() as u128,
+            ContiguousPartitions::count_partitions(7, 4)
+        );
         let mut dedup = all.clone();
         dedup.sort();
         dedup.dedup();

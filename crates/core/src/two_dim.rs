@@ -144,9 +144,7 @@ pub fn grid_equi_depth(
         });
     }
     let (rows, cols) = (matrix.rows(), matrix.cols());
-    let row_sums: Vec<u64> = (0..rows)
-        .map(|r| matrix.row(r).iter().sum())
-        .collect();
+    let row_sums: Vec<u64> = (0..rows).map(|r| matrix.row(r).iter().sum()).collect();
     let row_cuts = equi_depth_cuts(&row_sums, row_parts);
 
     let mut assignment = vec![0u32; rows * cols];
@@ -221,8 +219,7 @@ mod tests {
     fn serial_buckets_track_frequency_not_position() {
         let m = works_for();
         let mh =
-            MatrixHistogram::build(&m, |cells| Ok(v_opt_serial_dp(cells, 3)?.histogram))
-                .unwrap();
+            MatrixHistogram::build(&m, |cells| Ok(v_opt_serial_dp(cells, 3)?.histogram)).unwrap();
         assert!(mh.inner().is_serial());
         // Cells with near-identical frequencies share buckets regardless
         // of where they sit in the matrix: 30 (toy, 1993) and 30
@@ -307,9 +304,7 @@ mod tests {
         // bucketing beats value-order grids at equal bucket count.
         let m = works_for();
         let grid = grid_equi_depth(&m, 2, 3).unwrap(); // 6 buckets
-        let serial =
-            MatrixHistogram::build(&m, |c| Ok(v_opt_serial_dp(c, 6)?.histogram))
-                .unwrap();
+        let serial = MatrixHistogram::build(&m, |c| Ok(v_opt_serial_dp(c, 6)?.histogram)).unwrap();
         assert!(
             serial.inner().self_join_error() <= grid.inner().self_join_error(),
             "serial {} vs grid {}",

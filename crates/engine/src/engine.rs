@@ -63,6 +63,7 @@ impl Engine {
     /// value dictionary and stores a v-optimal end-biased histogram with
     /// `buckets` buckets (the paper's practical recommendation).
     pub fn analyze_all(&mut self, buckets: usize) -> Result<()> {
+        let _span = obs::span("analyze_all");
         let names: Vec<String> = self.relations.keys().cloned().collect();
         for name in names {
             let relation = &self.relations[&name];
@@ -78,7 +79,8 @@ impl Engine {
                 self.domains
                     .insert((name.clone(), column.clone()), table.values.clone());
                 if !table.freqs.is_empty() {
-                    self.catalog.analyze_end_biased(relation, &column, buckets)?;
+                    self.catalog
+                        .analyze_end_biased(relation, &column, buckets)?;
                 }
             }
         }
@@ -88,11 +90,13 @@ impl Engine {
     /// Parses a query against this engine's dialect (binding happens at
     /// execution/estimation time).
     pub fn parse(&self, text: &str) -> Result<Query> {
+        let _span = obs::span("parse");
         parser::parse(text)
     }
 
     /// Checks that every table/column the query names exists.
     pub(crate) fn bind(&self, query: &Query) -> Result<()> {
+        let _span = obs::span("bind");
         if query.tables.is_empty() {
             return Err(EngineError::InvalidJoinGraph("no tables".into()));
         }
@@ -128,7 +132,11 @@ impl Engine {
 
     /// Applies all of a table's filters, materialising the surviving
     /// rows.
-    pub(crate) fn filtered_base(&self, table: &str, filters: &[&FilterPredicate]) -> Result<Relation> {
+    pub(crate) fn filtered_base(
+        &self,
+        table: &str,
+        filters: &[&FilterPredicate],
+    ) -> Result<Relation> {
         let rel = self.relation(table)?;
         if filters.is_empty() {
             return Ok(rel.clone());
@@ -188,11 +196,16 @@ impl Engine {
     /// Executes the query exactly: filter, then hash-join along the join
     /// graph (cross products are rejected). Returns the `COUNT(*)`.
     pub fn execute(&self, query: &Query) -> Result<u128> {
+        let _span = obs::span("execute");
+        obs::counter("engine_queries_total").inc();
         self.bind(query)?;
         // Filters grouped per table.
         let mut per_table: HashMap<&str, Vec<&FilterPredicate>> = HashMap::new();
         for f in &query.filters {
-            per_table.entry(f.column.table.as_str()).or_default().push(f);
+            per_table
+                .entry(f.column.table.as_str())
+                .or_default()
+                .push(f);
         }
         // Filtered, qualified base relations.
         let mut bases: HashMap<String, Relation> = HashMap::new();
@@ -230,21 +243,19 @@ impl Engine {
         while joined.len() < query.tables.len() || !pending.is_empty() {
             // First apply any predicate whose both sides are joined
             // (a residual equality inside acc).
-            if let Some(idx) = pending.iter().position(|j| {
-                joined.contains(&j.left.table) && joined.contains(&j.right.table)
-            }) {
+            if let Some(idx) = pending
+                .iter()
+                .position(|j| joined.contains(&j.left.table) && joined.contains(&j.right.table))
+            {
                 let j = pending.remove(idx);
-                acc = Self::filter_equal_columns(
-                    acc,
-                    &j.left.to_string(),
-                    &j.right.to_string(),
-                )?;
+                acc = Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?;
                 continue;
             }
             // Otherwise join one new table connected to the current set.
-            let Some(idx) = pending.iter().position(|j| {
-                joined.contains(&j.left.table) != joined.contains(&j.right.table)
-            }) else {
+            let Some(idx) = pending
+                .iter()
+                .position(|j| joined.contains(&j.left.table) != joined.contains(&j.right.table))
+            else {
                 return Err(EngineError::InvalidJoinGraph(format!(
                     "tables {:?} are not connected to the rest of the query",
                     query
@@ -271,12 +282,7 @@ impl Engine {
                     &new_side.to_string(),
                 )?);
             }
-            acc = materialize_join(
-                &acc,
-                &acc_side.to_string(),
-                new_rel,
-                &new_side.to_string(),
-            )?;
+            acc = materialize_join(&acc, &acc_side.to_string(), new_rel, &new_side.to_string())?;
             joined.insert(new_side.table.clone());
         }
         Ok(acc.num_rows() as u128)
@@ -310,6 +316,7 @@ impl Engine {
     /// Estimates the query's `COUNT(*)` from catalog statistics alone —
     /// no base data is touched.
     pub fn estimate(&self, query: &Query) -> Result<f64> {
+        let _span = obs::span("estimate");
         self.bind(query)?;
         // Base cardinalities and filter selectivities.
         let mut estimate = 1.0f64;
@@ -357,8 +364,8 @@ impl Engine {
 mod tests {
     use super::*;
     use freqdist::zipf::zipf_frequencies;
-    use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
     use freqdist::{Arrangement, FreqMatrix};
+    use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
 
     fn engine_with_chain() -> Engine {
         // r0(a), r1(a, b), r2(b): a classic chain.
@@ -370,9 +377,7 @@ mod tests {
         let matrix = FreqMatrix::from_arrangement(&fm, 10, 10, &arr).unwrap();
         let a_vals: Vec<u64> = (0..10).collect();
         let b_vals: Vec<u64> = (0..10).collect();
-        e.register(
-            relation_from_matrix("r1", "a", "b", &a_vals, &b_vals, &matrix, 2).unwrap(),
-        );
+        e.register(relation_from_matrix("r1", "a", "b", &a_vals, &b_vals, &matrix, 2).unwrap());
         let f2 = zipf_frequencies(150, 10, 0.5).unwrap();
         e.register(relation_from_frequency_set("r2", "b", &f2, 3).unwrap());
         e.analyze_all(5).unwrap();
@@ -478,15 +483,20 @@ mod tests {
     fn binding_errors() {
         let e = engine_with_chain();
         let q = e.parse("SELECT COUNT(*) FROM nope").unwrap();
-        assert!(matches!(e.execute(&q), Err(EngineError::UnknownRelation(_))));
-        let q = e
-            .parse("SELECT COUNT(*) FROM r0 WHERE r0.zzz = 1")
-            .unwrap();
-        assert!(matches!(e.execute(&q), Err(EngineError::UnknownColumn { .. })));
-        let q = e
-            .parse("SELECT COUNT(*) FROM r0 WHERE r2.b = 1")
-            .unwrap();
-        assert!(matches!(e.execute(&q), Err(EngineError::UnknownRelation(_))));
+        assert!(matches!(
+            e.execute(&q),
+            Err(EngineError::UnknownRelation(_))
+        ));
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.zzz = 1").unwrap();
+        assert!(matches!(
+            e.execute(&q),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r2.b = 1").unwrap();
+        assert!(matches!(
+            e.execute(&q),
+            Err(EngineError::UnknownRelation(_))
+        ));
     }
 
     #[test]

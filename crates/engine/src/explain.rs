@@ -25,6 +25,9 @@ pub struct PlanStep {
     pub estimated: f64,
     /// Cardinality actually produced.
     pub actual: u128,
+    /// Wall time this stage took (zero when span recording is
+    /// disabled).
+    pub elapsed: std::time::Duration,
 }
 
 impl PlanStep {
@@ -49,17 +52,18 @@ impl fmt::Display for ExplainOutput {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<52} {:>12} {:>12} {:>8}",
-            "step", "estimated", "actual", "q-err"
+            "{:<52} {:>12} {:>12} {:>8} {:>10}",
+            "step", "estimated", "actual", "q-err", "time"
         )?;
         for s in &self.steps {
             writeln!(
                 f,
-                "{:<52} {:>12.0} {:>12} {:>7.2}x",
+                "{:<52} {:>12.0} {:>12} {:>7.2}x {:>10}",
                 s.description,
                 s.estimated,
                 s.actual,
-                s.q_error()
+                s.q_error(),
+                format!("{:.1?}", s.elapsed)
             )?;
         }
         write!(f, "COUNT(*) = {}", self.count)
@@ -85,17 +89,23 @@ impl Engine {
     /// Requires `analyze_all` to have run (the optimizer can't order
     /// joins without statistics).
     pub fn explain_analyze(&self, query: &Query) -> Result<ExplainOutput> {
+        let _span = obs::span("explain_analyze");
+        obs::counter("engine_queries_total").inc();
         self.bind(query)?;
         let mut steps = Vec::new();
 
         // Scan + filter every base table, recording estimated vs actual.
         let mut per_table: HashMap<&str, Vec<&FilterPredicate>> = HashMap::new();
         for f in &query.filters {
-            per_table.entry(f.column.table.as_str()).or_default().push(f);
+            per_table
+                .entry(f.column.table.as_str())
+                .or_default()
+                .push(f);
         }
         let mut bases: HashMap<String, Relation> = HashMap::new();
         let mut est_rows: HashMap<String, f64> = HashMap::new();
         for t in &query.tables {
+            let sp = obs::span("scan");
             let filters = per_table.get(t.as_str()).map_or(&[][..], Vec::as_slice);
             let filtered = self.filtered_base(t, filters)?;
             let mut est = self.relation(t)?.num_rows() as f64;
@@ -112,6 +122,7 @@ impl Engine {
                 },
                 estimated: est,
                 actual: filtered.num_rows() as u128,
+                elapsed: sp.finish(),
             });
             est_rows.insert(t.clone(), est);
             bases.insert(t.clone(), Self::qualified(&filtered)?);
@@ -119,6 +130,7 @@ impl Engine {
 
         if query.tables.len() == 1 {
             let count = bases[&query.tables[0]].num_rows() as u128;
+            self.record_query_quality(query, est_rows[&query.tables[0]], count);
             return Ok(ExplainOutput { steps, count });
         }
         if query.joins.is_empty() {
@@ -133,11 +145,8 @@ impl Engine {
         let first_idx = {
             let mut best = (f64::INFINITY, 0usize);
             for (i, j) in pending.iter().enumerate() {
-                let e = self.join_step_estimate(
-                    j,
-                    est_rows[&j.left.table],
-                    est_rows[&j.right.table],
-                )?;
+                let e =
+                    self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
                 if e < best.0 {
                     best = (e, i);
                 }
@@ -145,11 +154,9 @@ impl Engine {
             best.1
         };
         let j = pending.remove(first_idx);
-        let mut acc_est = self.join_step_estimate(
-            j,
-            est_rows[&j.left.table],
-            est_rows[&j.right.table],
-        )?;
+        let sp = obs::span("join");
+        let mut acc_est =
+            self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
         let mut acc = materialize_join(
             &bases[&j.left.table],
             &j.left.to_string(),
@@ -162,29 +169,29 @@ impl Engine {
             description: format!("join {} = {}", j.left, j.right),
             estimated: acc_est,
             actual: acc.num_rows() as u128,
+            elapsed: sp.finish(),
         });
 
         while joined.len() < query.tables.len() || !pending.is_empty() {
             // Residual predicates inside the accumulated result first.
-            if let Some(idx) = pending.iter().position(|j| {
-                joined.contains(&j.left.table) && joined.contains(&j.right.table)
-            }) {
+            if let Some(idx) = pending
+                .iter()
+                .position(|j| joined.contains(&j.left.table) && joined.contains(&j.right.table))
+            {
                 let j = pending.remove(idx);
+                let sp = obs::span("residual_filter");
                 // A residual predicate keeps one row per matching value
                 // pair: its selectivity within the intermediate is the
                 // pair-overlap selectivity scaled back up by one side's
                 // cardinality (the other side is already fixed per row).
                 let sel = self.join_selectivity(j)?;
                 acc_est *= sel * self.relation(&j.left.table)?.num_rows() as f64;
-                acc = Self::filter_equal_columns(
-                    acc,
-                    &j.left.to_string(),
-                    &j.right.to_string(),
-                )?;
+                acc = Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?;
                 steps.push(PlanStep {
                     description: format!("residual filter {} = {}", j.left, j.right),
                     estimated: acc_est,
                     actual: acc.num_rows() as u128,
+                    elapsed: sp.finish(),
                 });
                 continue;
             }
@@ -214,6 +221,7 @@ impl Engine {
                 )));
             };
             let j = pending.remove(idx);
+            let sp = obs::span("join");
             let (acc_side, new_side) = if joined.contains(&j.left.table) {
                 (&j.left, &j.right)
             } else {
@@ -231,10 +239,22 @@ impl Engine {
                 description: format!("join {} = {}", j.left, j.right),
                 estimated: acc_est,
                 actual: acc.num_rows() as u128,
+                elapsed: sp.finish(),
             });
         }
         let count = acc.num_rows() as u128;
+        self.record_query_quality(query, acc_est, count);
         Ok(ExplainOutput { steps, count })
+    }
+
+    /// Feeds the query's final (estimate, actual) pair to the
+    /// estimation-quality monitor under the
+    /// `<query tables>/<histogram class>` scope. The engine's catalog
+    /// histograms are all v-optimal end-biased (`analyze_all`), hence
+    /// the fixed class component.
+    fn record_query_quality(&self, query: &Query, estimate: f64, actual: u128) {
+        let scope = format!("{}/v_opt_end_biased", query.tables.join(","));
+        obs::record_quality(&scope, estimate, actual as f64);
     }
 }
 
@@ -300,9 +320,7 @@ mod tests {
     #[test]
     fn estimates_are_close_on_scans() {
         let e = engine();
-        let q = e
-            .parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 0")
-            .unwrap();
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 0").unwrap();
         let out = e.explain_analyze(&q).unwrap();
         // Top value is in a singleton bucket: the scan estimate is exact.
         assert!(out.steps[0].q_error() < 1.05, "{:?}", out.steps[0]);

@@ -42,5 +42,5 @@ pub mod token;
 
 pub use ast::Query;
 pub use engine::Engine;
-pub use explain::{ExplainOutput, PlanStep};
 pub use error::{EngineError, Result};
+pub use explain::{ExplainOutput, PlanStep};

@@ -72,8 +72,9 @@ impl Parser {
             Some(Token::Ident(s)) => {
                 // Reserved words may not be used as names (keeps the
                 // grammar unambiguous).
-                const RESERVED: [&str; 8] =
-                    ["select", "count", "from", "where", "and", "in", "between", "not"];
+                const RESERVED: [&str; 8] = [
+                    "select", "count", "from", "where", "and", "in", "between", "not",
+                ];
                 if RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)) {
                     Err(self.error(format!("'{s}' is a reserved word, expected {what}")))
                 } else {

@@ -83,8 +83,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     return Err(EngineError::Lex {
                         position: i,
-                        message: "expected '<>' (only equality predicates are supported)"
-                            .into(),
+                        message: "expected '<>' (only equality predicates are supported)".into(),
                     });
                 }
             }
@@ -140,8 +139,7 @@ mod tests {
 
     #[test]
     fn tokenizes_a_query() {
-        let tokens =
-            tokenize("SELECT COUNT(*) FROM t WHERE t.a = 5 AND t.b <> 7").unwrap();
+        let tokens = tokenize("SELECT COUNT(*) FROM t WHERE t.a = 5 AND t.b <> 7").unwrap();
         assert_eq!(tokens[0], Token::Ident("SELECT".into()));
         assert_eq!(tokens[1], Token::Ident("COUNT".into()));
         assert_eq!(tokens[2], Token::LParen);

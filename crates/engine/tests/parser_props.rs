@@ -34,8 +34,10 @@ fn render(q: &Query) -> String {
 
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| {
-        !["select", "count", "from", "where", "and", "in", "between", "not"]
-            .contains(&s.as_str())
+        ![
+            "select", "count", "from", "where", "and", "in", "between", "not",
+        ]
+        .contains(&s.as_str())
     })
 }
 
@@ -63,23 +65,24 @@ fn query_strategy() -> impl Strategy<Value = Query> {
                 .map(|i| {
                     let l = tables[i].clone();
                     let r = tables[i + 1].clone();
-                    (column_ref(l), column_ref(r)).prop_map(|(left, right)| {
-                        engine::ast::JoinPredicate { left, right }
-                    })
+                    (column_ref(l), column_ref(r))
+                        .prop_map(|(left, right)| engine::ast::JoinPredicate { left, right })
                 })
                 .collect();
             let filters = prop::collection::vec(
                 prop_oneof![
-                    (column_ref(t0.clone()), any::<u32>())
-                        .prop_map(|(c, v)| engine::ast::FilterPredicate {
+                    (column_ref(t0.clone()), any::<u32>()).prop_map(|(c, v)| {
+                        engine::ast::FilterPredicate {
                             column: c,
                             op: FilterOp::Equals(v as u64),
-                        }),
-                    (column_ref(t_last.clone()), any::<u32>())
-                        .prop_map(|(c, v)| engine::ast::FilterPredicate {
+                        }
+                    }),
+                    (column_ref(t_last.clone()), any::<u32>()).prop_map(|(c, v)| {
+                        engine::ast::FilterPredicate {
                             column: c,
                             op: FilterOp::NotEquals(v as u64),
-                        }),
+                        }
+                    }),
                     (
                         column_ref(t0.clone()),
                         prop::collection::vec(any::<u32>(), 1..4)
@@ -88,14 +91,12 @@ fn query_strategy() -> impl Strategy<Value = Query> {
                             column: c,
                             op: FilterOp::In(vs.into_iter().map(u64::from).collect()),
                         }),
-                    (column_ref(t_last.clone()), any::<u32>(), any::<u32>())
-                        .prop_map(|(c, a, b)| engine::ast::FilterPredicate {
+                    (column_ref(t_last.clone()), any::<u32>(), any::<u32>()).prop_map(
+                        |(c, a, b)| engine::ast::FilterPredicate {
                             column: c,
-                            op: FilterOp::Between(
-                                a.min(b) as u64,
-                                a.max(b) as u64
-                            ),
-                        }),
+                            op: FilterOp::Between(a.min(b) as u64, a.max(b) as u64),
+                        }
+                    ),
                 ],
                 0..4,
             );

@@ -11,7 +11,7 @@
 
 use crate::config::{seed_for, RELATION_SIZE};
 use crate::report::{fmt_f64, Table};
-use freqdist::generators::{random_in_range, reverse_zipf};
+use freqdist::generators::random_in_range;
 use freqdist::zipf::zipf_frequencies;
 use freqdist::FrequencySet;
 use query::metrics::sigma;
@@ -27,7 +27,14 @@ use vopt_hist::RoundingMode;
 pub fn vopt_dp() -> Table {
     let mut table = Table::new(
         "Ablation vopt-dp: exhaustive V-OptHist vs O(M^2 b) DP (same optimum)",
-        &["values", "buckets", "exhaustive", "dp", "speedup", "same error"],
+        &[
+            "values",
+            "buckets",
+            "exhaustive",
+            "dp",
+            "speedup",
+            "same error",
+        ],
     );
     let seed = seed_for("ablation-dp");
     for &(m, beta) in &[(30usize, 3usize), (30, 4), (60, 3), (100, 3), (100, 4)] {
@@ -68,7 +75,10 @@ pub fn rounding() -> Table {
         table.push_row(vec![
             beta.to_string(),
             fmt_f64(sig(HistogramSpec::VOptSerial(beta), RoundingMode::Exact)),
-            fmt_f64(sig(HistogramSpec::VOptSerial(beta), RoundingMode::PaperRounded)),
+            fmt_f64(sig(
+                HistogramSpec::VOptSerial(beta),
+                RoundingMode::PaperRounded,
+            )),
             fmt_f64(sig(HistogramSpec::VOptEndBiased(beta), RoundingMode::Exact)),
             fmt_f64(sig(
                 HistogramSpec::VOptEndBiased(beta),
@@ -99,8 +109,15 @@ fn exact_extreme_values(values: &[u64], freqs: &[u64], k: usize, highest: bool) 
     idx.into_iter().take(k).map(|i| values[i]).collect()
 }
 
-/// Sampling-based top-k detection: Zipf (works), reverse-Zipf bottom-k
+/// Sampling-based top-k detection: Zipf top-k (works), Zipf bottom-k
 /// (fails, as §4.2 predicts), Space-Saving (works without randomness).
+///
+/// The bottom-k probe uses the plain Zipf tail rather than the reflected
+/// (reverse) Zipf: reflection compresses the low end, so reverse-Zipf's
+/// rarest *present* values carry ~50+ tuples each and a 2% sample finds
+/// them reliably — no demonstration at all. The Zipf tail's rarest values
+/// carry ~T/(M·H_M) ≈ 13 tuples, i.e. ≈0.26 expected sample copies, which
+/// is exactly the regime where §4.2 says sampling must fail.
 pub fn sampling() -> Table {
     let mut table = Table::new(
         "Ablation sampling: detecting the b-1 extreme frequencies (k=9, M=1000, T=100000, 2% sample)",
@@ -118,19 +135,17 @@ pub fn sampling() -> Table {
             true,
         ),
         (
-            "reverse-zipf z=1",
-            reverse_zipf(total, m, 1.0).expect("valid parameters"),
+            "zipf z=1",
+            zipf_frequencies(total, m, 1.0).expect("valid Zipf"),
             false,
         ),
     ];
 
     for (name, freqs, highest) in configs {
-        let rel = relation_from_frequency_set("r", "a", &freqs, seed)
-            .expect("valid frequencies");
+        let rel = relation_from_frequency_set("r", "a", &freqs, seed).expect("valid frequencies");
         let col = rel.column_by_name("a").expect("column exists");
         let table_stats = frequency_table(&rel, "a").expect("column exists");
-        let truth =
-            exact_extreme_values(&table_stats.values, &table_stats.freqs, k, highest);
+        let truth = exact_extreme_values(&table_stats.values, &table_stats.freqs, k, highest);
 
         // Reservoir sample of 2%.
         let sample = reservoir_sample(col, col.len() / 50, seed);
@@ -192,7 +207,9 @@ pub fn storage() -> Table {
             .expect("valid Zipf")
             .into_vec();
         let _ = seed;
-        let serial = v_opt_serial_dp(&freqs, beta).expect("valid parameters").histogram;
+        let serial = v_opt_serial_dp(&freqs, beta)
+            .expect("valid parameters")
+            .histogram;
         let biased = vopt_hist::construct::v_opt_end_biased(&freqs, beta)
             .expect("valid parameters")
             .histogram;
@@ -277,7 +294,7 @@ mod tests {
         assert!(get("zipf z=1", "highest", "reservoir 2%") >= 80.0);
         assert!(get("zipf z=1", "highest", "space-saving") >= 90.0);
         assert!(
-            get("reverse-zipf z=1", "lowest", "reservoir 2%") <= 50.0,
+            get("zipf z=1", "lowest", "reservoir 2%") <= 50.0,
             "low-frequency detection should fail by sampling"
         );
     }

@@ -1,19 +1,26 @@
 //! CLI that regenerates the paper's tables and figures.
 //!
 //! ```text
-//! paper [--csv DIR] <experiment>...
+//! paper [--csv DIR] [--obs] <experiment>...
 //! paper all
 //! ```
 //!
 //! Experiments: fig1, table1, fig3, fig4, fig5, fig6, fig7, sec31,
 //! real-life, ablations. With `--csv DIR`, each table is also written as
-//! `DIR/<id>.csv` (figure tables at full resolution).
+//! `DIR/<id>.csv` (figure tables at full resolution). With `--obs`, the
+//! process-wide observability snapshot (Prometheus text exposition) is
+//! printed to stdout after the experiments run: construction latencies
+//! per histogram class, span timings, and the Q-error aggregates the
+//! experiments recorded in the quality monitor.
 
-use experiments::{ablation, fig1, joins, plan_regret, real_life, report::Table, sec31, selfjoin, table1, tree_ext};
+use experiments::{
+    ablation, fig1, joins, plan_regret, real_life, report::Table, sec31, selfjoin, table1, tree_ext,
+};
 use std::io::Write;
 
-const USAGE: &str = "usage: paper [--csv DIR] <experiment>...\n\
-experiments: all, fig1, table1, fig3, fig4, fig5, fig6, fig7, sec31, real-life, plan-regret, tree, ablations";
+const USAGE: &str = "usage: paper [--csv DIR] [--obs] <experiment>...\n\
+experiments: all, fig1, table1, fig3, fig4, fig5, fig6, fig7, sec31, real-life, plan-regret, tree, ablations\n\
+--obs prints the Prometheus metrics snapshot after the experiments run";
 
 fn all_ids() -> Vec<&'static str> {
     vec![
@@ -73,6 +80,7 @@ fn csv_table_for(id: &str) -> Option<Table> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv_dir: Option<String> = None;
+    let mut obs_report = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -80,19 +88,20 @@ fn main() {
             "--csv" => match it.next() {
                 Some(dir) => csv_dir = Some(dir),
                 None => {
-                    eprintln!("--csv needs a directory\n{USAGE}");
+                    let _ = writeln!(std::io::stderr(), "--csv needs a directory\n{USAGE}");
                     std::process::exit(2);
                 }
             },
+            "--obs" => obs_report = true,
             "-h" | "--help" => {
-                println!("{USAGE}");
+                let _ = writeln!(std::io::stdout(), "{USAGE}");
                 return;
             }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
-        eprintln!("{USAGE}");
+        let _ = writeln!(std::io::stderr(), "{USAGE}");
         std::process::exit(2);
     }
     if ids.iter().any(|i| i == "all") {
@@ -101,9 +110,14 @@ fn main() {
 
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {dir}: {e}");
+            let _ = writeln!(std::io::stderr(), "cannot create {dir}: {e}");
             std::process::exit(1);
         }
+    }
+    if obs_report {
+        // Pre-register the well-known families so the exposition covers
+        // them even when the selected experiments never touch them.
+        obs::register_well_known();
     }
 
     let stdout = std::io::stdout();
@@ -120,7 +134,7 @@ fn main() {
                             .unwrap_or_else(|| table.to_csv());
                         let path = format!("{dir}/{name}.csv");
                         if let Err(e) = std::fs::write(&path, csv) {
-                            eprintln!("cannot write {path}: {e}");
+                            let _ = writeln!(std::io::stderr(), "cannot write {path}: {e}");
                             std::process::exit(1);
                         }
                     }
@@ -132,9 +146,13 @@ fn main() {
                 );
             }
             Err(e) => {
-                eprintln!("{e}");
+                let _ = writeln!(std::io::stderr(), "{e}");
                 std::process::exit(2);
             }
         }
+    }
+    if obs_report {
+        let _ = writeln!(out, "# observability snapshot");
+        let _ = write!(out, "{}", obs::export::prometheus());
     }
 }

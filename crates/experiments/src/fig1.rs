@@ -35,9 +35,7 @@ fn run_with(total: u64, domain: usize, zs: &[f64], ranks: &[usize]) -> Table {
     let mut headers = vec!["rank".to_string()];
     headers.extend(zs.iter().map(|z| format!("z={z}")));
     let mut table = Table {
-        title: format!(
-            "Figure 1: Zipf frequencies (T={total}, M={domain}; frequency by rank)"
-        ),
+        title: format!("Figure 1: Zipf frequencies (T={total}, M={domain}; frequency by rank)"),
         headers,
         rows: Vec::new(),
     };

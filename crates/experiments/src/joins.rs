@@ -82,8 +82,7 @@ fn build_relations(joins: usize, class: SkewClass, rng: &mut StdRng) -> Vec<Rela
         let z = draw_z(rng);
         rels.push(
             RelationSpec::matrix(
-                zipf_frequencies(RELATION_SIZE, MID_SIDE * MID_SIDE, z)
-                    .expect("valid Zipf"),
+                zipf_frequencies(RELATION_SIZE, MID_SIDE * MID_SIDE, z).expect("valid Zipf"),
                 MID_SIDE,
                 MID_SIDE,
             )
@@ -233,8 +232,7 @@ mod tests {
     fn serial_not_worse_than_trivial_on_high_skew() {
         let seed = seed_for("test-joins");
         let serial = mean_rel_error(SkewClass::High, 2, HistogramSpec::VOptSerial, 5, seed);
-        let trivial =
-            mean_rel_error(SkewClass::High, 2, |_| HistogramSpec::Trivial, 5, seed);
+        let trivial = mean_rel_error(SkewClass::High, 2, |_| HistogramSpec::Trivial, 5, seed);
         assert!(
             serial < trivial,
             "serial {serial} should beat trivial {trivial} on high skew"
@@ -246,9 +244,6 @@ mod tests {
         let seed = seed_for("test-joins-growth");
         let e1 = mean_rel_error(SkewClass::High, 1, HistogramSpec::VOptEndBiased, 5, seed);
         let e5 = mean_rel_error(SkewClass::High, 5, HistogramSpec::VOptEndBiased, 5, seed);
-        assert!(
-            e5 > e1,
-            "5-join error {e5} should exceed 1-join error {e1}"
-        );
+        assert!(e5 > e1, "5-join error {e5} should exceed 1-join error {e1}");
     }
 }

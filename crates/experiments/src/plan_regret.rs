@@ -71,9 +71,7 @@ fn random_query(class: SkewClass, rng: &mut StdRng) -> ChainQuery {
         } else {
             let freqs = zipf_frequencies(t, SIDE * SIDE, z).expect("valid");
             let arr = Arrangement::random(SIDE * SIDE, rng);
-            mats.push(
-                FreqMatrix::from_arrangement(&freqs, SIDE, SIDE, &arr).expect("square"),
-            );
+            mats.push(FreqMatrix::from_arrangement(&freqs, SIDE, SIDE, &arr).expect("square"));
         }
     }
     ChainQuery::new(mats).expect("valid chain")
@@ -89,9 +87,8 @@ fn stats_for(query: &ChainQuery, spec: HistogramSpec) -> Vec<RelationStats> {
             } else {
                 RelationStats::Matrix(
                     MatrixHistogram::build(m, |c| {
-                        spec.build(c).map_err(|e| {
-                            vopt_hist::HistError::InvalidAssignment(e.to_string())
-                        })
+                        spec.build(c)
+                            .map_err(|e| vopt_hist::HistError::InvalidAssignment(e.to_string()))
                     })
                     .expect("valid build"),
                 )
@@ -119,8 +116,7 @@ pub fn run() -> Table {
             let exact = exact_segment_sizes(&q).expect("sizes");
             for (k, &spec) in specs.iter().enumerate() {
                 let stats = stats_for(&q, spec);
-                let est = estimated_segment_sizes(&q, &stats, RoundingMode::Exact)
-                    .expect("sizes");
+                let est = estimated_segment_sizes(&q, &stats, RoundingMode::Exact).expect("sizes");
                 regrets[k] += plan_quality(&exact, &est);
             }
         }

@@ -76,8 +76,8 @@ pub fn run() -> Table {
     );
     let seed = seed_for("real-life");
     for (name, params) in shapes() {
-        let freqs = real_life_like(&params, seed ^ name.len() as u64)
-            .expect("valid mixture parameters");
+        let freqs =
+            real_life_like(&params, seed ^ name.len() as u64).expect("valid mixture parameters");
         let mut row = vec![name.to_string()];
         for spec in histogram_types(5) {
             row.push(fmt_f64(sigma_for(&freqs, spec, seed)));

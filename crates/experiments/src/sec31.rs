@@ -68,8 +68,12 @@ fn candidates(freqs: &[u64], beta: usize) -> Vec<Candidate> {
 
 /// Runs the study for one configuration.
 pub fn study(total: u64, m: usize, beta: usize, z0: f64, z1: f64) -> StudyResult {
-    let b0 = zipf_frequencies(total, m, z0).expect("valid Zipf").into_vec();
-    let b1 = zipf_frequencies(total, m, z1).expect("valid Zipf").into_vec();
+    let b0 = zipf_frequencies(total, m, z0)
+        .expect("valid Zipf")
+        .into_vec();
+    let b1 = zipf_frequencies(total, m, z1)
+        .expect("valid Zipf")
+        .into_vec();
 
     // The first relation's arrangement can be fixed (only the relative
     // arrangement matters); candidates for it are fixed too.
@@ -94,12 +98,7 @@ pub fn study(total: u64, m: usize, beta: usize, z0: f64, z1: f64) -> StudyResult
         let mut best = f64::INFINITY;
         for c0 in &cands0 {
             for c1 in &cands1 {
-                let est: f64 = c0
-                    .approx
-                    .iter()
-                    .zip(&c1.approx)
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let est: f64 = c0.approx.iter().zip(&c1.approx).map(|(a, b)| a * b).sum();
                 let err = (exact - est).abs();
                 if err < best {
                     best = err;
@@ -110,12 +109,7 @@ pub fn study(total: u64, m: usize, beta: usize, z0: f64, z1: f64) -> StudyResult
         let (mut one, mut both, mut same) = (false, false, false);
         for c0 in &cands0 {
             for c1 in &cands1 {
-                let est: f64 = c0
-                    .approx
-                    .iter()
-                    .zip(&c1.approx)
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let est: f64 = c0.approx.iter().zip(&c1.approx).map(|(a, b)| a * b).sum();
                 if (exact - est).abs() <= tol {
                     one |= c0.end_biased || c1.end_biased;
                     both |= c0.end_biased && c1.end_biased;

@@ -47,8 +47,13 @@ fn row_for(freqs: &FrequencySet, beta: usize, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-const TYPE_HEADERS: [&str; 5] =
-    ["trivial", "equi-width", "equi-depth", "end-biased", "serial"];
+const TYPE_HEADERS: [&str; 5] = [
+    "trivial",
+    "equi-width",
+    "equi-depth",
+    "end-biased",
+    "serial",
+];
 
 /// Figure 3: σ vs β for β ∈ 1..=30, M = 100, z = 1.
 ///

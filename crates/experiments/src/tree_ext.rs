@@ -36,7 +36,9 @@ fn star_query(
 ) -> TreeQuery {
     let hub = Tensor::from_data(
         vec![SIDE; LEAVES],
-        hub_arr.apply(hub_freqs.as_slice()).expect("matching length"),
+        hub_arr
+            .apply(hub_freqs.as_slice())
+            .expect("matching length"),
     )
     .expect("cells match dims");
     let mut relations = vec![hub];
@@ -70,10 +72,7 @@ pub fn star_error(spec: HistogramSpec, beta: usize, z: f64, seed: u64) -> f64 {
     let hub_freqs =
         zipf_frequencies(RELATION_SIZE, SIDE.pow(LEAVES as u32), z).expect("valid Zipf");
     let leaf_freqs: Vec<FrequencySet> = (0..LEAVES)
-        .map(|i| {
-            zipf_frequencies(RELATION_SIZE, SIDE, 0.5 + 0.5 * i as f64)
-                .expect("valid Zipf")
-        })
+        .map(|i| zipf_frequencies(RELATION_SIZE, SIDE, 0.5 + 0.5 * i as f64).expect("valid Zipf"))
         .collect();
     let _ = beta;
 
@@ -114,7 +113,12 @@ pub fn run() -> Table {
         table.push_row(vec![
             beta.to_string(),
             fmt_f64(star_error(HistogramSpec::Trivial, beta, 1.0, seed)),
-            fmt_f64(star_error(HistogramSpec::VOptEndBiased(beta), beta, 1.0, seed)),
+            fmt_f64(star_error(
+                HistogramSpec::VOptEndBiased(beta),
+                beta,
+                1.0,
+                seed,
+            )),
             fmt_f64(star_error(HistogramSpec::VOptSerial(beta), beta, 1.0, seed)),
         ]);
     }

@@ -400,10 +400,7 @@ mod tests {
             data: vec![u128::MAX],
         };
         let left = U128Matrix::from(&a);
-        assert!(matches!(
-            left.mul_exact(&big),
-            Err(FreqError::Overflow(_))
-        ));
+        assert!(matches!(left.mul_exact(&big), Err(FreqError::Overflow(_))));
     }
 
     #[test]

@@ -51,10 +51,7 @@ impl FrequencySet {
     /// among arrangements (§3.1), which is why the paper's v-optimality
     /// reduces to self-join optimality.
     pub fn self_join_size(&self) -> u128 {
-        self.freqs
-            .iter()
-            .map(|&f| (f as u128) * (f as u128))
-            .sum()
+        self.freqs.iter().map(|&f| (f as u128) * (f as u128)).sum()
     }
 
     /// A copy of the frequencies sorted descending (the order used when

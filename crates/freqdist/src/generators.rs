@@ -212,7 +212,11 @@ mod tests {
 
     #[test]
     fn reverse_zipf_preserves_total() {
-        for &(t, m, z) in &[(1000u64, 50usize, 1.5f64), (100_000, 1000, 1.0), (7, 3, 0.5)] {
+        for &(t, m, z) in &[
+            (1000u64, 50usize, 1.5f64),
+            (100_000, 1000, 1.0),
+            (7, 3, 0.5),
+        ] {
             let r = reverse_zipf(t, m, z).unwrap();
             assert_eq!(r.total(), t as u128, "T={t} M={m} z={z}");
             assert_eq!(r.len(), m);
@@ -253,8 +257,7 @@ mod tests {
         assert_eq!(fs.len(), 12);
         assert_eq!(fs.min(), 10);
         assert_eq!(fs.max(), 30);
-        let distinct: std::collections::BTreeSet<u64> =
-            fs.as_slice().iter().copied().collect();
+        let distinct: std::collections::BTreeSet<u64> = fs.as_slice().iter().copied().collect();
         assert_eq!(distinct.len(), 3);
     }
 

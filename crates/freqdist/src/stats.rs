@@ -107,9 +107,7 @@ mod tests {
     #[test]
     fn stddev_is_sqrt_of_variance() {
         let vals = [1u64, 2, 3, 4, 5];
-        assert!(
-            (population_stddev(&vals) - population_variance(&vals).sqrt()).abs() < 1e-12
-        );
+        assert!((population_stddev(&vals) - population_variance(&vals).sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub fn zipf_frequencies_f64(total: u64, domain: usize, z: f64) -> Result<Vec<f64
 /// preserves the total exactly while staying within 1 of the real value
 /// for every entry.
 pub fn zipf_frequencies(total: u64, domain: usize, z: f64) -> Result<FrequencySet> {
+    obs::counter("freqdist_zipf_generated_total").inc();
     let real = zipf_frequencies_f64(total, domain, z)?;
     let mut floors: Vec<u64> = real.iter().map(|&r| r.floor() as u64).collect();
     let assigned: u64 = floors.iter().sum();
@@ -146,7 +147,10 @@ mod tests {
         let real = zipf_frequencies_f64(1000, 37, 1.3).unwrap();
         let rounded = zipf_frequencies(1000, 37, 1.3).unwrap();
         for (r, &i) in real.iter().zip(rounded.as_slice()) {
-            assert!((r - i as f64).abs() <= 1.0, "entry drifted: real {r}, int {i}");
+            assert!(
+                (r - i as f64).abs() <= 1.0,
+                "entry drifted: real {r}, int {i}"
+            );
         }
     }
 

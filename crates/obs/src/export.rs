@@ -1,0 +1,409 @@
+//! Exposition: Prometheus text format and JSON.
+//!
+//! Both render the same [`MetricsSnapshot`]. The JSON path is driven
+//! through the `serde` `Serialize`/`Serializer` traits: snapshot types
+//! implement `Serialize`, and [`JsonWriter`] is a `Serializer` that
+//! renders compact JSON, so the output format is decoupled from the
+//! snapshot structure.
+
+use crate::metrics::{self, LatencyHistogram};
+use crate::quality::{self, QualitySnapshot};
+use serde::ser::{Serialize, Serializer};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One histogram's point-in-time state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Registry key, possibly labeled (`construction_seconds{class="dp"}`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations in nanoseconds.
+    pub sum_ns: u64,
+    /// Non-empty buckets as `(upper_bound_ns, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Point-in-time state of every instrument in the process.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// All counters as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All gauges as `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// All latency histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All estimation-quality scopes, sorted by scope.
+    pub quality: Vec<(String, QualitySnapshot)>,
+}
+
+fn snapshot_histogram(name: String, h: &Arc<LatencyHistogram>) -> HistogramSnapshot {
+    let counts = h.bucket_counts();
+    let buckets = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let upper_ns = if i >= 64 { u64::MAX } else { 1u64 << i };
+            (upper_ns, c)
+        })
+        .collect();
+    HistogramSnapshot {
+        name,
+        count: h.count(),
+        sum_ns: h.sum_ns(),
+        buckets,
+    }
+}
+
+/// Captures the current state of the registry and quality monitor.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = metrics::registry();
+    MetricsSnapshot {
+        counters: reg.counter_values(),
+        gauges: reg.gauge_values(),
+        histograms: reg
+            .histogram_handles()
+            .into_iter()
+            .map(|(name, h)| snapshot_histogram(name, &h))
+            .collect(),
+        quality: quality::snapshot_all(),
+    }
+}
+
+/// Splits a registry key into `(base_name, labels)`:
+/// `x{class="dp"}` becomes `("x", Some("class=\"dp\""))`.
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (key, None),
+    }
+}
+
+fn merged_labels(existing: Option<&str>, extra: &str) -> String {
+    match existing {
+        Some(l) => format!("{{{l},{extra}}}"),
+        None => format!("{{{extra}}}"),
+    }
+}
+
+/// Renders `snap` in the Prometheus text exposition format.
+pub fn prometheus_from(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, base: &str, kind: &str| {
+        let line = format!("# TYPE {base} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for (name, value) in &snap.counters {
+        let (base, _) = split_labels(name);
+        type_line(&mut out, base, "counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let (base, _) = split_labels(name);
+        type_line(&mut out, base, "gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for h in &snap.histograms {
+        let (base, labels) = split_labels(&h.name);
+        type_line(&mut out, base, "histogram");
+        let mut cumulative = 0u64;
+        for &(upper_ns, count) in &h.buckets {
+            cumulative += count;
+            let le = upper_ns as f64 / 1e9;
+            let l = merged_labels(labels, &format!("le=\"{le:e}\""));
+            let _ = writeln!(out, "{base}_bucket{l} {cumulative}");
+        }
+        let l = merged_labels(labels, "le=\"+Inf\"");
+        let _ = writeln!(out, "{base}_bucket{l} {}", h.count);
+        let suffix = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+        let _ = writeln!(out, "{base}_sum{suffix} {}", h.sum_ns as f64 / 1e9);
+        let _ = writeln!(out, "{base}_count{suffix} {}", h.count);
+    }
+    for (scope, q) in &snap.quality {
+        let label = format!("scope=\"{scope}\"");
+        type_line(&mut out, "estimation_qerror_samples_total", "counter");
+        let _ = writeln!(
+            out,
+            "estimation_qerror_samples_total{{{label}}} {}",
+            q.count
+        );
+        type_line(&mut out, "estimation_qerror_geomean", "gauge");
+        let _ = writeln!(out, "estimation_qerror_geomean{{{label}}} {}", q.geo_mean_q);
+        type_line(&mut out, "estimation_qerror_max", "gauge");
+        let _ = writeln!(out, "estimation_qerror_max{{{label}}} {}", q.max_q);
+    }
+    out
+}
+
+/// Current state in the Prometheus text exposition format.
+pub fn prometheus() -> String {
+    prometheus_from(&snapshot())
+}
+
+// --- JSON via the serde traits ---------------------------------------
+
+/// A `serde::Serializer` rendering compact JSON into a `String`.
+pub struct JsonWriter {
+    out: String,
+    /// Comma bookkeeping per open container.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self {
+            out: String::new(),
+            needs_comma: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn comma(&mut self) {
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Serializer for JsonWriter {
+    fn serialize_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+    fn serialize_i64(&mut self, v: i64) {
+        let _ = write!(self.out, "{v}");
+    }
+    fn serialize_u64(&mut self, v: u64) {
+        let _ = write!(self.out, "{v}");
+    }
+    fn serialize_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+    }
+    fn serialize_str(&mut self, v: &str) {
+        self.push_escaped(v);
+    }
+    fn serialize_unit(&mut self) {
+        self.out.push_str("null");
+    }
+    fn begin_seq(&mut self, _len: usize) {
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+    fn seq_element(&mut self) {
+        self.comma();
+    }
+    fn end_seq(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+    fn begin_map(&mut self, _len: usize) {
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+    fn map_key(&mut self, key: &str) {
+        self.comma();
+        self.push_escaped(key);
+        self.out.push(':');
+    }
+    fn end_map(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.begin_map(4);
+        s.map_key("name");
+        s.serialize_str(&self.name);
+        s.map_key("count");
+        s.serialize_u64(self.count);
+        s.map_key("sum_seconds");
+        s.serialize_f64(self.sum_ns as f64 / 1e9);
+        s.map_key("buckets");
+        s.begin_seq(self.buckets.len());
+        for &(upper_ns, count) in &self.buckets {
+            s.seq_element();
+            s.begin_map(2);
+            s.map_key("le_seconds");
+            s.serialize_f64(upper_ns as f64 / 1e9);
+            s.map_key("count");
+            s.serialize_u64(count);
+            s.end_map();
+        }
+        s.end_seq();
+        s.end_map();
+    }
+}
+
+impl Serialize for QualitySnapshot {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.begin_map(5);
+        s.map_key("count");
+        s.serialize_u64(self.count);
+        s.map_key("geo_mean_q");
+        s.serialize_f64(self.geo_mean_q);
+        s.map_key("max_q");
+        s.serialize_f64(self.max_q);
+        s.map_key("last_estimate");
+        s.serialize_f64(self.last_estimate);
+        s.map_key("last_actual");
+        s.serialize_f64(self.last_actual);
+        s.end_map();
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.begin_map(4);
+        s.map_key("counters");
+        s.begin_map(self.counters.len());
+        for (name, value) in &self.counters {
+            s.map_key(name);
+            s.serialize_u64(*value);
+        }
+        s.end_map();
+        s.map_key("gauges");
+        s.begin_map(self.gauges.len());
+        for (name, value) in &self.gauges {
+            s.map_key(name);
+            s.serialize_f64(*value);
+        }
+        s.end_map();
+        s.map_key("histograms");
+        s.begin_seq(self.histograms.len());
+        for h in &self.histograms {
+            s.seq_element();
+            h.serialize(s);
+        }
+        s.end_seq();
+        s.map_key("quality");
+        s.begin_map(self.quality.len());
+        for (scope, q) in &self.quality {
+            s.map_key(scope);
+            q.serialize(s);
+        }
+        s.end_map();
+        s.end_map();
+    }
+}
+
+/// Renders `snap` as compact JSON.
+pub fn json_from(snap: &MetricsSnapshot) -> String {
+    let mut w = JsonWriter::new();
+    snap.serialize(&mut w);
+    w.into_string()
+}
+
+/// Current state as compact JSON.
+pub fn json() -> String {
+    json_from(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("catalog_get_hit_total".into(), 3),
+                ("catalog_get_miss_total".into(), 1),
+            ],
+            gauges: vec![("catalog_entries".into(), 2.0)],
+            histograms: vec![HistogramSnapshot {
+                name: "construction_seconds{class=\"dp\"}".into(),
+                count: 3,
+                sum_ns: 3_000,
+                buckets: vec![(1024, 2), (2048, 1)],
+            }],
+            quality: vec![(
+                "r/serial".into(),
+                crate::quality::QualitySnapshot {
+                    count: 2,
+                    geo_mean_q: 2.0,
+                    max_q: 4.0,
+                    last_estimate: 40.0,
+                    last_actual: 10.0,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let text = prometheus_from(&sample_snapshot());
+        assert!(text.contains("# TYPE catalog_get_hit_total counter"));
+        assert!(text.contains("catalog_get_hit_total 3"));
+        assert!(text.contains("# TYPE construction_seconds histogram"));
+        assert!(text.contains("construction_seconds_bucket{class=\"dp\",le=\"+Inf\"} 3"));
+        assert!(text.contains("construction_seconds_count{class=\"dp\"} 3"));
+        assert!(text.contains("estimation_qerror_geomean{scope=\"r/serial\"} 2"));
+        assert!(text.contains("estimation_qerror_max{scope=\"r/serial\"} 4"));
+        // Cumulative bucket counts.
+        let first = text
+            .lines()
+            .find(|l| l.starts_with("construction_seconds_bucket") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(first.ends_with(" 2"), "first cumulative bucket: {first}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let text = json_from(&sample_snapshot());
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"catalog_get_hit_total\":3"));
+        assert!(text.contains("\"construction_seconds{class=\\\"dp\\\"}\""));
+        assert!(text.contains("\"geo_mean_q\":2"));
+        assert!(!text.contains(",,"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut w = JsonWriter::new();
+        w.serialize_str("a\"b\\c\nd");
+        assert_eq!(w.into_string(), r#""a\"b\\c\nd""#);
+    }
+}

@@ -1,0 +1,288 @@
+//! The global metrics registry: named counters, gauges, and
+//! log-bucketed latency histograms.
+//!
+//! Metric names follow `<subsystem>_<what>_<unit-or-total>` with
+//! optional Prometheus-style labels baked into the registry key
+//! (`construction_seconds{class="equi_width"}` — see [`labeled`]).
+//! Lookup takes a read lock on a `BTreeMap`; instrument per operation,
+//! not per row, and hold the returned `Arc` where a path is hot.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Default, Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Default, Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ latency buckets: bucket `i` counts durations in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 is `< 1 ns`), up to the full
+/// `u64` nanosecond range.
+pub const LATENCY_BUCKETS: usize = 65;
+
+/// A latency histogram with power-of-two nanosecond buckets.
+///
+/// This reuses the paper's central approximation — summarise a
+/// distribution by per-bucket aggregates and accept bounded
+/// within-bucket error — on the system's own latencies: a value is
+/// known to within a factor of 2, which is exactly the granularity
+/// latency triage needs.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a duration: 0 for sub-nanosecond, else
+/// `64 - leading_zeros(ns)` so bucket `i` covers `[2^(i-1), 2^i)`.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    (64 - ns.leading_zeros()) as usize
+}
+
+impl LatencyHistogram {
+    /// Records one duration in nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        if crate::enabled() {
+            self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+            self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a `Duration`.
+    #[inline]
+    pub fn observe(&self, d: std::time::Duration) {
+        self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), index per [`bucket_index`].
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The registry: three namespaces of named instruments. `BTreeMap`
+/// keeps every exposition deterministically ordered.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<LatencyHistogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(found) = map.read().get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(
+        map.write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl Registry {
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// Gets or creates the latency histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Snapshot of all counters as `(name, value)`.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauges as `(name, value)`.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all histograms as `(name, handle)`.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<LatencyHistogram>)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Gets or creates a global counter.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Gets or creates a global gauge.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
+}
+
+/// Gets or creates a global latency histogram.
+pub fn histogram(name: &str) -> Arc<LatencyHistogram> {
+    registry().histogram(name)
+}
+
+/// Builds a labeled registry key: `labeled("x_seconds", "class", "dp")`
+/// is `x_seconds{class="dp"}`. Expositions split the base name back
+/// off at the `{`.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}=\"{value}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let _guard = crate::test_lock();
+        let c = counter("test_metrics_counter_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(counter("test_metrics_counter_total").get(), 5);
+        let g = gauge("test_metrics_gauge");
+        g.set(2.5);
+        assert_eq!(gauge("test_metrics_gauge").get(), 2.5);
+    }
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let _guard = crate::test_lock();
+        let h = histogram("test_metrics_hist_seconds");
+        h.observe_ns(100);
+        h.observe_ns(100);
+        h.observe_ns(1_000_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 1_000_200);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[bucket_index(100)], 2);
+        assert_eq!(counts[bucket_index(1_000_000)], 1);
+    }
+
+    #[test]
+    fn labeled_key_shape() {
+        assert_eq!(
+            labeled("construction_seconds", "class", "dp"),
+            "construction_seconds{class=\"dp\"}"
+        );
+    }
+
+    #[test]
+    fn disabled_recording_is_a_noop() {
+        let _guard = crate::test_lock();
+        let c = counter("test_metrics_disabled_total");
+        crate::set_enabled(false);
+        c.inc();
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

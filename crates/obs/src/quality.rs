@@ -1,0 +1,206 @@
+//! The estimation-quality monitor: query-feedback telemetry.
+//!
+//! Whenever the engine (or an experiment) both estimates and then
+//! executes a query, it records the `(estimate, actual)` pair here
+//! under a scope key — by convention `<relation-or-query>/<histogram
+//! class>`. The monitor keeps running aggregates per key: sample
+//! count, geometric-mean Q-error (mean of `ln q`, the natural average
+//! for a ratio error), and max Q-error. This stream is exactly the
+//! feedback a self-tuning maintenance policy (ST-histograms) consumes.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Q-error of an (estimate, actual) pair: `max(e/a, a/e)`, with both
+/// sides clamped to 1 tuple so empty results stay finite. Always ≥ 1.
+pub fn q_error(estimate: f64, actual: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let a = actual.max(1.0);
+    (e / a).max(a / e)
+}
+
+/// Running aggregates for one scope (lock-free updates; f64s stored as
+/// bits in atomics, combined with CAS).
+#[derive(Default, Debug)]
+pub struct QualityStats {
+    count: AtomicU64,
+    sum_ln_q: AtomicU64,
+    max_q: AtomicU64,
+    last_estimate: AtomicU64,
+    last_actual: AtomicU64,
+}
+
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+fn atomic_f64_max(cell: &AtomicU64, candidate: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(current) >= candidate {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            current,
+            candidate.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+impl QualityStats {
+    fn record(&self, estimate: f64, actual: f64) {
+        let q = q_error(estimate, actual);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_ln_q, q.ln());
+        atomic_f64_max(&self.max_q, q);
+        self.last_estimate
+            .store(estimate.to_bits(), Ordering::Relaxed);
+        self.last_actual.store(actual.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the aggregates.
+    pub fn snapshot(&self) -> QualitySnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum_ln_q = f64::from_bits(self.sum_ln_q.load(Ordering::Relaxed));
+        QualitySnapshot {
+            count,
+            geo_mean_q: if count == 0 {
+                1.0
+            } else {
+                (sum_ln_q / count as f64).exp()
+            },
+            max_q: if count == 0 {
+                1.0
+            } else {
+                f64::from_bits(self.max_q.load(Ordering::Relaxed))
+            },
+            last_estimate: f64::from_bits(self.last_estimate.load(Ordering::Relaxed)),
+            last_actual: f64::from_bits(self.last_actual.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one scope's quality aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualitySnapshot {
+    /// Number of (estimate, actual) pairs recorded.
+    pub count: u64,
+    /// Geometric mean of the Q-errors (1.0 when empty).
+    pub geo_mean_q: f64,
+    /// Largest Q-error seen (1.0 when empty).
+    pub max_q: f64,
+    /// Most recently recorded estimate.
+    pub last_estimate: f64,
+    /// Most recently recorded actual.
+    pub last_actual: f64,
+}
+
+fn monitor() -> &'static RwLock<BTreeMap<String, Arc<QualityStats>>> {
+    static MONITOR: OnceLock<RwLock<BTreeMap<String, Arc<QualityStats>>>> = OnceLock::new();
+    MONITOR.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Records one (estimate, actual) observation under `scope`
+/// (convention: `<relation-or-query>/<histogram class>`). A no-op when
+/// recording is disabled.
+pub fn record_quality(scope: &str, estimate: f64, actual: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let stats = {
+        let map = monitor().read();
+        map.get(scope).map(Arc::clone)
+    };
+    let stats = stats.unwrap_or_else(|| {
+        Arc::clone(
+            monitor()
+                .write()
+                .entry(scope.to_string())
+                .or_insert_with(|| Arc::new(QualityStats::default())),
+        )
+    });
+    stats.record(estimate, actual);
+}
+
+/// Snapshot of every scope's aggregates, sorted by scope.
+pub fn snapshot_all() -> Vec<(String, QualitySnapshot)> {
+    monitor()
+        .read()
+        .iter()
+        .map(|(k, v)| (k.clone(), v.snapshot()))
+        .collect()
+}
+
+/// Snapshot of scopes whose key starts with `prefix` (used by the
+/// catalog to surface per-histogram aggregates for its relations).
+pub fn snapshot_prefixed(prefix: &str) -> Vec<(String, QualitySnapshot)> {
+    snapshot_all()
+        .into_iter()
+        .filter(|(k, _)| k.starts_with(prefix))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_basics() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(20.0, 10.0), 2.0);
+        assert_eq!(q_error(10.0, 20.0), 2.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(0.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn aggregates_accumulate() {
+        let _guard = crate::test_lock();
+        record_quality("qtest/rel/serial", 10.0, 10.0); // q = 1
+        record_quality("qtest/rel/serial", 40.0, 10.0); // q = 4
+        let all = snapshot_all();
+        let (_, snap) = all
+            .iter()
+            .find(|(k, _)| k == "qtest/rel/serial")
+            .expect("scope recorded");
+        assert_eq!(snap.count, 2);
+        assert!((snap.geo_mean_q - 2.0).abs() < 1e-9, "geo mean of 1 and 4");
+        assert_eq!(snap.max_q, 4.0);
+        assert_eq!(snap.last_estimate, 40.0);
+        assert_eq!(snap.last_actual, 10.0);
+    }
+
+    #[test]
+    fn prefix_filtering() {
+        let _guard = crate::test_lock();
+        record_quality("qprefix/a/x", 1.0, 1.0);
+        record_quality("qprefix/b/x", 1.0, 1.0);
+        record_quality("other/c/x", 1.0, 1.0);
+        let hits = snapshot_prefixed("qprefix/");
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(k, _)| k.starts_with("qprefix/")));
+    }
+
+    #[test]
+    fn disabled_recording_skips() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        record_quality("qtest/disabled", 5.0, 1.0);
+        crate::set_enabled(true);
+        assert!(!snapshot_all().iter().any(|(k, _)| k == "qtest/disabled"));
+    }
+}

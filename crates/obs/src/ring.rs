@@ -1,0 +1,104 @@
+//! A lock-free ring buffer of the most recent telemetry events.
+//!
+//! Backed by a bounded MPMC `ArrayQueue`: producers `force_push`, so
+//! under pressure the oldest events are evicted and recording never
+//! blocks. Readers drain a snapshot; the buffer is a flight recorder,
+//! not a durable log.
+
+use crossbeam::queue::ArrayQueue;
+use std::sync::OnceLock;
+
+/// Capacity of the global recent-events ring.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span closed: full dotted path and wall time in nanoseconds.
+    SpanClose {
+        /// Dotted span path, e.g. `engine.query.estimate`.
+        path: String,
+        /// Span wall time in nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// A structured key-value annotation inside a span.
+    KeyValue {
+        /// Dotted span path the event was recorded under.
+        path: String,
+        /// Event key.
+        key: &'static str,
+        /// Rendered event value.
+        value: String,
+    },
+}
+
+fn ring() -> &'static ArrayQueue<Event> {
+    static RING: OnceLock<ArrayQueue<Event>> = OnceLock::new();
+    RING.get_or_init(|| ArrayQueue::new(RING_CAPACITY))
+}
+
+/// Records an event, evicting the oldest if the ring is full.
+pub fn push(event: Event) {
+    ring().force_push(event);
+}
+
+/// Drains and returns the buffered events, oldest first.
+pub fn drain() -> Vec<Event> {
+    let q = ring();
+    let mut out = Vec::with_capacity(q.len());
+    while let Some(e) = q.pop() {
+        out.push(e);
+        if out.len() >= RING_CAPACITY {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let _guard = crate::test_lock();
+        drain();
+        push(Event::KeyValue {
+            path: "a".into(),
+            key: "k1",
+            value: "v1".into(),
+        });
+        push(Event::SpanClose {
+            path: "a.b".into(),
+            elapsed_ns: 42,
+        });
+        let events = drain();
+        let pos1 = events
+            .iter()
+            .position(|e| matches!(e, Event::KeyValue { key, .. } if *key == "k1"));
+        let pos2 = events.iter().position(|e| {
+            matches!(e, Event::SpanClose { path, elapsed_ns } if path == "a.b" && *elapsed_ns == 42)
+        });
+        assert!(pos1.is_some() && pos2.is_some());
+        assert!(pos1 < pos2);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest() {
+        let _guard = crate::test_lock();
+        drain();
+        for i in 0..(RING_CAPACITY + 10) {
+            push(Event::SpanClose {
+                path: "overflow".into(),
+                elapsed_ns: i as u64,
+            });
+        }
+        let events = drain();
+        assert!(events.len() <= RING_CAPACITY);
+        assert!(events.iter().all(|e| match e {
+            Event::SpanClose { elapsed_ns, .. } =>
+                *elapsed_ns >= 10 || *elapsed_ns < RING_CAPACITY as u64,
+            _ => true,
+        }));
+    }
+}

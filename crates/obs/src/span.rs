@@ -1,0 +1,179 @@
+//! Thread-local hierarchical spans with monotonic timers.
+//!
+//! [`span("engine.query")`](span) opens a span; dropping (or
+//! [`finish`](SpanGuard::finish)ing) it records the wall time into the
+//! per-path latency histogram `span_seconds{span="<path>"}` and pushes
+//! a close event onto the recent-events ring. Nesting is tracked per
+//! thread: a span opened while another is active gets the dotted
+//! concatenation of its ancestors' names as its path, so
+//! `engine.query` containing `estimate` records as
+//! `engine.query.estimate`.
+//!
+//! With recording disabled, opening a span is one relaxed atomic load;
+//! no clock is read and no thread-local is touched.
+
+use crate::ring::{self, Event};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the currently open spans on this thread, outermost
+    /// first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The dotted path of the currently open spans (empty when none).
+pub fn current_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("."))
+}
+
+/// RAII guard for an open span. Recording happens on drop or
+/// [`finish`](SpanGuard::finish).
+#[must_use = "a span measures until it is dropped or finished"]
+pub struct SpanGuard {
+    /// `None` when recording was disabled at open time (no-op guard) or
+    /// the span already finished.
+    armed: Option<Armed>,
+}
+
+struct Armed {
+    start: Instant,
+    path: String,
+}
+
+/// Opens a span named `name` (a static, dot-free component).
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { armed: None };
+    }
+    let path = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        stack.push(name);
+        stack.join(".")
+    });
+    SpanGuard {
+        armed: Some(Armed {
+            start: Instant::now(),
+            path,
+        }),
+    }
+}
+
+impl SpanGuard {
+    /// Records a structured key-value event under this span's path
+    /// (dropped silently on a disabled-at-open guard).
+    pub fn record<V: std::fmt::Display>(&self, key: &'static str, value: V) {
+        if let Some(armed) = &self.armed {
+            if crate::enabled() {
+                ring::push(Event::KeyValue {
+                    path: armed.path.clone(),
+                    key,
+                    value: value.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Closes the span now, recording and returning its wall time.
+    /// Returns zero for a guard opened while recording was disabled.
+    pub fn finish(mut self) -> std::time::Duration {
+        self.close()
+    }
+
+    /// The span's dotted path (empty for a disabled guard).
+    pub fn path(&self) -> &str {
+        self.armed.as_ref().map(|a| a.path.as_str()).unwrap_or("")
+    }
+
+    fn close(&mut self) -> std::time::Duration {
+        let Some(armed) = self.armed.take() else {
+            return std::time::Duration::ZERO;
+        };
+        let elapsed = armed.start.elapsed();
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        crate::metrics::histogram(&crate::metrics::labeled(
+            "span_seconds",
+            "span",
+            &armed.path,
+        ))
+        .observe_ns(ns);
+        ring::push(Event::SpanClose {
+            path: armed.path,
+            elapsed_ns: ns,
+        });
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_dotted_paths() {
+        let _guard = crate::test_lock();
+        let outer = span("outer");
+        assert_eq!(outer.path(), "outer");
+        {
+            let inner = span("inner");
+            assert_eq!(inner.path(), "outer.inner");
+            assert_eq!(current_path(), "outer.inner");
+        }
+        assert_eq!(current_path(), "outer");
+        drop(outer);
+        assert_eq!(current_path(), "");
+    }
+
+    #[test]
+    fn finish_records_into_histogram_and_ring() {
+        let _guard = crate::test_lock();
+        crate::ring::drain();
+        let before = crate::metrics::histogram(&crate::metrics::labeled(
+            "span_seconds",
+            "span",
+            "span_test_unit",
+        ))
+        .count();
+        let sp = span("span_test_unit");
+        sp.record("rows", 128u64);
+        let elapsed = sp.finish();
+        assert!(elapsed.as_nanos() > 0);
+        let after = crate::metrics::histogram(&crate::metrics::labeled(
+            "span_seconds",
+            "span",
+            "span_test_unit",
+        ))
+        .count();
+        assert_eq!(after, before + 1);
+        let events = crate::ring::drain();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::KeyValue { path, key, value }
+                if path == "span_test_unit" && *key == "rows" && value == "128"
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::SpanClose { path, .. } if path == "span_test_unit"
+        )));
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        let sp = span("span_disabled_test");
+        assert_eq!(sp.path(), "");
+        assert_eq!(current_path(), "");
+        assert_eq!(sp.finish(), std::time::Duration::ZERO);
+        crate::set_enabled(true);
+    }
+}

@@ -46,8 +46,7 @@ pub fn sigma(samples: &[SizeSample]) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let ms: f64 = samples.iter().map(|s| s.error() * s.error()).sum::<f64>()
-        / samples.len() as f64;
+    let ms: f64 = samples.iter().map(|s| s.error() * s.error()).sum::<f64>() / samples.len() as f64;
     ms.sqrt()
 }
 
@@ -80,8 +79,14 @@ mod tests {
 
     fn samples() -> Vec<SizeSample> {
         vec![
-            SizeSample { exact: 100.0, estimate: 90.0 },
-            SizeSample { exact: 100.0, estimate: 110.0 },
+            SizeSample {
+                exact: 100.0,
+                estimate: 90.0,
+            },
+            SizeSample {
+                exact: 100.0,
+                estimate: 110.0,
+            },
         ]
     }
 
@@ -102,18 +107,30 @@ mod tests {
 
     #[test]
     fn zero_exact_uses_absolute() {
-        let s = SizeSample { exact: 0.0, estimate: 5.0 };
+        let s = SizeSample {
+            exact: 0.0,
+            estimate: 5.0,
+        };
         assert_eq!(s.relative_error(), 5.0);
     }
 
     #[test]
     fn mean_relative_error_conditions_on_nonempty_results() {
         let samples = vec![
-            SizeSample { exact: 100.0, estimate: 90.0 }, // rel err 0.1
-            SizeSample { exact: 0.0, estimate: 5000.0 }, // excluded
+            SizeSample {
+                exact: 100.0,
+                estimate: 90.0,
+            }, // rel err 0.1
+            SizeSample {
+                exact: 0.0,
+                estimate: 5000.0,
+            }, // excluded
         ];
         assert!((mean_relative_error(&samples) - 0.1).abs() < 1e-12);
-        let all_zero = vec![SizeSample { exact: 0.0, estimate: 1.0 }];
+        let all_zero = vec![SizeSample {
+            exact: 0.0,
+            estimate: 1.0,
+        }];
         assert_eq!(mean_relative_error(&all_zero), 0.0);
     }
 
@@ -126,7 +143,10 @@ mod tests {
 
     #[test]
     fn perfect_estimates_have_zero_everything() {
-        let s = vec![SizeSample { exact: 7.0, estimate: 7.0 }];
+        let s = vec![SizeSample {
+            exact: 7.0,
+            estimate: 7.0,
+        }];
         assert_eq!(mean_error(&s), 0.0);
         assert_eq!(sigma(&s), 0.0);
         assert_eq!(mean_relative_error(&s), 0.0);

@@ -7,8 +7,8 @@
 //! its histogram matrix gives the estimate.
 
 use crate::error::{QueryError, Result};
-use freqdist::{chain_product, chain_product_f64, FreqMatrix};
 use freqdist::freq_matrix::F64Matrix;
+use freqdist::{chain_product, chain_product_f64, FreqMatrix};
 use vopt_hist::{Histogram, MatrixHistogram, RoundingMode};
 
 /// The statistics attached to one relation of a chain: a 1-D histogram
@@ -23,17 +23,11 @@ pub enum RelationStats {
 
 impl RelationStats {
     /// The approximated (histogram) matrix in the shape of `template`.
-    pub fn histogram_matrix(
-        &self,
-        template: &FreqMatrix,
-        mode: RoundingMode,
-    ) -> Result<F64Matrix> {
+    pub fn histogram_matrix(&self, template: &FreqMatrix, mode: RoundingMode) -> Result<F64Matrix> {
         match self {
             RelationStats::Vector(h) => {
                 let expect = template.rows() * template.cols();
-                if h.num_values() != expect
-                    || (template.rows() != 1 && template.cols() != 1)
-                {
+                if h.num_values() != expect || (template.rows() != 1 && template.cols() != 1) {
                     return Err(QueryError::StatsShapeMismatch(format!(
                         "1-D histogram over {} values cannot stand in for a {}x{} matrix",
                         h.num_values(),
@@ -42,7 +36,11 @@ impl RelationStats {
                     )));
                 }
                 let cells = h.approx_frequencies(mode);
-                Ok(F64Matrix::from_rows(template.rows(), template.cols(), cells)?)
+                Ok(F64Matrix::from_rows(
+                    template.rows(),
+                    template.cols(),
+                    cells,
+                )?)
             }
             RelationStats::Matrix(mh) => {
                 if mh.rows() != template.rows() || mh.cols() != template.cols() {
@@ -172,16 +170,18 @@ mod tests {
         // One bucket per value → zero-error histograms.
         let stats = vec![
             RelationStats::Vector(
-                v_opt_serial_dp(q.matrices()[0].cells(), 2).unwrap().histogram,
+                v_opt_serial_dp(q.matrices()[0].cells(), 2)
+                    .unwrap()
+                    .histogram,
             ),
             RelationStats::Matrix(
-                MatrixHistogram::build(&q.matrices()[1], |c| {
-                    Ok(v_opt_serial_dp(c, 6)?.histogram)
-                })
-                .unwrap(),
+                MatrixHistogram::build(&q.matrices()[1], |c| Ok(v_opt_serial_dp(c, 6)?.histogram))
+                    .unwrap(),
             ),
             RelationStats::Vector(
-                v_opt_serial_dp(q.matrices()[2].cells(), 3).unwrap().histogram,
+                v_opt_serial_dp(q.matrices()[2].cells(), 3)
+                    .unwrap()
+                    .histogram,
             ),
         ];
         let s = q.estimated_size(&stats, RoundingMode::Exact).unwrap();

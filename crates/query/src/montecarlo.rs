@@ -177,6 +177,11 @@ pub fn sample_chain(
         }
     }
 
+    let mut labels: Vec<&'static str> = histograms.iter().map(|h| h.label()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    let scope = format!("chain/{}", labels.join("+"));
+
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(samples);
     for _ in 0..samples {
@@ -184,8 +189,7 @@ pub fn sample_chain(
         let mut approx_mats = Vec::with_capacity(relations.len());
         for (j, rel) in relations.iter().enumerate() {
             let arr = Arrangement::random(rel.freqs.len(), &mut rng);
-            let exact =
-                FreqMatrix::from_arrangement(&rel.freqs, rel.rows, rel.cols, &arr)?;
+            let exact = FreqMatrix::from_arrangement(&rel.freqs, rel.rows, rel.cols, &arr)?;
             let approx_cells: Vec<f64> = match &fixed_approx[j] {
                 Some(a) => arr.apply(a)?,
                 None => {
@@ -200,6 +204,7 @@ pub fn sample_chain(
         }
         let exact = chain_product(&exact_mats)? as f64;
         let estimate = chain_product_f64(&approx_mats)?;
+        obs::record_quality(&scope, estimate, exact);
         out.push(SizeSample { exact, estimate });
     }
     Ok(out)
@@ -216,10 +221,13 @@ pub fn sample_self_join(
     mode: RoundingMode,
 ) -> Result<Vec<SizeSample>> {
     let exact = freqs.self_join_size() as f64;
+    let scope = format!("self_join/{}", histogram.label());
     if histogram.is_frequency_based() {
-        // Deterministic: one construction, identical samples.
+        // Deterministic: one construction, identical samples (recorded
+        // once in the quality monitor, not per repeat).
         let h = histogram.build(freqs.as_slice())?;
         let estimate = h.approx_self_join_size(mode);
+        obs::record_quality(&scope, estimate, exact);
         return Ok(vec![SizeSample { exact, estimate }; samples.max(1)]);
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -233,6 +241,7 @@ pub fn sample_self_join(
             .iter()
             .map(|a| a * a)
             .sum::<f64>();
+        obs::record_quality(&scope, estimate, exact);
         out.push(SizeSample { exact, estimate });
     }
     Ok(out)
@@ -269,11 +278,8 @@ mod tests {
         // ordering of the frequency-based classes is deterministic).
         let freqs = zipf(100, 1.0);
         let beta = 5;
-        let run = |spec| {
-            sigma(
-                &sample_self_join(&freqs, spec, 30, 99, RoundingMode::Exact).unwrap(),
-            )
-        };
+        let run =
+            |spec| sigma(&sample_self_join(&freqs, spec, 30, 99, RoundingMode::Exact).unwrap());
         let serial = run(HistogramSpec::VOptSerial(beta));
         let biased = run(HistogramSpec::VOptEndBiased(beta));
         let depth = run(HistogramSpec::EquiDepth(beta));
@@ -352,9 +358,7 @@ mod tests {
                 HistogramSpec::VOptEndBiased(beta),
                 HistogramSpec::VOptEndBiased(beta),
             ];
-            mean_relative_error(
-                &sample_chain(&rels, &specs, 30, 5, RoundingMode::Exact).unwrap(),
-            )
+            mean_relative_error(&sample_chain(&rels, &specs, 30, 5, RoundingMode::Exact).unwrap())
         };
         let e1 = err_at(1);
         let e4 = err_at(4);

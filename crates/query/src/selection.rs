@@ -163,7 +163,9 @@ mod tests {
             40 + 30 + 20 + 10
         );
         assert_eq!(
-            Selection::Range { lo: 2, hi: 4 }.exact_size(&FREQS).unwrap(),
+            Selection::Range { lo: 2, hi: 4 }
+                .exact_size(&FREQS)
+                .unwrap(),
             60
         );
         assert_eq!(Selection::All.exact_size(&FREQS).unwrap(), 200);

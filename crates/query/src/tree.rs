@@ -186,8 +186,7 @@ impl TreeQuery {
     /// Exact result size via `u128` sum-product (the tensor analogue of
     /// Theorem 2.1).
     pub fn exact_size(&self) -> Result<u128> {
-        let tensors: Vec<Tensor<u128>> =
-            self.relations.iter().map(FreqTensor::to_u128).collect();
+        let tensors: Vec<Tensor<u128>> = self.relations.iter().map(FreqTensor::to_u128).collect();
         self.evaluate(&tensors)
     }
 
@@ -313,8 +312,18 @@ mod tests {
                 vector(vec![21, 16, 5]),
             ],
             vec![
-                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
-                TreeEdge { a: 1, a_axis: 1, b: 2, b_axis: 0 },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 0,
+                    b: 1,
+                    b_axis: 0,
+                },
+                TreeEdge {
+                    a: 1,
+                    a_axis: 1,
+                    b: 2,
+                    b_axis: 0,
+                },
             ],
         )
         .unwrap()
@@ -341,11 +350,8 @@ mod tests {
 
     /// A genuine (non-chain) star: a rank-3 hub joined by three leaves.
     fn star() -> TreeQuery {
-        let hub = Tensor::from_data(
-            vec![2, 3, 2],
-            vec![1, 4, 2, 0, 3, 5, 2, 2, 0, 1, 6, 1],
-        )
-        .unwrap();
+        let hub =
+            Tensor::from_data(vec![2, 3, 2], vec![1, 4, 2, 0, 3, 5, 2, 2, 0, 1, 6, 1]).unwrap();
         TreeQuery::new(
             vec![
                 hub,
@@ -354,9 +360,24 @@ mod tests {
                 vector(vec![4, 4]),
             ],
             vec![
-                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
-                TreeEdge { a: 0, a_axis: 1, b: 2, b_axis: 0 },
-                TreeEdge { a: 0, a_axis: 2, b: 3, b_axis: 0 },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 0,
+                    b: 1,
+                    b_axis: 0,
+                },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 1,
+                    b: 2,
+                    b_axis: 0,
+                },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 2,
+                    b: 3,
+                    b_axis: 0,
+                },
             ],
         )
         .unwrap()
@@ -379,8 +400,18 @@ mod tests {
                 vector(vec![2, 2, 2]),
             ],
             vec![
-                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
-                TreeEdge { a: 0, a_axis: 0, b: 2, b_axis: 0 },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 0,
+                    b: 1,
+                    b_axis: 0,
+                },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 0,
+                    b: 2,
+                    b_axis: 0,
+                },
             ],
         )
         .unwrap();
@@ -397,13 +428,23 @@ mod tests {
         // Self loop.
         assert!(TreeQuery::new(
             vec![v.clone(), v.clone()],
-            vec![TreeEdge { a: 0, a_axis: 0, b: 0, b_axis: 0 }],
+            vec![TreeEdge {
+                a: 0,
+                a_axis: 0,
+                b: 0,
+                b_axis: 0
+            }],
         )
         .is_err());
         // Domain mismatch.
         assert!(TreeQuery::new(
             vec![v.clone(), vector(vec![1, 2, 3])],
-            vec![TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 }],
+            vec![TreeEdge {
+                a: 0,
+                a_axis: 0,
+                b: 1,
+                b_axis: 0
+            }],
         )
         .is_err());
         // Disconnected (cycle among 0-1 plus island 2 is impossible with
@@ -412,15 +453,30 @@ mod tests {
         assert!(TreeQuery::new(
             vec![v.clone(), v.clone(), v.clone()],
             vec![
-                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
-                TreeEdge { a: 1, a_axis: 0, b: 0, b_axis: 0 },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 0,
+                    b: 1,
+                    b_axis: 0
+                },
+                TreeEdge {
+                    a: 1,
+                    a_axis: 0,
+                    b: 0,
+                    b_axis: 0
+                },
             ],
         )
         .is_err());
         // Bad axis.
         assert!(TreeQuery::new(
             vec![v.clone(), v],
-            vec![TreeEdge { a: 0, a_axis: 1, b: 1, b_axis: 0 }],
+            vec![TreeEdge {
+                a: 0,
+                a_axis: 1,
+                b: 1,
+                b_axis: 0
+            }],
         )
         .is_err());
     }
@@ -431,9 +487,7 @@ mod tests {
         let stats: Vec<Histogram> = q
             .relations()
             .iter()
-            .map(|t| {
-                v_opt_serial_dp(t.cells(), t.len()).unwrap().histogram
-            })
+            .map(|t| v_opt_serial_dp(t.cells(), t.len()).unwrap().histogram)
             .collect();
         let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();
         let exact = q.exact_size().unwrap() as f64;
@@ -465,8 +519,18 @@ mod tests {
         let q = TreeQuery::new(
             vec![hub, leaf1, leaf2],
             vec![
-                TreeEdge { a: 0, a_axis: 0, b: 1, b_axis: 0 },
-                TreeEdge { a: 0, a_axis: 1, b: 2, b_axis: 0 },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 0,
+                    b: 1,
+                    b_axis: 0,
+                },
+                TreeEdge {
+                    a: 0,
+                    a_axis: 1,
+                    b: 2,
+                    b_axis: 0,
+                },
             ],
         )
         .unwrap();
@@ -476,7 +540,9 @@ mod tests {
                 .relations()
                 .iter()
                 .map(|t| {
-                    v_opt_serial_dp(t.cells(), beta.min(t.len())).unwrap().histogram
+                    v_opt_serial_dp(t.cells(), beta.min(t.len()))
+                        .unwrap()
+                        .histogram
                 })
                 .collect();
             let est = q.estimated_size(&stats, RoundingMode::Exact).unwrap();

@@ -50,11 +50,7 @@ impl StoredHistogram {
                 hist.num_values()
             )));
         }
-        let bucket_avgs: Vec<u64> = hist
-            .buckets()
-            .iter()
-            .map(|b| b.average_rounded())
-            .collect();
+        let bucket_avgs: Vec<u64> = hist.buckets().iter().map(|b| b.average_rounded()).collect();
         let default_bucket = hist
             .buckets()
             .iter()
@@ -208,6 +204,7 @@ impl Catalog {
     /// Stores a histogram for `key`, stamping it with the relation's
     /// current update version.
     pub fn put(&self, key: StatKey, histogram: StoredHistogram) {
+        obs::counter("catalog_put_total").inc();
         let version = self.version_of(&key.relation);
         self.entries.write().insert(
             key,
@@ -220,13 +217,24 @@ impl Catalog {
 
     /// Fetches a histogram.
     pub fn get(&self, key: &StatKey) -> Result<StoredHistogram> {
-        self.entries
+        let found = self
+            .entries
             .read()
             .get(key)
-            .map(|e| e.histogram.clone())
-            .ok_or_else(|| StoreError::MissingStatistics {
-                key: key.display(),
-            })
+            .map(|e| (e.histogram.clone(), e.built_at_version));
+        match found {
+            Some((histogram, built_at_version)) => {
+                obs::counter("catalog_get_hit_total").inc();
+                if self.version_of(&key.relation) > built_at_version {
+                    obs::counter("catalog_get_stale_total").inc();
+                }
+                Ok(histogram)
+            }
+            None => {
+                obs::counter("catalog_get_miss_total").inc();
+                Err(StoreError::MissingStatistics { key: key.display() })
+            }
+        }
     }
 
     /// Records that `updates` tuples changed in `relation` (insert,
@@ -244,9 +252,9 @@ impl Catalog {
     /// was built.
     pub fn staleness(&self, key: &StatKey) -> Result<u64> {
         let entries = self.entries.read();
-        let entry = entries.get(key).ok_or_else(|| StoreError::MissingStatistics {
-            key: key.display(),
-        })?;
+        let entry = entries
+            .get(key)
+            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
         Ok(self.version_of(&key.relation) - entry.built_at_version)
     }
 
@@ -257,6 +265,7 @@ impl Catalog {
 
     /// A snapshot of every 1-D entry (for persistence).
     pub fn snapshot_1d(&self) -> Vec<(StatKey, StoredHistogram)> {
+        let _span = obs::span("catalog_snapshot_1d");
         let mut all: Vec<(StatKey, StoredHistogram)> = self
             .entries
             .read()
@@ -269,6 +278,7 @@ impl Catalog {
 
     /// A snapshot of every 2-D entry (for persistence).
     pub fn snapshot_2d(&self) -> Vec<(StatKey, StoredMatrixHistogram)> {
+        let _span = obs::span("catalog_snapshot_2d");
         let mut all: Vec<(StatKey, StoredMatrixHistogram)> = self
             .matrix_entries
             .read()
@@ -283,6 +293,34 @@ impl Catalog {
         self.versions.read().get(relation).copied().unwrap_or(0)
     }
 
+    /// Estimation-quality aggregates recorded (via
+    /// [`obs::record_quality`]) for relations this catalog holds
+    /// statistics on. Scopes follow the `<relation>/<histogram class>`
+    /// convention, so the filter matches on the leading path component.
+    pub fn quality_report(&self) -> Vec<(String, obs::QualitySnapshot)> {
+        let mut relations: std::collections::HashSet<String> = self
+            .entries
+            .read()
+            .keys()
+            .map(|k| k.relation.clone())
+            .collect();
+        relations.extend(
+            self.matrix_entries
+                .read()
+                .keys()
+                .map(|k| k.relation.clone()),
+        );
+        obs::quality::snapshot_all()
+            .into_iter()
+            .filter(|(scope, _)| {
+                scope
+                    .split('/')
+                    .next()
+                    .is_some_and(|r| relations.contains(r))
+            })
+            .collect()
+    }
+
     /// End-to-end ANALYZE for one column: runs Algorithm *Matrix* over
     /// the relation, builds the v-optimal end-biased histogram with
     /// `buckets` buckets (the paper's recommended practical choice), and
@@ -293,6 +331,7 @@ impl Catalog {
         column: &str,
         buckets: usize,
     ) -> Result<StatKey> {
+        let _span = obs::span("analyze");
         let table = frequency_table(relation, column)?;
         let opt = v_opt_end_biased(&table.freqs, buckets.min(table.freqs.len()))?;
         let stored = StoredHistogram::from_histogram(&table.values, &opt.histogram)?;
@@ -303,6 +342,7 @@ impl Catalog {
 
     /// Stores a 2-D histogram for an attribute pair.
     pub fn put_matrix(&self, key: StatKey, histogram: StoredMatrixHistogram) {
+        obs::counter("catalog_put_total").inc();
         let version = self.version_of(&key.relation);
         self.matrix_entries.write().insert(
             key,
@@ -315,21 +355,32 @@ impl Catalog {
 
     /// Fetches a 2-D histogram.
     pub fn get_matrix(&self, key: &StatKey) -> Result<StoredMatrixHistogram> {
-        self.matrix_entries
+        let found = self
+            .matrix_entries
             .read()
             .get(key)
-            .map(|e| e.histogram.clone())
-            .ok_or_else(|| StoreError::MissingStatistics {
-                key: key.display(),
-            })
+            .map(|e| (e.histogram.clone(), e.built_at_version));
+        match found {
+            Some((histogram, built_at_version)) => {
+                obs::counter("catalog_get_hit_total").inc();
+                if self.version_of(&key.relation) > built_at_version {
+                    obs::counter("catalog_get_stale_total").inc();
+                }
+                Ok(histogram)
+            }
+            None => {
+                obs::counter("catalog_get_miss_total").inc();
+                Err(StoreError::MissingStatistics { key: key.display() })
+            }
+        }
     }
 
     /// Staleness of a 2-D histogram.
     pub fn matrix_staleness(&self, key: &StatKey) -> Result<u64> {
         let entries = self.matrix_entries.read();
-        let entry = entries.get(key).ok_or_else(|| StoreError::MissingStatistics {
-            key: key.display(),
-        })?;
+        let entry = entries
+            .get(key)
+            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
         Ok(self.version_of(&key.relation) - entry.built_at_version)
     }
 
@@ -343,6 +394,7 @@ impl Catalog {
         second: &str,
         buckets: usize,
     ) -> Result<StatKey> {
+        let _span = obs::span("analyze_matrix");
         let table = frequency_matrix_table(relation, first, second)?;
         let hist = MatrixHistogram::build(&table.matrix, |cells| {
             Ok(v_opt_end_biased(cells, buckets.min(cells.len()))?.histogram)
@@ -377,7 +429,10 @@ mod tests {
             assert_eq!(stored.approx_frequency(v), expected, "value {v}");
         }
         // Unknown values fall into the default (largest) bucket.
-        assert_eq!(stored.approx_frequency(9999), stored.bucket_avgs()[stored.default_bucket() as usize]);
+        assert_eq!(
+            stored.approx_frequency(9999),
+            stored.bucket_avgs()[stored.default_bucket() as usize]
+        );
     }
 
     #[test]
@@ -449,8 +504,7 @@ mod tests {
         use freqdist::FreqMatrix;
         let m = FreqMatrix::from_rows(2, 3, vec![90, 5, 6, 4, 5, 70]).unwrap();
         let rel =
-            relation_from_matrix("emp", "dept", "year", &[10, 20], &[1, 2, 3], &m, 5)
-                .unwrap();
+            relation_from_matrix("emp", "dept", "year", &[10, 20], &[1, 2, 3], &m, 5).unwrap();
         let cat = Catalog::new();
         let key = cat
             .analyze_matrix_end_biased(&rel, "dept", "year", 3)

@@ -153,18 +153,15 @@ mod tests {
 
     fn sample() -> (Vec<u64>, Vec<u64>, MatrixHistogram) {
         let m = FreqMatrix::from_rows(2, 3, vec![90, 5, 6, 4, 5, 70]).unwrap();
-        let mh = MatrixHistogram::build(&m, |cells| {
-            Ok(v_opt_end_biased(cells, 3)?.histogram)
-        })
-        .unwrap();
+        let mh =
+            MatrixHistogram::build(&m, |cells| Ok(v_opt_end_biased(cells, 3)?.histogram)).unwrap();
         (vec![10, 20], vec![1, 2, 3], mh)
     }
 
     #[test]
     fn round_trips_approximations() {
         let (rows, cols, mh) = sample();
-        let stored =
-            StoredMatrixHistogram::from_matrix_histogram(&rows, &cols, &mh).unwrap();
+        let stored = StoredMatrixHistogram::from_matrix_histogram(&rows, &cols, &mh).unwrap();
         for (k, &rv) in rows.iter().enumerate() {
             for (l, &cv) in cols.iter().enumerate() {
                 let expect = mh
@@ -184,8 +181,7 @@ mod tests {
     #[test]
     fn end_biased_storage_is_small() {
         let (rows, cols, mh) = sample();
-        let stored =
-            StoredMatrixHistogram::from_matrix_histogram(&rows, &cols, &mh).unwrap();
+        let stored = StoredMatrixHistogram::from_matrix_histogram(&rows, &cols, &mh).unwrap();
         // 3 buckets: two singletons (90 and 70) + pool → 3 avgs + 2 pairs.
         assert_eq!(stored.storage_entries(), 3 + 2);
     }
@@ -193,29 +189,19 @@ mod tests {
     #[test]
     fn dictionary_shape_checked() {
         let (_, cols, mh) = sample();
-        assert!(
-            StoredMatrixHistogram::from_matrix_histogram(&[1], &cols, &mh).is_err()
-        );
+        assert!(StoredMatrixHistogram::from_matrix_histogram(&[1], &cols, &mh).is_err());
     }
 
     #[test]
     fn from_parts_validation() {
         assert!(StoredMatrixHistogram::from_parts(vec![], 0, vec![]).is_err());
         assert!(StoredMatrixHistogram::from_parts(vec![1], 1, vec![]).is_err());
+        assert!(StoredMatrixHistogram::from_parts(vec![1, 2], 0, vec![(1, 1, 5)]).is_err());
         assert!(
-            StoredMatrixHistogram::from_parts(vec![1, 2], 0, vec![(1, 1, 5)]).is_err()
+            StoredMatrixHistogram::from_parts(vec![1, 2], 0, vec![(1, 2, 1), (1, 1, 1)]).is_err()
         );
-        assert!(StoredMatrixHistogram::from_parts(
-            vec![1, 2],
-            0,
-            vec![(1, 2, 1), (1, 1, 1)]
-        )
-        .is_err());
-        assert!(StoredMatrixHistogram::from_parts(
-            vec![1, 2],
-            0,
-            vec![(1, 1, 1), (1, 2, 1)]
-        )
-        .is_ok());
+        assert!(
+            StoredMatrixHistogram::from_parts(vec![1, 2], 0, vec![(1, 1, 1), (1, 2, 1)]).is_ok()
+        );
     }
 }

@@ -242,10 +242,8 @@ mod tests {
         use vopt_hist::construct::v_opt_end_biased;
         use vopt_hist::MatrixHistogram;
         let m = FreqMatrix::from_rows(2, 3, vec![90, 5, 6, 4, 5, 70]).unwrap();
-        let mh = MatrixHistogram::build(&m, |c| Ok(v_opt_end_biased(c, 3)?.histogram))
-            .unwrap();
-        StoredMatrixHistogram::from_matrix_histogram(&[10, 20], &[1, 2, 3], &mh)
-            .unwrap()
+        let mh = MatrixHistogram::build(&m, |c| Ok(v_opt_end_biased(c, 3)?.histogram)).unwrap();
+        StoredMatrixHistogram::from_matrix_histogram(&[10, 20], &[1, 2, 3], &mh).unwrap()
     }
 
     #[test]
@@ -270,8 +268,7 @@ mod tests {
     fn matrix_truncation_rejected() {
         let bytes = encode_matrix_histogram(&sample_2d()).to_vec();
         for cut in [0usize, 3, 7, bytes.len() - 1] {
-            assert!(decode_matrix_histogram(Bytes::copy_from_slice(&bytes[..cut]))
-                .is_err());
+            assert!(decode_matrix_histogram(Bytes::copy_from_slice(&bytes[..cut])).is_err());
         }
     }
 
@@ -342,8 +339,7 @@ pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
         let len = data.get_u32_le() as usize;
         need(data, len, "string bytes")?;
         let bytes = data.split_to(len);
-        String::from_utf8(bytes.to_vec())
-            .map_err(|e| StoreError::Codec(format!("bad utf8: {e}")))
+        String::from_utf8(bytes.to_vec()).map_err(|e| StoreError::Codec(format!("bad utf8: {e}")))
     }
     fn get_key(data: &mut Bytes) -> Result<crate::catalog::StatKey> {
         let relation = get_str(data)?;

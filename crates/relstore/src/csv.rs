@@ -41,10 +41,7 @@ pub fn read_csv<R: BufRead>(input: R, name: &str) -> Result<Relation> {
             Some((_, Ok(line))) if line.trim().is_empty() => continue,
             Some((_, Ok(line))) => break line,
             Some((n, Err(e))) => {
-                return Err(StoreError::InvalidParameter(format!(
-                    "line {}: {e}",
-                    n + 1
-                )))
+                return Err(StoreError::InvalidParameter(format!("line {}: {e}", n + 1)))
             }
             None => return Err(StoreError::InvalidParameter("empty input".into())),
         }
@@ -61,9 +58,7 @@ pub fn read_csv<R: BufRead>(input: R, name: &str) -> Result<Relation> {
         }
         let row: std::result::Result<Vec<u64>, _> =
             line.split(',').map(|c| c.trim().parse::<u64>()).collect();
-        let row = row.map_err(|e| {
-            StoreError::InvalidParameter(format!("line {}: {e}", n + 1))
-        })?;
+        let row = row.map_err(|e| StoreError::InvalidParameter(format!("line {}: {e}", n + 1)))?;
         if row.len() != arity {
             return Err(StoreError::ArityMismatch {
                 expected: arity,

@@ -94,7 +94,11 @@ mod tests {
             hasher.write_u64(v);
             low_bits.insert(hasher.finish() & 0x3f);
         }
-        assert!(low_bits.len() > 32, "only {} distinct low-bit patterns", low_bits.len());
+        assert!(
+            low_bits.len() > 32,
+            "only {} distinct low-bit patterns",
+            low_bits.len()
+        );
     }
 
     #[test]

@@ -105,8 +105,7 @@ mod tests {
     #[test]
     fn frequencies_round_trip_through_statistics() {
         let freqs = FrequencySet::new(vec![5, 0, 3, 1]);
-        let rel =
-            relation_from_frequency_set("r", "a", &freqs, 7).unwrap();
+        let rel = relation_from_frequency_set("r", "a", &freqs, 7).unwrap();
         assert_eq!(rel.num_rows(), 9);
         let t = frequency_table(&rel, "a").unwrap();
         // Value 1 has frequency 0 and so never appears.
@@ -131,8 +130,7 @@ mod tests {
     #[test]
     fn matrix_round_trips_through_statistics() {
         let m = FreqMatrix::from_rows(2, 3, vec![2, 0, 1, 0, 3, 0]).unwrap();
-        let rel = relation_from_matrix("r", "a", "b", &[10, 20], &[7, 8, 9], &m, 3)
-            .unwrap();
+        let rel = relation_from_matrix("r", "a", "b", &[10, 20], &[7, 8, 9], &m, 3).unwrap();
         assert_eq!(rel.num_rows(), 6);
         let t = frequency_matrix_table(&rel, "a", "b").unwrap();
         // Zero-frequency pairs are absent from the scan, so the recovered

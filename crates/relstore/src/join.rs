@@ -21,6 +21,8 @@ pub fn hash_join_count(
     right: &Relation,
     right_col: &str,
 ) -> Result<u128> {
+    let _span = obs::span("hash_join_count");
+    obs::counter("relstore_hash_join_total").inc();
     let build = left.column_by_name(left_col)?;
     let probe = right.column_by_name(right_col)?;
     let mut table: FxHashMap<u64, u64> = fx_map_with_capacity(build.len().min(1 << 16));
@@ -180,8 +182,7 @@ mod tests {
             &[&[1, 10], &[1, 11], &[2, 10], &[3, 12]],
         );
         let r2 = relation("r2", &["a2"], &[&[10], &[10], &[11]]);
-        let count =
-            chain_join_count(&[&r0, &r1, &r2], &[("a1", "a1"), ("a2", "a2")]).unwrap();
+        let count = chain_join_count(&[&r0, &r1, &r2], &[("a1", "a1"), ("a2", "a2")]).unwrap();
         // Exact: value-level product. r0.a1: {1:2, 2:1}; pairs in r1;
         // r2.a2: {10:2, 11:1}.
         // (1,10):1*2*2=4  (1,11):1*2*1=2  (2,10):1*1*2=2  (3,12): no a1=3 in r0.

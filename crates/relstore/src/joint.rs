@@ -46,10 +46,7 @@ impl JointFrequencyTable {
 
 /// Joins two frequency tables on the attribute value (merge join over the
 /// sorted value lists).
-pub fn join_frequency_tables(
-    left: &FrequencyTable,
-    right: &FrequencyTable,
-) -> JointFrequencyTable {
+pub fn join_frequency_tables(left: &FrequencyTable, right: &FrequencyTable) -> JointFrequencyTable {
     let mut rows = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.values.len() && j < right.values.len() {
@@ -105,8 +102,16 @@ mod tests {
         assert_eq!(
             joint.rows,
             vec![
-                JointRow { value: 1, left_freq: 2, right_freq: 1 },
-                JointRow { value: 2, left_freq: 1, right_freq: 2 },
+                JointRow {
+                    value: 1,
+                    left_freq: 2,
+                    right_freq: 1
+                },
+                JointRow {
+                    value: 2,
+                    left_freq: 1,
+                    right_freq: 2
+                },
             ]
         );
         assert_eq!(joint.join_size(), 2 + 2);

@@ -37,8 +37,7 @@ impl RefreshPolicy {
     /// Whether statistics with `staleness` updates over a relation of
     /// `rows` tuples should be rebuilt.
     pub fn due(&self, staleness: u64, rows: usize) -> bool {
-        let threshold =
-            self.base_threshold as f64 + self.staleness_fraction * rows as f64;
+        let threshold = self.base_threshold as f64 + self.staleness_fraction * rows as f64;
         (staleness as f64) > threshold
     }
 }
@@ -112,8 +111,7 @@ mod tests {
     fn first_maintenance_analyzes() {
         let cat = Catalog::new();
         let rel = relation();
-        let out =
-            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Refreshed);
         assert!(cat.get(&StatKey::new("t", &["c"])).is_ok());
     }
@@ -123,8 +121,7 @@ mod tests {
         let cat = Catalog::new();
         let rel = relation();
         maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
-        let out =
-            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Fresh);
     }
 
@@ -136,8 +133,7 @@ mod tests {
         maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
         // 100 rows → threshold 50 + 10 = 60.
         cat.note_updates("t", 61);
-        let out =
-            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Refreshed);
         assert_eq!(cat.staleness(&key).unwrap(), 0);
     }
@@ -148,8 +144,7 @@ mod tests {
         let rel = relation();
         maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
         cat.note_updates("t", 30);
-        let out =
-            maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Fresh);
         assert_eq!(cat.staleness(&StatKey::new("t", &["c"])).unwrap(), 30);
     }

@@ -200,7 +200,10 @@ mod tests {
         assert_eq!(values, vec![1, 2]);
         // Scaled estimate of the top value within 40% of truth.
         let est = top[0].estimated_freq as f64;
-        assert!((est - 500.0).abs() < 200.0, "estimate {est} too far from 500");
+        assert!(
+            (est - 500.0).abs() < 200.0,
+            "estimate {est} too far from 500"
+        );
     }
 
     #[test]

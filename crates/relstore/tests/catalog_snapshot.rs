@@ -18,16 +18,12 @@ fn populated_catalog() -> Catalog {
     cat.analyze_end_biased(&rb, "part", 4).unwrap();
     // A 2-D entry.
     let fm = zipf_frequencies(200, 12, 0.8).unwrap();
-    let m = freqdist::FreqMatrix::from_arrangement(
-        &fm,
-        3,
-        4,
-        &freqdist::Arrangement::identity(12),
-    )
-    .unwrap();
-    let rp = relation_from_matrix("emp", "dept", "year", &[1, 2, 3], &[7, 8, 9, 10], &m, 3)
+    let m = freqdist::FreqMatrix::from_arrangement(&fm, 3, 4, &freqdist::Arrangement::identity(12))
         .unwrap();
-    cat.analyze_matrix_end_biased(&rp, "dept", "year", 3).unwrap();
+    let rp =
+        relation_from_matrix("emp", "dept", "year", &[1, 2, 3], &[7, 8, 9, 10], &m, 3).unwrap();
+    cat.analyze_matrix_end_biased(&rp, "dept", "year", 3)
+        .unwrap();
     cat
 }
 
@@ -90,4 +86,103 @@ fn corrupted_snapshots_rejected() {
     let mut long = bytes.clone();
     long.push(0);
     assert!(decode_catalog(Bytes::from(long)).is_err());
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use relstore::catalog::StoredHistogram;
+    use relstore::StoreError;
+    use vopt_hist::construct::v_opt_end_biased;
+
+    /// Random catalog contents: up to four 1-D entries plus an optional
+    /// 2-D entry, each over an arbitrary frequency vector.
+    fn contents_strategy() -> impl Strategy<Value = (Vec<Vec<u64>>, bool)> {
+        (
+            prop::collection::vec(prop::collection::vec(0u64..500, 2..=20), 1..=4),
+            any::<bool>(),
+        )
+    }
+
+    fn arbitrary_catalog(relations: &[Vec<u64>], with_matrix: bool) -> Catalog {
+        let cat = Catalog::new();
+        for (i, freqs) in relations.iter().enumerate() {
+            let beta = 3.min(freqs.len());
+            let hist = v_opt_end_biased(freqs, beta).unwrap().histogram;
+            let values: Vec<u64> = (0..freqs.len() as u64).map(|v| v * 3 + 1).collect();
+            let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+            cat.put(StatKey::new(format!("r{i}"), &["c"]), stored);
+        }
+        if with_matrix {
+            let fm = zipf_frequencies(200, 12, 0.8).unwrap();
+            let m = freqdist::FreqMatrix::from_arrangement(
+                &fm,
+                3,
+                4,
+                &freqdist::Arrangement::identity(12),
+            )
+            .unwrap();
+            let rp = relation_from_matrix("emp", "dept", "year", &[1, 2, 3], &[7, 8, 9, 10], &m, 3)
+                .unwrap();
+            cat.analyze_matrix_end_biased(&rp, "dept", "year", 3)
+                .unwrap();
+        }
+        cat
+    }
+
+    proptest! {
+        /// The VOHC snapshot is lossless for arbitrary catalog contents.
+        #[test]
+        fn snapshot_round_trips_any_contents(contents in contents_strategy()) {
+            let (relations, with_matrix) = contents;
+            let cat = arbitrary_catalog(&relations, with_matrix);
+            let restored = decode_catalog(encode_catalog(&cat)).unwrap();
+            for key in cat.keys() {
+                prop_assert_eq!(cat.get(&key).unwrap(), restored.get(&key).unwrap());
+            }
+            if with_matrix {
+                let key = StatKey::new("emp", &["dept", "year"]);
+                prop_assert_eq!(
+                    cat.get_matrix(&key).unwrap(),
+                    restored.get_matrix(&key).unwrap()
+                );
+            }
+        }
+
+        /// Truncating a snapshot at ANY byte boundary yields a codec
+        /// error — never a panic, never a silently shorter catalog (the
+        /// entry counts in the header pin the expected length).
+        #[test]
+        fn truncation_is_codec_error_not_panic(
+            contents in contents_strategy(),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let (relations, with_matrix) = contents;
+            let bytes = encode_catalog(&arbitrary_catalog(&relations, with_matrix)).to_vec();
+            let cut = ((bytes.len() as f64) * cut_frac) as usize;
+            let err = decode_catalog(Bytes::copy_from_slice(&bytes[..cut]))
+                .expect_err("truncated snapshot decoded successfully");
+            prop_assert!(
+                matches!(err, StoreError::Codec(_)),
+                "expected StoreError::Codec, got {err:?}"
+            );
+        }
+
+        /// Flipping an arbitrary bit anywhere in the snapshot must not
+        /// panic (decoding may succeed with different data or fail with
+        /// an error; either is acceptable, aborting is not).
+        #[test]
+        fn bit_flips_never_panic(
+            contents in contents_strategy(),
+            pos_frac in 0.0f64..1.0,
+            bit in 0u32..8,
+        ) {
+            let (relations, with_matrix) = contents;
+            let mut bytes =
+                encode_catalog(&arbitrary_catalog(&relations, with_matrix)).to_vec();
+            let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+            bytes[pos] ^= 1u8 << bit;
+            let _ = decode_catalog(Bytes::from(bytes));
+        }
+    }
 }

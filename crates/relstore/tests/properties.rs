@@ -63,6 +63,28 @@ proptest! {
         }
     }
 
+    /// Truncating an encoded histogram at ANY byte boundary yields a
+    /// codec error — never a panic.
+    #[test]
+    fn truncated_histogram_is_codec_error_not_panic(
+        freqs in prop::collection::vec(0u64..1000, 2..=30),
+        beta in 1usize..6,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(beta <= freqs.len());
+        let hist = v_opt_end_biased(&freqs, beta).unwrap().histogram;
+        let values: Vec<u64> = (0..freqs.len() as u64).map(|v| v * 3 + 1).collect();
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        let bytes = encode_histogram(&stored).to_vec();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let err = decode_histogram(bytes::Bytes::copy_from_slice(&bytes[..cut]))
+            .expect_err("truncated histogram decoded successfully");
+        prop_assert!(
+            matches!(err, relstore::StoreError::Codec(_)),
+            "expected StoreError::Codec, got {err:?}"
+        );
+    }
+
     /// Space-Saving bounds hold for any stream: lower ≤ truth ≤ upper.
     #[test]
     fn space_saving_bounds(stream in prop::collection::vec(0u64..15, 1..200), cap in 1usize..10) {

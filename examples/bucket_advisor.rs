@@ -41,8 +41,7 @@ fn main() {
     }
     println!();
     for (name, freqs) in &distributions {
-        let profile =
-            error_profile(freqs, AdvisorFamily::Serial, 20).expect("valid profile");
+        let profile = error_profile(freqs, AdvisorFamily::Serial, 20).expect("valid profile");
         print!("{name:<16}");
         for b in betas {
             let err = profile[b - 1].error;

@@ -25,7 +25,9 @@ fn main() {
     let zs = [1.5, 0.2, 2.0, 0.8, 1.2];
     let mut mats = Vec::new();
     mats.push(FreqMatrix::horizontal(
-        zipf_frequencies(1000, m, zs[0]).expect("valid Zipf").into_vec(),
+        zipf_frequencies(1000, m, zs[0])
+            .expect("valid Zipf")
+            .into_vec(),
     ));
     for (k, &z) in zs[1..4].iter().enumerate() {
         let freqs = zipf_frequencies(1000, m * m, z).expect("valid Zipf");
@@ -33,7 +35,9 @@ fn main() {
         mats.push(FreqMatrix::from_arrangement(&freqs, m, m, &arr).expect("square"));
     }
     mats.push(FreqMatrix::vertical(
-        zipf_frequencies(1000, m, zs[4]).expect("valid Zipf").into_vec(),
+        zipf_frequencies(1000, m, zs[4])
+            .expect("valid Zipf")
+            .into_vec(),
     ));
     let query = ChainQuery::new(mats).expect("valid chain");
 
@@ -51,9 +55,7 @@ fn main() {
                 if mat.rows() == 1 || mat.cols() == 1 {
                     RelationStats::Vector(build(mat.cells()).expect("valid"))
                 } else {
-                    RelationStats::Matrix(
-                        MatrixHistogram::build(mat, build).expect("valid"),
-                    )
+                    RelationStats::Matrix(MatrixHistogram::build(mat, build).expect("valid"))
                 }
             })
             .collect()
@@ -75,8 +77,7 @@ fn main() {
     let mut report = |name: &str, stats: Option<Vec<RelationStats>>| {
         let sizes = match &stats {
             None => exact.clone(),
-            Some(s) => estimated_segment_sizes(&query, s, RoundingMode::Exact)
-                .expect("sizes"),
+            Some(s) => estimated_segment_sizes(&query, s, RoundingMode::Exact).expect("sizes"),
         };
         let plan = optimal_plan(&sizes);
         let true_cost = plan_cost(&plan.tree, &exact);

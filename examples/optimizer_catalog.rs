@@ -19,10 +19,8 @@ fn main() {
     // mildly skewed.
     let orders_freqs = zipf_frequencies(20_000, 500, 1.2).expect("valid Zipf");
     let stock_freqs = zipf_frequencies(5_000, 500, 0.4).expect("valid Zipf");
-    let orders =
-        relation_from_frequency_set("orders", "part", &orders_freqs, 1).expect("valid");
-    let stock =
-        relation_from_frequency_set("stock", "part", &stock_freqs, 2).expect("valid");
+    let orders = relation_from_frequency_set("orders", "part", &orders_freqs, 1).expect("valid");
+    let stock = relation_from_frequency_set("stock", "part", &stock_freqs, 2).expect("valid");
 
     // ANALYZE: collect frequencies and store v-optimal end-biased
     // histograms (β = 10, DB2-style) in the catalog.

@@ -21,8 +21,8 @@ use vopt_hist::RoundingMode;
 fn main() {
     // A relation with 1000 tuples over 100 distinct values, Zipf z = 1.
     let freqs = zipf_frequencies(1000, 100, 1.0).expect("valid Zipf parameters");
-    let relation = relation_from_frequency_set("orders", "customer", &freqs, 42)
-        .expect("valid frequencies");
+    let relation =
+        relation_from_frequency_set("orders", "customer", &freqs, 42).expect("valid frequencies");
     println!(
         "relation '{}' with {} tuples over {} distinct customers",
         relation.name(),
@@ -37,7 +37,10 @@ fn main() {
     println!("exact self-join size S = {exact}\n");
 
     // Compare the five histogram classes of the paper at β = 5 buckets.
-    println!("{:<12} {:>14} {:>12}", "histogram", "sigma(S-S')", "vs trivial");
+    println!(
+        "{:<12} {:>14} {:>12}",
+        "histogram", "sigma(S-S')", "vs trivial"
+    );
     let beta = 5;
     let types = [
         HistogramSpec::Trivial,

@@ -32,10 +32,7 @@ fn build_engine() -> Engine {
     );
 
     let suppliers = zipf_frequencies(5_000, 50, 0.4).expect("valid Zipf");
-    e.register(
-        relation_from_frequency_set("suppliers", "supplier", &suppliers, 3)
-            .expect("valid"),
-    );
+    e.register(relation_from_frequency_set("suppliers", "supplier", &suppliers, 3).expect("valid"));
     e
 }
 

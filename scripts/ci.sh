@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally and offline:
+#   formatting, lints-as-errors, release build, and the test suite.
+# The release build + `cargo test -q` pair is the tier-1 gate; fmt and
+# clippy keep the tree warning-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

@@ -9,7 +9,11 @@
 //! histctl inspect  --hist orders.voh
 //! histctl estimate-eq   --hist orders.voh --value 42
 //! histctl estimate-join --left orders.voh --right stock.voh --domain 500
+//! histctl metrics --format prometheus
 //! ```
+//!
+//! Every error path prints to stderr and exits nonzero; stdout carries
+//! only the command's payload, so output can be piped safely.
 
 use freqdist::zipf::zipf_frequencies;
 use query::estimate::{estimate_equality, estimate_two_way_join};
@@ -29,7 +33,41 @@ commands:
   estimate-eq   --hist FILE.voh --value V
   estimate-join --left A.voh --right B.voh --domain MAX_VALUE
   query         --sql QUERY --tables name=a.csv,name2=b.csv [--buckets B]
-                (executes COUNT(*) exactly and prints the histogram estimate)";
+                (executes COUNT(*) exactly and prints the histogram estimate)
+  metrics       [--format prometheus|json] [--buckets B] [--seed S]
+                (runs a demo workload and prints the observability snapshot:
+                 catalog hit/miss counters, per-class construction latency,
+                 span timings, and per-histogram Q-error aggregates)";
+
+/// Writes payload to stdout. A reader that closes the pipe early
+/// (`histctl inspect ... | head`) ends the process quietly instead of
+/// panicking; any other stdout failure surfaces as a normal error.
+fn emit(args: std::fmt::Arguments<'_>, newline: bool) -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = out
+        .write_fmt(args)
+        .and_then(|()| {
+            if newline {
+                out.write_all(b"\n")
+            } else {
+                Ok(())
+            }
+        })
+        .and_then(|()| out.flush());
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("stdout: {e}")),
+    }
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        emit(format_args!($($arg)*), true)?
+    };
+}
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -38,9 +76,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got '{flag}'"))?;
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
     Ok(flags)
@@ -68,8 +104,7 @@ fn write_csv(relation: &Relation, path: &str) -> Result<(), String> {
 /// Reads a CSV relation via `relstore::csv`.
 fn read_csv(path: &str, name: &str) -> Result<Relation, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("read {path}: {e}"))?;
-    relstore::csv::read_csv(std::io::BufReader::new(file), name)
-        .map_err(|e| format!("{path}: {e}"))
+    relstore::csv::read_csv(std::io::BufReader::new(file), name).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_histogram(path: &str) -> Result<StoredHistogram, String> {
@@ -89,11 +124,10 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
         .transpose()?
         .unwrap_or(42);
     let freqs = zipf_frequencies(rows, distinct, skew).map_err(|e| e.to_string())?;
-    let relation =
-        relation_from_frequency_set("generated", column, &freqs, seed)
-            .map_err(|e| e.to_string())?;
+    let relation = relation_from_frequency_set("generated", column, &freqs, seed)
+        .map_err(|e| e.to_string())?;
     write_csv(&relation, out)?;
-    println!(
+    outln!(
         "wrote {} rows over {} distinct values (zipf z={skew}) to {out}",
         relation.num_rows(),
         distinct
@@ -117,7 +151,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let bytes = encode_histogram(&stored);
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
-    println!(
+    outln!(
         "analyzed {} rows, {} distinct values -> {} buckets, {} catalog entries, \
          self-join error {:.1}; wrote {} bytes to {out}",
         relation.num_rows(),
@@ -132,7 +166,7 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
     let hist = load_histogram(required(flags, "hist")?)?;
-    println!(
+    outln!(
         "buckets: {}   catalog entries: {}   default bucket: {}",
         hist.num_buckets(),
         hist.storage_entries(),
@@ -146,9 +180,9 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
             .map(|&(v, _)| v.to_string())
             .collect();
         if i as u32 == hist.default_bucket() {
-            println!("  bucket {i}: avg {avg}  (all values not listed below)");
+            outln!("  bucket {i}: avg {avg}  (all values not listed below)");
         } else {
-            println!("  bucket {i}: avg {avg}  values [{}]", members.join(", "));
+            outln!("  bucket {i}: avg {avg}  values [{}]", members.join(", "));
         }
     }
     Ok(())
@@ -157,7 +191,7 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_estimate_eq(flags: &HashMap<String, String>) -> Result<(), String> {
     let hist = load_histogram(required(flags, "hist")?)?;
     let value: u64 = parse_num(required(flags, "value")?, "value")?;
-    println!("{}", estimate_equality(&hist, value));
+    outln!("{}", estimate_equality(&hist, value));
     Ok(())
 }
 
@@ -166,7 +200,7 @@ fn cmd_estimate_join(flags: &HashMap<String, String>) -> Result<(), String> {
     let right = load_histogram(required(flags, "right")?)?;
     let max: u64 = parse_num(required(flags, "domain")?, "domain")?;
     let domain: Vec<u64> = (0..max).collect();
-    println!("{:.0}", estimate_two_way_join(&left, &right, &domain));
+    outln!("{:.0}", estimate_two_way_join(&left, &right, &domain));
     Ok(())
 }
 
@@ -194,8 +228,87 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         let a = (actual as f64).max(1.0);
         (estimate.max(1e-9) / a).max(a / estimate.max(1e-9))
     };
-    println!("actual   {actual}");
-    println!("estimate {estimate:.0}   (beta={buckets}, q-error {q_err:.2}x)");
+    outln!("actual   {actual}");
+    outln!("estimate {estimate:.0}   (beta={buckets}, q-error {q_err:.2}x)");
+    Ok(())
+}
+
+/// Runs a small in-process workload exercising every instrumented layer,
+/// then prints the observability snapshot. This is the CLI window into
+/// `obs`: catalog hit/miss/put counters, one construction-latency
+/// histogram per histogram class, span timings, and per-histogram
+/// Q-error aggregates from the quality monitor.
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    let format = flags
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("prometheus");
+    if format != "prometheus" && format != "json" {
+        return Err(format!(
+            "--format must be 'prometheus' or 'json', got '{format}'"
+        ));
+    }
+    let buckets: usize = flags
+        .get("buckets")
+        .map(|b| parse_num(b, "buckets"))
+        .transpose()?
+        .unwrap_or(10);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+
+    obs::register_well_known();
+
+    // Build every histogram class once over a skewed frequency set: each
+    // construction feeds its `construction_seconds{class=...}` latency
+    // histogram, and the self-join estimate feeds a `self_join/<class>`
+    // Q-error scope.
+    use query::montecarlo::{sample_self_join, HistogramSpec};
+    let freqs = zipf_frequencies(100_000, 500, 1.2).map_err(|e| e.to_string())?;
+    for spec in [
+        HistogramSpec::Trivial,
+        HistogramSpec::EquiWidth(buckets),
+        HistogramSpec::EquiDepth(buckets),
+        HistogramSpec::VOptSerial(buckets),
+        HistogramSpec::VOptEndBiased(buckets),
+        HistogramSpec::MaxDiff(buckets),
+    ] {
+        sample_self_join(&freqs, spec, 3, seed, vopt_hist::RoundingMode::Exact)
+            .map_err(|e| e.to_string())?;
+    }
+
+    // A small end-to-end engine run: ANALYZE populates the catalog
+    // (puts), estimation reads it back (hits), and EXPLAIN ANALYZE
+    // records per-query Q-error under `<tables>/v_opt_end_biased`.
+    let mut eng = engine::Engine::new();
+    for (name, total, distinct, skew, s) in [
+        ("orders", 20_000u64, 200usize, 1.2f64, seed),
+        ("stock", 10_000, 200, 0.8, seed + 1),
+    ] {
+        let fs = zipf_frequencies(total, distinct, skew).map_err(|e| e.to_string())?;
+        let rel = relation_from_frequency_set(name, "part", &fs, s).map_err(|e| e.to_string())?;
+        eng.register(rel);
+    }
+    eng.analyze_all(buckets).map_err(|e| e.to_string())?;
+    for sql in [
+        "SELECT COUNT(*) FROM orders WHERE orders.part = 0",
+        "SELECT COUNT(*) FROM orders, stock WHERE orders.part = stock.part",
+    ] {
+        let q = eng.parse(sql).map_err(|e| e.to_string())?;
+        eng.explain_analyze(&q).map_err(|e| e.to_string())?;
+    }
+    // One lookup of statistics that were never collected, so the miss
+    // counter is exercised alongside the hits.
+    let _ = eng
+        .catalog()
+        .get(&relstore::catalog::StatKey::new("unanalyzed", &["value"]));
+
+    match format {
+        "json" => outln!("{}", obs::export::json()),
+        _ => emit(format_args!("{}", obs::export::prometheus()), false)?,
+    }
     Ok(())
 }
 
@@ -212,8 +325,9 @@ fn main() -> ExitCode {
         "estimate-eq" => cmd_estimate_eq(&flags),
         "estimate-join" => cmd_estimate_join(&flags),
         "query" => cmd_query(&flags),
+        "metrics" => cmd_metrics(&flags),
         "-h" | "--help" | "help" => {
-            println!("{USAGE}");
+            outln!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),

@@ -36,7 +36,9 @@ fn two_way_join_sizes_agree() {
         // Actual hash-join execution.
         let executed = hash_join_count(&r0, "a", &r1, "a").unwrap();
         // Algorithm JointMatrix.
-        let joint = joint_frequency_table(&r0, "a", &r1, "a").unwrap().join_size();
+        let joint = joint_frequency_table(&r0, "a", &r1, "a")
+            .unwrap()
+            .join_size();
 
         assert_eq!(product, executed, "z={z}");
         assert_eq!(product, joint, "z={z}");
@@ -59,8 +61,7 @@ fn three_relation_chain_sizes_agree() {
     let mid_matrix = FreqMatrix::from_arrangement(&fmid, m, m, &arr).unwrap();
 
     let r0 = relation_from_frequencies("r0", "a1", &a_values, &f0, 1).unwrap();
-    let r1 = relation_from_matrix("r1", "a1", "a2", &a_values, &b_values, &mid_matrix, 2)
-        .unwrap();
+    let r1 = relation_from_matrix("r1", "a1", "a2", &a_values, &b_values, &mid_matrix, 2).unwrap();
     let r2 = relation_from_frequencies("r2", "a2", &b_values, &f2, 3).unwrap();
 
     let product = chain_product(&[
@@ -70,8 +71,7 @@ fn three_relation_chain_sizes_agree() {
     ])
     .unwrap();
 
-    let executed =
-        chain_join_count(&[&r0, &r1, &r2], &[("a1", "a1"), ("a2", "a2")]).unwrap();
+    let executed = chain_join_count(&[&r0, &r1, &r2], &[("a1", "a1"), ("a2", "a2")]).unwrap();
     assert_eq!(product, executed);
 }
 

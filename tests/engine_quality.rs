@@ -17,8 +17,7 @@ fn build_engine() -> Engine {
     let parts: Vec<u64> = (0..100).collect();
     let sups: Vec<u64> = (0..20).collect();
     e.register(
-        relation_from_matrix("lineitem", "part", "supplier", &parts, &sups, &matrix, 2)
-            .unwrap(),
+        relation_from_matrix("lineitem", "part", "supplier", &parts, &sups, &matrix, 2).unwrap(),
     );
     let suppliers = zipf_frequencies(400, 20, 0.4).unwrap();
     e.register(relation_from_frequency_set("suppliers", "supplier", &suppliers, 3).unwrap());

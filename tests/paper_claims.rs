@@ -50,8 +50,7 @@ fn theorem_3_2_expected_error_is_zero() {
         HistogramSpec::VOptEndBiased(3),
         HistogramSpec::EquiDepth(3),
     ] {
-        let samples =
-            sample_chain(&rels, &[spec, spec], 6000, 17, RoundingMode::Exact).unwrap();
+        let samples = sample_chain(&rels, &[spec, spec], 6000, 17, RoundingMode::Exact).unwrap();
         let me = mean_error(&samples);
         let sg = sigma(&samples).max(1.0);
         assert!(
@@ -78,8 +77,7 @@ fn theorem_3_3_self_join_optimum_is_v_optimal() {
         let rels = [&b0, &b1];
         let mut sum_sq = 0.0;
         let n = 4000usize;
-        let mut rng_arrs =
-            freqdist::Arrangement::random_batch(m, 2 * n, 23).into_iter();
+        let mut rng_arrs = freqdist::Arrangement::random_batch(m, 2 * n, 23).into_iter();
         for _ in 0..n {
             let a0 = rng_arrs.next().unwrap();
             let a1 = rng_arrs.next().unwrap();
@@ -92,11 +90,7 @@ fn theorem_3_3_self_join_optimum_is_v_optimal() {
                 .zip(&f1)
                 .map(|(&x, &y)| (x as f64) * (y as f64))
                 .sum();
-            let est: f64 = e0
-                .iter()
-                .zip(&f1)
-                .map(|(x, &y)| x * (y as f64))
-                .sum();
+            let est: f64 = e0.iter().zip(&f1).map(|(x, &y)| x * (y as f64)).sum();
             sum_sq += (exact - est) * (exact - est);
         }
         sum_sq / n as f64
@@ -144,9 +138,7 @@ fn corollary_3_1_end_biased_optimal_among_biased() {
 #[test]
 fn section_5_ranking_and_factor_two() {
     let freqs = zipf_frequencies(1000, 100, 1.0).unwrap();
-    let sig = |spec| {
-        sigma(&sample_self_join(&freqs, spec, 20, 3, RoundingMode::Exact).unwrap())
-    };
+    let sig = |spec| sigma(&sample_self_join(&freqs, spec, 20, 3, RoundingMode::Exact).unwrap());
     let serial = sig(HistogramSpec::VOptSerial(5));
     let biased = sig(HistogramSpec::VOptEndBiased(5));
     let depth = sig(HistogramSpec::EquiDepth(5));
@@ -174,13 +166,8 @@ fn exact_histograms_recover_exact_size_through_chain_query() {
     let f0 = zipf_frequencies(100, 4, 1.0).unwrap();
     let fm = zipf_frequencies(200, 12, 0.9).unwrap();
     let f2 = zipf_frequencies(80, 3, 0.2).unwrap();
-    let mid = FreqMatrix::from_arrangement(
-        &fm,
-        4,
-        3,
-        &freqdist::Arrangement::identity(12),
-    )
-    .unwrap();
+    let mid =
+        FreqMatrix::from_arrangement(&fm, 4, 3, &freqdist::Arrangement::identity(12)).unwrap();
     let q = ChainQuery::new(vec![
         FreqMatrix::horizontal(f0.as_slice().to_vec()),
         mid.clone(),
@@ -190,10 +177,8 @@ fn exact_histograms_recover_exact_size_through_chain_query() {
     let stats = vec![
         RelationStats::Vector(v_opt_serial_dp(f0.as_slice(), 4).unwrap().histogram),
         RelationStats::Matrix(
-            vopt_hist::MatrixHistogram::build(&mid, |c| {
-                Ok(v_opt_serial_dp(c, 12)?.histogram)
-            })
-            .unwrap(),
+            vopt_hist::MatrixHistogram::build(&mid, |c| Ok(v_opt_serial_dp(c, 12)?.histogram))
+                .unwrap(),
         ),
         RelationStats::Vector(v_opt_serial_dp(f2.as_slice(), 3).unwrap().histogram),
     ];

@@ -27,7 +27,8 @@ fn catalog_histogram_matches_analysis_histogram() {
     for (i, &v) in table.values.iter().enumerate() {
         assert_eq!(
             stored.approx_frequency(v),
-            opt.histogram.approx_frequency(i, RoundingMode::PaperRounded) as u64,
+            opt.histogram
+                .approx_frequency(i, RoundingMode::PaperRounded) as u64,
             "value {v}"
         );
     }
@@ -66,11 +67,7 @@ fn catalog_join_estimate_tracks_actual_join() {
     // The trivial histogram (1 bucket) must do worse on this skew.
     let ta = cat.analyze_end_biased(&ra, "k", 1).unwrap();
     let tb = cat.analyze_end_biased(&rb, "k", 1).unwrap();
-    let est_triv = estimate_two_way_join(
-        &cat.get(&ta).unwrap(),
-        &cat.get(&tb).unwrap(),
-        &domain,
-    );
+    let est_triv = estimate_two_way_join(&cat.get(&ta).unwrap(), &cat.get(&tb).unwrap(), &domain);
     let triv_err = (est_triv - actual).abs() / actual;
     assert!(
         rel_err < triv_err,
@@ -115,8 +112,7 @@ fn sampling_seeded_end_biased_close_to_exact() {
     // Exact path.
     let table = frequency_table(&rel, "a").unwrap();
     let exact_hist = v_opt_end_biased(&table.freqs, 10).unwrap().histogram;
-    let exact_stored =
-        StoredHistogram::from_histogram(&table.values, &exact_hist).unwrap();
+    let exact_stored = StoredHistogram::from_histogram(&table.values, &exact_hist).unwrap();
 
     // Sampled path: top-9 values from a 2% sample.
     let sample = reservoir_sample(col, col.len() / 50, 3);

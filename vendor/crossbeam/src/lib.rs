@@ -1,0 +1,316 @@
+//! Offline drop-in subset of the `crossbeam` API.
+//!
+//! Two pieces are vendored: [`thread::scope`] (scoped fork-join threads
+//! with crossbeam's `Result`-returning panic contract, layered over
+//! `std::thread::scope`) and [`queue::ArrayQueue`] (a bounded lock-free
+//! MPMC queue using Vyukov's sequence-number ring, the backing store
+//! for the observability event ring buffer).
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's interface.
+    //!
+    //! `scope(|s| ...)` returns `Err` (instead of unwinding) when the
+    //! closure or any spawned worker panics; worker closures receive a
+    //! `&Scope` so they can spawn siblings.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the panic payload if the
+    /// closure or any unjoined spawned thread panicked.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so
+        /// nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined
+    /// before this returns. Panics (in `f` or in workers) surface as
+    /// `Err` rather than unwinding.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod queue {
+    //! Bounded lock-free queues.
+
+    use std::cell::UnsafeCell;
+    use std::fmt;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// One ring slot: `seq` encodes whose turn the slot is on.
+    ///
+    /// Invariant (Vyukov): `seq == index` means free for the producer
+    /// whose ticket is `index`; `seq == index + 1` means occupied for
+    /// the consumer whose ticket is `index`; after a pop the slot is
+    /// re-armed with `seq = index + capacity` for the next lap.
+    struct Slot<T> {
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded MPMC queue (subset of `crossbeam::queue::ArrayQueue`).
+    pub struct ArrayQueue<T> {
+        head: AtomicUsize,
+        tail: AtomicUsize,
+        buffer: Box<[Slot<T>]>,
+        cap: usize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "ArrayQueue capacity must be non-zero");
+            let buffer = (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            Self {
+                head: AtomicUsize::new(0),
+                tail: AtomicUsize::new(0),
+                buffer,
+                cap,
+            }
+        }
+
+        /// Maximum number of elements the queue holds.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// Current element count (a snapshot; racy under contention).
+        pub fn len(&self) -> usize {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            tail.saturating_sub(head)
+        }
+
+        /// Whether the queue currently holds no elements.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Attempts to enqueue; returns the value back if the queue is
+        /// full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[tail % self.cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                if seq == tail {
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            unsafe { (*slot.value.get()).write(value) };
+                            slot.seq.store(tail + 1, Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(current) => tail = current,
+                    }
+                } else if seq < tail {
+                    // The slot still holds an element a whole lap old:
+                    // the ring is full.
+                    return Err(value);
+                } else {
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Dequeues the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let slot = &self.buffer[head % self.cap];
+                let seq = slot.seq.load(Ordering::Acquire);
+                if seq == head + 1 {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            let value = unsafe { (*slot.value.get()).assume_init_read() };
+                            slot.seq.store(head + self.cap, Ordering::Release);
+                            return Some(value);
+                        }
+                        Err(current) => head = current,
+                    }
+                } else if seq <= head {
+                    // Producer hasn't filled this slot: the ring is
+                    // empty.
+                    return None;
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Enqueues unconditionally, evicting the oldest element when
+        /// full; returns the evicted element if one was displaced.
+        pub fn force_push(&self, value: T) -> Option<T> {
+            let mut value = value;
+            let mut displaced = None;
+            loop {
+                match self.push(value) {
+                    Ok(()) => return displaced,
+                    Err(v) => {
+                        value = v;
+                        if let Some(old) = self.pop() {
+                            displaced = Some(old);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    impl<T> fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ArrayQueue")
+                .field("cap", &self.cap)
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::ArrayQueue;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let total = AtomicU64::new(0);
+        let r = crate::thread::scope(|s| {
+            for i in 0..8u64 {
+                let total = &total;
+                s.spawn(move |_| total.fetch_add(i, Ordering::Relaxed));
+            }
+            "done"
+        });
+        assert_eq!(r.unwrap(), "done");
+        assert_eq!(total.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn scope_worker_panic_is_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn queue_fifo_and_full() {
+        let q = ArrayQueue::new(3);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.push(4), Err(4));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(4).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_force_push_evicts_oldest() {
+        let q = ArrayQueue::new(2);
+        assert_eq!(q.force_push(1), None);
+        assert_eq!(q.force_push(2), None);
+        assert_eq!(q.force_push(3), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn queue_concurrent_producers_consumers() {
+        const PER_THREAD: u64 = 10_000;
+        let q = ArrayQueue::new(64);
+        let sum = AtomicU64::new(0);
+        let received = AtomicU64::new(0);
+        crate::thread::scope(|s| {
+            for t in 0..4u64 {
+                let q = &q;
+                s.spawn(move |_| {
+                    for i in 0..PER_THREAD {
+                        let mut v = t * PER_THREAD + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let (q, sum, received) = (&q, &sum, &received);
+                s.spawn(move |_| loop {
+                    if received.load(Ordering::Relaxed) >= 4 * PER_THREAD {
+                        break;
+                    }
+                    match q.pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            received.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::hint::spin_loop(),
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let n = 4 * PER_THREAD;
+        assert_eq!(received.load(Ordering::Relaxed), n);
+        assert_eq!(sum.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

@@ -1,0 +1,707 @@
+//! Offline mini property-testing framework with the `proptest` macro
+//! surface the workspace uses.
+//!
+//! Differences from real proptest, by design: no shrinking (a failing
+//! case is reported with the exact inputs, which are reproducible
+//! because every test's RNG is seeded from its name), and strategies
+//! are simple samplers — a [`strategy::Strategy`] is anything that can
+//! draw a value from a seeded RNG. The supported surface is exactly
+//! what the repo's property tests exercise: integer/float range
+//! strategies, a regex-subset string strategy, `prop_map` /
+//! `prop_filter` / `prop_flat_map`, tuple and `Vec` composition,
+//! `prop::collection::vec`, `any::<T>()`, `Just`, `prop_oneof!`, and
+//! the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+
+pub mod strategy {
+    //! Strategies: seeded samplers for test inputs.
+
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// The RNG handed to strategies (seeded per test from its name).
+    pub type TestRng = StdRng;
+
+    /// A sampler of test inputs.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `pred` (resamples; panics after too
+        /// many consecutive rejections).
+        fn prop_filter<R: Into<String>, F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: R,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Builds a dependent strategy from each sampled value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({:?}) rejected 10000 consecutive samples",
+                self.reason
+            );
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_range(0..self.options.len());
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.random::<f64>() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ );)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! A regex-subset string strategy: concatenations of literal
+    //! characters and character classes (`[a-z0-9_]`, ranges and
+    //! literals; no negation or escapes), each optionally repeated with
+    //! `{n}` or `{m,n}`.
+
+    use crate::strategy::TestRng;
+    use rand::RngExt;
+
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                        + i
+                        + 1;
+                    let body = &chars[i + 1..close];
+                    let mut alphabet = Vec::new();
+                    let mut j = 0;
+                    while j < body.len() {
+                        if j + 2 < body.len() && body[j + 1] == '-' {
+                            let (lo, hi) = (body[j], body[j + 2]);
+                            assert!(lo <= hi, "bad class range in {pattern:?}");
+                            alphabet.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            alphabet.push(body[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    alphabet
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                    + i
+                    + 1;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+            out.push(Element {
+                chars: alphabet,
+                min,
+                max,
+            });
+        }
+        out
+    }
+
+    /// Draws one string matching `pattern`.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for el in parse(pattern) {
+            let n = rng.random_range(el.min..=el.max);
+            for _ in 0..n {
+                out.push(el.chars[rng.random_range(0..el.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the type's full-range "natural" strategy.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::{RngCore, RngExt};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.random::<f64>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (full integer range, unit-interval
+    /// floats).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.random_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)`: vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case loop.
+
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is resampled.
+        Reject(String),
+        /// A `prop_assert*` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failing case.
+        pub fn fail(msg: String) -> Self {
+            Self::Fail(msg)
+        }
+        /// A rejected (re-drawn) case.
+        pub fn reject(msg: String) -> Self {
+            Self::Reject(msg)
+        }
+    }
+
+    /// Runs a property over many sampled cases.
+    pub struct TestRunner {
+        cases: u32,
+        max_rejects: u32,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Self {
+                cases,
+                max_rejects: cases.saturating_mul(64).max(1024),
+            }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    impl TestRunner {
+        /// Runs `f` until `cases` samples pass (or one fails). `f`
+        /// returns the case's rendered inputs plus its outcome; the RNG
+        /// is seeded from `name` so failures reproduce exactly.
+        pub fn run<F>(&mut self, name: &str, mut f: F)
+        where
+            F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+        {
+            let mut rng = TestRng::seed_from_u64(fnv1a(name));
+            let mut accepted = 0;
+            let mut rejected = 0u32;
+            while accepted < self.cases {
+                let (inputs, outcome) = f(&mut rng);
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > self.max_rejects {
+                            panic!(
+                                "property '{name}': {rejected} rejections \
+                                 (last: {why}); prop_assume is too strict"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property '{name}' failed after {accepted} passing cases\
+                             \n  inputs: {inputs}\n  {msg}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prop {
+    //! `prop::` namespace as re-exported by the prelude.
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property-test file imports.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }`
+/// items each become a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::default();
+                runner.run(stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                    let inputs = [
+                        $(format!("{} = {:?}", stringify!($arg), &$arg)),+
+                    ].join(", ");
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    (inputs, outcome)
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case if the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n    both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects (re-draws) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0usize..=4, z in 0.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((0.5..2.5).contains(&z));
+        }
+
+        #[test]
+        fn vec_sizes_and_filter(v in prop::collection::vec(0u32..100, 2..=6)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u64..10, b in 0u64..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn regex_subset_patterns(s in "[a-z][a-z0-9_]{0,6}", t in "[ -~]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(t.len() <= 8);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn combinators_compose(v in prop_oneof![
+            (0u64..5).prop_map(|x| x * 2),
+            (10u64..15).prop_filter("nonzero", |&x| x > 0),
+            Just(100u64),
+        ]) {
+            prop_assert!(v % 2 == 0 && v < 10 || (10..15).contains(&v) || v == 100);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (1usize..5).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0u32..10, n))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failure_reports_inputs() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        runner.run("always_fails", |rng| {
+            let x = crate::strategy::Strategy::sample(&(0u64..10), rng);
+            (
+                format!("x = {x:?}"),
+                Err(crate::test_runner::TestCaseError::fail("nope".into())),
+            )
+        });
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline drop-in subset of the `rand` API.
+//!
+//! Provides a deterministic [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64), the [`SeedableRng`]/[`RngExt`] traits with
+//! `seed_from_u64`, `random`, and `random_range`, and
+//! [`seq::SliceRandom`] with a Fisher–Yates `shuffle`. Every stream is
+//! fully determined by the seed, which is all the workspace relies on —
+//! there is no OS entropy source here.
+
+#![warn(missing_docs)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of uniformly distributed `u64` values.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructing an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed (expanded with
+    /// SplitMix64, so nearby seeds give unrelated streams).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64
+            // cannot produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types drawable uniformly from their "natural" distribution via
+/// [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Draws a uniform value in `[0, width)` without modulo bias.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    if width.is_power_of_two() {
+        return rng.next_u64() & (width - 1);
+    }
+    // Reject the top partial copy of [0, width) in u64 space.
+    let reject_above = u64::MAX - (u64::MAX % width + 1) % width;
+    loop {
+        let x = rng.next_u64();
+        if x <= reject_above {
+            return x % width;
+        }
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The predecessor of `v`, for converting exclusive upper bounds.
+    fn down_one(v: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                // Width of [lo, hi] as u64; full-width ranges wrap to 0.
+                let width = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if width == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as u64).wrapping_add(uniform_below(rng, width)) as $t
+            }
+            fn down_one(v: Self) -> Self {
+                v - 1
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience draws available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws one value from `T`'s standard distribution (`f64` is
+    /// uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Uniform draw from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, B>(&mut self, range: B) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        B: RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&lo) => lo,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("random_range requires an inclusive lower bound")
+            }
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&hi) => hi,
+            Bound::Excluded(&hi) => {
+                assert!(lo < hi, "cannot sample from an empty range");
+                T::down_one(hi)
+            }
+            Bound::Unbounded => panic!("random_range requires an upper bound"),
+        };
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_inclusive(self, lo, hi)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_inclusive(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.random_range(5..=9);
+            assert!((5..=9).contains(&v));
+            let w: usize = rng.random_range(0..3);
+            assert!(w < 3);
+            let s: i32 = rng.random_range(-4..=4);
+            assert!((-4..=4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut v: Vec<usize> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        v.shuffle(&mut rng);
+        let mut w: Vec<usize> = (0..50).collect();
+        let mut rng2 = StdRng::seed_from_u64(11);
+        w.shuffle(&mut rng2);
+        assert_eq!(v, w);
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u64 = rng.random_range(3..3);
+    }
+}

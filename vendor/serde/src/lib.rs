@@ -1,0 +1,124 @@
+//! Offline drop-in subset of the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives (under the
+//! usual `derive` feature) and defines a deliberately small,
+//! infallible [`ser`] layer: a [`Serializer`](ser::Serializer) driven
+//! by [`Serialize`](ser::Serialize) impls. The observability crate
+//! implements its JSON exposition on top of these traits, so swapping
+//! in real serde later only means widening the trait surface.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod ser {
+    //! Minimal event-driven serialisation traits.
+
+    /// Receives serialisation events (a tiny, infallible cousin of
+    /// `serde::Serializer`; obs's JSON writer implements this).
+    pub trait Serializer {
+        /// Serialises a boolean.
+        fn serialize_bool(&mut self, v: bool);
+        /// Serialises a signed integer.
+        fn serialize_i64(&mut self, v: i64);
+        /// Serialises an unsigned integer.
+        fn serialize_u64(&mut self, v: u64);
+        /// Serialises a float.
+        fn serialize_f64(&mut self, v: f64);
+        /// Serialises a string.
+        fn serialize_str(&mut self, v: &str);
+        /// Serialises a unit/null value.
+        fn serialize_unit(&mut self);
+        /// Opens a sequence of `len` elements.
+        fn begin_seq(&mut self, len: usize);
+        /// Announces the next sequence element.
+        fn seq_element(&mut self);
+        /// Closes the current sequence.
+        fn end_seq(&mut self);
+        /// Opens a map of `len` entries.
+        fn begin_map(&mut self, len: usize);
+        /// Announces the next entry's key.
+        fn map_key(&mut self, key: &str);
+        /// Closes the current map.
+        fn end_map(&mut self);
+    }
+
+    /// A value that can drive a [`Serializer`].
+    pub trait Serialize {
+        /// Feeds this value's structure into `s`.
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S);
+    }
+
+    impl Serialize for bool {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_bool(*self);
+        }
+    }
+
+    impl Serialize for u64 {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_u64(*self);
+        }
+    }
+
+    impl Serialize for usize {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_u64(*self as u64);
+        }
+    }
+
+    impl Serialize for i64 {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_i64(*self);
+        }
+    }
+
+    impl Serialize for f64 {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_f64(*self);
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_str(self);
+        }
+    }
+
+    impl Serialize for String {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.serialize_str(self);
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            s.begin_seq(self.len());
+            for item in self {
+                s.seq_element();
+                item.serialize(s);
+            }
+            s.end_seq();
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            match self {
+                Some(v) => v.serialize(s),
+                None => s.serialize_unit(),
+            }
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+            (**self).serialize(s);
+        }
+    }
+}
+
+// Macro (above) and trait share the `serde::Serialize` name in their
+// separate namespaces, exactly as in real serde.
+pub use ser::{Serialize, Serializer};

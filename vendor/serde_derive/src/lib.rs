@@ -1,0 +1,22 @@
+//! Offline no-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace marks its data types `#[derive(Serialize,
+//! Deserialize)]` to declare serialisability, but no code path drives a
+//! serde data format (the binary codec in `relstore` is hand-rolled).
+//! These derives therefore expand to nothing: the attribute stays
+//! valid, compilation needs no registry access, and any future real
+//! serde can be dropped in without touching the annotated types.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
