@@ -17,7 +17,7 @@ use relstore::stats::frequency_table;
 use relstore::{Relation, StoredHistogram};
 use std::collections::HashMap;
 use std::hint::black_box;
-use vopt_hist::construct::v_opt_end_biased;
+use vopt_hist::BuilderSpec;
 
 fn zipf_relation(rows: u64, m: usize, seed: u64) -> Relation {
     let freqs = zipf_frequencies(rows, m, 1.0).expect("valid Zipf");
@@ -82,9 +82,9 @@ fn bench_codec(c: &mut Criterion) {
     let freqs = zipf_frequencies(100_000, 10_000, 1.0)
         .expect("valid Zipf")
         .into_vec();
-    let hist = v_opt_end_biased(&freqs, 20)
-        .expect("valid parameters")
-        .histogram;
+    let hist = BuilderSpec::VOptEndBiased(20)
+        .build(&freqs)
+        .expect("valid parameters");
     let values: Vec<u64> = (0..freqs.len() as u64).collect();
     let stored = StoredHistogram::from_histogram(&values, &hist).expect("matching lengths");
     c.bench_function("substrate/codec_round_trip", |b| {

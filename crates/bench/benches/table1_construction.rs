@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use freqdist::generators::random_in_range;
 use std::hint::black_box;
-use vopt_hist::construct::{v_opt_end_biased, v_opt_serial, v_opt_serial_dp};
+use vopt_hist::BuilderSpec;
 
 fn freqs(m: usize) -> Vec<u64> {
     random_in_range(m, 0, 1000, 0xBEEF ^ m as u64)
@@ -28,7 +28,11 @@ fn bench_exhaustive(c: &mut Criterion) {
                 g.sample_size(10);
             }
             g.bench_with_input(BenchmarkId::new(format!("b{beta}"), m), &data, |b, data| {
-                b.iter(|| v_opt_serial(black_box(data), beta).unwrap())
+                b.iter(|| {
+                    BuilderSpec::VOptSerialExhaustive(beta)
+                        .build_strict(black_box(data))
+                        .unwrap()
+                })
             });
         }
     }
@@ -41,7 +45,11 @@ fn bench_dp(c: &mut Criterion) {
         let data = freqs(m);
         for &beta in &[3usize, 5, 10] {
             g.bench_with_input(BenchmarkId::new(format!("b{beta}"), m), &data, |b, data| {
-                b.iter(|| v_opt_serial_dp(black_box(data), beta).unwrap())
+                b.iter(|| {
+                    BuilderSpec::VOptSerial(beta)
+                        .build_strict(black_box(data))
+                        .unwrap()
+                })
             });
         }
     }
@@ -56,7 +64,11 @@ fn bench_end_biased(c: &mut Criterion) {
         let data = freqs(m);
         g.throughput(criterion::Throughput::Elements(m as u64));
         g.bench_with_input(BenchmarkId::new("b10", m), &data, |b, data| {
-            b.iter(|| v_opt_end_biased(black_box(data), 10).unwrap())
+            b.iter(|| {
+                BuilderSpec::VOptEndBiased(10)
+                    .build_strict(black_box(data))
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -7,8 +7,8 @@
 //! DP) or the cheap end-biased error — and reports the first `β` whose
 //! error falls below the tolerance.
 
-use crate::construct::{v_opt_end_biased, v_opt_serial_dp};
 use crate::error::Result;
+use crate::registry::BuilderSpec;
 
 /// Which construction family the advisor budgets for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,12 +46,13 @@ pub fn error_profile(
     max_buckets: usize,
 ) -> Result<Vec<ProfileRow>> {
     let cap = max_buckets.min(freqs.len());
+    let spec = match family {
+        AdvisorFamily::Serial => BuilderSpec::VOptSerial(0),
+        AdvisorFamily::EndBiased => BuilderSpec::VOptEndBiased(0),
+    };
     let mut rows = Vec::with_capacity(cap);
     for beta in 1..=cap {
-        let error = match family {
-            AdvisorFamily::Serial => v_opt_serial_dp(freqs, beta)?.error,
-            AdvisorFamily::EndBiased => v_opt_end_biased(freqs, beta)?.error,
-        };
+        let error = spec.with_buckets(beta).build_strict(freqs)?.error;
         rows.push(ProfileRow {
             buckets: beta,
             error,

@@ -13,14 +13,12 @@ use crate::histogram::Histogram;
 /// The trivial histogram: a single bucket, i.e. the uniform-distribution
 /// assumption.
 pub fn trivial(freqs: &[u64]) -> Result<Histogram> {
-    let _timer = super::construction_timer("trivial");
     Histogram::from_assignment(freqs, vec![0; freqs.len()], 1.min(freqs.len()))
 }
 
 /// An equi-width histogram with `buckets` buckets: the value-index range
 /// is split into `buckets` runs of (nearly) equal width.
 pub fn equi_width(freqs: &[u64], buckets: usize) -> Result<Histogram> {
-    let _timer = super::construction_timer("equi_width");
     let m = freqs.len();
     if buckets == 0 || buckets > m {
         return Err(HistError::InvalidBucketCount {
@@ -52,7 +50,6 @@ pub fn equi_width(freqs: &[u64], buckets: usize) -> Result<Histogram> {
 /// exceeds the target depth: a cut is also forced whenever the remaining
 /// values are only just enough to populate the remaining buckets.
 pub fn equi_depth(freqs: &[u64], buckets: usize) -> Result<Histogram> {
-    let _timer = super::construction_timer("equi_depth");
     let m = freqs.len();
     if buckets == 0 || buckets > m {
         return Err(HistError::InvalidBucketCount {

@@ -19,7 +19,6 @@ use crate::partition::SortedFreqs;
 /// Produces the same error as [`super::v_opt_serial`]; cut placement may
 /// differ between equally-optimal partitions.
 pub fn v_opt_serial_dp(freqs: &[u64], buckets: usize) -> Result<OptResult> {
-    let _timer = super::construction_timer("v_opt_serial");
     let m = freqs.len();
     if m == 0 {
         return Err(HistError::EmptyFrequencies);

@@ -62,7 +62,6 @@ pub fn end_biased(freqs: &[u64], high: usize, low: usize) -> Result<Histogram> {
 /// paper reaches `O(M + (β−1) log M)` with a heap instead of a full sort,
 /// an implementation detail that does not change which histogram wins.
 pub fn v_opt_end_biased(freqs: &[u64], buckets: usize) -> Result<OptResult> {
-    let _timer = super::construction_timer("v_opt_end_biased");
     let m = freqs.len();
     if m == 0 {
         return Err(HistError::EmptyFrequencies);

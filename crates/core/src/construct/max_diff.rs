@@ -18,7 +18,6 @@ use crate::partition::SortedFreqs;
 /// cuts at the `β−1` largest adjacent gaps in the sorted frequency
 /// order (ties broken towards lower ranks for determinism).
 pub fn max_diff(freqs: &[u64], buckets: usize) -> Result<OptResult> {
-    let _timer = super::construction_timer("max_diff");
     let m = freqs.len();
     if m == 0 {
         return Err(HistError::EmptyFrequencies);
@@ -46,14 +45,7 @@ pub fn max_diff(freqs: &[u64], buckets: usize) -> Result<OptResult> {
         .collect();
     cuts.sort_unstable();
     let histogram = sorted.histogram_from_cuts(freqs, &cuts)?;
-    let prefix = PrefixSums::new(&sorted.sorted);
-    let mut error = 0.0;
-    let mut lo = 0usize;
-    for &cut in &cuts {
-        error += prefix.range_sse(lo, cut);
-        lo = cut;
-    }
-    error += prefix.range_sse(lo, m);
+    let error = PrefixSums::new(&sorted.sorted).partition_sse(&cuts);
     Ok(OptResult { histogram, error })
 }
 

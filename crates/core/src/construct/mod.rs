@@ -37,6 +37,10 @@ use crate::histogram::Histogram;
 /// class and, on drop, records the wall time into the per-class
 /// latency histogram `construction_seconds{class="<class>"}`. Inert
 /// when recording is disabled.
+///
+/// Timed once per build at the [`crate::registry`] dispatch site (the
+/// raw constructors below are untimed, so direct calls in tests and
+/// ground-truth comparisons stay out of the metrics).
 pub(crate) struct ConstructionTimer {
     inner: Option<(obs::SpanGuard, &'static str)>,
 }
@@ -61,8 +65,13 @@ impl Drop for ConstructionTimer {
 
 /// Prefix sums of frequencies and squared frequencies over a sorted
 /// frequency slice; lets any contiguous run's sum / SSE be read in O(1).
+///
+/// This is the shared per-bucket mean/SSE kernel: every optimality
+/// search in this module, the [`crate::registry`] property checks, and
+/// downstream consumers that need formula (3) error terms read from it
+/// instead of re-deriving the sums.
 #[derive(Debug, Clone)]
-pub(crate) struct PrefixSums {
+pub struct PrefixSums {
     /// `sum[i]` = Σ of the first `i` frequencies.
     sum: Vec<u128>,
     /// `sum_sq[i]` = Σ of the first `i` squared frequencies.
@@ -70,7 +79,9 @@ pub(crate) struct PrefixSums {
 }
 
 impl PrefixSums {
-    pub(crate) fn new(sorted: &[u64]) -> Self {
+    /// Builds the prefix tables over `sorted` (ascending frequency order
+    /// for the serial constructions, but any order is accepted).
+    pub fn new(sorted: &[u64]) -> Self {
         let mut sum = Vec::with_capacity(sorted.len() + 1);
         let mut sum_sq = Vec::with_capacity(sorted.len() + 1);
         sum.push(0);
@@ -85,14 +96,24 @@ impl PrefixSums {
         Self { sum, sum_sq }
     }
 
+    /// Number of frequencies covered.
+    pub fn len(&self) -> usize {
+        self.sum.len() - 1
+    }
+
+    /// Whether the covered frequency slice was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Sum of frequencies in ranks `lo..hi`.
-    pub(crate) fn range_sum(&self, lo: usize, hi: usize) -> u128 {
+    pub fn range_sum(&self, lo: usize, hi: usize) -> u128 {
         self.sum[hi] - self.sum[lo]
     }
 
     /// Sum of squared deviations from the mean over ranks `lo..hi` —
     /// the bucket's `Pᵢ·Vᵢ` error contribution (Proposition 3.1).
-    pub(crate) fn range_sse(&self, lo: usize, hi: usize) -> f64 {
+    pub fn range_sse(&self, lo: usize, hi: usize) -> f64 {
         let n = (hi - lo) as f64;
         if n <= 0.0 {
             return 0.0;
@@ -100,6 +121,20 @@ impl PrefixSums {
         let s = self.range_sum(lo, hi) as f64;
         let q = (self.sum_sq[hi] - self.sum_sq[lo]) as f64;
         (q - s * s / n).max(0.0)
+    }
+
+    /// Self-join error (formula (3)) of the serial histogram whose
+    /// buckets are the runs delimited by `cuts` over the full covered
+    /// range — Σ of each run's [`PrefixSums::range_sse`]. `cuts` must be
+    /// ascending rank positions in `0..len`.
+    pub fn partition_sse(&self, cuts: &[usize]) -> f64 {
+        let mut error = 0.0;
+        let mut lo = 0usize;
+        for &cut in cuts {
+            error += self.range_sse(lo, cut);
+            lo = cut;
+        }
+        error + self.range_sse(lo, self.len())
     }
 }
 
@@ -126,5 +161,16 @@ mod tests {
         // SSE of [2,3] → mean 2.5 → 0.25 + 0.25
         assert!((p.range_sse(1, 3) - 0.5).abs() < 1e-12);
         assert_eq!(p.range_sse(3, 3), 0.0);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn partition_sse_sums_runs() {
+        let p = PrefixSums::new(&[1, 2, 3, 4]);
+        // Cuts at 1 and 3 → runs [1], [2,3], [4].
+        assert!((p.partition_sse(&[1, 3]) - 0.5).abs() < 1e-12);
+        // No cuts → SSE of the whole range.
+        assert!((p.partition_sse(&[]) - p.range_sse(0, 4)).abs() < 1e-12);
     }
 }

@@ -31,7 +31,6 @@ pub fn v_opt_serial_checked(
     buckets: usize,
     max_partitions: u128,
 ) -> Result<OptResult> {
-    let _timer = super::construction_timer("v_opt_serial");
     let m = freqs.len();
     if m == 0 {
         return Err(HistError::EmptyFrequencies);
@@ -56,7 +55,7 @@ pub fn v_opt_serial_checked(
     let mut best_error = f64::INFINITY;
     let mut best_cuts: Vec<usize> = Vec::new();
     for cuts in ContiguousPartitions::new(m, buckets)? {
-        let error = partition_error(&prefix, m, &cuts);
+        let error = prefix.partition_sse(&cuts);
         if error < best_error {
             best_error = error;
             best_cuts = cuts;
@@ -67,18 +66,6 @@ pub fn v_opt_serial_checked(
         histogram,
         error: best_error,
     })
-}
-
-/// Self-join error (formula (3)) of the serial histogram whose buckets
-/// are the runs delimited by `cuts` over `m` sorted frequencies.
-fn partition_error(prefix: &PrefixSums, m: usize, cuts: &[usize]) -> f64 {
-    let mut error = 0.0;
-    let mut lo = 0usize;
-    for &cut in cuts {
-        error += prefix.range_sse(lo, cut);
-        lo = cut;
-    }
-    error + prefix.range_sse(lo, m)
 }
 
 /// Builds the serial histogram induced by explicit cut points over the

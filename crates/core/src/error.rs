@@ -28,6 +28,12 @@ pub enum HistError {
     /// End-biased construction was asked for an impossible split of
     /// univalued buckets.
     InvalidBiasSplit(String),
+    /// A histogram class name did not match any registered builder
+    /// (see [`crate::registry::builder_named`]).
+    UnknownBuilder {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for HistError {
@@ -49,6 +55,11 @@ impl fmt::Display for HistError {
                 "histogram covers {histogram_cells} cells but matrix has {matrix_cells}"
             ),
             HistError::InvalidBiasSplit(msg) => write!(f, "invalid bias split: {msg}"),
+            HistError::UnknownBuilder { name } => write!(
+                f,
+                "unknown histogram class '{name}' (valid: {})",
+                crate::registry::VALID_SPEC_NAMES.join(", ")
+            ),
         }
     }
 }

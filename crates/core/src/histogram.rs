@@ -42,6 +42,29 @@ pub enum HistogramClass {
     General,
 }
 
+impl HistogramClass {
+    /// Whether `other` is the same class or a specialisation of `self`
+    /// in the paper's taxonomy.
+    ///
+    /// The classes form a containment lattice: every histogram is
+    /// `General`; end-biased histograms are both `Serial` and `Biased`;
+    /// the one-bucket `Trivial` histogram is (degenerately) all of them.
+    /// A builder that declares class `C` may therefore legitimately
+    /// produce a histogram whose most-specific [`Histogram::class`] is
+    /// any class contained in `C` — e.g. `v_opt_serial` at `β = M`
+    /// yields all-singleton buckets, which classify as `EndBiased`.
+    pub fn contains(self, other: HistogramClass) -> bool {
+        use HistogramClass::*;
+        match self {
+            General => true,
+            Serial => matches!(other, Serial | EndBiased | Trivial),
+            Biased => matches!(other, Biased | EndBiased | Trivial),
+            EndBiased => matches!(other, EndBiased | Trivial),
+            Trivial => matches!(other, Trivial),
+        }
+    }
+}
+
 /// A histogram over `M` domain values: a bucket id per value plus
 /// per-bucket sufficient statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -62,9 +62,12 @@ pub mod construct;
 pub mod error;
 pub mod histogram;
 pub mod partition;
+pub mod registry;
 pub mod two_dim;
 
 pub use bucket::BucketStats;
+pub use construct::{OptResult, PrefixSums};
 pub use error::HistError;
 pub use histogram::{Histogram, HistogramClass, RoundingMode};
+pub use registry::{builder_named, builders, BuilderSpec, HistogramBuilder};
 pub use two_dim::{grid_equi_depth, MatrixHistogram};

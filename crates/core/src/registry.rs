@@ -1,0 +1,497 @@
+//! The histogram builder registry: the single place where histogram
+//! class names, construction parameters, and constructor functions meet.
+//!
+//! Every layer of the workspace (catalog ANALYZE, maintenance, the
+//! engine, the query sampler, the experiment sweeps, the CLIs) builds
+//! histograms through a [`BuilderSpec`] instead of calling the
+//! [`crate::construct`] free functions directly. That gives the paper's
+//! class comparison one shared vocabulary:
+//!
+//! * a canonical **name** per class (`v_opt_end_biased`, `max_diff`, …)
+//!   used for CLI flags, obs metric labels, and catalog snapshots;
+//! * a short display **label** (`end-biased`, `maxdiff`, …) used in
+//!   experiment tables;
+//! * the **declared [`HistogramClass`]** every build is guaranteed to
+//!   stay within (property-tested via [`HistogramClass::contains`]);
+//! * the construction-latency timer
+//!   (`construction_seconds{class="<name>"}`), recorded here once
+//!   instead of inside each constructor.
+//!
+//! Adding a sixth histogram class is a one-file change: implement the
+//! constructor, add a [`HistogramBuilder`] impl plus a [`BuilderSpec`]
+//! variant here, and every ANALYZE path, sweep, and CLI picks it up.
+
+use crate::construct::{
+    construction_timer, end_biased, equi_depth, equi_width, max_diff, trivial, v_opt_end_biased,
+    v_opt_serial, v_opt_serial_dp, OptResult,
+};
+use crate::error::{HistError, Result};
+use crate::histogram::{Histogram, HistogramClass};
+use serde::{Deserialize, Serialize};
+
+/// One registered histogram construction algorithm.
+///
+/// Implementations are stateless unit structs; per-build parameters (the
+/// bucket budget β) arrive through [`HistogramBuilder::build`] or a
+/// [`BuilderSpec`]. Builders must be `Sync` so the registry can hand out
+/// `&'static` references to parallel ANALYZE workers.
+pub trait HistogramBuilder: Sync + std::fmt::Debug {
+    /// Canonical registry name (also the obs `class` label), e.g.
+    /// `"v_opt_end_biased"`.
+    fn name(&self) -> &'static str;
+
+    /// Short display label used in experiment tables, e.g. `"end-biased"`.
+    fn label(&self) -> &'static str;
+
+    /// The histogram class every build is guaranteed to fall within
+    /// (in the sense of [`HistogramClass::contains`]).
+    fn declared_class(&self) -> HistogramClass;
+
+    /// Whether the histogram depends only on the frequency multiset (and
+    /// therefore permutes with the frequencies across arrangements, §5.1).
+    fn is_frequency_based(&self) -> bool;
+
+    /// The [`BuilderSpec`] binding this builder to a bucket budget.
+    fn spec(&self, buckets: usize) -> BuilderSpec;
+
+    /// Builds the histogram over `freqs` with exactly `buckets` buckets,
+    /// returning it with its self-join error (formula (3)).
+    fn build(&self, freqs: &[u64], buckets: usize) -> Result<OptResult>;
+}
+
+fn opt_from_histogram(histogram: Histogram) -> OptResult {
+    let error = histogram.self_join_error();
+    OptResult { histogram, error }
+}
+
+macro_rules! declare_builder {
+    ($(#[$doc:meta])* $ty:ident, $name:literal, $label:literal, $class:ident,
+     $freq_based:literal, $spec:expr, $build:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $ty;
+
+        impl HistogramBuilder for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+            fn label(&self) -> &'static str {
+                $label
+            }
+            fn declared_class(&self) -> HistogramClass {
+                HistogramClass::$class
+            }
+            fn is_frequency_based(&self) -> bool {
+                $freq_based
+            }
+            fn spec(&self, buckets: usize) -> BuilderSpec {
+                #[allow(clippy::redundant_closure_call)]
+                ($spec)(buckets)
+            }
+            fn build(&self, freqs: &[u64], buckets: usize) -> Result<OptResult> {
+                #[allow(clippy::redundant_closure_call)]
+                ($build)(freqs, buckets)
+            }
+        }
+    };
+}
+
+declare_builder!(
+    /// One bucket: the uniform-distribution assumption (§2.3).
+    TrivialBuilder,
+    "trivial",
+    "trivial",
+    Trivial,
+    true,
+    |_b| BuilderSpec::Trivial,
+    |freqs: &[u64], _b| trivial(freqs).map(opt_from_histogram)
+);
+declare_builder!(
+    /// Equi-width buckets over the value order (§2.3).
+    EquiWidthBuilder,
+    "equi_width",
+    "equi-width",
+    General,
+    false,
+    BuilderSpec::EquiWidth,
+    |freqs: &[u64], b| equi_width(freqs, b).map(opt_from_histogram)
+);
+declare_builder!(
+    /// Equi-depth buckets over the value order (§2.3).
+    EquiDepthBuilder,
+    "equi_depth",
+    "equi-depth",
+    General,
+    false,
+    BuilderSpec::EquiDepth,
+    |freqs: &[u64], b| equi_depth(freqs, b).map(opt_from_histogram)
+);
+declare_builder!(
+    /// V-optimal serial histogram via the `O(M²β)` DP (same optimum as
+    /// the exhaustive Algorithm V-OptHist).
+    VOptSerialBuilder,
+    "v_opt_serial",
+    "serial",
+    Serial,
+    true,
+    BuilderSpec::VOptSerial,
+    v_opt_serial_dp
+);
+declare_builder!(
+    /// V-optimal serial histogram by exhaustive enumeration (Algorithm
+    /// V-OptHist, Theorem 4.1). Exponential in β — experiment use only.
+    VOptSerialExhaustiveBuilder,
+    "v_opt_serial_exhaustive",
+    "serial-exhaustive",
+    Serial,
+    true,
+    BuilderSpec::VOptSerialExhaustive,
+    v_opt_serial
+);
+declare_builder!(
+    /// V-optimal end-biased histogram (Algorithm V-OptBiasHist,
+    /// Theorem 4.2) — the paper's practical recommendation.
+    VOptEndBiasedBuilder,
+    "v_opt_end_biased",
+    "end-biased",
+    EndBiased,
+    true,
+    BuilderSpec::VOptEndBiased,
+    v_opt_end_biased
+);
+declare_builder!(
+    /// MaxDiff serial heuristic: cuts at the β−1 largest sorted gaps.
+    MaxDiffBuilder,
+    "max_diff",
+    "maxdiff",
+    Serial,
+    true,
+    BuilderSpec::MaxDiff,
+    max_diff
+);
+
+/// Every registered builder, in canonical presentation order (the order
+/// the paper introduces the classes, extensions last).
+pub fn builders() -> &'static [&'static dyn HistogramBuilder] {
+    static BUILDERS: [&'static dyn HistogramBuilder; 7] = [
+        &TrivialBuilder,
+        &EquiWidthBuilder,
+        &EquiDepthBuilder,
+        &VOptSerialBuilder,
+        &VOptSerialExhaustiveBuilder,
+        &VOptEndBiasedBuilder,
+        &MaxDiffBuilder,
+    ];
+    &BUILDERS
+}
+
+/// Every name accepted by [`builder_named`] and [`BuilderSpec::parse`].
+/// `end_biased` is spec-only (it needs an explicit `high,low` split) but
+/// is listed because `parse` accepts it.
+pub const VALID_SPEC_NAMES: [&str; 8] = [
+    "trivial",
+    "equi_width",
+    "equi_depth",
+    "v_opt_serial",
+    "v_opt_serial_exhaustive",
+    "v_opt_end_biased",
+    "end_biased",
+    "max_diff",
+];
+
+/// Looks up a registered builder by canonical name.
+///
+/// Matching is case-insensitive and treats `-` as `_`, so CLI spellings
+/// like `equi-width` resolve. Unknown names produce the single-source
+/// [`HistError::UnknownBuilder`] error listing every valid name.
+pub fn builder_named(name: &str) -> Result<&'static dyn HistogramBuilder> {
+    let canon = canonical(name);
+    builders()
+        .iter()
+        .copied()
+        .find(|b| b.name() == canon)
+        .ok_or_else(|| HistError::UnknownBuilder { name: name.into() })
+}
+
+fn canonical(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace('-', "_")
+}
+
+/// How to build one histogram: a registered class plus its parameters.
+///
+/// This is the value every ANALYZE pipeline, sweep, and CLI passes
+/// around; it serializes through the relstore codec so catalog snapshots
+/// record how each histogram was built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuilderSpec {
+    /// One bucket (uniform assumption).
+    Trivial,
+    /// Equi-width with `β` buckets (value-order based).
+    EquiWidth(usize),
+    /// Equi-depth with `β` buckets (value-order based).
+    EquiDepth(usize),
+    /// V-optimal serial with `β` buckets (frequency based; built with the
+    /// DP, which equals the exhaustive optimum).
+    VOptSerial(usize),
+    /// V-optimal serial with `β` buckets by exhaustive enumeration
+    /// (Algorithm V-OptHist; exponential in β).
+    VOptSerialExhaustive(usize),
+    /// V-optimal end-biased with `β` buckets (frequency based).
+    VOptEndBiased(usize),
+    /// End-biased with an explicit split: `high` top and `low` bottom
+    /// frequencies in singleton buckets (Definition 2.2).
+    EndBiased {
+        /// Highest frequencies kept in singleton buckets.
+        high: usize,
+        /// Lowest frequencies kept in singleton buckets.
+        low: usize,
+    },
+    /// MaxDiff serial heuristic with `β` buckets (frequency based;
+    /// buckets cut at the largest sorted-frequency gaps).
+    MaxDiff(usize),
+}
+
+impl BuilderSpec {
+    /// The registered builder this spec drives, or `None` for the
+    /// spec-only explicit [`BuilderSpec::EndBiased`] split.
+    pub fn builder(&self) -> Option<&'static dyn HistogramBuilder> {
+        let b: &'static dyn HistogramBuilder = match self {
+            BuilderSpec::Trivial => &TrivialBuilder,
+            BuilderSpec::EquiWidth(_) => &EquiWidthBuilder,
+            BuilderSpec::EquiDepth(_) => &EquiDepthBuilder,
+            BuilderSpec::VOptSerial(_) => &VOptSerialBuilder,
+            BuilderSpec::VOptSerialExhaustive(_) => &VOptSerialExhaustiveBuilder,
+            BuilderSpec::VOptEndBiased(_) => &VOptEndBiasedBuilder,
+            BuilderSpec::EndBiased { .. } => return None,
+            BuilderSpec::MaxDiff(_) => &MaxDiffBuilder,
+        };
+        Some(b)
+    }
+
+    /// Canonical registry name (also the obs `class` label).
+    pub fn name(&self) -> &'static str {
+        match self.builder() {
+            Some(b) => b.name(),
+            None => "end_biased",
+        }
+    }
+
+    /// Short label used by experiment output.
+    pub fn label(&self) -> &'static str {
+        match self.builder() {
+            Some(b) => b.label(),
+            None => "end-biased",
+        }
+    }
+
+    /// The histogram class every build of this spec falls within
+    /// (in the sense of [`HistogramClass::contains`]).
+    pub fn declared_class(&self) -> HistogramClass {
+        match self.builder() {
+            Some(b) => b.declared_class(),
+            None => HistogramClass::EndBiased,
+        }
+    }
+
+    /// Whether the histogram depends only on the frequency multiset (and
+    /// therefore permutes with the frequencies across arrangements).
+    pub fn is_frequency_based(&self) -> bool {
+        match self.builder() {
+            Some(b) => b.is_frequency_based(),
+            None => true,
+        }
+    }
+
+    /// Buckets requested (1 for trivial; `high + low + 1` for an
+    /// explicit end-biased split, counting the multivalued bucket).
+    pub fn buckets(&self) -> usize {
+        match *self {
+            BuilderSpec::Trivial => 1,
+            BuilderSpec::EquiWidth(b)
+            | BuilderSpec::EquiDepth(b)
+            | BuilderSpec::VOptSerial(b)
+            | BuilderSpec::VOptSerialExhaustive(b)
+            | BuilderSpec::VOptEndBiased(b)
+            | BuilderSpec::MaxDiff(b) => b,
+            BuilderSpec::EndBiased { high, low } => high + low + 1,
+        }
+    }
+
+    /// This spec with its bucket budget replaced by `buckets` (explicit
+    /// end-biased splits are left untouched).
+    pub fn with_buckets(&self, buckets: usize) -> BuilderSpec {
+        match self.builder() {
+            Some(b) => b.spec(buckets),
+            None => *self,
+        }
+    }
+
+    /// Builds the histogram over a concrete frequency vector, clamping
+    /// the bucket budget to the number of distinct values.
+    ///
+    /// This is the forgiving entry point every ANALYZE pipeline uses: a
+    /// 10-bucket spec over a 3-value column builds the best 3-bucket
+    /// histogram instead of failing. Use [`BuilderSpec::build_strict`]
+    /// when the budget must be honoured exactly.
+    pub fn build(&self, freqs: &[u64]) -> Result<Histogram> {
+        self.build_opt(freqs).map(|opt| opt.histogram)
+    }
+
+    /// Like [`BuilderSpec::build`] but also returns the self-join error
+    /// (formula (3)) of the built histogram.
+    pub fn build_opt(&self, freqs: &[u64]) -> Result<OptResult> {
+        self.run(freqs, self.buckets().min(freqs.len()))
+    }
+
+    /// Builds with the bucket budget taken literally: asking for more
+    /// buckets than distinct values is an error.
+    pub fn build_strict(&self, freqs: &[u64]) -> Result<OptResult> {
+        self.run(freqs, self.buckets())
+    }
+
+    /// The single dispatch (and obs timing) site: every histogram the
+    /// workspace builds through a spec passes through here.
+    fn run(&self, freqs: &[u64], buckets: usize) -> Result<OptResult> {
+        let _timer = construction_timer(self.name());
+        match self.builder() {
+            Some(b) => b.build(freqs, buckets),
+            None => {
+                let BuilderSpec::EndBiased { high, low } = *self else {
+                    unreachable!("only EndBiased lacks a registered builder");
+                };
+                end_biased(freqs, high, low).map(opt_from_histogram)
+            }
+        }
+    }
+
+    /// Parses a CLI spelling: `NAME`, `NAME:β`, or `end_biased:HIGH,LOW`.
+    ///
+    /// Names are matched through [`builder_named`] (case-insensitive,
+    /// `-` ≡ `_`); a missing `:β` falls back to `default_buckets`.
+    /// Unknown names yield [`HistError::UnknownBuilder`], whose message
+    /// lists every valid registry name.
+    pub fn parse(input: &str, default_buckets: usize) -> Result<Self> {
+        let (name, params) = match input.split_once(':') {
+            Some((n, p)) => (n, Some(p)),
+            None => (input, None),
+        };
+        let bad = |why: String| HistError::InvalidAssignment(why);
+        if canonical(name) == "end_biased" {
+            let Some(p) = params else {
+                return Err(bad(
+                    "end_biased needs an explicit HIGH,LOW split (e.g. end_biased:2,1)".into(),
+                ));
+            };
+            let (h, l) = p
+                .split_once(',')
+                .ok_or_else(|| bad(format!("end_biased split '{p}' is not HIGH,LOW")))?;
+            let high = h
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| bad(format!("bad end_biased HIGH '{h}': {e}")))?;
+            let low = l
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| bad(format!("bad end_biased LOW '{l}': {e}")))?;
+            return Ok(BuilderSpec::EndBiased { high, low });
+        }
+        let builder = builder_named(name)?;
+        let buckets = match params {
+            Some(p) => p
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| bad(format!("bad bucket count '{p}': {e}")))?,
+            None => default_buckets,
+        };
+        Ok(builder.spec(buckets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_lookup() {
+        for b in builders() {
+            let found = builder_named(b.name()).unwrap();
+            assert_eq!(found.name(), b.name());
+            // Dashed/uppercase spellings resolve too.
+            let dashed = b.name().replace('_', "-").to_ascii_uppercase();
+            assert_eq!(builder_named(&dashed).unwrap().name(), b.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_names() {
+        let err = builder_named("zipf_magic").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("zipf_magic"), "{msg}");
+        for name in VALID_SPEC_NAMES {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+    }
+
+    #[test]
+    fn specs_clamp_but_strict_does_not() {
+        let freqs = [5u64, 9, 2];
+        let spec = BuilderSpec::VOptEndBiased(10);
+        let h = spec.build(&freqs).unwrap();
+        assert_eq!(h.num_buckets(), 3);
+        assert!(spec.build_strict(&freqs).is_err());
+    }
+
+    #[test]
+    fn build_opt_error_matches_histogram() {
+        let freqs = [13u64, 2, 8, 21, 4, 4, 30, 1];
+        for b in builders() {
+            let opt = b.spec(3).build_opt(&freqs).unwrap();
+            assert!(
+                (opt.error - opt.histogram.self_join_error()).abs() < 1e-9,
+                "{}",
+                b.name()
+            );
+        }
+        let opt = BuilderSpec::EndBiased { high: 2, low: 1 }
+            .build_opt(&freqs)
+            .unwrap();
+        assert!((opt.error - opt.histogram.self_join_error()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_accepts_all_spellings() {
+        assert_eq!(
+            BuilderSpec::parse("v_opt_end_biased", 7).unwrap(),
+            BuilderSpec::VOptEndBiased(7)
+        );
+        assert_eq!(
+            BuilderSpec::parse("V-Opt-Serial:4", 7).unwrap(),
+            BuilderSpec::VOptSerial(4)
+        );
+        assert_eq!(
+            BuilderSpec::parse("trivial", 7).unwrap(),
+            BuilderSpec::Trivial
+        );
+        assert_eq!(
+            BuilderSpec::parse("end_biased:2,1", 7).unwrap(),
+            BuilderSpec::EndBiased { high: 2, low: 1 }
+        );
+        assert!(matches!(
+            BuilderSpec::parse("made_up", 7),
+            Err(HistError::UnknownBuilder { .. })
+        ));
+        assert!(BuilderSpec::parse("end_biased", 7).is_err());
+        assert!(BuilderSpec::parse("max_diff:x", 7).is_err());
+    }
+
+    #[test]
+    fn frequency_basis_matches_paper_taxonomy() {
+        assert!(BuilderSpec::Trivial.is_frequency_based());
+        assert!(!BuilderSpec::EquiWidth(4).is_frequency_based());
+        assert!(!BuilderSpec::EquiDepth(4).is_frequency_based());
+        assert!(BuilderSpec::VOptSerial(4).is_frequency_based());
+        assert!(BuilderSpec::VOptEndBiased(4).is_frequency_based());
+        assert!(BuilderSpec::EndBiased { high: 1, low: 0 }.is_frequency_based());
+        assert!(BuilderSpec::MaxDiff(4).is_frequency_based());
+    }
+}

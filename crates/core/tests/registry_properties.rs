@@ -1,0 +1,84 @@
+//! Property-based tests for the builder registry: every registered
+//! builder stays within its declared [`HistogramClass`], and the serial
+//! optimisers agree when invoked through [`BuilderSpec`]s.
+
+use proptest::prelude::*;
+use vopt_hist::{builders, BuilderSpec, HistogramClass};
+
+/// Frequencies within u32 range keep every Σf² far from u128 overflow.
+/// Strictly positive so class detection is never confused by zero-mass
+/// singleton buckets tying with the multivalued bucket's extremes.
+fn freqs_strategy(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..10_000, 1..=max_len)
+}
+
+proptest! {
+    /// Every registered builder's output classifies within the class the
+    /// registry declares for it: `declared_class().contains(class())`.
+    /// (Containment, not equality — e.g. `v_opt_serial` at β = M yields
+    /// all singletons, which classify as the more specific `EndBiased`.)
+    #[test]
+    fn builders_stay_within_declared_class(
+        freqs in freqs_strategy(12),
+        beta in 1usize..=12,
+    ) {
+        prop_assume!(beta <= freqs.len());
+        for builder in builders() {
+            // Exhaustive search over 12 values is at most C(11, β−1)·β —
+            // small enough to run for every builder.
+            let built = builder.spec(beta).build_strict(&freqs).unwrap().histogram;
+            prop_assert!(
+                builder.declared_class().contains(built.class()),
+                "{} declared {:?} but built {:?}",
+                builder.name(),
+                builder.declared_class(),
+                built.class()
+            );
+        }
+    }
+
+    /// The explicit end-biased split spec also stays within EndBiased.
+    #[test]
+    fn explicit_split_stays_end_biased(
+        freqs in freqs_strategy(10),
+        high in 0usize..=3,
+        low in 0usize..=3,
+    ) {
+        prop_assume!(high + low <= freqs.len());
+        let spec = BuilderSpec::EndBiased { high, low };
+        let built = spec.build_strict(&freqs).unwrap().histogram;
+        prop_assert!(
+            HistogramClass::EndBiased.contains(built.class()),
+            "end_biased({high},{low}) built {:?}",
+            built.class()
+        );
+    }
+
+    /// Theorem 4.1 equivalence survives the registry: the exhaustive
+    /// `v_opt_serial` and the DP `v_opt_serial` specs find the same
+    /// optimum error when both are invoked through `BuilderSpec`.
+    #[test]
+    fn serial_specs_agree(freqs in freqs_strategy(10), beta in 1usize..=10) {
+        prop_assume!(beta <= freqs.len());
+        let dp = BuilderSpec::VOptSerial(beta).build_strict(&freqs).unwrap();
+        let ex = BuilderSpec::VOptSerialExhaustive(beta)
+            .build_strict(&freqs)
+            .unwrap();
+        prop_assert!(
+            (dp.error - ex.error).abs() < 1e-6,
+            "dp {} vs exhaustive {}",
+            dp.error,
+            ex.error
+        );
+    }
+
+    /// The forgiving `build` entry point clamps the budget instead of
+    /// failing, for every registered builder.
+    #[test]
+    fn build_clamps_over_budget(freqs in freqs_strategy(6)) {
+        for builder in builders() {
+            let h = builder.spec(freqs.len() + 5).build(&freqs).unwrap();
+            prop_assert!(h.num_buckets() <= freqs.len(), "{}", builder.name());
+        }
+    }
+}

@@ -23,6 +23,7 @@ use relstore::join::materialize_join;
 use relstore::stats::frequency_table;
 use relstore::{Catalog, Relation, Schema, StoredHistogram};
 use std::collections::{HashMap, HashSet};
+use vopt_hist::BuilderSpec;
 
 /// A registry of relations with statistics, able to execute and estimate
 /// `COUNT(*)` queries.
@@ -59,30 +60,55 @@ impl Engine {
             .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))
     }
 
-    /// ANALYZEs every column of every registered relation: collects the
-    /// value dictionary and stores a v-optimal end-biased histogram with
-    /// `buckets` buckets (the paper's practical recommendation).
+    /// ANALYZEs every column of every registered relation with a
+    /// v-optimal end-biased histogram of `buckets` buckets (the paper's
+    /// practical recommendation). Shorthand for
+    /// [`Engine::analyze_all_with`].
     pub fn analyze_all(&mut self, buckets: usize) -> Result<()> {
+        self.analyze_all_with(BuilderSpec::VOptEndBiased(buckets))
+    }
+
+    /// ANALYZEs every column of every registered relation: collects the
+    /// value dictionary and builds + stores the histogram described by
+    /// `spec`. The scan/build phase is pure and runs across columns in
+    /// parallel; histograms are then inserted sequentially, so the
+    /// resulting catalog (and its binary snapshot) is byte-identical to
+    /// a sequential ANALYZE.
+    pub fn analyze_all_with(&mut self, spec: BuilderSpec) -> Result<()> {
         let _span = obs::span("analyze_all");
-        let names: Vec<String> = self.relations.keys().cloned().collect();
-        for name in names {
-            let relation = &self.relations[&name];
-            let columns: Vec<String> = relation
-                .schema()
-                .columns()
-                .iter()
-                .map(|c| c.name.clone())
-                .collect();
-            for column in columns {
-                let relation = &self.relations[&name];
-                let table = frequency_table(relation, &column)?;
-                self.domains
-                    .insert((name.clone(), column.clone()), table.values.clone());
-                if !table.freqs.is_empty() {
-                    self.catalog
-                        .analyze_end_biased(relation, &column, buckets)?;
-                }
+        let mut names: Vec<&String> = self.relations.keys().collect();
+        names.sort();
+        let work: Vec<(String, String)> = names
+            .into_iter()
+            .flat_map(|name| {
+                self.relations[name]
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(move |c| (name.clone(), c.name.clone()))
+            })
+            .collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let relations = &self.relations;
+        let built = relstore::par_map(work.clone(), threads, |(name, column)| -> Result<_> {
+            let table = frequency_table(&relations[name], column)?;
+            let stored = if table.freqs.is_empty() {
+                None
+            } else {
+                Some(Catalog::build_stored(&table, spec)?)
+            };
+            Ok((table.values, stored))
+        });
+        for ((name, column), result) in work.into_iter().zip(built) {
+            let (values, stored) = result?;
+            if let Some(stored) = stored {
+                self.catalog.put_with_spec(
+                    StatKey::new(name.as_str(), &[column.as_str()]),
+                    stored,
+                    Some(spec),
+                );
             }
+            self.domains.insert((name, column), values);
         }
         Ok(())
     }
@@ -367,7 +393,7 @@ mod tests {
     use freqdist::{Arrangement, FreqMatrix};
     use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
 
-    fn engine_with_chain() -> Engine {
+    fn registered_chain() -> Engine {
         // r0(a), r1(a, b), r2(b): a classic chain.
         let mut e = Engine::new();
         let f0 = zipf_frequencies(200, 10, 1.0).unwrap();
@@ -380,8 +406,49 @@ mod tests {
         e.register(relation_from_matrix("r1", "a", "b", &a_vals, &b_vals, &matrix, 2).unwrap());
         let f2 = zipf_frequencies(150, 10, 0.5).unwrap();
         e.register(relation_from_frequency_set("r2", "b", &f2, 3).unwrap());
+        e
+    }
+
+    fn engine_with_chain() -> Engine {
+        let mut e = registered_chain();
         e.analyze_all(5).unwrap();
         e
+    }
+
+    #[test]
+    fn analyze_all_records_the_build_spec() {
+        let mut e = registered_chain();
+        let spec = BuilderSpec::MaxDiff(4);
+        e.analyze_all_with(spec).unwrap();
+        for key in e.catalog().keys() {
+            assert_eq!(e.catalog().spec_of(&key), Some(spec), "{key:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_analyze_snapshot_matches_sequential() {
+        let spec = BuilderSpec::VOptEndBiased(5);
+        let mut e = registered_chain();
+        e.analyze_all_with(spec).unwrap();
+        let parallel_bytes = relstore::codec::encode_catalog(e.catalog());
+
+        // Sequential reference: one catalog.analyze per column, plain
+        // loop, same spec.
+        let seq = Catalog::new();
+        for name in ["r0", "r1", "r2"] {
+            let rel = e.relation(name).unwrap();
+            let columns: Vec<String> = rel
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect();
+            for column in columns {
+                seq.analyze(rel, &column, spec).unwrap();
+            }
+        }
+        let sequential_bytes = relstore::codec::encode_catalog(&seq);
+        assert_eq!(parallel_bytes, sequential_bytes);
     }
 
     #[test]

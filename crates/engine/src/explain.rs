@@ -249,11 +249,19 @@ impl Engine {
 
     /// Feeds the query's final (estimate, actual) pair to the
     /// estimation-quality monitor under the
-    /// `<query tables>/<histogram class>` scope. The engine's catalog
-    /// histograms are all v-optimal end-biased (`analyze_all`), hence
-    /// the fixed class component.
+    /// `<query tables>/<histogram class>` scope. The class component is
+    /// read from the catalog's recorded build spec (all columns share
+    /// one spec after `analyze_all_with`); entries stored without a
+    /// spec fall back to the engine's default class.
     fn record_query_quality(&self, query: &Query, estimate: f64, actual: u128) {
-        let scope = format!("{}/v_opt_end_biased", query.tables.join(","));
+        let class = self
+            .catalog()
+            .keys()
+            .into_iter()
+            .filter(|k| query.tables.contains(&k.relation))
+            .find_map(|k| self.catalog().spec_of(&k))
+            .map_or("v_opt_end_biased", |s| s.name());
+        let scope = format!("{}/{class}", query.tables.join(","));
         obs::record_quality(&scope, estimate, actual as f64);
     }
 }

@@ -20,7 +20,6 @@ use relstore::generate::relation_from_frequency_set;
 use relstore::sample::{reservoir_sample, top_k_from_sample, SpaceSaving};
 use relstore::stats::frequency_table;
 use std::time::Instant;
-use vopt_hist::construct::{v_opt_serial, v_opt_serial_dp};
 use vopt_hist::RoundingMode;
 
 /// DP vs exhaustive: equality of the optimum and the wall-clock ratio.
@@ -42,10 +41,14 @@ pub fn vopt_dp() -> Table {
             .expect("valid generator")
             .into_vec();
         let t0 = Instant::now();
-        let ex = v_opt_serial(&freqs, beta).expect("valid parameters");
+        let ex = HistogramSpec::VOptSerialExhaustive(beta)
+            .build_strict(&freqs)
+            .expect("valid parameters");
         let t_ex = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let dp = v_opt_serial_dp(&freqs, beta).expect("valid parameters");
+        let dp = HistogramSpec::VOptSerial(beta)
+            .build_strict(&freqs)
+            .expect("valid parameters");
         let t_dp = t1.elapsed().as_secs_f64().max(1e-9);
         let same = (ex.error - dp.error).abs() < 1e-6 * (ex.error + 1.0);
         table.push_row(vec![
@@ -207,12 +210,12 @@ pub fn storage() -> Table {
             .expect("valid Zipf")
             .into_vec();
         let _ = seed;
-        let serial = v_opt_serial_dp(&freqs, beta)
-            .expect("valid parameters")
-            .histogram;
-        let biased = vopt_hist::construct::v_opt_end_biased(&freqs, beta)
-            .expect("valid parameters")
-            .histogram;
+        let serial = HistogramSpec::VOptSerial(beta)
+            .build(&freqs)
+            .expect("valid parameters");
+        let biased = HistogramSpec::VOptEndBiased(beta)
+            .build(&freqs)
+            .expect("valid parameters");
         table.push_row(vec![
             m.to_string(),
             beta.to_string(),

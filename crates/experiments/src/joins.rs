@@ -16,13 +16,13 @@
 //! as the paper notes — its column is included for completeness.
 
 use crate::config::{seed_for, ARRANGEMENTS, RELATION_SIZE};
-use crate::par::par_map;
 use crate::report::{fmt_f64, Table};
 use freqdist::zipf::zipf_frequencies;
 use query::metrics::mean_relative_error;
 use query::montecarlo::{sample_chain, HistogramSpec, RelationSpec};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use relstore::par_map;
 use vopt_hist::RoundingMode;
 
 /// The ten z values of §5.2.

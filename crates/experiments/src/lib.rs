@@ -21,7 +21,6 @@ pub mod ablation;
 pub mod config;
 pub mod fig1;
 pub mod joins;
-pub mod par;
 pub mod plan_regret;
 pub mod real_life;
 pub mod report;

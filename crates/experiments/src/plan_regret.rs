@@ -86,11 +86,7 @@ fn stats_for(query: &ChainQuery, spec: HistogramSpec) -> Vec<RelationStats> {
                 RelationStats::Vector(spec.build(m.cells()).expect("valid build"))
             } else {
                 RelationStats::Matrix(
-                    MatrixHistogram::build(m, |c| {
-                        spec.build(c)
-                            .map_err(|e| vopt_hist::HistError::InvalidAssignment(e.to_string()))
-                    })
-                    .expect("valid build"),
+                    MatrixHistogram::build(m, |c| spec.build(c)).expect("valid build"),
                 )
             }
         })

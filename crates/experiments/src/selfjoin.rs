@@ -14,12 +14,12 @@
 //! deterministic.
 
 use crate::config::{seed_for, ARRANGEMENTS, RELATION_SIZE};
-use crate::par::par_map;
 use crate::report::{fmt_f64, Table};
 use freqdist::zipf::zipf_frequencies;
 use freqdist::FrequencySet;
 use query::metrics::sigma;
 use query::montecarlo::{sample_self_join, HistogramSpec};
+use relstore::par_map;
 use vopt_hist::RoundingMode;
 
 /// The five histogram types of §5.1, in the paper's reporting order.

@@ -13,7 +13,8 @@ use crate::config::seed_for;
 use crate::report::Table;
 use freqdist::generators::random_in_range;
 use std::time::Instant;
-use vopt_hist::construct::{v_opt_end_biased, v_opt_serial_checked, v_opt_serial_dp};
+use vopt_hist::construct::v_opt_serial_checked;
+use vopt_hist::BuilderSpec;
 
 /// Domain sizes for the exhaustive serial columns (larger M at β = 5 is
 /// infeasible — the paper's point).
@@ -66,6 +67,9 @@ pub fn run(serial_cap: u128, dp_max: usize) -> Table {
         let mut row = vec![m.to_string()];
         for beta in [3usize, 5] {
             if exhaustive {
+                // The cap-checked exhaustive search stays a direct call:
+                // its work bound is a measurement-harness concern, not a
+                // construction parameter the builder specs model.
                 let mut out = String::new();
                 let t = time_secs(|| {
                     out = match v_opt_serial_checked(&freqs, beta, serial_cap) {
@@ -81,7 +85,9 @@ pub fn run(serial_cap: u128, dp_max: usize) -> Table {
         for beta in [3usize, 5] {
             if m <= dp_max {
                 let t = time_secs(|| {
-                    let _ = v_opt_serial_dp(&freqs, beta).expect("valid DP parameters");
+                    let _ = BuilderSpec::VOptSerial(beta)
+                        .build_strict(&freqs)
+                        .expect("valid DP parameters");
                 });
                 row.push(fmt_secs(t));
             } else {
@@ -89,7 +95,9 @@ pub fn run(serial_cap: u128, dp_max: usize) -> Table {
             }
         }
         let t = time_secs(|| {
-            let _ = v_opt_end_biased(&freqs, 10.min(m)).expect("valid parameters");
+            let _ = BuilderSpec::VOptEndBiased(10)
+                .build_opt(&freqs)
+                .expect("valid parameters");
         });
         row.push(fmt_secs(t));
         table.push_row(row);

@@ -2,7 +2,7 @@
 //!
 //! Three cooperating layers, all cheap enough to leave on:
 //!
-//! * [`span`] — thread-local hierarchical spans with monotonic timers
+//! * [`mod@span`] — thread-local hierarchical spans with monotonic timers
 //!   and structured key-value events. Span closes feed both the
 //!   metrics registry (a latency histogram per span path) and a
 //!   lock-free ring buffer of recent events.
@@ -87,7 +87,9 @@ pub fn register_well_known() {
         "equi_width",
         "equi_depth",
         "v_opt_serial",
+        "v_opt_serial_exhaustive",
         "v_opt_end_biased",
+        "end_biased",
         "max_diff",
     ] {
         metrics::histogram(&labeled("construction_seconds", "class", class));

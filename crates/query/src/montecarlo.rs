@@ -21,80 +21,17 @@ use freqdist::freq_matrix::F64Matrix;
 use freqdist::{chain_product, chain_product_f64, Arrangement, FreqMatrix, FrequencySet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vopt_hist::construct::{
-    equi_depth, equi_width, max_diff, trivial, v_opt_end_biased, v_opt_serial_dp,
-};
-use vopt_hist::{Histogram, RoundingMode};
+use vopt_hist::RoundingMode;
 
 /// How to build the histogram of one relation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum HistogramSpec {
-    /// One bucket (uniform assumption).
-    Trivial,
-    /// Equi-width with `β` buckets (value-order based).
-    EquiWidth(usize),
-    /// Equi-depth with `β` buckets (value-order based).
-    EquiDepth(usize),
-    /// V-optimal serial with `β` buckets (frequency based; built with the
-    /// DP, which equals the exhaustive optimum).
-    VOptSerial(usize),
-    /// V-optimal end-biased with `β` buckets (frequency based).
-    VOptEndBiased(usize),
-    /// MaxDiff serial heuristic with `β` buckets (frequency based;
-    /// buckets cut at the largest sorted-frequency gaps).
-    MaxDiff(usize),
-}
-
-impl HistogramSpec {
-    /// Whether the histogram depends only on the frequency multiset (and
-    /// therefore permutes with the frequencies across arrangements).
-    pub fn is_frequency_based(&self) -> bool {
-        matches!(
-            self,
-            HistogramSpec::Trivial
-                | HistogramSpec::VOptSerial(_)
-                | HistogramSpec::VOptEndBiased(_)
-                | HistogramSpec::MaxDiff(_)
-        )
-    }
-
-    /// Buckets requested (1 for trivial).
-    pub fn buckets(&self) -> usize {
-        match *self {
-            HistogramSpec::Trivial => 1,
-            HistogramSpec::EquiWidth(b)
-            | HistogramSpec::EquiDepth(b)
-            | HistogramSpec::VOptSerial(b)
-            | HistogramSpec::VOptEndBiased(b)
-            | HistogramSpec::MaxDiff(b) => b,
-        }
-    }
-
-    /// Builds the histogram over a concrete frequency vector.
-    pub fn build(&self, freqs: &[u64]) -> Result<Histogram> {
-        let beta = self.buckets().min(freqs.len());
-        Ok(match *self {
-            HistogramSpec::Trivial => trivial(freqs)?,
-            HistogramSpec::EquiWidth(_) => equi_width(freqs, beta)?,
-            HistogramSpec::EquiDepth(_) => equi_depth(freqs, beta)?,
-            HistogramSpec::VOptSerial(_) => v_opt_serial_dp(freqs, beta)?.histogram,
-            HistogramSpec::VOptEndBiased(_) => v_opt_end_biased(freqs, beta)?.histogram,
-            HistogramSpec::MaxDiff(_) => max_diff(freqs, beta)?.histogram,
-        })
-    }
-
-    /// Short label used by experiment output.
-    pub fn label(&self) -> &'static str {
-        match self {
-            HistogramSpec::Trivial => "trivial",
-            HistogramSpec::EquiWidth(_) => "equi-width",
-            HistogramSpec::EquiDepth(_) => "equi-depth",
-            HistogramSpec::VOptSerial(_) => "serial",
-            HistogramSpec::VOptEndBiased(_) => "end-biased",
-            HistogramSpec::MaxDiff(_) => "maxdiff",
-        }
-    }
-}
+///
+/// This is the core crate's [`vopt_hist::BuilderSpec`] — the same spec
+/// the catalog's ANALYZE pipeline consumes — re-exported under the name
+/// the simulation code has always used. `is_frequency_based` drives the
+/// §5.1 modelling split: frequency-based specs are built once per
+/// frequency set and permuted across arrangements; value-order specs
+/// (equi-width, equi-depth) are rebuilt per arrangement.
+pub use vopt_hist::BuilderSpec as HistogramSpec;
 
 /// One relation of a simulated chain: its frequency set and the shape of
 /// its frequency matrix.

@@ -18,12 +18,11 @@
 use crate::catalog2d::StoredMatrixHistogram;
 use crate::error::{Result, StoreError};
 use crate::relation::Relation;
-use crate::stats::{frequency_matrix_table, frequency_table};
+use crate::stats::{frequency_matrix_table, frequency_table, FrequencyTable};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use vopt_hist::construct::v_opt_end_biased;
-use vopt_hist::{Histogram, MatrixHistogram};
+use vopt_hist::{BuilderSpec, Histogram, MatrixHistogram};
 
 /// A histogram in the paper's compact catalog layout.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -175,12 +174,16 @@ impl StatKey {
 struct Entry {
     histogram: StoredHistogram,
     built_at_version: u64,
+    /// How the histogram was built (None for raw `put`s, e.g. snapshots
+    /// from codec versions that predate spec recording).
+    spec: Option<BuilderSpec>,
 }
 
 #[derive(Debug, Clone)]
 struct MatrixEntry {
     histogram: StoredMatrixHistogram,
     built_at_version: u64,
+    spec: Option<BuilderSpec>,
 }
 
 /// A concurrent statistics catalog.
@@ -202,8 +205,20 @@ impl Catalog {
     }
 
     /// Stores a histogram for `key`, stamping it with the relation's
-    /// current update version.
+    /// current update version. The construction spec is left unrecorded;
+    /// prefer [`Catalog::put_with_spec`] (or the ANALYZE entry points)
+    /// so snapshots can say how the histogram was built.
     pub fn put(&self, key: StatKey, histogram: StoredHistogram) {
+        self.put_with_spec(key, histogram, None);
+    }
+
+    /// Stores a histogram along with the [`BuilderSpec`] that built it.
+    pub fn put_with_spec(
+        &self,
+        key: StatKey,
+        histogram: StoredHistogram,
+        spec: Option<BuilderSpec>,
+    ) {
         obs::counter("catalog_put_total").inc();
         let version = self.version_of(&key.relation);
         self.entries.write().insert(
@@ -211,8 +226,19 @@ impl Catalog {
             Entry {
                 histogram,
                 built_at_version: version,
+                spec,
             },
         );
+    }
+
+    /// The spec a 1-D entry's histogram was built with, if recorded.
+    pub fn spec_of(&self, key: &StatKey) -> Option<BuilderSpec> {
+        self.entries.read().get(key).and_then(|e| e.spec)
+    }
+
+    /// The spec a 2-D entry's histogram was built with, if recorded.
+    pub fn matrix_spec_of(&self, key: &StatKey) -> Option<BuilderSpec> {
+        self.matrix_entries.read().get(key).and_then(|e| e.spec)
     }
 
     /// Fetches a histogram.
@@ -263,27 +289,31 @@ impl Catalog {
         self.entries.read().keys().cloned().collect()
     }
 
-    /// A snapshot of every 1-D entry (for persistence).
-    pub fn snapshot_1d(&self) -> Vec<(StatKey, StoredHistogram)> {
+    /// A snapshot of every 1-D entry (for persistence), sorted by
+    /// `(relation, columns)` so the encoding is order-stable regardless
+    /// of insertion order — parallel and sequential ANALYZE produce
+    /// byte-identical snapshots.
+    pub fn snapshot_1d(&self) -> Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)> {
         let _span = obs::span("catalog_snapshot_1d");
-        let mut all: Vec<(StatKey, StoredHistogram)> = self
+        let mut all: Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)> = self
             .entries
             .read()
             .iter()
-            .map(|(k, e)| (k.clone(), e.histogram.clone()))
+            .map(|(k, e)| (k.clone(), e.histogram.clone(), e.spec))
             .collect();
         all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
         all
     }
 
-    /// A snapshot of every 2-D entry (for persistence).
-    pub fn snapshot_2d(&self) -> Vec<(StatKey, StoredMatrixHistogram)> {
+    /// A snapshot of every 2-D entry (for persistence), sorted like
+    /// [`Catalog::snapshot_1d`].
+    pub fn snapshot_2d(&self) -> Vec<(StatKey, StoredMatrixHistogram, Option<BuilderSpec>)> {
         let _span = obs::span("catalog_snapshot_2d");
-        let mut all: Vec<(StatKey, StoredMatrixHistogram)> = self
+        let mut all: Vec<(StatKey, StoredMatrixHistogram, Option<BuilderSpec>)> = self
             .matrix_entries
             .read()
             .iter()
-            .map(|(k, e)| (k.clone(), e.histogram.clone()))
+            .map(|(k, e)| (k.clone(), e.histogram.clone(), e.spec))
             .collect();
         all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
         all
@@ -321,27 +351,58 @@ impl Catalog {
             .collect()
     }
 
+    /// The build step of the unified ANALYZE pipeline: a collected
+    /// frequency table plus a [`BuilderSpec`] become a compact
+    /// [`StoredHistogram`]. The bucket budget is clamped to the column's
+    /// distinct-value count (the spec's forgiving `build`).
+    ///
+    /// Exposed so callers that already hold a scan result (the engine's
+    /// parallel catalog-wide ANALYZE) run the exact same build as
+    /// [`Catalog::analyze`].
+    pub fn build_stored(table: &FrequencyTable, spec: BuilderSpec) -> Result<StoredHistogram> {
+        let hist = spec.build(&table.freqs)?;
+        StoredHistogram::from_histogram(&table.values, &hist)
+    }
+
     /// End-to-end ANALYZE for one column: runs Algorithm *Matrix* over
-    /// the relation, builds the v-optimal end-biased histogram with
-    /// `buckets` buckets (the paper's recommended practical choice), and
-    /// stores it. Returns the key.
+    /// the relation (scan → frequency table), builds the histogram the
+    /// spec describes, and stores it with the spec recorded. Returns the
+    /// key. This is the single construction pipeline every layer
+    /// (maintenance, engine, CLIs) routes through.
+    pub fn analyze(&self, relation: &Relation, column: &str, spec: BuilderSpec) -> Result<StatKey> {
+        let _span = obs::span("analyze");
+        let table = frequency_table(relation, column)?;
+        let stored = Self::build_stored(&table, spec)?;
+        let key = StatKey::new(relation.name(), &[column]);
+        self.put_with_spec(key.clone(), stored, Some(spec));
+        Ok(key)
+    }
+
+    /// [`Catalog::analyze`] with the paper's recommended practical
+    /// choice, the v-optimal end-biased histogram with `buckets` buckets.
     pub fn analyze_end_biased(
         &self,
         relation: &Relation,
         column: &str,
         buckets: usize,
     ) -> Result<StatKey> {
-        let _span = obs::span("analyze");
-        let table = frequency_table(relation, column)?;
-        let opt = v_opt_end_biased(&table.freqs, buckets.min(table.freqs.len()))?;
-        let stored = StoredHistogram::from_histogram(&table.values, &opt.histogram)?;
-        let key = StatKey::new(relation.name(), &[column]);
-        self.put(key.clone(), stored);
-        Ok(key)
+        self.analyze(relation, column, BuilderSpec::VOptEndBiased(buckets))
     }
 
-    /// Stores a 2-D histogram for an attribute pair.
+    /// Stores a 2-D histogram for an attribute pair (spec unrecorded;
+    /// prefer [`Catalog::put_matrix_with_spec`]).
     pub fn put_matrix(&self, key: StatKey, histogram: StoredMatrixHistogram) {
+        self.put_matrix_with_spec(key, histogram, None);
+    }
+
+    /// Stores a 2-D histogram along with the per-cell-vector
+    /// [`BuilderSpec`] that built it.
+    pub fn put_matrix_with_spec(
+        &self,
+        key: StatKey,
+        histogram: StoredMatrixHistogram,
+        spec: Option<BuilderSpec>,
+    ) {
         obs::counter("catalog_put_total").inc();
         let version = self.version_of(&key.relation);
         self.matrix_entries.write().insert(
@@ -349,6 +410,7 @@ impl Catalog {
             MatrixEntry {
                 histogram,
                 built_at_version: version,
+                spec,
             },
         );
     }
@@ -385,8 +447,29 @@ impl Catalog {
     }
 
     /// End-to-end ANALYZE for an attribute pair: collects the frequency
-    /// matrix (Algorithm *Matrix* on pairs), builds the v-optimal
-    /// end-biased histogram over its cells, and stores it.
+    /// matrix (Algorithm *Matrix* on pairs), builds the spec's histogram
+    /// over its cell vector, and stores it with the spec recorded.
+    pub fn analyze_matrix(
+        &self,
+        relation: &Relation,
+        first: &str,
+        second: &str,
+        spec: BuilderSpec,
+    ) -> Result<StatKey> {
+        let _span = obs::span("analyze_matrix");
+        let table = frequency_matrix_table(relation, first, second)?;
+        let hist = MatrixHistogram::build(&table.matrix, |cells| spec.build(cells))?;
+        let stored = StoredMatrixHistogram::from_matrix_histogram(
+            &table.row_values,
+            &table.col_values,
+            &hist,
+        )?;
+        let key = StatKey::new(relation.name(), &[first, second]);
+        self.put_matrix_with_spec(key.clone(), stored, Some(spec));
+        Ok(key)
+    }
+
+    /// [`Catalog::analyze_matrix`] with the v-optimal end-biased spec.
     pub fn analyze_matrix_end_biased(
         &self,
         relation: &Relation,
@@ -394,19 +477,7 @@ impl Catalog {
         second: &str,
         buckets: usize,
     ) -> Result<StatKey> {
-        let _span = obs::span("analyze_matrix");
-        let table = frequency_matrix_table(relation, first, second)?;
-        let hist = MatrixHistogram::build(&table.matrix, |cells| {
-            Ok(v_opt_end_biased(cells, buckets.min(cells.len()))?.histogram)
-        })?;
-        let stored = StoredMatrixHistogram::from_matrix_histogram(
-            &table.row_values,
-            &table.col_values,
-            &hist,
-        )?;
-        let key = StatKey::new(relation.name(), &[first, second]);
-        self.put_matrix(key.clone(), stored);
-        Ok(key)
+        self.analyze_matrix(relation, first, second, BuilderSpec::VOptEndBiased(buckets))
     }
 }
 

@@ -21,6 +21,7 @@ use crate::catalog::StoredHistogram;
 use crate::catalog2d::StoredMatrixHistogram;
 use crate::error::{Result, StoreError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use vopt_hist::BuilderSpec;
 
 const MAGIC: &[u8; 4] = b"VOH1";
 const MAGIC_2D: &[u8; 4] = b"VOH2";
@@ -289,15 +290,85 @@ mod tests {
     }
 }
 
+/// Encodes a builder spec as a one-byte tag plus parameters. Tag 0 is
+/// "unrecorded" (raw `put`s); every other tag mirrors a
+/// [`BuilderSpec`] variant.
+fn put_spec(buf: &mut BytesMut, spec: Option<BuilderSpec>) {
+    match spec {
+        None => buf.put_u8(0),
+        Some(BuilderSpec::Trivial) => buf.put_u8(1),
+        Some(BuilderSpec::EquiWidth(b)) => {
+            buf.put_u8(2);
+            buf.put_u64_le(b as u64);
+        }
+        Some(BuilderSpec::EquiDepth(b)) => {
+            buf.put_u8(3);
+            buf.put_u64_le(b as u64);
+        }
+        Some(BuilderSpec::VOptSerial(b)) => {
+            buf.put_u8(4);
+            buf.put_u64_le(b as u64);
+        }
+        Some(BuilderSpec::VOptSerialExhaustive(b)) => {
+            buf.put_u8(5);
+            buf.put_u64_le(b as u64);
+        }
+        Some(BuilderSpec::VOptEndBiased(b)) => {
+            buf.put_u8(6);
+            buf.put_u64_le(b as u64);
+        }
+        Some(BuilderSpec::EndBiased { high, low }) => {
+            buf.put_u8(7);
+            buf.put_u64_le(high as u64);
+            buf.put_u64_le(low as u64);
+        }
+        Some(BuilderSpec::MaxDiff(b)) => {
+            buf.put_u8(8);
+            buf.put_u64_le(b as u64);
+        }
+    }
+}
+
+fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
+    need(data, 1, "builder spec tag")?;
+    let tag = data.get_u8();
+    let buckets = |data: &mut Bytes| -> Result<usize> {
+        need(data, 8, "builder spec buckets")?;
+        Ok(data.get_u64_le() as usize)
+    };
+    Ok(match tag {
+        0 => None,
+        1 => Some(BuilderSpec::Trivial),
+        2 => Some(BuilderSpec::EquiWidth(buckets(data)?)),
+        3 => Some(BuilderSpec::EquiDepth(buckets(data)?)),
+        4 => Some(BuilderSpec::VOptSerial(buckets(data)?)),
+        5 => Some(BuilderSpec::VOptSerialExhaustive(buckets(data)?)),
+        6 => Some(BuilderSpec::VOptEndBiased(buckets(data)?)),
+        7 => {
+            let high = buckets(data)?;
+            let low = buckets(data)?;
+            Some(BuilderSpec::EndBiased { high, low })
+        }
+        8 => Some(BuilderSpec::MaxDiff(buckets(data)?)),
+        other => {
+            return Err(StoreError::Codec(format!(
+                "unknown builder spec tag {other}"
+            )))
+        }
+    })
+}
+
 /// Encodes an entire catalog snapshot (all 1-D and 2-D histograms with
-/// their keys) as one binary blob. Staleness counters are deliberately
-/// not persisted: reloaded statistics start fresh, exactly as after an
-/// ANALYZE.
+/// their keys and construction specs) as one binary blob. Staleness
+/// counters are deliberately not persisted: reloaded statistics start
+/// fresh, exactly as after an ANALYZE.
 ///
-/// Layout: magic `VOHC`, `u32` 1-D entry count, entries, `u32` 2-D
+/// Layout: magic `VOHD`, `u32` 1-D entry count, entries, `u32` 2-D
 /// entry count, entries. Each entry is `key` (relation + column list as
-/// length-prefixed UTF-8) followed by a length-prefixed histogram blob
-/// in the `VOH1`/`VOH2` format.
+/// length-prefixed UTF-8), a builder-spec tag (how the histogram was
+/// built — see [`BuilderSpec`]), and a length-prefixed histogram blob
+/// in the `VOH1`/`VOH2` format. (`VOHD` supersedes the spec-less `VOHC`
+/// of earlier builds.)
 pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
     fn put_str(buf: &mut BytesMut, s: &str) {
         buf.put_u32_le(s.len() as u32);
@@ -313,17 +384,19 @@ pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
     let ones = catalog.snapshot_1d();
     let twos = catalog.snapshot_2d();
     let mut buf = BytesMut::new();
-    buf.put_slice(b"VOHC");
+    buf.put_slice(b"VOHD");
     buf.put_u32_le(ones.len() as u32);
-    for (key, hist) in &ones {
+    for (key, hist, spec) in &ones {
         put_key(&mut buf, key);
+        put_spec(&mut buf, *spec);
         let blob = encode_histogram(hist);
         buf.put_u32_le(blob.len() as u32);
         buf.put_slice(&blob);
     }
     buf.put_u32_le(twos.len() as u32);
-    for (key, hist) in &twos {
+    for (key, hist, spec) in &twos {
         put_key(&mut buf, key);
+        put_spec(&mut buf, *spec);
         let blob = encode_matrix_histogram(hist);
         buf.put_u32_le(blob.len() as u32);
         buf.put_slice(&blob);
@@ -361,9 +434,9 @@ pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
     need(&data, 4, "magic")?;
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
-    if &magic != b"VOHC" {
+    if &magic != b"VOHD" {
         return Err(StoreError::Codec(format!(
-            "bad catalog magic {magic:?}, expected VOHC"
+            "bad catalog magic {magic:?}, expected VOHD"
         )));
     }
     let catalog = crate::catalog::Catalog::new();
@@ -371,15 +444,17 @@ pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
     let n1 = data.get_u32_le() as usize;
     for _ in 0..n1 {
         let key = get_key(&mut data)?;
+        let spec = get_spec(&mut data)?;
         let hist = decode_histogram(get_blob(&mut data)?)?;
-        catalog.put(key, hist);
+        catalog.put_with_spec(key, hist, spec);
     }
     need(&data, 4, "2-D entry count")?;
     let n2 = data.get_u32_le() as usize;
     for _ in 0..n2 {
         let key = get_key(&mut data)?;
+        let spec = get_spec(&mut data)?;
         let hist = decode_matrix_histogram(get_blob(&mut data)?)?;
-        catalog.put_matrix(key, hist);
+        catalog.put_matrix_with_spec(key, hist, spec);
     }
     if data.has_remaining() {
         return Err(StoreError::Codec(format!(

@@ -35,6 +35,7 @@ pub mod generate;
 pub mod join;
 pub mod joint;
 pub mod maintenance;
+pub mod par;
 pub mod relation;
 pub mod sample;
 pub mod schema;
@@ -43,5 +44,6 @@ pub mod stats;
 pub use catalog::{Catalog, StoredHistogram};
 pub use catalog2d::StoredMatrixHistogram;
 pub use error::{Result, StoreError};
+pub use par::par_map;
 pub use relation::Relation;
 pub use schema::{ColumnDef, Schema};

@@ -12,6 +12,7 @@
 use crate::catalog::{Catalog, StatKey};
 use crate::error::Result;
 use crate::relation::Relation;
+use vopt_hist::BuilderSpec;
 
 /// When to re-ANALYZE a column's statistics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,16 +53,19 @@ pub enum MaintenanceOutcome {
 }
 
 /// Checks one single-column entry against the policy and re-ANALYZEs it
-/// when due. Returns what happened.
+/// when due (through [`Catalog::analyze`], the same scan → build →
+/// store pipeline the original ANALYZE used). Returns what happened.
 ///
-/// The rebuilt histogram uses the same bucket budget as requested; the
-/// relation is scanned with Algorithm *Matrix* exactly as the original
-/// ANALYZE did.
+/// `spec` describes the histogram to build when the column has never
+/// been analyzed. A refresh of an existing entry reuses the spec the
+/// catalog recorded at build time, so maintenance never silently
+/// changes a histogram's class; entries without a recorded spec (raw
+/// `put`s) fall back to `spec`.
 pub fn maintain_column(
     catalog: &Catalog,
     relation: &Relation,
     column: &str,
-    buckets: usize,
+    spec: BuilderSpec,
     policy: &RefreshPolicy,
 ) -> Result<MaintenanceOutcome> {
     let key = StatKey::new(relation.name(), &[column]);
@@ -69,12 +73,13 @@ pub fn maintain_column(
         Ok(s) => s,
         // Never analyzed: build the first histogram now.
         Err(_) => {
-            catalog.analyze_end_biased(relation, column, buckets)?;
+            catalog.analyze(relation, column, spec)?;
             return Ok(MaintenanceOutcome::Refreshed);
         }
     };
     if policy.due(staleness, relation.num_rows()) {
-        catalog.analyze_end_biased(relation, column, buckets)?;
+        let refresh_spec = catalog.spec_of(&key).unwrap_or(spec);
+        catalog.analyze(relation, column, refresh_spec)?;
         Ok(MaintenanceOutcome::Refreshed)
     } else {
         Ok(MaintenanceOutcome::Fresh)
@@ -86,6 +91,8 @@ mod tests {
     use super::*;
     use crate::generate::relation_from_frequency_set;
     use freqdist::FrequencySet;
+
+    const SPEC: BuilderSpec = BuilderSpec::VOptEndBiased(3);
 
     fn relation() -> Relation {
         let freqs = FrequencySet::new(vec![50, 30, 10, 5, 5]);
@@ -111,7 +118,7 @@ mod tests {
     fn first_maintenance_analyzes() {
         let cat = Catalog::new();
         let rel = relation();
-        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Refreshed);
         assert!(cat.get(&StatKey::new("t", &["c"])).is_ok());
     }
@@ -120,8 +127,8 @@ mod tests {
     fn fresh_statistics_are_left_alone() {
         let cat = Catalog::new();
         let rel = relation();
-        maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
-        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Fresh);
     }
 
@@ -130,21 +137,37 @@ mod tests {
         let cat = Catalog::new();
         let rel = relation();
         let key = StatKey::new("t", &["c"]);
-        maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
         // 100 rows → threshold 50 + 10 = 60.
         cat.note_updates("t", 61);
-        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Refreshed);
         assert_eq!(cat.staleness(&key).unwrap(), 0);
+    }
+
+    #[test]
+    fn refresh_reuses_recorded_spec() {
+        let cat = Catalog::new();
+        let rel = relation();
+        let key = StatKey::new("t", &["c"]);
+        let original = BuilderSpec::MaxDiff(2);
+        maintain_column(&cat, &rel, "c", original, &RefreshPolicy::default()).unwrap();
+        assert_eq!(cat.spec_of(&key), Some(original));
+        cat.note_updates("t", 61);
+        // The different spec passed at refresh time is only a fallback;
+        // the entry keeps the class it was originally built with.
+        let out = maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Refreshed);
+        assert_eq!(cat.spec_of(&key), Some(original));
     }
 
     #[test]
     fn below_threshold_updates_do_not_refresh() {
         let cat = Catalog::new();
         let rel = relation();
-        maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
         cat.note_updates("t", 30);
-        let out = maintain_column(&cat, &rel, "c", 3, &RefreshPolicy::default()).unwrap();
+        let out = maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
         assert_eq!(out, MaintenanceOutcome::Fresh);
         assert_eq!(cat.staleness(&StatKey::new("t", &["c"])).unwrap(), 30);
     }

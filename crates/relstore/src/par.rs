@@ -1,10 +1,13 @@
 //! Minimal fork-join parallel map built on crossbeam's scoped threads.
 //!
-//! The figure sweeps are embarrassingly parallel across their x-axis
-//! points; this helper fans each point out to a scoped worker while
-//! preserving input order. Timing experiments (Table 1, ablations) stay
-//! sequential on purpose — wall-clock numbers should not fight for
-//! cores.
+//! Originally an experiments-local helper for the figure sweeps, now
+//! shared here so catalog-wide ANALYZE ([`crate::catalog`] consumers
+//! such as the engine) can build every column's histogram in parallel.
+//! Work is fanned out in contiguous chunks to at most `max_threads`
+//! scoped workers while preserving input order, so a parallel ANALYZE
+//! stores exactly what the sequential one would. Timing experiments
+//! (Table 1, ablations) stay sequential on purpose — wall-clock numbers
+//! should not fight for cores.
 
 /// Applies `f` to every item, in parallel, preserving order.
 ///
@@ -54,6 +57,19 @@ mod tests {
     }
 
     #[test]
+    fn preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in 1..=12 {
+            assert_eq!(
+                par_map(items.clone(), threads, |&x| x * x + 1),
+                expected,
+                "order broken at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
     fn single_thread_path() {
         let out = par_map(vec![1, 2, 3], 1, |&x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
@@ -69,5 +85,22 @@ mod tests {
     fn more_threads_than_items() {
         let out = par_map(vec![7], 16, |&x| x);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let _ = par_map((0u64..32).collect(), 4, |&x| {
+            if x == 17 {
+                panic!("boom at {x}");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn panic_on_single_thread_path_propagates_too() {
+        let _ = par_map(vec![1u64], 1, |_| -> u64 { panic!("boom") });
     }
 }

@@ -7,6 +7,7 @@ use relstore::catalog::StatKey;
 use relstore::codec::{decode_catalog, encode_catalog};
 use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
 use relstore::Catalog;
+use vopt_hist::BuilderSpec;
 
 fn populated_catalog() -> Catalog {
     let cat = Catalog::new();
@@ -42,6 +43,38 @@ fn snapshot_round_trips_every_entry() {
         cat.get_matrix(&key2d).unwrap(),
         restored.get_matrix(&key2d).unwrap()
     );
+}
+
+#[test]
+fn snapshot_round_trips_builder_specs() {
+    let cat = populated_catalog();
+    let restored = decode_catalog(encode_catalog(&cat)).unwrap();
+
+    for key in cat.keys() {
+        assert_eq!(cat.spec_of(&key), restored.spec_of(&key), "{key:?}");
+        assert!(cat.spec_of(&key).is_some(), "{key:?} analyzed without spec");
+    }
+    let key2d = StatKey::new("emp", &["dept", "year"]);
+    assert_eq!(cat.matrix_spec_of(&key2d), restored.matrix_spec_of(&key2d));
+    assert_eq!(
+        restored.matrix_spec_of(&key2d),
+        Some(BuilderSpec::VOptEndBiased(3))
+    );
+}
+
+#[test]
+fn raw_puts_round_trip_without_spec() {
+    // Histograms stored directly (not through ANALYZE) have no recorded
+    // spec; the snapshot must preserve that rather than invent one.
+    use relstore::catalog::StoredHistogram;
+    let cat = Catalog::new();
+    let hist = vopt_hist::construct::end_biased(&[90, 10, 5, 5], 1, 1).unwrap();
+    let stored = StoredHistogram::from_histogram(&[1, 2, 3, 4], &hist).unwrap();
+    let key = StatKey::new("raw", &["c"]);
+    cat.put(key.clone(), stored);
+    let restored = decode_catalog(encode_catalog(&cat)).unwrap();
+    assert_eq!(restored.spec_of(&key), None);
+    assert_eq!(cat.get(&key).unwrap(), restored.get(&key).unwrap());
 }
 
 #[test]
@@ -131,7 +164,7 @@ mod properties {
     }
 
     proptest! {
-        /// The VOHC snapshot is lossless for arbitrary catalog contents.
+        /// The VOHD snapshot is lossless for arbitrary catalog contents.
         #[test]
         fn snapshot_round_trips_any_contents(contents in contents_strategy()) {
             let (relations, with_matrix) = contents;

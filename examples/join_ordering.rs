@@ -15,8 +15,7 @@ use freqdist::zipf::zipf_frequencies;
 use freqdist::{Arrangement, FreqMatrix};
 use query::planner::{estimated_segment_sizes, exact_segment_sizes, optimal_plan, plan_cost};
 use query::{ChainQuery, RelationStats};
-use vopt_hist::construct::{trivial, v_opt_end_biased};
-use vopt_hist::{MatrixHistogram, RoundingMode};
+use vopt_hist::{BuilderSpec, MatrixHistogram, RoundingMode};
 
 fn main() {
     // Build a 5-relation chain with mixed skews; arrangements are seeded
@@ -46,12 +45,11 @@ fn main() {
             .matrices()
             .iter()
             .map(|mat| {
-                let build = |cells: &[u64]| match beta {
-                    None => trivial(cells),
-                    Some(b) => Ok(v_opt_end_biased(cells, b.min(cells.len()))
-                        .expect("valid parameters")
-                        .histogram),
+                let spec = match beta {
+                    None => BuilderSpec::Trivial,
+                    Some(b) => BuilderSpec::VOptEndBiased(b),
                 };
+                let build = |cells: &[u64]| spec.build(cells);
                 if mat.rows() == 1 || mat.cols() == 1 {
                     RelationStats::Vector(build(mat.cells()).expect("valid"))
                 } else {
@@ -74,7 +72,7 @@ fn main() {
         "statistics", "chosen plan", "true cost", "regret"
     );
 
-    let mut report = |name: &str, stats: Option<Vec<RelationStats>>| {
+    let report = |name: &str, stats: Option<Vec<RelationStats>>| {
         let sizes = match &stats {
             None => exact.clone(),
             Some(s) => estimated_segment_sizes(&query, s, RoundingMode::Exact).expect("sizes"),

@@ -13,6 +13,7 @@ use relstore::codec::{decode_histogram, encode_histogram};
 use relstore::generate::relation_from_frequency_set;
 use relstore::join::hash_join_count;
 use relstore::Catalog;
+use vopt_hist::BuilderSpec;
 
 fn main() {
     // Two relations joining on "part": orders is heavily skewed, stock is
@@ -22,14 +23,16 @@ fn main() {
     let orders = relation_from_frequency_set("orders", "part", &orders_freqs, 1).expect("valid");
     let stock = relation_from_frequency_set("stock", "part", &stock_freqs, 2).expect("valid");
 
-    // ANALYZE: collect frequencies and store v-optimal end-biased
-    // histograms (β = 10, DB2-style) in the catalog.
+    // ANALYZE: collect frequencies and store the histogram the builder
+    // spec describes — v-optimal end-biased, β = 10, DB2-style. Swapping
+    // the whole pipeline to another class is a one-word change here.
+    let spec = BuilderSpec::VOptEndBiased(10);
     let catalog = Catalog::new();
     let orders_key = catalog
-        .analyze_end_biased(&orders, "part", 10)
+        .analyze(&orders, "part", spec)
         .expect("analyze orders");
     let stock_key = catalog
-        .analyze_end_biased(&stock, "part", 10)
+        .analyze(&stock, "part", spec)
         .expect("analyze stock");
 
     // Persist and reload through the binary codec, as a catalog table

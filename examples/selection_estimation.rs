@@ -8,8 +8,7 @@
 
 use freqdist::zipf::zipf_frequencies;
 use query::selection::Selection;
-use vopt_hist::construct::{equi_width, v_opt_serial_dp};
-use vopt_hist::RoundingMode;
+use vopt_hist::{BuilderSpec, RoundingMode};
 
 fn main() {
     // A skewed attribute over 50 values. The value indices 0..50 are the
@@ -25,8 +24,8 @@ fn main() {
     }
 
     let beta = 6;
-    let serial = v_opt_serial_dp(&freqs, beta).expect("valid").histogram;
-    let width = equi_width(&freqs, beta).expect("valid");
+    let serial = BuilderSpec::VOptSerial(beta).build(&freqs).expect("valid");
+    let width = BuilderSpec::EquiWidth(beta).build(&freqs).expect("valid");
 
     let queries: Vec<(&str, Selection)> = vec![
         ("a = hottest", Selection::Equals(3)), // rank 0 landed at index 3

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The full CI gate, runnable locally and offline:
-#   formatting, lints-as-errors, release build, and the test suite.
-# The release build + `cargo test -q` pair is the tier-1 gate; fmt and
-# clippy keep the tree warning-free.
+#   formatting, lints-as-errors, docs-as-errors, the builder-registry
+#   dispatch guard, release build, and the test suite.
+# The release build + `cargo test -q` pair is the tier-1 gate; fmt,
+# clippy, and rustdoc keep the tree warning-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +12,29 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> cargo doc --no-deps (warnings denied, own crates only)"
+# The vendored crates under vendor/ carry their upstream rustdoc
+# warnings; the gate covers the crates this repo authors.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p histograms-repro -p freqdist -p vopt-hist -p relstore \
+  -p query -p engine -p experiments -p obs -p hist-bench
+
+echo "==> builder-registry dispatch guard"
+# Histogram-constructor dispatch must live in the registry alone: a
+# `match` arm (or other `=>` branch) that calls a raw constructor
+# outside crates/core/src/registry.rs reintroduces the per-layer class
+# switches this refactor removed. Direct (non-dispatch) constructor
+# calls in tests and ground-truth checks remain fine.
+guard_pattern='=>[^=]*\b(trivial|equi_width|equi_depth|v_opt_serial|v_opt_serial_dp|v_opt_end_biased|max_diff|end_biased)\s*\('
+if grep -RnE "$guard_pattern" \
+    --include='*.rs' \
+    src tests examples crates \
+    | grep -v 'crates/core/src/registry.rs'; then
+  echo "error: histogram-constructor dispatch found outside the builder registry" >&2
+  echo "       (route it through vopt_hist::BuilderSpec instead)" >&2
+  exit 1
+fi
 
 echo "==> cargo build --release"
 cargo build --release

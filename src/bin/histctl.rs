@@ -6,6 +6,8 @@
 //! ```text
 //! histctl generate --rows 10000 --distinct 500 --skew 1.2 --out orders.csv
 //! histctl analyze  --input orders.csv --column part --buckets 10 --out orders.voh
+//! histctl analyze  --input orders.csv --column part --buckets 10 \
+//!                  --class max_diff --out orders.voh
 //! histctl inspect  --hist orders.voh
 //! histctl estimate-eq   --hist orders.voh --value 42
 //! histctl estimate-join --left orders.voh --right stock.voh --domain 500
@@ -23,21 +25,25 @@ use relstore::stats::frequency_table;
 use relstore::{Relation, StoredHistogram};
 use std::collections::HashMap;
 use std::process::ExitCode;
-use vopt_hist::construct::v_opt_end_biased;
+use vopt_hist::BuilderSpec;
 
 const USAGE: &str = "usage: histctl <command> [--flag value]...
 commands:
   generate      --rows N --distinct M --skew Z --out FILE.csv [--column NAME] [--seed S]
-  analyze       --input FILE.csv --column NAME --buckets B --out FILE.voh
+  analyze       --input FILE.csv --column NAME --buckets B --out FILE.voh [--class CLASS]
   inspect       --hist FILE.voh
   estimate-eq   --hist FILE.voh --value V
   estimate-join --left A.voh --right B.voh --domain MAX_VALUE
-  query         --sql QUERY --tables name=a.csv,name2=b.csv [--buckets B]
+  query         --sql QUERY --tables name=a.csv,name2=b.csv [--buckets B] [--class CLASS]
                 (executes COUNT(*) exactly and prints the histogram estimate)
   metrics       [--format prometheus|json] [--buckets B] [--seed S]
                 (runs a demo workload and prints the observability snapshot:
                  catalog hit/miss counters, per-class construction latency,
-                 span timings, and per-histogram Q-error aggregates)";
+                 span timings, and per-histogram Q-error aggregates)
+
+CLASS names a registered histogram builder (default v_opt_end_biased),
+optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
+'end_biased:H,L' for an explicit high/low split.";
 
 /// Writes payload to stdout. A reader that closes the pipe early
 /// (`histctl inspect ... | head`) ends the process quietly instead of
@@ -95,6 +101,17 @@ fn parse_num<T: std::str::FromStr>(value: &str, name: &str) -> Result<T, String>
         .map_err(|_| format!("--{name}: cannot parse '{value}'"))
 }
 
+/// Resolves the optional `--class` flag against the builder registry.
+/// Unknown names surface the registry's own error, which lists every
+/// valid spelling.
+fn class_spec(flags: &HashMap<String, String>, buckets: usize) -> Result<BuilderSpec, String> {
+    let class = flags
+        .get("class")
+        .map(String::as_str)
+        .unwrap_or("v_opt_end_biased");
+    BuilderSpec::parse(class, buckets).map_err(|e| e.to_string())
+}
+
 /// Writes a relation as CSV via `relstore::csv`.
 fn write_csv(relation: &Relation, path: &str) -> Result<(), String> {
     let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
@@ -145,18 +162,19 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     if table.freqs.is_empty() {
         return Err(format!("{input}: column '{column}' has no values"));
     }
-    let opt = v_opt_end_biased(&table.freqs, buckets.min(table.freqs.len()))
-        .map_err(|e| e.to_string())?;
+    let spec = class_spec(flags, buckets)?;
+    let opt = spec.build_opt(&table.freqs).map_err(|e| e.to_string())?;
     let stored = StoredHistogram::from_histogram(&table.values, &opt.histogram)
         .map_err(|e| e.to_string())?;
     let bytes = encode_histogram(&stored);
     std::fs::write(out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
     outln!(
-        "analyzed {} rows, {} distinct values -> {} buckets, {} catalog entries, \
+        "analyzed {} rows, {} distinct values -> {} {} buckets, {} catalog entries, \
          self-join error {:.1}; wrote {} bytes to {out}",
         relation.num_rows(),
         table.num_values(),
         stored.num_buckets(),
+        spec.name(),
         stored.storage_entries(),
         opt.error,
         bytes.len()
@@ -212,15 +230,16 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|b| parse_num(b, "buckets"))
         .transpose()?
         .unwrap_or(10);
+    let spec = class_spec(flags, buckets)?;
     let mut eng = engine::Engine::new();
-    for spec in tables.split(',') {
-        let (name, path) = spec
+    for entry in tables.split(',') {
+        let (name, path) = entry
             .split_once('=')
-            .ok_or_else(|| format!("--tables entry '{spec}' is not name=file.csv"))?;
+            .ok_or_else(|| format!("--tables entry '{entry}' is not name=file.csv"))?;
         let relation = read_csv(path.trim(), name.trim())?;
         eng.register(relation);
     }
-    eng.analyze_all(buckets).map_err(|e| e.to_string())?;
+    eng.analyze_all_with(spec).map_err(|e| e.to_string())?;
     let query = eng.parse(sql).map_err(|e| e.to_string())?;
     let actual = eng.execute(&query).map_err(|e| e.to_string())?;
     let estimate = eng.estimate(&query).map_err(|e| e.to_string())?;
@@ -229,7 +248,11 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         (estimate.max(1e-9) / a).max(a / estimate.max(1e-9))
     };
     outln!("actual   {actual}");
-    outln!("estimate {estimate:.0}   (beta={buckets}, q-error {q_err:.2}x)");
+    outln!(
+        "estimate {estimate:.0}   (class={}, beta={}, q-error {q_err:.2}x)",
+        spec.name(),
+        spec.buckets()
+    );
     Ok(())
 }
 
@@ -265,16 +288,15 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     // construction feeds its `construction_seconds{class=...}` latency
     // histogram, and the self-join estimate feeds a `self_join/<class>`
     // Q-error scope.
-    use query::montecarlo::{sample_self_join, HistogramSpec};
+    use query::montecarlo::sample_self_join;
     let freqs = zipf_frequencies(100_000, 500, 1.2).map_err(|e| e.to_string())?;
-    for spec in [
-        HistogramSpec::Trivial,
-        HistogramSpec::EquiWidth(buckets),
-        HistogramSpec::EquiDepth(buckets),
-        HistogramSpec::VOptSerial(buckets),
-        HistogramSpec::VOptEndBiased(buckets),
-        HistogramSpec::MaxDiff(buckets),
-    ] {
+    for builder in vopt_hist::builders() {
+        // The exhaustive serial search is combinatorial in the domain
+        // size (Table 1's point); the demo workload skips it.
+        if builder.name() == "v_opt_serial_exhaustive" {
+            continue;
+        }
+        let spec = builder.spec(buckets);
         sample_self_join(&freqs, spec, 3, seed, vopt_hist::RoundingMode::Exact)
             .map_err(|e| e.to_string())?;
     }

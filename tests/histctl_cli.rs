@@ -1,0 +1,134 @@
+//! CLI-level tests for `histctl`, driving the real binary: the builder
+//! registry is the single source of histogram-class names, so unknown
+//! `--class` values must fail with the registry's error (listing every
+//! valid name) on stderr and a nonzero exit code, while every valid name
+//! analyzes cleanly.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn histctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_histctl"))
+        .args(args)
+        .output()
+        .expect("histctl binary runs")
+}
+
+/// A scratch directory unique to this test binary's process.
+fn scratch(file: &str) -> String {
+    let mut dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    dir.push("histctl_cli");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.push(file);
+    dir.to_str().expect("utf-8 path").to_string()
+}
+
+fn generate_csv(name: &str) -> String {
+    let csv = scratch(name);
+    let out = histctl(&[
+        "generate",
+        "--rows",
+        "5000",
+        "--distinct",
+        "100",
+        "--skew",
+        "1.0",
+        "--out",
+        &csv,
+    ]);
+    assert!(out.status.success(), "generate failed: {out:?}");
+    csv
+}
+
+#[test]
+fn unknown_class_fails_listing_valid_names() {
+    let csv = generate_csv("unknown_class.csv");
+    let voh = scratch("unknown_class.voh");
+    let out = histctl(&[
+        "analyze",
+        "--input",
+        &csv,
+        "--column",
+        "value",
+        "--buckets",
+        "5",
+        "--out",
+        &voh,
+        "--class",
+        "zipf_magic",
+    ]);
+    assert!(!out.status.success(), "unknown class must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown histogram class 'zipf_magic'"),
+        "stderr should name the bad class: {stderr}"
+    );
+    // The registry's error lists every valid spelling.
+    for name in ["v_opt_end_biased", "v_opt_serial", "max_diff", "equi_depth"] {
+        assert!(stderr.contains(name), "stderr should list {name}: {stderr}");
+    }
+    assert!(
+        String::from_utf8_lossy(&out.stdout).is_empty(),
+        "errors must not pollute stdout"
+    );
+}
+
+#[test]
+fn every_registry_class_analyzes() {
+    let csv = generate_csv("all_classes.csv");
+    for class in [
+        "trivial",
+        "equi_width",
+        "equi_depth",
+        "v_opt_serial",
+        "v_opt_end_biased",
+        "max_diff",
+        "end_biased:2,1",
+    ] {
+        let voh = scratch(&format!("{}.voh", class.replace([':', ','], "_")));
+        let out = histctl(&[
+            "analyze",
+            "--input",
+            &csv,
+            "--column",
+            "value",
+            "--buckets",
+            "5",
+            "--out",
+            &voh,
+            "--class",
+            class,
+        ]);
+        assert!(
+            out.status.success(),
+            "--class {class} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let inspect = histctl(&["inspect", "--hist", &voh]);
+        assert!(inspect.status.success(), "inspect failed for {class}");
+    }
+}
+
+#[test]
+fn class_flag_reaches_query_pipeline() {
+    let csv = generate_csv("query_class.csv");
+    let out = histctl(&[
+        "query",
+        "--sql",
+        "SELECT COUNT(*) FROM t WHERE t.value = 0",
+        "--tables",
+        &format!("t={csv}"),
+        "--class",
+        "max_diff",
+    ]);
+    assert!(
+        out.status.success(),
+        "query with --class failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("class=max_diff"),
+        "estimate line should echo the class: {stdout}"
+    );
+}
