@@ -1,0 +1,197 @@
+//! Brute-force ground truth.
+//!
+//! Everything here is computed the slow, obviously-correct way: exact
+//! join sizes as integer sums, optimality by exhaustive enumeration of
+//! all serial partitions, and the error deviation σ by enumerating *all*
+//! `n!` arrangements of a small domain (§3.2 defines optimality in
+//! expectation over exactly that ensemble). The invariant checks compare
+//! the production constructions and estimators against these.
+
+use freqdist::arrangement::AllArrangements;
+use freqdist::FreqMatrix;
+use relstore::generate::{relation_from_frequency_set, relation_from_matrix};
+use relstore::join::chain_join_count;
+use relstore::Relation;
+use vopt_hist::partition::{ContiguousPartitions, SortedFreqs};
+use vopt_hist::{Histogram, RoundingMode};
+
+/// Exact self-join size `Σ tᵢ²`.
+pub fn self_join_size(freqs: &[u64]) -> u128 {
+    freqs.iter().map(|&f| (f as u128) * (f as u128)).sum()
+}
+
+/// Exact equality-join size `Σᵥ a(v)·b(v)` of two relations whose
+/// frequency vectors are aligned on the same value order.
+pub fn join_size(a: &[u64], b: &[u64]) -> u128 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as u128) * (y as u128))
+        .sum()
+}
+
+/// Every serial histogram over `freqs` with exactly `buckets` buckets:
+/// all `C(M−1, β−1)` contiguous partitions of the sorted frequencies
+/// (Definition 2.1 / Algorithm V-OptHist's search space).
+pub fn all_serial_histograms(freqs: &[u64], buckets: usize) -> Result<Vec<Histogram>, String> {
+    let sorted = SortedFreqs::new(freqs);
+    let partitions = ContiguousPartitions::new(freqs.len(), buckets)
+        .map_err(|e| format!("partition enumeration: {e}"))?;
+    partitions
+        .map(|cuts| {
+            sorted
+                .histogram_from_cuts(freqs, &cuts)
+                .map_err(|e| format!("cuts {cuts:?}: {e}"))
+        })
+        .collect()
+}
+
+/// The minimal self-join error (formula (3), `Σ PᵢVᵢ`) over every serial
+/// histogram with `buckets` buckets — the exhaustive optimum the DP and
+/// the exhaustive builder must both attain.
+pub fn min_serial_error(freqs: &[u64], buckets: usize) -> Result<f64, String> {
+    all_serial_histograms(freqs, buckets)?
+        .iter()
+        .map(Histogram::self_join_error)
+        .min_by(f64::total_cmp)
+        .ok_or_else(|| "no serial partitions".to_string())
+}
+
+/// The error deviation `σ = sqrt(E[(S − S')²])` of a histogram over a
+/// 2-relation equality join, with the expectation taken over *all*
+/// arrangements of both relations' frequency sets.
+///
+/// `errors[i] = tᵢ − âᵢ` is the histogram's per-value approximation
+/// error and `probe` the other relation's frequencies. For a pair of
+/// independent uniform arrangements `(a, b)`, the difference
+/// `S − S' = Σᵥ errors[a(v)]·probe[b(v)]` depends only on the relative
+/// permutation `b⁻¹∘a`, which is itself uniform — so enumerating single
+/// permutations is exactly the two-sided expectation at `1/n!` the cost.
+pub fn sigma_over_arrangements(errors: &[f64], probe: &[u64]) -> f64 {
+    assert_eq!(errors.len(), probe.len(), "domain sizes must match");
+    let n = errors.len();
+    let mut sum_sq = 0.0f64;
+    let mut count = 0u64;
+    for arrangement in AllArrangements::new(n) {
+        let idx = arrangement.indices();
+        let diff: f64 = (0..n).map(|v| errors[idx[v]] * probe[v] as f64).sum();
+        sum_sq += diff * diff;
+        count += 1;
+    }
+    (sum_sq / count as f64).sqrt()
+}
+
+/// The per-value approximation errors `tᵢ − âᵢ` of a histogram, in exact
+/// (unrounded) mode.
+pub fn approximation_errors(freqs: &[u64], hist: &Histogram) -> Vec<f64> {
+    freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| f as f64 - hist.approx_frequency(i, RoundingMode::Exact))
+        .collect()
+}
+
+/// Materialises the relations of a chain template and executes the chain
+/// join tuple-by-tuple — the ground truth Theorem 2.1's matrix product
+/// must reproduce.
+///
+/// Relation `k` carries columns `a{k−1}` (join with the previous
+/// relation) and `a{k}` (join with the next); the end vectors carry one
+/// column each.
+pub fn chain_ground_truth(matrices: &[FreqMatrix], seed: u64) -> Result<u128, String> {
+    let relations = chain_relations(matrices, seed)?;
+    let refs: Vec<&Relation> = relations.iter().collect();
+    let join_names: Vec<(String, String)> = (0..matrices.len() - 1)
+        .map(|k| (format!("a{k}"), format!("a{k}")))
+        .collect();
+    let joins: Vec<(&str, &str)> = join_names
+        .iter()
+        .map(|(l, r)| (l.as_str(), r.as_str()))
+        .collect();
+    chain_join_count(&refs, &joins).map_err(|e| format!("chain execution: {e}"))
+}
+
+/// Builds concrete relations realising a chain template's frequency
+/// matrices (used both by [`chain_ground_truth`] and the engine checks).
+pub fn chain_relations(matrices: &[FreqMatrix], seed: u64) -> Result<Vec<Relation>, String> {
+    matrices
+        .iter()
+        .enumerate()
+        .map(|(k, m)| {
+            let name = format!("r{k}");
+            if m.rows() == 1 && k == 0 {
+                relation_from_frequency_set(
+                    name,
+                    "a0",
+                    &freqdist::FrequencySet::new(m.cells().to_vec()),
+                    seed.wrapping_add(k as u64),
+                )
+            } else if m.cols() == 1 && k == matrices.len() - 1 {
+                relation_from_frequency_set(
+                    name,
+                    &format!("a{}", k - 1),
+                    &freqdist::FrequencySet::new(m.cells().to_vec()),
+                    seed.wrapping_add(k as u64),
+                )
+            } else {
+                let row_values: Vec<u64> = (0..m.rows() as u64).collect();
+                let col_values: Vec<u64> = (0..m.cols() as u64).collect();
+                relation_from_matrix(
+                    name,
+                    &format!("a{}", k - 1),
+                    &format!("a{k}"),
+                    &row_values,
+                    &col_values,
+                    m,
+                    seed.wrapping_add(k as u64),
+                )
+            }
+            .map_err(|e| format!("relation r{k}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vopt_hist::BuilderSpec;
+
+    #[test]
+    fn exact_sizes() {
+        assert_eq!(self_join_size(&[3, 2, 1]), 14);
+        assert_eq!(join_size(&[3, 2, 1], &[1, 1, 2]), 7);
+        assert_eq!(join_size(&[], &[]), 0);
+    }
+
+    #[test]
+    fn serial_enumeration_contains_the_dp_optimum() {
+        let freqs = [13u64, 2, 8, 21, 4, 4];
+        let min = min_serial_error(&freqs, 3).unwrap();
+        let dp = BuilderSpec::VOptSerial(3).build_opt(&freqs).unwrap();
+        assert!((dp.error - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sigma_is_zero_for_perfect_histograms() {
+        let errors = [0.0; 5];
+        assert_eq!(sigma_over_arrangements(&errors, &[5, 4, 3, 2, 1]), 0.0);
+    }
+
+    #[test]
+    fn sigma_positive_for_lossy_histograms() {
+        let freqs = [10u64, 5, 1, 1, 1];
+        let h = BuilderSpec::Trivial.build(&freqs).unwrap();
+        let errors = approximation_errors(&freqs, &h);
+        assert!(sigma_over_arrangements(&errors, &[3, 3, 2, 1, 1]) > 0.0);
+    }
+
+    #[test]
+    fn chain_ground_truth_matches_theorem_2_1_example() {
+        // Example 2.2 of the paper: exact size 19,265.
+        let matrices = vec![
+            FreqMatrix::horizontal(vec![20, 15]),
+            FreqMatrix::from_rows(2, 3, vec![25, 10, 12, 4, 12, 3]).unwrap(),
+            FreqMatrix::vertical(vec![21, 16, 5]),
+        ];
+        assert_eq!(chain_ground_truth(&matrices, 1).unwrap(), 19_265);
+    }
+}

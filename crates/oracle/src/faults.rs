@@ -1,0 +1,466 @@
+//! Deterministic fault injection against the storage and maintenance
+//! layers.
+//!
+//! A [`FailpointStore`] wraps a [`Catalog`] and applies *armed*
+//! [`Failpoint`]s at well-defined points: snapshot encoding (byte
+//! corruption, truncation) and the scan→build→store refresh pipeline
+//! (mid-refresh aborts through [`RefreshStage`] hooks). Every fault is
+//! derived from the workload seed — no randomness at injection time —
+//! so a failing run reproduces exactly.
+//!
+//! The scenarios in [`run_fault_checks`] prove the paper-adjacent
+//! engineering claim the rest of the workspace relies on: **statistics
+//! corruption is always a typed error, never a wrong estimate**, and an
+//! interrupted refresh leaves the previous statistics (and their
+//! staleness accounting) fully intact.
+
+use crate::report::FaultReport;
+use crate::workload::Workload;
+use bytes::Bytes;
+use relstore::catalog::StatKey;
+use relstore::codec::{decode_catalog, encode_catalog};
+use relstore::generate::{relation_from_frequencies, relation_from_matrix};
+use relstore::maintenance::{maintain_column_with_hook, MaintenanceOutcome, RefreshPolicy};
+use relstore::{Catalog, RefreshStage, Relation, StoreError};
+use vopt_hist::BuilderSpec;
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Failpoint {
+    /// XOR one byte of the next snapshot at `offset % len`. A zero mask
+    /// is replaced by `0xA5` so the fault always changes the byte.
+    CorruptSnapshotByte {
+        /// Raw offset; reduced modulo the snapshot length when applied.
+        offset: u64,
+        /// XOR mask applied to the byte.
+        xor: u8,
+    },
+    /// Truncate the next snapshot to `keep % len` bytes (always a real
+    /// truncation: the reduction can never equal the full length).
+    TruncateSnapshot {
+        /// Raw length to keep; reduced modulo the snapshot length.
+        keep: u64,
+    },
+    /// Abort the next refresh that reaches `stage`, as a crash or I/O
+    /// error at that point of the ANALYZE pipeline would.
+    AbortRefresh {
+        /// The pipeline stage at which the refresh dies.
+        stage: RefreshStage,
+    },
+}
+
+/// A [`Catalog`] wrapper that applies armed [`Failpoint`]s to the
+/// operations passing through it, and records which ones actually fired
+/// (an armed-but-never-fired fault is a coverage bug the fault checks
+/// refuse to pass).
+#[derive(Debug)]
+pub struct FailpointStore {
+    catalog: Catalog,
+    armed: Vec<Failpoint>,
+    fired: Vec<Failpoint>,
+}
+
+impl FailpointStore {
+    /// Wraps a catalog with no faults armed.
+    pub fn new(catalog: Catalog) -> Self {
+        Self {
+            catalog,
+            armed: Vec::new(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// The wrapped catalog (reads pass through unmodified; faults only
+    /// affect snapshots and refreshes taken through this wrapper).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Arms a fault for the next matching operation.
+    pub fn arm(&mut self, fault: Failpoint) {
+        self.armed.push(fault);
+    }
+
+    /// Every fault that has fired so far, in firing order.
+    pub fn fired(&self) -> &[Failpoint] {
+        &self.fired
+    }
+
+    /// Whether every armed fault has fired.
+    pub fn all_fired(&self) -> bool {
+        self.armed.is_empty()
+    }
+
+    /// Encodes a catalog snapshot, applying (and consuming) every armed
+    /// snapshot fault in arming order. With no snapshot faults armed
+    /// this is exactly [`encode_catalog`].
+    pub fn snapshot(&mut self) -> Bytes {
+        let clean = encode_catalog(&self.catalog);
+        let mut data = clean.to_vec();
+        let mut remaining = Vec::new();
+        for fault in self.armed.drain(..) {
+            match fault {
+                Failpoint::CorruptSnapshotByte { offset, xor } if !data.is_empty() => {
+                    let i = (offset as usize) % data.len();
+                    data[i] ^= if xor == 0 { 0xA5 } else { xor };
+                    self.fired.push(fault);
+                }
+                Failpoint::TruncateSnapshot { keep } if !data.is_empty() => {
+                    let k = (keep as usize) % data.len();
+                    data.truncate(k);
+                    self.fired.push(fault);
+                }
+                other => remaining.push(other),
+            }
+        }
+        self.armed = remaining;
+        Bytes::from(data)
+    }
+
+    /// Runs one maintenance pass, injecting the first armed
+    /// [`Failpoint::AbortRefresh`] as a hook error at its stage. The
+    /// fault is consumed only if the refresh actually reached that stage
+    /// (a pass that refreshes nothing leaves it armed).
+    pub fn maintain_column(
+        &mut self,
+        relation: &Relation,
+        column: &str,
+        spec: BuilderSpec,
+        policy: &RefreshPolicy,
+    ) -> relstore::Result<MaintenanceOutcome> {
+        let pos = self
+            .armed
+            .iter()
+            .position(|f| matches!(f, Failpoint::AbortRefresh { .. }));
+        let Some(pos) = pos else {
+            return maintain_column_with_hook(
+                &self.catalog,
+                relation,
+                column,
+                spec,
+                policy,
+                &mut |_| Ok(()),
+            );
+        };
+        let Failpoint::AbortRefresh { stage } = self.armed[pos] else {
+            unreachable!("position matched AbortRefresh");
+        };
+        let mut fired = false;
+        let result =
+            maintain_column_with_hook(&self.catalog, relation, column, spec, policy, &mut |s| {
+                if s == stage {
+                    fired = true;
+                    Err(StoreError::InvalidParameter(format!(
+                        "failpoint: refresh aborted at {s:?}"
+                    )))
+                } else {
+                    Ok(())
+                }
+            });
+        if fired {
+            let fault = self.armed.remove(pos);
+            self.fired.push(fault);
+        }
+        result
+    }
+}
+
+/// The spec every fault scenario analyzes with.
+const SPEC: BuilderSpec = BuilderSpec::VOptEndBiased(3);
+
+/// Builds the reference catalog the fault scenarios corrupt: two 1-D
+/// entries and one 2-D entry, analyzed from materialised relations of
+/// the workload's medium sets and first 3-relation chain. Returns the
+/// catalog and the relation backing the first entry (the maintenance
+/// scenario's target).
+pub fn build_reference_catalog(w: &Workload) -> Result<(Catalog, Relation), String> {
+    let catalog = Catalog::new();
+    let mut first_relation = None;
+    for (i, set) in w.medium_sets.iter().take(2).enumerate() {
+        let values: Vec<u64> = set
+            .freqs
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(v, _)| v as u64)
+            .collect();
+        let nz = freqdist::FrequencySet::new(
+            set.freqs
+                .as_slice()
+                .iter()
+                .copied()
+                .filter(|&f| f > 0)
+                .collect(),
+        );
+        if values.is_empty() {
+            continue;
+        }
+        let rel = relation_from_frequencies(
+            format!("f{i}"),
+            "a",
+            &values,
+            &nz,
+            w.subseed(9000 + i as u64),
+        )
+        .map_err(|e| format!("reference relation f{i}: {e}"))?;
+        catalog
+            .analyze(&rel, "a", SPEC)
+            .map_err(|e| format!("reference ANALYZE f{i}: {e}"))?;
+        if first_relation.is_none() {
+            first_relation = Some(rel);
+        }
+    }
+    let first_relation = first_relation.ok_or("no non-empty medium set in workload")?;
+    if let Some(chain) = w.chains.iter().find(|c| c.matrices.len() >= 3) {
+        let m = &chain.matrices[1];
+        let rows: Vec<u64> = (0..m.rows() as u64).collect();
+        let cols: Vec<u64> = (0..m.cols() as u64).collect();
+        let rel = relation_from_matrix("f2", "a", "b", &rows, &cols, m, w.subseed(9100))
+            .map_err(|e| format!("reference matrix relation: {e}"))?;
+        catalog
+            .analyze_matrix(&rel, "a", "b", SPEC)
+            .map_err(|e| format!("reference matrix ANALYZE: {e}"))?;
+    }
+    Ok((catalog, first_relation))
+}
+
+/// Asserts the wrapped catalog still snapshots to `clean` and that the
+/// clean snapshot decodes — "the catalog is left readable" half of
+/// every scenario.
+fn assert_still_readable(
+    store: &mut FailpointStore,
+    clean: &Bytes,
+    failures: &mut Vec<String>,
+    context: &str,
+) {
+    let again = store.snapshot();
+    if again != *clean {
+        failures.push(format!(
+            "{context}: catalog snapshot changed after fault injection"
+        ));
+    } else if let Err(e) = decode_catalog(again) {
+        failures.push(format!(
+            "{context}: clean snapshot no longer decodes after fault injection: {e}"
+        ));
+    }
+}
+
+fn corruption_scenario(w: &Workload) -> FaultReport {
+    const NAME: &str = "snapshot_corruption_detected";
+    let mut failures = Vec::new();
+    let mut injected = 0;
+    match build_reference_catalog(w) {
+        Err(e) => failures.push(e),
+        Ok((catalog, _)) => {
+            let mut store = FailpointStore::new(catalog);
+            let clean = store.snapshot();
+            if let Err(e) = decode_catalog(clean.clone()) {
+                failures.push(format!("reference snapshot does not decode: {e}"));
+            }
+            for i in 0..24u64 {
+                let sub = w.subseed(5000 + i);
+                store.arm(Failpoint::CorruptSnapshotByte {
+                    offset: sub,
+                    xor: (sub >> 56) as u8,
+                });
+                let corrupted = store.snapshot();
+                injected += 1;
+                match decode_catalog(corrupted) {
+                    Err(StoreError::Codec(_)) => {}
+                    Err(other) => failures.push(format!(
+                        "flip #{i}: corruption surfaced as {other:?}, not a Codec error"
+                    )),
+                    Ok(_) => failures.push(format!(
+                        "flip #{i} (offset {} of {}): decode ACCEPTED a corrupted snapshot",
+                        (sub as usize) % clean.len(),
+                        clean.len()
+                    )),
+                }
+            }
+            if !store.all_fired() {
+                failures.push("some armed corruption faults never fired".into());
+            }
+            assert_still_readable(&mut store, &clean, &mut failures, "after corruption");
+        }
+    }
+    FaultReport::from_failures(NAME, injected, failures)
+}
+
+fn truncation_scenario(w: &Workload) -> FaultReport {
+    const NAME: &str = "snapshot_truncation_detected";
+    let mut failures = Vec::new();
+    let mut injected = 0;
+    match build_reference_catalog(w) {
+        Err(e) => failures.push(e),
+        Ok((catalog, _)) => {
+            let mut store = FailpointStore::new(catalog);
+            let clean = store.snapshot();
+            for i in 0..16u64 {
+                let keep = w.subseed(6000 + i);
+                store.arm(Failpoint::TruncateSnapshot { keep });
+                let truncated = store.snapshot();
+                injected += 1;
+                match decode_catalog(truncated) {
+                    Err(StoreError::Codec(_)) => {}
+                    Err(other) => failures.push(format!(
+                        "cut #{i}: truncation surfaced as {other:?}, not a Codec error"
+                    )),
+                    Ok(_) => failures.push(format!(
+                        "cut #{i} (kept {} of {}): decode ACCEPTED a truncated snapshot",
+                        (keep as usize) % clean.len(),
+                        clean.len()
+                    )),
+                }
+            }
+            if !store.all_fired() {
+                failures.push("some armed truncation faults never fired".into());
+            }
+            assert_still_readable(&mut store, &clean, &mut failures, "after truncation");
+        }
+    }
+    FaultReport::from_failures(NAME, injected, failures)
+}
+
+fn aborted_refresh_scenario(w: &Workload) -> FaultReport {
+    const NAME: &str = "aborted_refresh_preserves_catalog";
+    let mut failures = Vec::new();
+    let mut injected = 0;
+    match build_reference_catalog(w) {
+        Err(e) => failures.push(e),
+        Ok((catalog, relation)) => {
+            let key = StatKey::new(relation.name(), &["a"]);
+            let before = match catalog.get(&key) {
+                Ok(h) => h,
+                Err(e) => {
+                    failures.push(format!("reference entry missing: {e}"));
+                    return FaultReport::from_failures(NAME, injected, failures);
+                }
+            };
+            let mut store = FailpointStore::new(catalog);
+            let policy = RefreshPolicy::default();
+            let mut expected_staleness = 0u64;
+            for stage in [RefreshStage::BeforeScan, RefreshStage::BeforeStore] {
+                // Make the column overdue, then kill the refresh.
+                store.catalog().note_updates(relation.name(), 1_000_000);
+                expected_staleness += 1_000_000;
+                store.arm(Failpoint::AbortRefresh { stage });
+                injected += 1;
+                match store.maintain_column(&relation, "a", SPEC, &policy) {
+                    Err(StoreError::InvalidParameter(msg)) if msg.contains("failpoint") => {}
+                    Err(other) => failures.push(format!(
+                        "{stage:?}: abort surfaced as unexpected error {other:?}"
+                    )),
+                    Ok(outcome) => failures.push(format!(
+                        "{stage:?}: aborted refresh reported success ({outcome:?})"
+                    )),
+                }
+                match store.catalog().get(&key) {
+                    Ok(h) if h == before => {}
+                    Ok(_) => failures.push(format!(
+                        "{stage:?}: aborted refresh REPLACED the stored histogram"
+                    )),
+                    Err(e) => failures.push(format!(
+                        "{stage:?}: aborted refresh lost the stored histogram: {e}"
+                    )),
+                }
+                match store.catalog().staleness(&key) {
+                    Ok(s) if s == expected_staleness => {}
+                    Ok(s) => failures.push(format!(
+                        "{stage:?}: staleness {s} ≠ expected {expected_staleness} — \
+                         the aborted refresh touched the update accounting"
+                    )),
+                    Err(e) => failures.push(format!("{stage:?}: staleness lookup failed: {e}")),
+                }
+            }
+            if !store.all_fired() {
+                failures.push("some armed abort faults never fired".into());
+            }
+            // Recovery: with no fault armed, the very next pass succeeds
+            // and resets staleness — the failure was transient, not
+            // sticky.
+            match store.maintain_column(&relation, "a", SPEC, &policy) {
+                Ok(MaintenanceOutcome::Refreshed) => match store.catalog().staleness(&key) {
+                    Ok(0) => {}
+                    Ok(s) => failures.push(format!("recovery left staleness at {s}")),
+                    Err(e) => failures.push(format!("recovery staleness lookup failed: {e}")),
+                },
+                Ok(other) => failures.push(format!("recovery pass did nothing ({other:?})")),
+                Err(e) => failures.push(format!("recovery pass failed: {e}")),
+            }
+        }
+    }
+    FaultReport::from_failures(NAME, injected, failures)
+}
+
+/// Runs every fault scenario, in [`crate::report::EXPECTED_FAULTS`]
+/// order.
+pub fn run_fault_checks(w: &Workload) -> Vec<FaultReport> {
+    let _span = obs::span("oracle_faults");
+    let reports = vec![
+        corruption_scenario(w),
+        truncation_scenario(w),
+        aborted_refresh_scenario(w),
+    ];
+    for r in &reports {
+        obs::counter(if r.passed {
+            "oracle_faults_passed_total"
+        } else {
+            "oracle_faults_failed_total"
+        })
+        .inc();
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Tier;
+
+    #[test]
+    fn all_fault_scenarios_pass_on_a_quick_workload() {
+        let w = Workload::generate(5, Tier::Quick);
+        for report in run_fault_checks(&w) {
+            assert!(report.injected > 0, "{} injected nothing", report.name);
+            assert!(
+                report.passed,
+                "{} failed: {:?}",
+                report.name, report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_failpoint_fires_and_is_detected() {
+        let w = Workload::generate(1, Tier::Quick);
+        let (catalog, _) = build_reference_catalog(&w).unwrap();
+        let mut store = FailpointStore::new(catalog);
+        store.arm(Failpoint::CorruptSnapshotByte { offset: 10, xor: 0 });
+        assert!(!store.all_fired());
+        let corrupted = store.snapshot();
+        assert!(store.all_fired());
+        assert_eq!(store.fired().len(), 1);
+        assert!(matches!(
+            decode_catalog(corrupted),
+            Err(StoreError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn abort_failpoint_stays_armed_when_no_refresh_runs() {
+        let w = Workload::generate(2, Tier::Quick);
+        let (catalog, relation) = build_reference_catalog(&w).unwrap();
+        let mut store = FailpointStore::new(catalog);
+        store.arm(Failpoint::AbortRefresh {
+            stage: RefreshStage::BeforeScan,
+        });
+        // Fresh statistics → nothing to refresh → fault must NOT fire.
+        let out = store
+            .maintain_column(&relation, "a", SPEC, &RefreshPolicy::default())
+            .unwrap();
+        assert_eq!(out, MaintenanceOutcome::Fresh);
+        assert!(!store.all_fired());
+        assert!(store.fired().is_empty());
+    }
+}

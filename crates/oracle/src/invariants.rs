@@ -1,0 +1,803 @@
+//! The paper's theorems as machine-checked invariants.
+//!
+//! Each check runs one claim of the paper against the brute-force ground
+//! truth of [`crate::exact`] over every relevant case of a
+//! [`Workload`], returning a [`CheckReport`]. All histogram builds go
+//! through [`BuilderSpec`] — the same single dispatch site production
+//! code uses — so a regression in the registry is caught here, not just
+//! a regression in the raw constructors.
+//!
+//! | check | paper claim |
+//! |---|---|
+//! | `serial_dp_matches_exhaustive_optimum` | Theorem 4.1: the DP and Algorithm V-OptHist reach the same optimum |
+//! | `theorem_3_3_v_optimal_minimizes_sigma` | Theorem 3.3: v-optimal serial minimises σ over all arrangements |
+//! | `query_independence_self_join_optimum` | §3.3: the σ-optimal histogram is the self-join-error optimum |
+//! | `theorem_4_2_end_biased_optimal_split` | Theorem 4.2: V-OptBiasHist finds the best end-biased split |
+//! | `exact_when_buckets_cover_domain` | β = M histograms estimate exactly, end to end |
+//! | `prop_3_1_self_join_error_formula` | Proposition 3.1: `S − S' = Σ PᵢVᵢ ≥ 0` |
+//! | `differential_catalog_engine_consistency` | core build ≡ ANALYZE ≡ snapshot reload ≡ engine SQL |
+//! | `theorem_2_1_chain_product_matches_execution` | Theorem 2.1: matrix product = executed chain size |
+
+use crate::exact;
+use crate::report::CheckReport;
+use crate::workload::Workload;
+use query::model::{ChainQuery, RelationStats};
+use relstore::catalog::StatKey;
+use relstore::codec::{decode_catalog, encode_catalog};
+use relstore::generate::relation_from_frequencies;
+use relstore::{Catalog, StoredHistogram};
+use vopt_hist::{builders, BuilderSpec, Histogram, MatrixHistogram, RoundingMode};
+
+/// Cap on recorded failure messages per check, keeping reports bounded
+/// even when a regression breaks every case.
+const MAX_FAILURES: usize = 20;
+
+fn push_fail(failures: &mut Vec<String>, msg: String) {
+    if failures.len() < MAX_FAILURES {
+        failures.push(msg);
+    }
+}
+
+/// Relative-tolerance float comparison used by every invariant check.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+/// The sum of squared within-bucket deviations `Σᵢ PᵢVᵢ`, recomputed
+/// from first principles (bucket membership and raw frequencies only) —
+/// deliberately *not* using the histogram's own error accounting, so the
+/// Proposition 3.1 check is a genuine cross-implementation comparison.
+pub fn sse_from_assignment(freqs: &[u64], hist: &Histogram) -> f64 {
+    let n = hist.num_buckets();
+    let mut sums = vec![0.0f64; n];
+    let mut counts = vec![0u64; n];
+    for (i, &f) in freqs.iter().enumerate() {
+        let b = hist.bucket_of(i) as usize;
+        sums[b] += f as f64;
+        counts[b] += 1;
+    }
+    let means: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect();
+    freqs
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let d = f as f64 - means[hist.bucket_of(i) as usize];
+            d * d
+        })
+        .sum()
+}
+
+/// Bucket budgets applicable to a domain of `n` values.
+fn betas_for(w: &Workload, n: usize) -> impl Iterator<Item = usize> + '_ {
+    w.betas.iter().copied().filter(move |&b| b <= n)
+}
+
+/// Theorem 4.1: the `O(M²β)` dynamic program and the exhaustive
+/// Algorithm V-OptHist both attain the enumerated serial optimum.
+pub fn check_serial_dp_matches_exhaustive_optimum(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_dp_vs_exhaustive");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for set in &w.small_sets {
+        let freqs = set.freqs.as_slice();
+        for beta in betas_for(w, freqs.len()) {
+            cases += 1;
+            let min = match exact::min_serial_error(freqs, beta) {
+                Ok(m) => m,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{} β={beta}: {e}", set.name));
+                    continue;
+                }
+            };
+            for spec in [
+                BuilderSpec::VOptSerial(beta),
+                BuilderSpec::VOptSerialExhaustive(beta),
+            ] {
+                match spec.build_opt(freqs) {
+                    Ok(opt) if approx_eq(opt.error, min) => {}
+                    Ok(opt) => push_fail(
+                        &mut failures,
+                        format!(
+                            "{} β={beta}: {} error {} ≠ enumerated optimum {min}",
+                            set.name,
+                            spec.name(),
+                            opt.error
+                        ),
+                    ),
+                    Err(e) => push_fail(
+                        &mut failures,
+                        format!("{} β={beta}: {} failed: {e}", set.name, spec.name()),
+                    ),
+                }
+            }
+        }
+    }
+    CheckReport::from_failures("serial_dp_matches_exhaustive_optimum", cases, failures)
+}
+
+/// All serial histograms of `freqs` with `beta` buckets, paired with
+/// their self-join error and their error deviation σ against `probe`
+/// (enumerated over every arrangement).
+fn serial_error_sigma_table(
+    freqs: &[u64],
+    beta: usize,
+    probe: &[u64],
+) -> Result<Vec<(f64, f64)>, String> {
+    Ok(exact::all_serial_histograms(freqs, beta)?
+        .iter()
+        .map(|h| {
+            let errors = exact::approximation_errors(freqs, h);
+            (
+                h.self_join_error(),
+                exact::sigma_over_arrangements(&errors, probe),
+            )
+        })
+        .collect())
+}
+
+/// A deterministic probe frequency set (the "other relation" of the
+/// 2-way join σ is defined over): the set's own frequencies reversed.
+fn probe_for(freqs: &[u64]) -> Vec<u64> {
+    freqs.iter().rev().copied().collect()
+}
+
+/// Theorem 3.3: among all serial histograms, the v-optimal one minimises
+/// the error deviation σ of a 2-way equality join, with the expectation
+/// taken over *all* arrangements of the joined relations.
+pub fn check_theorem_3_3_v_optimal_minimizes_sigma(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_theorem_3_3");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for set in &w.small_sets {
+        let freqs = set.freqs.as_slice();
+        let probe = probe_for(freqs);
+        for beta in betas_for(w, freqs.len()) {
+            cases += 1;
+            let table = match serial_error_sigma_table(freqs, beta, &probe) {
+                Ok(t) => t,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{} β={beta}: {e}", set.name));
+                    continue;
+                }
+            };
+            let min_sigma = table
+                .iter()
+                .map(|&(_, s)| s)
+                .min_by(f64::total_cmp)
+                .unwrap_or(f64::NAN);
+            let vopt = match BuilderSpec::VOptSerial(beta).build_opt(freqs) {
+                Ok(opt) => opt.histogram,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{} β={beta}: v-opt: {e}", set.name));
+                    continue;
+                }
+            };
+            let errors = exact::approximation_errors(freqs, &vopt);
+            let sigma = exact::sigma_over_arrangements(&errors, &probe);
+            if !approx_eq(sigma, min_sigma) {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{} β={beta}: v-optimal σ={sigma} exceeds the serial minimum {min_sigma}",
+                        set.name
+                    ),
+                );
+            }
+        }
+    }
+    CheckReport::from_failures("theorem_3_3_v_optimal_minimizes_sigma", cases, failures)
+}
+
+/// Query independence (§3.3): the histogram minimising the self-join
+/// error formula is the one minimising σ — optimising for the self-join
+/// is optimising for every (arrangement-averaged) equality join.
+pub fn check_query_independence_self_join_optimum(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_query_independence");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for set in &w.small_sets {
+        let freqs = set.freqs.as_slice();
+        let probe = probe_for(freqs);
+        for beta in betas_for(w, freqs.len()) {
+            cases += 1;
+            let table = match serial_error_sigma_table(freqs, beta, &probe) {
+                Ok(t) => t,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{} β={beta}: {e}", set.name));
+                    continue;
+                }
+            };
+            let min_error = table
+                .iter()
+                .map(|&(e, _)| e)
+                .min_by(f64::total_cmp)
+                .unwrap_or(f64::NAN);
+            let min_sigma = table
+                .iter()
+                .map(|&(_, s)| s)
+                .min_by(f64::total_cmp)
+                .unwrap_or(f64::NAN);
+            // The best σ among error-optimal histograms must *be* the
+            // global σ minimum: no other serial histogram beats the
+            // self-join optimum on any arrangement-averaged join.
+            let sigma_of_error_optimum = table
+                .iter()
+                .filter(|&&(e, _)| approx_eq(e, min_error))
+                .map(|&(_, s)| s)
+                .min_by(f64::total_cmp)
+                .unwrap_or(f64::NAN);
+            if !approx_eq(sigma_of_error_optimum, min_sigma) {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{} β={beta}: self-join optimum has σ={sigma_of_error_optimum} \
+                         but some serial histogram achieves σ={min_sigma}",
+                        set.name
+                    ),
+                );
+            }
+        }
+    }
+    CheckReport::from_failures("query_independence_self_join_optimum", cases, failures)
+}
+
+/// Theorem 4.2: Algorithm V-OptBiasHist's result equals the best
+/// explicit end-biased split, and the class ordering
+/// `serial optimum ≤ end-biased optimum` holds (end-biased histograms
+/// are serial, so they can never beat the serial optimum).
+pub fn check_theorem_4_2_end_biased_optimal_split(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_theorem_4_2");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for set in &w.small_sets {
+        let freqs = set.freqs.as_slice();
+        for beta in betas_for(w, freqs.len()) {
+            cases += 1;
+            // Enumerate every explicit split with at most β buckets
+            // (h + l singletons plus the pooled middle).
+            let mut best_split = f64::INFINITY;
+            for high in 0..beta {
+                for low in 0..beta - high {
+                    if let Ok(opt) = (BuilderSpec::EndBiased { high, low }).build_strict(freqs) {
+                        best_split = best_split.min(opt.error);
+                    }
+                }
+            }
+            match BuilderSpec::VOptEndBiased(beta).build_opt(freqs) {
+                Ok(opt) => {
+                    if !approx_eq(opt.error, best_split) {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{} β={beta}: V-OptBiasHist error {} ≠ best explicit split {}",
+                                set.name, opt.error, best_split
+                            ),
+                        );
+                    }
+                    match exact::min_serial_error(freqs, beta) {
+                        Ok(serial_min) if serial_min <= opt.error + 1e-9 => {}
+                        Ok(serial_min) => push_fail(
+                            &mut failures,
+                            format!(
+                                "{} β={beta}: end-biased error {} beats the serial optimum \
+                                 {serial_min}, impossible for a serial subclass",
+                                set.name, opt.error
+                            ),
+                        ),
+                        Err(e) => push_fail(&mut failures, format!("{} β={beta}: {e}", set.name)),
+                    }
+                }
+                Err(e) => push_fail(
+                    &mut failures,
+                    format!("{} β={beta}: V-OptBiasHist failed: {e}", set.name),
+                ),
+            }
+        }
+    }
+    CheckReport::from_failures("theorem_4_2_end_biased_optimal_split", cases, failures)
+}
+
+/// With as many buckets as distinct values, every registered builder
+/// must estimate exactly — per value, in aggregate, and through the
+/// compact catalog layout.
+pub fn check_exact_when_buckets_cover_domain(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_exactness");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for set in w.small_sets.iter().chain(&w.medium_sets) {
+        let freqs = set.freqs.as_slice();
+        let n = freqs.len();
+        for builder in builders() {
+            let spec = builder.spec(n);
+            if spec.buckets() != n {
+                // The trivial builder ignores the budget; one bucket
+                // cannot be exact on a non-constant set.
+                continue;
+            }
+            cases += 1;
+            let hist = match spec.build(freqs) {
+                Ok(h) => h,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{} {}: {e}", set.name, spec.name()));
+                    continue;
+                }
+            };
+            if hist.self_join_error().abs() > 1e-9 {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{} {}: β=M histogram has error {}",
+                        set.name,
+                        spec.name(),
+                        hist.self_join_error()
+                    ),
+                );
+            }
+            for (i, &f) in freqs.iter().enumerate() {
+                let approx = hist.approx_frequency(i, RoundingMode::Exact);
+                if !approx_eq(approx, f as f64) {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{} {}: value {i} approximated {approx} ≠ exact {f}",
+                            set.name,
+                            spec.name()
+                        ),
+                    );
+                    break;
+                }
+            }
+            let values: Vec<u64> = (0..n as u64).collect();
+            match StoredHistogram::from_histogram(&values, &hist) {
+                Ok(stored) => {
+                    for (i, &f) in freqs.iter().enumerate() {
+                        if stored.approx_frequency(i as u64) != f {
+                            push_fail(
+                                &mut failures,
+                                format!(
+                                    "{} {}: stored layout approximates value {i} as {} ≠ {f}",
+                                    set.name,
+                                    spec.name(),
+                                    stored.approx_frequency(i as u64)
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+                Err(e) => push_fail(
+                    &mut failures,
+                    format!(
+                        "{} {}: stored conversion failed: {e}",
+                        set.name,
+                        spec.name()
+                    ),
+                ),
+            }
+        }
+    }
+    CheckReport::from_failures("exact_when_buckets_cover_domain", cases, failures)
+}
+
+/// Proposition 3.1: for every builder and budget, the reported self-join
+/// error equals both the independently recomputed `Σ PᵢVᵢ` and the
+/// directly measured `S − S'`, and is never negative (histograms never
+/// overestimate a self-join in exact mode).
+pub fn check_prop_3_1_self_join_error_formula(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_prop_3_1");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for set in &w.medium_sets {
+        let freqs = set.freqs.as_slice();
+        let s_exact = exact::self_join_size(freqs) as f64;
+        for builder in builders() {
+            // The exhaustive serial builder is exponential in β and
+            // checked on the small sets (Theorem 4.1); skip it here.
+            if builder.name() == "v_opt_serial_exhaustive" {
+                continue;
+            }
+            for beta in betas_for(w, freqs.len()) {
+                cases += 1;
+                let spec = builder.spec(beta);
+                let opt = match spec.build_opt(freqs) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        push_fail(
+                            &mut failures,
+                            format!("{} {} β={beta}: {e}", set.name, spec.name()),
+                        );
+                        continue;
+                    }
+                };
+                let sse = sse_from_assignment(freqs, &opt.histogram);
+                let measured = s_exact - opt.histogram.approx_self_join_size(RoundingMode::Exact);
+                if !approx_eq(opt.error, sse) {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{} {} β={beta}: reported error {} ≠ recomputed Σ PᵢVᵢ = {sse}",
+                            set.name,
+                            spec.name(),
+                            opt.error
+                        ),
+                    );
+                }
+                if !approx_eq(opt.error, measured) {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{} {} β={beta}: reported error {} ≠ measured S − S' = {measured}",
+                            set.name,
+                            spec.name(),
+                            opt.error
+                        ),
+                    );
+                }
+                if opt.error < -1e-9 || measured < -1e-6 * s_exact.max(1.0) {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{} {} β={beta}: negative self-join error ({}, measured {measured}) — \
+                             the histogram overestimates",
+                            set.name,
+                            spec.name(),
+                            opt.error
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    CheckReport::from_failures("prop_3_1_self_join_error_formula", cases, failures)
+}
+
+/// The positive-frequency domain of a set, as `(values, freqs)` — what a
+/// relation scan recovers (zero-frequency values never reach a tuple).
+fn nonzero_domain(freqs: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let values: Vec<u64> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(i, _)| i as u64)
+        .collect();
+    let nz: Vec<u64> = freqs.iter().copied().filter(|&f| f > 0).collect();
+    (values, nz)
+}
+
+/// Differential check across every storage and estimation layer: a
+/// direct registry build, a catalog ANALYZE over a materialised
+/// relation, a binary-snapshot round trip, the query-layer estimators,
+/// and the engine's SQL execute/estimate must all tell one consistent
+/// story.
+pub fn check_differential_catalog_engine_consistency(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_differential");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for (idx, set) in w.medium_sets.iter().enumerate() {
+        let freqs = set.freqs.as_slice();
+        let (values, nz) = nonzero_domain(freqs);
+        if values.is_empty() {
+            continue;
+        }
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        for beta in betas_for(w, values.len()) {
+            cases += 1;
+            let spec = BuilderSpec::VOptEndBiased(beta);
+            let case = format!("{} β={beta}", set.name);
+            let fail = |failures: &mut Vec<String>, msg: String| {
+                push_fail(failures, format!("{case}: {msg}"));
+            };
+
+            // Layer 1: direct registry build over the scanned domain.
+            let hist = match spec.build(&nz) {
+                Ok(h) => h,
+                Err(e) => {
+                    fail(&mut failures, format!("core build failed: {e}"));
+                    continue;
+                }
+            };
+            let direct = match StoredHistogram::from_histogram(&values, &hist) {
+                Ok(s) => s,
+                Err(e) => {
+                    fail(&mut failures, format!("stored conversion failed: {e}"));
+                    continue;
+                }
+            };
+
+            // Layer 2: catalog ANALYZE over a materialised relation.
+            let left = match relation_from_frequencies(
+                "l",
+                "a",
+                &values,
+                &freq_set,
+                w.subseed(2 * idx as u64),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    fail(&mut failures, format!("relation build failed: {e}"));
+                    continue;
+                }
+            };
+            let catalog = Catalog::new();
+            let key = match catalog.analyze(&left, "a", spec) {
+                Ok(k) => k,
+                Err(e) => {
+                    fail(&mut failures, format!("ANALYZE failed: {e}"));
+                    continue;
+                }
+            };
+            match catalog.get(&key) {
+                Ok(analyzed) if analyzed == direct => {}
+                Ok(_) => fail(
+                    &mut failures,
+                    "catalog ANALYZE disagrees with the direct registry build".into(),
+                ),
+                Err(e) => fail(&mut failures, format!("catalog get failed: {e}")),
+            }
+
+            // Layer 3: binary snapshot round trip, byte-stable.
+            let bytes = encode_catalog(&catalog);
+            match decode_catalog(bytes.clone()) {
+                Ok(decoded) => {
+                    match decoded.get(&key) {
+                        Ok(reloaded) if reloaded == direct => {}
+                        Ok(_) => fail(
+                            &mut failures,
+                            "snapshot reload changed the stored histogram".into(),
+                        ),
+                        Err(e) => fail(&mut failures, format!("reloaded get failed: {e}")),
+                    }
+                    let reencoded = encode_catalog(&decoded);
+                    if reencoded != bytes {
+                        fail(
+                            &mut failures,
+                            "snapshot re-encoding is not byte-identical".into(),
+                        );
+                    }
+                }
+                Err(e) => fail(&mut failures, format!("snapshot decode failed: {e}")),
+            }
+
+            // Layer 4: query-layer self-join estimate vs the analysis
+            // formula `Σ Pᵢ·round(avg)²` from the core histogram.
+            let est = query::estimate::estimate_self_join(&direct, &values);
+            let formula = hist.approx_self_join_size(RoundingMode::PaperRounded);
+            if !approx_eq(est, formula) {
+                fail(
+                    &mut failures,
+                    format!("estimate_self_join {est} ≠ Σ Pᵢ·round(avg)² = {formula}"),
+                );
+            }
+
+            // Layer 5: the engine's SQL paths. Execution must equal the
+            // exact integer join size; estimation must equal the
+            // histogram overlap formula the estimator documents.
+            let right = match relation_from_frequencies(
+                "r",
+                "a",
+                &values,
+                &freq_set,
+                w.subseed(2 * idx as u64 + 1),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    fail(&mut failures, format!("probe relation failed: {e}"));
+                    continue;
+                }
+            };
+            let mut engine = engine::Engine::new();
+            engine.register(left);
+            engine.register(right);
+            if let Err(e) = engine.analyze_all_with(spec) {
+                fail(&mut failures, format!("engine ANALYZE failed: {e}"));
+                continue;
+            }
+            let sql = "SELECT COUNT(*) FROM l, r WHERE l.a = r.a";
+            let q = match engine.parse(sql) {
+                Ok(q) => q,
+                Err(e) => {
+                    fail(&mut failures, format!("parse failed: {e}"));
+                    continue;
+                }
+            };
+            let exact_join = exact::join_size(&nz, &nz);
+            match engine.execute(&q) {
+                Ok(n) if n == exact_join => {}
+                Ok(n) => fail(
+                    &mut failures,
+                    format!("engine executed {n} tuples, exact join size is {exact_join}"),
+                ),
+                Err(e) => fail(&mut failures, format!("execute failed: {e}")),
+            }
+            let stored_l = engine.catalog().get(&StatKey::new("l", &["a"]));
+            let stored_r = engine.catalog().get(&StatKey::new("r", &["a"]));
+            match (engine.estimate(&q), stored_l, stored_r) {
+                (Ok(est), Ok(sl), Ok(sr)) => {
+                    let overlap = query::estimate::estimate_two_way_join(&sl, &sr, &values);
+                    let rows = freq_set.total() as f64;
+                    let expected = overlap.min(rows * rows);
+                    if !approx_eq(est, expected) {
+                        fail(
+                            &mut failures,
+                            format!("engine estimate {est} ≠ histogram overlap {expected}"),
+                        );
+                    }
+                }
+                (Err(e), _, _) => fail(&mut failures, format!("estimate failed: {e}")),
+                (_, Err(e), _) | (_, _, Err(e)) => {
+                    fail(&mut failures, format!("engine catalog get failed: {e}"))
+                }
+            }
+        }
+    }
+    CheckReport::from_failures("differential_catalog_engine_consistency", cases, failures)
+}
+
+/// Theorem 2.1: the chain-product result size equals tuple-by-tuple
+/// execution over materialised relations, and the histogram estimate
+/// with per-value-exact statistics recovers the exact size.
+pub fn check_theorem_2_1_chain_product_matches_execution(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_theorem_2_1");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    for (idx, chain) in w.chains.iter().enumerate() {
+        cases += 1;
+        let query = match ChainQuery::new(chain.matrices.clone()) {
+            Ok(q) => q,
+            Err(e) => {
+                push_fail(&mut failures, format!("{}: {e}", chain.name));
+                continue;
+            }
+        };
+        let product = match query.exact_size() {
+            Ok(s) => s,
+            Err(e) => {
+                push_fail(
+                    &mut failures,
+                    format!("{}: product failed: {e}", chain.name),
+                );
+                continue;
+            }
+        };
+        match exact::chain_ground_truth(&chain.matrices, w.subseed(1000 + idx as u64)) {
+            Ok(executed) if executed == product => {}
+            Ok(executed) => push_fail(
+                &mut failures,
+                format!(
+                    "{}: Theorem 2.1 product {product} ≠ executed size {executed}",
+                    chain.name
+                ),
+            ),
+            Err(e) => push_fail(
+                &mut failures,
+                format!("{}: execution failed: {e}", chain.name),
+            ),
+        }
+        // Per-value-exact statistics (β = M for every relation) must
+        // recover the exact size through the estimation path.
+        let stats: Result<Vec<RelationStats>, String> = chain
+            .matrices
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                let exact_spec = |cells: &[u64]| BuilderSpec::VOptSerial(cells.len()).build(cells);
+                if k == 0 || k + 1 == chain.matrices.len() {
+                    exact_spec(m.cells())
+                        .map(RelationStats::Vector)
+                        .map_err(|e| format!("vector stats: {e}"))
+                } else {
+                    MatrixHistogram::build(m, exact_spec)
+                        .map(RelationStats::Matrix)
+                        .map_err(|e| format!("matrix stats: {e}"))
+                }
+            })
+            .collect();
+        match stats.and_then(|s| {
+            query
+                .estimated_size(&s, RoundingMode::Exact)
+                .map_err(|e| e.to_string())
+        }) {
+            Ok(estimate) if approx_eq(estimate, product as f64) => {}
+            Ok(estimate) => push_fail(
+                &mut failures,
+                format!(
+                    "{}: exact-statistics estimate {estimate} ≠ exact size {product}",
+                    chain.name
+                ),
+            ),
+            Err(e) => push_fail(
+                &mut failures,
+                format!("{}: estimate failed: {e}", chain.name),
+            ),
+        }
+    }
+    CheckReport::from_failures(
+        "theorem_2_1_chain_product_matches_execution",
+        cases,
+        failures,
+    )
+}
+
+/// Runs every invariant check, in [`crate::report::EXPECTED_CHECKS`]
+/// order.
+pub fn run_all(w: &Workload) -> Vec<CheckReport> {
+    let _span = obs::span("oracle_invariants");
+    let reports = vec![
+        check_serial_dp_matches_exhaustive_optimum(w),
+        check_theorem_3_3_v_optimal_minimizes_sigma(w),
+        check_query_independence_self_join_optimum(w),
+        check_theorem_4_2_end_biased_optimal_split(w),
+        check_exact_when_buckets_cover_domain(w),
+        check_prop_3_1_self_join_error_formula(w),
+        check_differential_catalog_engine_consistency(w),
+        check_theorem_2_1_chain_product_matches_execution(w),
+    ];
+    for r in &reports {
+        obs::counter(if r.passed {
+            "oracle_checks_passed_total"
+        } else {
+            "oracle_checks_failed_total"
+        })
+        .inc();
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Tier;
+
+    #[test]
+    fn all_checks_pass_on_a_quick_workload() {
+        let w = Workload::generate(11, Tier::Quick);
+        for report in run_all(&w) {
+            assert!(report.cases > 0, "{} ran zero cases", report.name);
+            assert!(
+                report.passed,
+                "{} failed: {:?}",
+                report.name, report.failures
+            );
+        }
+    }
+
+    #[test]
+    fn sse_recomputation_is_independent_of_bucket_stats() {
+        let freqs = [10u64, 10, 1, 1];
+        let hist = BuilderSpec::VOptSerial(2).build(&freqs).unwrap();
+        assert!(approx_eq(sse_from_assignment(&freqs, &hist), 0.0));
+        let trivial = BuilderSpec::Trivial.build(&freqs).unwrap();
+        // Mean 5.5 → SSE = 2·4.5² + 2·4.5² = 81.
+        assert!(approx_eq(sse_from_assignment(&freqs, &trivial), 81.0));
+        assert!(approx_eq(trivial.self_join_error(), 81.0));
+    }
+
+    #[test]
+    fn ground_truth_discriminates_suboptimal_histograms() {
+        // The oracle must be able to tell a wrong "optimum" from a right
+        // one: a skewed set where equi-depth is strictly worse than the
+        // serial optimum.
+        let freqs = [100u64, 90, 2, 1, 1];
+        let min = exact::min_serial_error(&freqs, 2).unwrap();
+        let equi = BuilderSpec::EquiDepth(2).build_opt(&freqs).unwrap();
+        assert!(
+            equi.error > min + 1.0,
+            "equi-depth {} vs optimum {min}",
+            equi.error
+        );
+        // And σ discriminates too: the trivial histogram's deviation is
+        // strictly larger than the v-optimal one's.
+        let probe = probe_for(&freqs);
+        let vopt = BuilderSpec::VOptSerial(2).build(&freqs).unwrap();
+        let triv = BuilderSpec::Trivial.build(&freqs).unwrap();
+        let sigma_vopt =
+            exact::sigma_over_arrangements(&exact::approximation_errors(&freqs, &vopt), &probe);
+        let sigma_triv =
+            exact::sigma_over_arrangements(&exact::approximation_errors(&freqs, &triv), &probe);
+        assert!(sigma_vopt < sigma_triv, "{sigma_vopt} !< {sigma_triv}");
+    }
+}

@@ -1,0 +1,48 @@
+//! A deterministic differential-testing and fault-injection oracle for
+//! the histogram workspace.
+//!
+//! The paper's claims are provable invariants — v-optimal serial
+//! histograms minimize the variance of the join-size error (Theorems
+//! 3.1–3.3), end-biased histograms are the optimum of their class
+//! (Theorem 4.2), Proposition 3.1 gives the self-join error in closed
+//! form — yet nothing in a per-crate unit test would catch a builder,
+//! estimator, or maintenance refresh that silently violates them. This
+//! crate closes that gap with one seed-deterministic harness:
+//!
+//! * [`workload`] generates frequency sets, matrices, and chain-join
+//!   templates from a seed (Zipf, cusp, stepped, random), sized by a
+//!   budget tier so the same harness runs as a smoke test or a soak.
+//! * [`exact`] computes ground truth by brute force: exact join sizes,
+//!   exhaustive serial-partition enumeration, and the error deviation σ
+//!   over *all* arrangements of small domains.
+//! * [`invariants`] states each theorem as a machine-checked property
+//!   and differentially tests every registry builder and estimator path
+//!   (core build ≡ catalog ANALYZE ≡ snapshot reload ≡ engine SQL)
+//!   against the ground truth.
+//! * [`faults`] injects deterministic snapshot corruption, truncation,
+//!   and mid-refresh aborts through a [`faults::FailpointStore`],
+//!   proving every failure surfaces as a typed error with the catalog
+//!   left readable — never as a wrong estimate.
+//! * [`runner`] wires it all into [`runner::run`], producing a
+//!   [`report::Report`] whose JSON rendering is byte-identical across
+//!   runs with the same seed and budget.
+//!
+//! The report refuses to pass unless every expected check and failpoint
+//! actually ran ([`report::EXPECTED_CHECKS`] /
+//! [`report::EXPECTED_FAULTS`]), so disabling an invariant is itself a
+//! detected failure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exact;
+pub mod faults;
+pub mod invariants;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use faults::{Failpoint, FailpointStore};
+pub use report::{CheckReport, FaultReport, Report, EXPECTED_CHECKS, EXPECTED_FAULTS};
+pub use runner::{reference_snapshot, run, verify_snapshot};
+pub use workload::{Tier, Workload};

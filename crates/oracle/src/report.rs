@@ -1,0 +1,316 @@
+//! The selftest report: what ran, what passed, and a validation layer
+//! that makes *not running a check* itself a failure.
+//!
+//! The report is rendered to JSON through the workspace serde traits
+//! ([`obs::export::JsonWriter`]) and contains no timestamps, durations,
+//! or other ambient state — two runs with the same seed and budget
+//! produce byte-identical output, which the CLI tests assert.
+
+use crate::workload::Tier;
+use serde::{Serialize, Serializer};
+
+/// Every invariant check a selftest run must execute. A report missing
+/// any of these names — or reporting one with zero cases — fails
+/// validation, so commenting out a check is a detected failure, not a
+/// silent gap.
+pub const EXPECTED_CHECKS: [&str; 8] = [
+    "serial_dp_matches_exhaustive_optimum",
+    "theorem_3_3_v_optimal_minimizes_sigma",
+    "query_independence_self_join_optimum",
+    "theorem_4_2_end_biased_optimal_split",
+    "exact_when_buckets_cover_domain",
+    "prop_3_1_self_join_error_formula",
+    "differential_catalog_engine_consistency",
+    "theorem_2_1_chain_product_matches_execution",
+];
+
+/// Every fault-injection scenario a selftest run must execute, under the
+/// same no-silent-gaps rule as [`EXPECTED_CHECKS`] (zero injections fail
+/// validation).
+pub const EXPECTED_FAULTS: [&str; 3] = [
+    "snapshot_corruption_detected",
+    "snapshot_truncation_detected",
+    "aborted_refresh_preserves_catalog",
+];
+
+/// Outcome of one invariant check across its whole workload.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The check's name (one of [`EXPECTED_CHECKS`]).
+    pub name: &'static str,
+    /// Whether every case passed.
+    pub passed: bool,
+    /// How many individual cases were verified.
+    pub cases: u64,
+    /// Human-readable descriptions of each failing case (empty when
+    /// `passed`). Capped by the check to keep reports bounded.
+    pub failures: Vec<String>,
+}
+
+impl CheckReport {
+    /// Builds a report from a case counter and collected failures.
+    pub fn from_failures(name: &'static str, cases: u64, failures: Vec<String>) -> Self {
+        Self {
+            name,
+            passed: failures.is_empty(),
+            cases,
+            failures,
+        }
+    }
+}
+
+/// Outcome of one fault-injection scenario.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The scenario's name (one of [`EXPECTED_FAULTS`]).
+    pub name: &'static str,
+    /// Whether every injected fault was detected and contained.
+    pub passed: bool,
+    /// How many faults were injected.
+    pub injected: u64,
+    /// Human-readable descriptions of each failing injection.
+    pub failures: Vec<String>,
+}
+
+impl FaultReport {
+    /// Builds a report from an injection counter and collected failures.
+    pub fn from_failures(name: &'static str, injected: u64, failures: Vec<String>) -> Self {
+        Self {
+            name,
+            passed: failures.is_empty(),
+            injected,
+            failures,
+        }
+    }
+}
+
+/// The full selftest report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The generating seed.
+    pub seed: u64,
+    /// The budget tier the run was sized for.
+    pub tier: Tier,
+    /// One entry per invariant check.
+    pub checks: Vec<CheckReport>,
+    /// One entry per fault-injection scenario.
+    pub faults: Vec<FaultReport>,
+    /// Coverage violations from [`Report::validate`], recorded at
+    /// construction time so the JSON shows *why* a run failed coverage.
+    pub violations: Vec<String>,
+    /// The overall verdict: every check and fault passed *and*
+    /// validation found full coverage.
+    pub passed: bool,
+}
+
+impl Report {
+    /// Assembles a report and runs [`Report::validate`] over it; the
+    /// overall verdict requires both clean results and full coverage.
+    pub fn new(seed: u64, tier: Tier, checks: Vec<CheckReport>, faults: Vec<FaultReport>) -> Self {
+        let mut report = Self {
+            seed,
+            tier,
+            checks,
+            faults,
+            violations: Vec::new(),
+            passed: false,
+        };
+        report.violations = report.validate();
+        report.passed = report.violations.is_empty();
+        report
+    }
+
+    /// Coverage and correctness validation: every expected check ran
+    /// (non-zero cases) and passed, every expected fault scenario ran
+    /// (non-zero injections) and passed. Returns one message per
+    /// violation; an empty list means the run passes.
+    pub fn validate(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for name in EXPECTED_CHECKS {
+            match self.checks.iter().find(|c| c.name == name) {
+                None => violations.push(format!("invariant check '{name}' did not run")),
+                Some(c) => {
+                    if c.cases == 0 {
+                        violations.push(format!("invariant check '{name}' verified zero cases"));
+                    }
+                    if !c.passed {
+                        violations.push(format!(
+                            "invariant check '{name}' failed ({} failure(s); first: {})",
+                            c.failures.len(),
+                            c.failures.first().map_or("<none recorded>", |f| f.as_str())
+                        ));
+                    }
+                }
+            }
+        }
+        for name in EXPECTED_FAULTS {
+            match self.faults.iter().find(|f| f.name == name) {
+                None => violations.push(format!("fault scenario '{name}' did not run")),
+                Some(f) => {
+                    if f.injected == 0 {
+                        violations.push(format!("fault scenario '{name}' injected zero faults"));
+                    }
+                    if !f.passed {
+                        violations.push(format!(
+                            "fault scenario '{name}' failed ({} failure(s); first: {})",
+                            f.failures.len(),
+                            f.failures.first().map_or("<none recorded>", |f| f.as_str())
+                        ));
+                    }
+                }
+            }
+        }
+        violations
+    }
+
+    /// Renders the report as compact JSON. Deterministic: field order is
+    /// fixed and no timing or environment data is included.
+    pub fn to_json(&self) -> String {
+        let mut w = obs::export::JsonWriter::new();
+        self.serialize(&mut w);
+        w.into_string()
+    }
+}
+
+fn serialize_str_seq<S: Serializer + ?Sized>(s: &mut S, items: &[String]) {
+    s.begin_seq(items.len());
+    for item in items {
+        s.seq_element();
+        s.serialize_str(item);
+    }
+    s.end_seq();
+}
+
+impl Serialize for CheckReport {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.begin_map(4);
+        s.map_key("name");
+        s.serialize_str(self.name);
+        s.map_key("passed");
+        s.serialize_bool(self.passed);
+        s.map_key("cases");
+        s.serialize_u64(self.cases);
+        s.map_key("failures");
+        serialize_str_seq(s, &self.failures);
+        s.end_map();
+    }
+}
+
+impl Serialize for FaultReport {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.begin_map(4);
+        s.map_key("name");
+        s.serialize_str(self.name);
+        s.map_key("passed");
+        s.serialize_bool(self.passed);
+        s.map_key("injected");
+        s.serialize_u64(self.injected);
+        s.map_key("failures");
+        serialize_str_seq(s, &self.failures);
+        s.end_map();
+    }
+}
+
+impl Serialize for Report {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
+        s.begin_map(6);
+        s.map_key("seed");
+        s.serialize_u64(self.seed);
+        s.map_key("tier");
+        s.serialize_str(self.tier.name());
+        s.map_key("checks");
+        s.begin_seq(self.checks.len());
+        for c in &self.checks {
+            s.seq_element();
+            c.serialize(s);
+        }
+        s.end_seq();
+        s.map_key("faults");
+        s.begin_seq(self.faults.len());
+        for f in &self.faults {
+            s.seq_element();
+            f.serialize(s);
+        }
+        s.end_seq();
+        s.map_key("violations");
+        serialize_str_seq(s, &self.violations);
+        s.map_key("passed");
+        s.serialize_bool(self.passed);
+        s.end_map();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passing_report() -> Report {
+        let checks = EXPECTED_CHECKS
+            .iter()
+            .map(|&n| CheckReport::from_failures(n, 5, vec![]))
+            .collect();
+        let faults = EXPECTED_FAULTS
+            .iter()
+            .map(|&n| FaultReport::from_failures(n, 3, vec![]))
+            .collect();
+        Report::new(1, Tier::Quick, checks, faults)
+    }
+
+    #[test]
+    fn complete_passing_report_validates() {
+        let r = passing_report();
+        assert!(r.passed, "{:?}", r.violations);
+        assert!(r.validate().is_empty());
+    }
+
+    #[test]
+    fn missing_check_is_a_violation() {
+        let mut r = passing_report();
+        r.checks.retain(|c| c.name != EXPECTED_CHECKS[0]);
+        let v = r.validate();
+        assert!(v.iter().any(|m| m.contains("did not run")), "{v:?}");
+    }
+
+    #[test]
+    fn zero_case_check_is_a_violation() {
+        let mut r = passing_report();
+        r.checks[2].cases = 0;
+        let v = r.validate();
+        assert!(v.iter().any(|m| m.contains("zero cases")), "{v:?}");
+    }
+
+    #[test]
+    fn failed_fault_is_a_violation() {
+        let mut r = passing_report();
+        r.faults[1].passed = false;
+        r.faults[1].failures.push("decode accepted garbage".into());
+        let v = r.validate();
+        assert!(
+            v.iter()
+                .any(|m| m.contains("failed") && m.contains("garbage")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn zero_injection_fault_is_a_violation() {
+        let mut r = passing_report();
+        r.faults[0].injected = 0;
+        let v = r.validate();
+        assert!(v.iter().any(|m| m.contains("zero faults")), "{v:?}");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_complete() {
+        let a = passing_report().to_json();
+        let b = passing_report().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"passed\":true"));
+        for name in EXPECTED_CHECKS {
+            assert!(a.contains(name), "missing {name}");
+        }
+        for name in EXPECTED_FAULTS {
+            assert!(a.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Seed-deterministic workload generation.
+//!
+//! Every structure the oracle checks is derived from `(seed, tier)` and
+//! nothing else — no wall clock, no ambient state — so a selftest run is
+//! reproducible byte-for-byte. The tier is selected from the budget
+//! *value*, never from elapsed time: a run with `--budget-ms 30000`
+//! checks exactly the same cases on a fast and a slow machine.
+
+use freqdist::generators::{random_in_range, stepped, uniform};
+use freqdist::zipf::zipf_frequencies;
+use freqdist::{Arrangement, FreqMatrix, FrequencySet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How much work the selftest does, chosen deterministically from the
+/// caller's millisecond budget (§5-style sweeps get the thorough tier,
+/// CI the standard one, a pre-commit hook the quick one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Smallest domains, fewest distributions: a smoke test.
+    Quick,
+    /// The CI configuration: exhaustive checks on 6-value domains.
+    Standard,
+    /// Adds 7-value exhaustive domains and more distributions.
+    Thorough,
+}
+
+impl Tier {
+    /// Maps a millisecond budget to a tier. The mapping uses only the
+    /// budget's value so reports stay deterministic; generous headroom
+    /// keeps even the thorough tier far below its nominal budget.
+    pub fn from_budget_ms(budget_ms: u64) -> Tier {
+        if budget_ms < 10_000 {
+            Tier::Quick
+        } else if budget_ms < 120_000 {
+            Tier::Standard
+        } else {
+            Tier::Thorough
+        }
+    }
+
+    /// Stable lowercase name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Quick => "quick",
+            Tier::Standard => "standard",
+            Tier::Thorough => "thorough",
+        }
+    }
+}
+
+/// A frequency set with a stable name for failure messages.
+#[derive(Debug, Clone)]
+pub struct NamedSet {
+    /// Stable, seed-independent shape name plus parameters.
+    pub name: String,
+    /// The frequencies, indexed by value `0..len`.
+    pub freqs: FrequencySet,
+}
+
+/// A chain-join template: the relations' frequency matrices in §2.2's
+/// vector/matrix/vector shape.
+#[derive(Debug, Clone)]
+pub struct ChainCase {
+    /// Stable name for failure messages.
+    pub name: String,
+    /// `T₀ (1×M₁), …, T_N (M_N×1)`.
+    pub matrices: Vec<FreqMatrix>,
+}
+
+/// Everything one selftest run checks, fully determined by `(seed, tier)`.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The generating seed.
+    pub seed: u64,
+    /// The budget tier the workload was sized for.
+    pub tier: Tier,
+    /// Small domains (≤ 7 values) for exhaustive partition and
+    /// arrangement enumeration (Theorems 3.3 / 4.1 / 4.2).
+    pub small_sets: Vec<NamedSet>,
+    /// Medium domains (tens of values, thousands of tuples) for the
+    /// differential and Proposition 3.1 checks.
+    pub medium_sets: Vec<NamedSet>,
+    /// Chain-join templates for the Theorem 2.1 checks.
+    pub chains: Vec<ChainCase>,
+    /// Bucket budgets β exercised by the histogram checks.
+    pub betas: Vec<usize>,
+}
+
+/// A cusp distribution: frequencies rise Zipf-like to a peak in the
+/// middle of the value order and fall off again — the paper's
+/// `cusp_max`-style shape, built from two Zipf halves.
+fn cusp(total: u64, domain: usize, z: f64) -> FrequencySet {
+    let half = (domain / 2).max(1);
+    let rest = (domain - half).max(1);
+    let mut left = zipf_frequencies(total / 2, half, z)
+        .expect("cusp left half")
+        .into_vec();
+    left.sort_unstable(); // ascending toward the peak
+    let mut right = zipf_frequencies(total - total / 2, rest, z)
+        .expect("cusp right half")
+        .into_vec();
+    right.sort_unstable_by(|a, b| b.cmp(a)); // descending from the peak
+    left.extend(right);
+    left.truncate(domain);
+    FrequencySet::new(left)
+}
+
+impl Workload {
+    /// Generates the workload for `(seed, tier)`.
+    pub fn generate(seed: u64, tier: Tier) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6f72_6163_6c65);
+        let mut small_sets = Vec::new();
+        let mut medium_sets = Vec::new();
+
+        // Small domains: one per paper-style shape, at each exhaustive
+        // domain size the tier affords. 5! = 120 arrangements, 6! = 720,
+        // 7! = 5040 — all enumerable.
+        let small_domains: &[usize] = match tier {
+            Tier::Quick => &[5],
+            Tier::Standard => &[5, 6],
+            Tier::Thorough => &[5, 6, 7],
+        };
+        for &n in small_domains {
+            for z in [0.0, 1.0, 2.0] {
+                let freqs = zipf_frequencies(60, n, z).expect("small zipf");
+                small_sets.push(NamedSet {
+                    name: format!("zipf(n={n},z={z})"),
+                    freqs,
+                });
+            }
+            small_sets.push(NamedSet {
+                name: format!("cusp(n={n})"),
+                freqs: cusp(60, n, 1.0),
+            });
+            small_sets.push(NamedSet {
+                name: format!("random(n={n})"),
+                freqs: random_in_range(n, 1, 30, rng.random()).expect("small random"),
+            });
+            // Heavy ties: tie-breaking in sorts and partitions must not
+            // change any optimum.
+            let mut tied = vec![7u64; n];
+            for (i, f) in tied.iter_mut().enumerate() {
+                if i >= n / 2 {
+                    *f = 2;
+                }
+            }
+            small_sets.push(NamedSet {
+                name: format!("tied(n={n})"),
+                freqs: FrequencySet::new(tied),
+            });
+        }
+
+        // Medium domains for the differential / Prop 3.1 checks.
+        let medium_shapes: &[(usize, u64)] = match tier {
+            Tier::Quick => &[(16, 2_000)],
+            Tier::Standard => &[(16, 2_000), (32, 5_000)],
+            Tier::Thorough => &[(16, 2_000), (32, 5_000), (48, 8_000)],
+        };
+        for &(n, total) in medium_shapes {
+            for z in [0.5, 1.0, 1.5] {
+                medium_sets.push(NamedSet {
+                    name: format!("zipf(n={n},z={z})"),
+                    freqs: zipf_frequencies(total, n, z).expect("medium zipf"),
+                });
+            }
+            medium_sets.push(NamedSet {
+                name: format!("cusp(n={n})"),
+                freqs: cusp(total, n, 1.0),
+            });
+            medium_sets.push(NamedSet {
+                name: format!("uniform(n={n})"),
+                freqs: uniform(total / n as u64, n),
+            });
+            medium_sets.push(NamedSet {
+                name: format!("stepped(n={n})"),
+                freqs: stepped(n, (n / 4).max(1), total / (2 * n as u64)),
+            });
+            medium_sets.push(NamedSet {
+                name: format!("random(n={n})"),
+                freqs: random_in_range(n, 0, 2 * total / n as u64, rng.random())
+                    .expect("medium random"),
+            });
+        }
+
+        // Chain templates: a 2-relation join (vector ⋈ vector) and a
+        // 3-relation chain through a matrix relation (§2.2's shape).
+        let mut chains = Vec::new();
+        let chain_count = match tier {
+            Tier::Quick => 1,
+            Tier::Standard => 2,
+            Tier::Thorough => 3,
+        };
+        for c in 0..chain_count {
+            let n = 6 + 2 * c;
+            let fa = zipf_frequencies(200, n, 1.0).expect("chain zipf a");
+            let fb = random_in_range(n, 0, 60, rng.random()).expect("chain random b");
+            chains.push(ChainCase {
+                name: format!("join2(n={n})"),
+                matrices: vec![
+                    FreqMatrix::horizontal(fa.into_vec()),
+                    FreqMatrix::vertical(fb.into_vec()),
+                ],
+            });
+            let (m1, m2) = (4 + c, 5 + c);
+            let f0 = zipf_frequencies(120, m1, 0.8).expect("chain zipf f0");
+            let fm = zipf_frequencies(400, m1 * m2, 1.0).expect("chain zipf mid");
+            let arr = Arrangement::random(m1 * m2, &mut rng);
+            let mid = FreqMatrix::from_arrangement(&fm, m1, m2, &arr).expect("chain matrix");
+            let f2 = zipf_frequencies(90, m2, 0.5).expect("chain zipf f2");
+            chains.push(ChainCase {
+                name: format!("chain3({m1}x{m2})"),
+                matrices: vec![
+                    FreqMatrix::horizontal(f0.into_vec()),
+                    mid,
+                    FreqMatrix::vertical(f2.into_vec()),
+                ],
+            });
+        }
+
+        let betas = match tier {
+            Tier::Quick => vec![2, 3],
+            Tier::Standard | Tier::Thorough => vec![2, 3, 4],
+        };
+
+        Workload {
+            seed,
+            tier,
+            small_sets,
+            medium_sets,
+            chains,
+            betas,
+        }
+    }
+
+    /// A deterministic sub-seed for the `index`-th consumer of this
+    /// workload (relation generation, probe sets, fault offsets, …).
+    pub fn subseed(&self, index: u64) -> u64 {
+        // SplitMix64 step over (seed, index): well-mixed and stable.
+        let mut x = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index.wrapping_add(1)));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_from_budget() {
+        assert_eq!(Tier::from_budget_ms(0), Tier::Quick);
+        assert_eq!(Tier::from_budget_ms(9_999), Tier::Quick);
+        assert_eq!(Tier::from_budget_ms(30_000), Tier::Standard);
+        assert_eq!(Tier::from_budget_ms(120_000), Tier::Thorough);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Workload::generate(7, Tier::Standard);
+        let b = Workload::generate(7, Tier::Standard);
+        assert_eq!(a.small_sets.len(), b.small_sets.len());
+        for (x, y) in a.small_sets.iter().zip(&b.small_sets) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.freqs.as_slice(), y.freqs.as_slice());
+        }
+        for (x, y) in a.medium_sets.iter().zip(&b.medium_sets) {
+            assert_eq!(x.freqs.as_slice(), y.freqs.as_slice());
+        }
+        for (x, y) in a.chains.iter().zip(&b.chains) {
+            assert_eq!(x.matrices.len(), y.matrices.len());
+            for (m, n) in x.matrices.iter().zip(&y.matrices) {
+                assert_eq!(m.cells(), n.cells());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Workload::generate(1, Tier::Standard);
+        let b = Workload::generate(2, Tier::Standard);
+        let random_a = &a
+            .small_sets
+            .iter()
+            .find(|s| s.name.contains("random"))
+            .unwrap();
+        let random_b = &b
+            .small_sets
+            .iter()
+            .find(|s| s.name.contains("random"))
+            .unwrap();
+        assert_ne!(random_a.freqs.as_slice(), random_b.freqs.as_slice());
+    }
+
+    #[test]
+    fn chain_shapes_are_valid() {
+        let w = Workload::generate(3, Tier::Thorough);
+        for chain in &w.chains {
+            assert_eq!(chain.matrices[0].rows(), 1);
+            assert_eq!(chain.matrices[chain.matrices.len() - 1].cols(), 1);
+            for pair in chain.matrices.windows(2) {
+                assert_eq!(pair[0].cols(), pair[1].rows());
+            }
+        }
+    }
+}

@@ -3,6 +3,22 @@
 //! §5.1 reports `σ = sqrt(E[(S − S')²])`, "based on which v-optimality is
 //! essentially defined"; §5.2 reports the mean relative error
 //! `E[|S − S'| / S]`.
+//!
+//! # Edge-case and non-finite conventions
+//!
+//! These are pinned by tests; telemetry consumers rely on them:
+//!
+//! - **Empty sample sets** yield `0.0` from every aggregate (never NaN
+//!   from `0/0`): no observations means no measured error.
+//! - **Zero-size queries** (`S = 0`): [`SizeSample::relative_error`]
+//!   reports the absolute error instead of dividing by zero, and
+//!   [`mean_relative_error`] excludes such samples from the mean (the
+//!   paper's metric is undefined there).
+//! - **Non-finite inputs are propagated, not masked**: an `Inf` or `NaN`
+//!   estimate makes the affected aggregates `Inf`/`NaN`. A non-finite
+//!   value reaching a report means an estimator produced one, and hiding
+//!   it would defeat the telemetry. (The JSON exporter renders
+//!   non-finite values as `null`.)
 
 /// One paired observation: the exact size `S` and the estimate `S'` for
 /// one arrangement.
@@ -139,6 +155,61 @@ mod tests {
         assert_eq!(mean_error(&[]), 0.0);
         assert_eq!(sigma(&[]), 0.0);
         assert_eq!(mean_relative_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_sample_aggregates_are_that_sample() {
+        let s = vec![SizeSample {
+            exact: 50.0,
+            estimate: 40.0,
+        }];
+        assert_eq!(mean_error(&s), 10.0);
+        assert_eq!(sigma(&s), 10.0);
+        assert!((mean_relative_error(&s) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_estimate_propagates_to_aggregates() {
+        let s = vec![
+            SizeSample {
+                exact: 10.0,
+                estimate: f64::INFINITY,
+            },
+            SizeSample {
+                exact: 10.0,
+                estimate: 10.0,
+            },
+        ];
+        assert_eq!(mean_error(&s), f64::NEG_INFINITY);
+        assert_eq!(sigma(&s), f64::INFINITY);
+        assert_eq!(mean_relative_error(&s), f64::INFINITY);
+    }
+
+    #[test]
+    fn nan_estimate_propagates_to_aggregates() {
+        let s = vec![
+            SizeSample {
+                exact: 10.0,
+                estimate: f64::NAN,
+            },
+            SizeSample {
+                exact: 10.0,
+                estimate: 10.0,
+            },
+        ];
+        assert!(mean_error(&s).is_nan());
+        assert!(sigma(&s).is_nan());
+        assert!(mean_relative_error(&s).is_nan());
+    }
+
+    #[test]
+    fn zero_exact_zero_estimate_is_exactly_zero_error() {
+        let s = SizeSample {
+            exact: 0.0,
+            estimate: 0.0,
+        };
+        assert_eq!(s.error(), 0.0);
+        assert_eq!(s.relative_error(), 0.0);
     }
 
     #[test]

@@ -146,6 +146,20 @@ impl StoredHistogram {
     }
 }
 
+/// A stage of the scan → build → store ANALYZE pipeline, announced to
+/// the hook of [`Catalog::analyze_with_hook`] just before the stage
+/// runs. Failpoint layers (the oracle's fault injection) return an
+/// error from the hook to abort the refresh mid-flight; the catalog
+/// guarantees an aborted refresh leaves the previous entry — and the
+/// relation's staleness accounting — untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshStage {
+    /// About to scan the relation (Algorithm *Matrix*).
+    BeforeScan,
+    /// Scan complete; about to build the histogram and store it.
+    BeforeStore,
+}
+
 /// Key of a catalog entry: relation name plus the column list the
 /// statistics cover.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -370,8 +384,26 @@ impl Catalog {
     /// key. This is the single construction pipeline every layer
     /// (maintenance, engine, CLIs) routes through.
     pub fn analyze(&self, relation: &Relation, column: &str, spec: BuilderSpec) -> Result<StatKey> {
+        self.analyze_with_hook(relation, column, spec, &mut |_| Ok(()))
+    }
+
+    /// [`Catalog::analyze`] with a stage hook: `hook` is called with
+    /// each [`RefreshStage`] before that stage runs, and an `Err` from
+    /// it aborts the ANALYZE at that point. Nothing is stored unless
+    /// every stage completes, so an aborted refresh leaves the previous
+    /// histogram (if any) readable and the staleness counter unreset —
+    /// the failure mode production maintenance daemons must have.
+    pub fn analyze_with_hook(
+        &self,
+        relation: &Relation,
+        column: &str,
+        spec: BuilderSpec,
+        hook: &mut dyn FnMut(RefreshStage) -> Result<()>,
+    ) -> Result<StatKey> {
         let _span = obs::span("analyze");
+        hook(RefreshStage::BeforeScan)?;
         let table = frequency_table(relation, column)?;
+        hook(RefreshStage::BeforeStore)?;
         let stored = Self::build_stored(&table, spec)?;
         let key = StatKey::new(relation.name(), &[column]);
         self.put_with_spec(key.clone(), stored, Some(spec));

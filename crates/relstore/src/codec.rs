@@ -358,17 +358,33 @@ fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
     })
 }
 
+/// FxHash-64 of a snapshot's payload bytes: the integrity checksum the
+/// `VOHE` format appends so that *any* byte corruption — including one
+/// that would still parse into structurally valid entries (e.g. a
+/// flipped bit inside a bucket average) — is detected at load time as a
+/// typed [`StoreError::Codec`] instead of silently producing wrong
+/// estimates.
+fn catalog_checksum(payload: &[u8]) -> u64 {
+    use std::hash::Hasher as _;
+    let mut h = crate::fxhash::FxHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
 /// Encodes an entire catalog snapshot (all 1-D and 2-D histograms with
 /// their keys and construction specs) as one binary blob. Staleness
 /// counters are deliberately not persisted: reloaded statistics start
 /// fresh, exactly as after an ANALYZE.
 ///
-/// Layout: magic `VOHD`, `u32` 1-D entry count, entries, `u32` 2-D
-/// entry count, entries. Each entry is `key` (relation + column list as
+/// Layout: magic `VOHE`, `u32` 1-D entry count, entries, `u32` 2-D
+/// entry count, entries, then a trailing `u64` FxHash-64 checksum of
+/// every preceding byte. Each entry is `key` (relation + column list as
 /// length-prefixed UTF-8), a builder-spec tag (how the histogram was
 /// built — see [`BuilderSpec`]), and a length-prefixed histogram blob
-/// in the `VOH1`/`VOH2` format. (`VOHD` supersedes the spec-less `VOHC`
-/// of earlier builds.)
+/// in the `VOH1`/`VOH2` format. (`VOHE` supersedes the checksum-less
+/// `VOHD`, which itself superseded the spec-less `VOHC`; the checksum
+/// turns value-level corruption — undetectable by structural validation
+/// alone — into a typed decode error.)
 pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
     fn put_str(buf: &mut BytesMut, s: &str) {
         buf.put_u32_le(s.len() as u32);
@@ -384,7 +400,7 @@ pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
     let ones = catalog.snapshot_1d();
     let twos = catalog.snapshot_2d();
     let mut buf = BytesMut::new();
-    buf.put_slice(b"VOHD");
+    buf.put_slice(b"VOHE");
     buf.put_u32_le(ones.len() as u32);
     for (key, hist, spec) in &ones {
         put_key(&mut buf, key);
@@ -401,11 +417,17 @@ pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
         buf.put_u32_le(blob.len() as u32);
         buf.put_slice(&blob);
     }
+    let checksum = catalog_checksum(&buf);
+    buf.put_u64_le(checksum);
     buf.freeze()
 }
 
 /// Decodes a catalog snapshot produced by [`encode_catalog`] into a
 /// fresh catalog (all statistics start unstale).
+///
+/// The trailing checksum is verified before any entry is parsed, so a
+/// corrupted snapshot always surfaces as [`StoreError::Codec`] — never
+/// as a catalog that loads but estimates wrongly.
 pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
     fn get_str(data: &mut Bytes) -> Result<String> {
         need(data, 4, "string length")?;
@@ -432,13 +454,24 @@ pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
     }
 
     need(&data, 4, "magic")?;
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != b"VOHD" {
+    if &data[..4] != b"VOHE" {
         return Err(StoreError::Codec(format!(
-            "bad catalog magic {magic:?}, expected VOHD"
+            "bad catalog magic {:?}, expected VOHE",
+            &data[..4]
         )));
     }
+    need(&data, 4 + 8, "catalog checksum")?;
+    let body = data.split_to(data.len() - 8);
+    let expected = catalog_checksum(&body);
+    let recorded = data.get_u64_le();
+    if recorded != expected {
+        return Err(StoreError::Codec(format!(
+            "catalog checksum mismatch: snapshot records {recorded:#018x} \
+             but payload hashes to {expected:#018x} (corrupted snapshot)"
+        )));
+    }
+    let mut data = body;
+    data.advance(4); // magic, already verified
     let catalog = crate::catalog::Catalog::new();
     need(&data, 4, "1-D entry count")?;
     let n1 = data.get_u32_le() as usize;

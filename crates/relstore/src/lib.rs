@@ -41,7 +41,7 @@ pub mod sample;
 pub mod schema;
 pub mod stats;
 
-pub use catalog::{Catalog, StoredHistogram};
+pub use catalog::{Catalog, RefreshStage, StoredHistogram};
 pub use catalog2d::StoredMatrixHistogram;
 pub use error::{Result, StoreError};
 pub use par::par_map;

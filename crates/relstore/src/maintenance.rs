@@ -9,7 +9,7 @@
 //! PostgreSQL's autovacuum thresholds): refresh once
 //! `updates > base + fraction × rows`.
 
-use crate::catalog::{Catalog, StatKey};
+use crate::catalog::{Catalog, RefreshStage, StatKey};
 use crate::error::Result;
 use crate::relation::Relation;
 use vopt_hist::BuilderSpec;
@@ -37,9 +37,23 @@ impl Default for RefreshPolicy {
 impl RefreshPolicy {
     /// Whether statistics with `staleness` updates over a relation of
     /// `rows` tuples should be rebuilt.
+    ///
+    /// The threshold is inclusive: `staleness == base + fraction × rows`
+    /// is due, so a policy of "refresh every N updates" fires at exactly
+    /// N rather than N+1. Zero staleness is never due (there is nothing
+    /// to propagate), and a non-finite threshold (e.g. an infinite
+    /// fraction multiplied by zero rows yields NaN, which every float
+    /// comparison answers `false` for — silently disabling refresh)
+    /// falls back to the base threshold alone.
     pub fn due(&self, staleness: u64, rows: usize) -> bool {
+        if staleness == 0 {
+            return false;
+        }
         let threshold = self.base_threshold as f64 + self.staleness_fraction * rows as f64;
-        (staleness as f64) > threshold
+        if !threshold.is_finite() {
+            return staleness >= self.base_threshold;
+        }
+        staleness as f64 >= threshold
     }
 }
 
@@ -68,18 +82,41 @@ pub fn maintain_column(
     spec: BuilderSpec,
     policy: &RefreshPolicy,
 ) -> Result<MaintenanceOutcome> {
+    maintain_column_with_hook(catalog, relation, column, spec, policy, &mut |_| Ok(()))
+}
+
+/// [`maintain_column`] with a [`RefreshStage`] hook threaded through to
+/// [`Catalog::analyze_with_hook`] whenever a refresh actually runs. An
+/// `Err` from the hook aborts that refresh; the previous entry (and its
+/// staleness counter) stay exactly as they were, so the column simply
+/// comes up due again on the next maintenance pass. Fault-injection
+/// harnesses use this to prove interrupted maintenance degrades loudly.
+pub fn maintain_column_with_hook(
+    catalog: &Catalog,
+    relation: &Relation,
+    column: &str,
+    spec: BuilderSpec,
+    policy: &RefreshPolicy,
+    hook: &mut dyn FnMut(RefreshStage) -> Result<()>,
+) -> Result<MaintenanceOutcome> {
+    // A zero-row relation has no frequency distribution to summarise;
+    // ANALYZE over it is a guaranteed EmptyInput error, so the daemon
+    // skips it (as autovacuum does) instead of failing every pass.
+    if relation.num_rows() == 0 {
+        return Ok(MaintenanceOutcome::Fresh);
+    }
     let key = StatKey::new(relation.name(), &[column]);
     let staleness = match catalog.staleness(&key) {
         Ok(s) => s,
         // Never analyzed: build the first histogram now.
         Err(_) => {
-            catalog.analyze(relation, column, spec)?;
+            catalog.analyze_with_hook(relation, column, spec, hook)?;
             return Ok(MaintenanceOutcome::Refreshed);
         }
     };
     if policy.due(staleness, relation.num_rows()) {
         let refresh_spec = catalog.spec_of(&key).unwrap_or(spec);
-        catalog.analyze(relation, column, refresh_spec)?;
+        catalog.analyze_with_hook(relation, column, refresh_spec, hook)?;
         Ok(MaintenanceOutcome::Refreshed)
     } else {
         Ok(MaintenanceOutcome::Fresh)
@@ -102,9 +139,10 @@ mod tests {
     #[test]
     fn policy_thresholds() {
         let p = RefreshPolicy::default();
-        // 100-row relation: threshold = 50 + 10 = 60.
+        // 100-row relation: threshold = 50 + 10 = 60, inclusive.
         assert!(!p.due(0, 100));
-        assert!(!p.due(60, 100));
+        assert!(!p.due(59, 100));
+        assert!(p.due(60, 100));
         assert!(p.due(61, 100));
         let strict = RefreshPolicy {
             base_threshold: 0,
@@ -112,6 +150,86 @@ mod tests {
         };
         assert!(strict.due(1, 1_000_000));
         assert!(!strict.due(0, 1_000_000));
+    }
+
+    #[test]
+    fn policy_zero_rows_uses_base_threshold_only() {
+        let p = RefreshPolicy::default();
+        // threshold = 50 + 0.10 × 0 = 50: the base alone governs.
+        assert!(!p.due(0, 0));
+        assert!(!p.due(49, 0));
+        assert!(p.due(50, 0));
+    }
+
+    #[test]
+    fn policy_non_finite_threshold_falls_back_to_base() {
+        // ∞ × 0 rows is NaN; every NaN comparison is false, which would
+        // silently disable refresh forever without the fallback.
+        let p = RefreshPolicy {
+            base_threshold: 10,
+            staleness_fraction: f64::INFINITY,
+        };
+        assert!(!p.due(9, 0));
+        assert!(p.due(10, 0));
+        // With rows > 0 the threshold is +∞: only the fallback fires.
+        assert!(p.due(10, 5));
+        let nan = RefreshPolicy {
+            base_threshold: 10,
+            staleness_fraction: f64::NAN,
+        };
+        assert!(nan.due(10, 100));
+        assert!(!nan.due(9, 100));
+    }
+
+    #[test]
+    fn zero_row_relation_is_skipped_not_an_error() {
+        let cat = Catalog::new();
+        let empty = Relation::empty("z", crate::schema::Schema::new(["c"]).unwrap());
+        let out = maintain_column(&cat, &empty, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Fresh);
+        assert!(cat.get(&StatKey::new("z", &["c"])).is_err());
+    }
+
+    #[test]
+    fn staleness_at_exact_threshold_refreshes() {
+        let cat = Catalog::new();
+        let rel = relation();
+        let key = StatKey::new("t", &["c"]);
+        maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        // 100 rows → threshold exactly 60; the boundary must refresh.
+        cat.note_updates("t", 60);
+        let out = maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        assert_eq!(out, MaintenanceOutcome::Refreshed);
+        assert_eq!(cat.staleness(&key).unwrap(), 0);
+    }
+
+    #[test]
+    fn aborted_refresh_keeps_previous_entry_and_staleness() {
+        let cat = Catalog::new();
+        let rel = relation();
+        let key = StatKey::new("t", &["c"]);
+        maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        let before = cat.get(&key).unwrap();
+        cat.note_updates("t", 61);
+        let err = maintain_column_with_hook(
+            &cat,
+            &rel,
+            "c",
+            SPEC,
+            &RefreshPolicy::default(),
+            &mut |stage| {
+                if stage == RefreshStage::BeforeStore {
+                    Err(crate::error::StoreError::Codec("injected abort".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("injected abort"));
+        // The old histogram is still served and the column is still due.
+        assert_eq!(cat.get(&key).unwrap(), before);
+        assert_eq!(cat.staleness(&key).unwrap(), 61);
     }
 
     #[test]

@@ -164,7 +164,7 @@ mod properties {
     }
 
     proptest! {
-        /// The VOHD snapshot is lossless for arbitrary catalog contents.
+        /// The VOHE snapshot is lossless for arbitrary catalog contents.
         #[test]
         fn snapshot_round_trips_any_contents(contents in contents_strategy()) {
             let (relations, with_matrix) = contents;
@@ -201,11 +201,13 @@ mod properties {
             );
         }
 
-        /// Flipping an arbitrary bit anywhere in the snapshot must not
-        /// panic (decoding may succeed with different data or fail with
-        /// an error; either is acceptable, aborting is not).
+        /// Flipping an arbitrary bit anywhere in the snapshot is a
+        /// codec error, never a panic and never a silently different
+        /// catalog: the trailing FxHash-64 checksum covers the whole
+        /// payload, and a flip inside the checksum itself mismatches
+        /// the (unchanged) payload.
         #[test]
-        fn bit_flips_never_panic(
+        fn bit_flips_are_always_detected(
             contents in contents_strategy(),
             pos_frac in 0.0f64..1.0,
             bit in 0u32..8,
@@ -215,7 +217,12 @@ mod properties {
                 encode_catalog(&arbitrary_catalog(&relations, with_matrix)).to_vec();
             let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
             bytes[pos] ^= 1u8 << bit;
-            let _ = decode_catalog(Bytes::from(bytes));
+            let err = decode_catalog(Bytes::from(bytes))
+                .expect_err("corrupted snapshot decoded successfully");
+            prop_assert!(
+                matches!(err, StoreError::Codec(_)),
+                "expected StoreError::Codec, got {err:?}"
+            );
         }
     }
 }

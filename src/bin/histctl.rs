@@ -40,6 +40,12 @@ commands:
                 (runs a demo workload and prints the observability snapshot:
                  catalog hit/miss counters, per-class construction latency,
                  span timings, and per-histogram Q-error aggregates)
+  selftest      [--seed S] [--budget-ms MS] [--emit-snapshot FILE] [--snapshot FILE]
+                (runs the oracle: differential checks of every histogram
+                 class against brute-force ground truth plus fault
+                 injection; prints a deterministic JSON report and exits
+                 nonzero on any violation. --emit-snapshot writes the
+                 seed's reference catalog; --snapshot verifies one first)
 
 CLASS names a registered histogram builder (default v_opt_end_biased),
 optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
@@ -334,6 +340,51 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the oracle selftest: seed-deterministic differential checks of
+/// the paper's theorems plus fault-injection scenarios, reported as JSON
+/// on stdout. The report is byte-identical across runs with the same
+/// seed and budget, so CI can diff it. Any violation — including a
+/// check that silently did not run — exits nonzero.
+fn cmd_selftest(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let budget_ms: u64 = flags
+        .get("budget-ms")
+        .map(|s| parse_num(s, "budget-ms"))
+        .transpose()?
+        .unwrap_or(30_000);
+
+    if let Some(path) = flags.get("snapshot") {
+        let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+        let entries =
+            oracle::verify_snapshot(bytes.into()).map_err(|e| format!("snapshot {path}: {e}"))?;
+        eprintln!("histctl: snapshot {path} verified ({entries} catalog entries)");
+    }
+    if let Some(path) = flags.get("emit-snapshot") {
+        let snap = oracle::reference_snapshot(seed)?;
+        std::fs::write(path, snap.to_vec()).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("histctl: wrote reference snapshot for seed {seed} to {path}");
+    }
+
+    let report = oracle::run(seed, budget_ms);
+    outln!("{}", report.to_json());
+    if report.passed {
+        Ok(())
+    } else {
+        Err(format!(
+            "selftest failed with {} violation(s); first: {}",
+            report.violations.len(),
+            report
+                .violations
+                .first()
+                .map_or("<none recorded>", |v| v.as_str())
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -348,6 +399,7 @@ fn main() -> ExitCode {
         "estimate-join" => cmd_estimate_join(&flags),
         "query" => cmd_query(&flags),
         "metrics" => cmd_metrics(&flags),
+        "selftest" => cmd_selftest(&flags),
         "-h" | "--help" | "help" => {
             outln!("{USAGE}");
             Ok(())

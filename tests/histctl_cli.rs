@@ -132,3 +132,94 @@ fn class_flag_reaches_query_pipeline() {
         "estimate line should echo the class: {stdout}"
     );
 }
+
+#[test]
+fn selftest_is_byte_identical_across_reruns() {
+    let first = histctl(&["selftest", "--seed", "3", "--budget-ms", "0"]);
+    assert!(
+        first.status.success(),
+        "selftest failed: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = histctl(&["selftest", "--seed", "3", "--budget-ms", "0"]);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "same seed and budget must produce byte-identical JSON"
+    );
+    let report = String::from_utf8_lossy(&first.stdout);
+    assert!(report.contains("\"passed\":true"), "report: {report}");
+    assert!(report.contains("\"seed\":3"), "report: {report}");
+
+    let other = histctl(&["selftest", "--seed", "4", "--budget-ms", "0"]);
+    assert!(other.status.success());
+    assert_ne!(
+        first.stdout, other.stdout,
+        "different seeds must exercise different workloads"
+    );
+}
+
+#[test]
+fn selftest_rejects_a_corrupted_snapshot() {
+    let snap = scratch("selftest_ref.snap");
+    let out = histctl(&[
+        "selftest",
+        "--seed",
+        "2",
+        "--budget-ms",
+        "0",
+        "--emit-snapshot",
+        &snap,
+    ]);
+    assert!(
+        out.status.success(),
+        "emit-snapshot failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The pristine snapshot verifies.
+    let ok = histctl(&[
+        "selftest",
+        "--seed",
+        "2",
+        "--budget-ms",
+        "0",
+        "--snapshot",
+        &snap,
+    ]);
+    assert!(
+        ok.status.success(),
+        "clean snapshot rejected: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // Flip one byte in the middle: the run must exit nonzero with the
+    // error on stderr, before any checks execute.
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    let bad = scratch("selftest_bad.snap");
+    std::fs::write(&bad, &bytes).expect("write corrupted snapshot");
+    let err = histctl(&[
+        "selftest",
+        "--seed",
+        "2",
+        "--budget-ms",
+        "0",
+        "--snapshot",
+        &bad,
+    ]);
+    assert!(
+        !err.status.success(),
+        "corrupted snapshot must exit nonzero"
+    );
+    let stderr = String::from_utf8_lossy(&err.stderr);
+    assert!(
+        stderr.contains("snapshot") && stderr.contains(&bad),
+        "stderr should name the snapshot: {stderr}"
+    );
+    assert!(
+        String::from_utf8_lossy(&err.stdout).is_empty(),
+        "a rejected snapshot must not emit a report on stdout"
+    );
+}

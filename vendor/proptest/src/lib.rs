@@ -449,6 +449,54 @@ pub mod test_runner {
     use crate::strategy::TestRng;
     use rand::SeedableRng;
 
+    /// Loads the persisted regression seeds for a test file.
+    ///
+    /// `file` is the `file!()` path of the test source (relative to the
+    /// workspace root, where cargo invokes rustc); the corpus lives next
+    /// to it as `<stem>.proptest-regressions`, one `cc <hex>` line per
+    /// saved failure, as real proptest writes them. The test binary runs
+    /// with the *package* directory as CWD, so the path is tried as
+    /// given and then two levels up. A missing file simply means no
+    /// saved regressions.
+    fn regression_seeds(file: &str) -> Vec<u64> {
+        let corpus = match file.strip_suffix(".rs") {
+            Some(stem) => format!("{stem}.proptest-regressions"),
+            None => return Vec::new(),
+        };
+        let content = std::fs::read_to_string(&corpus)
+            .or_else(|_| std::fs::read_to_string(format!("../../{corpus}")));
+        let Ok(content) = content else {
+            return Vec::new();
+        };
+        parse_corpus(&content)
+    }
+
+    /// Parses `cc <hex>` corpus lines into replay seeds (comments and
+    /// malformed lines are ignored, matching real proptest's tolerance).
+    pub(crate) fn parse_corpus(content: &str) -> Vec<u64> {
+        content
+            .lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                let hex = line.strip_prefix("cc ")?.split_whitespace().next()?;
+                // Fold the persisted 256-bit case hash down to the u64
+                // our RNG seeds from: XOR of its 16-hex-digit chunks.
+                let mut seed = 0u64;
+                let mut chunk = 0u64;
+                let mut digits = 0u32;
+                for c in hex.chars() {
+                    chunk = (chunk << 4) | c.to_digit(16)? as u64;
+                    digits += 1;
+                    if digits.is_multiple_of(16) {
+                        seed ^= chunk;
+                        chunk = 0;
+                    }
+                }
+                Some(seed ^ chunk)
+            })
+            .collect()
+    }
+
     /// Why a single test case did not pass.
     #[derive(Debug)]
     pub enum TestCaseError {
@@ -501,10 +549,34 @@ pub mod test_runner {
         /// Runs `f` until `cases` samples pass (or one fails). `f`
         /// returns the case's rendered inputs plus its outcome; the RNG
         /// is seeded from `name` so failures reproduce exactly.
-        pub fn run<F>(&mut self, name: &str, mut f: F)
+        pub fn run<F>(&mut self, name: &str, f: F)
         where
             F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
         {
+            self.run_in_file("", name, f)
+        }
+
+        /// Like [`TestRunner::run`], but first replays every seed in the
+        /// file's persisted `.proptest-regressions` corpus (if any)
+        /// before generating novel cases — so a once-found failure stays
+        /// fixed for everyone who checks out the corpus. Rejections
+        /// during replay are skipped (the regression may predate a
+        /// strategy change); failures panic with the regression seed in
+        /// the message.
+        pub fn run_in_file<F>(&mut self, file: &str, name: &str, mut f: F)
+        where
+            F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+        {
+            for seed in regression_seeds(file) {
+                let mut rng = TestRng::seed_from_u64(seed ^ fnv1a(name));
+                let (inputs, outcome) = f(&mut rng);
+                if let Err(TestCaseError::Fail(msg)) = outcome {
+                    panic!(
+                        "property '{name}' failed on persisted regression \
+                         {seed:#018x}\n  inputs: {inputs}\n  {msg}"
+                    );
+                }
+            }
             let mut rng = TestRng::seed_from_u64(fnv1a(name));
             let mut accepted = 0;
             let mut rejected = 0u32;
@@ -559,7 +631,7 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut runner = $crate::test_runner::TestRunner::default();
-                runner.run(stringify!($name), |rng| {
+                runner.run_in_file(file!(), stringify!($name), |rng| {
                     $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
                     let inputs = [
                         $(format!("{} = {:?}", stringify!($arg), &$arg)),+
@@ -690,6 +762,46 @@ mod tests {
         })) {
             prop_assert_eq!(pair.0, pair.1.len());
         }
+    }
+
+    #[test]
+    fn corpus_parsing_folds_case_hashes() {
+        let content = "# comment line\n\
+                       cc 7038a83dab1aff6122f07b889b285b7b7f561526e58445dab55f57eb766cec1b # shrinks to x = 0\n\
+                       cc 00000000000000010000000000000002\n\
+                       not a corpus line\n\
+                       cc 0x\n";
+        let seeds = crate::test_runner::parse_corpus(content);
+        assert_eq!(seeds.len(), 2, "{seeds:?}");
+        assert_eq!(
+            seeds[0],
+            0x7038_a83d_ab1a_ff61
+                ^ 0x22f0_7b88_9b28_5b7b
+                ^ 0x7f56_1526_e584_45da
+                ^ 0xb55f_57eb_766c_ec1b
+        );
+        assert_eq!(seeds[1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "persisted regression")]
+    fn regression_replay_failures_name_the_seed() {
+        // Build a corpus under the OS tmpdir and point the runner at it
+        // with a property that always fails: the panic must say which
+        // regression seed reproduced the failure.
+        let dir = std::env::temp_dir().join("proptest_corpus_test");
+        std::fs::create_dir_all(&dir).expect("create corpus dir");
+        let source = dir.join("fake_test.rs");
+        let corpus = dir.join("fake_test.proptest-regressions");
+        std::fs::write(&corpus, "cc 000000000000002a\n").expect("write corpus");
+        let mut runner = crate::test_runner::TestRunner::default();
+        runner.run_in_file(source.to_str().unwrap(), "always_fails_on_replay", |rng| {
+            let x = crate::strategy::Strategy::sample(&(0u64..10), rng);
+            (
+                format!("x = {x:?}"),
+                Err(crate::test_runner::TestCaseError::fail("nope".into())),
+            )
+        });
     }
 
     #[test]
