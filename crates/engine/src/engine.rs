@@ -17,6 +17,9 @@
 
 use crate::ast::{ColumnRef, FilterPredicate, Query};
 use crate::error::{EngineError, Result};
+use crate::ladder::{
+    uniform_filter_selectivity, EstimatePolicy, EstimateRung, StatsUse, UNIFORM_DISTINCT_DEFAULT,
+};
 use crate::parser;
 use relstore::catalog::StatKey;
 use relstore::join::materialize_join;
@@ -35,6 +38,65 @@ pub struct Engine {
     /// ANALYZE time (the "value dictionary" a real system keeps as
     /// column metadata).
     domains: HashMap<(String, String), Vec<u64>>,
+    /// When the estimator stops trusting stored histograms and drops
+    /// down the degradation ladder.
+    policy: EstimatePolicy,
+}
+
+/// Everything the estimator resolved about one column: the surviving
+/// statistics plus the ladder rung they support. Frequencies are then
+/// always read through [`ColumnStats::approx_frequency`], which answers
+/// from the rung, never from missing data.
+pub(crate) struct ColumnStats<'a> {
+    pub(crate) rung: EstimateRung,
+    hist: Option<StoredHistogram>,
+    domain: Option<&'a [u64]>,
+    rows: f64,
+}
+
+impl ColumnStats<'_> {
+    /// Estimated frequency of one value under this rung. Never called
+    /// on the `uniform` rung (no per-value model exists there; callers
+    /// use the System R constants instead).
+    fn approx_frequency(&self, value: u64) -> f64 {
+        match self.rung {
+            EstimateRung::Spec => self
+                .hist
+                .as_ref()
+                .expect("spec rung has a histogram")
+                .approx_frequency(value) as f64,
+            EstimateRung::EndBiased => {
+                // The histogram is degraded: its singleton exception
+                // values (the end-biased high frequencies of §4.2) stay
+                // trustworthy under updates, but the bulk averages do
+                // not. Keep the exceptions, re-spread the remaining
+                // live mass uniformly over the unlisted values.
+                let hist = self.hist.as_ref().expect("end_biased rung has a histogram");
+                let domain = self.domain.expect("end_biased rung has a domain");
+                let exceptions = hist.exceptions();
+                match exceptions.binary_search_by_key(&value, |&(v, _)| v) {
+                    Ok(i) => hist.bucket_avgs()[exceptions[i].1 as usize] as f64,
+                    Err(_) => {
+                        let listed_mass: f64 = exceptions
+                            .iter()
+                            .map(|&(_, b)| hist.bucket_avgs()[b as usize] as f64)
+                            .sum();
+                        let unlisted = (domain.len() as f64 - exceptions.len() as f64).max(1.0);
+                        (self.rows - listed_mass).max(0.0) / unlisted
+                    }
+                }
+            }
+            EstimateRung::Trivial => {
+                // The paper's trivial histogram: one bucket over the
+                // whole dictionary.
+                let domain = self.domain.expect("trivial rung has a domain");
+                self.rows / (domain.len() as f64).max(1.0)
+            }
+            EstimateRung::Uniform => {
+                unreachable!("uniform rung has no per-value frequency model")
+            }
+        }
+    }
 }
 
 impl Engine {
@@ -314,75 +376,176 @@ impl Engine {
         Ok(acc.num_rows() as u128)
     }
 
-    fn stored(&self, c: &ColumnRef) -> Result<StoredHistogram> {
-        self.catalog
-            .get(&StatKey::new(c.table.clone(), &[c.column.as_str()]))
-            .map_err(|_| EngineError::MissingStatistics(c.to_string()))
+    /// Replaces the degradation-ladder policy (staleness hard limit and
+    /// breaker threshold).
+    pub fn set_estimate_policy(&mut self, policy: EstimatePolicy) {
+        self.policy = policy;
     }
 
-    fn domain(&self, c: &ColumnRef) -> Result<&[u64]> {
-        self.domains
+    /// The current degradation-ladder policy.
+    pub fn estimate_policy(&self) -> EstimatePolicy {
+        self.policy
+    }
+
+    /// Drops every stored histogram and value dictionary, as after a
+    /// statistics catalog is lost without a recoverable snapshot.
+    /// Estimation keeps working from the `uniform` rung; execution is
+    /// unaffected.
+    pub fn clear_statistics(&mut self) {
+        self.catalog = Catalog::new();
+        self.domains.clear();
+    }
+
+    /// Resolves the best surviving statistics for one column and the
+    /// ladder rung they support:
+    ///
+    /// * histogram + dictionary, fresh and un-quarantined → `spec`;
+    /// * histogram + dictionary, but stale past the policy's hard limit
+    ///   or with a refresh-failure streak at the breaker threshold →
+    ///   `end_biased`;
+    /// * dictionary only → `trivial`;
+    /// * nothing → `uniform`.
+    ///
+    /// Every resolution bumps the `estimate_rung_total{rung=…}` counter,
+    /// so degraded answers are visible in `histctl metrics`.
+    pub(crate) fn resolve_stats(&self, c: &ColumnRef) -> Result<ColumnStats<'_>> {
+        let rows = self.relation(&c.table)?.num_rows() as f64;
+        let key = StatKey::new(c.table.clone(), &[c.column.as_str()]);
+        let hist = self.catalog.get(&key).ok();
+        let domain = self
+            .domains
             .get(&(c.table.clone(), c.column.clone()))
             .map(Vec::as_slice)
-            .ok_or_else(|| EngineError::MissingStatistics(c.to_string()))
+            .filter(|d| !d.is_empty());
+        let rung = match (&hist, domain) {
+            (Some(_), Some(_)) => {
+                let stale = self.catalog.staleness(&key).unwrap_or(u64::MAX)
+                    > self.policy.hard_staleness_limit;
+                let breaker_open = self
+                    .catalog
+                    .refresh_failure(&key)
+                    .is_some_and(|f| f.count >= self.policy.breaker_failure_threshold);
+                if stale || breaker_open {
+                    EstimateRung::EndBiased
+                } else {
+                    EstimateRung::Spec
+                }
+            }
+            (None, Some(_)) => EstimateRung::Trivial,
+            _ => EstimateRung::Uniform,
+        };
+        obs::counter(&obs::labeled("estimate_rung_total", "rung", rung.name())).inc();
+        Ok(ColumnStats {
+            rung,
+            hist,
+            domain,
+            rows,
+        })
     }
 
-    /// Estimated mass (tuple count) a filter keeps, from the stored
-    /// histogram over the column's value dictionary.
-    pub(crate) fn filter_mass(&self, f: &FilterPredicate) -> Result<f64> {
-        let hist = self.stored(&f.column)?;
-        let domain = self.domain(&f.column)?;
-        Ok(domain
-            .iter()
-            .filter(|&&v| f.matches(v))
-            .map(|&v| hist.approx_frequency(v) as f64)
-            .sum())
+    /// Selectivity of one filter predicate and the rung that answered.
+    /// On rungs with a per-value model the mass of passing values is
+    /// summed over the dictionary exactly as before; the `uniform` rung
+    /// answers with System R's constants.
+    pub(crate) fn filter_selectivity(&self, f: &FilterPredicate) -> Result<(f64, EstimateRung)> {
+        let stats = self.resolve_stats(&f.column)?;
+        let sel = match stats.rung {
+            EstimateRung::Uniform => uniform_filter_selectivity(&f.op),
+            _ => {
+                let mass: f64 = stats
+                    .domain
+                    .expect("non-uniform rungs have a domain")
+                    .iter()
+                    .filter(|&&v| f.matches(v))
+                    .map(|&v| stats.approx_frequency(v))
+                    .sum();
+                (mass / stats.rows.max(1.0)).clamp(0.0, 1.0)
+            }
+        };
+        Ok((sel, stats.rung))
     }
 
     /// Estimates the query's `COUNT(*)` from catalog statistics alone —
-    /// no base data is touched.
+    /// no base data is touched. Never fails for missing statistics: the
+    /// ladder degrades to System R defaults instead.
     pub fn estimate(&self, query: &Query) -> Result<f64> {
+        self.estimate_with_sources(query).map(|(est, _)| est)
+    }
+
+    /// Like [`Engine::estimate`], additionally reporting which ladder
+    /// rung answered each statistics lookup.
+    pub fn estimate_with_sources(&self, query: &Query) -> Result<(f64, Vec<StatsUse>)> {
         let _span = obs::span("estimate");
         self.bind(query)?;
+        let mut sources = Vec::new();
         // Base cardinalities and filter selectivities.
         let mut estimate = 1.0f64;
         for t in &query.tables {
             let rows = self.relation(t)?.num_rows() as f64;
             estimate *= rows;
             if rows == 0.0 {
-                return Ok(0.0);
+                return Ok((0.0, sources));
             }
         }
         for f in &query.filters {
-            let rows = self.relation(&f.column.table)?.num_rows() as f64;
-            let mass = self.filter_mass(f)?;
-            estimate *= (mass / rows).clamp(0.0, 1.0);
+            let (sel, rung) = self.filter_selectivity(f)?;
+            estimate *= sel;
+            sources.push(StatsUse {
+                target: f.column.to_string(),
+                rung,
+            });
         }
         // Join selectivities.
         for j in &query.joins {
-            estimate *= self.join_selectivity(j)?;
+            let (sel, rung) = self.join_selectivity(j)?;
+            estimate *= sel;
+            sources.push(StatsUse {
+                target: format!("{} = {}", j.left, j.right),
+                rung,
+            });
         }
-        Ok(estimate)
+        Ok((estimate, sources))
     }
 
-    /// Selectivity of one equality join predicate, from the stored
-    /// histograms: `Σ_v âL(v)·âR(v) / (|L|·|R|)` over the union of both
-    /// columns' value dictionaries.
-    pub(crate) fn join_selectivity(&self, j: &crate::ast::JoinPredicate) -> Result<f64> {
-        let lh = self.stored(&j.left)?;
-        let rh = self.stored(&j.right)?;
-        let mut domain: Vec<u64> = self
-            .domain(&j.left)?
-            .iter()
-            .chain(self.domain(&j.right)?)
-            .copied()
-            .collect();
+    /// Selectivity of one equality join predicate and the rung that
+    /// answered (the worse of the two sides). With both sides on `spec`
+    /// this is `Σ_v âL(v)·âR(v) / (|L|·|R|)` over the union of both
+    /// dictionaries, on exactly the shared estimator code path the
+    /// oracle pins; degraded sides substitute their rung's per-value
+    /// model, and a side with no dictionary at all falls back to
+    /// System R's `1/max(V₁,V₂)` with unknown `V` defaulted to 10.
+    pub(crate) fn join_selectivity(
+        &self,
+        j: &crate::ast::JoinPredicate,
+    ) -> Result<(f64, EstimateRung)> {
+        let left = self.resolve_stats(&j.left)?;
+        let right = self.resolve_stats(&j.right)?;
+        let rung = left.rung.worse(right.rung);
+        let (Some(l_dom), Some(r_dom)) = (left.domain, right.domain) else {
+            let v_l = left
+                .domain
+                .map_or(UNIFORM_DISTINCT_DEFAULT, |d| d.len() as f64);
+            let v_r = right
+                .domain
+                .map_or(UNIFORM_DISTINCT_DEFAULT, |d| d.len() as f64);
+            return Ok(((1.0 / v_l.max(v_r).max(1.0)).clamp(0.0, 1.0), rung));
+        };
+        let mut domain: Vec<u64> = l_dom.iter().chain(r_dom).copied().collect();
         domain.sort_unstable();
         domain.dedup();
-        let overlap: f64 = query::estimate::estimate_two_way_join(&lh, &rh, &domain);
+        let overlap: f64 = if left.rung == EstimateRung::Spec && right.rung == EstimateRung::Spec {
+            let lh = left.hist.as_ref().expect("spec rung has a histogram");
+            let rh = right.hist.as_ref().expect("spec rung has a histogram");
+            query::estimate::estimate_two_way_join(lh, rh, &domain)
+        } else {
+            domain
+                .iter()
+                .map(|&v| left.approx_frequency(v) * right.approx_frequency(v))
+                .sum()
+        };
         let l_rows = self.relation(&j.left.table)?.num_rows() as f64;
         let r_rows = self.relation(&j.right.table)?.num_rows() as f64;
-        Ok((overlap / (l_rows * r_rows)).clamp(0.0, 1.0))
+        Ok(((overlap / (l_rows * r_rows)).clamp(0.0, 1.0), rung))
     }
 }
 
@@ -567,17 +730,125 @@ mod tests {
     }
 
     #[test]
-    fn estimate_requires_statistics() {
+    fn estimate_without_statistics_answers_from_the_uniform_rung() {
         let mut e = Engine::new();
         let f0 = zipf_frequencies(100, 5, 0.0).unwrap();
         e.register(relation_from_frequency_set("t", "a", &f0, 1).unwrap());
         let q = e.parse("SELECT COUNT(*) FROM t WHERE t.a = 1").unwrap();
-        assert!(matches!(
-            e.estimate(&q),
-            Err(EngineError::MissingStatistics(_))
-        ));
+        // Never ANALYZEd: System R's 1/10 equality default applies.
+        let (est, sources) = e.estimate_with_sources(&q).unwrap();
+        assert!((est - 10.0).abs() < 1e-9, "est {est}");
+        assert_eq!(
+            sources,
+            vec![StatsUse {
+                target: "t.a".to_string(),
+                rung: EstimateRung::Uniform,
+            }]
+        );
         // Execution works without statistics.
         assert_eq!(e.execute(&q).unwrap(), 20);
+    }
+
+    #[test]
+    fn emptied_catalog_degrades_to_uniform_instead_of_erroring() {
+        let mut e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = 2")
+            .unwrap();
+        assert!(e.estimate(&q).is_ok());
+        e.clear_statistics();
+        let (est, sources) = e.estimate_with_sources(&q).unwrap();
+        // 200 × 300 × sel(=) × sel(join) = 60000 × 0.1 × 0.1 = 600.
+        assert!((est - 600.0).abs() < 1e-9, "est {est}");
+        assert!(sources.iter().all(|s| s.rung == EstimateRung::Uniform));
+        assert_eq!(sources.len(), 2);
+    }
+
+    #[test]
+    fn fresh_statistics_answer_from_the_spec_rung() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = 2")
+            .unwrap();
+        let (_, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources.len(), 2);
+        assert!(sources.iter().all(|s| s.rung == EstimateRung::Spec));
+    }
+
+    #[test]
+    fn staleness_past_hard_limit_demotes_to_end_biased() {
+        let mut e = engine_with_chain();
+        e.set_estimate_policy(EstimatePolicy {
+            hard_staleness_limit: 50,
+            ..EstimatePolicy::default()
+        });
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 2").unwrap();
+        let (_, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].rung, EstimateRung::Spec);
+        e.catalog().note_updates("r0", 51);
+        let (est, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].rung, EstimateRung::EndBiased);
+        assert!(est.is_finite() && est >= 0.0);
+    }
+
+    #[test]
+    fn refresh_failure_streak_opens_the_estimator_breaker() {
+        let e = engine_with_chain();
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 2").unwrap();
+        let key = StatKey::new("r0", &["a"]);
+        for _ in 0..e.estimate_policy().breaker_failure_threshold {
+            e.catalog().note_refresh_failure(&key, "disk on fire");
+        }
+        let (_, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].rung, EstimateRung::EndBiased);
+        // Only the quarantined column degrades; r1 stays on spec.
+        let q2 = e.parse("SELECT COUNT(*) FROM r1 WHERE r1.a = 2").unwrap();
+        let (_, sources2) = e.estimate_with_sources(&q2).unwrap();
+        assert_eq!(sources2[0].rung, EstimateRung::Spec);
+    }
+
+    #[test]
+    fn dictionary_without_histogram_uses_the_trivial_rung() {
+        let mut e = Engine::new();
+        let f0 = zipf_frequencies(100, 5, 0.0).unwrap();
+        e.register(relation_from_frequency_set("t", "a", &f0, 1).unwrap());
+        // A surviving value dictionary but no catalog entry (e.g. the
+        // histogram was never rebuilt after recovery).
+        e.domains
+            .insert(("t".to_string(), "a".to_string()), (0..5).collect());
+        let q = e
+            .parse("SELECT COUNT(*) FROM t WHERE t.a IN (0, 1)")
+            .unwrap();
+        let (est, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].rung, EstimateRung::Trivial);
+        // rows/|domain| = 20 per value, two values pass: 40.
+        assert!((est - 40.0).abs() < 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn end_biased_rung_keeps_exception_values_exact() {
+        // Heavy skew: the top value sits in a singleton bucket whose
+        // average survives degradation untouched.
+        let mut e = Engine::new();
+        let f0 = zipf_frequencies(10_000, 50, 1.5).unwrap();
+        e.register(relation_from_frequency_set("t", "a", &f0, 1).unwrap());
+        e.analyze_all(8).unwrap();
+        let q = e.parse("SELECT COUNT(*) FROM t WHERE t.a = 0").unwrap();
+        let (fresh, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].rung, EstimateRung::Spec);
+        e.set_estimate_policy(EstimatePolicy {
+            hard_staleness_limit: 0,
+            ..EstimatePolicy::default()
+        });
+        e.catalog().note_updates("t", 1);
+        let (degraded, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].rung, EstimateRung::EndBiased);
+        // The top value is an end-biased exception: its estimate is
+        // unchanged by the demotion.
+        assert!(
+            (degraded - fresh).abs() < 1e-9,
+            "degraded {degraded} vs fresh {fresh}"
+        );
     }
 
     #[test]

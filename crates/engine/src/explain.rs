@@ -10,6 +10,7 @@
 use crate::ast::{FilterPredicate, JoinPredicate, Query};
 use crate::engine::Engine;
 use crate::error::{EngineError, Result};
+use crate::ladder::{EstimateRung, StatsUse};
 use relstore::join::materialize_join;
 use relstore::Relation;
 use std::collections::{HashMap, HashSet};
@@ -44,8 +45,20 @@ impl PlanStep {
 pub struct ExplainOutput {
     /// Steps in execution order (scans first, then joins).
     pub steps: Vec<PlanStep>,
+    /// Which degradation-ladder rung answered each statistics lookup
+    /// the optimizer performed (one entry per filter and join
+    /// predicate, in plan order).
+    pub stats_sources: Vec<StatsUse>,
     /// The exact `COUNT(*)`.
     pub count: u128,
+}
+
+impl ExplainOutput {
+    /// The worst (most degraded) rung any lookup fell to, if statistics
+    /// were consulted at all.
+    pub fn worst_rung(&self) -> Option<EstimateRung> {
+        self.stats_sources.iter().map(|s| s.rung).max()
+    }
 }
 
 impl fmt::Display for ExplainOutput {
@@ -66,21 +79,25 @@ impl fmt::Display for ExplainOutput {
                 format!("{:.1?}", s.elapsed)
             )?;
         }
+        for s in &self.stats_sources {
+            writeln!(f, "stats {:<46} via {} rung", s.target, s.rung.name())?;
+        }
         write!(f, "COUNT(*) = {}", self.count)
     }
 }
 
 impl Engine {
     /// Estimated output cardinality of joining two intermediate results
-    /// through `predicate`, given their current estimated cardinalities.
+    /// through `predicate`, given their current estimated cardinalities,
+    /// plus the ladder rung the selectivity came from.
     fn join_step_estimate(
         &self,
         predicate: &JoinPredicate,
         est_left_rows: f64,
         est_right_rows: f64,
-    ) -> Result<f64> {
-        let sel = self.join_selectivity(predicate)?;
-        Ok(est_left_rows * est_right_rows * sel)
+    ) -> Result<(f64, EstimateRung)> {
+        let (sel, rung) = self.join_selectivity(predicate)?;
+        Ok((est_left_rows * est_right_rows * sel, rung))
     }
 
     /// Executes the query with statistics-driven join ordering and
@@ -93,6 +110,7 @@ impl Engine {
         obs::counter("engine_queries_total").inc();
         self.bind(query)?;
         let mut steps = Vec::new();
+        let mut stats_sources = Vec::new();
 
         // Scan + filter every base table, recording estimated vs actual.
         let mut per_table: HashMap<&str, Vec<&FilterPredicate>> = HashMap::new();
@@ -109,10 +127,13 @@ impl Engine {
             let filters = per_table.get(t.as_str()).map_or(&[][..], Vec::as_slice);
             let filtered = self.filtered_base(t, filters)?;
             let mut est = self.relation(t)?.num_rows() as f64;
-            let base_rows = est;
             for f in filters {
-                let mass = self.filter_mass(f)?;
-                est *= (mass / base_rows.max(1.0)).clamp(0.0, 1.0);
+                let (sel, rung) = self.filter_selectivity(f)?;
+                est *= sel;
+                stats_sources.push(StatsUse {
+                    target: f.column.to_string(),
+                    rung,
+                });
             }
             steps.push(PlanStep {
                 description: if filters.is_empty() {
@@ -131,7 +152,11 @@ impl Engine {
         if query.tables.len() == 1 {
             let count = bases[&query.tables[0]].num_rows() as u128;
             self.record_query_quality(query, est_rows[&query.tables[0]], count);
-            return Ok(ExplainOutput { steps, count });
+            return Ok(ExplainOutput {
+                steps,
+                stats_sources,
+                count,
+            });
         }
         if query.joins.is_empty() {
             return Err(EngineError::InvalidJoinGraph(
@@ -145,7 +170,7 @@ impl Engine {
         let first_idx = {
             let mut best = (f64::INFINITY, 0usize);
             for (i, j) in pending.iter().enumerate() {
-                let e =
+                let (e, _) =
                     self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
                 if e < best.0 {
                     best = (e, i);
@@ -155,8 +180,12 @@ impl Engine {
         };
         let j = pending.remove(first_idx);
         let sp = obs::span("join");
-        let mut acc_est =
+        let (mut acc_est, first_rung) =
             self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
+        stats_sources.push(StatsUse {
+            target: format!("{} = {}", j.left, j.right),
+            rung: first_rung,
+        });
         let mut acc = materialize_join(
             &bases[&j.left.table],
             &j.left.to_string(),
@@ -184,7 +213,11 @@ impl Engine {
                 // pair: its selectivity within the intermediate is the
                 // pair-overlap selectivity scaled back up by one side's
                 // cardinality (the other side is already fixed per row).
-                let sel = self.join_selectivity(j)?;
+                let (sel, rung) = self.join_selectivity(j)?;
+                stats_sources.push(StatsUse {
+                    target: format!("{} = {}", j.left, j.right),
+                    rung,
+                });
                 acc_est *= sel * self.relation(&j.left.table)?.num_rows() as f64;
                 acc = Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?;
                 steps.push(PlanStep {
@@ -197,7 +230,7 @@ impl Engine {
             }
             // Among joins that connect a new table, pick the smallest
             // estimated output.
-            let mut best: Option<(f64, usize)> = None;
+            let mut best: Option<(f64, usize, EstimateRung)> = None;
             for (i, j) in pending.iter().enumerate() {
                 let l_in = joined.contains(&j.left.table);
                 let r_in = joined.contains(&j.right.table);
@@ -205,12 +238,12 @@ impl Engine {
                     continue;
                 }
                 let new_table = if l_in { &j.right.table } else { &j.left.table };
-                let e = self.join_step_estimate(j, acc_est, est_rows[new_table])?;
-                if best.is_none_or(|(b, _)| e < b) {
-                    best = Some((e, i));
+                let (e, rung) = self.join_step_estimate(j, acc_est, est_rows[new_table])?;
+                if best.is_none_or(|(b, _, _)| e < b) {
+                    best = Some((e, i, rung));
                 }
             }
-            let Some((step_est, idx)) = best else {
+            let Some((step_est, idx, step_rung)) = best else {
                 return Err(EngineError::InvalidJoinGraph(format!(
                     "tables {:?} are not connected to the rest of the query",
                     query
@@ -235,6 +268,10 @@ impl Engine {
             )?;
             acc_est = step_est;
             joined.insert(new_side.table.clone());
+            stats_sources.push(StatsUse {
+                target: format!("{} = {}", j.left, j.right),
+                rung: step_rung,
+            });
             steps.push(PlanStep {
                 description: format!("join {} = {}", j.left, j.right),
                 estimated: acc_est,
@@ -244,7 +281,11 @@ impl Engine {
         }
         let count = acc.num_rows() as u128;
         self.record_query_quality(query, acc_est, count);
-        Ok(ExplainOutput { steps, count })
+        Ok(ExplainOutput {
+            steps,
+            stats_sources,
+            count,
+        })
     }
 
     /// Feeds the query's final (estimate, actual) pair to the
@@ -355,6 +396,33 @@ mod tests {
             joins[0].estimated <= joins[1].estimated * 10.0,
             "first join should not be wildly larger: {joins:?}"
         );
+    }
+
+    #[test]
+    fn explain_names_the_rung_used() {
+        let e = engine();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = 1")
+            .unwrap();
+        let out = e.explain_analyze(&q).unwrap();
+        // One filter + one join lookup, all on fresh statistics.
+        assert_eq!(out.stats_sources.len(), 2);
+        assert_eq!(out.worst_rung(), Some(EstimateRung::Spec));
+        assert!(out.to_string().contains("via spec rung"), "{out}");
+    }
+
+    #[test]
+    fn explain_after_catalog_loss_names_the_uniform_rung() {
+        let mut e = engine();
+        e.clear_statistics();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = 1")
+            .unwrap();
+        let out = e.explain_analyze(&q).unwrap();
+        assert_eq!(out.worst_rung(), Some(EstimateRung::Uniform));
+        assert!(out.to_string().contains("via uniform rung"), "{out}");
+        // The exact count is unaffected by statistics loss.
+        assert_eq!(out.count, e.execute(&q).unwrap());
     }
 
     #[test]

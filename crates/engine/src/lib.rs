@@ -12,6 +12,10 @@
 //!   hash-join pipeline), and **estimates** their result sizes from the
 //!   stored histograms with the classic
 //!   `Π |σ(Rᵢ)| × Π sel(join)` decomposition.
+//! * [`ladder`] — the graceful-degradation ladder: when statistics are
+//!   missing, stale past a hard limit, or quarantined behind an open
+//!   refresh breaker, estimation falls
+//!   `spec → end-biased → trivial → uniform` instead of erroring.
 //!
 //! ```
 //! use engine::Engine;
@@ -37,6 +41,7 @@ pub mod ast;
 pub mod engine;
 pub mod error;
 pub mod explain;
+pub mod ladder;
 pub mod parser;
 pub mod token;
 
@@ -44,3 +49,4 @@ pub use ast::Query;
 pub use engine::Engine;
 pub use error::{EngineError, Result};
 pub use explain::{ExplainOutput, PlanStep};
+pub use ladder::{EstimatePolicy, EstimateRung, StatsUse};

@@ -76,12 +76,35 @@ pub fn register_well_known() {
         "catalog_get_miss_total",
         "catalog_get_stale_total",
         "catalog_put_total",
+        "catalog_refresh_failure_total",
         "relstore_scan_rows_total",
         "relstore_hash_join_total",
         "engine_queries_total",
+        "daemon_refresh_total",
+        "daemon_refresh_failure_total",
+        "wal_append_total",
+        "wal_checkpoint_total",
+        "wal_recover_total",
+        "wal_torn_tail_total",
+        "wal_snapshot_fallback_total",
     ] {
         metrics::counter(name);
     }
+    // Degradation-ladder rung counters: which tier of statistics
+    // answered each estimator lookup.
+    for rung in ["spec", "end_biased", "trivial", "uniform"] {
+        metrics::counter(&labeled("estimate_rung_total", "rung", rung));
+    }
+    // Durability and daemon health gauges.
+    for name in [
+        "wal_journal_bytes",
+        "daemon_breaker_closed",
+        "daemon_breaker_open",
+        "daemon_breaker_half_open",
+    ] {
+        metrics::gauge(name);
+    }
+    metrics::histogram("daemon_sweep_seconds");
     for class in [
         "trivial",
         "equi_width",
@@ -117,5 +140,16 @@ mod tests {
         assert!(text.contains("catalog_get_hit_total"));
         assert!(text.contains("catalog_get_miss_total"));
         assert!(text.contains(r#"construction_seconds_bucket{class="equi_width""#));
+        // Durability / daemon / ladder families land in every exposition
+        // even before any maintenance or estimation has run.
+        assert!(text.contains("wal_journal_bytes"));
+        assert!(text.contains("daemon_breaker_closed"));
+        assert!(text.contains("daemon_breaker_open"));
+        assert!(text.contains("daemon_breaker_half_open"));
+        assert!(text.contains(r#"estimate_rung_total{rung="uniform"}"#));
+        assert!(text.contains(r#"estimate_rung_total{rung="spec"}"#));
+        assert!(text.contains("daemon_sweep_seconds_bucket"));
+        assert!(text.contains("wal_torn_tail_total"));
+        assert!(text.contains("daemon_refresh_failure_total"));
     }
 }

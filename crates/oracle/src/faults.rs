@@ -12,7 +12,10 @@
 //! engineering claim the rest of the workspace relies on: **statistics
 //! corruption is always a typed error, never a wrong estimate**, and an
 //! interrupted refresh leaves the previous statistics (and their
-//! staleness accounting) fully intact.
+//! staleness accounting) fully intact. The crash-recovery matrix drives
+//! every [`KillPoint`] of the write-ahead journal
+//! ([`relstore::wal`]) and checks that recovery always lands on a
+//! committed state — pre- or post-fault, never a torn hybrid.
 
 use crate::report::FaultReport;
 use crate::workload::Workload;
@@ -21,7 +24,8 @@ use relstore::catalog::StatKey;
 use relstore::codec::{decode_catalog, encode_catalog};
 use relstore::generate::{relation_from_frequencies, relation_from_matrix};
 use relstore::maintenance::{maintain_column_with_hook, MaintenanceOutcome, RefreshPolicy};
-use relstore::{Catalog, RefreshStage, Relation, StoreError};
+use relstore::{Catalog, DurableCatalog, KillPoint, RefreshStage, Relation, StoreError};
+use std::path::{Path, PathBuf};
 use vopt_hist::BuilderSpec;
 
 /// One injectable fault.
@@ -393,6 +397,158 @@ fn aborted_refresh_scenario(w: &Workload) -> FaultReport {
     FaultReport::from_failures(NAME, injected, failures)
 }
 
+/// The full observable catalog state the crash-recovery invariant
+/// compares: histogram bytes plus the per-relation version counters.
+fn durable_state(catalog: &Catalog) -> (Vec<u8>, Vec<(String, u64)>) {
+    (encode_catalog(catalog).to_vec(), catalog.version_snapshot())
+}
+
+/// A scratch data directory for one kill-point case, removed on drop.
+/// A global sequence number keeps concurrent runs in one process apart;
+/// the path never appears in a passing report, so determinism holds.
+struct CrashDir(PathBuf);
+
+impl CrashDir {
+    fn new(label: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "histogram-oracle-crash-{}-{}-{label}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CrashDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for CrashDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Drives one kill point against a fresh durable catalog and checks the
+/// crash-recovery invariant: after the simulated crash, `recover` must
+/// land on either the pre-fault or the post-fault *committed* state —
+/// never a torn hybrid — and the directory must stay fully serviceable.
+fn drive_kill_point(
+    relation: &Relation,
+    dir: &Path,
+    point: KillPoint,
+    checkpoint_first: bool,
+    w: &Workload,
+) -> Result<(), String> {
+    let store = DurableCatalog::open(dir).map_err(|e| format!("open: {e}"))?;
+    store
+        .analyze(relation, "a", SPEC)
+        .map_err(|e| format!("seed analyze: {e}"))?;
+    store
+        .analyze_matrix(relation, "a", "a", SPEC)
+        .map_err(|e| format!("seed matrix analyze: {e}"))?;
+    if checkpoint_first {
+        store
+            .checkpoint()
+            .map_err(|e| format!("seed checkpoint: {e}"))?;
+    }
+    // A large committed update count both varies the pre-fault state by
+    // seed and makes the column overdue for the DaemonRefresh case.
+    let delta = 1_000_000 + w.subseed(7100) % 1_000;
+    store
+        .note_updates(relation.name(), delta)
+        .map_err(|e| format!("seed note_updates: {e}"))?;
+    let pre = durable_state(store.catalog());
+
+    // What the killed operation would have committed had it finished.
+    let kill_delta = 1 + w.subseed(7200) % 1_000;
+    let post = match point {
+        KillPoint::JournalAppend | KillPoint::JournalFsync => {
+            let mut versions = pre.1.clone();
+            let slot = versions
+                .iter_mut()
+                .find(|(name, _)| name == relation.name())
+                .ok_or("seeded relation missing from version snapshot")?;
+            slot.1 = slot.1.saturating_add(kill_delta);
+            (pre.0.clone(), versions)
+        }
+        // A checkpoint compacts without changing catalog state, and a
+        // refresh killed before its scan commits nothing.
+        KillPoint::SnapshotRotate | KillPoint::DaemonRefresh => pre.clone(),
+    };
+
+    store.arm_kill(point);
+    let err = match point {
+        KillPoint::JournalAppend | KillPoint::JournalFsync => {
+            store.note_updates(relation.name(), kill_delta).err()
+        }
+        KillPoint::SnapshotRotate => store.checkpoint().err(),
+        KillPoint::DaemonRefresh => store
+            .maintain_column(relation, "a", SPEC, &RefreshPolicy::default())
+            .err(),
+    };
+    match err {
+        Some(StoreError::Io(msg)) if msg.contains(point.name()) => {}
+        Some(other) => return Err(format!("kill surfaced as unexpected error {other:?}")),
+        None => return Err("armed kill point never fired".into()),
+    }
+    drop(store);
+
+    let recovered = Catalog::recover(dir).map_err(|e| format!("recover: {e}"))?;
+    let got = durable_state(&recovered);
+    if got != pre && got != post {
+        return Err(
+            "recovered state matches neither the pre- nor the post-fault committed state".into(),
+        );
+    }
+    // The crash must not brick the directory: reopen (healing any torn
+    // tail), append, and recover the new write.
+    let store = DurableCatalog::open(dir).map_err(|e| format!("reopen after crash: {e}"))?;
+    store
+        .note_updates(relation.name(), 5)
+        .map_err(|e| format!("append after crash: {e}"))?;
+    let after = durable_state(store.catalog());
+    drop(store);
+    let recovered = Catalog::recover(dir).map_err(|e| format!("second recover: {e}"))?;
+    if durable_state(&recovered) != after {
+        return Err("a post-crash append was lost on the second recovery".into());
+    }
+    Ok(())
+}
+
+fn crash_recovery_scenario(w: &Workload) -> FaultReport {
+    const NAME: &str = "crash_recovery_restores_committed_state";
+    let mut failures = Vec::new();
+    let mut injected = 0;
+    let relation = match build_reference_catalog(w) {
+        Err(e) => {
+            failures.push(e);
+            return FaultReport::from_failures(NAME, injected, failures);
+        }
+        Ok((_, relation)) => relation,
+    };
+    // The full matrix: every kill point, against both a journal-only
+    // generation 0 and a post-checkpoint generation.
+    for checkpoint_first in [false, true] {
+        for point in KillPoint::ALL {
+            let label = format!(
+                "{}{}",
+                point.name(),
+                if checkpoint_first { "-after-ckpt" } else { "" }
+            );
+            let dir = CrashDir::new(&label);
+            injected += 1;
+            if let Err(msg) = drive_kill_point(&relation, dir.path(), point, checkpoint_first, w) {
+                failures.push(format!("{label}: {msg}"));
+            }
+        }
+    }
+    FaultReport::from_failures(NAME, injected, failures)
+}
+
 /// Runs every fault scenario, in [`crate::report::EXPECTED_FAULTS`]
 /// order.
 pub fn run_fault_checks(w: &Workload) -> Vec<FaultReport> {
@@ -401,6 +557,7 @@ pub fn run_fault_checks(w: &Workload) -> Vec<FaultReport> {
         corruption_scenario(w),
         truncation_scenario(w),
         aborted_refresh_scenario(w),
+        crash_recovery_scenario(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {
@@ -445,6 +602,15 @@ mod tests {
             decode_catalog(corrupted),
             Err(StoreError::Codec(_))
         ));
+    }
+
+    #[test]
+    fn crash_recovery_matrix_covers_every_kill_point_twice() {
+        let w = Workload::generate(9, Tier::Quick);
+        let report = crash_recovery_scenario(&w);
+        // 4 kill points × {journal-only, post-checkpoint}.
+        assert_eq!(report.injected, 8);
+        assert!(report.passed, "{:?}", report.failures);
     }
 
     #[test]

@@ -27,10 +27,11 @@ pub const EXPECTED_CHECKS: [&str; 8] = [
 /// Every fault-injection scenario a selftest run must execute, under the
 /// same no-silent-gaps rule as [`EXPECTED_CHECKS`] (zero injections fail
 /// validation).
-pub const EXPECTED_FAULTS: [&str; 3] = [
+pub const EXPECTED_FAULTS: [&str; 4] = [
     "snapshot_corruption_detected",
     "snapshot_truncation_detected",
     "aborted_refresh_preserves_catalog",
+    "crash_recovery_restores_committed_state",
 ];
 
 /// Outcome of one invariant check across its whole workload.

@@ -200,6 +200,19 @@ struct MatrixEntry {
     spec: Option<BuilderSpec>,
 }
 
+/// The failure history of a catalog entry's refresh pipeline: how many
+/// consecutive rebuilds have failed and what the last error said. A
+/// successful store clears the record, so `count` is always the length
+/// of the *current* failure streak — exactly what a circuit breaker
+/// trips on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshFailure {
+    /// Consecutive failed refreshes since the last successful store.
+    pub count: u64,
+    /// The error string of the most recent failure.
+    pub last_error: String,
+}
+
 /// A concurrent statistics catalog.
 #[derive(Debug, Default)]
 pub struct Catalog {
@@ -210,6 +223,11 @@ pub struct Catalog {
     matrix_entries: RwLock<HashMap<StatKey, MatrixEntry>>,
     /// Updates observed per relation since catalog creation.
     versions: RwLock<HashMap<String, u64>>,
+    /// Refresh-failure streaks per key (cleared by a successful store).
+    /// Kept beside the entries rather than inside them so a column
+    /// whose *first* ANALYZE fails — no entry exists yet — still has a
+    /// failure history for the maintenance daemon's breaker to read.
+    failures: RwLock<HashMap<StatKey, RefreshFailure>>,
 }
 
 impl Catalog {
@@ -235,6 +253,7 @@ impl Catalog {
     ) {
         obs::counter("catalog_put_total").inc();
         let version = self.version_of(&key.relation);
+        self.failures.write().remove(&key);
         self.entries.write().insert(
             key,
             Entry {
@@ -243,6 +262,39 @@ impl Catalog {
                 spec,
             },
         );
+    }
+
+    /// Records that a refresh (or first ANALYZE) of `key` failed with
+    /// `error`, growing the entry's consecutive-failure streak. The
+    /// streak is what the maintenance daemon's circuit breaker counts
+    /// and what `histctl metrics` exposes; a successful store clears it.
+    pub fn note_refresh_failure(&self, key: &StatKey, error: &str) {
+        obs::counter("catalog_refresh_failure_total").inc();
+        let mut failures = self.failures.write();
+        let record = failures.entry(key.clone()).or_insert(RefreshFailure {
+            count: 0,
+            last_error: String::new(),
+        });
+        record.count = record.count.saturating_add(1);
+        record.last_error = error.to_string();
+    }
+
+    /// The current refresh-failure streak of `key`, if any.
+    pub fn refresh_failure(&self, key: &StatKey) -> Option<RefreshFailure> {
+        self.failures.read().get(key).cloned()
+    }
+
+    /// Every key with a live failure streak, sorted by `(relation,
+    /// columns)` for deterministic exposition.
+    pub fn refresh_failures(&self) -> Vec<(StatKey, RefreshFailure)> {
+        let mut all: Vec<(StatKey, RefreshFailure)> = self
+            .failures
+            .read()
+            .iter()
+            .map(|(k, f)| (k.clone(), f.clone()))
+            .collect();
+        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
+        all
     }
 
     /// The spec a 1-D entry's histogram was built with, if recorded.
@@ -279,23 +331,27 @@ impl Catalog {
 
     /// Records that `updates` tuples changed in `relation` (insert,
     /// delete, or modify). Histograms built before these updates become
-    /// stale.
+    /// stale. Saturating: a counter at `u64::MAX` pins there instead of
+    /// wrapping (which would make every histogram look freshly built).
     pub fn note_updates(&self, relation: &str, updates: u64) {
-        *self
-            .versions
-            .write()
-            .entry(relation.to_string())
-            .or_insert(0) += updates;
+        let mut versions = self.versions.write();
+        let counter = versions.entry(relation.to_string()).or_insert(0);
+        *counter = counter.saturating_add(updates);
     }
 
     /// How many updates `relation` has seen since the stored histogram
-    /// was built.
+    /// was built. Saturating: an entry stamped *ahead* of the current
+    /// version counter (possible after a journal recovery rebuilt the
+    /// counters) reads as staleness 0, never as a huge wrapped value.
     pub fn staleness(&self, key: &StatKey) -> Result<u64> {
-        let entries = self.entries.read();
-        let entry = entries
-            .get(key)
-            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
-        Ok(self.version_of(&key.relation) - entry.built_at_version)
+        let built_at = {
+            let entries = self.entries.read();
+            entries
+                .get(key)
+                .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?
+                .built_at_version
+        };
+        Ok(self.version_of(&key.relation).saturating_sub(built_at))
     }
 
     /// All keys currently stored, in unspecified order.
@@ -335,6 +391,21 @@ impl Catalog {
 
     fn version_of(&self, relation: &str) -> u64 {
         self.versions.read().get(relation).copied().unwrap_or(0)
+    }
+
+    /// Every per-relation update counter, sorted by relation name.
+    /// Together with the VOHE snapshot bytes this pins the catalog's
+    /// full observable state — the crash-recovery oracle compares both
+    /// against the pre- and post-fault committed states.
+    pub fn version_snapshot(&self) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> = self
+            .versions
+            .read()
+            .iter()
+            .map(|(r, &v)| (r.clone(), v))
+            .collect();
+        all.sort();
+        all
     }
 
     /// Estimation-quality aggregates recorded (via
@@ -437,6 +508,7 @@ impl Catalog {
     ) {
         obs::counter("catalog_put_total").inc();
         let version = self.version_of(&key.relation);
+        self.failures.write().remove(&key);
         self.matrix_entries.write().insert(
             key,
             MatrixEntry {
@@ -469,13 +541,17 @@ impl Catalog {
         }
     }
 
-    /// Staleness of a 2-D histogram.
+    /// Staleness of a 2-D histogram (saturating, like
+    /// [`Catalog::staleness`]).
     pub fn matrix_staleness(&self, key: &StatKey) -> Result<u64> {
-        let entries = self.matrix_entries.read();
-        let entry = entries
-            .get(key)
-            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
-        Ok(self.version_of(&key.relation) - entry.built_at_version)
+        let built_at = {
+            let entries = self.matrix_entries.read();
+            entries
+                .get(key)
+                .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?
+                .built_at_version
+        };
+        Ok(self.version_of(&key.relation).saturating_sub(built_at))
     }
 
     /// End-to-end ANALYZE for an attribute pair: collects the frequency
@@ -585,6 +661,63 @@ mod tests {
         // Other relations don't interfere.
         cat.note_updates("s", 100);
         assert_eq!(cat.staleness(&key).unwrap(), 3);
+    }
+
+    #[test]
+    fn note_updates_saturates_at_u64_max() {
+        let cat = Catalog::new();
+        let key = StatKey::new("r", &["a"]);
+        let hist = end_biased(&[1, 2], 1, 0).unwrap();
+        cat.put(
+            key.clone(),
+            StoredHistogram::from_histogram(&[10, 20], &hist).unwrap(),
+        );
+        cat.note_updates("r", u64::MAX);
+        // A further update must pin at MAX, not wrap to a tiny counter
+        // that would make the histogram look freshly built.
+        cat.note_updates("r", u64::MAX);
+        cat.note_updates("r", 1);
+        assert_eq!(cat.staleness(&key).unwrap(), u64::MAX);
+        assert_eq!(cat.version_snapshot(), vec![("r".to_string(), u64::MAX)]);
+    }
+
+    #[test]
+    fn staleness_saturates_when_entry_is_ahead_of_counter() {
+        let cat = Catalog::new();
+        let key = StatKey::new("r", &["a"]);
+        cat.note_updates("r", u64::MAX);
+        let hist = end_biased(&[1, 2], 1, 0).unwrap();
+        cat.put(
+            key.clone(),
+            StoredHistogram::from_histogram(&[10, 20], &hist).unwrap(),
+        );
+        // Entry stamped at MAX while a recovered counter restarts at 0:
+        // simulate by a fresh catalog sharing the entry's stamp.
+        assert_eq!(cat.staleness(&key).unwrap(), 0);
+        cat.note_updates("r", 7);
+        // Counter pinned at MAX, entry at MAX → still 0, never wrapped.
+        assert_eq!(cat.staleness(&key).unwrap(), 0);
+    }
+
+    #[test]
+    fn refresh_failures_recorded_and_cleared_by_store() {
+        let cat = Catalog::new();
+        let key = StatKey::new("r", &["a"]);
+        assert!(cat.refresh_failure(&key).is_none());
+        cat.note_refresh_failure(&key, "scan failed");
+        cat.note_refresh_failure(&key, "build failed");
+        let record = cat.refresh_failure(&key).unwrap();
+        assert_eq!(record.count, 2);
+        assert_eq!(record.last_error, "build failed");
+        assert_eq!(cat.refresh_failures().len(), 1);
+        // A successful store clears the streak.
+        let hist = end_biased(&[1, 2], 1, 0).unwrap();
+        cat.put(
+            key.clone(),
+            StoredHistogram::from_histogram(&[10, 20], &hist).unwrap(),
+        );
+        assert!(cat.refresh_failure(&key).is_none());
+        assert!(cat.refresh_failures().is_empty());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub fn encode_histogram(hist: &StoredHistogram) -> Bytes {
     buf.freeze()
 }
 
-fn need(buf: &impl Buf, bytes: usize, what: &str) -> Result<()> {
+pub(crate) fn need(buf: &impl Buf, bytes: usize, what: &str) -> Result<()> {
     if buf.remaining() < bytes {
         return Err(StoreError::Codec(format!(
             "truncated input: need {bytes} byte(s) for {what}, have {}",
@@ -293,7 +293,7 @@ mod tests {
 /// Encodes a builder spec as a one-byte tag plus parameters. Tag 0 is
 /// "unrecorded" (raw `put`s); every other tag mirrors a
 /// [`BuilderSpec`] variant.
-fn put_spec(buf: &mut BytesMut, spec: Option<BuilderSpec>) {
+pub(crate) fn put_spec(buf: &mut BytesMut, spec: Option<BuilderSpec>) {
     match spec {
         None => buf.put_u8(0),
         Some(BuilderSpec::Trivial) => buf.put_u8(1),
@@ -329,7 +329,7 @@ fn put_spec(buf: &mut BytesMut, spec: Option<BuilderSpec>) {
     }
 }
 
-fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
+pub(crate) fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
     need(data, 1, "builder spec tag")?;
     let tag = data.get_u8();
     let buckets = |data: &mut Bytes| -> Result<usize> {
@@ -364,11 +364,50 @@ fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
 /// flipped bit inside a bucket average) — is detected at load time as a
 /// typed [`StoreError::Codec`] instead of silently producing wrong
 /// estimates.
-fn catalog_checksum(payload: &[u8]) -> u64 {
+pub(crate) fn catalog_checksum(payload: &[u8]) -> u64 {
     use std::hash::Hasher as _;
     let mut h = crate::fxhash::FxHasher::default();
     h.write(payload);
     h.finish()
+}
+
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+pub(crate) fn put_key(buf: &mut BytesMut, key: &crate::catalog::StatKey) {
+    put_str(buf, &key.relation);
+    buf.put_u16_le(key.columns.len() as u16);
+    for c in &key.columns {
+        put_str(buf, c);
+    }
+}
+
+pub(crate) fn get_str(data: &mut Bytes) -> Result<String> {
+    need(data, 4, "string length")?;
+    let len = data.get_u32_le() as usize;
+    need(data, len, "string bytes")?;
+    let bytes = data.split_to(len);
+    String::from_utf8(bytes.to_vec()).map_err(|e| StoreError::Codec(format!("bad utf8: {e}")))
+}
+
+pub(crate) fn get_key(data: &mut Bytes) -> Result<crate::catalog::StatKey> {
+    let relation = get_str(data)?;
+    need(data, 2, "column count")?;
+    let n = data.get_u16_le() as usize;
+    let mut columns = Vec::with_capacity(n);
+    for _ in 0..n {
+        columns.push(get_str(data)?);
+    }
+    Ok(crate::catalog::StatKey { relation, columns })
+}
+
+pub(crate) fn get_blob(data: &mut Bytes) -> Result<Bytes> {
+    need(data, 4, "blob length")?;
+    let len = data.get_u32_le() as usize;
+    need(data, len, "blob bytes")?;
+    Ok(data.split_to(len))
 }
 
 /// Encodes an entire catalog snapshot (all 1-D and 2-D histograms with
@@ -386,17 +425,6 @@ fn catalog_checksum(payload: &[u8]) -> u64 {
 /// turns value-level corruption — undetectable by structural validation
 /// alone — into a typed decode error.)
 pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
-    fn put_str(buf: &mut BytesMut, s: &str) {
-        buf.put_u32_le(s.len() as u32);
-        buf.put_slice(s.as_bytes());
-    }
-    fn put_key(buf: &mut BytesMut, key: &crate::catalog::StatKey) {
-        put_str(buf, &key.relation);
-        buf.put_u16_le(key.columns.len() as u16);
-        for c in &key.columns {
-            put_str(buf, c);
-        }
-    }
     let ones = catalog.snapshot_1d();
     let twos = catalog.snapshot_2d();
     let mut buf = BytesMut::new();
@@ -429,30 +457,6 @@ pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
 /// corrupted snapshot always surfaces as [`StoreError::Codec`] — never
 /// as a catalog that loads but estimates wrongly.
 pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
-    fn get_str(data: &mut Bytes) -> Result<String> {
-        need(data, 4, "string length")?;
-        let len = data.get_u32_le() as usize;
-        need(data, len, "string bytes")?;
-        let bytes = data.split_to(len);
-        String::from_utf8(bytes.to_vec()).map_err(|e| StoreError::Codec(format!("bad utf8: {e}")))
-    }
-    fn get_key(data: &mut Bytes) -> Result<crate::catalog::StatKey> {
-        let relation = get_str(data)?;
-        need(data, 2, "column count")?;
-        let n = data.get_u16_le() as usize;
-        let mut columns = Vec::with_capacity(n);
-        for _ in 0..n {
-            columns.push(get_str(data)?);
-        }
-        Ok(crate::catalog::StatKey { relation, columns })
-    }
-    fn get_blob(data: &mut Bytes) -> Result<Bytes> {
-        need(data, 4, "blob length")?;
-        let len = data.get_u32_le() as usize;
-        need(data, len, "blob bytes")?;
-        Ok(data.split_to(len))
-    }
-
     need(&data, 4, "magic")?;
     if &data[..4] != b"VOHE" {
         return Err(StoreError::Codec(format!(

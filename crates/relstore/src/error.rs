@@ -26,6 +26,10 @@ pub enum StoreError {
     },
     /// Binary decoding failed.
     Codec(String),
+    /// A filesystem operation on the durable catalog failed (the
+    /// `std::io::Error` is flattened to its message so this enum stays
+    /// `Clone + PartialEq` for test assertions).
+    Io(String),
     /// A histogram or frequency-structure error bubbled up.
     Hist(String),
     /// An invalid parameter (e.g. empty sample, zero rows requested).
@@ -45,6 +49,7 @@ impl fmt::Display for StoreError {
                 write!(f, "no statistics in catalog for {key}")
             }
             StoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+            StoreError::Io(msg) => write!(f, "io error: {msg}"),
             StoreError::Hist(msg) => write!(f, "histogram error: {msg}"),
             StoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }

@@ -29,6 +29,7 @@ pub mod catalog;
 pub mod catalog2d;
 pub mod codec;
 pub mod csv;
+pub mod daemon;
 pub mod error;
 pub mod fxhash;
 pub mod generate;
@@ -40,10 +41,13 @@ pub mod relation;
 pub mod sample;
 pub mod schema;
 pub mod stats;
+pub mod wal;
 
-pub use catalog::{Catalog, RefreshStage, StoredHistogram};
+pub use catalog::{Catalog, RefreshFailure, RefreshStage, StoredHistogram};
 pub use catalog2d::StoredMatrixHistogram;
+pub use daemon::{BreakerState, Daemon, DaemonConfig, DaemonCore, DaemonEvent};
 pub use error::{Result, StoreError};
 pub use par::par_map;
 pub use relation::Relation;
 pub use schema::{ColumnDef, Schema};
+pub use wal::{DurableCatalog, KillPoint};

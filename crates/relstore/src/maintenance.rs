@@ -110,13 +110,19 @@ pub fn maintain_column_with_hook(
         Ok(s) => s,
         // Never analyzed: build the first histogram now.
         Err(_) => {
-            catalog.analyze_with_hook(relation, column, spec, hook)?;
+            if let Err(e) = catalog.analyze_with_hook(relation, column, spec, hook) {
+                catalog.note_refresh_failure(&key, &e.to_string());
+                return Err(e);
+            }
             return Ok(MaintenanceOutcome::Refreshed);
         }
     };
     if policy.due(staleness, relation.num_rows()) {
         let refresh_spec = catalog.spec_of(&key).unwrap_or(spec);
-        catalog.analyze_with_hook(relation, column, refresh_spec, hook)?;
+        if let Err(e) = catalog.analyze_with_hook(relation, column, refresh_spec, hook) {
+            catalog.note_refresh_failure(&key, &e.to_string());
+            return Err(e);
+        }
         Ok(MaintenanceOutcome::Refreshed)
     } else {
         Ok(MaintenanceOutcome::Fresh)
@@ -230,6 +236,13 @@ mod tests {
         // The old histogram is still served and the column is still due.
         assert_eq!(cat.get(&key).unwrap(), before);
         assert_eq!(cat.staleness(&key).unwrap(), 61);
+        // The failure left a streak the breaker and metrics can read.
+        let record = cat.refresh_failure(&key).unwrap();
+        assert_eq!(record.count, 1);
+        assert!(record.last_error.contains("injected abort"));
+        // A later successful refresh clears it.
+        maintain_column(&cat, &rel, "c", SPEC, &RefreshPolicy::default()).unwrap();
+        assert!(cat.refresh_failure(&key).is_none());
     }
 
     #[test]

@@ -49,6 +49,22 @@ if grep -Rn '#\[ignore' \
   exit 1
 fi
 
+echo "==> journal-encapsulation guard"
+# The write-ahead journal's framing, fsync ordering, and torn-tail
+# truncation are correct only if every open of a journal file goes
+# through relstore::wal. Any other code mentioning the journal file
+# naming scheme (journal.<gen>.wal) is bypassing the WAL's invariants.
+# Tests and the CLI walkthroughs may *read* a journal to tear it on
+# purpose; production crates may not touch it at all.
+if grep -RnE 'journal\.\{?[0-9a-zA-Z_:$<>]*\}?\.wal|"journal\.' \
+    --include='*.rs' \
+    src crates examples \
+    | grep -v 'crates/relstore/src/wal.rs'; then
+  echo "error: journal file access found outside relstore::wal" >&2
+  echo "       (route catalog persistence through relstore::DurableCatalog)" >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -62,6 +78,20 @@ echo "==> oracle selftest (differential checks + fault injection)"
 # Seed-deterministic end-to-end verification of the paper's theorems
 # against brute force, plus fault-injection containment; exits nonzero
 # on any violation, including a check that silently did not run.
-target/release/histctl selftest --seed 1 --budget-ms 30000 > /dev/null
+selftest_report="$(target/release/histctl selftest --seed 1 --budget-ms 30000)"
+
+echo "==> crash-recovery gate"
+# The selftest's kill-point matrix (journal append / journal fsync /
+# snapshot rotation / daemon refresh, each with and without a prior
+# checkpoint) must actually have injected faults: recovery landing on
+# anything but a committed catalog state, or the matrix silently not
+# running, fails the build. The report validates zero-injection runs
+# itself; this gate additionally pins the scenario's presence and
+# injection count in the emitted JSON.
+if ! grep -q '"name":"crash_recovery_restores_committed_state","passed":true,"injected":8' \
+    <<< "$selftest_report"; then
+  echo "error: crash-recovery matrix missing, failing, or incomplete in selftest report" >&2
+  exit 1
+fi
 
 echo "CI gate passed."

@@ -134,6 +134,154 @@ fn class_flag_reaches_query_pipeline() {
 }
 
 #[test]
+fn serve_then_recover_round_trips_the_journaled_catalog() {
+    let csv = generate_csv("serve.csv");
+    let data_dir = scratch("serve_store");
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let serve = histctl(&[
+        "serve",
+        "--data-dir",
+        &data_dir,
+        "--tables",
+        &format!("orders={csv}"),
+        "--sweeps",
+        "3",
+        "--buckets",
+        "6",
+    ]);
+    assert!(
+        serve.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&serve.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&serve.stdout);
+    assert!(
+        stdout.contains("3 sweep(s) over 1 column(s)"),
+        "serve should report its bounded run: {stdout}"
+    );
+    // The first sweep analyzes the column; later sweeps find it fresh.
+    assert!(
+        stdout.contains("tick 1: refreshed orders(value)"),
+        "serve should trace the refresh: {stdout}"
+    );
+    assert!(
+        stdout.contains("breakers: 1 closed, 0 open, 0 half-open"),
+        "healthy run keeps the breaker closed: {stdout}"
+    );
+
+    let recover = histctl(&["recover", "--data-dir", &data_dir]);
+    assert!(
+        recover.status.success(),
+        "recover failed: {}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let recovered = String::from_utf8_lossy(&recover.stdout);
+    assert!(
+        recovered.contains("1 column histogram(s)"),
+        "recover should find the daemon's histogram: {recovered}"
+    );
+    assert!(
+        recovered.contains("orders(value): 6 buckets"),
+        "recover should list the entry: {recovered}"
+    );
+}
+
+#[test]
+fn recover_survives_a_torn_journal_tail() {
+    let csv = generate_csv("torn.csv");
+    let data_dir = scratch("torn_store");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let serve = histctl(&[
+        "serve",
+        "--data-dir",
+        &data_dir,
+        "--tables",
+        &format!("t={csv}"),
+        "--sweeps",
+        "1",
+    ]);
+    assert!(serve.status.success());
+
+    // Simulate a crash mid-append: a torn half-frame at the journal tail
+    // (a length prefix promising more bytes than exist).
+    let journal = PathBuf::from(&data_dir).join("journal.0000000000000000.wal");
+    let mut bytes = std::fs::read(&journal).expect("read journal");
+    bytes.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0xAB]);
+    std::fs::write(&journal, &bytes).expect("write torn journal");
+
+    let recover = histctl(&["recover", "--data-dir", &data_dir]);
+    assert!(
+        recover.status.success(),
+        "recover must tolerate a torn tail: {}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let recovered = String::from_utf8_lossy(&recover.stdout);
+    assert!(
+        recovered.contains("1 column histogram(s)"),
+        "the committed prefix must survive: {recovered}"
+    );
+}
+
+#[test]
+fn recover_on_a_missing_directory_is_an_empty_catalog() {
+    let data_dir = scratch("never_served");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let recover = histctl(&["recover", "--data-dir", &data_dir]);
+    assert!(
+        recover.status.success(),
+        "recovering nothing is a fresh catalog, not an error: {}",
+        String::from_utf8_lossy(&recover.stderr)
+    );
+    let recovered = String::from_utf8_lossy(&recover.stdout);
+    assert!(
+        recovered.contains("0 column histogram(s), 0 joint histogram(s)"),
+        "empty recovery should say so: {recovered}"
+    );
+}
+
+#[test]
+fn metrics_exposition_covers_durability_and_ladder_families() {
+    let out = histctl(&["metrics", "--format", "prometheus", "--buckets", "6"]);
+    assert!(
+        out.status.success(),
+        "metrics failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for family in [
+        "wal_journal_bytes",
+        "daemon_breaker_closed",
+        "daemon_breaker_open",
+        "daemon_breaker_half_open",
+        "daemon_sweep_seconds",
+        r#"estimate_rung_total{rung="uniform"}"#,
+        "wal_torn_tail_total",
+    ] {
+        assert!(
+            text.contains(family),
+            "exposition should cover {family}: got {} bytes of text",
+            text.len()
+        );
+    }
+    // The demo workload estimates with fresh statistics, so the spec
+    // rung must have actually been exercised, not just registered.
+    let spec_line = text
+        .lines()
+        .find(|l| l.starts_with(r#"estimate_rung_total{rung="spec"}"#))
+        .expect("spec rung counter line");
+    let count: u64 = spec_line
+        .rsplit(' ')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .expect("counter value parses");
+    assert!(
+        count > 0,
+        "demo workload should hit the spec rung: {spec_line}"
+    );
+}
+
+#[test]
 fn selftest_is_byte_identical_across_reruns() {
     let first = histctl(&["selftest", "--seed", "3", "--budget-ms", "0"]);
     assert!(
