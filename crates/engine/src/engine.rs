@@ -18,7 +18,8 @@
 use crate::ast::{ColumnRef, FilterPredicate, Query};
 use crate::error::{EngineError, Result};
 use crate::ladder::{
-    uniform_filter_selectivity, EstimatePolicy, EstimateRung, StatsUse, UNIFORM_DISTINCT_DEFAULT,
+    record_stats_use, uniform_filter_selectivity, EstimatePolicy, EstimateRung, StatsUse,
+    UNIFORM_DISTINCT_DEFAULT,
 };
 use crate::parser;
 use relstore::catalog::StatKey;
@@ -406,8 +407,15 @@ impl Engine {
     /// * dictionary only → `trivial`;
     /// * nothing → `uniform`.
     ///
-    /// Every resolution bumps the `estimate_rung_total{rung=…}` counter,
-    /// so degraded answers are visible in `histctl metrics`.
+    /// Resolution itself records no metrics — `explain_analyze`'s
+    /// join-order search resolves the same columns many times per
+    /// greedy round while scoring candidates it then discards. The
+    /// `estimate_rung_total{rung=…}` counters are bumped by
+    /// [`record_stats_use`] exactly once per lookup that contributes to
+    /// a returned estimate, so degraded answers stay visible in
+    /// `histctl metrics` without search-evaluation inflation.
+    ///
+    /// [`record_stats_use`]: crate::ladder::record_stats_use
     pub(crate) fn resolve_stats(&self, c: &ColumnRef) -> Result<ColumnStats<'_>> {
         let rows = self.relation(&c.table)?.num_rows() as f64;
         let key = StatKey::new(c.table.clone(), &[c.column.as_str()]);
@@ -434,7 +442,6 @@ impl Engine {
             (None, Some(_)) => EstimateRung::Trivial,
             _ => EstimateRung::Uniform,
         };
-        obs::counter(&obs::labeled("estimate_rung_total", "rung", rung.name())).inc();
         Ok(ColumnStats {
             rung,
             hist,
@@ -490,19 +497,13 @@ impl Engine {
         for f in &query.filters {
             let (sel, rung) = self.filter_selectivity(f)?;
             estimate *= sel;
-            sources.push(StatsUse {
-                target: f.column.to_string(),
-                rung,
-            });
+            record_stats_use(&mut sources, f.column.to_string(), rung);
         }
         // Join selectivities.
         for j in &query.joins {
             let (sel, rung) = self.join_selectivity(j)?;
             estimate *= sel;
-            sources.push(StatsUse {
-                target: format!("{} = {}", j.left, j.right),
-                rung,
-            });
+            record_stats_use(&mut sources, format!("{} = {}", j.left, j.right), rung);
         }
         Ok((estimate, sources))
     }

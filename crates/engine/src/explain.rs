@@ -10,7 +10,7 @@
 use crate::ast::{FilterPredicate, JoinPredicate, Query};
 use crate::engine::Engine;
 use crate::error::{EngineError, Result};
-use crate::ladder::{EstimateRung, StatsUse};
+use crate::ladder::{record_stats_use, EstimateRung, StatsUse};
 use relstore::join::materialize_join;
 use relstore::Relation;
 use std::collections::{HashMap, HashSet};
@@ -130,10 +130,7 @@ impl Engine {
             for f in filters {
                 let (sel, rung) = self.filter_selectivity(f)?;
                 est *= sel;
-                stats_sources.push(StatsUse {
-                    target: f.column.to_string(),
-                    rung,
-                });
+                record_stats_use(&mut stats_sources, f.column.to_string(), rung);
             }
             steps.push(PlanStep {
                 description: if filters.is_empty() {
@@ -182,10 +179,11 @@ impl Engine {
         let sp = obs::span("join");
         let (mut acc_est, first_rung) =
             self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
-        stats_sources.push(StatsUse {
-            target: format!("{} = {}", j.left, j.right),
-            rung: first_rung,
-        });
+        record_stats_use(
+            &mut stats_sources,
+            format!("{} = {}", j.left, j.right),
+            first_rung,
+        );
         let mut acc = materialize_join(
             &bases[&j.left.table],
             &j.left.to_string(),
@@ -214,10 +212,11 @@ impl Engine {
                 // pair-overlap selectivity scaled back up by one side's
                 // cardinality (the other side is already fixed per row).
                 let (sel, rung) = self.join_selectivity(j)?;
-                stats_sources.push(StatsUse {
-                    target: format!("{} = {}", j.left, j.right),
+                record_stats_use(
+                    &mut stats_sources,
+                    format!("{} = {}", j.left, j.right),
                     rung,
-                });
+                );
                 acc_est *= sel * self.relation(&j.left.table)?.num_rows() as f64;
                 acc = Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?;
                 steps.push(PlanStep {
@@ -268,10 +267,11 @@ impl Engine {
             )?;
             acc_est = step_est;
             joined.insert(new_side.table.clone());
-            stats_sources.push(StatsUse {
-                target: format!("{} = {}", j.left, j.right),
-                rung: step_rung,
-            });
+            record_stats_use(
+                &mut stats_sources,
+                format!("{} = {}", j.left, j.right),
+                step_rung,
+            );
             steps.push(PlanStep {
                 description: format!("join {} = {}", j.left, j.right),
                 estimated: acc_est,

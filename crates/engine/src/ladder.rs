@@ -92,6 +92,17 @@ pub struct StatsUse {
     pub rung: EstimateRung,
 }
 
+/// Records one *answered* statistics lookup: bumps its
+/// `estimate_rung_total{rung=…}` counter and appends it to `sources`.
+/// Every lookup that contributes to a returned estimate goes through
+/// here and nothing else does — `explain_analyze`'s join-order search
+/// evaluates and discards candidate selectivities each greedy round,
+/// and those must not inflate the ladder metrics.
+pub(crate) fn record_stats_use(sources: &mut Vec<StatsUse>, target: String, rung: EstimateRung) {
+    obs::counter(&obs::labeled("estimate_rung_total", "rung", rung.name())).inc();
+    sources.push(StatsUse { target, rung });
+}
+
 /// System R's textbook default selectivities, used on the `uniform`
 /// rung where nothing is known about the column: equality matches one
 /// of an assumed 10 distinct values, a range keeps a quarter of the

@@ -8,10 +8,14 @@
 //! * **Journal** — every durable mutation (`put`, `put_matrix`,
 //!   `note_updates`) is first appended to a generation-numbered journal
 //!   file as a length-prefixed, FxHash-64-checksummed record, fsynced,
-//!   and only then applied in memory. A crash mid-append leaves a torn
-//!   tail that recovery detects (checksum or length mismatch) and
-//!   truncates — every fully-synced record survives, every torn one is
-//!   discarded whole.
+//!   and only then applied in memory. Append and apply happen under one
+//!   journal lock — the same lock [`DurableCatalog::checkpoint`] holds
+//!   while encoding its snapshot — so a snapshot can never miss a
+//!   record committed to the journal it supersedes, and records are
+//!   applied in exactly the order they are journaled. A crash
+//!   mid-append leaves a torn tail that recovery detects (checksum or
+//!   length mismatch) and truncates — every fully-synced record
+//!   survives, every torn one is discarded whole.
 //! * **Snapshot rotation** — [`DurableCatalog::checkpoint`] compacts
 //!   the journal into a full `VOHE` snapshot: write
 //!   `catalog.<gen+1>.vohe.tmp`, fsync, rename into place (atomic on
@@ -135,12 +139,21 @@ fn snapshot_generations(dir: &Path) -> Result<Vec<u64>> {
 
 /// Frames a record payload for the journal:
 /// `u32 length | payload | u64 FxHash-64(payload)`, all little-endian.
-fn frame(payload: &[u8]) -> Vec<u8> {
+/// A payload over `u32::MAX` bytes cannot be framed — a wrapped length
+/// prefix would scan as torn or mis-framed and silently truncate
+/// recovery at this record — so oversized payloads are a typed error.
+fn frame(payload: &[u8]) -> Result<Vec<u8>> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        StoreError::Codec(format!(
+            "journal record of {} bytes exceeds the u32 framing limit",
+            payload.len()
+        ))
+    })?;
     let mut framed = Vec::with_capacity(4 + payload.len() + 8);
-    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&len.to_le_bytes());
     framed.extend_from_slice(payload);
     framed.extend_from_slice(&codec::catalog_checksum(payload).to_le_bytes());
-    framed
+    Ok(framed)
 }
 
 /// Walks the journal's frames from the start, stopping at the first
@@ -170,30 +183,40 @@ fn scan_journal(bytes: &[u8]) -> (usize, Vec<Bytes>) {
     (offset, records)
 }
 
-fn encode_put(key: &StatKey, hist: &StoredHistogram, spec: Option<BuilderSpec>) -> Vec<u8> {
+/// Length-prefixes `blob` into `buf`, rejecting blobs whose length
+/// would wrap the `u32` prefix (see [`frame`]).
+fn put_checked_blob(buf: &mut BytesMut, blob: &[u8]) -> Result<()> {
+    let len = u32::try_from(blob.len()).map_err(|_| {
+        StoreError::Codec(format!(
+            "histogram blob of {} bytes exceeds the u32 length-prefix limit",
+            blob.len()
+        ))
+    })?;
+    buf.put_u32_le(len);
+    buf.put_slice(blob);
+    Ok(())
+}
+
+fn encode_put(key: &StatKey, hist: &StoredHistogram, spec: Option<BuilderSpec>) -> Result<Vec<u8>> {
     let mut buf = BytesMut::new();
     buf.put_u8(TAG_PUT);
     codec::put_key(&mut buf, key);
     codec::put_spec(&mut buf, spec);
-    let blob = codec::encode_histogram(hist);
-    buf.put_u32_le(blob.len() as u32);
-    buf.put_slice(&blob);
-    buf.to_vec()
+    put_checked_blob(&mut buf, &codec::encode_histogram(hist))?;
+    Ok(buf.to_vec())
 }
 
 fn encode_put_matrix(
     key: &StatKey,
     hist: &StoredMatrixHistogram,
     spec: Option<BuilderSpec>,
-) -> Vec<u8> {
+) -> Result<Vec<u8>> {
     let mut buf = BytesMut::new();
     buf.put_u8(TAG_PUT_MATRIX);
     codec::put_key(&mut buf, key);
     codec::put_spec(&mut buf, spec);
-    let blob = codec::encode_matrix_histogram(hist);
-    buf.put_u32_le(blob.len() as u32);
-    buf.put_slice(&blob);
-    buf.to_vec()
+    put_checked_blob(&mut buf, &codec::encode_matrix_histogram(hist))?;
+    Ok(buf.to_vec())
 }
 
 fn encode_note_updates(relation: &str, updates: u64) -> Vec<u8> {
@@ -353,7 +376,10 @@ impl JournalWriter {
 ///
 /// Durable mutations go through the methods here (`put_with_spec`,
 /// `note_updates`, `analyze`, …): journal append + fsync first, then
-/// the in-memory apply, so a crash never loses an acknowledged write.
+/// the in-memory apply, both under the journal lock, so a crash never
+/// loses an acknowledged write — and a concurrent [`checkpoint`] never
+/// snapshots a state missing a record committed to the journal it
+/// retires.
 /// [`DurableCatalog::catalog`] exposes the in-memory catalog for
 /// *reads*; mutating through it directly would bypass the journal and
 /// silently vanish on recovery — `scripts/ci.sh` greps that no code
@@ -365,6 +391,7 @@ impl JournalWriter {
 /// directory, exactly as a restarted process would.
 ///
 /// [`open`]: DurableCatalog::open
+/// [`checkpoint`]: DurableCatalog::checkpoint
 pub struct DurableCatalog {
     dir: PathBuf,
     catalog: Catalog,
@@ -464,13 +491,21 @@ impl DurableCatalog {
         }
     }
 
-    /// Appends one framed record, honouring armed kill points. The
-    /// in-memory catalog must only be updated after this returns `Ok`.
-    fn append(&self, payload: &[u8]) -> Result<()> {
+    /// Appends one framed record and, still holding the journal lock,
+    /// applies the matching in-memory mutation via `apply`. Holding the
+    /// lock across both steps makes the pair atomic with respect to
+    /// [`DurableCatalog::checkpoint`] (which encodes its snapshot under
+    /// the same lock): a checkpoint can never capture a catalog missing
+    /// a record already committed to the journal it is about to retire,
+    /// and concurrent writers apply in exactly journal order. Honours
+    /// armed kill points; on any error — a kill point firing counts —
+    /// the mutation is not applied, exactly as if the process had
+    /// crashed at that instant.
+    fn append_and_apply(&self, payload: &[u8], apply: impl FnOnce(&Catalog)) -> Result<()> {
         let _span = obs::span("wal_append");
         let mut w = self.journal.lock();
         w.heal()?;
-        let framed = frame(payload);
+        let framed = frame(payload)?;
         if self.take_kill(KillPoint::JournalAppend) {
             // Torn write: only a prefix of the frame reaches the disk.
             let torn = &framed[..framed.len() / 2];
@@ -504,6 +539,7 @@ impl DurableCatalog {
         w.bytes += framed.len() as u64;
         obs::gauge("wal_journal_bytes").set(w.bytes as f64);
         obs::counter("wal_append_total").inc();
+        apply(&self.catalog);
         Ok(())
     }
 
@@ -514,9 +550,10 @@ impl DurableCatalog {
         histogram: StoredHistogram,
         spec: Option<BuilderSpec>,
     ) -> Result<()> {
-        self.append(&encode_put(&key, &histogram, spec))?;
-        self.catalog.put_with_spec(key, histogram, spec);
-        Ok(())
+        let payload = encode_put(&key, &histogram, spec)?;
+        self.append_and_apply(&payload, |catalog| {
+            catalog.put_with_spec(key, histogram, spec)
+        })
     }
 
     /// Durable `put` without a recorded spec.
@@ -531,16 +568,17 @@ impl DurableCatalog {
         histogram: StoredMatrixHistogram,
         spec: Option<BuilderSpec>,
     ) -> Result<()> {
-        self.append(&encode_put_matrix(&key, &histogram, spec))?;
-        self.catalog.put_matrix_with_spec(key, histogram, spec);
-        Ok(())
+        let payload = encode_put_matrix(&key, &histogram, spec)?;
+        self.append_and_apply(&payload, |catalog| {
+            catalog.put_matrix_with_spec(key, histogram, spec)
+        })
     }
 
     /// Durable [`Catalog::note_updates`].
     pub fn note_updates(&self, relation: &str, updates: u64) -> Result<()> {
-        self.append(&encode_note_updates(relation, updates))?;
-        self.catalog.note_updates(relation, updates);
-        Ok(())
+        self.append_and_apply(&encode_note_updates(relation, updates), |catalog| {
+            catalog.note_updates(relation, updates)
+        })
     }
 
     /// Durable end-to-end ANALYZE: the same scan → build pipeline as
@@ -627,6 +665,11 @@ impl DurableCatalog {
         let mut w = self.journal.lock();
         w.heal()?;
         let next = w.generation + 1;
+        // Encoding under the journal lock is load-bearing: writers
+        // apply their mutation before releasing this lock (see
+        // `append_and_apply`), so the snapshot covers every record the
+        // outgoing journal holds and the fresh journal starts exactly
+        // where the snapshot leaves off.
         let snapshot = codec::encode_catalog(&self.catalog);
         let final_path = self.dir.join(snapshot_name(next));
         let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(next)));
@@ -921,6 +964,46 @@ mod tests {
         let recovered = Catalog::recover(scratch.path()).unwrap();
         assert!(recovered.keys().is_empty());
         assert!(recovered.version_snapshot().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_concurrent_with_writers_loses_no_acknowledged_put() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        store.analyze(&rel, "c", SPEC).unwrap();
+        let hist = store.catalog().get(&StatKey::new("t", &["c"])).unwrap();
+        // Writers put distinct keys while a checkpointer rotates
+        // generations underneath them. Every put is acknowledged, so
+        // every key must survive recovery — a checkpoint that snapshots
+        // between a writer's journal append and its in-memory apply
+        // would retire the journal holding the record while the
+        // snapshot misses it, losing the key.
+        std::thread::scope(|s| {
+            for writer in 0..4u64 {
+                let store = &store;
+                let hist = &hist;
+                s.spawn(move || {
+                    for i in 0..16u64 {
+                        let column = format!("w{writer}_{i}");
+                        let key = StatKey::new("t", &[column.as_str()]);
+                        store.put(key, hist.clone()).unwrap();
+                    }
+                });
+            }
+            let store = &store;
+            s.spawn(move || {
+                for _ in 0..12 {
+                    store.checkpoint().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let expected = state_of(store.catalog());
+        assert_eq!(store.catalog().keys().len(), 1 + 4 * 16);
+        drop(store);
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        assert_eq!(state_of(&recovered), expected);
     }
 
     #[test]

@@ -150,4 +150,18 @@ fn concurrent_catalog_use_under_daemon_sweeps() {
         store.catalog().version_snapshot()
     );
     assert!(recovered.get(&key).is_ok());
+    // Full-state equality, not just version counters: appends apply in
+    // journal order even under contention, so replay rebuilds the same
+    // final histograms and re-stamps entries against the same replayed
+    // version counters, leaving staleness identical to the live catalog.
+    assert_eq!(
+        relstore::codec::encode_catalog(&recovered).to_vec(),
+        relstore::codec::encode_catalog(store.catalog()).to_vec(),
+        "journal replay must rebuild the exact live histograms"
+    );
+    assert_eq!(
+        recovered.staleness(&key).expect("recovered staleness"),
+        store.catalog().staleness(&key).expect("live staleness"),
+        "replayed built-at stamps must match the live catalog"
+    );
 }

@@ -86,10 +86,29 @@ echo "==> crash-recovery gate"
 # checkpoint) must actually have injected faults: recovery landing on
 # anything but a committed catalog state, or the matrix silently not
 # running, fails the build. The report validates zero-injection runs
-# itself; this gate additionally pins the scenario's presence and
-# injection count in the emitted JSON.
-if ! grep -q '"name":"crash_recovery_restores_committed_state","passed":true,"injected":8' \
-    <<< "$selftest_report"; then
+# itself; this gate additionally pins the scenario's presence, verdict,
+# and a nonzero injection count — parsed from the JSON rather than
+# grepped as one exact byte sequence, so serializer formatting or
+# matrix-size changes cannot fail the gate spuriously.
+if ! SELFTEST_REPORT="$selftest_report" python3 - <<'PY'
+import json
+import os
+import sys
+
+report = json.loads(os.environ["SELFTEST_REPORT"])
+fault = next(
+    (f for f in report.get("faults", [])
+     if f.get("name") == "crash_recovery_restores_committed_state"),
+    None,
+)
+if fault is None:
+    sys.exit("crash-recovery scenario missing from selftest report")
+if not fault.get("passed"):
+    sys.exit(f"crash-recovery scenario failed: {fault.get('failures')}")
+if not fault.get("injected"):
+    sys.exit("crash-recovery scenario injected zero faults")
+PY
+then
   echo "error: crash-recovery matrix missing, failing, or incomplete in selftest report" >&2
   exit 1
 fi
