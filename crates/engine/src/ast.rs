@@ -20,7 +20,7 @@ impl std::fmt::Display for ColumnRef {
 }
 
 /// An equality join predicate `t₁.a = t₂.b`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JoinPredicate {
     /// Left side.
     pub left: ColumnRef,
@@ -29,7 +29,7 @@ pub struct JoinPredicate {
 }
 
 /// A single-table filter predicate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FilterOp {
     /// `col = v`.
     Equals(u64),
@@ -42,7 +42,7 @@ pub enum FilterOp {
 }
 
 /// A filter applied to one column.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FilterPredicate {
     /// The filtered column.
     pub column: ColumnRef,
@@ -63,7 +63,10 @@ impl FilterPredicate {
 }
 
 /// A parsed `SELECT COUNT(*)` query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Derives `Hash` because the estimation cache keys on a structural
+/// fingerprint of the whole query (see `cache::fingerprint`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     /// Relations in the FROM clause, in order.
     pub tables: Vec<String>,

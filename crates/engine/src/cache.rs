@@ -1,0 +1,271 @@
+//! The versioned estimation cache on the hot read path.
+//!
+//! The paper's practicality argument (§4–§6) assumes result-size
+//! estimation is cheap enough for an optimizer's inner loop. The
+//! estimator itself walks value dictionaries and multiplies bucket
+//! averages — microseconds, not nanoseconds — so the engine memoises
+//! whole-query results here, keyed by `(query fingerprint, catalog
+//! epoch)`:
+//!
+//! * The **fingerprint** is a structural hash of the bound AST, taken
+//!   in declaration order. No normalisation (predicate sorting,
+//!   commutative-join canonicalisation) is applied on purpose: the
+//!   estimate is a product of `f64` factors evaluated in declaration
+//!   order and the reported [`StatsUse`] sequence follows the same
+//!   order, so two spellings of one query are distinct cache entries
+//!   rather than a source of bit-level divergence.
+//! * The **epoch** comes from the [`CatalogSnapshot`] the estimate was
+//!   computed against. Every catalog mutation bumps the epoch, so an
+//!   entry from an older catalog state simply never matches again —
+//!   invalidation costs nothing and a stale-epoch hit is impossible by
+//!   construction: a hit requires `stored epoch == requested epoch`,
+//!   and the requested epoch is read from the very snapshot the caller
+//!   would otherwise compute on.
+//!
+//! The cache is sharded by fingerprint; each shard is a small
+//! mutex-guarded map with least-recently-used eviction. Shard locks are
+//! held only for a map probe, so concurrent estimator threads rarely
+//! collide (and never with catalog writers, who touch the catalog's
+//! own state, not this cache).
+//!
+//! [`CatalogSnapshot`]: relstore::CatalogSnapshot
+//! [`StatsUse`]: crate::ladder::StatsUse
+
+use crate::ast::Query;
+use crate::ladder::StatsUse;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// Default total capacity (entries across all shards).
+pub(crate) const DEFAULT_CAPACITY: usize = 1024;
+
+/// Shard count (power of two; selected by the fingerprint's high bits,
+/// the map key uses the full value).
+const SHARDS: usize = 8;
+
+/// Structural fingerprint of a bound query: the cache key's first half.
+pub(crate) fn fingerprint(query: &Query) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    query.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One memoised estimate: the value, the epoch it is valid at, and the
+/// statistics lookups that produced it (replayed on a hit so rung
+/// accounting is identical to a miss).
+#[derive(Debug, Clone)]
+pub(crate) struct CachedEstimate {
+    pub(crate) epoch: u64,
+    pub(crate) estimate: f64,
+    pub(crate) sources: Arc<Vec<StatsUse>>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    cached: CachedEstimate,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Slot>,
+    /// Monotone access clock driving LRU eviction.
+    tick: u64,
+}
+
+/// A bounded, sharded, epoch-versioned estimate cache. Capacity 0
+/// disables it (every lookup misses, inserts are dropped).
+#[derive(Debug)]
+pub(crate) struct EstimationCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl Default for EstimationCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+fn hit_counter() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::counter("est_cache_hit_total"))
+}
+
+fn miss_counter() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::counter("est_cache_miss_total"))
+}
+
+fn evict_counter() -> &'static Arc<obs::Counter> {
+    static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    C.get_or_init(|| obs::counter("est_cache_evict_total"))
+}
+
+impl EstimationCache {
+    /// A cache holding at most `capacity` entries in total (rounded up
+    /// to a multiple of the shard count; 0 disables caching).
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS),
+        }
+    }
+
+    fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
+        &self.shards[(fingerprint >> 32) as usize & (SHARDS - 1)]
+    }
+
+    /// The entry for `fingerprint` if it was computed at exactly
+    /// `epoch`; a present-but-older entry is a miss (and will be
+    /// overwritten by the recomputation's insert).
+    pub(crate) fn get(&self, fingerprint: u64, epoch: u64) -> Option<CachedEstimate> {
+        if self.per_shard_capacity == 0 {
+            miss_counter().inc();
+            return None;
+        }
+        let mut shard = self.shard_of(fingerprint).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&fingerprint) {
+            Some(slot) if slot.cached.epoch == epoch => {
+                slot.last_used = tick;
+                hit_counter().inc();
+                Some(slot.cached.clone())
+            }
+            _ => {
+                miss_counter().inc();
+                None
+            }
+        }
+    }
+
+    /// Memoises one computed estimate, evicting the shard's
+    /// least-recently-used entry when full.
+    pub(crate) fn insert(
+        &self,
+        fingerprint: u64,
+        epoch: u64,
+        estimate: f64,
+        sources: Arc<Vec<StatsUse>>,
+    ) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard_of(fingerprint).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&fingerprint) {
+            if let Some((&lru, _)) = shard.map.iter().min_by_key(|(_, slot)| slot.last_used) {
+                shard.map.remove(&lru);
+                evict_counter().inc();
+            }
+        }
+        shard.map.insert(
+            fingerprint,
+            Slot {
+                cached: CachedEstimate {
+                    epoch,
+                    estimate,
+                    sources,
+                },
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry (used when the engine's non-epoch inputs —
+    /// relations, domains, policy, or the catalog handle itself —
+    /// change).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+        }
+    }
+
+    /// Total live entries (for tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ladder::EstimateRung;
+
+    fn sources() -> Arc<Vec<StatsUse>> {
+        Arc::new(vec![StatsUse {
+            target: "t.a".into(),
+            rung: EstimateRung::Spec,
+        }])
+    }
+
+    #[test]
+    fn hit_requires_exact_epoch() {
+        let cache = EstimationCache::with_capacity(8);
+        cache.insert(42, 7, 1.5, sources());
+        assert!(cache.get(42, 6).is_none(), "older epoch must miss");
+        assert!(cache.get(42, 8).is_none(), "newer epoch must miss");
+        let hit = cache.get(42, 7).expect("exact epoch hits");
+        assert_eq!(hit.estimate, 1.5);
+        assert_eq!(hit.sources.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_fingerprint() {
+        // One shard's worth of keys: same high bits, distinct values.
+        let cache = EstimationCache::with_capacity(SHARDS * 2);
+        assert_eq!(cache.per_shard_capacity, 2);
+        let keys = [1u64, 2, 3];
+        cache.insert(keys[0], 0, 0.0, sources());
+        cache.insert(keys[1], 0, 1.0, sources());
+        // Touch key 0 so key 1 is the LRU when key 2 arrives.
+        assert!(cache.get(keys[0], 0).is_some());
+        cache.insert(keys[2], 0, 2.0, sources());
+        assert!(cache.get(keys[1], 0).is_none(), "LRU entry evicted");
+        assert!(cache.get(keys[0], 0).is_some());
+        assert!(cache.get(keys[2], 0).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_fingerprint_never_evicts_others() {
+        let cache = EstimationCache::with_capacity(SHARDS * 2);
+        cache.insert(1, 0, 0.0, sources());
+        cache.insert(2, 0, 1.0, sources());
+        // Refresh key 1 at a newer epoch: an overwrite, not an insert.
+        cache.insert(1, 1, 9.0, sources());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2, 0).is_some());
+        assert_eq!(cache.get(1, 1).unwrap().estimate, 9.0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = EstimationCache::with_capacity(0);
+        cache.insert(1, 0, 0.0, sources());
+        assert!(cache.get(1, 0).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_order_sensitive() {
+        let parse = |sql: &str| crate::parser::parse(sql).unwrap();
+        let a = parse("SELECT COUNT(*) FROM t, s WHERE t.a = s.a AND t.a = 1");
+        let b = parse("SELECT COUNT(*) FROM t, s WHERE t.a = s.a AND t.a = 1");
+        assert_eq!(fingerprint(&a), fingerprint(&b), "same query, same key");
+        let c = parse("SELECT COUNT(*) FROM t, s WHERE t.a = s.a AND t.a = 2");
+        assert_ne!(fingerprint(&a), fingerprint(&c), "different literal");
+        let d = parse("SELECT COUNT(*) FROM s, t WHERE t.a = s.a AND t.a = 1");
+        assert_ne!(
+            fingerprint(&a),
+            fingerprint(&d),
+            "table order is part of the identity (estimation is order-sensitive)"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! hash.
 
 use crate::ast::{ColumnRef, FilterPredicate, Query};
+use crate::cache::{fingerprint, EstimationCache};
 use crate::error::{EngineError, Result};
 use crate::ladder::{
     record_stats_use, uniform_filter_selectivity, EstimatePolicy, EstimateRung, StatsUse,
@@ -25,16 +26,27 @@ use crate::parser;
 use relstore::catalog::StatKey;
 use relstore::join::materialize_join;
 use relstore::stats::frequency_table;
-use relstore::{Catalog, Relation, Schema, StoredHistogram};
+use relstore::{Catalog, CatalogSnapshot, Relation, Schema, StoredHistogram};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use vopt_hist::BuilderSpec;
 
 /// A registry of relations with statistics, able to execute and estimate
 /// `COUNT(*)` queries.
+///
+/// The estimation read path is concurrent by design: every estimate pins
+/// one immutable [`CatalogSnapshot`] (an epoch-stamped copy-on-write
+/// view) and resolves all of its statistics from it, so lookups never
+/// contend with ANALYZE, the maintenance daemon, or WAL apply. Whole
+/// estimates are memoised in an `EstimationCache` keyed by
+/// `(query fingerprint, snapshot epoch)`; epoch bumps invalidate for
+/// free, while the engine-local inputs the epoch does not cover
+/// (relations, value dictionaries, the ladder policy, the catalog handle
+/// itself) explicitly clear the cache when they change.
 #[derive(Debug, Default)]
 pub struct Engine {
     relations: HashMap<String, Relation>,
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     /// Sorted distinct values per (relation, column), captured at
     /// ANALYZE time (the "value dictionary" a real system keeps as
     /// column metadata).
@@ -42,6 +54,8 @@ pub struct Engine {
     /// When the estimator stops trusting stored histograms and drops
     /// down the degradation ladder.
     policy: EstimatePolicy,
+    /// Memoised whole-query estimates, versioned by catalog epoch.
+    cache: EstimationCache,
 }
 
 /// Everything the estimator resolved about one column: the surviving
@@ -50,7 +64,7 @@ pub struct Engine {
 /// from the rung, never from missing data.
 pub(crate) struct ColumnStats<'a> {
     pub(crate) rung: EstimateRung,
-    hist: Option<StoredHistogram>,
+    hist: Option<&'a StoredHistogram>,
     domain: Option<&'a [u64]>,
     rows: f64,
 }
@@ -63,7 +77,6 @@ impl ColumnStats<'_> {
         match self.rung {
             EstimateRung::Spec => self
                 .hist
-                .as_ref()
                 .expect("spec rung has a histogram")
                 .approx_frequency(value) as f64,
             EstimateRung::EndBiased => {
@@ -72,7 +85,7 @@ impl ColumnStats<'_> {
                 // trustworthy under updates, but the bulk averages do
                 // not. Keep the exceptions, re-spread the remaining
                 // live mass uniformly over the unlisted values.
-                let hist = self.hist.as_ref().expect("end_biased rung has a histogram");
+                let hist = self.hist.expect("end_biased rung has a histogram");
                 let domain = self.domain.expect("end_biased rung has a domain");
                 let exceptions = hist.exceptions();
                 match exceptions.binary_search_by_key(&value, |&(v, _)| v) {
@@ -109,11 +122,26 @@ impl Engine {
     /// Registers (or replaces) a relation under its own name.
     pub fn register(&mut self, relation: Relation) {
         self.relations.insert(relation.name().to_string(), relation);
+        // Row counts feed every estimate but are not epoch-covered.
+        self.cache.clear();
     }
 
     /// The statistics catalog (for inspection).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Swaps in a shared catalog handle — typically
+    /// [`DurableCatalog::catalog_arc`], so estimates read the same
+    /// epoch-versioned statistics the WAL and the maintenance daemon
+    /// maintain. Value dictionaries already captured by ANALYZE are
+    /// kept; the estimation cache is dropped because epochs from
+    /// different catalogs are not comparable.
+    ///
+    /// [`DurableCatalog::catalog_arc`]: relstore::DurableCatalog::catalog_arc
+    pub fn attach_catalog(&mut self, catalog: Arc<Catalog>) {
+        self.catalog = catalog;
+        self.cache.clear();
     }
 
     /// A registered relation by name.
@@ -162,17 +190,23 @@ impl Engine {
             };
             Ok((table.values, stored))
         });
+        let mut batch = Vec::new();
         for ((name, column), result) in work.into_iter().zip(built) {
             let (values, stored) = result?;
             if let Some(stored) = stored {
-                self.catalog.put_with_spec(
+                batch.push((
                     StatKey::new(name.as_str(), &[column.as_str()]),
                     stored,
                     Some(spec),
-                );
+                ));
             }
             self.domains.insert((name, column), values);
         }
+        // One batched put: a single epoch bump, so concurrent readers
+        // see the whole ANALYZE atomically (and one cache invalidation
+        // instead of one per column).
+        self.catalog.put_all_with_spec(batch);
+        self.cache.clear();
         Ok(())
     }
 
@@ -381,6 +415,8 @@ impl Engine {
     /// breaker threshold).
     pub fn set_estimate_policy(&mut self, policy: EstimatePolicy) {
         self.policy = policy;
+        // Rung selection depends on the policy, not the epoch.
+        self.cache.clear();
     }
 
     /// The current degradation-ladder policy.
@@ -393,8 +429,9 @@ impl Engine {
     /// Estimation keeps working from the `uniform` rung; execution is
     /// unaffected.
     pub fn clear_statistics(&mut self) {
-        self.catalog = Catalog::new();
+        self.catalog = Arc::new(Catalog::new());
         self.domains.clear();
+        self.cache.clear();
     }
 
     /// Resolves the best surviving statistics for one column and the
@@ -415,11 +452,14 @@ impl Engine {
     /// a returned estimate, so degraded answers stay visible in
     /// `histctl metrics` without search-evaluation inflation.
     ///
-    /// [`record_stats_use`]: crate::ladder::record_stats_use
-    pub(crate) fn resolve_stats(&self, c: &ColumnRef) -> Result<ColumnStats<'_>> {
+    pub(crate) fn resolve_stats<'a>(
+        &'a self,
+        snap: &'a CatalogSnapshot,
+        c: &ColumnRef,
+    ) -> Result<ColumnStats<'a>> {
         let rows = self.relation(&c.table)?.num_rows() as f64;
         let key = StatKey::new(c.table.clone(), &[c.column.as_str()]);
-        let hist = self.catalog.get(&key).ok();
+        let hist = snap.get(&key).ok();
         let domain = self
             .domains
             .get(&(c.table.clone(), c.column.clone()))
@@ -427,10 +467,9 @@ impl Engine {
             .filter(|d| !d.is_empty());
         let rung = match (&hist, domain) {
             (Some(_), Some(_)) => {
-                let stale = self.catalog.staleness(&key).unwrap_or(u64::MAX)
-                    > self.policy.hard_staleness_limit;
-                let breaker_open = self
-                    .catalog
+                let stale =
+                    snap.staleness(&key).unwrap_or(u64::MAX) > self.policy.hard_staleness_limit;
+                let breaker_open = snap
                     .refresh_failure(&key)
                     .is_some_and(|f| f.count >= self.policy.breaker_failure_threshold);
                 if stale || breaker_open {
@@ -454,8 +493,12 @@ impl Engine {
     /// On rungs with a per-value model the mass of passing values is
     /// summed over the dictionary exactly as before; the `uniform` rung
     /// answers with System R's constants.
-    pub(crate) fn filter_selectivity(&self, f: &FilterPredicate) -> Result<(f64, EstimateRung)> {
-        let stats = self.resolve_stats(&f.column)?;
+    pub(crate) fn filter_selectivity(
+        &self,
+        snap: &CatalogSnapshot,
+        f: &FilterPredicate,
+    ) -> Result<(f64, EstimateRung)> {
+        let stats = self.resolve_stats(snap, &f.column)?;
         let sel = match stats.rung {
             EstimateRung::Uniform => uniform_filter_selectivity(&f.op),
             _ => {
@@ -481,9 +524,48 @@ impl Engine {
 
     /// Like [`Engine::estimate`], additionally reporting which ladder
     /// rung answered each statistics lookup.
+    ///
+    /// The hot path: pins one catalog snapshot, probes the estimation
+    /// cache under `(fingerprint, snapshot epoch)`, and only computes on
+    /// a miss. A hit replays the memoised [`StatsUse`] sequence through
+    /// the ladder's rung accounting, so both the returned sources and
+    /// the `estimate_rung_total` counters are identical hit vs. miss.
     pub fn estimate_with_sources(&self, query: &Query) -> Result<(f64, Vec<StatsUse>)> {
         let _span = obs::span("estimate");
         self.bind(query)?;
+        let snap = self.catalog.read_snapshot();
+        let fp = fingerprint(query);
+        let hit = {
+            let _span = obs::span("est_cache_lookup");
+            self.cache.get(fp, snap.epoch())
+        };
+        if let Some(hit) = hit {
+            let mut sources = Vec::with_capacity(hit.sources.len());
+            for s in hit.sources.iter() {
+                record_stats_use(&mut sources, s.target.clone(), s.rung);
+            }
+            return Ok((hit.estimate, sources));
+        }
+        let _span = obs::span("est_compute");
+        let (estimate, sources) = self.estimate_on(&snap, query)?;
+        self.cache
+            .insert(fp, snap.epoch(), estimate, Arc::new(sources.clone()));
+        Ok((estimate, sources))
+    }
+
+    /// Like [`Engine::estimate_with_sources`] but bypassing the
+    /// estimation cache entirely — the brute-force reference path the
+    /// equivalence tests and the bench harness compare against.
+    pub fn estimate_with_sources_uncached(&self, query: &Query) -> Result<(f64, Vec<StatsUse>)> {
+        let _span = obs::span("estimate");
+        self.bind(query)?;
+        let snap = self.catalog.read_snapshot();
+        self.estimate_on(&snap, query)
+    }
+
+    /// Computes the estimate against one pinned snapshot (the shared
+    /// body of the cached and uncached paths).
+    fn estimate_on(&self, snap: &CatalogSnapshot, query: &Query) -> Result<(f64, Vec<StatsUse>)> {
         let mut sources = Vec::new();
         // Base cardinalities and filter selectivities.
         let mut estimate = 1.0f64;
@@ -495,13 +577,13 @@ impl Engine {
             }
         }
         for f in &query.filters {
-            let (sel, rung) = self.filter_selectivity(f)?;
+            let (sel, rung) = self.filter_selectivity(snap, f)?;
             estimate *= sel;
             record_stats_use(&mut sources, f.column.to_string(), rung);
         }
         // Join selectivities.
         for j in &query.joins {
-            let (sel, rung) = self.join_selectivity(j)?;
+            let (sel, rung) = self.join_selectivity(snap, j)?;
             estimate *= sel;
             record_stats_use(&mut sources, format!("{} = {}", j.left, j.right), rung);
         }
@@ -517,10 +599,11 @@ impl Engine {
     /// System R's `1/max(V₁,V₂)` with unknown `V` defaulted to 10.
     pub(crate) fn join_selectivity(
         &self,
+        snap: &CatalogSnapshot,
         j: &crate::ast::JoinPredicate,
     ) -> Result<(f64, EstimateRung)> {
-        let left = self.resolve_stats(&j.left)?;
-        let right = self.resolve_stats(&j.right)?;
+        let left = self.resolve_stats(snap, &j.left)?;
+        let right = self.resolve_stats(snap, &j.right)?;
         let rung = left.rung.worse(right.rung);
         let (Some(l_dom), Some(r_dom)) = (left.domain, right.domain) else {
             let v_l = left
@@ -535,8 +618,8 @@ impl Engine {
         domain.sort_unstable();
         domain.dedup();
         let overlap: f64 = if left.rung == EstimateRung::Spec && right.rung == EstimateRung::Spec {
-            let lh = left.hist.as_ref().expect("spec rung has a histogram");
-            let rh = right.hist.as_ref().expect("spec rung has a histogram");
+            let lh = left.hist.expect("spec rung has a histogram");
+            let rh = right.hist.expect("spec rung has a histogram");
             query::estimate::estimate_two_way_join(lh, rh, &domain)
         } else {
             domain

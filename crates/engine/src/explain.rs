@@ -12,7 +12,7 @@ use crate::engine::Engine;
 use crate::error::{EngineError, Result};
 use crate::ladder::{record_stats_use, EstimateRung, StatsUse};
 use relstore::join::materialize_join;
-use relstore::Relation;
+use relstore::{CatalogSnapshot, Relation};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -92,11 +92,12 @@ impl Engine {
     /// plus the ladder rung the selectivity came from.
     fn join_step_estimate(
         &self,
+        snap: &CatalogSnapshot,
         predicate: &JoinPredicate,
         est_left_rows: f64,
         est_right_rows: f64,
     ) -> Result<(f64, EstimateRung)> {
-        let (sel, rung) = self.join_selectivity(predicate)?;
+        let (sel, rung) = self.join_selectivity(snap, predicate)?;
         Ok((est_left_rows * est_right_rows * sel, rung))
     }
 
@@ -105,10 +106,16 @@ impl Engine {
     ///
     /// Requires `analyze_all` to have run (the optimizer can't order
     /// joins without statistics).
+    ///
+    /// The whole run pins one catalog snapshot: every selectivity the
+    /// plan search evaluates reads the same epoch, so a concurrent
+    /// ANALYZE or daemon refresh can never split one plan across two
+    /// statistics states.
     pub fn explain_analyze(&self, query: &Query) -> Result<ExplainOutput> {
         let _span = obs::span("explain_analyze");
         obs::counter("engine_queries_total").inc();
         self.bind(query)?;
+        let snap = self.catalog().read_snapshot();
         let mut steps = Vec::new();
         let mut stats_sources = Vec::new();
 
@@ -128,7 +135,7 @@ impl Engine {
             let filtered = self.filtered_base(t, filters)?;
             let mut est = self.relation(t)?.num_rows() as f64;
             for f in filters {
-                let (sel, rung) = self.filter_selectivity(f)?;
+                let (sel, rung) = self.filter_selectivity(&snap, f)?;
                 est *= sel;
                 record_stats_use(&mut stats_sources, f.column.to_string(), rung);
             }
@@ -148,7 +155,7 @@ impl Engine {
 
         if query.tables.len() == 1 {
             let count = bases[&query.tables[0]].num_rows() as u128;
-            self.record_query_quality(query, est_rows[&query.tables[0]], count);
+            self.record_query_quality(&snap, query, est_rows[&query.tables[0]], count);
             return Ok(ExplainOutput {
                 steps,
                 stats_sources,
@@ -167,8 +174,12 @@ impl Engine {
         let first_idx = {
             let mut best = (f64::INFINITY, 0usize);
             for (i, j) in pending.iter().enumerate() {
-                let (e, _) =
-                    self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
+                let (e, _) = self.join_step_estimate(
+                    &snap,
+                    j,
+                    est_rows[&j.left.table],
+                    est_rows[&j.right.table],
+                )?;
                 if e < best.0 {
                     best = (e, i);
                 }
@@ -178,7 +189,7 @@ impl Engine {
         let j = pending.remove(first_idx);
         let sp = obs::span("join");
         let (mut acc_est, first_rung) =
-            self.join_step_estimate(j, est_rows[&j.left.table], est_rows[&j.right.table])?;
+            self.join_step_estimate(&snap, j, est_rows[&j.left.table], est_rows[&j.right.table])?;
         record_stats_use(
             &mut stats_sources,
             format!("{} = {}", j.left, j.right),
@@ -211,7 +222,7 @@ impl Engine {
                 // pair: its selectivity within the intermediate is the
                 // pair-overlap selectivity scaled back up by one side's
                 // cardinality (the other side is already fixed per row).
-                let (sel, rung) = self.join_selectivity(j)?;
+                let (sel, rung) = self.join_selectivity(&snap, j)?;
                 record_stats_use(
                     &mut stats_sources,
                     format!("{} = {}", j.left, j.right),
@@ -237,7 +248,7 @@ impl Engine {
                     continue;
                 }
                 let new_table = if l_in { &j.right.table } else { &j.left.table };
-                let (e, rung) = self.join_step_estimate(j, acc_est, est_rows[new_table])?;
+                let (e, rung) = self.join_step_estimate(&snap, j, acc_est, est_rows[new_table])?;
                 if best.is_none_or(|(b, _, _)| e < b) {
                     best = Some((e, i, rung));
                 }
@@ -280,7 +291,7 @@ impl Engine {
             });
         }
         let count = acc.num_rows() as u128;
-        self.record_query_quality(query, acc_est, count);
+        self.record_query_quality(&snap, query, acc_est, count);
         Ok(ExplainOutput {
             steps,
             stats_sources,
@@ -294,13 +305,18 @@ impl Engine {
     /// read from the catalog's recorded build spec (all columns share
     /// one spec after `analyze_all_with`); entries stored without a
     /// spec fall back to the engine's default class.
-    fn record_query_quality(&self, query: &Query, estimate: f64, actual: u128) {
-        let class = self
-            .catalog()
+    fn record_query_quality(
+        &self,
+        snap: &CatalogSnapshot,
+        query: &Query,
+        estimate: f64,
+        actual: u128,
+    ) {
+        let class = snap
             .keys()
             .into_iter()
             .filter(|k| query.tables.contains(&k.relation))
-            .find_map(|k| self.catalog().spec_of(&k))
+            .find_map(|k| snap.spec_of(&k))
             .map_or("v_opt_end_biased", |s| s.name());
         let scope = format!("{}/{class}", query.tables.join(","));
         obs::record_quality(&scope, estimate, actual as f64);

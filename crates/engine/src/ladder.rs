@@ -21,6 +21,7 @@
 //! visible.
 
 use crate::ast::FilterOp;
+use std::sync::{Arc, OnceLock};
 
 /// Which rung of the degradation ladder answered a statistics lookup.
 /// Ordered from best to worst; [`EstimateRung::worse`] combines the
@@ -92,14 +93,35 @@ pub struct StatsUse {
     pub rung: EstimateRung,
 }
 
+/// Cached `estimate_rung_total{rung=…}` counter handle for one rung.
+/// Formatting the labeled name and probing the registry both allocate;
+/// the estimation hot path (and especially cache-hit replay) goes
+/// through here instead, paying only an atomic increment after the
+/// first use.
+fn rung_counter(rung: EstimateRung) -> &'static Arc<obs::Counter> {
+    static SPEC: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    static END_BIASED: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    static TRIVIAL: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    static UNIFORM: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    let cell = match rung {
+        EstimateRung::Spec => &SPEC,
+        EstimateRung::EndBiased => &END_BIASED,
+        EstimateRung::Trivial => &TRIVIAL,
+        EstimateRung::Uniform => &UNIFORM,
+    };
+    cell.get_or_init(|| obs::counter(&obs::labeled("estimate_rung_total", "rung", rung.name())))
+}
+
 /// Records one *answered* statistics lookup: bumps its
 /// `estimate_rung_total{rung=…}` counter and appends it to `sources`.
 /// Every lookup that contributes to a returned estimate goes through
 /// here and nothing else does — `explain_analyze`'s join-order search
 /// evaluates and discards candidate selectivities each greedy round,
-/// and those must not inflate the ladder metrics.
+/// and those must not inflate the ladder metrics. Cache hits replay
+/// their memoised lookups through here too, so the rung counters move
+/// identically hit vs. miss.
 pub(crate) fn record_stats_use(sources: &mut Vec<StatsUse>, target: String, rung: EstimateRung) {
-    obs::counter(&obs::labeled("estimate_rung_total", "rung", rung.name())).inc();
+    rung_counter(rung).inc();
     sources.push(StatsUse { target, rung });
 }
 

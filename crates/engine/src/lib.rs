@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+mod cache;
 pub mod engine;
 pub mod error;
 pub mod explain;

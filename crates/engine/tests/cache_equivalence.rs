@@ -1,0 +1,172 @@
+//! Property tests for the estimation cache's one contract: caching is
+//! *invisible*. For any sequence of estimates interleaved with catalog
+//! churn (staleness notes, re-ANALYZEs, policy swaps, statistics
+//! drops), the cached path must return bit-identical estimates and an
+//! identical [`StatsUse`] trail to the uncached path — on a cold probe,
+//! on a guaranteed warm re-probe, and after every mutation in between.
+//!
+//! [`StatsUse`]: engine::StatsUse
+
+use engine::{Engine, EstimatePolicy, Query};
+use proptest::prelude::*;
+use relstore::generate::relation_from_frequency_set;
+
+/// One step of an interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Estimate query `idx` from the pool, cached and uncached.
+    Estimate(usize),
+    /// Mark one relation dirty; large amounts cross the estimator's
+    /// `hard_staleness_limit` and demote rungs, which the cache must
+    /// reflect on its very next probe (the note bumps the epoch).
+    NoteUpdates(usize, u64),
+    /// Re-ANALYZE everything (clears staleness, bumps the epoch once).
+    Reanalyze,
+    /// Drop all statistics; estimates fall to the trivial/uniform rungs.
+    ClearStats,
+    /// Swap the degradation policy (a non-epoch input: clears the cache).
+    SetPolicy(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored `prop_oneof!` is unweighted; listing the estimate
+    // arm three times skews interleavings toward actual probes.
+    prop_oneof![
+        (0usize..QUERY_POOL.len()).prop_map(Op::Estimate),
+        (0usize..QUERY_POOL.len()).prop_map(Op::Estimate),
+        (0usize..QUERY_POOL.len()).prop_map(Op::Estimate),
+        ((0usize..2), (1u64..30_000)).prop_map(|(r, n)| Op::NoteUpdates(r, n)),
+        Just(Op::Reanalyze),
+        Just(Op::ClearStats),
+        prop_oneof![Just(5u64), Just(500), Just(10_000)].prop_map(Op::SetPolicy),
+    ]
+}
+
+/// The query pool: every predicate shape the estimator knows, over two
+/// relations sharing a value domain.
+const QUERY_POOL: &[&str] = &[
+    "SELECT COUNT(*) FROM l, r WHERE l.v = r.v",
+    "SELECT COUNT(*) FROM l WHERE l.v = 0",
+    "SELECT COUNT(*) FROM r WHERE r.v = 3",
+    "SELECT COUNT(*) FROM l, r WHERE l.v = r.v AND l.v = 1",
+    "SELECT COUNT(*) FROM l WHERE l.v IN (0, 2, 5)",
+    "SELECT COUNT(*) FROM r WHERE r.v BETWEEN 1 AND 4",
+];
+
+fn build_engine(left: &[u64], right: &[u64], seed: u64) -> (Engine, Vec<Query>) {
+    let mut eng = Engine::new();
+    for (name, freqs, sub) in [("l", left, 0u64), ("r", right, 1)] {
+        let set = freqdist::FrequencySet::new(freqs.to_vec());
+        let rel =
+            relation_from_frequency_set(name, "v", &set, seed ^ sub).expect("relation generation");
+        eng.register(rel);
+    }
+    eng.analyze_all(4).expect("analyze");
+    let pool = QUERY_POOL
+        .iter()
+        .map(|sql| eng.parse(sql).expect("parse pool query"))
+        .collect();
+    (eng, pool)
+}
+
+/// Asserts the cache contract for one query right now: uncached,
+/// cold-or-warm cached, and guaranteed-warm cached all agree bitwise.
+fn assert_transparent(eng: &Engine, query: &Query, context: &str) {
+    let (base, base_src) = eng
+        .estimate_with_sources_uncached(query)
+        .expect("uncached estimate");
+    for phase in ["first cached", "warm cached"] {
+        let (est, src) = eng.estimate_with_sources(query).expect("cached estimate");
+        assert_eq!(
+            est.to_bits(),
+            base.to_bits(),
+            "{context}: {phase} estimate diverged ({est} vs {base})"
+        );
+        assert_eq!(src, base_src, "{context}: {phase} StatsUse trail diverged");
+    }
+}
+
+// Case count comes from the PROPTEST_CASES environment variable (the
+// vendored proptest reads it directly); CI pins it for reproducibility.
+proptest! {
+    /// Cached and uncached estimation agree bitwise (values and
+    /// [`StatsUse`] trails) across random interleavings of estimates
+    /// and catalog churn.
+    #[test]
+    fn cached_estimates_match_uncached_across_interleavings(
+        left in prop::collection::vec(1u64..=60, 4..10),
+        right in prop::collection::vec(1u64..=60, 4..10),
+        seed in 0u64..1_000,
+        ops in prop::collection::vec(op_strategy(), 1..24),
+    ) {
+        let (mut eng, pool) = build_engine(&left, &right, seed);
+        let names = ["l", "r"];
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Estimate(idx) => {
+                    assert_transparent(&eng, &pool[idx], &format!("step {step}, query {idx}"));
+                }
+                Op::NoteUpdates(rel, n) => eng.catalog().note_updates(names[rel], n),
+                Op::Reanalyze => eng.analyze_all(4).expect("reanalyze"),
+                Op::ClearStats => eng.clear_statistics(),
+                Op::SetPolicy(limit) => eng.set_estimate_policy(EstimatePolicy {
+                    hard_staleness_limit: limit,
+                    ..EstimatePolicy::default()
+                }),
+            }
+        }
+        // Whatever state the interleaving left behind, every pool query
+        // must still be cache-transparent.
+        for (idx, query) in pool.iter().enumerate() {
+            assert_transparent(&eng, query, &format!("final state, query {idx}"));
+        }
+    }
+}
+
+/// The same contract under real concurrency: reader threads hammer the
+/// cached path while the main thread churns epochs via staleness notes
+/// and re-ANALYZEs that rebuild identical statistics. Because the data
+/// never changes, every estimate (cached, uncached, any epoch) must be
+/// bit-identical — so each reader compares against a reference computed
+/// once up front.
+#[test]
+fn concurrent_readers_see_identical_estimates_under_epoch_churn() {
+    let left: Vec<u64> = (1..=12).map(|i| i * 7 % 40 + 1).collect();
+    let right: Vec<u64> = (1..=12).map(|i| i * 11 % 35 + 1).collect();
+    let (eng, pool) = build_engine(&left, &right, 99);
+    let reference: Vec<(u64, Vec<engine::StatsUse>)> = pool
+        .iter()
+        .map(|q| {
+            let (est, src) = eng.estimate_with_sources_uncached(q).expect("reference");
+            (est.to_bits(), src)
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for worker in 0..4usize {
+            let (eng, pool, reference) = (&eng, &pool, &reference);
+            s.spawn(move || {
+                for round in 0..300 {
+                    let idx = (worker + round) % pool.len();
+                    let (est, src) = eng
+                        .estimate_with_sources(&pool[idx])
+                        .expect("cached estimate");
+                    assert_eq!(
+                        est.to_bits(),
+                        reference[idx].0,
+                        "worker {worker} round {round} query {idx} diverged"
+                    );
+                    assert_eq!(src, reference[idx].1, "worker {worker} StatsUse diverged");
+                }
+            });
+        }
+        // Epoch churn: staleness notes stay far below the hard limit
+        // (so rungs never demote) but every note bumps the epoch and
+        // invalidates the readers' cache entries mid-flight.
+        for i in 0..200 {
+            eng.catalog()
+                .note_updates(if i % 2 == 0 { "l" } else { "r" }, 1);
+            std::hint::spin_loop();
+        }
+    });
+}

@@ -87,6 +87,9 @@ pub fn register_well_known() {
         "wal_recover_total",
         "wal_torn_tail_total",
         "wal_snapshot_fallback_total",
+        "est_cache_hit_total",
+        "est_cache_miss_total",
+        "est_cache_evict_total",
     ] {
         metrics::counter(name);
     }
@@ -95,12 +98,14 @@ pub fn register_well_known() {
     for rung in ["spec", "end_biased", "trivial", "uniform"] {
         metrics::counter(&labeled("estimate_rung_total", "rung", rung));
     }
-    // Durability and daemon health gauges.
+    // Durability and daemon health gauges, plus the catalog's current
+    // snapshot epoch (bumped once per mutation).
     for name in [
         "wal_journal_bytes",
         "daemon_breaker_closed",
         "daemon_breaker_open",
         "daemon_breaker_half_open",
+        "catalog_epoch",
     ] {
         metrics::gauge(name);
     }
@@ -151,5 +156,11 @@ mod tests {
         assert!(text.contains("daemon_sweep_seconds_bucket"));
         assert!(text.contains("wal_torn_tail_total"));
         assert!(text.contains("daemon_refresh_failure_total"));
+        // The hot-read-path family: estimation cache counters and the
+        // catalog snapshot epoch.
+        assert!(text.contains("est_cache_hit_total"));
+        assert!(text.contains("est_cache_miss_total"));
+        assert!(text.contains("est_cache_evict_total"));
+        assert!(text.contains("catalog_epoch"));
     }
 }

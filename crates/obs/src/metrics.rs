@@ -4,8 +4,12 @@
 //! Metric names follow `<subsystem>_<what>_<unit-or-total>` with
 //! optional Prometheus-style labels baked into the registry key
 //! (`construction_seconds{class="equi_width"}` — see [`labeled`]).
-//! Lookup takes a read lock on a `BTreeMap`; instrument per operation,
-//! not per row, and hold the returned `Arc` where a path is hot.
+//! Each namespace is sharded across several read-write locks keyed by
+//! a hash of the name, so concurrent lookups of different instruments
+//! rarely share a lock and never serialise behind one global mutex
+//! (bumps themselves are relaxed atomics on the returned handles).
+//! Still: instrument per operation, not per row, and hold the returned
+//! `Arc` where a path is hot.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -129,69 +133,145 @@ impl LatencyHistogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds, reported as the
+    /// upper bound of the log₂ bucket holding it — the same
+    /// factor-of-two resolution every other consumer of this histogram
+    /// gets. Returns `None` when nothing was recorded.
+    ///
+    /// The rank convention is "smallest value with cumulative count ≥
+    /// q·total", so `quantile_ns(0.0)` is the minimum's bucket and
+    /// `quantile_ns(1.0)` the maximum's.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                // Bucket i covers [2^(i-1), 2^i): report the upper bound
+                // (bucket 0 is the sub-nanosecond bucket, the top
+                // bucket's range is capped by the u64 domain itself).
+                return Some(match i {
+                    0 => 1,
+                    64.. => u64::MAX,
+                    _ => 1u64 << i,
+                });
+            }
+        }
+        Some(u64::MAX)
+    }
 }
 
-/// The registry: three namespaces of named instruments. `BTreeMap`
-/// keeps every exposition deterministically ordered.
+/// Lock shards per instrument namespace. Name-hash sharding keeps
+/// concurrent registry probes from different instruments off one
+/// global lock (the bench harness must not measure the observer).
+const NAMESPACE_SHARDS: usize = 16;
+
+fn shard_index(name: &str) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    (h.finish() as usize) % NAMESPACE_SHARDS
+}
+
+/// One namespace of named instruments, sharded by name hash. Each
+/// shard keeps a `BTreeMap` so the merged snapshot below stays
+/// deterministically ordered.
+struct Namespace<T> {
+    shards: [RwLock<BTreeMap<String, Arc<T>>>; NAMESPACE_SHARDS],
+}
+
+impl<T> Default for Namespace<T> {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+        }
+    }
+}
+
+impl<T: Default> Namespace<T> {
+    fn get_or_insert(&self, name: &str) -> Arc<T> {
+        let map = &self.shards[shard_index(name)];
+        if let Some(found) = map.read().get(name) {
+            return Arc::clone(found);
+        }
+        Arc::clone(
+            map.write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(T::default())),
+        )
+    }
+
+    /// Name-sorted snapshot merged across all shards (each shard is
+    /// already sorted; the merge re-sorts the concatenation).
+    fn snapshot(&self) -> Vec<(String, Arc<T>)> {
+        let mut all: Vec<(String, Arc<T>)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+/// The registry: three namespaces of named instruments, each sharded
+/// across several locks. Snapshots are merged and name-sorted, so every
+/// exposition stays deterministically ordered.
 #[derive(Default)]
 pub struct Registry {
-    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
-    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
-    histograms: RwLock<BTreeMap<String, Arc<LatencyHistogram>>>,
-}
-
-fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-    if let Some(found) = map.read().get(name) {
-        return Arc::clone(found);
-    }
-    Arc::clone(
-        map.write()
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(T::default())),
-    )
+    counters: Namespace<Counter>,
+    gauges: Namespace<Gauge>,
+    histograms: Namespace<LatencyHistogram>,
 }
 
 impl Registry {
     /// Gets or creates the counter `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        get_or_insert(&self.counters, name)
+        self.counters.get_or_insert(name)
     }
 
     /// Gets or creates the gauge `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        get_or_insert(&self.gauges, name)
+        self.gauges.get_or_insert(name)
     }
 
     /// Gets or creates the latency histogram `name`.
     pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
-        get_or_insert(&self.histograms, name)
+        self.histograms.get_or_insert(name)
     }
 
-    /// Snapshot of all counters as `(name, value)`.
+    /// Snapshot of all counters as `(name, value)`, name-sorted.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         self.counters
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+            .snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, v.get()))
             .collect()
     }
 
-    /// Snapshot of all gauges as `(name, value)`.
+    /// Snapshot of all gauges as `(name, value)`, name-sorted.
     pub fn gauge_values(&self) -> Vec<(String, f64)> {
         self.gauges
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.get()))
+            .snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, v.get()))
             .collect()
     }
 
-    /// Snapshot of all histograms as `(name, handle)`.
+    /// Snapshot of all histograms as `(name, handle)`, name-sorted.
     pub fn histogram_handles(&self) -> Vec<(String, Arc<LatencyHistogram>)> {
-        self.histograms
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), Arc::clone(v)))
-            .collect()
+        self.histograms.snapshot()
     }
 }
 
@@ -272,6 +352,75 @@ mod tests {
             labeled("construction_seconds", "class", "dp"),
             "construction_seconds{class=\"dp\"}"
         );
+    }
+
+    #[test]
+    fn quantiles_come_from_log2_buckets() {
+        let _guard = crate::test_lock();
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.5), None, "empty histogram has no median");
+        // 90 fast observations in [64, 128), 10 slow in [4096, 8192).
+        for _ in 0..90 {
+            h.observe_ns(100);
+        }
+        for _ in 0..10 {
+            h.observe_ns(5_000);
+        }
+        assert_eq!(h.quantile_ns(0.0), Some(128), "minimum bucket");
+        assert_eq!(
+            h.quantile_ns(0.5),
+            Some(128),
+            "median is in the fast bucket"
+        );
+        assert_eq!(h.quantile_ns(0.90), Some(128), "p90 is the last fast rank");
+        assert_eq!(
+            h.quantile_ns(0.99),
+            Some(8_192),
+            "p99 lands in the slow bucket"
+        );
+        assert_eq!(h.quantile_ns(1.0), Some(8_192), "maximum bucket");
+        // The sub-nanosecond and top buckets report usable bounds.
+        let edge = LatencyHistogram::default();
+        edge.observe_ns(0);
+        edge.observe_ns(u64::MAX);
+        assert_eq!(edge.quantile_ns(0.0), Some(1));
+        assert_eq!(edge.quantile_ns(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn concurrent_registration_and_bumps_count_exactly() {
+        let _guard = crate::test_lock();
+        // Many threads hammer overlapping names through the sharded
+        // registry: every name must resolve to one shared instrument
+        // and no increment may be lost.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 500;
+        let names: Vec<String> = (0..20)
+            .map(|i| format!("test_metrics_sharded_{i}_total"))
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let names = &names;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Re-probe the registry by name each time — the
+                        // contended path the sharding exists for.
+                        counter(&names[(t as u64 + i) as usize % names.len()]).inc();
+                    }
+                });
+            }
+        });
+        let total: u64 = names.iter().map(|n| counter(n).get()).sum();
+        assert_eq!(total, THREADS as u64 * PER_THREAD);
+        // The merged snapshot is name-sorted despite sharding.
+        let values = registry().counter_values();
+        let sorted: Vec<&String> = {
+            let mut v: Vec<&String> = values.iter().map(|(k, _)| k).collect();
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "snapshot unsorted");
+            v.sort();
+            v
+        };
+        assert_eq!(sorted.len(), values.len());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | `prop_3_1_self_join_error_formula` | Proposition 3.1: `S − S' = Σ PᵢVᵢ ≥ 0` |
 //! | `differential_catalog_engine_consistency` | core build ≡ ANALYZE ≡ snapshot reload ≡ engine SQL |
 //! | `theorem_2_1_chain_product_matches_execution` | Theorem 2.1: matrix product = executed chain size |
+//! | `cache_transparent` | §4–§6 practicality: the estimation cache is invisible — cached ≡ brute-force at every epoch |
 
 use crate::exact;
 use crate::report::CheckReport;
@@ -637,6 +638,182 @@ pub fn check_differential_catalog_engine_consistency(w: &Workload) -> CheckRepor
     CheckReport::from_failures("differential_catalog_engine_consistency", cases, failures)
 }
 
+/// The practicality claim behind §4–§6: memoising estimates must be
+/// invisible. For every generated workload, estimates through the
+/// engine's versioned cache equal the brute-force (cache-bypassing)
+/// path bit for bit — value *and* reported [`engine::StatsUse`]
+/// sequence — at every catalog epoch the check drives the engine
+/// through: fresh statistics, a staleness bump that degrades the
+/// ladder rung, and a re-ANALYZE that restores it. A stale-epoch hit
+/// is impossible by construction (a hit requires the stored epoch to
+/// equal the pinned snapshot's), and this check falsifies it anyway:
+/// after each mutation the cached answer must track the *new*
+/// brute-force answer, never the memoised old one.
+pub fn check_cache_transparent(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_cache_transparent");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+
+    // Both estimates of one query through both paths, twice through the
+    // cached path so the second call is a guaranteed same-epoch hit.
+    // Returns the brute-force result for cross-epoch comparisons.
+    fn probe(
+        engine: &engine::Engine,
+        query: &engine::Query,
+        case: &str,
+        phase: &str,
+        failures: &mut Vec<String>,
+    ) -> Option<(f64, Vec<engine::StatsUse>)> {
+        let uncached = match engine.estimate_with_sources_uncached(query) {
+            Ok(r) => r,
+            Err(e) => {
+                push_fail(failures, format!("{case} [{phase}]: uncached failed: {e}"));
+                return None;
+            }
+        };
+        for attempt in ["miss", "hit"] {
+            match engine.estimate_with_sources(query) {
+                Ok((est, sources)) => {
+                    if est.to_bits() != uncached.0.to_bits() {
+                        push_fail(
+                            failures,
+                            format!(
+                                "{case} [{phase}/{attempt}]: cached estimate {est} is not \
+                                 bit-identical to brute force {}",
+                                uncached.0
+                            ),
+                        );
+                    }
+                    if sources != uncached.1 {
+                        push_fail(
+                            failures,
+                            format!(
+                                "{case} [{phase}/{attempt}]: cached StatsUse {sources:?} \
+                                 differs from brute force {:?}",
+                                uncached.1
+                            ),
+                        );
+                    }
+                }
+                Err(e) => push_fail(failures, format!("{case} [{phase}/{attempt}]: {e}")),
+            }
+        }
+        Some(uncached)
+    }
+
+    for (idx, set) in w.medium_sets.iter().enumerate() {
+        let freqs = set.freqs.as_slice();
+        let (values, nz) = nonzero_domain(freqs);
+        if values.is_empty() {
+            continue;
+        }
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        for beta in betas_for(w, values.len()) {
+            cases += 1;
+            let spec = BuilderSpec::VOptEndBiased(beta);
+            let case = format!("{} β={beta}", set.name);
+            let mut engine = engine::Engine::new();
+            let mut registered = true;
+            for (name, sub) in [("l", 2 * idx as u64), ("r", 2 * idx as u64 + 1)] {
+                match relation_from_frequencies(name, "a", &values, &freq_set, w.subseed(sub)) {
+                    Ok(rel) => engine.register(rel),
+                    Err(e) => {
+                        push_fail(&mut failures, format!("{case}: relation build failed: {e}"));
+                        registered = false;
+                    }
+                }
+            }
+            if !registered {
+                continue;
+            }
+            if let Err(e) = engine.analyze_all_with(spec) {
+                push_fail(&mut failures, format!("{case}: ANALYZE failed: {e}"));
+                continue;
+            }
+            let mut sqls = vec![
+                "SELECT COUNT(*) FROM l, r WHERE l.a = r.a".to_string(),
+                format!("SELECT COUNT(*) FROM l WHERE l.a = {}", values[0]),
+            ];
+            if let Some(&v) = values.last() {
+                sqls.push(format!(
+                    "SELECT COUNT(*) FROM l, r WHERE l.a = r.a AND r.a = {v}"
+                ));
+            }
+            let queries: Vec<engine::Query> = match sqls
+                .iter()
+                .map(|sql| engine.parse(sql))
+                .collect::<std::result::Result<_, _>>()
+            {
+                Ok(qs) => qs,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{case}: parse failed: {e}"));
+                    continue;
+                }
+            };
+
+            // Phase 1: fresh statistics, spec rung.
+            let mut fresh = Vec::new();
+            for q in &queries {
+                fresh.push(probe(&engine, q, &case, "fresh", &mut failures));
+            }
+
+            // Phase 2: push staleness past the ladder's hard limit. The
+            // epoch bump must invalidate every memoised entry — cached
+            // answers must now match the *degraded* brute-force path.
+            let epoch_before = engine.catalog().epoch();
+            let limit = engine.estimate_policy().hard_staleness_limit;
+            engine.catalog().note_updates("l", limit + 1);
+            engine.catalog().note_updates("r", limit + 1);
+            if engine.catalog().epoch() != epoch_before + 2 {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{case}: two update notes moved the epoch {epoch_before} -> {} (expected +2)",
+                        engine.catalog().epoch()
+                    ),
+                );
+            }
+            for q in &queries {
+                if let Some((_, sources)) = probe(&engine, q, &case, "stale", &mut failures) {
+                    if sources.iter().any(|s| s.rung == engine::EstimateRung::Spec) {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case} [stale]: a lookup still answered from the spec rung \
+                                 ({sources:?}) — the staleness bump did not reach the estimator"
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // Phase 3: re-ANALYZE restores the spec rung; the cached
+            // path must return to the phase-1 answers bit for bit.
+            if let Err(e) = engine.analyze_all_with(spec) {
+                push_fail(&mut failures, format!("{case}: re-ANALYZE failed: {e}"));
+                continue;
+            }
+            for (q, before) in queries.iter().zip(&fresh) {
+                let after = probe(&engine, q, &case, "refreshed", &mut failures);
+                if let (Some((est_before, src_before)), Some((est_after, src_after))) =
+                    (before.as_ref(), after.as_ref())
+                {
+                    if est_before.to_bits() != est_after.to_bits() || src_before != src_after {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case} [refreshed]: identical statistics must reproduce the \
+                                 fresh-epoch estimate ({est_before} vs {est_after})"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    CheckReport::from_failures("cache_transparent", cases, failures)
+}
+
 /// Theorem 2.1: the chain-product result size equals tuple-by-tuple
 /// execution over materialised relations, and the histogram estimate
 /// with per-value-exact statistics recovers the exact size.
@@ -735,6 +912,7 @@ pub fn run_all(w: &Workload) -> Vec<CheckReport> {
         check_prop_3_1_self_join_error_formula(w),
         check_differential_catalog_engine_consistency(w),
         check_theorem_2_1_chain_product_matches_execution(w),
+        check_cache_transparent(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {

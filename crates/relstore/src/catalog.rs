@@ -19,9 +19,10 @@ use crate::catalog2d::StoredMatrixHistogram;
 use crate::error::{Result, StoreError};
 use crate::relation::Relation;
 use crate::stats::{frequency_matrix_table, frequency_table, FrequencyTable};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 use vopt_hist::{BuilderSpec, Histogram, MatrixHistogram};
 
 /// A histogram in the paper's compact catalog layout.
@@ -213,27 +214,215 @@ pub struct RefreshFailure {
     pub last_error: String,
 }
 
-/// A concurrent statistics catalog.
-#[derive(Debug, Default)]
-pub struct Catalog {
-    entries: RwLock<HashMap<StatKey, Entry>>,
+/// An immutable, epoch-stamped view of the entire catalog.
+///
+/// Readers obtain one via [`Catalog::read_snapshot`] and then run any
+/// number of lookups against a single consistent state: a published
+/// snapshot never changes, so a multi-column read can never observe one
+/// column from before a mutation and another from after it, and it
+/// never contends with writers. The epoch increases by exactly one per
+/// catalog mutation, which makes it a free invalidation token — a value
+/// derived from a snapshot is current iff its recorded epoch equals the
+/// catalog's current epoch (the engine's estimation cache keys on it).
+#[derive(Debug, Clone, Default)]
+pub struct CatalogSnapshot {
+    epoch: u64,
+    entries: HashMap<StatKey, Arc<Entry>>,
     /// Attribute-pair statistics (2-D histograms), in their own
     /// namespace, as systems keep single- and multi-column distribution
     /// statistics in distinct catalog tables.
-    matrix_entries: RwLock<HashMap<StatKey, MatrixEntry>>,
+    matrix_entries: HashMap<StatKey, Arc<MatrixEntry>>,
     /// Updates observed per relation since catalog creation.
-    versions: RwLock<HashMap<String, u64>>,
+    versions: HashMap<String, u64>,
     /// Refresh-failure streaks per key (cleared by a successful store).
     /// Kept beside the entries rather than inside them so a column
     /// whose *first* ANALYZE fails — no entry exists yet — still has a
     /// failure history for the maintenance daemon's breaker to read.
-    failures: RwLock<HashMap<StatKey, RefreshFailure>>,
+    failures: HashMap<StatKey, RefreshFailure>,
+}
+
+impl CatalogSnapshot {
+    /// The mutation count of the catalog at the instant this snapshot
+    /// was published. Strictly monotone across snapshots of one catalog.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fetches a histogram by reference — no clone, no lock.
+    pub fn get(&self, key: &StatKey) -> Result<&StoredHistogram> {
+        match self.entries.get(key) {
+            Some(e) => {
+                obs::counter("catalog_get_hit_total").inc();
+                if self.version_of(&key.relation) > e.built_at_version {
+                    obs::counter("catalog_get_stale_total").inc();
+                }
+                Ok(&e.histogram)
+            }
+            None => {
+                obs::counter("catalog_get_miss_total").inc();
+                Err(StoreError::MissingStatistics { key: key.display() })
+            }
+        }
+    }
+
+    /// Fetches a 2-D histogram by reference.
+    pub fn get_matrix(&self, key: &StatKey) -> Result<&StoredMatrixHistogram> {
+        match self.matrix_entries.get(key) {
+            Some(e) => {
+                obs::counter("catalog_get_hit_total").inc();
+                if self.version_of(&key.relation) > e.built_at_version {
+                    obs::counter("catalog_get_stale_total").inc();
+                }
+                Ok(&e.histogram)
+            }
+            None => {
+                obs::counter("catalog_get_miss_total").inc();
+                Err(StoreError::MissingStatistics { key: key.display() })
+            }
+        }
+    }
+
+    /// Updates `relation` has seen since the stored histogram was built
+    /// (saturating, see [`Catalog::staleness`]).
+    pub fn staleness(&self, key: &StatKey) -> Result<u64> {
+        let entry = self
+            .entries
+            .get(key)
+            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
+        Ok(self
+            .version_of(&key.relation)
+            .saturating_sub(entry.built_at_version))
+    }
+
+    /// Staleness of a 2-D histogram (saturating).
+    pub fn matrix_staleness(&self, key: &StatKey) -> Result<u64> {
+        let entry = self
+            .matrix_entries
+            .get(key)
+            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
+        Ok(self
+            .version_of(&key.relation)
+            .saturating_sub(entry.built_at_version))
+    }
+
+    /// The update counter of `relation` (0 if never updated).
+    pub fn version_of(&self, relation: &str) -> u64 {
+        self.versions.get(relation).copied().unwrap_or(0)
+    }
+
+    /// The current refresh-failure streak of `key`, if any.
+    pub fn refresh_failure(&self, key: &StatKey) -> Option<&RefreshFailure> {
+        self.failures.get(key)
+    }
+
+    /// Every key with a live failure streak, sorted by `(relation,
+    /// columns)` for deterministic exposition.
+    pub fn refresh_failures(&self) -> Vec<(StatKey, RefreshFailure)> {
+        let mut all: Vec<(StatKey, RefreshFailure)> = self
+            .failures
+            .iter()
+            .map(|(k, f)| (k.clone(), f.clone()))
+            .collect();
+        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
+        all
+    }
+
+    /// The spec a 1-D entry's histogram was built with, if recorded.
+    pub fn spec_of(&self, key: &StatKey) -> Option<BuilderSpec> {
+        self.entries.get(key).and_then(|e| e.spec)
+    }
+
+    /// The spec a 2-D entry's histogram was built with, if recorded.
+    pub fn matrix_spec_of(&self, key: &StatKey) -> Option<BuilderSpec> {
+        self.matrix_entries.get(key).and_then(|e| e.spec)
+    }
+
+    /// All keys currently stored, in unspecified order.
+    pub fn keys(&self) -> Vec<StatKey> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// A snapshot of every 1-D entry (for persistence), sorted by
+    /// `(relation, columns)` so the encoding is order-stable regardless
+    /// of insertion order.
+    pub fn snapshot_1d(&self) -> Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)> {
+        let _span = obs::span("catalog_snapshot_1d");
+        let mut all: Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.histogram.clone(), e.spec))
+            .collect();
+        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
+        all
+    }
+
+    /// A snapshot of every 2-D entry, sorted like
+    /// [`CatalogSnapshot::snapshot_1d`].
+    pub fn snapshot_2d(&self) -> Vec<(StatKey, StoredMatrixHistogram, Option<BuilderSpec>)> {
+        let _span = obs::span("catalog_snapshot_2d");
+        let mut all: Vec<(StatKey, StoredMatrixHistogram, Option<BuilderSpec>)> = self
+            .matrix_entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.histogram.clone(), e.spec))
+            .collect();
+        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
+        all
+    }
+
+    /// Every per-relation update counter, sorted by relation name.
+    pub fn version_snapshot(&self) -> Vec<(String, u64)> {
+        let mut all: Vec<(String, u64)> =
+            self.versions.iter().map(|(r, &v)| (r.clone(), v)).collect();
+        all.sort();
+        all
+    }
+}
+
+/// A concurrent statistics catalog.
+///
+/// Internally a read-copy-update cell over [`CatalogSnapshot`]: every
+/// mutation clones the current snapshot (entries are `Arc`-shared, so
+/// the clone is shallow), applies itself, bumps the epoch, and swaps
+/// the new snapshot in under a short write lock. Readers only ever take
+/// the read lock for the duration of one `Arc` clone, so lookups never
+/// wait on a scan, a build, or the maintenance daemon.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    current: RwLock<Arc<CatalogSnapshot>>,
+    /// Serializes mutations so two concurrent writers each see the
+    /// other's effects (plain RCU would lose one of them).
+    mutate: Mutex<()>,
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current epoch-stamped snapshot. O(1): one `Arc` clone under
+    /// a read lock held for no other work.
+    pub fn read_snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The catalog's current epoch (its mutation count).
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Runs one mutation: clone-shallow the current snapshot, bump the
+    /// epoch, let `f` edit the clone, publish. The `mutate` lock makes
+    /// the read-modify-write atomic; the write lock on `current` is
+    /// held only for the pointer swap.
+    fn mutate<R>(&self, f: impl FnOnce(&mut CatalogSnapshot) -> R) -> R {
+        let _guard = self.mutate.lock();
+        let mut next = CatalogSnapshot::clone(&self.current.read());
+        next.epoch += 1;
+        let out = f(&mut next);
+        obs::gauge("catalog_epoch").set(next.epoch as f64);
+        *self.current.write() = Arc::new(next);
+        out
     }
 
     /// Stores a histogram for `key`, stamping it with the relation's
@@ -251,17 +440,33 @@ impl Catalog {
         histogram: StoredHistogram,
         spec: Option<BuilderSpec>,
     ) {
-        obs::counter("catalog_put_total").inc();
-        let version = self.version_of(&key.relation);
-        self.failures.write().remove(&key);
-        self.entries.write().insert(
-            key,
-            Entry {
-                histogram,
-                built_at_version: version,
-                spec,
-            },
-        );
+        self.put_all_with_spec(vec![(key, histogram, spec)]);
+    }
+
+    /// Stores a batch of histograms in one mutation (one epoch bump,
+    /// one snapshot publication). Readers — and the engine's estimation
+    /// cache — observe either none or all of the batch, which is what
+    /// lets a multi-column ANALYZE stay atomic from the read path's
+    /// point of view.
+    pub fn put_all_with_spec(&self, items: Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)>) {
+        if items.is_empty() {
+            return;
+        }
+        self.mutate(|snap| {
+            for (key, histogram, spec) in items {
+                obs::counter("catalog_put_total").inc();
+                let version = snap.version_of(&key.relation);
+                snap.failures.remove(&key);
+                snap.entries.insert(
+                    key,
+                    Arc::new(Entry {
+                        histogram,
+                        built_at_version: version,
+                        spec,
+                    }),
+                );
+            }
+        });
     }
 
     /// Records that a refresh (or first ANALYZE) of `key` failed with
@@ -270,63 +475,41 @@ impl Catalog {
     /// and what `histctl metrics` exposes; a successful store clears it.
     pub fn note_refresh_failure(&self, key: &StatKey, error: &str) {
         obs::counter("catalog_refresh_failure_total").inc();
-        let mut failures = self.failures.write();
-        let record = failures.entry(key.clone()).or_insert(RefreshFailure {
-            count: 0,
-            last_error: String::new(),
+        self.mutate(|snap| {
+            let record = snap.failures.entry(key.clone()).or_insert(RefreshFailure {
+                count: 0,
+                last_error: String::new(),
+            });
+            record.count = record.count.saturating_add(1);
+            record.last_error = error.to_string();
         });
-        record.count = record.count.saturating_add(1);
-        record.last_error = error.to_string();
     }
 
     /// The current refresh-failure streak of `key`, if any.
     pub fn refresh_failure(&self, key: &StatKey) -> Option<RefreshFailure> {
-        self.failures.read().get(key).cloned()
+        self.read_snapshot().refresh_failure(key).cloned()
     }
 
     /// Every key with a live failure streak, sorted by `(relation,
     /// columns)` for deterministic exposition.
     pub fn refresh_failures(&self) -> Vec<(StatKey, RefreshFailure)> {
-        let mut all: Vec<(StatKey, RefreshFailure)> = self
-            .failures
-            .read()
-            .iter()
-            .map(|(k, f)| (k.clone(), f.clone()))
-            .collect();
-        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
-        all
+        self.read_snapshot().refresh_failures()
     }
 
     /// The spec a 1-D entry's histogram was built with, if recorded.
     pub fn spec_of(&self, key: &StatKey) -> Option<BuilderSpec> {
-        self.entries.read().get(key).and_then(|e| e.spec)
+        self.read_snapshot().spec_of(key)
     }
 
     /// The spec a 2-D entry's histogram was built with, if recorded.
     pub fn matrix_spec_of(&self, key: &StatKey) -> Option<BuilderSpec> {
-        self.matrix_entries.read().get(key).and_then(|e| e.spec)
+        self.read_snapshot().matrix_spec_of(key)
     }
 
-    /// Fetches a histogram.
+    /// Fetches a histogram (cloned; hot paths should prefer
+    /// [`Catalog::read_snapshot`] and borrow instead).
     pub fn get(&self, key: &StatKey) -> Result<StoredHistogram> {
-        let found = self
-            .entries
-            .read()
-            .get(key)
-            .map(|e| (e.histogram.clone(), e.built_at_version));
-        match found {
-            Some((histogram, built_at_version)) => {
-                obs::counter("catalog_get_hit_total").inc();
-                if self.version_of(&key.relation) > built_at_version {
-                    obs::counter("catalog_get_stale_total").inc();
-                }
-                Ok(histogram)
-            }
-            None => {
-                obs::counter("catalog_get_miss_total").inc();
-                Err(StoreError::MissingStatistics { key: key.display() })
-            }
-        }
+        self.read_snapshot().get(key).cloned()
     }
 
     /// Records that `updates` tuples changed in `relation` (insert,
@@ -334,9 +517,10 @@ impl Catalog {
     /// stale. Saturating: a counter at `u64::MAX` pins there instead of
     /// wrapping (which would make every histogram look freshly built).
     pub fn note_updates(&self, relation: &str, updates: u64) {
-        let mut versions = self.versions.write();
-        let counter = versions.entry(relation.to_string()).or_insert(0);
-        *counter = counter.saturating_add(updates);
+        self.mutate(|snap| {
+            let counter = snap.versions.entry(relation.to_string()).or_insert(0);
+            *counter = counter.saturating_add(updates);
+        });
     }
 
     /// How many updates `relation` has seen since the stored histogram
@@ -344,19 +528,12 @@ impl Catalog {
     /// version counter (possible after a journal recovery rebuilt the
     /// counters) reads as staleness 0, never as a huge wrapped value.
     pub fn staleness(&self, key: &StatKey) -> Result<u64> {
-        let built_at = {
-            let entries = self.entries.read();
-            entries
-                .get(key)
-                .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?
-                .built_at_version
-        };
-        Ok(self.version_of(&key.relation).saturating_sub(built_at))
+        self.read_snapshot().staleness(key)
     }
 
     /// All keys currently stored, in unspecified order.
     pub fn keys(&self) -> Vec<StatKey> {
-        self.entries.read().keys().cloned().collect()
+        self.read_snapshot().keys()
     }
 
     /// A snapshot of every 1-D entry (for persistence), sorted by
@@ -364,33 +541,13 @@ impl Catalog {
     /// of insertion order — parallel and sequential ANALYZE produce
     /// byte-identical snapshots.
     pub fn snapshot_1d(&self) -> Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)> {
-        let _span = obs::span("catalog_snapshot_1d");
-        let mut all: Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)> = self
-            .entries
-            .read()
-            .iter()
-            .map(|(k, e)| (k.clone(), e.histogram.clone(), e.spec))
-            .collect();
-        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
-        all
+        self.read_snapshot().snapshot_1d()
     }
 
     /// A snapshot of every 2-D entry (for persistence), sorted like
     /// [`Catalog::snapshot_1d`].
     pub fn snapshot_2d(&self) -> Vec<(StatKey, StoredMatrixHistogram, Option<BuilderSpec>)> {
-        let _span = obs::span("catalog_snapshot_2d");
-        let mut all: Vec<(StatKey, StoredMatrixHistogram, Option<BuilderSpec>)> = self
-            .matrix_entries
-            .read()
-            .iter()
-            .map(|(k, e)| (k.clone(), e.histogram.clone(), e.spec))
-            .collect();
-        all.sort_by(|a, b| (&a.0.relation, &a.0.columns).cmp(&(&b.0.relation, &b.0.columns)));
-        all
-    }
-
-    fn version_of(&self, relation: &str) -> u64 {
-        self.versions.read().get(relation).copied().unwrap_or(0)
+        self.read_snapshot().snapshot_2d()
     }
 
     /// Every per-relation update counter, sorted by relation name.
@@ -398,14 +555,7 @@ impl Catalog {
     /// full observable state — the crash-recovery oracle compares both
     /// against the pre- and post-fault committed states.
     pub fn version_snapshot(&self) -> Vec<(String, u64)> {
-        let mut all: Vec<(String, u64)> = self
-            .versions
-            .read()
-            .iter()
-            .map(|(r, &v)| (r.clone(), v))
-            .collect();
-        all.sort();
-        all
+        self.read_snapshot().version_snapshot()
     }
 
     /// Estimation-quality aggregates recorded (via
@@ -413,18 +563,10 @@ impl Catalog {
     /// statistics on. Scopes follow the `<relation>/<histogram class>`
     /// convention, so the filter matches on the leading path component.
     pub fn quality_report(&self) -> Vec<(String, obs::QualitySnapshot)> {
-        let mut relations: std::collections::HashSet<String> = self
-            .entries
-            .read()
-            .keys()
-            .map(|k| k.relation.clone())
-            .collect();
-        relations.extend(
-            self.matrix_entries
-                .read()
-                .keys()
-                .map(|k| k.relation.clone()),
-        );
+        let snap = self.read_snapshot();
+        let mut relations: std::collections::HashSet<String> =
+            snap.entries.keys().map(|k| k.relation.clone()).collect();
+        relations.extend(snap.matrix_entries.keys().map(|k| k.relation.clone()));
         obs::quality::snapshot_all()
             .into_iter()
             .filter(|(scope, _)| {
@@ -507,51 +649,30 @@ impl Catalog {
         spec: Option<BuilderSpec>,
     ) {
         obs::counter("catalog_put_total").inc();
-        let version = self.version_of(&key.relation);
-        self.failures.write().remove(&key);
-        self.matrix_entries.write().insert(
-            key,
-            MatrixEntry {
-                histogram,
-                built_at_version: version,
-                spec,
-            },
-        );
+        self.mutate(|snap| {
+            let version = snap.version_of(&key.relation);
+            snap.failures.remove(&key);
+            snap.matrix_entries.insert(
+                key,
+                Arc::new(MatrixEntry {
+                    histogram,
+                    built_at_version: version,
+                    spec,
+                }),
+            );
+        });
     }
 
-    /// Fetches a 2-D histogram.
+    /// Fetches a 2-D histogram (cloned; hot paths should prefer
+    /// [`Catalog::read_snapshot`] and borrow instead).
     pub fn get_matrix(&self, key: &StatKey) -> Result<StoredMatrixHistogram> {
-        let found = self
-            .matrix_entries
-            .read()
-            .get(key)
-            .map(|e| (e.histogram.clone(), e.built_at_version));
-        match found {
-            Some((histogram, built_at_version)) => {
-                obs::counter("catalog_get_hit_total").inc();
-                if self.version_of(&key.relation) > built_at_version {
-                    obs::counter("catalog_get_stale_total").inc();
-                }
-                Ok(histogram)
-            }
-            None => {
-                obs::counter("catalog_get_miss_total").inc();
-                Err(StoreError::MissingStatistics { key: key.display() })
-            }
-        }
+        self.read_snapshot().get_matrix(key).cloned()
     }
 
     /// Staleness of a 2-D histogram (saturating, like
     /// [`Catalog::staleness`]).
     pub fn matrix_staleness(&self, key: &StatKey) -> Result<u64> {
-        let built_at = {
-            let entries = self.matrix_entries.read();
-            entries
-                .get(key)
-                .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?
-                .built_at_version
-        };
-        Ok(self.version_of(&key.relation).saturating_sub(built_at))
+        self.read_snapshot().matrix_staleness(key)
     }
 
     /// End-to-end ANALYZE for an attribute pair: collects the frequency
@@ -780,5 +901,55 @@ mod tests {
             assert_eq!(h.join().unwrap(), 1);
         }
         assert_eq!(cat.keys().len(), 8);
+    }
+
+    #[test]
+    fn epoch_bumps_once_per_mutation_and_snapshots_are_frozen() {
+        let cat = Catalog::new();
+        assert_eq!(cat.epoch(), 0);
+        let before = cat.read_snapshot();
+
+        let hist = end_biased(&[1, 2], 1, 0).unwrap();
+        let stored = StoredHistogram::from_histogram(&[10, 20], &hist).unwrap();
+        let key = StatKey::new("r", &["a"]);
+        cat.put(key.clone(), stored.clone());
+        assert_eq!(cat.epoch(), 1);
+        cat.note_updates("r", 3);
+        assert_eq!(cat.epoch(), 2);
+        cat.note_refresh_failure(&key, "boom");
+        assert_eq!(cat.epoch(), 3);
+
+        // The pinned pre-mutation snapshot still shows the empty state.
+        assert_eq!(before.epoch(), 0);
+        assert!(before.get(&key).is_err());
+        assert_eq!(before.version_of("r"), 0);
+
+        // A fresh snapshot shows everything, at the current epoch.
+        let now = cat.read_snapshot();
+        assert_eq!(now.epoch(), 3);
+        assert_eq!(now.get(&key).unwrap(), &stored);
+        assert_eq!(now.staleness(&key).unwrap(), 3);
+        assert_eq!(now.refresh_failure(&key).unwrap().count, 1);
+    }
+
+    #[test]
+    fn put_all_is_one_epoch_and_atomic_for_readers() {
+        let cat = Catalog::new();
+        let hist = end_biased(&[1, 2], 1, 0).unwrap();
+        let stored = StoredHistogram::from_histogram(&[10, 20], &hist).unwrap();
+        let k1 = StatKey::new("t", &["a"]);
+        let k2 = StatKey::new("t", &["b"]);
+        cat.put_all_with_spec(vec![
+            (k1.clone(), stored.clone(), None),
+            (k2.clone(), stored, None),
+        ]);
+        // One mutation, one epoch: no snapshot can exist holding k1 but
+        // not k2.
+        assert_eq!(cat.epoch(), 1);
+        let snap = cat.read_snapshot();
+        assert!(snap.get(&k1).is_ok() && snap.get(&k2).is_ok());
+        // An empty batch publishes nothing.
+        cat.put_all_with_spec(Vec::new());
+        assert_eq!(cat.epoch(), 1);
     }
 }

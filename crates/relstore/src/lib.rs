@@ -43,7 +43,7 @@ pub mod schema;
 pub mod stats;
 pub mod wal;
 
-pub use catalog::{Catalog, RefreshFailure, RefreshStage, StoredHistogram};
+pub use catalog::{Catalog, CatalogSnapshot, RefreshFailure, RefreshStage, StoredHistogram};
 pub use catalog2d::StoredMatrixHistogram;
 pub use daemon::{BreakerState, Daemon, DaemonConfig, DaemonCore, DaemonEvent};
 pub use error::{Result, StoreError};

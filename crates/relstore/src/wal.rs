@@ -53,6 +53,7 @@ use parking_lot::Mutex;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use vopt_hist::{BuilderSpec, MatrixHistogram};
 
 /// A crash site that [`DurableCatalog::arm_kill`] can plant a one-shot
@@ -394,7 +395,7 @@ impl JournalWriter {
 /// [`checkpoint`]: DurableCatalog::checkpoint
 pub struct DurableCatalog {
     dir: PathBuf,
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     journal: Mutex<JournalWriter>,
     kill: Mutex<Option<KillPoint>>,
 }
@@ -441,7 +442,7 @@ impl DurableCatalog {
         obs::gauge("wal_journal_bytes").set(committed as f64);
         Ok(Self {
             dir,
-            catalog,
+            catalog: Arc::new(catalog),
             journal: Mutex::new(JournalWriter {
                 file,
                 bytes: committed,
@@ -456,6 +457,15 @@ impl DurableCatalog {
     /// read-only: mutations through this reference are not journaled.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// A shared handle to the in-memory catalog, for read paths (the
+    /// engine's snapshot/estimation-cache machinery) that outlive a
+    /// borrow. The same read-only contract as
+    /// [`DurableCatalog::catalog`] applies: mutations through this
+    /// handle bypass the journal and vanish on recovery.
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
     }
 
     /// The data directory this store persists to.
@@ -502,10 +512,23 @@ impl DurableCatalog {
     /// the mutation is not applied, exactly as if the process had
     /// crashed at that instant.
     fn append_and_apply(&self, payload: &[u8], apply: impl FnOnce(&Catalog)) -> Result<()> {
+        self.append_all_and_apply(&[payload], apply)
+    }
+
+    /// [`DurableCatalog::append_and_apply`] over a batch: every payload
+    /// is framed, written, and fsynced in one journal-lock hold, then
+    /// `apply` runs once. Live readers therefore observe none or all of
+    /// the batch; on disk the records are individual frames, so a crash
+    /// mid-batch may persist (and replay) a prefix — each frame is a
+    /// complete, self-validating mutation either way.
+    fn append_all_and_apply(&self, payloads: &[&[u8]], apply: impl FnOnce(&Catalog)) -> Result<()> {
         let _span = obs::span("wal_append");
         let mut w = self.journal.lock();
         w.heal()?;
-        let framed = frame(payload)?;
+        let mut framed = Vec::new();
+        for payload in payloads {
+            framed.extend_from_slice(&frame(payload)?);
+        }
         if self.take_kill(KillPoint::JournalAppend) {
             // Torn write: only a prefix of the frame reaches the disk.
             let torn = &framed[..framed.len() / 2];
@@ -538,7 +561,7 @@ impl DurableCatalog {
             .map_err(|e| io_err("journal append", e))?;
         w.bytes += framed.len() as u64;
         obs::gauge("wal_journal_bytes").set(w.bytes as f64);
-        obs::counter("wal_append_total").inc();
+        obs::counter("wal_append_total").add(payloads.len() as u64);
         apply(&self.catalog);
         Ok(())
     }
@@ -559,6 +582,25 @@ impl DurableCatalog {
     /// Durable `put` without a recorded spec.
     pub fn put(&self, key: StatKey, histogram: StoredHistogram) -> Result<()> {
         self.put_with_spec(key, histogram, None)
+    }
+
+    /// Durable batched [`Catalog::put_all_with_spec`]: all records are
+    /// journaled and fsynced under one journal-lock hold, then applied
+    /// as a single catalog mutation (one epoch bump), so concurrent
+    /// readers pinning a snapshot see none or all of the batch.
+    pub fn put_all_with_spec(
+        &self,
+        items: Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)>,
+    ) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let payloads: Vec<Vec<u8>> = items
+            .iter()
+            .map(|(key, hist, spec)| encode_put(key, hist, *spec))
+            .collect::<Result<_>>()?;
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        self.append_all_and_apply(&refs, |catalog| catalog.put_all_with_spec(items))
     }
 
     /// Durable [`Catalog::put_matrix_with_spec`].
@@ -789,6 +831,32 @@ mod tests {
         let recovered = Catalog::recover(scratch.path()).unwrap();
         assert_eq!(state_of(&recovered), expected);
         assert_eq!(recovered.staleness(&StatKey::new("t", &["c"])).unwrap(), 7);
+    }
+
+    #[test]
+    fn batched_put_is_one_epoch_live_and_replays_identically() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        store.analyze(&rel, "c", SPEC).unwrap();
+        let hist = store.catalog().get(&StatKey::new("t", &["c"])).unwrap();
+        let epoch_before = store.catalog().epoch();
+        store
+            .put_all_with_spec(vec![
+                (StatKey::new("t", &["x"]), hist.clone(), Some(SPEC)),
+                (StatKey::new("t", &["y"]), hist.clone(), Some(SPEC)),
+                (StatKey::new("t", &["z"]), hist, None),
+            ])
+            .unwrap();
+        // One live mutation for the whole batch.
+        assert_eq!(store.catalog().epoch(), epoch_before + 1);
+        let expected = state_of(store.catalog());
+        drop(store);
+        // Replay applies the three records individually but lands on
+        // the same final state.
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        assert_eq!(state_of(&recovered), expected);
+        assert_eq!(recovered.keys().len(), 4);
     }
 
     #[test]

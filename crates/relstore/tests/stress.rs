@@ -165,3 +165,138 @@ fn concurrent_catalog_use_under_daemon_sweeps() {
         "replayed built-at stamps must match the live catalog"
     );
 }
+
+/// How many multi-column generations the batch writer publishes.
+const GENERATIONS: u64 = 150;
+/// Columns written atomically per generation.
+const GEN_COLUMNS: usize = 4;
+/// Snapshot pins per pinning reader.
+const PINS_PER_READER: usize = 300;
+
+/// A histogram that *encodes* a generation number: every value has
+/// frequency `g + 1`, so every bucket average equals `g + 1` no matter
+/// how the builder partitions — readers decode `g` from any bucket.
+fn generation_histogram(g: u64) -> relstore::StoredHistogram {
+    let values: Vec<u64> = (0..GEN_COLUMNS as u64).collect();
+    let freqs = vec![g + 1; GEN_COLUMNS];
+    let opt = spec().build_opt(&freqs).expect("generation histogram");
+    relstore::StoredHistogram::from_histogram(&values, &opt.histogram).expect("stored")
+}
+
+/// Reads the generation a histogram encodes.
+fn decode_generation(hist: &relstore::StoredHistogram) -> u64 {
+    hist.bucket_avgs()[0].saturating_sub(1)
+}
+
+/// Epoch-snapshot isolation: a reader that pins one snapshot and walks
+/// several columns must see ONE generation across all of them, even
+/// though a writer republishes all columns in batches and the daemon
+/// interleaves its own journaled refreshes. A reader going through the
+/// mutable catalog handle key-by-key would (correctly) be able to see
+/// a torn cross-column state; the pinned snapshot never can. The test
+/// also asserts pinned epochs are monotone per reader and that crash
+/// recovery rebuilds the exact final catalog.
+#[test]
+fn snapshot_pinned_readers_never_see_mixed_generations() {
+    let dir = scratch("pinned");
+    let store = Arc::new(DurableCatalog::open(&dir).expect("open store"));
+    let rel = Arc::new(relation());
+    let keys: Vec<StatKey> = (0..GEN_COLUMNS)
+        .map(|c| StatKey::new("p", &[format!("c{c}").as_str()]))
+        .collect();
+
+    // Generation 0 plus the daemon's own column, so every key resolves
+    // from the first pin onward.
+    let batch = |g: u64| -> Vec<_> {
+        keys.iter()
+            .map(|k| (k.clone(), generation_histogram(g), Some(spec())))
+            .collect()
+    };
+    store.put_all_with_spec(batch(0)).expect("seed generation");
+    store.analyze(&rel, "a", spec()).expect("seed analyze");
+
+    let mut core = DaemonCore::new(DaemonConfig::default());
+    core.register_with_spec(Arc::clone(&rel), "a", spec());
+    let daemon = Daemon::spawn(core, Arc::clone(&store), Duration::from_millis(1));
+
+    let result = crossbeam::thread::scope(|s| {
+        // The batch writer: each generation is one journaled multi-key
+        // put — exactly one epoch bump for all four columns.
+        {
+            let store = Arc::clone(&store);
+            s.spawn(move |_| {
+                for g in 1..=GENERATIONS {
+                    store
+                        .put_all_with_spec(batch(g))
+                        .expect("publish generation");
+                }
+            });
+        }
+        // A staleness writer keeps the daemon refreshing its column so
+        // unrelated journaled mutations interleave with the batches.
+        {
+            let store = Arc::clone(&store);
+            s.spawn(move |_| {
+                for _ in 0..NOTES_PER_WRITER {
+                    store.note_updates("t", 1).expect("note_updates");
+                }
+            });
+        }
+        // Pinning readers: all columns of one pinned snapshot agree.
+        for _ in 0..3 {
+            let store = Arc::clone(&store);
+            let keys = keys.clone();
+            s.spawn(move |_| {
+                let mut last_epoch = 0u64;
+                let mut last_generation = 0u64;
+                for _ in 0..PINS_PER_READER {
+                    let snap = store.catalog().read_snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "pinned epoch went backwards: {last_epoch} -> {}",
+                        snap.epoch()
+                    );
+                    last_epoch = snap.epoch();
+                    let generations: Vec<u64> = keys
+                        .iter()
+                        .map(|k| decode_generation(snap.get(k).expect("pinned key")))
+                        .collect();
+                    assert!(
+                        generations.iter().all(|&g| g == generations[0]),
+                        "mixed-epoch read through one pinned snapshot: {generations:?} \
+                         at epoch {last_epoch}"
+                    );
+                    assert!(
+                        generations[0] >= last_generation,
+                        "generation went backwards across pins: \
+                         {last_generation} -> {}",
+                        generations[0]
+                    );
+                    last_generation = generations[0];
+                }
+            });
+        }
+    });
+    assert!(result.is_ok(), "a stress thread panicked: {result:?}");
+    let core = daemon.stop();
+    assert!(core.now() > 0, "daemon never swept while the stress ran");
+
+    // The final state is the last generation, on every column.
+    let live = store.catalog().read_snapshot();
+    for key in &keys {
+        assert_eq!(
+            decode_generation(live.get(key).expect("final key")),
+            GENERATIONS,
+            "final catalog must hold the last published generation"
+        );
+    }
+
+    // Recovery equals live, byte for byte, including the generation
+    // histograms that only ever existed as batched journal appends.
+    let recovered = relstore::Catalog::recover(&dir).expect("recover");
+    assert_eq!(
+        relstore::codec::encode_catalog(&recovered).to_vec(),
+        relstore::codec::encode_catalog(store.catalog()).to_vec(),
+        "journal replay must rebuild the exact live catalog"
+    );
+}

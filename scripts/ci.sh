@@ -65,6 +65,42 @@ if grep -RnE 'journal\.\{?[0-9a-zA-Z_:$<>]*\}?\.wal|"journal\.' \
   exit 1
 fi
 
+echo "==> estimation-cache epoch guard"
+# The estimation cache is correct only because every probe is keyed by
+# the epoch of the snapshot the estimate is computed on. Two rules,
+# both greppable: (1) no code outside the engine's read path touches
+# the cache type; (2) inside the engine, every cache get/insert passes
+# `snap.epoch()` — the epoch of the *pinned* snapshot, not a re-read of
+# the live catalog, which could race a concurrent mutation between the
+# epoch read and the probe.
+if grep -RnE 'EstimationCache|\.cache\.(get|insert)\(' \
+    --include='*.rs' \
+    src tests examples crates \
+  | grep -v 'crates/engine/src/engine.rs' \
+  | grep -v 'crates/engine/src/cache.rs'; then
+  echo "error: estimation-cache access outside the engine's epoch-snapshot read path" >&2
+  echo "       (estimates go through Engine::estimate_with_sources)" >&2
+  exit 1
+fi
+if ! python3 - <<'PY'
+import re
+import sys
+
+src = re.sub(r"\s+", "", open("crates/engine/src/engine.rs").read())
+probes = len(re.findall(r"\.cache\.(?:get|insert)\(", src))
+keyed = len(re.findall(r"\.cache\.(?:get|insert)\(fp,snap\.epoch\(\)[,)]", src))
+if probes == 0:
+    sys.exit("no cache probes found in engine.rs — did the read path move?")
+if keyed != probes:
+    sys.exit(
+        f"{probes - keyed} cache probe(s) not keyed by the pinned snap.epoch()"
+    )
+PY
+then
+  echo "error: estimation-cache probe not keyed by the pinned snapshot's epoch" >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -110,6 +146,60 @@ if not fault.get("injected"):
 PY
 then
   echo "error: crash-recovery matrix missing, failing, or incomplete in selftest report" >&2
+  exit 1
+fi
+
+echo "==> bench smoke gate (deterministic digest + cache speedup)"
+# The load harness must (1) report the full histctl-bench-v1 schema,
+# (2) produce a byte-identical result digest across reruns with one
+# seed in --ops mode, and (3) show the cached single-lookup path at
+# least 10x faster than uncached recomputation. Timing fields vary run
+# to run by design; the digest and op counts may not.
+bench_a="$(mktemp)"
+bench_b="$(mktemp)"
+trap 'rm -f "$bench_a" "$bench_b"' EXIT
+target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json > "$bench_a"
+target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json > "$bench_b"
+if ! BENCH_A="$bench_a" BENCH_B="$bench_b" python3 - <<'PY'
+import json
+import os
+import sys
+
+a = json.load(open(os.environ["BENCH_A"]))
+b = json.load(open(os.environ["BENCH_B"]))
+if a.get("schema") != "histctl-bench-v1":
+    sys.exit(f"unexpected schema: {a.get('schema')}")
+if [r["threads"] for r in a["runs"]] != [1, 2, 4]:
+    sys.exit(f"wrong thread counts: {[r['threads'] for r in a['runs']]}")
+for r in a["runs"]:
+    for field in ("ops", "throughput", "p50_ns", "p99_ns", "hit_rate", "digest"):
+        if field not in r:
+            sys.exit(f"run missing {field}: {r}")
+    if r["ops"] != r["threads"] * 200:
+        sys.exit(f"wrong fixed op count: {r}")
+    if not (0.0 <= r["hit_rate"] <= 1.0):
+        sys.exit(f"hit rate out of range: {r}")
+    if r["p50_ns"] <= 0 or r["p99_ns"] < r["p50_ns"]:
+        sys.exit(f"implausible latency quantiles: {r}")
+da = [(r["threads"], r["ops"], r["digest"]) for r in a["runs"]]
+db = [(r["threads"], r["ops"], r["digest"]) for r in b["runs"]]
+if da != db:
+    sys.exit(f"bench digests differ across reruns with one seed:\n{da}\n{db}")
+speedup = a["speedup"]["speedup"]
+if speedup < 10.0:
+    sys.exit(f"cached single lookup only {speedup}x faster than uncached (< 10x)")
+# The committed trajectory artifact must exist and carry >= 4-thread
+# scaling data under the same schema.
+c = json.load(open("BENCH_pr5.json"))
+if c.get("schema") != "histctl-bench-v1":
+    sys.exit("BENCH_pr5.json missing or not a histctl-bench-v1 report")
+if max(r["threads"] for r in c["runs"]) < 4:
+    sys.exit("BENCH_pr5.json lacks >=4-thread scaling data")
+if c["speedup"]["speedup"] < 10.0:
+    sys.exit("BENCH_pr5.json records a sub-10x cache speedup")
+PY
+then
+  echo "error: bench smoke gate failed (schema, determinism, or speedup)" >&2
   exit 1
 fi
 

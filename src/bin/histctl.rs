@@ -58,6 +58,17 @@ commands:
                  matrix; prints a deterministic JSON report and exits
                  nonzero on any violation. --emit-snapshot writes the
                  seed's reference catalog; --snapshot verifies one first)
+  bench         [--threads LIST] [--duration-ms D | --ops N] [--workload selfjoin|chain]
+                [--seed S] [--buckets B] [--class CLASS] [--json] [--out FILE.json]
+                (closed-loop estimation load harness: T concurrent
+                 threads drive cached estimates over an oracle-generated
+                 query pool while the maintenance daemon churns the
+                 catalog with ANALYZE refreshes; reports throughput,
+                 p50/p99 latency from the obs log2 histograms, cache hit
+                 rate, and the cached-vs-uncached single-lookup speedup.
+                 --threads takes a comma list ('1,2,4'); --ops runs a
+                 fixed per-thread operation count whose result digest is
+                 byte-identical across reruns with the same --seed)
 
 CLASS names a registered histogram builder (default v_opt_end_biased),
 optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
@@ -93,6 +104,9 @@ macro_rules! outln {
     };
 }
 
+/// Flags that are pure switches: present or absent, no value token.
+const BOOLEAN_FLAGS: &[&str] = &["json"];
+
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
@@ -100,6 +114,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let name = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got '{flag}'"))?;
+        if BOOLEAN_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         flags.insert(name.to_string(), value.clone());
     }
@@ -566,6 +584,404 @@ fn cmd_selftest(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
+/// One SplitMix64 step: the bench's only PRNG. Deterministic, seedable,
+/// and dependency-free (the workspace deliberately keeps `rand` out of
+/// release binaries), so two runs with the same `--seed` pick the same
+/// query sequence.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds one 64-bit word into an FNV-1a digest byte-by-byte. Estimate
+/// bit patterns go through this, so the digest certifies bit-identical
+/// results, not merely "close" ones.
+fn fnv1a(digest: u64, word: u64) -> u64 {
+    word.to_le_bytes().iter().fold(digest, |d, &b| {
+        (d ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Per-thread-count results of one bench run.
+struct BenchRun {
+    threads: usize,
+    ops: u64,
+    elapsed_ms: f64,
+    throughput: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    hit_rate: f64,
+    evictions: u64,
+    digest: u64,
+}
+
+/// Closed-loop estimation load harness. Builds an oracle-generated
+/// relation set and query pool, attaches the engine to a journaled
+/// catalog whose maintenance daemon keeps re-ANALYZEing columns (so the
+/// catalog epoch advances while readers run), then drives concurrent
+/// cached estimates at each requested thread count.
+///
+/// Determinism: with `--ops N` every thread issues exactly N estimates
+/// chosen by a seeded SplitMix64 stream, and the churn daemon rebuilds
+/// histograms from *unchanged* relations with the *same* builder spec —
+/// epochs advance but every recomputed estimate is bit-identical, so
+/// the reported digest is byte-stable across reruns with one `--seed`.
+/// Timing fields (throughput, quantiles) naturally vary; the digest and
+/// op counts do not.
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    use relstore::{Daemon, DaemonConfig, DaemonCore, DurableCatalog};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let duration_ms: u64 = flags
+        .get("duration-ms")
+        .map(|s| parse_num(s, "duration-ms"))
+        .transpose()?
+        .unwrap_or(500);
+    let ops: Option<u64> = flags.get("ops").map(|s| parse_num(s, "ops")).transpose()?;
+    let workload = flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("selfjoin");
+    if workload != "selfjoin" && workload != "chain" {
+        return Err(format!(
+            "--workload must be 'selfjoin' or 'chain', got '{workload}'"
+        ));
+    }
+    let buckets: usize = flags
+        .get("buckets")
+        .map(|b| parse_num(b, "buckets"))
+        .transpose()?
+        .unwrap_or(10);
+    let spec = class_spec(flags, buckets)?;
+    let thread_counts: Vec<usize> = flags
+        .get("threads")
+        .map(String::as_str)
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|t| parse_num::<usize>(t.trim(), "threads"))
+        .collect::<Result<_, _>>()?;
+    if thread_counts.is_empty() || thread_counts.contains(&0) {
+        return Err("--threads needs a comma list of positive counts".into());
+    }
+
+    obs::register_well_known();
+
+    // Relations and queries come from the oracle's seed-deterministic
+    // workload generator, so `bench` exercises the same distribution
+    // shapes (zipf, cusp, uniform, stepped, random) the selftest proves
+    // correct.
+    let wl = oracle::Workload::generate(seed, oracle::Tier::Quick);
+    let mut eng = engine::Engine::new();
+    let dir = std::env::temp_dir().join(format!("histctl_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(DurableCatalog::open(&dir).map_err(|e| e.to_string())?);
+    eng.attach_catalog(store.catalog_arc());
+
+    let mut core = DaemonCore::new(DaemonConfig {
+        jitter_seed: seed,
+        ..DaemonConfig::default()
+    });
+    let mut rel_names = Vec::new();
+    let mut sql_pool: Vec<String> = Vec::new();
+    match workload {
+        "selfjoin" => {
+            // One left/right relation pair per medium set; queries are
+            // the pair's join, point selections on both sides, and the
+            // join with a residual filter.
+            for (i, set) in wl.medium_sets.iter().enumerate() {
+                let n = set.freqs.len();
+                for (suffix, sub) in [("l", 0u64), ("r", 1u64)] {
+                    let name = format!("t{i}{suffix}");
+                    let rel = relation_from_frequency_set(
+                        &name,
+                        "v",
+                        &set.freqs,
+                        wl.subseed(2 * i as u64 + sub),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    core.register_with_spec(Arc::new(rel.clone()), "v", spec);
+                    eng.register(rel);
+                    rel_names.push(name);
+                }
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM t{i}l, t{i}r WHERE t{i}l.v = t{i}r.v"
+                ));
+                sql_pool.push(format!("SELECT COUNT(*) FROM t{i}l WHERE t{i}l.v = 0"));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM t{i}r WHERE t{i}r.v = {}",
+                    n / 2
+                ));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM t{i}l, t{i}r WHERE t{i}l.v = t{i}r.v AND t{i}l.v = {}",
+                    n - 1
+                ));
+            }
+        }
+        _ => {
+            // One relation per medium set; queries chain consecutive
+            // relations two and three deep (§2.2's vector/matrix shape
+            // collapsed to shared-domain chains).
+            for (i, set) in wl.medium_sets.iter().enumerate() {
+                let name = format!("c{i}");
+                let rel = relation_from_frequency_set(&name, "v", &set.freqs, wl.subseed(i as u64))
+                    .map_err(|e| e.to_string())?;
+                core.register_with_spec(Arc::new(rel.clone()), "v", spec);
+                eng.register(rel);
+                rel_names.push(name);
+            }
+            let m = wl.medium_sets.len();
+            for i in 0..m.saturating_sub(2) {
+                let (a, b, c) = (i, i + 1, i + 2);
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM c{a}, c{b} WHERE c{a}.v = c{b}.v"
+                ));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM c{a}, c{b}, c{c} \
+                     WHERE c{a}.v = c{b}.v AND c{b}.v = c{c}.v"
+                ));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM c{a}, c{b}, c{c} \
+                     WHERE c{a}.v = c{b}.v AND c{b}.v = c{c}.v AND c{a}.v = {i}"
+                ));
+            }
+        }
+    }
+    eng.analyze_all_with(spec).map_err(|e| e.to_string())?;
+    let pool: Vec<engine::ast::Query> = sql_pool
+        .iter()
+        .map(|sql| eng.parse(sql).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    // Churn: a background thread marks relations dirty and triggers
+    // daemon sweeps, so the daemon keeps journaling fresh ANALYZE
+    // results and the catalog epoch advances under the readers' feet.
+    let daemon = Daemon::spawn(
+        core,
+        Arc::clone(&store),
+        Duration::from_millis(3_600_000), // manual sweeps only
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let stop = Arc::clone(&stop);
+        let store = Arc::clone(&store);
+        let rels = rel_names.clone();
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = store.note_updates(&rels[i % rels.len()], 300);
+                daemon.sweep_now();
+                i += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            daemon.stop()
+        })
+    };
+
+    let hit_counter = obs::counter("est_cache_hit_total");
+    let miss_counter = obs::counter("est_cache_miss_total");
+    let evict_counter = obs::counter("est_cache_evict_total");
+    let mut runs: Vec<BenchRun> = Vec::new();
+    for &threads in &thread_counts {
+        let (hits0, miss0, evict0) = (hit_counter.get(), miss_counter.get(), evict_counter.get());
+        let hist = obs::histogram(&obs::labeled(
+            "bench_estimate_ns",
+            "threads",
+            &threads.to_string(),
+        ));
+        let started = Instant::now();
+        let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let (eng, pool, hist) = (&eng, &pool, &hist);
+                    s.spawn(move || {
+                        let mut state = seed
+                            ^ ((threads as u64) << 32)
+                            ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let mut digest = FNV_OFFSET;
+                        let mut n = 0u64;
+                        let deadline = Instant::now() + Duration::from_millis(duration_ms);
+                        loop {
+                            match ops {
+                                Some(k) if n >= k => break,
+                                None if Instant::now() >= deadline => break,
+                                _ => {}
+                            }
+                            let idx = (splitmix64(&mut state) % pool.len() as u64) as usize;
+                            let t0 = Instant::now();
+                            let (est, _) = eng
+                                .estimate_with_sources(&pool[idx])
+                                .expect("bench estimate");
+                            hist.observe_ns(t0.elapsed().as_nanos() as u64);
+                            digest = fnv1a(digest, idx as u64);
+                            digest = fnv1a(digest, est.to_bits());
+                            n += 1;
+                        }
+                        (n, digest)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench worker"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        let total_ops: u64 = per_thread.iter().map(|(n, _)| n).sum();
+        // Thread digests fold in worker-index order, so the combined
+        // digest is schedule-independent.
+        let digest = per_thread.iter().fold(FNV_OFFSET, |d, &(_, t)| fnv1a(d, t));
+        let (hits, misses) = (hit_counter.get() - hits0, miss_counter.get() - miss0);
+        let probes = hits + misses;
+        runs.push(BenchRun {
+            threads,
+            ops: total_ops,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            throughput: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_ns: hist.quantile_ns(0.5).unwrap_or(0),
+            p99_ns: hist.quantile_ns(0.99).unwrap_or(0),
+            hit_rate: if probes == 0 {
+                0.0
+            } else {
+                hits as f64 / probes as f64
+            },
+            evictions: evict_counter.get() - evict0,
+            digest,
+        });
+    }
+
+    // Stop the churn before the speedup probe so the cached side
+    // measures steady-state hits, not epoch-bump recomputations.
+    stop.store(true, Ordering::Relaxed);
+    let _core = churn
+        .join()
+        .map_err(|_| "churn thread panicked".to_string())?;
+
+    // Cached-vs-uncached single-lookup probe: a join over a wide domain
+    // (2048 distinct values) where recomputation walks the dictionaries
+    // while a cache hit is one shard probe plus a StatsUse replay.
+    let mut probe = engine::Engine::new();
+    for (name, rows, z, sub) in [
+        ("probe_l", 200_000u64, 1.1f64, 0xabcdu64),
+        ("probe_r", 180_000, 0.9, 0xdcba),
+    ] {
+        let freqs = zipf_frequencies(rows, 2048, z).map_err(|e| e.to_string())?;
+        let rel = relation_from_frequency_set(name, "v", &freqs, seed ^ sub)
+            .map_err(|e| e.to_string())?;
+        probe.register(rel);
+    }
+    probe.analyze_all_with(spec).map_err(|e| e.to_string())?;
+    let pq = probe
+        .parse("SELECT COUNT(*) FROM probe_l, probe_r WHERE probe_l.v = probe_r.v")
+        .map_err(|e| e.to_string())?;
+    probe
+        .estimate_with_sources(&pq)
+        .map_err(|e| e.to_string())?; // warm the cache
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    const TRIALS: usize = 501;
+    let cached_median = median(
+        (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                probe.estimate_with_sources(&pq).expect("cached probe");
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect(),
+    );
+    let uncached_median = median(
+        (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                probe
+                    .estimate_with_sources_uncached(&pq)
+                    .expect("uncached probe");
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect(),
+    );
+    let speedup = uncached_median as f64 / cached_median.max(1) as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mode = if ops.is_some() { "ops" } else { "duration" };
+    let json = {
+        let mut s = format!(
+            "{{\"schema\":\"histctl-bench-v1\",\"seed\":{seed},\"workload\":\"{workload}\",\
+             \"class\":\"{}\",\"buckets\":{buckets},\"mode\":\"{mode}\",\"queries\":{},\
+             \"runs\":[",
+            spec.name(),
+            pool.len()
+        );
+        for (i, r) in runs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"threads\":{},\"ops\":{},\"elapsed_ms\":{:.3},\"throughput\":{:.1},\
+                 \"p50_ns\":{},\"p99_ns\":{},\"hit_rate\":{:.4},\"evictions\":{},\
+                 \"digest\":\"{:016x}\"}}",
+                r.threads,
+                r.ops,
+                r.elapsed_ms,
+                r.throughput,
+                r.p50_ns,
+                r.p99_ns,
+                r.hit_rate,
+                r.evictions,
+                r.digest
+            ));
+        }
+        s.push_str(&format!(
+            "],\"speedup\":{{\"cached_median_ns\":{cached_median},\
+             \"uncached_median_ns\":{uncached_median},\"speedup\":{speedup:.1}}}}}"
+        ));
+        s
+    };
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if flags.contains_key("json") {
+        outln!("{json}");
+    } else {
+        outln!(
+            "bench: workload={workload} seed={seed} queries={} mode={mode}",
+            pool.len()
+        );
+        for r in &runs {
+            outln!(
+                "  threads {:>2}: {:>8} ops in {:>8.1} ms  ({:>10.0} ops/s)  \
+                 p50 {:>6} ns  p99 {:>7} ns  hit rate {:.1}%  digest {:016x}",
+                r.threads,
+                r.ops,
+                r.elapsed_ms,
+                r.throughput,
+                r.p50_ns,
+                r.p99_ns,
+                r.hit_rate * 100.0,
+                r.digest
+            );
+        }
+        outln!(
+            "  single lookup: cached {cached_median} ns vs uncached {uncached_median} ns \
+             ({speedup:.1}x)"
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -583,6 +999,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "recover" => cmd_recover(&flags),
         "selftest" => cmd_selftest(&flags),
+        "bench" => cmd_bench(&flags),
         "-h" | "--help" | "help" => {
             outln!("{USAGE}");
             Ok(())

@@ -371,3 +371,158 @@ fn selftest_rejects_a_corrupted_snapshot() {
         "a rejected snapshot must not emit a report on stdout"
     );
 }
+
+/// Extracts every `"digest":"..."` value from a bench JSON report.
+fn digests_of(json: &str) -> Vec<String> {
+    json.split("\"digest\":\"")
+        .skip(1)
+        .map(|rest| rest.split('"').next().unwrap().to_string())
+        .collect()
+}
+
+/// Extracts every `"ops":N` value from a bench JSON report.
+fn ops_of(json: &str) -> Vec<u64> {
+    json.split("\"ops\":")
+        .skip(1)
+        .map(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("ops value")
+        })
+        .collect()
+}
+
+#[test]
+fn bench_reports_the_full_schema_with_nonzero_ops() {
+    let out = histctl(&[
+        "bench",
+        "--threads",
+        "1,2",
+        "--ops",
+        "60",
+        "--seed",
+        "11",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    for field in [
+        "\"schema\":\"histctl-bench-v1\"",
+        "\"seed\":11",
+        "\"workload\":\"selfjoin\"",
+        "\"mode\":\"ops\"",
+        "\"threads\":1",
+        "\"threads\":2",
+        "\"throughput\":",
+        "\"p50_ns\":",
+        "\"p99_ns\":",
+        "\"hit_rate\":",
+        "\"evictions\":",
+        "\"digest\":\"",
+        "\"speedup\":{",
+        "\"cached_median_ns\":",
+        "\"uncached_median_ns\":",
+    ] {
+        assert!(json.contains(field), "report missing {field}: {json}");
+    }
+    // Per-thread fixed op counts: 1×60 and 2×60.
+    assert_eq!(ops_of(&json), vec![60, 120], "fixed --ops counts: {json}");
+    // p50 must be a real (nonzero) log2-bucket bound once ops ran.
+    assert!(!json.contains("\"p50_ns\":0,"), "zero p50 with ops: {json}");
+}
+
+#[test]
+fn bench_digest_is_identical_across_reruns_with_one_seed() {
+    let run = || {
+        let out = histctl(&[
+            "bench",
+            "--threads",
+            "1,2",
+            "--ops",
+            "80",
+            "--workload",
+            "chain",
+            "--seed",
+            "23",
+            "--json",
+        ]);
+        assert!(
+            out.status.success(),
+            "bench failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let (a, b) = (run(), run());
+    let (da, db) = (digests_of(&a), digests_of(&b));
+    assert_eq!(da.len(), 2, "one digest per thread count: {a}");
+    assert_eq!(da, db, "reruns with one --seed must agree bitwise");
+    assert_eq!(ops_of(&a), ops_of(&b));
+    // A different seed picks different query sequences.
+    let out = histctl(&[
+        "bench",
+        "--threads",
+        "1,2",
+        "--ops",
+        "80",
+        "--workload",
+        "chain",
+        "--seed",
+        "24",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let other = digests_of(&String::from_utf8_lossy(&out.stdout));
+    assert_ne!(da, other, "different seeds must not collide");
+}
+
+#[test]
+fn bench_writes_the_report_file_and_summarizes_speedup() {
+    let path = scratch("bench_out.json");
+    let out = histctl(&[
+        "bench",
+        "--threads",
+        "1",
+        "--ops",
+        "40",
+        "--seed",
+        "5",
+        "--out",
+        &path,
+    ]);
+    assert!(
+        out.status.success(),
+        "bench failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Human summary on stdout, full JSON in the file.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("single lookup"), "summary: {stdout}");
+    let json = std::fs::read_to_string(&path).expect("report file");
+    assert!(
+        json.starts_with("{\"schema\":\"histctl-bench-v1\""),
+        "{json}"
+    );
+    assert!(
+        json.ends_with("}\n"),
+        "report must be one JSON line: {json}"
+    );
+}
+
+#[test]
+fn bench_rejects_unknown_workloads_and_zero_threads() {
+    let bad = histctl(&["bench", "--workload", "starjoin", "--ops", "1"]);
+    assert!(!bad.status.success(), "unknown workload must exit nonzero");
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("workload"),
+        "stderr should name the flag"
+    );
+    let zero = histctl(&["bench", "--threads", "0", "--ops", "1"]);
+    assert!(!zero.status.success(), "zero threads must exit nonzero");
+}
