@@ -52,6 +52,13 @@ pub(crate) fn fingerprint(query: &Query) -> u64 {
     hasher.finish()
 }
 
+/// Which shard a fingerprint maps to (the high bits; the map key uses
+/// the full value). Shared with the provenance tracer so a traced cache
+/// probe names the same shard the cache actually touched.
+pub(crate) fn shard_index(fingerprint: u64) -> u64 {
+    (fingerprint >> 32) & (SHARDS as u64 - 1)
+}
+
 /// One memoised estimate: the value, the epoch it is valid at, and the
 /// statistics lookups that produced it (replayed on a hit so rung
 /// accounting is identical to a miss).
@@ -115,7 +122,7 @@ impl EstimationCache {
     }
 
     fn shard_of(&self, fingerprint: u64) -> &Mutex<Shard> {
-        &self.shards[(fingerprint >> 32) as usize & (SHARDS - 1)]
+        &self.shards[shard_index(fingerprint) as usize]
     }
 
     /// The entry for `fingerprint` if it was computed at exactly

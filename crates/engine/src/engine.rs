@@ -16,7 +16,7 @@
 //! hash.
 
 use crate::ast::{ColumnRef, FilterPredicate, Query};
-use crate::cache::{fingerprint, EstimationCache};
+use crate::cache::{fingerprint, shard_index, EstimationCache};
 use crate::error::{EngineError, Result};
 use crate::ladder::{
     record_stats_use, uniform_filter_selectivity, EstimatePolicy, EstimateRung, StatsUse,
@@ -481,6 +481,17 @@ impl Engine {
             (None, Some(_)) => EstimateRung::Trivial,
             _ => EstimateRung::Uniform,
         };
+        // Flight-recorder provenance: which histogram class and rung
+        // this resolution consulted. Guarded so the extra catalog
+        // lookups (spec, staleness) happen only while tracing.
+        if obs::trace::active() {
+            obs::trace::stats_resolved(
+                &format!("{}.{}", c.table, c.column),
+                snap.spec_of(&key).map(|s| s.name()),
+                rung.name(),
+                snap.staleness(&key).ok(),
+            );
+        }
         Ok(ColumnStats {
             rung,
             hist,
@@ -539,6 +550,7 @@ impl Engine {
             let _span = obs::span("est_cache_lookup");
             self.cache.get(fp, snap.epoch())
         };
+        obs::trace::cache_probe(hit.is_some(), shard_index(fp), snap.epoch());
         if let Some(hit) = hit {
             let mut sources = Vec::with_capacity(hit.sources.len());
             for s in hit.sources.iter() {
@@ -551,6 +563,66 @@ impl Engine {
         self.cache
             .insert(fp, snap.epoch(), estimate, Arc::new(sources.clone()));
         Ok((estimate, sources))
+    }
+
+    /// Like [`Engine::estimate_with_sources`], additionally returning a
+    /// [`ProvenanceRecord`] — fingerprint, pinned epoch, cache outcome,
+    /// per-lookup histogram class / rung / staleness, and per-stage
+    /// timings. Estimation behaviour is identical: same snapshot
+    /// pinning, same cache probe and insert, same [`StatsUse`]
+    /// accounting; only the audit record is added.
+    ///
+    /// [`ProvenanceRecord`]: crate::provenance::ProvenanceRecord
+    pub fn estimate_with_provenance(
+        &self,
+        query: &Query,
+    ) -> Result<(f64, Vec<StatsUse>, crate::provenance::ProvenanceRecord)> {
+        use crate::provenance::{ProvenanceRecord, StageTiming};
+        use std::time::Instant;
+        let _span = obs::span("estimate");
+        let t_bind = Instant::now();
+        self.bind(query)?;
+        let bind_elapsed = t_bind.elapsed();
+        let snap = self.catalog.read_snapshot();
+        let fp = fingerprint(query);
+        let t_lookup = Instant::now();
+        let hit = {
+            let _span = obs::span("est_cache_lookup");
+            self.cache.get(fp, snap.epoch())
+        };
+        obs::trace::cache_probe(hit.is_some(), shard_index(fp), snap.epoch());
+        let lookup_elapsed = t_lookup.elapsed();
+        let cache_hit = hit.is_some();
+        let t_answer = Instant::now();
+        let (estimate, sources) = if let Some(hit) = hit {
+            let mut sources = Vec::with_capacity(hit.sources.len());
+            for s in hit.sources.iter() {
+                record_stats_use(&mut sources, s.target.clone(), s.rung);
+            }
+            (hit.estimate, sources)
+        } else {
+            let _span = obs::span("est_compute");
+            let (estimate, sources) = self.estimate_on(&snap, query)?;
+            self.cache
+                .insert(fp, snap.epoch(), estimate, Arc::new(sources.clone()));
+            (estimate, sources)
+        };
+        let stages = vec![
+            StageTiming {
+                stage: "bind".to_string(),
+                elapsed: bind_elapsed,
+            },
+            StageTiming {
+                stage: "cache_lookup".to_string(),
+                elapsed: lookup_elapsed,
+            },
+            StageTiming {
+                stage: if cache_hit { "replay" } else { "compute" }.to_string(),
+                elapsed: t_answer.elapsed(),
+            },
+        ];
+        let record = ProvenanceRecord::build(&snap, fp, cache_hit, &sources, stages);
+        Ok((estimate, sources, record))
     }
 
     /// Like [`Engine::estimate_with_sources`] but bypassing the
@@ -933,6 +1005,63 @@ mod tests {
             (degraded - fresh).abs() < 1e-9,
             "degraded {degraded} vs fresh {fresh}"
         );
+    }
+
+    #[test]
+    fn provenance_reports_cache_outcome_and_column_facts() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = 2")
+            .unwrap();
+        let (est1, sources1, prov1) = e.estimate_with_provenance(&q).unwrap();
+        assert!(!prov1.cache_hit, "first estimate computes");
+        let (est2, sources2, prov2) = e.estimate_with_provenance(&q).unwrap();
+        assert!(prov2.cache_hit, "second estimate replays the cache");
+        // Identical answers and trails either way.
+        assert_eq!(est1.to_bits(), est2.to_bits());
+        assert_eq!(sources1, sources2);
+        assert_eq!(prov1.fingerprint, prov2.fingerprint);
+        assert_eq!(prov1.epoch, prov2.epoch);
+        assert_eq!(prov1.stats, prov2.stats);
+        // Per-lookup facts: fresh spec-rung entries name their class
+        // and a zero staleness.
+        assert_eq!(prov1.stats.len(), 2);
+        for p in &prov1.stats {
+            assert_eq!(p.rung, EstimateRung::Spec);
+            assert_eq!(p.class.as_deref(), Some("v_opt_end_biased"));
+            assert_eq!(p.staleness, Some(0));
+        }
+        assert_eq!(prov1.worst_rung(), Some(EstimateRung::Spec));
+        // Stage timings: bind, cache_lookup, then compute vs replay.
+        let stages1: Vec<&str> = prov1.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(stages1, ["bind", "cache_lookup", "compute"]);
+        let stages2: Vec<&str> = prov2.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(stages2, ["bind", "cache_lookup", "replay"]);
+        // The record renders.
+        let text = prov1.to_string();
+        assert!(text.contains("cache=miss"), "{text}");
+        assert!(text.contains("class=v_opt_end_biased"), "{text}");
+    }
+
+    #[test]
+    fn provenance_tracks_staleness_on_degraded_columns() {
+        let mut e = engine_with_chain();
+        e.set_estimate_policy(EstimatePolicy {
+            hard_staleness_limit: 50,
+            ..EstimatePolicy::default()
+        });
+        e.catalog().note_updates("r0", 51);
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 2").unwrap();
+        let (_, _, prov) = e.estimate_with_provenance(&q).unwrap();
+        assert_eq!(prov.stats.len(), 1);
+        assert_eq!(prov.stats[0].rung, EstimateRung::EndBiased);
+        assert_eq!(prov.stats[0].staleness, Some(51));
+        // And with no statistics at all, the facts honestly go blank.
+        e.clear_statistics();
+        let (_, _, prov) = e.estimate_with_provenance(&q).unwrap();
+        assert_eq!(prov.stats[0].rung, EstimateRung::Uniform);
+        assert_eq!(prov.stats[0].class, None);
+        assert_eq!(prov.stats[0].staleness, None);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! the estimates drove the plan and how far they were from the truth.
 
 use crate::ast::{FilterPredicate, JoinPredicate, Query};
+use crate::cache::fingerprint;
 use crate::engine::Engine;
 use crate::error::{EngineError, Result};
 use crate::ladder::{record_stats_use, EstimateRung, StatsUse};
+use crate::provenance::{ProvenanceRecord, StageTiming};
 use relstore::join::materialize_join;
 use relstore::{CatalogSnapshot, Relation};
 use std::collections::{HashMap, HashSet};
@@ -51,6 +53,9 @@ pub struct ExplainOutput {
     pub stats_sources: Vec<StatsUse>,
     /// The exact `COUNT(*)`.
     pub count: u128,
+    /// Full estimate provenance: fingerprint, pinned epoch, per-lookup
+    /// histogram class / staleness, and per-step timings.
+    pub provenance: ProvenanceRecord,
 }
 
 impl ExplainOutput {
@@ -82,8 +87,35 @@ impl fmt::Display for ExplainOutput {
         for s in &self.stats_sources {
             writeln!(f, "stats {:<46} via {} rung", s.target, s.rung.name())?;
         }
+        for p in &self.provenance.stats {
+            writeln!(
+                f,
+                "prov  {:<46} class={} staleness={}",
+                p.target,
+                p.class.as_deref().unwrap_or("-"),
+                p.staleness
+                    .map_or_else(|| "-".to_string(), |n| n.to_string()),
+            )?;
+        }
+        writeln!(
+            f,
+            "prov  fp={:016x} epoch={}",
+            self.provenance.fingerprint, self.provenance.epoch
+        )?;
         write!(f, "COUNT(*) = {}", self.count)
     }
+}
+
+/// One [`StageTiming`] per executed plan step, for the report's
+/// provenance record.
+fn plan_stages(steps: &[PlanStep]) -> Vec<StageTiming> {
+    steps
+        .iter()
+        .map(|s| StageTiming {
+            stage: s.description.clone(),
+            elapsed: s.elapsed,
+        })
+        .collect()
 }
 
 impl Engine {
@@ -155,11 +187,25 @@ impl Engine {
 
         if query.tables.len() == 1 {
             let count = bases[&query.tables[0]].num_rows() as u128;
-            self.record_query_quality(&snap, query, est_rows[&query.tables[0]], count);
+            self.record_query_quality(
+                &snap,
+                query,
+                est_rows[&query.tables[0]],
+                count,
+                &stats_sources,
+            );
+            let provenance = ProvenanceRecord::build(
+                &snap,
+                fingerprint(query),
+                false,
+                &stats_sources,
+                plan_stages(&steps),
+            );
             return Ok(ExplainOutput {
                 steps,
                 stats_sources,
                 count,
+                provenance,
             });
         }
         if query.joins.is_empty() {
@@ -291,26 +337,43 @@ impl Engine {
             });
         }
         let count = acc.num_rows() as u128;
-        self.record_query_quality(&snap, query, acc_est, count);
+        self.record_query_quality(&snap, query, acc_est, count, &stats_sources);
+        let provenance = ProvenanceRecord::build(
+            &snap,
+            fingerprint(query),
+            false,
+            &stats_sources,
+            plan_stages(&steps),
+        );
         Ok(ExplainOutput {
             steps,
             stats_sources,
             count,
+            provenance,
         })
     }
 
     /// Feeds the query's final (estimate, actual) pair to the
-    /// estimation-quality monitor under the
-    /// `<query tables>/<histogram class>` scope. The class component is
-    /// read from the catalog's recorded build spec (all columns share
-    /// one spec after `analyze_all_with`); entries stored without a
-    /// spec fall back to the engine's default class.
+    /// estimation-quality monitor:
+    ///
+    /// * under the `<query tables>/<histogram class>` scope (the class
+    ///   component is read from the catalog's recorded build spec — all
+    ///   columns share one spec after `analyze_all_with`; entries
+    ///   stored without a spec fall back to the engine's default
+    ///   class);
+    /// * under a `col:<table.column>` scope for every column the
+    ///   estimate consulted, so the drift watchdog can attribute
+    ///   degrading accuracy to individual columns (the signal a refresh
+    ///   prioritizer consumes);
+    /// * under the worst rung's `rung:<rung>` scope, driving the
+    ///   per-rung EWMA gauges.
     fn record_query_quality(
         &self,
         snap: &CatalogSnapshot,
         query: &Query,
         estimate: f64,
         actual: u128,
+        sources: &[StatsUse],
     ) {
         let class = snap
             .keys()
@@ -320,6 +383,22 @@ impl Engine {
             .map_or("v_opt_end_biased", |s| s.name());
         let scope = format!("{}/{class}", query.tables.join(","));
         obs::record_quality(&scope, estimate, actual as f64);
+        let mut columns: Vec<&str> = sources
+            .iter()
+            .flat_map(|s| match s.target.split_once(" = ") {
+                Some((l, r)) => [Some(l), Some(r)],
+                None => [Some(s.target.as_str()), None],
+            })
+            .flatten()
+            .collect();
+        columns.sort_unstable();
+        columns.dedup();
+        for column in columns {
+            obs::record_quality(&format!("col:{column}"), estimate, actual as f64);
+        }
+        if let Some(worst) = sources.iter().map(|s| s.rung).max() {
+            obs::quality::record_rung_quality(worst.name(), estimate, actual as f64);
+        }
     }
 }
 
@@ -439,6 +518,27 @@ mod tests {
         assert!(out.to_string().contains("via uniform rung"), "{out}");
         // The exact count is unaffected by statistics loss.
         assert_eq!(out.count, e.execute(&q).unwrap());
+    }
+
+    #[test]
+    fn explain_attaches_a_provenance_record() {
+        let e = engine();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND r0.a = 1")
+            .unwrap();
+        let out = e.explain_analyze(&q).unwrap();
+        assert!(!out.provenance.cache_hit, "explain never uses the cache");
+        assert_eq!(out.provenance.epoch, e.catalog().read_snapshot().epoch());
+        // One provenance entry per statistics lookup, in the same order.
+        assert_eq!(out.provenance.stats.len(), out.stats_sources.len());
+        for (p, s) in out.provenance.stats.iter().zip(&out.stats_sources) {
+            assert_eq!(p.target, s.target);
+            assert_eq!(p.rung, s.rung);
+            assert_eq!(p.class.as_deref(), Some("v_opt_end_biased"));
+        }
+        // One stage per executed plan step.
+        assert_eq!(out.provenance.stages.len(), out.steps.len());
+        assert!(out.to_string().contains("prov  fp="), "{out}");
     }
 
     #[test]

@@ -122,6 +122,7 @@ fn rung_counter(rung: EstimateRung) -> &'static Arc<obs::Counter> {
 /// identically hit vs. miss.
 pub(crate) fn record_stats_use(sources: &mut Vec<StatsUse>, target: String, rung: EstimateRung) {
     rung_counter(rung).inc();
+    obs::trace::rung_chosen(&target, rung.name());
     sources.push(StatsUse { target, rung });
 }
 

@@ -44,6 +44,7 @@ pub mod error;
 pub mod explain;
 pub mod ladder;
 pub mod parser;
+pub mod provenance;
 pub mod token;
 
 pub use ast::Query;
@@ -51,3 +52,4 @@ pub use engine::Engine;
 pub use error::{EngineError, Result};
 pub use explain::{ExplainOutput, PlanStep};
 pub use ladder::{EstimatePolicy, EstimateRung, StatsUse};
+pub use provenance::{ProvenanceRecord, StageTiming, StatsProvenance};

@@ -81,6 +81,22 @@ fn split_labels(key: &str) -> (&str, Option<&str>) {
     }
 }
 
+/// Escapes a label *value* for the Prometheus text exposition format:
+/// inside double quotes, `\`, `"`, and newline must be backslash-escaped
+/// or the exposition text is unparseable.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn merged_labels(existing: Option<&str>, extra: &str) -> String {
     match existing {
         Some(l) => format!("{{{l},{extra}}}"),
@@ -127,7 +143,7 @@ pub fn prometheus_from(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{base}_count{suffix} {}", h.count);
     }
     for (scope, q) in &snap.quality {
-        let label = format!("scope=\"{scope}\"");
+        let label = format!("scope=\"{}\"", escape_label_value(scope));
         type_line(&mut out, "estimation_qerror_samples_total", "counter");
         let _ = writeln!(
             out,
@@ -138,6 +154,14 @@ pub fn prometheus_from(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "estimation_qerror_geomean{{{label}}} {}", q.geo_mean_q);
         type_line(&mut out, "estimation_qerror_max", "gauge");
         let _ = writeln!(out, "estimation_qerror_max{{{label}}} {}", q.max_q);
+        type_line(&mut out, "estimation_qerror_ewma", "gauge");
+        let _ = writeln!(out, "estimation_qerror_ewma{{{label}}} {}", q.ewma_q);
+        type_line(&mut out, "estimation_qerror_drift_total", "counter");
+        let _ = writeln!(
+            out,
+            "estimation_qerror_drift_total{{{label}}} {}",
+            q.drift_events
+        );
     }
     out
 }
@@ -280,13 +304,17 @@ impl Serialize for HistogramSnapshot {
 
 impl Serialize for QualitySnapshot {
     fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) {
-        s.begin_map(5);
+        s.begin_map(7);
         s.map_key("count");
         s.serialize_u64(self.count);
         s.map_key("geo_mean_q");
         s.serialize_f64(self.geo_mean_q);
         s.map_key("max_q");
         s.serialize_f64(self.max_q);
+        s.map_key("ewma_q");
+        s.serialize_f64(self.ewma_q);
+        s.map_key("drift_events");
+        s.serialize_u64(self.drift_events);
         s.map_key("last_estimate");
         s.serialize_f64(self.last_estimate);
         s.map_key("last_actual");
@@ -365,6 +393,8 @@ mod tests {
                     count: 2,
                     geo_mean_q: 2.0,
                     max_q: 4.0,
+                    ewma_q: 3.0,
+                    drift_events: 1,
                     last_estimate: 40.0,
                     last_actual: 10.0,
                 },
@@ -382,6 +412,8 @@ mod tests {
         assert!(text.contains("construction_seconds_count{class=\"dp\"} 3"));
         assert!(text.contains("estimation_qerror_geomean{scope=\"r/serial\"} 2"));
         assert!(text.contains("estimation_qerror_max{scope=\"r/serial\"} 4"));
+        assert!(text.contains("estimation_qerror_ewma{scope=\"r/serial\"} 3"));
+        assert!(text.contains("estimation_qerror_drift_total{scope=\"r/serial\"} 1"));
         // Cumulative bucket counts.
         let first = text
             .lines()
@@ -405,5 +437,21 @@ mod tests {
         let mut w = JsonWriter::new();
         w.serialize_str("a\"b\\c\nd");
         assert_eq!(w.into_string(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut snap = sample_snapshot();
+        snap.quality[0].0 = "weird\"scope\\with\nstuff".into();
+        let text = prometheus_from(&snap);
+        assert!(
+            text.contains(
+                r#"estimation_qerror_samples_total{scope="weird\"scope\\with\nstuff"} 2"#
+            ),
+            "escaped label value expected in:\n{text}"
+        );
+        // No raw quote/backslash/newline survives inside the label value.
+        assert!(!text.contains("weird\"scope"));
+        assert!(!text.contains("with\nstuff"));
     }
 }

@@ -13,8 +13,14 @@
 //!   histograms, applied to our own telemetry.
 //! * [`quality`] — the estimation-quality monitor: (estimate, actual,
 //!   Q-error) records per relation/histogram with running aggregates
-//!   (count, geometric-mean Q-error, max Q-error). This is the
-//!   query-feedback stream self-tuning histograms need.
+//!   (count, geometric-mean Q-error, max Q-error, EWMA Q-error) and a
+//!   drift watchdog that flags scopes whose recent estimates degrade.
+//!   This is the query-feedback stream self-tuning histograms need.
+//! * [`trace`] — the provenance flight recorder: a bounded, lock-free,
+//!   per-thread log of structured trace events (span open/close, cache
+//!   probes, ladder rungs, statistics resolution, WAL and daemon
+//!   activity) with causal span ids and a global sequence, exportable
+//!   as JSON-lines or a Chrome `trace_event` file.
 //!
 //! Everything funnels into [`export::prometheus`] (text exposition)
 //! and [`export::json`] (driven through the `serde` Serialize/
@@ -38,6 +44,7 @@ pub mod metrics;
 pub mod quality;
 pub mod ring;
 pub mod span;
+pub mod trace;
 
 pub use metrics::{counter, gauge, histogram, labeled, Counter, Gauge, LatencyHistogram};
 pub use quality::{record_quality, QualitySnapshot};
@@ -90,13 +97,18 @@ pub fn register_well_known() {
         "est_cache_hit_total",
         "est_cache_miss_total",
         "est_cache_evict_total",
+        "qerror_drift_events_total",
+        "qerror_nonfinite_dropped_total",
+        "trace_events_dropped_total",
     ] {
         metrics::counter(name);
     }
     // Degradation-ladder rung counters: which tier of statistics
-    // answered each estimator lookup.
+    // answered each estimator lookup — plus the per-rung EWMA Q-error
+    // gauge the drift watchdog publishes.
     for rung in ["spec", "end_biased", "trivial", "uniform"] {
         metrics::counter(&labeled("estimate_rung_total", "rung", rung));
+        metrics::gauge(&labeled("qerror_ewma", "rung", rung));
     }
     // Durability and daemon health gauges, plus the catalog's current
     // snapshot epoch (bumped once per mutation).
@@ -162,5 +174,11 @@ mod tests {
         assert!(text.contains("est_cache_miss_total"));
         assert!(text.contains("est_cache_evict_total"));
         assert!(text.contains("catalog_epoch"));
+        // The provenance-tracing / drift-watchdog families.
+        assert!(text.contains("qerror_drift_events_total"));
+        assert!(text.contains("qerror_nonfinite_dropped_total"));
+        assert!(text.contains("trace_events_dropped_total"));
+        assert!(text.contains(r#"qerror_ewma{rung="spec"}"#));
+        assert!(text.contains(r#"qerror_ewma{rung="uniform"}"#));
     }
 }

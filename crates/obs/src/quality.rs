@@ -3,14 +3,43 @@
 //! Whenever the engine (or an experiment) both estimates and then
 //! executes a query, it records the `(estimate, actual)` pair here
 //! under a scope key — by convention `<relation-or-query>/<histogram
-//! class>`. The monitor keeps running aggregates per key: sample
-//! count, geometric-mean Q-error (mean of `ln q`, the natural average
-//! for a ratio error), and max Q-error. This stream is exactly the
+//! class>`, plus the per-column attribution scopes `col:<table.column>`
+//! and the per-rung scopes `rung:<rung>` the engine's explain path
+//! derives from its `StatsUse` trail. The monitor keeps running
+//! aggregates per key: sample count, geometric-mean Q-error (mean of
+//! `ln q`, the natural average for a ratio error), max Q-error, and an
+//! **EWMA Q-error** for the drift watchdog. This stream is exactly the
 //! feedback a self-tuning maintenance policy (ST-histograms) consumes.
+//!
+//! # Non-finite convention
+//!
+//! [`record_quality`] **drops** pairs where either side is NaN or
+//! infinite (counted in `qerror_nonfinite_dropped_total`): `sum_ln_q`
+//! and `max_q` are *running* aggregates, so a single `q_error(NaN, a)`
+//! would poison every later geometric mean and max permanently. This
+//! is deliberately the complement of `query::metrics`, whose per-run
+//! error tables **propagate** non-finite inputs (rendered as `null` in
+//! JSON) — there each run's table is rebuilt from scratch, so surfacing
+//! a poisoned input is recoverable and informative; here it never
+//! would be.
+//!
+//! # Drift watchdog
+//!
+//! Per scope, the monitor maintains `ewma_ln_q`, an exponentially
+//! weighted moving average of `ln q` seeded by the first sample and
+//! then updated as `ewma ← α·ln q + (1−α)·ewma`; the reported EWMA
+//! Q-error is `exp(ewma_ln_q)` (a geometric EWMA — the natural smoothing
+//! for a ratio error). When a scope's EWMA Q-error crosses the
+//! configured threshold upward (with at least `min_samples` recorded),
+//! the monitor bumps `qerror_drift_events_total`, appends a `drift`
+//! event to the flight recorder, and notifies the registered
+//! [`DriftHook`] — the seam a refresh prioritizer (e.g. the maintenance
+//! daemon) subscribes to. Re-crossings fire again only after the EWMA
+//! has first decayed back under the threshold.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Q-error of an (estimate, actual) pair: `max(e/a, a/e)`, with both
@@ -19,6 +48,70 @@ pub fn q_error(estimate: f64, actual: f64) -> f64 {
     let e = estimate.max(1.0);
     let a = actual.max(1.0);
     (e / a).max(a / e)
+}
+
+/// Tuning of the per-scope drift watchdog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor `α` applied to `ln q` (0 < α ≤ 1; larger
+    /// reacts faster).
+    pub alpha: f64,
+    /// EWMA Q-error above which a scope is considered drifting.
+    pub threshold_q: f64,
+    /// Samples a scope needs before crossings fire (a single bad first
+    /// estimate is feedback, not drift).
+    pub min_samples: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.2,
+            threshold_q: 2.0,
+            min_samples: 5,
+        }
+    }
+}
+
+fn drift_config_cell() -> &'static RwLock<DriftConfig> {
+    static CFG: OnceLock<RwLock<DriftConfig>> = OnceLock::new();
+    CFG.get_or_init(|| RwLock::new(DriftConfig::default()))
+}
+
+/// The current drift-watchdog configuration.
+pub fn drift_config() -> DriftConfig {
+    *drift_config_cell().read()
+}
+
+/// Replaces the drift-watchdog configuration (applies to subsequent
+/// records; per-scope EWMA state is kept).
+pub fn set_drift_config(config: DriftConfig) {
+    *drift_config_cell().write() = config;
+}
+
+/// Receives upward drift-threshold crossings — the refresh-prioritization
+/// seam: a maintenance scheduler implements this to learn which scopes'
+/// estimates are drifting and re-ANALYZE them first. Only priorities are
+/// wired through in this layer; what the subscriber does with them is
+/// its own policy.
+pub trait DriftHook: Send + Sync {
+    /// Called once per upward crossing of `scope`'s EWMA Q-error.
+    fn on_drift(&self, scope: &str, ewma_q: f64);
+}
+
+fn drift_hook_cell() -> &'static RwLock<Option<Arc<dyn DriftHook>>> {
+    static HOOK: OnceLock<RwLock<Option<Arc<dyn DriftHook>>>> = OnceLock::new();
+    HOOK.get_or_init(|| RwLock::new(None))
+}
+
+/// Registers (replacing any previous) the drift-crossing subscriber.
+pub fn set_drift_hook(hook: Arc<dyn DriftHook>) {
+    *drift_hook_cell().write() = Some(hook);
+}
+
+/// Removes the drift-crossing subscriber.
+pub fn clear_drift_hook() {
+    *drift_hook_cell().write() = None;
 }
 
 /// Running aggregates for one scope (lock-free updates; f64s stored as
@@ -30,6 +123,13 @@ pub struct QualityStats {
     max_q: AtomicU64,
     last_estimate: AtomicU64,
     last_actual: AtomicU64,
+    /// EWMA of `ln q`, seeded by the first sample.
+    ewma_ln_q: AtomicU64,
+    /// Upward threshold crossings so far.
+    drift_events: AtomicU64,
+    /// Whether the EWMA is currently above the threshold (edge
+    /// detection: a crossing fires once per excursion).
+    above_threshold: AtomicBool,
 }
 
 fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
@@ -62,14 +162,47 @@ fn atomic_f64_max(cell: &AtomicU64, candidate: f64) {
 }
 
 impl QualityStats {
-    fn record(&self, estimate: f64, actual: f64) {
+    /// Records one finite pair; returns `Some(ewma_q)` when this record
+    /// crossed the drift threshold upward.
+    fn record(&self, estimate: f64, actual: f64, config: DriftConfig) -> Option<f64> {
         let q = q_error(estimate, actual);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        atomic_f64_add(&self.sum_ln_q, q.ln());
+        let n = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        let ln_q = q.ln();
+        atomic_f64_add(&self.sum_ln_q, ln_q);
         atomic_f64_max(&self.max_q, q);
         self.last_estimate
             .store(estimate.to_bits(), Ordering::Relaxed);
         self.last_actual.store(actual.to_bits(), Ordering::Relaxed);
+        // EWMA of ln q: the first sample seeds, later ones blend.
+        let ewma_ln_q = if n == 1 {
+            self.ewma_ln_q.store(ln_q.to_bits(), Ordering::Relaxed);
+            ln_q
+        } else {
+            let alpha = config.alpha.clamp(0.0, 1.0);
+            let mut current = self.ewma_ln_q.load(Ordering::Relaxed);
+            loop {
+                let blended = alpha * ln_q + (1.0 - alpha) * f64::from_bits(current);
+                match self.ewma_ln_q.compare_exchange_weak(
+                    current,
+                    blended.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break blended,
+                    Err(observed) => current = observed,
+                }
+            }
+        };
+        let ewma_q = ewma_ln_q.exp();
+        if n >= config.min_samples && ewma_q > config.threshold_q {
+            if !self.above_threshold.swap(true, Ordering::Relaxed) {
+                self.drift_events.fetch_add(1, Ordering::Relaxed);
+                return Some(ewma_q);
+            }
+        } else if ewma_q <= config.threshold_q {
+            self.above_threshold.store(false, Ordering::Relaxed);
+        }
+        None
     }
 
     /// Point-in-time copy of the aggregates.
@@ -88,6 +221,12 @@ impl QualityStats {
             } else {
                 f64::from_bits(self.max_q.load(Ordering::Relaxed))
             },
+            ewma_q: if count == 0 {
+                1.0
+            } else {
+                f64::from_bits(self.ewma_ln_q.load(Ordering::Relaxed)).exp()
+            },
+            drift_events: self.drift_events.load(Ordering::Relaxed),
             last_estimate: f64::from_bits(self.last_estimate.load(Ordering::Relaxed)),
             last_actual: f64::from_bits(self.last_actual.load(Ordering::Relaxed)),
         }
@@ -103,6 +242,10 @@ pub struct QualitySnapshot {
     pub geo_mean_q: f64,
     /// Largest Q-error seen (1.0 when empty).
     pub max_q: f64,
+    /// EWMA Q-error, `exp` of the EWMA of `ln q` (1.0 when empty).
+    pub ewma_q: f64,
+    /// Upward drift-threshold crossings so far.
+    pub drift_events: u64,
     /// Most recently recorded estimate.
     pub last_estimate: f64,
     /// Most recently recorded actual.
@@ -114,11 +257,29 @@ fn monitor() -> &'static RwLock<BTreeMap<String, Arc<QualityStats>>> {
     MONITOR.get_or_init(|| RwLock::new(BTreeMap::new()))
 }
 
+fn nonfinite_dropped_total() -> &'static Arc<crate::Counter> {
+    static C: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    C.get_or_init(|| crate::counter("qerror_nonfinite_dropped_total"))
+}
+
+fn drift_events_total() -> &'static Arc<crate::Counter> {
+    static C: OnceLock<Arc<crate::Counter>> = OnceLock::new();
+    C.get_or_init(|| crate::counter("qerror_drift_events_total"))
+}
+
 /// Records one (estimate, actual) observation under `scope`
-/// (convention: `<relation-or-query>/<histogram class>`). A no-op when
-/// recording is disabled.
+/// (convention: `<relation-or-query>/<histogram class>`,
+/// `col:<table.column>`, or `rung:<rung>`). A no-op when recording is
+/// disabled. Pairs with a NaN or infinite side are **dropped** (and
+/// counted in `qerror_nonfinite_dropped_total`) rather than folded into
+/// the running aggregates — see the module docs for why this is the
+/// opposite of `query::metrics`' propagate-non-finite convention.
 pub fn record_quality(scope: &str, estimate: f64, actual: f64) {
     if !crate::enabled() {
+        return;
+    }
+    if !estimate.is_finite() || !actual.is_finite() {
+        nonfinite_dropped_total().inc();
         return;
     }
     let stats = {
@@ -133,7 +294,35 @@ pub fn record_quality(scope: &str, estimate: f64, actual: f64) {
                 .or_insert_with(|| Arc::new(QualityStats::default())),
         )
     });
-    stats.record(estimate, actual);
+    let config = drift_config();
+    if let Some(ewma_q) = stats.record(estimate, actual, config) {
+        drift_events_total().inc();
+        crate::trace::drift(scope, ewma_q, config.threshold_q);
+        let hook = drift_hook_cell().read().as_ref().map(Arc::clone);
+        if let Some(hook) = hook {
+            hook.on_drift(scope, ewma_q);
+        }
+    }
+}
+
+/// Records the pair under the per-rung scope `rung:<rung>` and
+/// publishes the resulting EWMA Q-error as the `qerror_ewma{rung=…}`
+/// gauge — the at-a-glance "how wrong is each ladder tier lately"
+/// family `histctl metrics` lists.
+pub fn record_rung_quality(rung: &str, estimate: f64, actual: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let scope = format!("rung:{rung}");
+    record_quality(&scope, estimate, actual);
+    if let Some(snap) = scope_snapshot(&scope) {
+        crate::gauge(&crate::labeled("qerror_ewma", "rung", rung)).set(snap.ewma_q);
+    }
+}
+
+/// Snapshot of one scope's aggregates, if the scope has recorded.
+pub fn scope_snapshot(scope: &str) -> Option<QualitySnapshot> {
+    monitor().read().get(scope).map(|s| s.snapshot())
 }
 
 /// Snapshot of every scope's aggregates, sorted by scope.
@@ -202,5 +391,114 @@ mod tests {
         record_quality("qtest/disabled", 5.0, 1.0);
         crate::set_enabled(true);
         assert!(!snapshot_all().iter().any(|(k, _)| k == "qtest/disabled"));
+    }
+
+    #[test]
+    fn nonfinite_pairs_are_dropped_not_poisoning() {
+        let _guard = crate::test_lock();
+        let scope = "qtest/nonfinite";
+        let dropped_before = nonfinite_dropped_total().get();
+        record_quality(scope, 10.0, 10.0);
+        // Every non-finite combination is rejected before it can touch
+        // the running aggregates.
+        record_quality(scope, f64::NAN, 10.0);
+        record_quality(scope, 10.0, f64::NAN);
+        record_quality(scope, f64::INFINITY, 10.0);
+        record_quality(scope, 10.0, f64::NEG_INFINITY);
+        record_quality(scope, 40.0, 10.0);
+        let snap = scope_snapshot(scope).expect("scope recorded");
+        assert_eq!(snap.count, 2, "only the finite pairs count");
+        assert!(
+            snap.geo_mean_q.is_finite() && (snap.geo_mean_q - 2.0).abs() < 1e-9,
+            "geo mean survives NaN attempts: {}",
+            snap.geo_mean_q
+        );
+        assert_eq!(snap.max_q, 4.0);
+        assert_eq!(snap.last_estimate, 40.0, "non-finite pairs never land");
+        assert_eq!(nonfinite_dropped_total().get(), dropped_before + 4);
+    }
+
+    #[test]
+    fn ewma_tracks_recent_q_errors() {
+        let _guard = crate::test_lock();
+        let scope = "qtest/ewma";
+        record_quality(scope, 10.0, 10.0); // seeds at q = 1
+        let seeded = scope_snapshot(scope).unwrap().ewma_q;
+        assert!((seeded - 1.0).abs() < 1e-12);
+        for _ in 0..40 {
+            record_quality(scope, 40.0, 10.0); // q = 4
+        }
+        let snap = scope_snapshot(scope).unwrap();
+        // After many q=4 samples the EWMA converges toward 4 while the
+        // geometric mean still remembers the q=1 seed.
+        assert!(snap.ewma_q > 3.5, "ewma_q = {}", snap.ewma_q);
+        assert!(snap.ewma_q <= 4.0 + 1e-9);
+        assert!(snap.geo_mean_q < snap.ewma_q);
+    }
+
+    #[test]
+    fn drift_crossings_fire_once_per_excursion() {
+        let _guard = crate::test_lock();
+        struct Capture(parking_lot::Mutex<Vec<(String, f64)>>);
+        impl DriftHook for Capture {
+            fn on_drift(&self, scope: &str, ewma_q: f64) {
+                self.0.lock().push((scope.to_string(), ewma_q));
+            }
+        }
+        let capture = Arc::new(Capture(parking_lot::Mutex::new(Vec::new())));
+        set_drift_hook(Arc::clone(&capture) as Arc<dyn DriftHook>);
+        set_drift_config(DriftConfig {
+            alpha: 0.5,
+            threshold_q: 2.0,
+            min_samples: 2,
+        });
+        crate::trace::drain();
+        let scope = "qtest/drift";
+        let counter_before = drift_events_total().get();
+        record_quality(scope, 10.0, 10.0); // q = 1, below
+        for _ in 0..6 {
+            record_quality(scope, 80.0, 10.0); // q = 8, EWMA climbs over 2
+        }
+        let snap = scope_snapshot(scope).unwrap();
+        assert_eq!(snap.drift_events, 1, "one excursion, one event");
+        assert_eq!(drift_events_total().get(), counter_before + 1);
+        let fired = capture.0.lock().clone();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].0, scope);
+        assert!(fired[0].1 > 2.0);
+        // The crossing also lands in the flight recorder.
+        let drifts: Vec<_> = crate::trace::drain()
+            .into_iter()
+            .filter(|e| e.name() == "drift")
+            .collect();
+        assert_eq!(drifts.len(), 1, "drift trace event recorded");
+        // Decay back under the threshold re-arms the edge detector.
+        for _ in 0..12 {
+            record_quality(scope, 10.0, 10.0); // q = 1
+        }
+        assert!(scope_snapshot(scope).unwrap().ewma_q < 2.0);
+        for _ in 0..6 {
+            record_quality(scope, 80.0, 10.0);
+        }
+        assert_eq!(scope_snapshot(scope).unwrap().drift_events, 2);
+        clear_drift_hook();
+        set_drift_config(DriftConfig::default());
+    }
+
+    #[test]
+    fn min_samples_gates_early_crossings() {
+        let _guard = crate::test_lock();
+        set_drift_config(DriftConfig {
+            alpha: 1.0,
+            threshold_q: 2.0,
+            min_samples: 3,
+        });
+        let scope = "qtest/min_samples";
+        record_quality(scope, 100.0, 1.0); // enormous q, but sample 1 of 3
+        record_quality(scope, 100.0, 1.0);
+        assert_eq!(scope_snapshot(scope).unwrap().drift_events, 0);
+        record_quality(scope, 100.0, 1.0); // sample 3 arms the watchdog
+        assert_eq!(scope_snapshot(scope).unwrap().drift_events, 1);
+        set_drift_config(DriftConfig::default());
     }
 }

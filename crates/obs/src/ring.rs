@@ -101,4 +101,88 @@ mod tests {
             _ => true,
         }));
     }
+
+    #[test]
+    fn wraparound_overwrites_in_fifo_order() {
+        let _guard = crate::test_lock();
+        drain();
+        // Push 2x capacity of distinguishable events: after wraparound
+        // the survivors must be exactly the newest RING_CAPACITY, still
+        // in push order.
+        let total = RING_CAPACITY * 2;
+        for i in 0..total {
+            push(Event::SpanClose {
+                path: "wrap".into(),
+                elapsed_ns: i as u64,
+            });
+        }
+        let events = drain();
+        assert_eq!(events.len(), RING_CAPACITY);
+        let seqs: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                Event::SpanClose { elapsed_ns, .. } => *elapsed_ns,
+                _ => panic!("only SpanClose events were pushed"),
+            })
+            .collect();
+        let expected: Vec<u64> = (RING_CAPACITY as u64..total as u64).collect();
+        assert_eq!(seqs, expected, "the oldest half was overwritten in order");
+    }
+
+    #[test]
+    fn drain_leaves_the_buffer_empty() {
+        let _guard = crate::test_lock();
+        drain();
+        for i in 0..16 {
+            push(Event::SpanClose {
+                path: "empty_after".into(),
+                elapsed_ns: i,
+            });
+        }
+        assert_eq!(drain().len(), 16);
+        assert!(drain().is_empty(), "second drain finds nothing");
+    }
+
+    #[test]
+    fn concurrent_push_never_loses_the_newest_events() {
+        let _guard = crate::test_lock();
+        drain();
+        // 4 producers racing to overflow the ring, then one tagged
+        // producer pushes the final N events after the race: force_push
+        // evicts oldest-first, so with N <= capacity none of the tail
+        // may be lost.
+        const PER_THREAD: usize = RING_CAPACITY;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        push(Event::SpanClose {
+                            path: format!("racer{t}"),
+                            elapsed_ns: i as u64,
+                        });
+                    }
+                });
+            }
+        });
+        const TAIL: usize = 64;
+        for i in 0..TAIL {
+            push(Event::SpanClose {
+                path: "tail".into(),
+                elapsed_ns: i as u64,
+            });
+        }
+        let events = drain();
+        let tail: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanClose { path, elapsed_ns } if path == "tail" => Some(*elapsed_ns),
+                _ => None,
+            })
+            .collect();
+        let expected: Vec<u64> = (0..TAIL as u64).collect();
+        assert_eq!(
+            tail, expected,
+            "most recent {TAIL} events all survive, in order"
+        );
+    }
 }

@@ -39,6 +39,8 @@ pub struct SpanGuard {
 struct Armed {
     start: Instant,
     path: String,
+    /// Flight-recorder span id (0 when tracing was off at open time).
+    trace_id: u64,
 }
 
 /// Opens a span named `name` (a static, dot-free component).
@@ -51,10 +53,12 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.push(name);
         stack.join(".")
     });
+    let trace_id = crate::trace::open_span(&path);
     SpanGuard {
         armed: Some(Armed {
             start: Instant::now(),
             path,
+            trace_id,
         }),
     }
 }
@@ -100,6 +104,7 @@ impl SpanGuard {
             &armed.path,
         ))
         .observe_ns(ns);
+        crate::trace::close_span(armed.trace_id, &armed.path, ns);
         ring::push(Event::SpanClose {
             path: armed.path,
             elapsed_ns: ns,

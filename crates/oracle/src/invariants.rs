@@ -18,6 +18,7 @@
 //! | `differential_catalog_engine_consistency` | core build ≡ ANALYZE ≡ snapshot reload ≡ engine SQL |
 //! | `theorem_2_1_chain_product_matches_execution` | Theorem 2.1: matrix product = executed chain size |
 //! | `cache_transparent` | §4–§6 practicality: the estimation cache is invisible — cached ≡ brute-force at every epoch |
+//! | `tracing_transparent` | §4–§6 practicality: the flight recorder only observes — recorder on ≡ recorder off, bit for bit |
 
 use crate::exact;
 use crate::report::CheckReport;
@@ -814,6 +815,211 @@ pub fn check_cache_transparent(w: &Workload) -> CheckReport {
     CheckReport::from_failures("cache_transparent", cases, failures)
 }
 
+/// The rungs whose `estimate_rung_total{rung=…}` counters the tracing
+/// check compares across recorder states, in ladder order.
+const RUNG_NAMES: [&str; 4] = ["spec", "end_biased", "trivial", "uniform"];
+
+/// Current values of the four per-rung counters.
+fn rung_totals() -> [u64; 4] {
+    RUNG_NAMES.map(|r| obs::counter(&obs::labeled("estimate_rung_total", "rung", r)).get())
+}
+
+/// The observability claim behind the flight recorder: tracing only
+/// *observes*. For every generated workload, running the estimator with
+/// the recorder on and with it off produces bit-identical estimates,
+/// identical [`engine::StatsUse`] trails, and identical
+/// `estimate_rung_total{rung=…}` counter movements — through both the
+/// cached and the brute-force paths. The check also falsifies the
+/// recorder's two boundary contracts: with tracing off the estimation
+/// path records *no* cache/rung/stats events, and with tracing on it
+/// actually records them (a recorder that silently recorded nothing
+/// would pass any transparency test).
+pub fn check_tracing_transparent(w: &Workload) -> CheckReport {
+    use obs::trace::TraceKind;
+
+    let _span = obs::span("oracle_check_tracing_transparent");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+
+    // Both estimation paths for one query: brute force, then cached.
+    // The first cached call of a phase misses and computes; the second
+    // phase's cached call hits and replays — the comparison therefore
+    // covers compute, miss-fill, and hit-replay under both recorder
+    // states.
+    type Estimate = (f64, Vec<engine::StatsUse>);
+    fn both_paths(
+        engine: &engine::Engine,
+        query: &engine::Query,
+        case: &str,
+        phase: &str,
+        failures: &mut Vec<String>,
+    ) -> Option<(Estimate, Estimate)> {
+        let uncached = match engine.estimate_with_sources_uncached(query) {
+            Ok(r) => r,
+            Err(e) => {
+                push_fail(failures, format!("{case} [{phase}]: uncached failed: {e}"));
+                return None;
+            }
+        };
+        match engine.estimate_with_sources(query) {
+            Ok(cached) => Some((uncached, cached)),
+            Err(e) => {
+                push_fail(failures, format!("{case} [{phase}]: cached failed: {e}"));
+                None
+            }
+        }
+    }
+
+    let was_on = obs::trace::trace_enabled();
+    for (idx, set) in w.medium_sets.iter().enumerate() {
+        let freqs = set.freqs.as_slice();
+        let (values, nz) = nonzero_domain(freqs);
+        if values.is_empty() {
+            continue;
+        }
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        for beta in betas_for(w, values.len()) {
+            cases += 1;
+            let spec = BuilderSpec::VOptEndBiased(beta);
+            let case = format!("{} β={beta}", set.name);
+            let mut engine = engine::Engine::new();
+            let mut registered = true;
+            for (name, sub) in [("l", 2 * idx as u64), ("r", 2 * idx as u64 + 1)] {
+                match relation_from_frequencies(name, "a", &values, &freq_set, w.subseed(sub)) {
+                    Ok(rel) => engine.register(rel),
+                    Err(e) => {
+                        push_fail(&mut failures, format!("{case}: relation build failed: {e}"));
+                        registered = false;
+                    }
+                }
+            }
+            if !registered {
+                continue;
+            }
+            if let Err(e) = engine.analyze_all_with(spec) {
+                push_fail(&mut failures, format!("{case}: ANALYZE failed: {e}"));
+                continue;
+            }
+            let sqls = [
+                "SELECT COUNT(*) FROM l, r WHERE l.a = r.a".to_string(),
+                format!("SELECT COUNT(*) FROM l WHERE l.a = {}", values[0]),
+            ];
+            let queries: Vec<engine::Query> = match sqls
+                .iter()
+                .map(|sql| engine.parse(sql))
+                .collect::<std::result::Result<_, _>>()
+            {
+                Ok(qs) => qs,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{case}: parse failed: {e}"));
+                    continue;
+                }
+            };
+
+            // Phase 1: recorder off. No early exits between the toggle
+            // and the re-enable below, so a failing case can never leave
+            // the recorder disabled for the rest of the run.
+            obs::trace::drain();
+            obs::trace::set_trace_enabled(false);
+            let rungs_at_start = rung_totals();
+            let untraced: Vec<Option<(Estimate, Estimate)>> = queries
+                .iter()
+                .map(|q| both_paths(&engine, q, &case, "untraced", &mut failures))
+                .collect();
+            let untraced_deltas: Vec<u64> = rung_totals()
+                .iter()
+                .zip(rungs_at_start)
+                .map(|(&after, before)| after - before)
+                .collect();
+            obs::trace::set_trace_enabled(true);
+            let silent = obs::trace::drain();
+            if silent.iter().any(|e| {
+                matches!(
+                    &e.kind,
+                    TraceKind::CacheProbe { .. }
+                        | TraceKind::Rung { .. }
+                        | TraceKind::StatsResolved { .. }
+                )
+            }) {
+                push_fail(
+                    &mut failures,
+                    format!("{case}: estimation events were recorded with tracing off"),
+                );
+            }
+
+            // Phase 2: recorder on. The cached calls are same-epoch hits
+            // now, so hit-replay is compared against phase 1's miss-fill.
+            let rungs_at_start = rung_totals();
+            let traced: Vec<Option<(Estimate, Estimate)>> = queries
+                .iter()
+                .map(|q| both_paths(&engine, q, &case, "traced", &mut failures))
+                .collect();
+            let traced_deltas: Vec<u64> = rung_totals()
+                .iter()
+                .zip(rungs_at_start)
+                .map(|(&after, before)| after - before)
+                .collect();
+            let events = obs::trace::drain();
+            if !events
+                .iter()
+                .any(|e| matches!(&e.kind, TraceKind::CacheProbe { .. }))
+            {
+                push_fail(
+                    &mut failures,
+                    format!("{case}: traced estimates recorded no cache-probe events"),
+                );
+            }
+            if !events
+                .iter()
+                .any(|e| matches!(&e.kind, TraceKind::Rung { .. }))
+            {
+                push_fail(
+                    &mut failures,
+                    format!("{case}: traced estimates recorded no rung events"),
+                );
+            }
+            if untraced_deltas != traced_deltas {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{case}: rung counters moved by {untraced_deltas:?} untraced but \
+                         {traced_deltas:?} traced — tracing changed the ladder's accounting"
+                    ),
+                );
+            }
+            for (i, (off, on)) in untraced.iter().zip(&traced).enumerate() {
+                let (Some(off), Some(on)) = (off.as_ref(), on.as_ref()) else {
+                    continue;
+                };
+                for (path, (est_off, src_off), (est_on, src_on)) in
+                    [("uncached", &off.0, &on.0), ("cached", &off.1, &on.1)]
+                {
+                    if est_off.to_bits() != est_on.to_bits() {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case} q{i} [{path}]: traced estimate {est_on} is not \
+                                 bit-identical to untraced {est_off}"
+                            ),
+                        );
+                    }
+                    if src_off != src_on {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case} q{i} [{path}]: traced StatsUse {src_on:?} differs \
+                                 from untraced {src_off:?}"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    obs::trace::set_trace_enabled(was_on);
+    CheckReport::from_failures("tracing_transparent", cases, failures)
+}
+
 /// Theorem 2.1: the chain-product result size equals tuple-by-tuple
 /// execution over materialised relations, and the histogram estimate
 /// with per-value-exact statistics recovers the exact size.
@@ -913,6 +1119,7 @@ pub fn run_all(w: &Workload) -> Vec<CheckReport> {
         check_differential_catalog_engine_consistency(w),
         check_theorem_2_1_chain_product_matches_execution(w),
         check_cache_transparent(w),
+        check_tracing_transparent(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {

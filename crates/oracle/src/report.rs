@@ -13,7 +13,7 @@ use serde::{Serialize, Serializer};
 /// any of these names — or reporting one with zero cases — fails
 /// validation, so commenting out a check is a detected failure, not a
 /// silent gap.
-pub const EXPECTED_CHECKS: [&str; 9] = [
+pub const EXPECTED_CHECKS: [&str; 10] = [
     "serial_dp_matches_exhaustive_optimum",
     "theorem_3_3_v_optimal_minimizes_sigma",
     "query_independence_self_join_optimum",
@@ -23,6 +23,7 @@ pub const EXPECTED_CHECKS: [&str; 9] = [
     "differential_catalog_engine_consistency",
     "theorem_2_1_chain_product_matches_execution",
     "cache_transparent",
+    "tracing_transparent",
 ];
 
 /// Every fault-injection scenario a selftest run must execute, under the

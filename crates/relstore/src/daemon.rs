@@ -22,6 +22,15 @@
 //! * **Journal compaction** — when the store's journal exceeds
 //!   `compaction_bytes`, the sweep checkpoints it into a fresh
 //!   snapshot generation ([`DurableCatalog::checkpoint`]).
+//! * **Refresh prioritization** — an optional [`RefreshPrioritizer`]
+//!   reorders each sweep so the most urgent columns refresh first.
+//!   [`DriftPrioritizer`] feeds the estimation-quality drift watchdog's
+//!   per-column crossing counts back into the schedule: columns whose
+//!   estimates are drifting get re-ANALYZEd ahead of the rest. Only the
+//!   visit *order* is wired here — what "urgent" means is the
+//!   prioritizer's policy, the seam a future self-tuning layer plugs
+//!   into. With no prioritizer set, sweeps visit registration order
+//!   exactly as before.
 //!
 //! [`DaemonCore`] is the pure, single-threaded state machine on a
 //! virtual tick clock — fully deterministic and driven directly by
@@ -183,6 +192,30 @@ struct ColumnState {
     breaker: BreakerState,
 }
 
+/// Ranks maintained columns for sweep order: higher priority refreshes
+/// earlier within a sweep. Ties (and everything, with no prioritizer
+/// set) keep registration order — the sort is stable, so an all-zero
+/// prioritizer is behaviourally identical to none.
+pub trait RefreshPrioritizer: Send + Sync {
+    /// Priority of `relation.column`; higher sweeps earlier.
+    fn priority(&self, relation: &str, column: &str) -> u64;
+}
+
+/// A [`RefreshPrioritizer`] driven by the estimation-quality drift
+/// watchdog: a column's priority is how many times its per-column
+/// `col:<relation>.<column>` EWMA Q-error has crossed the drift
+/// threshold. Columns nobody has flagged rank 0 and keep registration
+/// order.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DriftPrioritizer;
+
+impl RefreshPrioritizer for DriftPrioritizer {
+    fn priority(&self, relation: &str, column: &str) -> u64 {
+        obs::quality::scope_snapshot(&format!("col:{relation}.{column}"))
+            .map_or(0, |s| s.drift_events)
+    }
+}
+
 /// The deterministic sweep state machine. Drive it directly (tests,
 /// oracle) via [`DaemonCore::tick_injected`], or against a real store
 /// via [`DaemonCore::tick`]; wrap it in [`Daemon`] for the always-on
@@ -194,6 +227,7 @@ pub struct DaemonCore {
     states: Vec<ColumnState>,
     trace: Vec<DaemonEvent>,
     tick: u64,
+    prioritizer: Option<Arc<dyn RefreshPrioritizer>>,
 }
 
 impl DaemonCore {
@@ -207,7 +241,13 @@ impl DaemonCore {
             states: Vec::new(),
             trace: Vec::new(),
             tick: 0,
+            prioritizer: None,
         }
+    }
+
+    /// Installs (replacing any previous) the sweep-order prioritizer.
+    pub fn set_prioritizer(&mut self, prioritizer: Arc<dyn RefreshPrioritizer>) {
+        self.prioritizer = Some(prioritizer);
     }
 
     /// Registers a column; sweeps visit columns in registration order.
@@ -279,20 +319,34 @@ impl DaemonCore {
     /// One sweep with an injected refresher — the deterministic test
     /// and oracle entry point. `refresh` is called once per column that
     /// is neither backing off nor breaker-skipped, in registration
-    /// order.
+    /// order (or prioritizer order when one is set).
     pub fn tick_injected(
         &mut self,
         refresh: &mut dyn FnMut(&ColumnTask) -> crate::error::Result<MaintenanceOutcome>,
     ) {
         self.tick += 1;
         let now = self.tick;
-        for i in 0..self.tasks.len() {
+        obs::trace::daemon_sweep(now);
+        // Visit order: registration order, unless a prioritizer ranks
+        // some columns hotter. The sort is stable, so equal priorities
+        // (and the no-prioritizer case) never disturb the baseline
+        // order — the determinism test's traces stay byte-identical.
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        if let Some(prioritizer) = &self.prioritizer {
+            order.sort_by_key(|&i| {
+                std::cmp::Reverse(
+                    prioritizer.priority(self.tasks[i].relation.name(), &self.tasks[i].column),
+                )
+            });
+        }
+        for i in order {
             let column = self.tasks[i].display();
             // Breaker gate: skip while open, arm a probe once cooled.
             match self.states[i].breaker {
                 BreakerState::Open { until } if now < until => continue,
                 BreakerState::Open { .. } => {
                     self.states[i].breaker = BreakerState::HalfOpen;
+                    obs::trace::breaker(&column, "half_open");
                     self.trace.push(DaemonEvent::BreakerHalfOpen {
                         column: column.clone(),
                         tick: now,
@@ -311,6 +365,7 @@ impl DaemonCore {
                     self.states[i].retry_at = 0;
                     if probing {
                         self.states[i].breaker = BreakerState::Closed;
+                        obs::trace::breaker(&column, "closed");
                         self.trace.push(DaemonEvent::BreakerClosed {
                             column: column.clone(),
                             tick: now,
@@ -337,6 +392,7 @@ impl DaemonCore {
                     if probing || failures >= self.config.breaker_threshold {
                         let until = now + self.config.breaker_cooldown_ticks;
                         self.states[i].breaker = BreakerState::Open { until };
+                        obs::trace::breaker(&column, "open");
                         self.trace.push(DaemonEvent::BreakerOpened {
                             column,
                             tick: now,
@@ -605,6 +661,63 @@ mod tests {
         // First sweep attempts; backoff ≥ 4 ticks parks the next
         // several sweeps, so 6 sweeps can attempt at most twice.
         assert!(calls <= 2, "expected ≤ 2 attempts in 6 ticks, got {calls}");
+    }
+
+    #[test]
+    fn prioritizer_reorders_the_sweep_stably() {
+        struct Fixed(Vec<(&'static str, u64)>);
+        impl RefreshPrioritizer for Fixed {
+            fn priority(&self, _relation: &str, column: &str) -> u64 {
+                self.0
+                    .iter()
+                    .find(|(c, _)| *c == column)
+                    .map_or(0, |&(_, p)| p)
+            }
+        }
+        let visit_order = |prioritizer: Option<Arc<dyn RefreshPrioritizer>>| {
+            let mut core = DaemonCore::new(DaemonConfig::default());
+            for col in ["c0", "c1", "c2"] {
+                core.register_with_spec(relation(), col, SPEC);
+            }
+            if let Some(p) = prioritizer {
+                core.set_prioritizer(p);
+            }
+            let mut visited = Vec::new();
+            core.tick_injected(&mut |task| {
+                visited.push(task.column.clone());
+                Ok(MaintenanceOutcome::Refreshed)
+            });
+            visited
+        };
+        // No prioritizer: registration order.
+        assert_eq!(visit_order(None), ["c0", "c1", "c2"]);
+        // An all-zero prioritizer is behaviourally identical to none.
+        assert_eq!(
+            visit_order(Some(Arc::new(Fixed(vec![])))),
+            ["c0", "c1", "c2"]
+        );
+        // A hot column jumps the queue; ties keep registration order.
+        assert_eq!(
+            visit_order(Some(Arc::new(Fixed(vec![("c2", 5)])))),
+            ["c2", "c0", "c1"]
+        );
+    }
+
+    #[test]
+    fn drift_prioritizer_promotes_flagged_columns() {
+        // Drive the quality monitor's drift watchdog for t.c (the scope
+        // DriftPrioritizer reads for relation "t", column "c").
+        let p = DriftPrioritizer;
+        let before = p.priority("t", "c");
+        obs::quality::set_drift_config(obs::quality::DriftConfig {
+            alpha: 1.0,
+            threshold_q: 2.0,
+            min_samples: 1,
+        });
+        obs::record_quality("col:t.c", 100.0, 1.0);
+        obs::quality::set_drift_config(obs::quality::DriftConfig::default());
+        assert_eq!(p.priority("t", "c"), before + 1);
+        assert_eq!(p.priority("t", "never_recorded"), 0);
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod wal;
 
 pub use catalog::{Catalog, CatalogSnapshot, RefreshFailure, RefreshStage, StoredHistogram};
 pub use catalog2d::StoredMatrixHistogram;
-pub use daemon::{BreakerState, Daemon, DaemonConfig, DaemonCore, DaemonEvent};
+pub use daemon::{
+    BreakerState, Daemon, DaemonConfig, DaemonCore, DaemonEvent, DriftPrioritizer,
+    RefreshPrioritizer,
+};
 pub use error::{Result, StoreError};
 pub use par::par_map;
 pub use relation::Relation;

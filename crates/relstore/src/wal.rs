@@ -562,6 +562,7 @@ impl DurableCatalog {
         w.bytes += framed.len() as u64;
         obs::gauge("wal_journal_bytes").set(w.bytes as f64);
         obs::counter("wal_append_total").add(payloads.len() as u64);
+        obs::trace::wal_append(payloads.len() as u64, framed.len() as u64);
         apply(&self.catalog);
         Ok(())
     }
@@ -759,6 +760,7 @@ impl DurableCatalog {
         }
         obs::gauge("wal_journal_bytes").set(0.0);
         obs::counter("wal_checkpoint_total").inc();
+        obs::trace::wal_checkpoint(next);
         Ok(())
     }
 }

@@ -124,6 +124,11 @@ fn disabled_instrumentation_adds_under_five_percent() {
     assert_eq!(instrumented.values, values);
     assert_eq!(instrumented.freqs, bare_freqs);
 
+    // Tracing stays fully armed: its own flag is on, so the only thing
+    // standing between every trace point and a recorded event is the
+    // same master switch — the disabled path must still be one relaxed
+    // load + branch, within the identical 105% budget.
+    obs::trace::set_trace_enabled(true);
     obs::set_enabled(false);
     let sequential = measure_with_retries(|| measure_pair(&relation));
     let concurrent = measure_with_retries(|| measure_pair_concurrent(&relation));

@@ -65,6 +65,23 @@ if grep -RnE 'journal\.\{?[0-9a-zA-Z_:$<>]*\}?\.wal|"journal\.' \
   exit 1
 fi
 
+echo "==> trace-emission confinement guard"
+# The flight recorder's event schema lives in one place: only crates/obs
+# constructs TraceKind values or pushes ring events; every other crate
+# emits through the typed helpers (obs::trace::cache_probe, rung_chosen,
+# wal_append, ...). The oracle's tracing-transparency invariant is the
+# one allowed *consumer*: it pattern-matches drained events to falsify
+# the recorder, but never constructs them.
+if grep -RnE 'TraceKind::|push\(Event' \
+    --include='*.rs' \
+    src tests examples crates \
+  | grep -v '^crates/obs/' \
+  | grep -v '^crates/oracle/src/invariants.rs'; then
+  echo "error: trace-event construction found outside crates/obs" >&2
+  echo "       (emit through the typed helpers in obs::trace)" >&2
+  exit 1
+fi
+
 echo "==> estimation-cache epoch guard"
 # The estimation cache is correct only because every probe is keyed by
 # the epoch of the snapshot the estimate is computed on. Two rules,
@@ -157,7 +174,8 @@ echo "==> bench smoke gate (deterministic digest + cache speedup)"
 # to run by design; the digest and op counts may not.
 bench_a="$(mktemp)"
 bench_b="$(mktemp)"
-trap 'rm -f "$bench_a" "$bench_b"' EXIT
+trace_out="$(mktemp)"
+trap 'rm -f "$bench_a" "$bench_b" "$trace_out"' EXIT
 target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json > "$bench_a"
 target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json > "$bench_b"
 if ! BENCH_A="$bench_a" BENCH_B="$bench_b" python3 - <<'PY'
@@ -200,6 +218,64 @@ if c["speedup"]["speedup"] < 10.0:
 PY
 then
   echo "error: bench smoke gate failed (schema, determinism, or speedup)" >&2
+  exit 1
+fi
+
+echo "==> provenance trace gate (flight-recorder dump under load)"
+# A full bench run with --trace-out must produce a valid
+# histctl-trace-v1 dump: the header's schema and event count, every
+# required field on every event, a strictly increasing global sequence,
+# and — when the recorder dropped nothing — per-thread balanced span
+# opens/closes. This drives the recorder through worker threads, the
+# maintenance daemon, and the WAL, and proves ring retirement keeps
+# events from threads that exited before the dump.
+target/release/histctl bench --threads 1,2 --ops 200 --seed 1 --json \
+  --trace-out "$trace_out" > /dev/null
+if ! TRACE_OUT="$trace_out" python3 - <<'PY'
+import json
+import os
+import sys
+
+lines = open(os.environ["TRACE_OUT"]).read().splitlines()
+if not lines:
+    sys.exit("empty trace dump")
+header = json.loads(lines[0])
+if header.get("schema") != "histctl-trace-v1":
+    sys.exit(f"unexpected trace schema: {header.get('schema')}")
+events = [json.loads(line) for line in lines[1:]]
+if header.get("events") != len(events):
+    sys.exit(f"header says {header.get('events')} events, dump has {len(events)}")
+if not events:
+    sys.exit("a bench run must record trace events")
+last_seq = 0
+open_spans = {}
+for e in events:
+    for field in ("seq", "ts_ns", "thread", "span", "parent", "event"):
+        if field not in e:
+            sys.exit(f"event missing {field}: {e}")
+    if e["seq"] <= last_seq:
+        sys.exit(f"global sequence not strictly increasing at {e}")
+    last_seq = e["seq"]
+    stack = open_spans.setdefault(e["thread"], [])
+    if e["event"] == "span_open":
+        stack.append(e["span"])
+    elif e["event"] == "span_close":
+        if e["span"] not in stack:
+            if header["dropped"] == 0:
+                sys.exit(f"span close without a recorded open: {e}")
+        else:
+            stack.remove(e["span"])
+kinds = {e["event"] for e in events}
+for needed in ("span_open", "span_close", "cache_hit", "daemon_sweep", "wal_append"):
+    if needed not in kinds:
+        sys.exit(f"bench trace missing {needed} events (got {sorted(kinds)})")
+if header["dropped"] == 0:
+    leftover = {t: s for t, s in open_spans.items() if s}
+    if leftover:
+        sys.exit(f"unbalanced span opens with zero drops: {leftover}")
+PY
+then
+  echo "error: provenance trace gate failed (schema, ordering, or span balance)" >&2
   exit 1
 fi
 

@@ -12,6 +12,8 @@
 //! histctl estimate-eq   --hist orders.voh --value 42
 //! histctl estimate-join --left orders.voh --right stock.voh --domain 500
 //! histctl metrics --format prometheus
+//! histctl trace --out run.jsonl
+//! histctl top --by max-q
 //! ```
 //!
 //! Every error path prints to stderr and exits nonzero; stdout carries
@@ -40,6 +42,16 @@ commands:
                 (runs a demo workload and prints the observability snapshot:
                  catalog hit/miss counters, per-class construction latency,
                  span timings, and per-histogram Q-error aggregates)
+  trace         --out FILE [--format jsonl|chrome] [--buckets B] [--seed S]
+                (runs the metrics demo workload with the flight recorder
+                 on and dumps the recorded provenance events: span
+                 open/close, cache probes, ladder rungs, statistics
+                 resolutions, drift crossings. jsonl is the
+                 histctl-trace-v1 line format; chrome loads directly in
+                 chrome://tracing or Perfetto)
+  top           [--by geo-q|max-q|drift] [--limit N] [--buckets B] [--seed S]
+                (runs the demo workload and ranks the worst columns by
+                 the quality monitor's per-column Q-error aggregates)
   serve         --data-dir DIR --tables name=a.csv,name2=b.csv
                 [--sweeps N] [--tick-ms MS] [--buckets B] [--class CLASS]
                 [--jitter-seed S] [--compact-bytes BYTES]
@@ -72,7 +84,11 @@ commands:
 
 CLASS names a registered histogram builder (default v_opt_end_biased),
 optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
-'end_biased:H,L' for an explicit high/low split.";
+'end_biased:H,L' for an explicit high/low split.
+
+Every command additionally accepts --trace-out FILE
+[--trace-format jsonl|chrome]: after the command finishes, the flight
+recorder's buffered provenance events are dumped to FILE.";
 
 /// Writes payload to stdout. A reader that closes the pipe early
 /// (`histctl inspect ... | head`) ends the process quietly instead of
@@ -292,32 +308,12 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs a small in-process workload exercising every instrumented layer,
-/// then prints the observability snapshot. This is the CLI window into
-/// `obs`: catalog hit/miss/put counters, one construction-latency
-/// histogram per histogram class, span timings, and per-histogram
-/// Q-error aggregates from the quality monitor.
-fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
-    let format = flags
-        .get("format")
-        .map(String::as_str)
-        .unwrap_or("prometheus");
-    if format != "prometheus" && format != "json" {
-        return Err(format!(
-            "--format must be 'prometheus' or 'json', got '{format}'"
-        ));
-    }
-    let buckets: usize = flags
-        .get("buckets")
-        .map(|b| parse_num(b, "buckets"))
-        .transpose()?
-        .unwrap_or(10);
-    let seed: u64 = flags
-        .get("seed")
-        .map(|s| parse_num(s, "seed"))
-        .transpose()?
-        .unwrap_or(42);
-
+/// Runs the small, seed-deterministic in-process workload behind
+/// `metrics`, `trace`, and `top`: one construction per histogram class
+/// over a skewed set, then an end-to-end engine run — exercising every
+/// instrumented layer (catalog counters, construction latency, spans,
+/// the estimation cache, the quality monitor, and the flight recorder).
+fn run_demo_workload(buckets: usize, seed: u64) -> Result<(), String> {
     obs::register_well_known();
 
     // Build every histogram class once over a skewed frequency set: each
@@ -356,16 +352,150 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
     ] {
         let q = eng.parse(sql).map_err(|e| e.to_string())?;
         eng.explain_analyze(&q).map_err(|e| e.to_string())?;
+        // Two cached estimates: the first misses and fills the
+        // estimation cache, the second hits — so the cache counters
+        // and the recorder's probe events cover both outcomes.
+        for _ in 0..2 {
+            eng.estimate(&q).map_err(|e| e.to_string())?;
+        }
     }
     // One lookup of statistics that were never collected, so the miss
     // counter is exercised alongside the hits.
     let _ = eng
         .catalog()
         .get(&relstore::catalog::StatKey::new("unanalyzed", &["value"]));
+    Ok(())
+}
 
+/// Prints the observability snapshot after a demo workload. This is the
+/// CLI window into `obs`: catalog hit/miss/put counters, one
+/// construction-latency histogram per histogram class, span timings,
+/// and per-histogram Q-error aggregates from the quality monitor.
+fn cmd_metrics(flags: &HashMap<String, String>) -> Result<(), String> {
+    let format = flags
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("prometheus");
+    if format != "prometheus" && format != "json" {
+        return Err(format!(
+            "--format must be 'prometheus' or 'json', got '{format}'"
+        ));
+    }
+    let buckets: usize = flags
+        .get("buckets")
+        .map(|b| parse_num(b, "buckets"))
+        .transpose()?
+        .unwrap_or(10);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    run_demo_workload(buckets, seed)?;
     match format {
         "json" => outln!("{}", obs::export::json()),
         _ => emit(format_args!("{}", obs::export::prometheus()), false)?,
+    }
+    Ok(())
+}
+
+/// Drains the flight recorder and writes its events to `path` in the
+/// given format. Returns `(events, dropped_total)` for the summary line.
+fn write_trace(path: &str, format: &str) -> Result<(usize, u64), String> {
+    if format != "jsonl" && format != "chrome" {
+        return Err(format!(
+            "trace format must be 'jsonl' or 'chrome', got '{format}'"
+        ));
+    }
+    let events = obs::trace::drain();
+    let text = match format {
+        "chrome" => obs::trace::chrome(&events),
+        _ => obs::trace::jsonl(&events),
+    };
+    std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+    Ok((events.len(), obs::trace::dropped()))
+}
+
+/// `histctl trace`: runs the demo workload with the flight recorder on
+/// and dumps everything it recorded.
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = required(flags, "out")?;
+    let format = flags.get("format").map(String::as_str).unwrap_or("jsonl");
+    let buckets: usize = flags
+        .get("buckets")
+        .map(|b| parse_num(b, "buckets"))
+        .transpose()?
+        .unwrap_or(10);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    obs::trace::set_trace_enabled(true);
+    // Start from an empty recorder so the dump is exactly the demo
+    // workload's provenance, not startup noise.
+    obs::trace::drain();
+    run_demo_workload(buckets, seed)?;
+    let (events, dropped) = write_trace(out, format)?;
+    outln!("trace: wrote {events} event(s) ({dropped} dropped so far) to {out} ({format})");
+    Ok(())
+}
+
+/// `histctl top`: runs the demo workload and ranks the worst columns
+/// from the quality monitor's per-column (`col:<table>.<column>`)
+/// Q-error aggregates.
+fn cmd_top(flags: &HashMap<String, String>) -> Result<(), String> {
+    let by = flags.get("by").map(String::as_str).unwrap_or("geo-q");
+    if !["geo-q", "max-q", "drift"].contains(&by) {
+        return Err(format!(
+            "--by must be 'geo-q', 'max-q', or 'drift', got '{by}'"
+        ));
+    }
+    let limit: usize = flags
+        .get("limit")
+        .map(|s| parse_num(s, "limit"))
+        .transpose()?
+        .unwrap_or(10);
+    let buckets: usize = flags
+        .get("buckets")
+        .map(|b| parse_num(b, "buckets"))
+        .transpose()?
+        .unwrap_or(10);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(42);
+    run_demo_workload(buckets, seed)?;
+
+    let mut rows = obs::quality::snapshot_prefixed("col:");
+    // Primary key: the chosen metric, worst first. Ties (and the drift
+    // ranking's common all-zero case) fall back to EWMA, then to the
+    // scope name, so the listing is total-ordered and deterministic.
+    rows.sort_by(|(scope_a, a), (scope_b, b)| {
+        let metric = |s: &obs::quality::QualitySnapshot| match by {
+            "max-q" => s.max_q,
+            "drift" => s.drift_events as f64,
+            _ => s.geo_mean_q,
+        };
+        metric(b)
+            .total_cmp(&metric(a))
+            .then(b.ewma_q.total_cmp(&a.ewma_q))
+            .then(scope_a.cmp(scope_b))
+    });
+    outln!("top columns by {by} (seed {seed}, buckets {buckets}):");
+    for (rank, (scope, s)) in rows.iter().take(limit).enumerate() {
+        let column = scope.strip_prefix("col:").unwrap_or(scope);
+        outln!(
+            "  {:>2}. {column:<24} geo-q {:>8.3}x  max-q {:>8.3}x  ewma {:>8.3}x  \
+             drift {:>2}  samples {}",
+            rank + 1,
+            s.geo_mean_q,
+            s.max_q,
+            s.ewma_q,
+            s.drift_events,
+            s.count
+        );
     }
     Ok(())
 }
@@ -988,23 +1118,45 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    let result = parse_flags(rest).and_then(|flags| match command.as_str() {
-        "generate" => cmd_generate(&flags),
-        "analyze" => cmd_analyze(&flags),
-        "inspect" => cmd_inspect(&flags),
-        "estimate-eq" => cmd_estimate_eq(&flags),
-        "estimate-join" => cmd_estimate_join(&flags),
-        "query" => cmd_query(&flags),
-        "metrics" => cmd_metrics(&flags),
-        "serve" => cmd_serve(&flags),
-        "recover" => cmd_recover(&flags),
-        "selftest" => cmd_selftest(&flags),
-        "bench" => cmd_bench(&flags),
-        "-h" | "--help" | "help" => {
-            outln!("{USAGE}");
-            Ok(())
+    let result = parse_flags(rest).and_then(|flags| {
+        let outcome = match command.as_str() {
+            "generate" => cmd_generate(&flags),
+            "analyze" => cmd_analyze(&flags),
+            "inspect" => cmd_inspect(&flags),
+            "estimate-eq" => cmd_estimate_eq(&flags),
+            "estimate-join" => cmd_estimate_join(&flags),
+            "query" => cmd_query(&flags),
+            "metrics" => cmd_metrics(&flags),
+            "trace" => cmd_trace(&flags),
+            "top" => cmd_top(&flags),
+            "serve" => cmd_serve(&flags),
+            "recover" => cmd_recover(&flags),
+            "selftest" => cmd_selftest(&flags),
+            "bench" => cmd_bench(&flags),
+            "-h" | "--help" | "help" => {
+                outln!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        };
+        // The shared flight-recorder dump: after any subcommand, write
+        // whatever the recorder buffered while the command ran. The
+        // summary goes to stderr so stdout stays the command's payload.
+        match (outcome, flags.get("trace-out")) {
+            (Ok(()), Some(path)) => {
+                let format = flags
+                    .get("trace-format")
+                    .map(String::as_str)
+                    .unwrap_or("jsonl");
+                let (events, dropped) = write_trace(path, format)?;
+                eprintln!(
+                    "histctl: dumped {events} trace event(s) ({dropped} dropped so far) \
+                     to {path} ({format})"
+                );
+                Ok(())
+            }
+            (outcome, _) => outcome,
         }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,

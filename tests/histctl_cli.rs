@@ -257,6 +257,11 @@ fn metrics_exposition_covers_durability_and_ladder_families() {
         "daemon_sweep_seconds",
         r#"estimate_rung_total{rung="uniform"}"#,
         "wal_torn_tail_total",
+        "qerror_drift_events_total",
+        "qerror_nonfinite_dropped_total",
+        "trace_events_dropped_total",
+        r#"qerror_ewma{rung="spec"}"#,
+        r#"qerror_ewma{rung="uniform"}"#,
     ] {
         assert!(
             text.contains(family),
@@ -298,6 +303,10 @@ fn selftest_is_byte_identical_across_reruns() {
     let report = String::from_utf8_lossy(&first.stdout);
     assert!(report.contains("\"passed\":true"), "report: {report}");
     assert!(report.contains("\"seed\":3"), "report: {report}");
+    assert!(
+        report.contains("tracing_transparent"),
+        "selftest must run the tracing-transparency invariant: {report}"
+    );
 
     let other = histctl(&["selftest", "--seed", "4", "--budget-ms", "0"]);
     assert!(other.status.success());
@@ -525,4 +534,193 @@ fn bench_rejects_unknown_workloads_and_zero_threads() {
     );
     let zero = histctl(&["bench", "--threads", "0", "--ops", "1"]);
     assert!(!zero.status.success(), "zero threads must exit nonzero");
+}
+
+/// The sequence of `"event":"..."` names in a trace dump, in order.
+fn event_names_of(jsonl: &str) -> Vec<String> {
+    jsonl
+        .lines()
+        .skip(1)
+        .map(|line| {
+            line.split("\"event\":\"")
+                .nth(1)
+                .unwrap_or_else(|| panic!("no event field in {line}"))
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn trace_dumps_provenance_jsonl_deterministic_under_seed() {
+    let run = |file: &str| {
+        let path = scratch(file);
+        let out = histctl(&["trace", "--out", &path, "--seed", "7"]);
+        assert!(
+            out.status.success(),
+            "trace failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("trace: wrote"),
+            "summary line expected"
+        );
+        std::fs::read_to_string(&path).expect("trace file")
+    };
+    let text = run("trace_a.jsonl");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines[0].contains("\"schema\":\"histctl-trace-v1\""),
+        "header: {}",
+        lines[0]
+    );
+    assert_eq!(
+        lines.len() - 1,
+        lines[0]
+            .split("\"events\":")
+            .nth(1)
+            .and_then(|r| r.split([',', '}']).next())
+            .and_then(|n| n.parse::<usize>().ok())
+            .expect("events count in header"),
+        "header event count must match the body"
+    );
+    // Every event line carries the merge-ordering and causal fields,
+    // and the global sequence is strictly increasing.
+    let mut last_seq = 0u64;
+    for line in &lines[1..] {
+        for field in [
+            "\"seq\":",
+            "\"ts_ns\":",
+            "\"thread\":",
+            "\"span\":",
+            "\"parent\":",
+        ] {
+            assert!(line.contains(field), "missing {field}: {line}");
+        }
+        let seq: u64 = line
+            .split("\"seq\":")
+            .nth(1)
+            .and_then(|r| r.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .expect("seq parses");
+        assert!(seq > last_seq, "seq must be strictly increasing: {line}");
+        last_seq = seq;
+    }
+    // The demo workload touches every estimation layer: spans, cache
+    // probes, rung choices, and statistics resolutions all show up.
+    let names = event_names_of(&text);
+    for expected in [
+        "span_open",
+        "span_close",
+        "cache_miss",
+        "rung",
+        "stats_resolved",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "trace should record {expected}: {names:?}"
+        );
+    }
+    // Reruns with the same seed replay the same workload: the event
+    // sequence (names, in order) is identical even though timings vary.
+    let again = run("trace_b.jsonl");
+    assert_eq!(names, event_names_of(&again), "same seed, same events");
+}
+
+#[test]
+fn trace_chrome_format_loads_as_trace_events() {
+    let path = scratch("trace.chrome.json");
+    let out = histctl(&["trace", "--out", &path, "--format", "chrome", "--seed", "7"]);
+    assert!(
+        out.status.success(),
+        "chrome trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("chrome trace file");
+    assert!(text.starts_with("{\"traceEvents\":["), "envelope: {text}");
+    assert!(text.contains("\"ph\":\"X\""), "spans become X events");
+    assert!(text.contains("\"ph\":\"i\""), "instants become i events");
+    assert!(
+        !text.contains("span_open"),
+        "opens are implied by complete events"
+    );
+    let bad = histctl(&["trace", "--out", &path, "--format", "xml"]);
+    assert!(!bad.status.success(), "unknown format must exit nonzero");
+}
+
+#[test]
+fn top_ranks_columns_deterministically() {
+    let run = || {
+        let out = histctl(&["top", "--by", "max-q", "--seed", "9"]);
+        assert!(
+            out.status.success(),
+            "top failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "same seed must rank identically, byte for byte");
+    assert!(a.contains("top columns by max-q"), "header: {a}");
+    // The demo workload's engine phase estimates over orders and stock,
+    // so both columns have per-column quality scopes to rank.
+    for column in ["orders.part", "stock.part"] {
+        assert!(a.contains(column), "should rank {column}: {a}");
+    }
+    assert!(a.contains("  1. "), "ranked list starts at 1: {a}");
+    let bad = histctl(&["top", "--by", "p99"]);
+    assert!(!bad.status.success(), "unknown ranking must exit nonzero");
+}
+
+#[test]
+fn any_command_dumps_the_recorder_via_trace_out() {
+    let path = scratch("bench_trace.jsonl");
+    let out = histctl(&[
+        "bench",
+        "--threads",
+        "1",
+        "--ops",
+        "30",
+        "--seed",
+        "5",
+        "--json",
+        "--trace-out",
+        &path,
+    ]);
+    assert!(
+        out.status.success(),
+        "bench --trace-out failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The bench report still owns stdout; the dump summary goes to stderr.
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"schema\":\"histctl-bench-v1\""),
+        "bench JSON stays on stdout"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("trace event(s)"),
+        "dump summary on stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("trace file");
+    assert!(
+        text.lines()
+            .next()
+            .unwrap()
+            .contains("\"schema\":\"histctl-trace-v1\""),
+        "header: {text}"
+    );
+    let names = event_names_of(&text);
+    // The bench drives the full stack: cached estimates (hits after the
+    // first probe), daemon sweeps, and WAL appends from the churn's
+    // re-ANALYZE refreshes — all from threads that exited before the
+    // dump, proving ring retirement keeps worker events.
+    for expected in ["cache_hit", "daemon_sweep", "wal_append"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "bench trace should record {expected}: {names:?}"
+        );
+    }
 }
