@@ -10,6 +10,7 @@
 
 use crate::bucket::BucketStats;
 use crate::error::{HistError, Result};
+use crate::interp::ValueBounds;
 use serde::{Deserialize, Serialize};
 
 /// How bucket averages are materialised when approximating frequencies.
@@ -72,6 +73,10 @@ pub struct Histogram {
     /// `assignment[i]` is the bucket of value index `i`.
     assignment: Vec<u32>,
     buckets: Vec<BucketStats>,
+    /// Per-bucket value spans, populated by [`Histogram::attach_bounds`].
+    /// Empty until a concrete value domain is attached — bucketisation
+    /// itself is over frequency *indices* and knows no values.
+    bounds: Vec<ValueBounds>,
 }
 
 impl Histogram {
@@ -119,7 +124,56 @@ impl Histogram {
         Ok(Self {
             assignment,
             buckets,
+            bounds: Vec::new(),
         })
+    }
+
+    /// Attaches the concrete value domain to the histogram, recording
+    /// each bucket's value span `[min, max + 1)` and distinct-count.
+    ///
+    /// `values[i]` is the domain value at frequency index `i` (the same
+    /// ordering the assignment was built over) and must be strictly
+    /// ascending with exactly [`Histogram::num_values`] entries.
+    pub fn attach_bounds(&mut self, values: &[u64]) -> Result<()> {
+        if values.len() != self.num_values() {
+            return Err(HistError::InvalidAssignment(format!(
+                "bounds cover {} values but the histogram has {}",
+                values.len(),
+                self.num_values()
+            )));
+        }
+        if values.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(HistError::InvalidAssignment(
+                "bounds require strictly ascending domain values".to_string(),
+            ));
+        }
+        let mut bounds = vec![
+            ValueBounds {
+                lo: u64::MAX,
+                hi: 0,
+                distinct: 0,
+            };
+            self.num_buckets()
+        ];
+        for (&v, &b) in values.iter().zip(&self.assignment) {
+            let bb = &mut bounds[b as usize];
+            bb.lo = bb.lo.min(v);
+            bb.hi = bb.hi.max(v.saturating_add(1));
+            bb.distinct += 1;
+        }
+        self.bounds = bounds;
+        Ok(())
+    }
+
+    /// Per-bucket value spans, or the empty slice when no domain has
+    /// been attached.
+    pub fn bounds(&self) -> &[ValueBounds] {
+        &self.bounds
+    }
+
+    /// The value span of bucket `b`, if bounds are attached.
+    pub fn bucket_bounds(&self, b: usize) -> Option<&ValueBounds> {
+        self.bounds.get(b)
     }
 
     /// Number of buckets `β`.
@@ -412,6 +466,60 @@ mod tests {
         );
         // All-univalued buckets classify as end-biased (serial).
         assert_eq!(hist(&[3, 7], &[0, 1], 2).class(), HistogramClass::EndBiased);
+    }
+
+    #[test]
+    fn attach_bounds_records_per_bucket_spans() {
+        // Values 2,5,9 with freqs 10,20,5; bucket 0 = {2,5}, bucket 1 = {9}.
+        let mut h = hist(&[10, 20, 5], &[0, 0, 1], 2);
+        assert!(h.bounds().is_empty());
+        h.attach_bounds(&[2, 5, 9]).unwrap();
+        assert_eq!(
+            h.bounds(),
+            &[
+                ValueBounds {
+                    lo: 2,
+                    hi: 6,
+                    distinct: 2
+                },
+                ValueBounds {
+                    lo: 9,
+                    hi: 10,
+                    distinct: 1
+                },
+            ]
+        );
+        assert!(h.bucket_bounds(1).unwrap().is_singleton());
+        assert!(h.bounds().iter().all(ValueBounds::is_well_formed));
+    }
+
+    #[test]
+    fn attach_bounds_validates_domain() {
+        let mut h = hist(&[10, 20, 5], &[0, 0, 1], 2);
+        // Wrong arity.
+        assert!(matches!(
+            h.attach_bounds(&[1, 2]),
+            Err(HistError::InvalidAssignment(_))
+        ));
+        // Not strictly ascending.
+        assert!(matches!(
+            h.attach_bounds(&[1, 1, 2]),
+            Err(HistError::InvalidAssignment(_))
+        ));
+        assert!(matches!(
+            h.attach_bounds(&[3, 2, 1]),
+            Err(HistError::InvalidAssignment(_))
+        ));
+        assert!(h.bounds().is_empty());
+    }
+
+    #[test]
+    fn bounds_participate_in_equality() {
+        let mut h = hist(&[10, 20, 5], &[0, 0, 1], 2);
+        let bare = h.clone();
+        h.attach_bounds(&[2, 5, 9]).unwrap();
+        assert_ne!(h, bare);
+        assert_eq!(h.clone(), h);
     }
 
     #[test]

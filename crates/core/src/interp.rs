@@ -1,0 +1,330 @@
+//! Overlap-ratio interpolation over value-carrying buckets.
+//!
+//! The paper's frequency-set machinery is equality-only: a bucket knows
+//! which *frequencies* it holds but nothing about where its domain
+//! values lie on the value axis. [`ValueBounds`] attaches that missing
+//! coordinate — the half-open value span `[lo, hi)` and the
+//! distinct-value count of one bucket — and this module owns **all**
+//! interpolation arithmetic built on it (a CI guard keeps re-derived
+//! `(r − c) / w` fractions out of the engine and query crates).
+//!
+//! The intra-bucket model is continuous-uniform: a bucket's value mass
+//! is spread evenly over `[lo, hi)`. Integer domains embed by mapping
+//! the closed integer interval `[a, b]` to the continuous interval
+//! `[a, b + 1)`, so a singleton bucket over value `v` spans `[v, v + 1)`
+//! and a point query `= v` covers it exactly. Under that embedding:
+//!
+//! * the fraction of a bucket satisfying a range predicate is
+//!   `len([lo, hi) ∩ [qlo, qhi)) / (hi − lo)`
+//!   ([`overlap_fraction`]), and
+//! * the fraction of value *pairs* from two buckets within a band
+//!   `|x − y| ≤ w` is `∫ len([x − w, x + w + 1) ∩ [lo₂, hi₂)) dx`
+//!   over `x ∈ [lo₁, hi₁)`, normalised by both widths
+//!   ([`band_fraction`]; the integrand is piecewise linear, so the
+//!   trapezoid rule over its breakpoints is exact).
+//!
+//! Buckets whose span has collapsed to a point (and any non-finite
+//! intermediate) cannot support the continuous model; those fractions
+//! fall back to point-mass indicators and every such drop — as well as
+//! any clamp back into `[0, 1]` — is counted in the
+//! `est_range_clamped_total` metric, mirroring the NaN/Inf conventions
+//! pinned in `query::metrics` (degenerate input is answered, never
+//! propagated as NaN).
+
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
+
+/// The value span and distinct-count of one histogram bucket: the
+/// half-open interval `[lo, hi)` containing every domain value assigned
+/// to the bucket, plus how many distinct values it holds.
+///
+/// Integer convention: `hi` is the bucket's largest value **plus one**,
+/// so a bucket holding only value `v` spans `[v, v + 1)` and has
+/// `width() == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ValueBounds {
+    /// Smallest domain value in the bucket (inclusive).
+    pub lo: u64,
+    /// One past the largest domain value in the bucket (exclusive).
+    pub hi: u64,
+    /// Number of distinct domain values in the bucket.
+    pub distinct: u64,
+}
+
+impl ValueBounds {
+    /// Bounds of a bucket holding exactly the given distinct values.
+    /// Returns `None` for an empty slice.
+    pub fn from_values(values: &[u64]) -> Option<Self> {
+        let lo = *values.iter().min()?;
+        let hi = values.iter().max()?.saturating_add(1);
+        Some(Self {
+            lo,
+            hi,
+            distinct: values.len() as u64,
+        })
+    }
+
+    /// The continuous width `hi − lo` of the span (saturating; a
+    /// well-formed bucket has width ≥ 1).
+    pub fn width(&self) -> f64 {
+        self.hi.saturating_sub(self.lo) as f64
+    }
+
+    /// Whether the span covers at most one integer value. Singleton
+    /// buckets are point masses: band fractions answer them with exact
+    /// discrete indicators instead of the continuous model (which would
+    /// halve the mass of an exactly-matching pair).
+    pub fn is_singleton(&self) -> bool {
+        self.hi.saturating_sub(self.lo) <= 1
+    }
+
+    /// Structural validity: a non-empty span that can hold `distinct`
+    /// integer values.
+    pub fn is_well_formed(&self) -> bool {
+        self.lo < self.hi && self.distinct >= 1 && self.distinct <= self.hi - self.lo
+    }
+}
+
+/// Cached handle of the `est_range_clamped_total` counter (the guard
+/// fires on estimation hot paths; formatting the name each time would
+/// allocate).
+fn clamp_counter() -> &'static Arc<obs::Counter> {
+    static CELL: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+    CELL.get_or_init(|| obs::counter("est_range_clamped_total"))
+}
+
+/// Clamps an interpolated fraction into `[0, 1]`, counting every drop
+/// (out-of-range or non-finite input) in `est_range_clamped_total`.
+/// NaN clamps to 0 — a degenerate fraction contributes nothing rather
+/// than poisoning the whole estimate.
+pub fn clamp_fraction(fraction: f64) -> f64 {
+    if fraction.is_nan() {
+        clamp_counter().inc();
+        return 0.0;
+    }
+    if fraction < 0.0 {
+        clamp_counter().inc();
+        return 0.0;
+    }
+    if fraction > 1.0 {
+        clamp_counter().inc();
+        return 1.0;
+    }
+    fraction
+}
+
+/// Fraction of a bucket's value mass inside the continuous query
+/// interval `[q_lo, q_hi)`, under the continuous-uniform intra-bucket
+/// assumption. Infinite endpoints express one-sided predicates
+/// (`f > c` is `[c + 1, +∞)`).
+///
+/// A zero-width span (degenerate bounds) is answered as a point mass at
+/// `lo` and counted as a clamp; the result is always in `[0, 1]`.
+pub fn overlap_fraction(bounds: &ValueBounds, q_lo: f64, q_hi: f64) -> f64 {
+    if q_lo.is_nan() || q_hi.is_nan() {
+        // min/max would silently swallow the NaN; answer 0 and count
+        // the drop instead.
+        clamp_counter().inc();
+        return 0.0;
+    }
+    let width = bounds.width();
+    if width <= 0.0 {
+        clamp_counter().inc();
+        let point = bounds.lo as f64;
+        return if point >= q_lo && point < q_hi {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let lo = bounds.lo as f64;
+    let hi = bounds.hi as f64;
+    let overlap = (q_hi.min(hi) - q_lo.max(lo)).max(0.0);
+    clamp_fraction(overlap / width)
+}
+
+/// Fraction of value pairs `(x, y)` — `x` from `left`, `y` from
+/// `right` — satisfying the band predicate `|x − y| ≤ w`, under the
+/// integer embedding `[a, b] ↦ [a, b + 1)`.
+///
+/// Three cases keep point masses exact (the histogram-overlap algebra
+/// of inequality-join estimation):
+///
+/// 1. both spans singleton → the discrete indicator `|v − u| ≤ w`;
+/// 2. one span singleton at `v` → the other bucket's overlap with
+///    `[v − w, v + w + 1)`;
+/// 3. both spans wide → the exact integral of the piecewise-linear
+///    window-overlap function, normalised by both widths.
+pub fn band_fraction(left: &ValueBounds, right: &ValueBounds, w: u64) -> f64 {
+    match (left.is_singleton(), right.is_singleton()) {
+        (true, true) => {
+            let diff = left.lo.abs_diff(right.lo);
+            if diff <= w {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        (true, false) => singleton_band_fraction(left.lo, right, w),
+        (false, true) => singleton_band_fraction(right.lo, left, w),
+        (false, false) => {
+            let wf = w as f64;
+            let (lo1, hi1) = (left.lo as f64, left.hi as f64);
+            let (lo2, hi2) = (right.lo as f64, right.hi as f64);
+            // len([x − w, x + w + 1) ∩ [lo2, hi2)): piecewise linear in
+            // x, with slope changes exactly where a window edge crosses
+            // a bucket edge.
+            let window = |x: f64| ((x + wf + 1.0).min(hi2) - (x - wf).max(lo2)).max(0.0);
+            let mut pts = vec![lo1, hi1, lo2 - wf - 1.0, hi2 - wf - 1.0, lo2 + wf, hi2 + wf];
+            pts.retain(|&x| (lo1..=hi1).contains(&x));
+            pts.sort_by(f64::total_cmp);
+            pts.dedup();
+            // Trapezoid rule is exact on each linear segment.
+            let integral: f64 = pts
+                .windows(2)
+                .map(|seg| (seg[1] - seg[0]) * 0.5 * (window(seg[0]) + window(seg[1])))
+                .sum();
+            clamp_fraction(integral / (left.width() * right.width()))
+        }
+    }
+}
+
+/// Case 2 of [`band_fraction`]: a point mass at `v` against a wide
+/// bucket — the wide bucket's overlap with the band window around `v`.
+fn singleton_band_fraction(v: u64, wide: &ValueBounds, w: u64) -> f64 {
+    let q_lo = v as f64 - w as f64;
+    let q_hi = v as f64 + w as f64 + 1.0;
+    overlap_fraction(wide, q_lo, q_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(lo: u64, hi: u64, distinct: u64) -> ValueBounds {
+        ValueBounds { lo, hi, distinct }
+    }
+
+    #[test]
+    fn from_values_spans_min_to_max_plus_one() {
+        assert_eq!(ValueBounds::from_values(&[]), None);
+        assert_eq!(ValueBounds::from_values(&[7]), Some(b(7, 8, 1)));
+        assert_eq!(ValueBounds::from_values(&[3, 9, 5]), Some(b(3, 10, 3)));
+        assert!(b(3, 10, 3).is_well_formed());
+        assert!(!b(3, 3, 1).is_well_formed());
+        assert!(!b(3, 4, 2).is_well_formed());
+    }
+
+    #[test]
+    fn overlap_fraction_basic_geometry() {
+        let bucket = b(10, 20, 10);
+        // Disjoint, containing, and partial intervals.
+        assert_eq!(overlap_fraction(&bucket, 0.0, 5.0), 0.0);
+        assert_eq!(overlap_fraction(&bucket, 0.0, 100.0), 1.0);
+        assert!((overlap_fraction(&bucket, 15.0, 100.0) - 0.5).abs() < 1e-12);
+        assert!((overlap_fraction(&bucket, 12.0, 14.0) - 0.2).abs() < 1e-12);
+        // One-sided predicates via infinite endpoints.
+        assert_eq!(
+            overlap_fraction(&bucket, f64::NEG_INFINITY, f64::INFINITY),
+            1.0
+        );
+        assert!((overlap_fraction(&bucket, 18.0, f64::INFINITY) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_fraction_singleton_matches_point_membership() {
+        let point = b(5, 6, 1);
+        // BETWEEN 5 AND 7 ↦ [5, 8).
+        assert_eq!(overlap_fraction(&point, 5.0, 8.0), 1.0);
+        assert_eq!(overlap_fraction(&point, 6.0, 8.0), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_is_monotone_in_the_interval() {
+        let bucket = b(100, 150, 37);
+        let mut last = 0.0;
+        for widen in 0..60 {
+            let f = overlap_fraction(&bucket, 120.0 - widen as f64, 121.0 + widen as f64);
+            assert!(f >= last, "widening shrank the fraction");
+            last = f;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn degenerate_and_non_finite_inputs_clamp() {
+        let before = obs::counter("est_range_clamped_total").get();
+        // Zero-width span: answered as a point mass, counted.
+        let degenerate = b(5, 5, 1);
+        assert_eq!(overlap_fraction(&degenerate, 0.0, 10.0), 1.0);
+        assert_eq!(overlap_fraction(&degenerate, 6.0, 10.0), 0.0);
+        // NaN endpoints clamp to 0 instead of propagating.
+        assert_eq!(overlap_fraction(&b(0, 10, 10), f64::NAN, 5.0), 0.0);
+        assert!(clamp_fraction(f64::NAN) == 0.0);
+        assert_eq!(clamp_fraction(1.5), 1.0);
+        assert_eq!(clamp_fraction(-0.5), 0.0);
+        let after = obs::counter("est_range_clamped_total").get();
+        assert!(after >= before + 6, "clamps counted: {before} -> {after}");
+    }
+
+    #[test]
+    fn band_fraction_point_masses_are_exact() {
+        // Same value, zero band: every pair matches.
+        assert_eq!(band_fraction(&b(4, 5, 1), &b(4, 5, 1), 0), 1.0);
+        assert_eq!(band_fraction(&b(4, 5, 1), &b(5, 6, 1), 0), 0.0);
+        assert_eq!(band_fraction(&b(4, 5, 1), &b(7, 8, 1), 3), 1.0);
+        assert_eq!(band_fraction(&b(4, 5, 1), &b(8, 9, 1), 3), 0.0);
+    }
+
+    #[test]
+    fn band_fraction_singleton_against_wide_bucket() {
+        // Point 10 vs values uniform on [0, 20): window [8, 13) covers
+        // 5/20 of the wide bucket.
+        let f = band_fraction(&b(10, 11, 1), &b(0, 20, 20), 2);
+        assert!((f - 0.25).abs() < 1e-12, "{f}");
+        // Symmetric in argument order.
+        let g = band_fraction(&b(0, 20, 20), &b(10, 11, 1), 2);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn band_fraction_wide_buckets_integrate_exactly() {
+        // Identical unit-uniform buckets [0, 2) with w = 0: the window
+        // around x is [x, x + 1); overlap with [0, 2) integrates to
+        // ∫₀¹ (x+1 − 0... ) — check against a fine Riemann sum instead
+        // of hand algebra.
+        for (l, r, w) in [
+            (b(0, 2, 2), b(0, 2, 2), 0),
+            (b(0, 10, 10), b(5, 25, 20), 3),
+            (b(100, 140, 40), b(90, 120, 30), 7),
+        ] {
+            let exact = band_fraction(&l, &r, w);
+            let n = 20_000;
+            let (lo1, hi1) = (l.lo as f64, l.hi as f64);
+            let step = (hi1 - lo1) / n as f64;
+            let wf = w as f64;
+            let riemann: f64 = (0..n)
+                .map(|i| {
+                    let x = lo1 + (i as f64 + 0.5) * step;
+                    ((x + wf + 1.0).min(r.hi as f64) - (x - wf).max(r.lo as f64)).max(0.0) * step
+                })
+                .sum();
+            let approx = riemann / (l.width() * r.width());
+            assert!((exact - approx).abs() < 1e-3, "{exact} vs {approx}");
+            assert!((0.0..=1.0).contains(&exact));
+        }
+    }
+
+    #[test]
+    fn band_fraction_is_monotone_in_the_band_width() {
+        let l = b(0, 30, 30);
+        let r = b(50, 90, 40);
+        let mut last = 0.0;
+        for w in 0..120 {
+            let f = band_fraction(&l, &r, w);
+            assert!(f + 1e-12 >= last, "widening the band shrank the fraction");
+            last = f;
+        }
+        assert!((last - 1.0).abs() < 1e-12);
+    }
+}

@@ -61,6 +61,7 @@ pub mod bucket;
 pub mod construct;
 pub mod error;
 pub mod histogram;
+pub mod interp;
 pub mod partition;
 pub mod registry;
 pub mod two_dim;
@@ -69,5 +70,6 @@ pub use bucket::BucketStats;
 pub use construct::{OptResult, PrefixSums};
 pub use error::HistError;
 pub use histogram::{Histogram, HistogramClass, RoundingMode};
+pub use interp::ValueBounds;
 pub use registry::{builder_named, builders, BuilderSpec, HistogramBuilder};
 pub use two_dim::{grid_equi_depth, MatrixHistogram};

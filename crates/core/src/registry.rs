@@ -349,6 +349,18 @@ impl BuilderSpec {
         self.run(freqs, self.buckets())
     }
 
+    /// Builds like [`BuilderSpec::build`] and attaches per-bucket value
+    /// bounds from the concrete domain: `values[i]` is the (strictly
+    /// ascending) domain value whose frequency is `freqs[i]`.
+    ///
+    /// This is the ANALYZE entry point — every histogram that reaches
+    /// the catalog carries value spans for range interpolation.
+    pub fn build_with_values(&self, values: &[u64], freqs: &[u64]) -> Result<Histogram> {
+        let mut hist = self.build(freqs)?;
+        hist.attach_bounds(values)?;
+        Ok(hist)
+    }
+
     /// The single dispatch (and obs timing) site: every histogram the
     /// workspace builds through a spec passes through here.
     fn run(&self, freqs: &[u64], buckets: usize) -> Result<OptResult> {
@@ -482,6 +494,28 @@ mod tests {
         ));
         assert!(BuilderSpec::parse("end_biased", 7).is_err());
         assert!(BuilderSpec::parse("max_diff:x", 7).is_err());
+    }
+
+    #[test]
+    fn build_with_values_attaches_bounds_for_every_builder() {
+        let values = [3u64, 10, 11, 40, 41, 42, 90, 200];
+        let freqs = [13u64, 2, 8, 21, 4, 4, 30, 1];
+        for b in builders() {
+            let h = b.spec(3).build_with_values(&values, &freqs).unwrap();
+            assert_eq!(h.bounds().len(), h.num_buckets(), "{}", b.name());
+            let total: u64 = h.bounds().iter().map(|bb| bb.distinct).sum();
+            assert_eq!(total as usize, values.len(), "{}", b.name());
+            assert!(
+                h.bounds().iter().all(|bb| bb.is_well_formed()),
+                "{}",
+                b.name()
+            );
+        }
+        // Unsorted domains are rejected.
+        let spec = BuilderSpec::VOptEndBiased(3);
+        assert!(spec
+            .build_with_values(&[5, 4, 3, 2, 1, 0, 9, 8], &freqs)
+            .is_err());
     }
 
     #[test]

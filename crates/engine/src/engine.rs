@@ -12,15 +12,19 @@
 //!
 //! with the per-value `â` read from the stored catalog histograms (§4
 //! layout) over the column's value dictionary, and independence assumed
-//! between predicates. Execution is exact: filters materialise, joins
-//! hash.
+//! between predicates. Range-shaped filters (`<`, `<=`, `>`, `>=`,
+//! `BETWEEN`) and band joins (`abs(l.a - r.b) <= w`) are answered from
+//! the histograms' value-carrying buckets by overlap-ratio interpolation
+//! (`query::estimate::{estimate_range, estimate_band_join}`). Execution
+//! is exact: filters materialise, equality joins hash, band joins probe
+//! a sorted value window.
 
 use crate::ast::{ColumnRef, FilterPredicate, Query};
 use crate::cache::{fingerprint, shard_index, EstimationCache};
 use crate::error::{EngineError, Result};
 use crate::ladder::{
     record_stats_use, uniform_filter_selectivity, EstimatePolicy, EstimateRung, StatsUse,
-    UNIFORM_DISTINCT_DEFAULT,
+    UNIFORM_BAND_SELECTIVITY, UNIFORM_DISTINCT_DEFAULT,
 };
 use crate::parser;
 use relstore::catalog::StatKey;
@@ -110,6 +114,19 @@ impl ColumnStats<'_> {
                 unreachable!("uniform rung has no per-value frequency model")
             }
         }
+    }
+}
+
+/// The [`StatsUse`] target string for one filter lookup. Equality-shaped
+/// filters keep the bare `table.column` form the estimator has always
+/// reported (pinning those trails bit-for-bit); range-shaped filters
+/// name the full predicate they were estimated with, so a trail entry
+/// says exactly what the interpolation answered.
+pub(crate) fn filter_target(f: &FilterPredicate) -> String {
+    if f.op.is_range_shaped() {
+        f.to_string()
+    } else {
+        f.column.to_string()
     }
 }
 
@@ -303,15 +320,80 @@ impl Engine {
     /// Keeps the rows of `rel` where two of its columns are equal (a
     /// join predicate between two already-joined tables).
     pub(crate) fn filter_equal_columns(rel: Relation, a: &str, b: &str) -> Result<Relation> {
+        Self::filter_column_pair(rel, a, b, |x, y| x == y)
+    }
+
+    /// Keeps the rows of `rel` where two of its columns are within `w`
+    /// of each other (a residual band predicate inside an accumulated
+    /// join result).
+    pub(crate) fn filter_band_columns(rel: Relation, a: &str, b: &str, w: u64) -> Result<Relation> {
+        Self::filter_column_pair(rel, a, b, move |x, y| x.abs_diff(y) <= w)
+    }
+
+    fn filter_column_pair(
+        rel: Relation,
+        a: &str,
+        b: &str,
+        keep_pair: impl Fn(u64, u64) -> bool,
+    ) -> Result<Relation> {
         let ca = rel.column_by_name(a)?.to_vec();
         let cb = rel.column_by_name(b)?.to_vec();
-        let keep: Vec<usize> = (0..rel.num_rows()).filter(|&r| ca[r] == cb[r]).collect();
+        let keep: Vec<usize> = (0..rel.num_rows())
+            .filter(|&r| keep_pair(ca[r], cb[r]))
+            .collect();
         let columns: Vec<Vec<u64>> = (0..rel.schema().arity())
             .map(|c| keep.iter().map(|&r| rel.column(c)[r]).collect())
             .collect();
         Ok(Relation::from_columns(
             rel.name().to_string(),
             rel.schema().clone(),
+            columns,
+        )?)
+    }
+
+    /// Materialises the band join `abs(left.lcol - right.rcol) <= w`.
+    /// Right rows are ordered by join value once, so every left row's
+    /// matches are one contiguous run found by binary search — the
+    /// sort-based plan a real executor uses for inequality joins.
+    pub(crate) fn materialize_band_join(
+        left: &Relation,
+        lcol: &str,
+        right: &Relation,
+        rcol: &str,
+        w: u64,
+    ) -> Result<Relation> {
+        let lv = left.column_by_name(lcol)?;
+        let rv = right.column_by_name(rcol)?;
+        let mut order: Vec<usize> = (0..right.num_rows()).collect();
+        order.sort_unstable_by_key(|&r| rv[r]);
+        let sorted: Vec<u64> = order.iter().map(|&r| rv[r]).collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (l_row, &v) in lv.iter().enumerate() {
+            let lo = sorted.partition_point(|&x| x < v.saturating_sub(w));
+            let hi = sorted.partition_point(|&x| x <= v.saturating_add(w));
+            for &r_row in &order[lo..hi] {
+                pairs.push((l_row, r_row));
+            }
+        }
+        let names: Vec<String> = left
+            .schema()
+            .columns()
+            .iter()
+            .chain(right.schema().columns())
+            .map(|c| c.name.clone())
+            .collect();
+        let mut columns: Vec<Vec<u64>> = Vec::with_capacity(names.len());
+        for c in 0..left.schema().arity() {
+            let col = left.column(c);
+            columns.push(pairs.iter().map(|&(l, _)| col[l]).collect());
+        }
+        for c in 0..right.schema().arity() {
+            let col = right.column(c);
+            columns.push(pairs.iter().map(|&(_, r)| col[r]).collect());
+        }
+        Ok(Relation::from_columns(
+            left.name().to_string(),
+            Schema::new(names)?,
             columns,
         )?)
     }
@@ -371,7 +453,17 @@ impl Engine {
                 .position(|j| joined.contains(&j.left.table) && joined.contains(&j.right.table))
             {
                 let j = pending.remove(idx);
-                acc = Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?;
+                acc = match j.band {
+                    None => {
+                        Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?
+                    }
+                    Some(w) => Self::filter_band_columns(
+                        acc,
+                        &j.left.to_string(),
+                        &j.right.to_string(),
+                        w,
+                    )?,
+                };
                 continue;
             }
             // Otherwise join one new table connected to the current set.
@@ -395,9 +487,9 @@ impl Engine {
                 (&j.right, &j.left)
             };
             let new_rel = &bases[&new_side.table];
-            // The last join of the query only needs a count — skip the
-            // (potentially huge) materialisation.
-            if joined.len() + 1 == query.tables.len() && pending.is_empty() {
+            // The last equality join of the query only needs a count —
+            // skip the (potentially huge) materialisation.
+            if j.band.is_none() && joined.len() + 1 == query.tables.len() && pending.is_empty() {
                 return Ok(relstore::join::hash_join_count(
                     &acc,
                     &acc_side.to_string(),
@@ -405,7 +497,18 @@ impl Engine {
                     &new_side.to_string(),
                 )?);
             }
-            acc = materialize_join(&acc, &acc_side.to_string(), new_rel, &new_side.to_string())?;
+            acc = match j.band {
+                None => {
+                    materialize_join(&acc, &acc_side.to_string(), new_rel, &new_side.to_string())?
+                }
+                Some(w) => Self::materialize_band_join(
+                    &acc,
+                    &acc_side.to_string(),
+                    new_rel,
+                    &new_side.to_string(),
+                    w,
+                )?,
+            };
             joined.insert(new_side.table.clone());
         }
         Ok(acc.num_rows() as u128)
@@ -501,17 +604,30 @@ impl Engine {
     }
 
     /// Selectivity of one filter predicate and the rung that answered.
-    /// On rungs with a per-value model the mass of passing values is
-    /// summed over the dictionary exactly as before; the `uniform` rung
-    /// answers with System R's constants.
+    ///
+    /// Equality-shaped filters (`=`, `<>`, `IN`) sum the mass of passing
+    /// values over the dictionary exactly as before. Range-shaped
+    /// filters on the `spec` rung are answered by overlap-ratio
+    /// interpolation over the histogram's value-carrying buckets
+    /// (`BETWEEN c AND c` normalises to equality first, so a point
+    /// interval takes the equality path bit-for-bit); degraded rungs
+    /// keep the dictionary walk, whose per-value model survives without
+    /// bucket bounds. The `uniform` rung answers with System R's
+    /// constants.
     pub(crate) fn filter_selectivity(
         &self,
         snap: &CatalogSnapshot,
         f: &FilterPredicate,
     ) -> Result<(f64, EstimateRung)> {
         let stats = self.resolve_stats(snap, &f.column)?;
-        let sel = match stats.rung {
-            EstimateRung::Uniform => uniform_filter_selectivity(&f.op),
+        let interval = f.op.to_predicate().normalize().interval();
+        let sel = match (stats.rung, interval) {
+            (EstimateRung::Uniform, _) => uniform_filter_selectivity(&f.op),
+            (EstimateRung::Spec, Some((q_lo, q_hi))) => {
+                let hist = stats.hist.expect("spec rung has a histogram");
+                (query::estimate::estimate_range(hist, q_lo, q_hi) / stats.rows.max(1.0))
+                    .clamp(0.0, 1.0)
+            }
             _ => {
                 let mass: f64 = stats
                     .domain
@@ -651,24 +767,28 @@ impl Engine {
         for f in &query.filters {
             let (sel, rung) = self.filter_selectivity(snap, f)?;
             estimate *= sel;
-            record_stats_use(&mut sources, f.column.to_string(), rung);
+            record_stats_use(&mut sources, filter_target(f), rung);
         }
         // Join selectivities.
         for j in &query.joins {
             let (sel, rung) = self.join_selectivity(snap, j)?;
             estimate *= sel;
-            record_stats_use(&mut sources, format!("{} = {}", j.left, j.right), rung);
+            record_stats_use(&mut sources, j.to_string(), rung);
         }
         Ok((estimate, sources))
     }
 
-    /// Selectivity of one equality join predicate and the rung that
-    /// answered (the worse of the two sides). With both sides on `spec`
-    /// this is `Σ_v âL(v)·âR(v) / (|L|·|R|)` over the union of both
-    /// dictionaries, on exactly the shared estimator code path the
-    /// oracle pins; degraded sides substitute their rung's per-value
-    /// model, and a side with no dictionary at all falls back to
-    /// System R's `1/max(V₁,V₂)` with unknown `V` defaulted to 10.
+    /// Selectivity of one join predicate and the rung that answered
+    /// (the worse of the two sides). With both sides on `spec` an
+    /// equality join is `Σ_v âL(v)·âR(v) / (|L|·|R|)` over the union of
+    /// both dictionaries, on exactly the shared estimator code path the
+    /// oracle pins, and a band join `abs(l - r) <= w` is the
+    /// bucket-pair overlap estimate of
+    /// [`query::estimate::estimate_band_join`] scaled the same way.
+    /// Degraded equality sides substitute their rung's per-value model;
+    /// a degraded band join falls back to System R's `1/4` range
+    /// constant, as does an equality join with no dictionary at all
+    /// (`1/max(V₁,V₂)`, unknown `V` defaulted to 10).
     pub(crate) fn join_selectivity(
         &self,
         snap: &CatalogSnapshot,
@@ -677,6 +797,19 @@ impl Engine {
         let left = self.resolve_stats(snap, &j.left)?;
         let right = self.resolve_stats(snap, &j.right)?;
         let rung = left.rung.worse(right.rung);
+        if let Some(w) = j.band {
+            let sel = if left.rung == EstimateRung::Spec && right.rung == EstimateRung::Spec {
+                let lh = left.hist.expect("spec rung has a histogram");
+                let rh = right.hist.expect("spec rung has a histogram");
+                let l_rows = self.relation(&j.left.table)?.num_rows() as f64;
+                let r_rows = self.relation(&j.right.table)?.num_rows() as f64;
+                (query::estimate::estimate_band_join(lh, rh, w) / (l_rows * r_rows).max(1.0))
+                    .clamp(0.0, 1.0)
+            } else {
+                UNIFORM_BAND_SELECTIVITY
+            };
+            return Ok((sel, rung));
+        }
         let (Some(l_dom), Some(r_dom)) = (left.domain, right.domain) else {
             let v_l = left
                 .domain
@@ -1062,6 +1195,159 @@ mod tests {
         assert_eq!(prov.stats[0].rung, EstimateRung::Uniform);
         assert_eq!(prov.stats[0].class, None);
         assert_eq!(prov.stats[0].staleness, None);
+    }
+
+    #[test]
+    fn range_filters_match_execution_on_singleton_buckets() {
+        // One bucket per value: interpolation is exact, so every range
+        // shape estimates its executed count exactly.
+        let mut e = Engine::new();
+        let f0 = zipf_frequencies(300, 8, 1.0).unwrap();
+        e.register(relation_from_frequency_set("t", "a", &f0, 1).unwrap());
+        e.analyze_all(8).unwrap();
+        for sql in [
+            "SELECT COUNT(*) FROM t WHERE t.a < 3",
+            "SELECT COUNT(*) FROM t WHERE t.a <= 3",
+            "SELECT COUNT(*) FROM t WHERE t.a > 5",
+            "SELECT COUNT(*) FROM t WHERE t.a >= 5",
+            "SELECT COUNT(*) FROM t WHERE t.a BETWEEN 2 AND 6",
+        ] {
+            let q = e.parse(sql).unwrap();
+            let exact = e.execute(&q).unwrap() as f64;
+            let est = e.estimate(&q).unwrap();
+            assert!(
+                (est - exact).abs() < 1e-6,
+                "{sql}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_filter_sources_name_the_predicate_form() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0 WHERE r0.a BETWEEN 2 AND 6")
+            .unwrap();
+        let (_, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].target, "r0.a BETWEEN 2 AND 6");
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a > 4").unwrap();
+        let (_, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].target, "r0.a > 4");
+        // Equality-family filters keep the bare-column trail of the
+        // pre-interpolation engine.
+        let q = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 2").unwrap();
+        let (_, sources) = e.estimate_with_sources(&q).unwrap();
+        assert_eq!(sources[0].target, "r0.a");
+    }
+
+    #[test]
+    fn point_between_estimates_bit_identical_to_equality() {
+        let e = engine_with_chain();
+        let qb = e
+            .parse("SELECT COUNT(*) FROM r0 WHERE r0.a BETWEEN 2 AND 2")
+            .unwrap();
+        let qe = e.parse("SELECT COUNT(*) FROM r0 WHERE r0.a = 2").unwrap();
+        assert_eq!(
+            e.estimate(&qb).unwrap().to_bits(),
+            e.estimate(&qe).unwrap().to_bits()
+        );
+        // And the point interval keeps the bare-column equality trail.
+        let (_, sources) = e.estimate_with_sources(&qb).unwrap();
+        assert_eq!(sources[0].target, "r0.a");
+    }
+
+    #[test]
+    fn band_join_executes_and_estimates() {
+        let e = engine_with_chain();
+        // w = 0: the band join executes exactly like the equality join.
+        let qb = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE ABS(r0.a - r1.a) <= 0")
+            .unwrap();
+        let qe = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a")
+            .unwrap();
+        assert_eq!(e.execute(&qb).unwrap(), e.execute(&qe).unwrap());
+        // Widening the band never loses rows; estimates stay finite and
+        // non-negative and come from the spec rung with the band target.
+        let mut last = 0u128;
+        for w in [0u64, 1, 3, 20] {
+            let q = e
+                .parse(&format!(
+                    "SELECT COUNT(*) FROM r0, r1 WHERE ABS(r0.a - r1.a) <= {w}"
+                ))
+                .unwrap();
+            let exact = e.execute(&q).unwrap();
+            assert!(exact >= last, "w={w} lost rows");
+            last = exact;
+            let (est, sources) = e.estimate_with_sources(&q).unwrap();
+            assert!(est.is_finite() && est >= 0.0, "w={w}: {est}");
+            assert_eq!(sources[0].target, format!("abs(r0.a - r1.a) <= {w}"));
+            assert_eq!(sources[0].rung, EstimateRung::Spec);
+        }
+        // A band covering the whole domain is the cross product.
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE ABS(r0.a - r1.a) <= 1000")
+            .unwrap();
+        let exact = e.execute(&q).unwrap();
+        assert_eq!(exact, 200 * 300);
+        let est = e.estimate(&q).unwrap();
+        let ratio = est / exact as f64;
+        assert!((0.9..=1.1).contains(&ratio), "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn degraded_band_join_falls_back_to_the_range_constant() {
+        let mut e = engine_with_chain();
+        e.clear_statistics();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE ABS(r0.a - r1.a) <= 2")
+            .unwrap();
+        let (est, sources) = e.estimate_with_sources(&q).unwrap();
+        // 200 × 300 × 1/4.
+        assert!((est - 15_000.0).abs() < 1e-9, "est {est}");
+        assert_eq!(sources[0].rung, EstimateRung::Uniform);
+    }
+
+    #[test]
+    fn residual_band_predicate_filters_the_intermediate() {
+        let e = engine_with_chain();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE r0.a = r1.a AND ABS(r0.a - r1.b) <= 2")
+            .unwrap();
+        let exact = e.execute(&q).unwrap();
+        // Direct nested-loop reference.
+        let r0 = e.relation("r0").unwrap();
+        let r1 = e.relation("r1").unwrap();
+        let a0 = r0.column_by_name("a").unwrap();
+        let a1 = r1.column_by_name("a").unwrap();
+        let b1 = r1.column_by_name("b").unwrap();
+        let mut expect = 0u128;
+        for &x in a0 {
+            for (i, &y) in a1.iter().enumerate() {
+                if x == y && x.abs_diff(b1[i]) <= 2 {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(exact, expect);
+    }
+
+    #[test]
+    fn cached_range_estimates_replay_bit_identical() {
+        let e = engine_with_chain();
+        let q = e
+            .parse(
+                "SELECT COUNT(*) FROM r0, r1 \
+                 WHERE ABS(r0.a - r1.a) <= 2 AND r0.a BETWEEN 1 AND 7",
+            )
+            .unwrap();
+        let (e1, s1) = e.estimate_with_sources(&q).unwrap(); // miss
+        let (e2, s2) = e.estimate_with_sources(&q).unwrap(); // hit
+        assert_eq!(e1.to_bits(), e2.to_bits());
+        assert_eq!(s1, s2);
+        let (eu, su) = e.estimate_with_sources_uncached(&q).unwrap();
+        assert_eq!(e1.to_bits(), eu.to_bits());
+        assert_eq!(s1, su);
     }
 
     #[test]

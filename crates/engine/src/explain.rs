@@ -9,7 +9,7 @@
 
 use crate::ast::{FilterPredicate, JoinPredicate, Query};
 use crate::cache::fingerprint;
-use crate::engine::Engine;
+use crate::engine::{filter_target, Engine};
 use crate::error::{EngineError, Result};
 use crate::ladder::{record_stats_use, EstimateRung, StatsUse};
 use crate::provenance::{ProvenanceRecord, StageTiming};
@@ -118,7 +118,42 @@ fn plan_stages(steps: &[PlanStep]) -> Vec<StageTiming> {
         .collect()
 }
 
+/// The column names one [`StatsUse`] target consulted, for the
+/// per-column quality scopes: bare columns (`t.a`), equality joins
+/// (`l.a = r.b`), band joins (`abs(l.a - r.b) <= w`), and the
+/// predicate-form range-filter targets (`t.a < 5`,
+/// `t.a BETWEEN 2 AND 4`) whose column is the leading token.
+fn target_columns(target: &str) -> Vec<&str> {
+    if let Some((inside, _)) = target
+        .strip_prefix("abs(")
+        .and_then(|rest| rest.split_once(')'))
+    {
+        if let Some((l, r)) = inside.split_once(" - ") {
+            return vec![l, r];
+        }
+    }
+    if let Some((l, r)) = target.split_once(" = ") {
+        return vec![l, r];
+    }
+    vec![target.split_whitespace().next().unwrap_or(target)]
+}
+
 impl Engine {
+    /// One plan-step materialisation: equality joins hash, band joins
+    /// probe a sorted value window.
+    fn materialize_join_step(
+        left: &Relation,
+        lcol: &str,
+        right: &Relation,
+        rcol: &str,
+        band: Option<u64>,
+    ) -> Result<Relation> {
+        match band {
+            None => Ok(materialize_join(left, lcol, right, rcol)?),
+            Some(w) => Self::materialize_band_join(left, lcol, right, rcol, w),
+        }
+    }
+
     /// Estimated output cardinality of joining two intermediate results
     /// through `predicate`, given their current estimated cardinalities,
     /// plus the ladder rung the selectivity came from.
@@ -169,7 +204,7 @@ impl Engine {
             for f in filters {
                 let (sel, rung) = self.filter_selectivity(&snap, f)?;
                 est *= sel;
-                record_stats_use(&mut stats_sources, f.column.to_string(), rung);
+                record_stats_use(&mut stats_sources, filter_target(f), rung);
             }
             steps.push(PlanStep {
                 description: if filters.is_empty() {
@@ -236,21 +271,18 @@ impl Engine {
         let sp = obs::span("join");
         let (mut acc_est, first_rung) =
             self.join_step_estimate(&snap, j, est_rows[&j.left.table], est_rows[&j.right.table])?;
-        record_stats_use(
-            &mut stats_sources,
-            format!("{} = {}", j.left, j.right),
-            first_rung,
-        );
-        let mut acc = materialize_join(
+        record_stats_use(&mut stats_sources, j.to_string(), first_rung);
+        let mut acc = Self::materialize_join_step(
             &bases[&j.left.table],
             &j.left.to_string(),
             &bases[&j.right.table],
             &j.right.to_string(),
+            j.band,
         )?;
         joined.insert(j.left.table.clone());
         joined.insert(j.right.table.clone());
         steps.push(PlanStep {
-            description: format!("join {} = {}", j.left, j.right),
+            description: format!("join {j}"),
             estimated: acc_est,
             actual: acc.num_rows() as u128,
             elapsed: sp.finish(),
@@ -269,15 +301,21 @@ impl Engine {
                 // pair-overlap selectivity scaled back up by one side's
                 // cardinality (the other side is already fixed per row).
                 let (sel, rung) = self.join_selectivity(&snap, j)?;
-                record_stats_use(
-                    &mut stats_sources,
-                    format!("{} = {}", j.left, j.right),
-                    rung,
-                );
+                record_stats_use(&mut stats_sources, j.to_string(), rung);
                 acc_est *= sel * self.relation(&j.left.table)?.num_rows() as f64;
-                acc = Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?;
+                acc = match j.band {
+                    None => {
+                        Self::filter_equal_columns(acc, &j.left.to_string(), &j.right.to_string())?
+                    }
+                    Some(w) => Self::filter_band_columns(
+                        acc,
+                        &j.left.to_string(),
+                        &j.right.to_string(),
+                        w,
+                    )?,
+                };
                 steps.push(PlanStep {
-                    description: format!("residual filter {} = {}", j.left, j.right),
+                    description: format!("residual filter {j}"),
                     estimated: acc_est,
                     actual: acc.num_rows() as u128,
                     elapsed: sp.finish(),
@@ -316,21 +354,18 @@ impl Engine {
             } else {
                 (&j.right, &j.left)
             };
-            acc = materialize_join(
+            acc = Self::materialize_join_step(
                 &acc,
                 &acc_side.to_string(),
                 &bases[&new_side.table],
                 &new_side.to_string(),
+                j.band,
             )?;
             acc_est = step_est;
             joined.insert(new_side.table.clone());
-            record_stats_use(
-                &mut stats_sources,
-                format!("{} = {}", j.left, j.right),
-                step_rung,
-            );
+            record_stats_use(&mut stats_sources, j.to_string(), step_rung);
             steps.push(PlanStep {
-                description: format!("join {} = {}", j.left, j.right),
+                description: format!("join {j}"),
                 estimated: acc_est,
                 actual: acc.num_rows() as u128,
                 elapsed: sp.finish(),
@@ -385,11 +420,7 @@ impl Engine {
         obs::record_quality(&scope, estimate, actual as f64);
         let mut columns: Vec<&str> = sources
             .iter()
-            .flat_map(|s| match s.target.split_once(" = ") {
-                Some((l, r)) => [Some(l), Some(r)],
-                None => [Some(s.target.as_str()), None],
-            })
-            .flatten()
+            .flat_map(|s| target_columns(&s.target))
             .collect();
         columns.sort_unstable();
         columns.dedup();
@@ -539,6 +570,36 @@ mod tests {
         // One stage per executed plan step.
         assert_eq!(out.provenance.stages.len(), out.steps.len());
         assert!(out.to_string().contains("prov  fp="), "{out}");
+    }
+
+    #[test]
+    fn explain_handles_band_joins_and_range_filters() {
+        let e = engine();
+        let q = e
+            .parse("SELECT COUNT(*) FROM r0, r1 WHERE ABS(r0.a - r1.a) <= 1 AND r0.a >= 3")
+            .unwrap();
+        let out = e.explain_analyze(&q).unwrap();
+        assert_eq!(out.count, e.execute(&q).unwrap());
+        assert!(
+            out.steps
+                .iter()
+                .any(|s| s.description == "join abs(r0.a - r1.a) <= 1"),
+            "{out}"
+        );
+        assert!(
+            out.stats_sources.iter().any(|s| s.target == "r0.a >= 3"),
+            "{out}"
+        );
+        assert_eq!(out.worst_rung(), Some(EstimateRung::Spec));
+    }
+
+    #[test]
+    fn target_columns_parse_every_trail_form() {
+        assert_eq!(target_columns("t.a"), vec!["t.a"]);
+        assert_eq!(target_columns("l.a = r.b"), vec!["l.a", "r.b"]);
+        assert_eq!(target_columns("abs(l.a - r.b) <= 3"), vec!["l.a", "r.b"]);
+        assert_eq!(target_columns("t.a < 5"), vec!["t.a"]);
+        assert_eq!(target_columns("t.a BETWEEN 2 AND 4"), vec!["t.a"]);
     }
 
     #[test]

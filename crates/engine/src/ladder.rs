@@ -135,9 +135,18 @@ pub(crate) fn uniform_filter_selectivity(op: &FilterOp) -> f64 {
         FilterOp::Equals(_) => 0.1,
         FilterOp::NotEquals(_) => 0.9,
         FilterOp::In(values) => (0.1 * values.len() as f64).min(1.0),
-        FilterOp::Between(_, _) => 0.25,
+        FilterOp::Between(_, _)
+        | FilterOp::Lt(_)
+        | FilterOp::Le(_)
+        | FilterOp::Gt(_)
+        | FilterOp::Ge(_) => 0.25,
     }
 }
+
+/// System R's default selectivity for a band join on the `uniform`
+/// rung: a band is a range predicate over value pairs, so the textbook
+/// `1/4` range constant applies.
+pub(crate) const UNIFORM_BAND_SELECTIVITY: f64 = 0.25;
 
 /// The assumed distinct-value count on the `uniform` rung.
 pub(crate) const UNIFORM_DISTINCT_DEFAULT: f64 = 10.0;
@@ -176,5 +185,14 @@ mod tests {
             1.0
         );
         assert_eq!(uniform_filter_selectivity(&FilterOp::Between(1, 9)), 0.25);
+        for op in [
+            FilterOp::Lt(5),
+            FilterOp::Le(5),
+            FilterOp::Gt(5),
+            FilterOp::Ge(5),
+        ] {
+            assert_eq!(uniform_filter_selectivity(&op), 0.25, "{op:?}");
+        }
+        assert_eq!(UNIFORM_BAND_SELECTIVITY, 0.25);
     }
 }

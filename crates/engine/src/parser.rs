@@ -7,8 +7,11 @@
 //! tables     := ident { , ident }
 //! conjunction:= predicate { AND predicate }
 //! predicate  := colref = colref            -- join
+//!             | ABS ( colref - colref ) <= number   -- band join
 //!             | colref = number            -- equality filter
 //!             | colref <> number           -- not-equals filter
+//!             | colref < number | colref <= number
+//!             | colref > number | colref >= number
 //!             | colref IN ( number { , number } )
 //!             | colref BETWEEN number AND number
 //! colref     := ident . ident
@@ -72,8 +75,8 @@ impl Parser {
             Some(Token::Ident(s)) => {
                 // Reserved words may not be used as names (keeps the
                 // grammar unambiguous).
-                const RESERVED: [&str; 8] = [
-                    "select", "count", "from", "where", "and", "in", "between", "not",
+                const RESERVED: [&str; 9] = [
+                    "select", "count", "from", "where", "and", "in", "between", "not", "abs",
                 ];
                 if RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r)) {
                     Err(self.error(format!("'{s}' is a reserved word, expected {what}")))
@@ -101,7 +104,29 @@ impl Parser {
         Ok(ColumnRef { table, column })
     }
 
+    /// `ABS ( colref - colref ) <= number` — a band join. The leading
+    /// ABS keyword has already been consumed.
+    fn band_join(&mut self, query: &mut Query) -> Result<()> {
+        self.expect(&Token::LParen)?;
+        let left = self.column_ref()?;
+        self.expect(&Token::Minus)?;
+        let right = self.column_ref()?;
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Le)?;
+        let band = self.number()?;
+        query.joins.push(JoinPredicate {
+            left,
+            right,
+            band: Some(band),
+        });
+        Ok(())
+    }
+
     fn predicate(&mut self, query: &mut Query) -> Result<()> {
+        if self.at_keyword("abs") {
+            self.next();
+            return self.band_join(query);
+        }
         let left = self.column_ref()?;
         match self.next() {
             Some(Token::Eq) => match self.peek() {
@@ -115,7 +140,11 @@ impl Parser {
                 }
                 Some(Token::Ident(_)) => {
                     let right = self.column_ref()?;
-                    query.joins.push(JoinPredicate { left, right });
+                    query.joins.push(JoinPredicate {
+                        left,
+                        right,
+                        band: None,
+                    });
                     Ok(())
                 }
                 other => Err(self.error(format!(
@@ -129,6 +158,17 @@ impl Parser {
                     column: left,
                     op: FilterOp::NotEquals(v),
                 });
+                Ok(())
+            }
+            Some(tok @ (Token::Lt | Token::Le | Token::Gt | Token::Ge)) => {
+                let v = self.number()?;
+                let op = match tok {
+                    Token::Lt => FilterOp::Lt(v),
+                    Token::Le => FilterOp::Le(v),
+                    Token::Gt => FilterOp::Gt(v),
+                    _ => FilterOp::Ge(v),
+                };
+                query.filters.push(FilterPredicate { column: left, op });
                 Ok(())
             }
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("in") => {
@@ -159,7 +199,7 @@ impl Parser {
                 Ok(())
             }
             Some(t) => Err(self.error(format!(
-                "expected '=', '<>', IN, or BETWEEN, found {}",
+                "expected '=', '<>', a comparison, IN, or BETWEEN, found {}",
                 t.describe()
             ))),
             None => Err(self.error("expected a predicate operator, found end of input")),
@@ -240,6 +280,56 @@ mod tests {
         assert_eq!(q.filters[1].op, FilterOp::NotEquals(7));
         assert_eq!(q.filters[2].op, FilterOp::In(vec![1, 2, 3]));
         assert_eq!(q.filters[3].op, FilterOp::Between(10, 20));
+    }
+
+    #[test]
+    fn parses_comparison_filters() {
+        let q = parse(
+            "SELECT COUNT(*) FROM t \
+             WHERE t.a < 5 AND t.b <= 6 AND t.c > 7 AND t.d >= 8",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 4);
+        assert_eq!(q.filters[0].op, FilterOp::Lt(5));
+        assert_eq!(q.filters[1].op, FilterOp::Le(6));
+        assert_eq!(q.filters[2].op, FilterOp::Gt(7));
+        assert_eq!(q.filters[3].op, FilterOp::Ge(8));
+    }
+
+    #[test]
+    fn parses_band_join() {
+        let q = parse("SELECT COUNT(*) FROM r, s WHERE ABS(r.a - s.b) <= 3").unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].left.to_string(), "r.a");
+        assert_eq!(q.joins[0].right.to_string(), "s.b");
+        assert_eq!(q.joins[0].band, Some(3));
+        // Mixes with other predicate shapes.
+        let q = parse(
+            "select count(*) from r, s \
+             where abs(r.a - s.b) <= 0 and r.a between 1 and 9",
+        )
+        .unwrap();
+        assert_eq!(q.joins[0].band, Some(0));
+        assert_eq!(q.filters[0].op, FilterOp::Between(1, 9));
+    }
+
+    #[test]
+    fn malformed_band_joins_rejected() {
+        for sql in [
+            "SELECT COUNT(*) FROM r, s WHERE ABS(r.a - s.b) < 3", // strict < unsupported
+            "SELECT COUNT(*) FROM r, s WHERE ABS(r.a + s.b) <= 3",
+            "SELECT COUNT(*) FROM r, s WHERE ABS(r.a - s.b) <= s.c",
+            "SELECT COUNT(*) FROM r, s WHERE ABS(r.a - 5) <= 3",
+            "SELECT COUNT(*) FROM r, s WHERE ABS r.a - s.b <= 3",
+        ] {
+            assert!(parse(sql).is_err(), "{sql} parsed");
+        }
+    }
+
+    #[test]
+    fn comparison_filters_require_number_rhs() {
+        assert!(parse("SELECT COUNT(*) FROM t, s WHERE t.a < s.b").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WHERE t.a >= ").is_err());
     }
 
     #[test]

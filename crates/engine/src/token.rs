@@ -24,6 +24,16 @@ pub enum Token {
     Eq,
     /// `<>` or `!=`
     Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-`
+    Minus,
 }
 
 impl Token {
@@ -39,6 +49,11 @@ impl Token {
             Token::Star => "'*'".into(),
             Token::Eq => "'='".into(),
             Token::Neq => "'<>'".into(),
+            Token::Lt => "'<'".into(),
+            Token::Le => "'<='".into(),
+            Token::Gt => "'>'".into(),
+            Token::Ge => "'>='".into(),
+            Token::Minus => "'-'".into(),
         }
     }
 }
@@ -76,16 +91,32 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Eq);
                 i += 1;
             }
-            '<' => {
-                if bytes.get(i + 1) == Some(&b'>') {
+            '<' => match bytes.get(i + 1) {
+                Some(&b'>') => {
                     tokens.push(Token::Neq);
                     i += 2;
-                } else {
-                    return Err(EngineError::Lex {
-                        position: i,
-                        message: "expected '<>' (only equality predicates are supported)".into(),
-                    });
                 }
+                Some(&b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
@@ -158,8 +189,27 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(matches!(tokenize("a $ b"), Err(EngineError::Lex { .. })));
-        assert!(matches!(tokenize("a < b"), Err(EngineError::Lex { .. })));
         assert!(matches!(tokenize("a ! b"), Err(EngineError::Lex { .. })));
+    }
+
+    #[test]
+    fn comparison_spellings() {
+        assert_eq!(tokenize("<").unwrap(), vec![Token::Lt]);
+        assert_eq!(tokenize("<=").unwrap(), vec![Token::Le]);
+        assert_eq!(tokenize(">").unwrap(), vec![Token::Gt]);
+        assert_eq!(tokenize(">=").unwrap(), vec![Token::Ge]);
+        assert_eq!(tokenize("-").unwrap(), vec![Token::Minus]);
+        // Maximal munch: `<=` is one token, not `<` then `=`.
+        assert_eq!(
+            tokenize("t.a <= 5").unwrap(),
+            vec![
+                Token::Ident("t".into()),
+                Token::Dot,
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Number(5),
+            ]
+        );
     }
 
     #[test]

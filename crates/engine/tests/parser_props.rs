@@ -5,25 +5,17 @@ use engine::ast::{FilterOp, Query};
 use engine::parser::parse;
 use proptest::prelude::*;
 
-/// Renders a structurally valid query back to SQL text.
+/// Renders a structurally valid query back to SQL text. The predicate
+/// `Display` impls produce exactly the parser's grammar, for every
+/// shape (equality, band join, comparisons, IN, BETWEEN).
 fn render(q: &Query) -> String {
     let mut out = format!("SELECT COUNT(*) FROM {}", q.tables.join(", "));
     let mut preds: Vec<String> = Vec::new();
     for j in &q.joins {
-        preds.push(format!("{} = {}", j.left, j.right));
+        preds.push(j.to_string());
     }
     for f in &q.filters {
-        let p = match &f.op {
-            FilterOp::Equals(v) => format!("{} = {v}", f.column),
-            FilterOp::NotEquals(v) => format!("{} <> {v}", f.column),
-            FilterOp::In(vs) => format!(
-                "{} IN ({})",
-                f.column,
-                vs.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
-            ),
-            FilterOp::Between(lo, hi) => format!("{} BETWEEN {lo} AND {hi}", f.column),
-        };
-        preds.push(p);
+        preds.push(f.to_string());
     }
     if !preds.is_empty() {
         out.push_str(" WHERE ");
@@ -35,7 +27,7 @@ fn render(q: &Query) -> String {
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not reserved", |s| {
         ![
-            "select", "count", "from", "where", "and", "in", "between", "not",
+            "select", "count", "from", "where", "and", "in", "between", "not", "abs",
         ]
         .contains(&s.as_str())
     })
@@ -65,8 +57,13 @@ fn query_strategy() -> impl Strategy<Value = Query> {
                 .map(|i| {
                     let l = tables[i].clone();
                     let r = tables[i + 1].clone();
-                    (column_ref(l), column_ref(r))
-                        .prop_map(|(left, right)| engine::ast::JoinPredicate { left, right })
+                    (column_ref(l), column_ref(r), any::<bool>(), 0u64..1000).prop_map(
+                        |(left, right, is_band, w)| engine::ast::JoinPredicate {
+                            left,
+                            right,
+                            band: is_band.then_some(w),
+                        },
+                    )
                 })
                 .collect();
             let filters = prop::collection::vec(
@@ -97,6 +94,17 @@ fn query_strategy() -> impl Strategy<Value = Query> {
                             op: FilterOp::Between(a.min(b) as u64, a.max(b) as u64),
                         }
                     ),
+                    (column_ref(t0.clone()), any::<u32>(), 0usize..4).prop_map(|(c, v, which)| {
+                        engine::ast::FilterPredicate {
+                            column: c,
+                            op: match which {
+                                0 => FilterOp::Lt(v as u64),
+                                1 => FilterOp::Le(v as u64),
+                                2 => FilterOp::Gt(v as u64),
+                                _ => FilterOp::Ge(v as u64),
+                            },
+                        }
+                    }),
                 ],
                 0..4,
             );

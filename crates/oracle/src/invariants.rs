@@ -19,10 +19,11 @@
 //! | `theorem_2_1_chain_product_matches_execution` | Theorem 2.1: matrix product = executed chain size |
 //! | `cache_transparent` | §4–§6 practicality: the estimation cache is invisible — cached ≡ brute-force at every epoch |
 //! | `tracing_transparent` | §4–§6 practicality: the flight recorder only observes — recorder on ≡ recorder off, bit for bit |
+//! | `range_band_matches_execution` | value-carrying buckets: range / BETWEEN / band-join estimates equal executed counts with β = M statistics, stay inside `[0, |R|]` (`[0, |R|·|S|]` for bands) at every budget, and point BETWEEN is bit-for-bit the equality path |
 
 use crate::exact;
 use crate::report::CheckReport;
-use crate::workload::Workload;
+use crate::workload::{Tier, Workload};
 use query::model::{ChainQuery, RelationStats};
 use relstore::catalog::StatKey;
 use relstore::codec::{decode_catalog, encode_catalog};
@@ -1105,6 +1106,330 @@ pub fn check_theorem_2_1_chain_product_matches_execution(w: &Workload) -> CheckR
     )
 }
 
+/// Exact tuple count of the filter `pred` over a frequency-annotated
+/// domain — the integer ground truth every range estimate is held to.
+fn exact_filter_count(values: &[u64], freqs: &[u64], pred: impl Fn(u64) -> bool) -> u64 {
+    values
+        .iter()
+        .zip(freqs)
+        .filter(|&(&v, _)| pred(v))
+        .map(|(_, &f)| f)
+        .sum()
+}
+
+/// Exact pair count of the band join `|x − y| ≤ w` between two
+/// relations sharing one frequency-annotated domain.
+fn exact_band_count(values: &[u64], freqs: &[u64], w: u64) -> u64 {
+    let mut total = 0u64;
+    for (i, &v) in values.iter().enumerate() {
+        for (j, &u) in values.iter().enumerate() {
+            if v.abs_diff(u) <= w {
+                total += freqs[i] * freqs[j];
+            }
+        }
+    }
+    total
+}
+
+/// The value-carrying-buckets claim, end to end: with per-value-exact
+/// statistics (β = M, every bucket a singleton span) the engine's
+/// range, BETWEEN, and band-join estimates equal the counts the engine
+/// *executes* — overlap-ratio interpolation is exact when buckets are
+/// point masses. The check also pins three contracts that hold at
+/// every budget, not just β = M:
+///
+/// * `BETWEEN c AND c` normalises to the equality path bit for bit —
+///   same estimate bits, same [`engine::StatsUse`] trail;
+/// * every range-shaped lookup reports its full predicate form as the
+///   `StatsUse` target (so a trail never hides *which* range was
+///   estimated);
+/// * sanity: `0 ≤ est ≤ |R|` for filters and `0 ≤ est ≤ |R|·|S|` for
+///   band joins, with pooled-bucket budgets swept too under the
+///   thorough tier, where interval widening must never shrink an
+///   estimate.
+///
+/// Domains are spread (`v ↦ 3v + 1`, small sets `5v + 2`) so buckets
+/// have genuine gaps between them: an estimator that interpolated over
+/// the gap — or dropped the `+1` of the integer embedding — fails.
+pub fn check_range_band_matches_execution(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_range_band");
+    let mut cases = 0;
+    let mut failures = Vec::new();
+
+    // Part 1: range and BETWEEN filters on the medium sets, singleton
+    // buckets, executed and estimated through the SQL engine.
+    for (idx, set) in w.medium_sets.iter().enumerate() {
+        let (indices, nz) = nonzero_domain(set.freqs.as_slice());
+        if indices.len() < 2 {
+            continue;
+        }
+        cases += 1;
+        let values: Vec<u64> = indices.iter().map(|&i| i * 3 + 1).collect();
+        let n = values.len();
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        let rows = freq_set.total() as f64;
+        let case = format!("{} (range)", set.name);
+        let mut engine = engine::Engine::new();
+        match relation_from_frequencies("l", "a", &values, &freq_set, w.subseed(4000 + idx as u64))
+        {
+            Ok(rel) => engine.register(rel),
+            Err(e) => {
+                push_fail(&mut failures, format!("{case}: relation build failed: {e}"));
+                continue;
+            }
+        }
+        if let Err(e) = engine.analyze_all_with(BuilderSpec::VOptEndBiased(n)) {
+            push_fail(&mut failures, format!("{case}: ANALYZE failed: {e}"));
+            continue;
+        }
+        let c = values[n / 2];
+        let (lo, hi) = (values[n / 4], values[3 * n / 4]);
+        let probes: Vec<(String, u64)> = vec![
+            (
+                format!("l.a < {c}"),
+                exact_filter_count(&values, &nz, |v| v < c),
+            ),
+            (
+                format!("l.a <= {c}"),
+                exact_filter_count(&values, &nz, |v| v <= c),
+            ),
+            (
+                format!("l.a > {c}"),
+                exact_filter_count(&values, &nz, |v| v > c),
+            ),
+            (
+                format!("l.a >= {c}"),
+                exact_filter_count(&values, &nz, |v| v >= c),
+            ),
+            (
+                format!("l.a BETWEEN {lo} AND {hi}"),
+                exact_filter_count(&values, &nz, |v| lo <= v && v <= hi),
+            ),
+        ];
+        for (pred, exact_count) in &probes {
+            let sql = format!("SELECT COUNT(*) FROM l WHERE {pred}");
+            let q = match engine.parse(&sql) {
+                Ok(q) => q,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{case}: parse '{sql}' failed: {e}"));
+                    continue;
+                }
+            };
+            match engine.execute(&q) {
+                Ok(executed) if executed == u128::from(*exact_count) => {}
+                Ok(executed) => push_fail(
+                    &mut failures,
+                    format!("{case}: '{pred}' executed {executed} ≠ ground truth {exact_count}"),
+                ),
+                Err(e) => push_fail(&mut failures, format!("{case}: execute '{pred}': {e}")),
+            }
+            match engine.estimate_with_sources(&q) {
+                Ok((est, sources)) => {
+                    if !approx_eq(est, *exact_count as f64) {
+                        push_fail(
+                            &mut failures,
+                            format!("{case}: '{pred}' β=M estimate {est} ≠ executed {exact_count}"),
+                        );
+                    }
+                    if !(0.0..=rows * (1.0 + 1e-9)).contains(&est) {
+                        push_fail(
+                            &mut failures,
+                            format!("{case}: '{pred}' estimate {est} outside [0, |R|={rows}]"),
+                        );
+                    }
+                    if sources.len() != 1 || sources[0].target != *pred {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case}: '{pred}' StatsUse trail {sources:?} does not name \
+                                 the predicate form"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => push_fail(&mut failures, format!("{case}: estimate '{pred}': {e}")),
+            }
+        }
+        // Point BETWEEN is the equality path, bit for bit.
+        let point_sqls = [
+            format!("SELECT COUNT(*) FROM l WHERE l.a = {c}"),
+            format!("SELECT COUNT(*) FROM l WHERE l.a BETWEEN {c} AND {c}"),
+        ];
+        let results: Vec<_> = point_sqls
+            .iter()
+            .map(|sql| {
+                engine
+                    .parse(sql)
+                    .and_then(|q| engine.estimate_with_sources(&q))
+            })
+            .collect();
+        match (&results[0], &results[1]) {
+            (Ok((eq, eq_src)), Ok((pt, pt_src))) => {
+                if eq.to_bits() != pt.to_bits() {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{case}: BETWEEN {c} AND {c} estimated {pt}, not bit-identical \
+                             to '= {c}' estimate {eq}"
+                        ),
+                    );
+                }
+                if eq_src != pt_src {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{case}: point BETWEEN left trail {pt_src:?}, equality left \
+                             {eq_src:?} — normalisation leaked into the StatsUse trail"
+                        ),
+                    );
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                push_fail(&mut failures, format!("{case}: point probe failed: {e}"));
+            }
+        }
+
+        // Part 2 (thorough tier): pooled-bucket budgets. Interpolated
+        // estimates are approximations now, but they must stay inside
+        // [0, |R|] and widening the interval must never shrink them.
+        if w.tier == Tier::Thorough {
+            for beta in betas_for(w, n) {
+                cases += 1;
+                let case = format!("{} (pooled β={beta})", set.name);
+                if let Err(e) = engine.analyze_all_with(BuilderSpec::VOptEndBiased(beta)) {
+                    push_fail(&mut failures, format!("{case}: re-ANALYZE failed: {e}"));
+                    continue;
+                }
+                let mut widening = Vec::new();
+                for (a, b) in [(lo, hi), (values[0], values[n - 1])] {
+                    let sql = format!("SELECT COUNT(*) FROM l WHERE l.a BETWEEN {a} AND {b}");
+                    match engine.parse(&sql).and_then(|q| engine.estimate(&q)) {
+                        Ok(est) => {
+                            if !(0.0..=rows * (1.0 + 1e-9)).contains(&est) {
+                                push_fail(
+                                    &mut failures,
+                                    format!(
+                                        "{case}: BETWEEN {a} AND {b} estimate {est} outside \
+                                         [0, |R|={rows}]"
+                                    ),
+                                );
+                            }
+                            widening.push(est);
+                        }
+                        Err(e) => push_fail(&mut failures, format!("{case}: '{sql}': {e}")),
+                    }
+                }
+                if let [narrow, wide] = widening[..] {
+                    if narrow > wide * (1.0 + 1e-9) + 1e-9 {
+                        push_fail(
+                            &mut failures,
+                            format!("{case}: widening shrank the estimate {narrow} -> {wide}"),
+                        );
+                    }
+                }
+            }
+            // Restore β = M statistics for any later probes.
+            let _ = engine.analyze_all_with(BuilderSpec::VOptEndBiased(n));
+        }
+    }
+
+    // Part 3: band joins on the small sets (pair counts stay tiny, so
+    // full execution is affordable at every width up to the whole
+    // domain span), singleton buckets throughout.
+    for (idx, set) in w.small_sets.iter().enumerate() {
+        let (indices, nz) = nonzero_domain(set.freqs.as_slice());
+        if indices.len() < 2 {
+            continue;
+        }
+        cases += 1;
+        let values: Vec<u64> = indices.iter().map(|&i| i * 5 + 2).collect();
+        let n = values.len();
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        let rows = freq_set.total() as f64;
+        let case = format!("{} (band)", set.name);
+        let mut engine = engine::Engine::new();
+        let mut registered = true;
+        for (name, sub) in [("l", 5000 + 2 * idx as u64), ("r", 5001 + 2 * idx as u64)] {
+            match relation_from_frequencies(name, "a", &values, &freq_set, w.subseed(sub)) {
+                Ok(rel) => engine.register(rel),
+                Err(e) => {
+                    push_fail(&mut failures, format!("{case}: relation build failed: {e}"));
+                    registered = false;
+                }
+            }
+        }
+        if !registered {
+            continue;
+        }
+        if let Err(e) = engine.analyze_all_with(BuilderSpec::VOptEndBiased(n)) {
+            push_fail(&mut failures, format!("{case}: ANALYZE failed: {e}"));
+            continue;
+        }
+        let span = values[n - 1] - values[0];
+        let mut last_est = 0.0f64;
+        for width in [0, 2, 5, 7, span] {
+            let exact_count = exact_band_count(&values, &nz, width);
+            let pred = format!("abs(l.a - r.a) <= {width}");
+            let sql = format!("SELECT COUNT(*) FROM l, r WHERE {pred}");
+            let q = match engine.parse(&sql) {
+                Ok(q) => q,
+                Err(e) => {
+                    push_fail(&mut failures, format!("{case}: parse '{sql}' failed: {e}"));
+                    continue;
+                }
+            };
+            match engine.execute(&q) {
+                Ok(executed) if executed == u128::from(exact_count) => {}
+                Ok(executed) => push_fail(
+                    &mut failures,
+                    format!("{case}: '{pred}' executed {executed} ≠ ground truth {exact_count}"),
+                ),
+                Err(e) => push_fail(&mut failures, format!("{case}: execute '{pred}': {e}")),
+            }
+            match engine.estimate_with_sources(&q) {
+                Ok((est, sources)) => {
+                    if !approx_eq(est, exact_count as f64) {
+                        push_fail(
+                            &mut failures,
+                            format!("{case}: '{pred}' β=M estimate {est} ≠ executed {exact_count}"),
+                        );
+                    }
+                    if !(0.0..=rows * rows * (1.0 + 1e-9)).contains(&est) {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case}: '{pred}' estimate {est} outside [0, |R|·|S|={}]",
+                                rows * rows
+                            ),
+                        );
+                    }
+                    if est + 1e-9 < last_est {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case}: widening the band to {width} shrank the estimate \
+                                 {last_est} -> {est}"
+                            ),
+                        );
+                    }
+                    last_est = est;
+                    if !sources.iter().any(|s| s.target == pred) {
+                        push_fail(
+                            &mut failures,
+                            format!(
+                                "{case}: '{pred}' StatsUse trail {sources:?} does not name \
+                                 the band predicate"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => push_fail(&mut failures, format!("{case}: estimate '{pred}': {e}")),
+            }
+        }
+    }
+    CheckReport::from_failures("range_band_matches_execution", cases, failures)
+}
+
 /// Runs every invariant check, in [`crate::report::EXPECTED_CHECKS`]
 /// order.
 pub fn run_all(w: &Workload) -> Vec<CheckReport> {
@@ -1120,6 +1445,7 @@ pub fn run_all(w: &Workload) -> Vec<CheckReport> {
         check_theorem_2_1_chain_product_matches_execution(w),
         check_cache_transparent(w),
         check_tracing_transparent(w),
+        check_range_band_matches_execution(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {

@@ -13,7 +13,7 @@ use serde::{Serialize, Serializer};
 /// any of these names — or reporting one with zero cases — fails
 /// validation, so commenting out a check is a detected failure, not a
 /// silent gap.
-pub const EXPECTED_CHECKS: [&str; 10] = [
+pub const EXPECTED_CHECKS: [&str; 11] = [
     "serial_dp_matches_exhaustive_optimum",
     "theorem_3_3_v_optimal_minimizes_sigma",
     "query_independence_self_join_optimum",
@@ -24,6 +24,7 @@ pub const EXPECTED_CHECKS: [&str; 10] = [
     "theorem_2_1_chain_product_matches_execution",
     "cache_transparent",
     "tracing_transparent",
+    "range_band_matches_execution",
 ];
 
 /// Every fault-injection scenario a selftest run must execute, under the

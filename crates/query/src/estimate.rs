@@ -11,6 +11,7 @@
 
 use crate::selection::Selection;
 use relstore::StoredHistogram;
+use vopt_hist::interp::{band_fraction, overlap_fraction};
 
 /// Estimates the size of a 2-way equality join from the two relations'
 /// stored histograms.
@@ -39,6 +40,50 @@ pub fn estimate_self_join(hist: &StoredHistogram, domain: &[u64]) -> f64 {
 /// Estimates an equality selection `a = value` from a stored histogram.
 pub fn estimate_equality(hist: &StoredHistogram, value: u64) -> f64 {
     hist.approx_frequency(value) as f64
+}
+
+/// Estimates a range selection from a stored histogram's value-carrying
+/// buckets: each bucket contributes its tuple mass (`average ×
+/// distinct`) scaled by the fraction of its value span inside the
+/// continuous query interval `[q_lo, q_hi)` (see
+/// [`crate::Predicate::interval`] for the predicate → interval
+/// mapping). All interpolation arithmetic lives in
+/// `vopt_hist::interp` — this is just the Σ over buckets.
+///
+/// Exact whenever every bucket is a singleton span; always in
+/// `[0, Σ average × distinct]` because the fraction is clamped to
+/// `[0, 1]`.
+pub fn estimate_range(hist: &StoredHistogram, q_lo: f64, q_hi: f64) -> f64 {
+    hist.bucket_avgs()
+        .iter()
+        .zip(hist.bounds())
+        .map(|(&avg, bounds)| {
+            avg as f64 * bounds.distinct as f64 * overlap_fraction(bounds, q_lo, q_hi)
+        })
+        .sum()
+}
+
+/// Estimates the size of a band join `|R.a − S.b| <= w` from the two
+/// relations' stored histograms: every bucket pair contributes the
+/// product of its tuple masses scaled by the fraction of value pairs
+/// within the band (the histogram-overlap algebra of inequality-join
+/// estimation; point-mass bucket pairs are answered exactly).
+pub fn estimate_band_join(left: &StoredHistogram, right: &StoredHistogram, w: u64) -> f64 {
+    let mut total = 0.0;
+    for (&l_avg, l_bounds) in left.bucket_avgs().iter().zip(left.bounds()) {
+        let l_mass = l_avg as f64 * l_bounds.distinct as f64;
+        if l_mass == 0.0 {
+            continue;
+        }
+        for (&r_avg, r_bounds) in right.bucket_avgs().iter().zip(right.bounds()) {
+            let r_mass = r_avg as f64 * r_bounds.distinct as f64;
+            if r_mass == 0.0 {
+                continue;
+            }
+            total += l_mass * r_mass * band_fraction(l_bounds, r_bounds, w);
+        }
+    }
+    total
 }
 
 /// Estimates a general selection over an explicit domain: the predicate
@@ -125,5 +170,55 @@ mod tests {
     fn empty_domain_gives_zero() {
         let s = stored();
         assert_eq!(estimate_self_join(&s, &[]), 0.0);
+    }
+
+    /// All-singleton buckets: one per value 0..5.
+    fn stored_singletons() -> StoredHistogram {
+        let freqs = [100u64, 40, 30, 20, 10];
+        let hist = v_opt_end_biased(&freqs, 5).unwrap().histogram;
+        StoredHistogram::from_histogram(&[0, 1, 2, 3, 4], &hist).unwrap()
+    }
+
+    #[test]
+    fn range_estimate_exact_on_singleton_buckets() {
+        let s = stored_singletons();
+        // BETWEEN 1 AND 3 ↦ [1, 4): exactly values 1, 2, 3.
+        assert!((estimate_range(&s, 1.0, 4.0) - 90.0).abs() < 1e-9);
+        // > 2 ↦ [3, +∞): values 3, 4.
+        assert!((estimate_range(&s, 3.0, f64::INFINITY) - 30.0).abs() < 1e-9);
+        // < 1 ↦ (−∞, 1): value 0 only.
+        assert!((estimate_range(&s, f64::NEG_INFINITY, 1.0) - 100.0).abs() < 1e-9);
+        // Whole line: every tuple.
+        assert!((estimate_range(&s, f64::NEG_INFINITY, f64::INFINITY) - 200.0).abs() < 1e-9);
+        // Disjoint interval: nothing.
+        assert_eq!(estimate_range(&s, 50.0, 60.0), 0.0);
+    }
+
+    #[test]
+    fn range_estimate_interpolates_pooled_buckets() {
+        let s = stored();
+        // Buckets: {0}→100, {1,2,3}→avg 30 spanning [1, 4), {4}→10.
+        // Interval [1, 2.5) covers half of the pooled span: 3·30·0.5.
+        let est = estimate_range(&s, 1.0, 2.5);
+        assert!((est - 45.0).abs() < 1e-9, "{est}");
+    }
+
+    #[test]
+    fn band_join_exact_on_singleton_buckets() {
+        let s = stored_singletons();
+        // w = 0 band self-join == equality self-join.
+        let band = estimate_band_join(&s, &s, 0);
+        let eq = estimate_self_join(&s, &(0..5).collect::<Vec<_>>());
+        assert!((band - eq).abs() < 1e-9, "{band} vs {eq}");
+        // w large enough to cover everything: (Σ f)².
+        let all = estimate_band_join(&s, &s, 10);
+        assert!((all - 200.0 * 200.0).abs() < 1e-9);
+        // Widening the band never shrinks the estimate.
+        let mut last = 0.0;
+        for w in 0..10 {
+            let est = estimate_band_join(&s, &s, w);
+            assert!(est + 1e-9 >= last, "w={w} shrank");
+            last = est;
+        }
     }
 }

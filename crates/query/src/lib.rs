@@ -9,6 +9,10 @@
 //!   estimator an optimizer would actually call.
 //! * [`selection`] — equality, IN, NOT-EQUALS, and range selections
 //!   encoded as indicator vectors, as in §2.2 and §6.
+//! * [`predicate`] — value-level predicates (`=`, `<>`, `IN`, `<`,
+//!   `<=`, `>`, `>=`, `BETWEEN`): equality shapes lower to the
+//!   indicator path bit-for-bit; range shapes carry a continuous query
+//!   interval for overlap-ratio interpolation.
 //! * [`montecarlo`] — expectation over arrangements (§3.2): the engine
 //!   behind the paper's v-optimality experiments and behind the
 //!   Theorem 3.2 check `E[S − S'] = 0`.
@@ -27,8 +31,10 @@ pub mod metrics;
 pub mod model;
 pub mod montecarlo;
 pub mod planner;
+pub mod predicate;
 pub mod selection;
 pub mod tree;
 
 pub use error::{QueryError, Result};
 pub use model::{ChainQuery, RelationStats};
+pub use predicate::Predicate;

@@ -1,0 +1,189 @@
+//! Value-level filter predicates: the vocabulary estimation dispatches
+//! on.
+//!
+//! [`crate::selection::Selection`] speaks *indices* into an explicit
+//! domain — the paper's indicator-vector formulation, which only
+//! expresses predicates as enumerated value sets. [`Predicate`] speaks
+//! domain *values* and adds the comparison shapes (`<`, `<=`, `>`,
+//! `>=`, `BETWEEN`) that interpolation answers without enumerating
+//! anything. Equality-shaped predicates lower to the existing indicator
+//! path bit-for-bit ([`Predicate::lower_to_selection`]); range-shaped
+//! predicates expose their continuous query interval
+//! ([`Predicate::interval`]) for the overlap-ratio estimator in
+//! [`crate::estimate::estimate_range`].
+
+use crate::selection::Selection;
+
+/// A filter predicate over the values of one attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `a = c`.
+    Equals(u64),
+    /// `a <> c`.
+    NotEquals(u64),
+    /// `a IN (c₁, c₂, …)`.
+    In(Vec<u64>),
+    /// `a < c`.
+    Lt(u64),
+    /// `a <= c`.
+    Le(u64),
+    /// `a > c`.
+    Gt(u64),
+    /// `a >= c`.
+    Ge(u64),
+    /// `a BETWEEN lo AND hi` (inclusive on both ends).
+    Between(u64, u64),
+}
+
+impl Predicate {
+    /// Whether a concrete value satisfies the predicate — the executable
+    /// semantics every estimate is checked against.
+    pub fn matches(&self, v: u64) -> bool {
+        match self {
+            Predicate::Equals(c) => v == *c,
+            Predicate::NotEquals(c) => v != *c,
+            Predicate::In(cs) => cs.contains(&v),
+            Predicate::Lt(c) => v < *c,
+            Predicate::Le(c) => v <= *c,
+            Predicate::Gt(c) => v > *c,
+            Predicate::Ge(c) => v >= *c,
+            Predicate::Between(lo, hi) => v >= *lo && v <= *hi,
+        }
+    }
+
+    /// Canonical form: `BETWEEN c AND c` collapses to `= c` so a point
+    /// interval takes the equality path (bit-for-bit), never the
+    /// interpolation path.
+    pub fn normalize(self) -> Predicate {
+        match self {
+            Predicate::Between(lo, hi) if lo == hi => Predicate::Equals(lo),
+            other => other,
+        }
+    }
+
+    /// Whether the predicate is answered by interval interpolation
+    /// (after [`Predicate::normalize`]) rather than the equality path.
+    pub fn is_range_shaped(&self) -> bool {
+        self.interval().is_some()
+    }
+
+    /// The continuous query interval `[lo, hi)` of a range-shaped
+    /// predicate, under the integer embedding `[a, b] ↦ [a, b + 1)`:
+    ///
+    /// * `a < c`  → `(−∞, c)`
+    /// * `a <= c` → `(−∞, c + 1)`
+    /// * `a > c`  → `[c + 1, +∞)`
+    /// * `a >= c` → `[c, +∞)`
+    /// * `a BETWEEN lo AND hi` → `[lo, hi + 1)`
+    ///
+    /// Equality-shaped predicates (`=`, `<>`, `IN`) return `None`: they
+    /// keep the exact per-value path.
+    pub fn interval(&self) -> Option<(f64, f64)> {
+        match *self {
+            Predicate::Lt(c) => Some((f64::NEG_INFINITY, c as f64)),
+            Predicate::Le(c) => Some((f64::NEG_INFINITY, c as f64 + 1.0)),
+            Predicate::Gt(c) => Some((c as f64 + 1.0, f64::INFINITY)),
+            Predicate::Ge(c) => Some((c as f64, f64::INFINITY)),
+            Predicate::Between(lo, hi) => Some((lo as f64, hi as f64 + 1.0)),
+            Predicate::Equals(_) | Predicate::NotEquals(_) | Predicate::In(_) => None,
+        }
+    }
+
+    /// Lowers an equality-shaped predicate onto an explicit sorted
+    /// domain as an index-based [`Selection`] — exactly the indicator
+    /// the pre-predicate code built, so estimates stay bit-identical.
+    /// Returns `None` for range-shaped predicates (they do not
+    /// enumerate) and for constants outside the domain where the
+    /// indicator formulation has no index to point at.
+    pub fn lower_to_selection(&self, domain: &[u64]) -> Option<Selection> {
+        let index_of = |c: u64| domain.binary_search(&c).ok();
+        match self {
+            Predicate::Equals(c) => index_of(*c).map(Selection::Equals),
+            Predicate::NotEquals(c) => index_of(*c).map(Selection::NotEquals),
+            Predicate::In(cs) => {
+                let indices: Vec<usize> = cs.iter().filter_map(|&c| index_of(c)).collect();
+                Some(Selection::In(indices))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_agrees_with_shapes() {
+        assert!(Predicate::Lt(5).matches(4) && !Predicate::Lt(5).matches(5));
+        assert!(Predicate::Le(5).matches(5) && !Predicate::Le(5).matches(6));
+        assert!(Predicate::Gt(5).matches(6) && !Predicate::Gt(5).matches(5));
+        assert!(Predicate::Ge(5).matches(5) && !Predicate::Ge(5).matches(4));
+        assert!(Predicate::Between(2, 4).matches(2));
+        assert!(Predicate::Between(2, 4).matches(4));
+        assert!(!Predicate::Between(2, 4).matches(5));
+        assert!(Predicate::In(vec![1, 9]).matches(9));
+        assert!(!Predicate::In(vec![1, 9]).matches(5));
+    }
+
+    #[test]
+    fn point_between_normalizes_to_equality() {
+        assert_eq!(Predicate::Between(7, 7).normalize(), Predicate::Equals(7));
+        assert_eq!(
+            Predicate::Between(7, 9).normalize(),
+            Predicate::Between(7, 9)
+        );
+        assert!(!Predicate::Between(7, 7).normalize().is_range_shaped());
+    }
+
+    #[test]
+    fn intervals_follow_integer_embedding() {
+        assert_eq!(Predicate::Lt(5).interval(), Some((f64::NEG_INFINITY, 5.0)));
+        assert_eq!(Predicate::Le(5).interval(), Some((f64::NEG_INFINITY, 6.0)));
+        assert_eq!(Predicate::Gt(5).interval(), Some((6.0, f64::INFINITY)));
+        assert_eq!(Predicate::Ge(5).interval(), Some((5.0, f64::INFINITY)));
+        assert_eq!(Predicate::Between(2, 4).interval(), Some((2.0, 5.0)));
+        assert_eq!(Predicate::Equals(5).interval(), None);
+        assert_eq!(Predicate::NotEquals(5).interval(), None);
+        assert_eq!(Predicate::In(vec![1]).interval(), None);
+    }
+
+    #[test]
+    fn interval_membership_matches_predicate_semantics() {
+        // For every range shape, integer v satisfies the predicate iff
+        // v lands inside the continuous interval.
+        let preds = [
+            Predicate::Lt(5),
+            Predicate::Le(5),
+            Predicate::Gt(5),
+            Predicate::Ge(5),
+            Predicate::Between(3, 8),
+        ];
+        for p in &preds {
+            let (lo, hi) = p.interval().unwrap();
+            for v in 0u64..12 {
+                let inside = (v as f64) >= lo && (v as f64) < hi;
+                assert_eq!(inside, p.matches(v), "{p:?} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_shapes_lower_to_indicator_selections() {
+        let domain = [10u64, 20, 30, 40];
+        assert_eq!(
+            Predicate::Equals(30).lower_to_selection(&domain),
+            Some(Selection::Equals(2))
+        );
+        assert_eq!(
+            Predicate::NotEquals(10).lower_to_selection(&domain),
+            Some(Selection::NotEquals(0))
+        );
+        assert_eq!(
+            Predicate::In(vec![20, 40, 99]).lower_to_selection(&domain),
+            Some(Selection::In(vec![1, 3]))
+        );
+        assert_eq!(Predicate::Equals(99).lower_to_selection(&domain), None);
+        assert_eq!(Predicate::Between(10, 30).lower_to_selection(&domain), None);
+    }
+}

@@ -2,11 +2,13 @@
 
 use freqdist::{FreqMatrix, FrequencySet};
 use proptest::prelude::*;
+use query::estimate::{estimate_equality, estimate_range};
 use query::metrics::{mean_error, SizeSample};
 use query::montecarlo::{sample_chain, sample_self_join, HistogramSpec, RelationSpec};
 use query::selection::Selection;
-use query::{ChainQuery, RelationStats};
-use vopt_hist::construct::v_opt_serial_dp;
+use query::{ChainQuery, Predicate, RelationStats};
+use relstore::catalog::StoredHistogram;
+use vopt_hist::construct::{v_opt_end_biased, v_opt_serial_dp};
 use vopt_hist::RoundingMode;
 
 fn freqs_strategy(max: usize) -> impl Strategy<Value = Vec<u64>> {
@@ -116,5 +118,71 @@ proptest! {
         if (exact - estimate).abs() < f64::EPSILON {
             prop_assert!(s.relative_error() < 1e-9);
         }
+    }
+
+    /// Range estimates are monotone in the query interval: widening a
+    /// BETWEEN never shrinks the estimate, for any histogram and any
+    /// random continuous domain. Also pins the sanity band
+    /// `0 <= est <= Σ average×distinct`.
+    #[test]
+    fn range_estimate_monotone_in_interval(
+        freqs in freqs_strategy(12),
+        beta in 1usize..6,
+        a in 0u64..40,
+        b in 0u64..40,
+        widen in 0u64..10,
+    ) {
+        prop_assume!(beta <= freqs.len());
+        // A spread-out value domain so buckets have non-trivial spans.
+        let values: Vec<u64> = (0..freqs.len() as u64).map(|v| v * 3 + 1).collect();
+        let hist = v_opt_end_biased(&freqs, beta).unwrap().histogram;
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (qa, qb) = Predicate::Between(lo, hi).interval().unwrap();
+        let (wa, wb) = Predicate::Between(lo.saturating_sub(widen), hi + widen)
+            .interval()
+            .unwrap();
+        let narrow = estimate_range(&stored, qa, qb);
+        let wide = estimate_range(&stored, wa, wb);
+        prop_assert!(wide + 1e-9 >= narrow, "widening shrank: {narrow} -> {wide}");
+        // Bucket averages are rounded per bucket, so the mass ceiling is
+        // Σ avg×distinct, not Σ freqs.
+        let mass: f64 = stored
+            .bucket_avgs()
+            .iter()
+            .zip(stored.bounds())
+            .map(|(&avg, bd)| avg as f64 * bd.distinct as f64)
+            .sum();
+        prop_assert!(narrow >= 0.0 && narrow <= mass + 1e-6);
+        prop_assert!(wide >= 0.0 && wide <= mass + 1e-6);
+    }
+
+    /// `BETWEEN c AND c` collapses to the equality path under
+    /// normalization and its estimate is bit-identical to a direct
+    /// equality estimate; on all-singleton buckets the interpolation
+    /// path agrees exactly as well.
+    #[test]
+    fn point_between_agrees_with_equality_path(
+        freqs in freqs_strategy(12),
+        c_idx in 0usize..12,
+    ) {
+        prop_assume!(c_idx < freqs.len());
+        let values: Vec<u64> = (0..freqs.len() as u64).map(|v| v * 3 + 1).collect();
+        let c = values[c_idx];
+        let p = Predicate::Between(c, c).normalize();
+        prop_assert_eq!(&p, &Predicate::Equals(c));
+        prop_assert!(!p.is_range_shaped());
+
+        // All-singleton buckets: the interpolation path on [c, c+1)
+        // reproduces the equality estimate exactly, so the two code
+        // paths cannot drift even if normalization were skipped.
+        let n = freqs.len();
+        let hist = v_opt_end_biased(&freqs, n).unwrap().histogram;
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        let eq = estimate_equality(&stored, c);
+        let via_range =
+            estimate_range(&stored, c as f64, c as f64 + 1.0);
+        prop_assert!(eq.to_bits() == via_range.to_bits(),
+            "equality {} vs interpolation {}", eq, via_range);
     }
 }

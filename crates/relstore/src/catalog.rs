@@ -23,7 +23,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vopt_hist::{BuilderSpec, Histogram, MatrixHistogram};
+use vopt_hist::{BuilderSpec, Histogram, MatrixHistogram, ValueBounds};
 
 /// A histogram in the paper's compact catalog layout.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,6 +35,9 @@ pub struct StoredHistogram {
     /// `(domain value, bucket)` for every value outside the default
     /// bucket, sorted by value for binary search.
     exceptions: Vec<(u64, u32)>,
+    /// Per-bucket value span `[lo, hi)` and distinct-count, parallel to
+    /// `bucket_avgs` — what range and band estimation interpolate over.
+    bounds: Vec<ValueBounds>,
 }
 
 impl StoredHistogram {
@@ -67,19 +70,45 @@ impl StoredHistogram {
             })
             .collect();
         exceptions.sort_unstable_by_key(|&(v, _)| v);
+        let bounds = if hist.bounds().len() == hist.num_buckets() {
+            // An ANALYZE-built histogram already carries its spans.
+            hist.bounds().to_vec()
+        } else {
+            // Bounds never attached (raw construction paths): derive
+            // them from the assignment here so every stored histogram
+            // supports range interpolation.
+            let mut bounds = vec![
+                ValueBounds {
+                    lo: u64::MAX,
+                    hi: 0,
+                    distinct: 0,
+                };
+                hist.num_buckets()
+            ];
+            for (i, &v) in values.iter().enumerate() {
+                let bb = &mut bounds[hist.bucket_of(i) as usize];
+                bb.lo = bb.lo.min(v);
+                bb.hi = bb.hi.max(v.saturating_add(1));
+                bb.distinct += 1;
+            }
+            bounds
+        };
         Ok(Self {
             bucket_avgs,
             default_bucket,
             exceptions,
+            bounds,
         })
     }
 
     /// Reassembles a stored histogram from its raw parts (used by the
-    /// binary codec). Validates bucket references and exception order.
+    /// binary codec). Validates bucket references, exception order, and
+    /// that every bucket's value span is well-formed.
     pub fn from_parts(
         bucket_avgs: Vec<u64>,
         default_bucket: u32,
         exceptions: Vec<(u64, u32)>,
+        bounds: Vec<ValueBounds>,
     ) -> Result<Self> {
         let n = bucket_avgs.len();
         if n == 0 {
@@ -104,10 +133,27 @@ impl StoredHistogram {
                 "exception value {v} references bucket {b} out of range 0..{n}"
             )));
         }
+        if bounds.len() != n {
+            return Err(StoreError::InvalidParameter(format!(
+                "{} value spans for {n} buckets",
+                bounds.len()
+            )));
+        }
+        if let Some((b, bb)) = bounds
+            .iter()
+            .enumerate()
+            .find(|(_, bb)| !bb.is_well_formed())
+        {
+            return Err(StoreError::InvalidParameter(format!(
+                "bucket {b} has a malformed value span [{}, {}) with {} distinct",
+                bb.lo, bb.hi, bb.distinct
+            )));
+        }
         Ok(Self {
             bucket_avgs,
             default_bucket,
             exceptions,
+            bounds,
         })
     }
 
@@ -129,6 +175,19 @@ impl StoredHistogram {
     /// Explicitly listed `(value, bucket)` pairs.
     pub fn exceptions(&self) -> &[(u64, u32)] {
         &self.exceptions
+    }
+
+    /// Per-bucket value spans, parallel to [`StoredHistogram::bucket_avgs`].
+    pub fn bounds(&self) -> &[ValueBounds] {
+        &self.bounds
+    }
+
+    /// The value span of bucket `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn bucket_bounds(&self, b: usize) -> &ValueBounds {
+        &self.bounds[b]
     }
 
     /// The approximate frequency of a domain value: the average of its
@@ -551,7 +610,7 @@ impl Catalog {
     }
 
     /// Every per-relation update counter, sorted by relation name.
-    /// Together with the VOHE snapshot bytes this pins the catalog's
+    /// Together with the VOHG snapshot bytes this pins the catalog's
     /// full observable state — the crash-recovery oracle compares both
     /// against the pre- and post-fault committed states.
     pub fn version_snapshot(&self) -> Vec<(String, u64)> {
@@ -587,7 +646,7 @@ impl Catalog {
     /// parallel catalog-wide ANALYZE) run the exact same build as
     /// [`Catalog::analyze`].
     pub fn build_stored(table: &FrequencyTable, spec: BuilderSpec) -> Result<StoredHistogram> {
-        let hist = spec.build(&table.freqs)?;
+        let hist = spec.build_with_values(&table.values, &table.freqs)?;
         StoredHistogram::from_histogram(&table.values, &hist)
     }
 
@@ -749,6 +808,52 @@ mod tests {
     fn mismatched_lengths_rejected() {
         let hist = end_biased(&[1, 2, 3], 1, 0).unwrap();
         assert!(StoredHistogram::from_histogram(&[1, 2], &hist).is_err());
+    }
+
+    #[test]
+    fn from_histogram_derives_bounds_when_unattached() {
+        let freqs = [90u64, 10, 9, 8, 2];
+        let values = [100u64, 200, 300, 400, 500];
+        let hist = end_biased(&freqs, 1, 1).unwrap();
+        let stored = StoredHistogram::from_histogram(&values, &hist).unwrap();
+        assert_eq!(stored.bounds().len(), stored.num_buckets());
+        let total: u64 = stored.bounds().iter().map(|b| b.distinct).sum();
+        assert_eq!(total as usize, values.len());
+        assert!(stored.bounds().iter().all(ValueBounds::is_well_formed));
+        // Attached bounds (the ANALYZE path) must agree exactly.
+        let mut attached = end_biased(&freqs, 1, 1).unwrap();
+        attached.attach_bounds(&values).unwrap();
+        let stored2 = StoredHistogram::from_histogram(&values, &attached).unwrap();
+        assert_eq!(stored, stored2);
+    }
+
+    #[test]
+    fn from_parts_validates_bounds() {
+        let good = vec![
+            ValueBounds {
+                lo: 1,
+                hi: 4,
+                distinct: 2,
+            },
+            ValueBounds {
+                lo: 9,
+                hi: 10,
+                distinct: 1,
+            },
+        ];
+        assert!(StoredHistogram::from_parts(vec![5, 7], 0, vec![(9, 1)], good.clone()).is_ok());
+        // Wrong arity.
+        assert!(
+            StoredHistogram::from_parts(vec![5, 7], 0, vec![(9, 1)], good[..1].to_vec()).is_err()
+        );
+        // Empty span.
+        let mut bad = good.clone();
+        bad[1].hi = 9;
+        assert!(StoredHistogram::from_parts(vec![5, 7], 0, vec![(9, 1)], bad).is_err());
+        // Distinct exceeds span width.
+        let mut bad = good;
+        bad[0].distinct = 5;
+        assert!(StoredHistogram::from_parts(vec![5, 7], 0, vec![(9, 1)], bad).is_err());
     }
 
     #[test]

@@ -9,27 +9,46 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic      : b"VOH1"
+//! magic      : b"VOH3"
 //! n_buckets  : u32
 //! avgs       : n_buckets × u64
 //! default    : u32
 //! n_except   : u64
 //! exceptions : n_except × (u64 value, u32 bucket)
+//! bounds     : n_buckets × (u64 lo, u64 hi, u64 distinct)
 //! ```
+//!
+//! `VOH3` supersedes the bounds-less `VOH1`: every bucket now persists
+//! its value span `[lo, hi)` and distinct-count so range and band-join
+//! interpolation survive a snapshot round-trip. Old `VOH1` blobs are
+//! rejected with the typed [`StoreError::UnsupportedSnapshot`] — they
+//! decode to histograms that cannot answer range predicates, so forcing
+//! a re-ANALYZE is strictly safer than guessing spans.
 
 use crate::catalog::StoredHistogram;
 use crate::catalog2d::StoredMatrixHistogram;
 use crate::error::{Result, StoreError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use vopt_hist::BuilderSpec;
+use vopt_hist::{BuilderSpec, ValueBounds};
 
-const MAGIC: &[u8; 4] = b"VOH1";
+const MAGIC: &[u8; 4] = b"VOH3";
 const MAGIC_2D: &[u8; 4] = b"VOH2";
+/// 1-D magics this build recognises but no longer reads.
+const RETIRED_1D: [&[u8; 4]; 1] = [b"VOH1"];
+/// Catalog magics this build recognises but no longer reads (`VOHF`
+/// was never shipped; it is listed so a blob stamped with it still
+/// gets the "re-run ANALYZE" error instead of "corrupted").
+const RETIRED_CATALOG: [&[u8; 4]; 4] = [b"VOHC", b"VOHD", b"VOHE", b"VOHF"];
 
 /// Encodes a stored histogram into its binary catalog representation.
 pub fn encode_histogram(hist: &StoredHistogram) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        4 + 4 + hist.bucket_avgs().len() * 8 + 4 + 8 + hist.exceptions().len() * 12,
+        4 + 4
+            + hist.bucket_avgs().len() * 8
+            + 4
+            + 8
+            + hist.exceptions().len() * 12
+            + hist.bounds().len() * 24,
     );
     buf.put_slice(MAGIC);
     buf.put_u32_le(hist.bucket_avgs().len() as u32);
@@ -41,6 +60,11 @@ pub fn encode_histogram(hist: &StoredHistogram) -> Bytes {
     for &(value, bucket) in hist.exceptions() {
         buf.put_u64_le(value);
         buf.put_u32_le(bucket);
+    }
+    for b in hist.bounds() {
+        buf.put_u64_le(b.lo);
+        buf.put_u64_le(b.hi);
+        buf.put_u64_le(b.distinct);
     }
     buf.freeze()
 }
@@ -60,6 +84,12 @@ pub fn decode_histogram(mut data: Bytes) -> Result<StoredHistogram> {
     need(&data, 4, "magic")?;
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
+    if RETIRED_1D.contains(&&magic) {
+        return Err(StoreError::UnsupportedSnapshot {
+            found: String::from_utf8_lossy(&magic).into_owned(),
+            supported: String::from_utf8_lossy(MAGIC).into_owned(),
+        });
+    }
     if &magic != MAGIC {
         return Err(StoreError::Codec(format!(
             "bad magic {magic:?}, expected {MAGIC:?}"
@@ -100,13 +130,21 @@ pub fn decode_histogram(mut data: Bytes) -> Result<StoredHistogram> {
         prev = Some(value);
         exceptions.push((value, bucket));
     }
+    need(&data, n_buckets * 24, "bucket value spans")?;
+    let mut bounds = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        let lo = data.get_u64_le();
+        let hi = data.get_u64_le();
+        let distinct = data.get_u64_le();
+        bounds.push(ValueBounds { lo, hi, distinct });
+    }
     if data.has_remaining() {
         return Err(StoreError::Codec(format!(
             "{} trailing byte(s) after histogram",
             data.remaining()
         )));
     }
-    StoredHistogram::from_parts(avgs, default, exceptions)
+    StoredHistogram::from_parts(avgs, default, exceptions, bounds)
 }
 
 /// Encodes a 2-D stored histogram. Same layout as the 1-D format except
@@ -238,6 +276,41 @@ mod tests {
         assert!(decode_histogram(buf.freeze()).is_err());
     }
 
+    #[test]
+    fn round_trip_preserves_bounds() {
+        let h = sample();
+        assert_eq!(h.bounds().len(), h.num_buckets());
+        let decoded = decode_histogram(encode_histogram(&h)).unwrap();
+        assert_eq!(h.bounds(), decoded.bounds());
+    }
+
+    #[test]
+    fn retired_voh1_magic_gets_typed_rejection() {
+        let mut bytes = encode_histogram(&sample()).to_vec();
+        bytes[3] = b'1';
+        match decode_histogram(Bytes::from(bytes)) {
+            Err(StoreError::UnsupportedSnapshot { found, supported }) => {
+                assert_eq!(found, "VOH1");
+                assert_eq!(supported, "VOH3");
+            }
+            other => panic!("expected UnsupportedSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bounds_rejected() {
+        // Corrupt a span so lo >= hi: flip the hi of the last bucket to 0.
+        let h = sample();
+        let mut bytes = encode_histogram(&h).to_vec();
+        let tail = h.num_buckets() * 24;
+        let hi_off = bytes.len() - tail + 8; // first bucket's hi
+        bytes[hi_off..hi_off + 8].fill(0);
+        assert!(matches!(
+            decode_histogram(Bytes::from(bytes)),
+            Err(StoreError::InvalidParameter(_))
+        ));
+    }
+
     fn sample_2d() -> StoredMatrixHistogram {
         use freqdist::FreqMatrix;
         use vopt_hist::construct::v_opt_end_biased;
@@ -270,6 +343,28 @@ mod tests {
         let bytes = encode_matrix_histogram(&sample_2d()).to_vec();
         for cut in [0usize, 3, 7, bytes.len() - 1] {
             assert!(decode_matrix_histogram(Bytes::copy_from_slice(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn retired_catalog_magic_gets_typed_rejection() {
+        let catalog = crate::catalog::Catalog::new();
+        catalog.put(crate::catalog::StatKey::new("r", &["a"]), sample());
+        for retired in ["VOHC", "VOHD", "VOHE", "VOHF"] {
+            // Re-stamp the magic and recompute the checksum so the blob
+            // is exactly what an authentic old writer would produce.
+            let mut bytes = encode_catalog(&catalog).to_vec();
+            bytes[..4].copy_from_slice(retired.as_bytes());
+            let body_len = bytes.len() - 8;
+            let checksum = catalog_checksum(&bytes[..body_len]);
+            bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+            match decode_catalog(Bytes::from(bytes)) {
+                Err(StoreError::UnsupportedSnapshot { found, supported }) => {
+                    assert_eq!(found, retired);
+                    assert_eq!(supported, "VOHG");
+                }
+                other => panic!("{retired}: expected UnsupportedSnapshot, got {other:?}"),
+            }
         }
     }
 
@@ -359,7 +454,7 @@ pub(crate) fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
 }
 
 /// FxHash-64 of a snapshot's payload bytes: the integrity checksum the
-/// `VOHE` format appends so that *any* byte corruption — including one
+/// `VOHG` format appends so that *any* byte corruption — including one
 /// that would still parse into structurally valid entries (e.g. a
 /// flipped bit inside a bucket average) — is detected at load time as a
 /// typed [`StoreError::Codec`] instead of silently producing wrong
@@ -415,20 +510,23 @@ pub(crate) fn get_blob(data: &mut Bytes) -> Result<Bytes> {
 /// counters are deliberately not persisted: reloaded statistics start
 /// fresh, exactly as after an ANALYZE.
 ///
-/// Layout: magic `VOHE`, `u32` 1-D entry count, entries, `u32` 2-D
+/// Layout: magic `VOHG`, `u32` 1-D entry count, entries, `u32` 2-D
 /// entry count, entries, then a trailing `u64` FxHash-64 checksum of
 /// every preceding byte. Each entry is `key` (relation + column list as
 /// length-prefixed UTF-8), a builder-spec tag (how the histogram was
 /// built — see [`BuilderSpec`]), and a length-prefixed histogram blob
-/// in the `VOH1`/`VOH2` format. (`VOHE` supersedes the checksum-less
-/// `VOHD`, which itself superseded the spec-less `VOHC`; the checksum
-/// turns value-level corruption — undetectable by structural validation
-/// alone — into a typed decode error.)
+/// in the `VOH3`/`VOH2` format.
+///
+/// Format lineage: `VOHC` (spec-less) → `VOHD` (specs) → `VOHE`
+/// (checksum) → `VOHG` (per-bucket value bounds inside the `VOH3`
+/// blobs; `VOHF` was reserved and never shipped). Retired magics decode
+/// to the typed [`StoreError::UnsupportedSnapshot`] — "re-run ANALYZE"
+/// — never to a catalog that silently lacks range statistics.
 pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
     let ones = catalog.snapshot_1d();
     let twos = catalog.snapshot_2d();
     let mut buf = BytesMut::new();
-    buf.put_slice(b"VOHE");
+    buf.put_slice(b"VOHG");
     buf.put_u32_le(ones.len() as u32);
     for (key, hist, spec) in &ones {
         put_key(&mut buf, key);
@@ -457,14 +555,12 @@ pub fn encode_catalog(catalog: &crate::catalog::Catalog) -> Bytes {
 /// corrupted snapshot always surfaces as [`StoreError::Codec`] — never
 /// as a catalog that loads but estimates wrongly.
 pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
-    need(&data, 4, "magic")?;
-    if &data[..4] != b"VOHE" {
-        return Err(StoreError::Codec(format!(
-            "bad catalog magic {:?}, expected VOHE",
-            &data[..4]
-        )));
-    }
     need(&data, 4 + 8, "catalog checksum")?;
+    // Checksum before magic classification: a bit flip that lands the
+    // magic on a retired format string must still read as corruption,
+    // not as "old snapshot, re-run ANALYZE". Authentic retired
+    // snapshots (`VOHE` onward) carry the same trailing checksum and
+    // pass this gate, then get the typed rejection below.
     let body = data.split_to(data.len() - 8);
     let expected = catalog_checksum(&body);
     let recorded = data.get_u64_le();
@@ -475,6 +571,18 @@ pub fn decode_catalog(mut data: Bytes) -> Result<crate::catalog::Catalog> {
         )));
     }
     let mut data = body;
+    if RETIRED_CATALOG.iter().any(|m| &data[..4] == *m) {
+        return Err(StoreError::UnsupportedSnapshot {
+            found: String::from_utf8_lossy(&data[..4]).into_owned(),
+            supported: "VOHG".to_string(),
+        });
+    }
+    if &data[..4] != b"VOHG" {
+        return Err(StoreError::Codec(format!(
+            "bad catalog magic {:?}, expected VOHG",
+            &data[..4]
+        )));
+    }
     data.advance(4); // magic, already verified
     let catalog = crate::catalog::Catalog::new();
     need(&data, 4, "1-D entry count")?;

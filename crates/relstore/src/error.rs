@@ -34,6 +34,16 @@ pub enum StoreError {
     Hist(String),
     /// An invalid parameter (e.g. empty sample, zero rows requested).
     InvalidParameter(String),
+    /// A snapshot carries a recognised but no-longer-supported format
+    /// magic (e.g. a pre-bounds `VOHE` catalog). Distinguished from
+    /// [`StoreError::Codec`] so callers can tell "re-run ANALYZE to
+    /// regenerate" apart from corruption.
+    UnsupportedSnapshot {
+        /// The magic found in the snapshot.
+        found: String,
+        /// The magic this build reads and writes.
+        supported: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -52,6 +62,13 @@ impl fmt::Display for StoreError {
             StoreError::Io(msg) => write!(f, "io error: {msg}"),
             StoreError::Hist(msg) => write!(f, "histogram error: {msg}"),
             StoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            StoreError::UnsupportedSnapshot { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format '{found}' is no longer supported (this build reads \
+                     '{supported}'); re-run ANALYZE to regenerate statistics"
+                )
+            }
         }
     }
 }

@@ -25,10 +25,36 @@ pub struct FrequencyTable {
     pub freqs: Vec<u64>,
 }
 
+/// Per-column scalar statistics ANALYZE records alongside the
+/// histogram: the value range, distinct-value count, and row count —
+/// the inputs range estimation needs even before any bucketisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSummary {
+    /// Smallest value in the column.
+    pub min: u64,
+    /// Largest value in the column.
+    pub max: u64,
+    /// Distinct-value count `M`.
+    pub distinct: u64,
+    /// Total rows (Σ frequencies).
+    pub rows: u64,
+}
+
 impl FrequencyTable {
     /// Number of distinct values `M`.
     pub fn num_values(&self) -> usize {
         self.values.len()
+    }
+
+    /// The column's scalar summary (min/max/distinct/rows), or `None`
+    /// for an empty column.
+    pub fn summary(&self) -> Option<ColumnSummary> {
+        Some(ColumnSummary {
+            min: *self.values.first()?,
+            max: *self.values.last()?,
+            distinct: self.values.len() as u64,
+            rows: self.freqs.iter().sum(),
+        })
     }
 
     /// The frequency of a specific value (0 when absent).
@@ -158,6 +184,25 @@ mod tests {
         assert_eq!(t.frequency_of(2), 1);
         assert_eq!(t.frequency_of(42), 0);
         assert_eq!(t.frequency_set().total(), 7);
+    }
+
+    #[test]
+    fn summary_reports_range_and_counts() {
+        let t = frequency_table(&sample_relation(), "a").unwrap();
+        assert_eq!(
+            t.summary(),
+            Some(ColumnSummary {
+                min: 1,
+                max: 3,
+                distinct: 3,
+                rows: 7
+            })
+        );
+        let empty = FrequencyTable {
+            values: vec![],
+            freqs: vec![],
+        };
+        assert_eq!(empty.summary(), None);
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //!   length mismatch) and truncates — every fully-synced record
 //!   survives, every torn one is discarded whole.
 //! * **Snapshot rotation** — [`DurableCatalog::checkpoint`] compacts
-//!   the journal into a full `VOHE` snapshot: write
-//!   `catalog.<gen+1>.vohe.tmp`, fsync, rename into place (atomic on
+//!   the journal into a full `VOHG` snapshot: write
+//!   `catalog.<gen+1>.vohg.tmp`, fsync, rename into place (atomic on
 //!   POSIX), fsync the directory, then start a fresh journal for the
 //!   new generation. The previous generation's snapshot *and* journal
 //!   are kept, so a snapshot corrupted after the fact still recovers
@@ -28,7 +28,7 @@
 //!   append order, so entries are re-stamped against the replayed
 //!   version counters exactly as they were stamped originally.
 //!
-//! Staleness semantics across recovery: the `VOHE` snapshot format
+//! Staleness semantics across recovery: the `VOHG` snapshot format
 //! deliberately persists no version counters (reloaded statistics start
 //! fresh, as after an ANALYZE), so recovered staleness counts updates
 //! *since the last checkpoint* — the journal's `note_updates` records
@@ -105,7 +105,7 @@ fn io_err(what: &str, e: std::io::Error) -> StoreError {
 }
 
 fn snapshot_name(generation: u64) -> String {
-    format!("catalog.{generation:016}.vohe")
+    format!("catalog.{generation:016}.vohg")
 }
 
 fn journal_name(generation: u64) -> String {
@@ -127,7 +127,7 @@ fn snapshot_generations(dir: &Path) -> Result<Vec<u64>> {
         let Some(name) = name.to_str() else { continue };
         if let Some(gen_str) = name
             .strip_prefix("catalog.")
-            .and_then(|rest| rest.strip_suffix(".vohe"))
+            .and_then(|rest| rest.strip_suffix(".vohg"))
         {
             if let Ok(generation) = gen_str.parse::<u64>() {
                 generations.push(generation);
@@ -280,7 +280,7 @@ fn apply_record(catalog: &Catalog, mut payload: Bytes) -> Result<()> {
     Ok(())
 }
 
-/// Loads the newest snapshot in `dir` that passes its `VOHE` checksum,
+/// Loads the newest snapshot in `dir` that passes its `VOHG` checksum,
 /// falling back to older generations when a newer one is corrupt.
 /// Returns the catalog and the generation it came from (generation 0
 /// and an empty catalog when the directory holds no snapshots at all —
@@ -698,10 +698,10 @@ impl DurableCatalog {
     }
 
     /// Compacts the journal into a new snapshot generation: write
-    /// `catalog.<gen+1>.vohe.tmp` → fsync → rename → fsync dir → fresh
+    /// `catalog.<gen+1>.vohg.tmp` → fsync → rename → fsync dir → fresh
     /// journal. The previous generation (snapshot + journal) is kept;
     /// anything older is deleted. Version counters restart with the new
-    /// generation (`VOHE` snapshots persist none), so recovered
+    /// generation (`VOHG` snapshots persist none), so recovered
     /// staleness always means "updates since the last checkpoint".
     pub fn checkpoint(&self) -> Result<()> {
         let _span = obs::span("wal_checkpoint");

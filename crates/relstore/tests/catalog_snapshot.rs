@@ -164,7 +164,7 @@ mod properties {
     }
 
     proptest! {
-        /// The VOHE snapshot is lossless for arbitrary catalog contents.
+        /// The VOHG snapshot is lossless for arbitrary catalog contents.
         #[test]
         fn snapshot_round_trips_any_contents(contents in contents_strategy()) {
             let (relations, with_matrix) = contents;

@@ -118,6 +118,31 @@ then
   exit 1
 fi
 
+echo "==> interpolation-confinement guard"
+# Overlap-ratio interpolation lives in crates/core/src/interp.rs and
+# nowhere else: the engine and query crates consume overlap_fraction /
+# band_fraction / clamp_fraction, they never re-derive the arithmetic.
+# Two greppable rules: (1) the fraction functions are defined only in
+# the interp module; (2) no ad-hoc `(hi - lo)`-denominator division
+# appears in engine or query source (comment lines are exempt — prose
+# may mention ranges; code may not divide by a span difference).
+if grep -RnE 'fn (overlap_fraction|band_fraction|clamp_fraction)' \
+    --include='*.rs' \
+    src tests examples crates \
+  | grep -v 'crates/core/src/interp.rs'; then
+  echo "error: interpolation-fraction definition found outside vopt_hist::interp" >&2
+  echo "       (all interpolation arithmetic belongs in crates/core/src/interp.rs)" >&2
+  exit 1
+fi
+if grep -RnE '[^/]/ *\([^)]*[a-z_0-9] *- *[a-z_0-9][^)]*\)' \
+    --include='*.rs' \
+    crates/engine/src crates/query/src \
+  | grep -vE ':[0-9]+: *//'; then
+  echo "error: ad-hoc interpolation arithmetic (division by a value-span difference)" >&2
+  echo "       found in engine/query — call vopt_hist::interp instead" >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -163,6 +188,38 @@ if not fault.get("injected"):
 PY
 then
   echo "error: crash-recovery matrix missing, failing, or incomplete in selftest report" >&2
+  exit 1
+fi
+
+echo "==> range-invariant gate"
+# The value-carrying-buckets invariant must be declared in
+# EXPECTED_CHECKS (so a silently skipped run fails report validation)
+# and must actually have run and passed in the selftest above, with a
+# nonzero case count.
+if ! grep -q '"range_band_matches_execution"' crates/oracle/src/report.rs; then
+  echo "error: range_band_matches_execution missing from oracle EXPECTED_CHECKS" >&2
+  exit 1
+fi
+if ! SELFTEST_REPORT="$selftest_report" python3 - <<'PY'
+import json
+import os
+import sys
+
+report = json.loads(os.environ["SELFTEST_REPORT"])
+check = next(
+    (c for c in report.get("checks", [])
+     if c.get("name") == "range_band_matches_execution"),
+    None,
+)
+if check is None:
+    sys.exit("range_band_matches_execution missing from selftest report")
+if not check.get("passed"):
+    sys.exit(f"range_band_matches_execution failed: {check.get('failures')}")
+if not check.get("cases"):
+    sys.exit("range_band_matches_execution verified zero cases")
+PY
+then
+  echo "error: range/band invariant missing, failing, or empty in selftest report" >&2
   exit 1
 fi
 

@@ -70,7 +70,8 @@ commands:
                  matrix; prints a deterministic JSON report and exits
                  nonzero on any violation. --emit-snapshot writes the
                  seed's reference catalog; --snapshot verifies one first)
-  bench         [--threads LIST] [--duration-ms D | --ops N] [--workload selfjoin|chain]
+  bench         [--threads LIST] [--duration-ms D | --ops N]
+                [--workload selfjoin|chain|range]
                 [--seed S] [--buckets B] [--class CLASS] [--json] [--out FILE.json]
                 (closed-loop estimation load harness: T concurrent
                  threads drive cached estimates over an oracle-generated
@@ -80,7 +81,9 @@ commands:
                  rate, and the cached-vs-uncached single-lookup speedup.
                  --threads takes a comma list ('1,2,4'); --ops runs a
                  fixed per-thread operation count whose result digest is
-                 byte-identical across reruns with the same --seed)
+                 byte-identical across reruns with the same --seed.
+                 --workload range mixes point, comparison, BETWEEN, and
+                 band-join queries through the cache)
 
 CLASS names a registered histogram builder (default v_opt_end_biased),
 optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
@@ -294,16 +297,32 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
     eng.analyze_all_with(spec).map_err(|e| e.to_string())?;
     let query = eng.parse(sql).map_err(|e| e.to_string())?;
     let actual = eng.execute(&query).map_err(|e| e.to_string())?;
-    let estimate = eng.estimate(&query).map_err(|e| e.to_string())?;
+    let (estimate, sources) = eng
+        .estimate_with_sources(&query)
+        .map_err(|e| e.to_string())?;
     let q_err = {
         let a = (actual as f64).max(1.0);
         (estimate.max(1e-9) / a).max(a / estimate.max(1e-9))
     };
     outln!("actual   {actual}");
+    // The summary names the predicate forms the estimator actually
+    // evaluated (a range-shaped lookup reports its whole predicate, an
+    // equality lookup its column), so range vs. equality runs are
+    // distinguishable in piped output and provenance traces alike.
+    let evaluated = sources
+        .iter()
+        .map(|s| format!("{} [{}]", s.target, s.rung.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
     outln!(
-        "estimate {estimate:.0}   (class={}, beta={}, q-error {q_err:.2}x)",
+        "estimate {estimate:.0}   (class={}, beta={}, q-error {q_err:.2}x)   via {}",
         spec.name(),
-        spec.buckets()
+        spec.buckets(),
+        if evaluated.is_empty() {
+            "<no statistics lookups>".to_string()
+        } else {
+            evaluated
+        }
     );
     Ok(())
 }
@@ -784,9 +803,9 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("workload")
         .map(String::as_str)
         .unwrap_or("selfjoin");
-    if workload != "selfjoin" && workload != "chain" {
+    if workload != "selfjoin" && workload != "chain" && workload != "range" {
         return Err(format!(
-            "--workload must be 'selfjoin' or 'chain', got '{workload}'"
+            "--workload must be 'selfjoin', 'chain', or 'range', got '{workload}'"
         ));
     }
     let buckets: usize = flags
@@ -856,6 +875,43 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 sql_pool.push(format!(
                     "SELECT COUNT(*) FROM t{i}l, t{i}r WHERE t{i}l.v = t{i}r.v AND t{i}l.v = {}",
                     n - 1
+                ));
+            }
+        }
+        "range" => {
+            // One left/right pair per medium set; queries mix every
+            // predicate shape the value-carrying buckets answer — point
+            // equality, one-sided comparisons, BETWEEN, and band joins —
+            // so cache fingerprints and interpolation both run hot
+            // while the ANALYZE churn advances the epoch underneath.
+            for (i, set) in wl.medium_sets.iter().enumerate() {
+                let n = set.freqs.len() as u64;
+                for (suffix, sub) in [("l", 0u64), ("r", 1u64)] {
+                    let name = format!("t{i}{suffix}");
+                    let rel = relation_from_frequency_set(
+                        &name,
+                        "v",
+                        &set.freqs,
+                        wl.subseed(2 * i as u64 + sub),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    core.register_with_spec(Arc::new(rel.clone()), "v", spec);
+                    eng.register(rel);
+                    rel_names.push(name);
+                }
+                let (q1, mid, q3) = (n / 4, n / 2, 3 * n / 4);
+                sql_pool.push(format!("SELECT COUNT(*) FROM t{i}l WHERE t{i}l.v = {mid}"));
+                sql_pool.push(format!("SELECT COUNT(*) FROM t{i}l WHERE t{i}l.v < {mid}"));
+                sql_pool.push(format!("SELECT COUNT(*) FROM t{i}r WHERE t{i}r.v >= {q3}"));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM t{i}r WHERE t{i}r.v BETWEEN {q1} AND {q3}"
+                ));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM t{i}l, t{i}r WHERE abs(t{i}l.v - t{i}r.v) <= 1"
+                ));
+                sql_pool.push(format!(
+                    "SELECT COUNT(*) FROM t{i}l, t{i}r \
+                     WHERE abs(t{i}l.v - t{i}r.v) <= 2 AND t{i}l.v >= {q1}"
                 ));
             }
         }

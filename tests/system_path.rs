@@ -142,12 +142,24 @@ fn sampling_seeded_end_biased_close_to_exact() {
     let rest_avg = (total.saturating_sub(top_mass)) / (m as u64 - top.len() as u64);
     let mut avgs: Vec<u64> = vec![rest_avg];
     let mut exceptions: Vec<(u64, u32)> = Vec::new();
+    // The pooled bucket spans the whole domain; each top value is a
+    // singleton span.
+    let mut bounds = vec![vopt_hist::ValueBounds {
+        lo: 0,
+        hi: m as u64,
+        distinct: m as u64 - top.len() as u64,
+    }];
     for (i, e) in top.iter().enumerate() {
         avgs.push(e.estimated_freq);
         exceptions.push((e.value, (i + 1) as u32));
+        bounds.push(vopt_hist::ValueBounds {
+            lo: e.value,
+            hi: e.value + 1,
+            distinct: 1,
+        });
     }
     exceptions.sort_unstable_by_key(|&(v, _)| v);
-    let sampled_stored = StoredHistogram::from_parts(avgs, 0, exceptions).unwrap();
+    let sampled_stored = StoredHistogram::from_parts(avgs, 0, exceptions, bounds).unwrap();
     let sampled_est = query::estimate::estimate_self_join(&sampled_stored, &domain);
     let rel_diff = (exact_est - sampled_est).abs() / exact_est;
     assert!(
