@@ -184,6 +184,51 @@ impl Engine {
     /// a sequential ANALYZE.
     pub fn analyze_all_with(&mut self, spec: BuilderSpec) -> Result<()> {
         let _span = obs::span("analyze_all");
+        let batch = self.build_analyze_batch(spec)?;
+        // One batched put: a single epoch bump, so concurrent readers
+        // see the whole ANALYZE atomically (and one cache invalidation
+        // instead of one per column).
+        self.catalog.put_all_with_spec(batch);
+        self.cache.clear();
+        Ok(())
+    }
+
+    /// Durable counterpart of [`Engine::analyze_all_with`]: the same
+    /// scan → build pipeline, but the batch is routed through `store`
+    /// so every histogram is journaled (and fsynced) before it becomes
+    /// visible. The engine must already share the store's catalog
+    /// (via [`Engine::attach_catalog`]); otherwise the journaled batch
+    /// would apply to a catalog the estimator never reads. Returns the
+    /// number of histograms written.
+    pub fn analyze_all_durable(
+        &mut self,
+        store: &relstore::DurableCatalog,
+        spec: BuilderSpec,
+    ) -> Result<usize> {
+        let _span = obs::span("analyze_all");
+        if !Arc::ptr_eq(&self.catalog, &store.catalog_arc()) {
+            return Err(EngineError::Store(
+                "durable ANALYZE requires the engine to be attached to the store's catalog"
+                    .to_string(),
+            ));
+        }
+        let batch = self.build_analyze_batch(spec)?;
+        let written = batch.len();
+        store
+            .put_all_with_spec(batch)
+            .map_err(|e| EngineError::Store(e.to_string()))?;
+        self.cache.clear();
+        Ok(written)
+    }
+
+    /// The shared ANALYZE scan/build phase: collects each column's value
+    /// dictionary and builds the histogram described by `spec`, in
+    /// parallel, returning the catalog batch in deterministic
+    /// (relation, column) order. Updates `self.domains` as it goes.
+    fn build_analyze_batch(
+        &mut self,
+        spec: BuilderSpec,
+    ) -> Result<Vec<(StatKey, StoredHistogram, Option<BuilderSpec>)>> {
         let mut names: Vec<&String> = self.relations.keys().collect();
         names.sort();
         let work: Vec<(String, String)> = names
@@ -219,12 +264,15 @@ impl Engine {
             }
             self.domains.insert((name, column), values);
         }
-        // One batched put: a single epoch bump, so concurrent readers
-        // see the whole ANALYZE atomically (and one cache invalidation
-        // instead of one per column).
-        self.catalog.put_all_with_spec(batch);
-        self.cache.clear();
-        Ok(())
+        Ok(batch)
+    }
+
+    /// Names of every registered relation, sorted (for serving layers
+    /// that need to enumerate a session's tables deterministically).
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Parses a query against this engine's dialect (binding happens at

@@ -1,0 +1,201 @@
+//! A blocking, typed client for the `VOHW` protocol.
+
+use crate::proto::{self, ErrorKind, FrameError, Request, Response};
+use engine::StatsUse;
+use relstore::Relation;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Everything that can go wrong on a client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's reply failed framing or decoding on our side.
+    Protocol(String),
+    /// A typed error frame from the server.
+    Remote {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// Admission control pushed back; retry later.
+    Overloaded {
+        /// The tenant whose queue was full.
+        tenant: String,
+    },
+    /// The server answered with a response of the wrong type.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Remote { kind, message } => {
+                write!(f, "server error ({}): {message}", kind.name())
+            }
+            ClientError::Overloaded { tenant } => {
+                write!(f, "tenant '{tenant}' is overloaded, retry later")
+            }
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a statistics server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, matching the server side).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response frame. Typed error
+    /// frames come back as `Ok(Response::Error { .. })`; use the
+    /// convenience wrappers to turn them into [`ClientError`]s.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&request.encode_frame())?;
+        self.stream.flush()?;
+        let (opcode, payload) = match proto::read_frame(&mut self.stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server closed the connection",
+                )))
+            }
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameError::Corrupt(m)) | Err(FrameError::Fatal(m)) => {
+                return Err(ClientError::Protocol(m))
+            }
+        };
+        Response::decode(opcode, payload).map_err(ClientError::Protocol)
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { kind, message } => Err(ClientError::Remote { kind, message }),
+            Response::Overloaded { tenant } => Err(ClientError::Overloaded { tenant }),
+            response => Ok(response),
+        }
+    }
+
+    /// PING → PONG.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Registers a relation in `tenant`; returns the row count.
+    pub fn load_relation(&mut self, tenant: &str, relation: &Relation) -> Result<u64, ClientError> {
+        match self.expect(&Request::load_relation(tenant, relation))? {
+            Response::Loaded { rows } => Ok(rows),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Durable ANALYZE; returns (histograms written, catalog epoch).
+    pub fn analyze(
+        &mut self,
+        tenant: &str,
+        class: &str,
+        buckets: u32,
+    ) -> Result<(u64, u64), ClientError> {
+        let request = Request::Analyze {
+            tenant: tenant.to_string(),
+            class: class.to_string(),
+            buckets,
+        };
+        match self.expect(&request)? {
+            Response::Analyzed { histograms, epoch } => Ok((histograms, epoch)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Estimates `sql`; returns the bit-exact estimate and its
+    /// statistics trail.
+    pub fn estimate(
+        &mut self,
+        tenant: &str,
+        sql: &str,
+    ) -> Result<(f64, Vec<StatsUse>), ClientError> {
+        let request = Request::Estimate {
+            tenant: tenant.to_string(),
+            sql: sql.to_string(),
+        };
+        match self.expect(&request)? {
+            Response::Estimated { estimate, sources } => Ok((estimate, sources)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The tenant catalog's current snapshot epoch.
+    pub fn epoch(&mut self, tenant: &str) -> Result<u64, ClientError> {
+        let request = Request::SnapshotEpoch {
+            tenant: tenant.to_string(),
+        };
+        match self.expect(&request)? {
+            Response::Epoch { epoch } => Ok(epoch),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The server's Prometheus exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.expect(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to shut down gracefully (checkpointing every
+    /// tenant).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShutdownStarted => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Raw frame write (adversarial tests inject arbitrary bytes).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one response frame without sending anything first.
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        let (opcode, payload) = match proto::read_frame(&mut self.stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameError::Closed) => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionAborted,
+                    "server closed the connection",
+                )))
+            }
+            Err(FrameError::Corrupt(m)) | Err(FrameError::Fatal(m)) => {
+                return Err(ClientError::Protocol(m))
+            }
+        };
+        Response::decode(opcode, payload).map_err(ClientError::Protocol)
+    }
+}

@@ -1,0 +1,28 @@
+//! Networked multi-tenant statistics server.
+//!
+//! The serving layer for the histogram catalog: a length-prefixed
+//! binary protocol over TCP ([`proto`], sharing the `VOH*` codec
+//! idioms and checksum with `relstore::codec`), a tokio-free threaded
+//! [`Server`] with per-tenant namespaces ([`tenant`] — each tenant
+//! owns a data directory, WAL, maintenance daemon, and engine),
+//! connection limits, per-tenant admission control with typed
+//! OVERLOADED backpressure, graceful checkpoint-on-shutdown, and a
+//! blocking typed [`Client`].
+//!
+//! The serving layer is *estimate-preserving* by construction and by
+//! test: the oracle's `wire_equals_inprocess` invariant proves that
+//! estimates and their `StatsUse` trails served over a loopback
+//! socket are bit-identical to in-process calls.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod tenant;
+
+pub use client::{Client, ClientError};
+pub use proto::{ErrorKind, FrameError, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use tenant::{Tenant, TenantConfig};

@@ -1,0 +1,348 @@
+//! The threaded (tokio-free) statistics server.
+//!
+//! One acceptor thread polls a non-blocking [`TcpListener`]; each
+//! admitted connection gets its own thread running the frame loop.
+//! Connections over `max_connections` receive a typed
+//! `CONNECTION_LIMIT` error frame and are closed — never silently
+//! dropped. Tenant state lives in [`Tenant`] namespaces created
+//! lazily under `tenants_dir/<name>` (existing directories are
+//! recovered at startup through the WAL). Graceful shutdown
+//! checkpoints every tenant; [`Server::abort`] is the crash path for
+//! recovery tests.
+
+use crate::proto::{self, ErrorKind, FrameError, Request, Response};
+use crate::tenant::{validate_tenant_name, Tenant, TenantConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub listen: String,
+    /// Root directory holding one subdirectory per tenant.
+    pub tenants_dir: PathBuf,
+    /// Concurrent connections before CONNECTION_LIMIT rejection.
+    pub max_connections: usize,
+    /// Per-tenant admission slots (see [`TenantConfig`]).
+    pub queue_depth: usize,
+    /// Per-tenant maintenance daemon tick.
+    pub daemon_tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            tenants_dir: PathBuf::from("tenants"),
+            max_connections: 64,
+            queue_depth: 64,
+            daemon_tick: Duration::from_millis(200),
+        }
+    }
+}
+
+struct Inner {
+    config: ServerConfig,
+    stop: AtomicBool,
+    /// Crash-style stop: skip the checkpoint pass (recovery tests).
+    skip_checkpoint: AtomicBool,
+    active: AtomicUsize,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+/// A running statistics server.
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Inner {
+    fn tenant(&self, name: &str) -> Result<Arc<Tenant>, Response> {
+        if let Err(message) = validate_tenant_name(name) {
+            return Err(Response::Error {
+                kind: ErrorKind::BadTenant,
+                message,
+            });
+        }
+        let mut tenants = self.tenants.lock();
+        if let Some(tenant) = tenants.get(name) {
+            return Ok(Arc::clone(tenant));
+        }
+        let config = TenantConfig {
+            queue_depth: self.config.queue_depth,
+            daemon_tick: self.config.daemon_tick,
+        };
+        match Tenant::open(&self.config.tenants_dir, name, &config) {
+            Ok(tenant) => {
+                tenants.insert(name.to_string(), Arc::clone(&tenant));
+                Ok(tenant)
+            }
+            Err(message) => Err(Response::Error {
+                kind: ErrorKind::Engine,
+                message,
+            }),
+        }
+    }
+
+    fn handle(&self, request: &Request) -> Response {
+        if self.stop.load(Ordering::SeqCst) && !matches!(request, Request::Ping) {
+            return Response::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "server is shutting down".to_string(),
+            };
+        }
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Metrics => Response::Metrics {
+                text: obs::export::prometheus(),
+            },
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                Response::ShutdownStarted
+            }
+            tenant_scoped => {
+                let name = tenant_scoped
+                    .tenant()
+                    .expect("non-tenant ops matched above")
+                    .to_string();
+                match self.tenant(&name) {
+                    Ok(tenant) => tenant.submit(tenant_scoped),
+                    Err(error) => error,
+                }
+            }
+        }
+    }
+
+    fn serve_connection(self: &Arc<Self>, mut stream: TcpStream) {
+        obs::counter("net_connections_total").inc();
+        obs::gauge("net_active_connections").set(self.active.load(Ordering::SeqCst) as f64);
+        let _ = stream.set_nodelay(true);
+        loop {
+            let (opcode, payload) = match proto::read_frame(&mut stream) {
+                Ok(frame) => frame,
+                Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
+                Err(FrameError::Corrupt(message)) => {
+                    // Framing survived: answer and keep the connection.
+                    obs::counter("net_protocol_errors_total").inc();
+                    obs::trace::net_request("", "frame", "error");
+                    if send(
+                        &mut stream,
+                        &Response::Error {
+                            kind: ErrorKind::Protocol,
+                            message,
+                        },
+                    )
+                    .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                Err(FrameError::Fatal(message)) => {
+                    // The byte stream is unreliable: answer, then close.
+                    obs::counter("net_protocol_errors_total").inc();
+                    obs::trace::net_request("", "frame", "error");
+                    let _ = send(
+                        &mut stream,
+                        &Response::Error {
+                            kind: ErrorKind::Protocol,
+                            message,
+                        },
+                    );
+                    break;
+                }
+            };
+            obs::counter("net_bytes_in_total").add((proto::HEADER_LEN + payload.len() + 8) as u64);
+            let response = match Request::decode(opcode, payload) {
+                Ok(request) => {
+                    let _span = obs::span("net_request");
+                    let tenant = request.tenant().unwrap_or("").to_string();
+                    let op = request.op_name();
+                    obs::counter(&obs::labeled("net_requests_total", "op", op)).inc();
+                    if !tenant.is_empty() {
+                        obs::counter(&obs::labeled("net_requests_total", "tenant", &tenant)).inc();
+                    }
+                    let response = self.handle(&request);
+                    let outcome = match &response {
+                        Response::Overloaded { .. } => "overloaded",
+                        Response::Error { .. } => "error",
+                        _ => "ok",
+                    };
+                    obs::trace::net_request(&tenant, op, outcome);
+                    response
+                }
+                Err(message) => {
+                    obs::counter("net_protocol_errors_total").inc();
+                    obs::trace::net_request("", "decode", "error");
+                    Response::Error {
+                        kind: ErrorKind::Protocol,
+                        message,
+                    }
+                }
+            };
+            let shutdown_started = matches!(response, Response::ShutdownStarted);
+            if send(&mut stream, &response).is_err() {
+                break;
+            }
+            if shutdown_started {
+                break;
+            }
+        }
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        obs::gauge("net_active_connections").set(self.active.load(Ordering::SeqCst) as f64);
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let frame = response.encode_frame();
+    obs::counter("net_bytes_out_total").add(frame.len() as u64);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+impl Server {
+    /// Binds `config.listen`, recovers every tenant directory already
+    /// present under `config.tenants_dir`, and starts accepting.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.tenants_dir)?;
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            stop: AtomicBool::new(false),
+            skip_checkpoint: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+            config,
+        });
+        // Recover existing tenants up front so a restarted server
+        // serves every namespace (and replays every journal) before
+        // the first request arrives.
+        let mut names: Vec<String> = std::fs::read_dir(&inner.config.tenants_dir)?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                entry
+                    .file_type()
+                    .ok()?
+                    .is_dir()
+                    .then(|| entry.file_name().to_string_lossy().into_owned())
+            })
+            .collect();
+        names.sort();
+        for name in names {
+            if validate_tenant_name(&name).is_ok() {
+                // Surfaces recovery errors at startup, not first use.
+                if let Err(e) = inner.tenant(&name) {
+                    return Err(std::io::Error::other(format!(
+                        "recover tenant {name}: {e:?}"
+                    )));
+                }
+            }
+        }
+        let accept_inner = Arc::clone(&inner);
+        let acceptor = std::thread::Builder::new()
+            .name("netserve-acceptor".to_string())
+            .spawn(move || {
+                while !accept_inner.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((mut stream, _peer)) => {
+                            let admitted = accept_inner
+                                .active
+                                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                                    (n < accept_inner.config.max_connections).then_some(n + 1)
+                                })
+                                .is_ok();
+                            if !admitted {
+                                obs::counter("net_connections_rejected_total").inc();
+                                let _ = send(
+                                    &mut stream,
+                                    &Response::Error {
+                                        kind: ErrorKind::ConnectionLimit,
+                                        message: format!(
+                                            "connection limit of {} reached",
+                                            accept_inner.config.max_connections
+                                        ),
+                                    },
+                                );
+                                continue;
+                            }
+                            let conn_inner = Arc::clone(&accept_inner);
+                            let _ = std::thread::Builder::new()
+                                .name("netserve-conn".to_string())
+                                .spawn(move || conn_inner.serve_connection(stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })
+            .expect("spawn acceptor thread");
+        Ok(Server {
+            addr,
+            inner,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop (also triggered by a SHUTDOWN frame).
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Crash-style stop: no checkpoint, journals left as-is — the
+    /// recovery-equivalence tests' kill switch.
+    pub fn abort(&self) {
+        self.inner.skip_checkpoint.store(true, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested (via [`Server::shutdown`],
+    /// [`Server::abort`], or a SHUTDOWN frame).
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Waits for shutdown: the acceptor exits, in-flight connections
+    /// get a short drain window, then every tenant is closed and (on
+    /// the graceful path) checkpointed. Returns the tenants served.
+    pub fn join(mut self) -> std::io::Result<usize> {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let drain_deadline = Instant::now() + Duration::from_secs(2);
+        while self.inner.active.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let tenants: Vec<Arc<Tenant>> = self.inner.tenants.lock().values().cloned().collect();
+        let skip_checkpoint = self.inner.skip_checkpoint.load(Ordering::SeqCst);
+        let mut failures = Vec::new();
+        for tenant in &tenants {
+            tenant.close();
+            if !skip_checkpoint {
+                if let Err(e) = tenant.checkpoint() {
+                    failures.push(e);
+                }
+            }
+        }
+        if failures.is_empty() {
+            Ok(tenants.len())
+        } else {
+            Err(std::io::Error::other(failures.join("; ")))
+        }
+    }
+}

@@ -100,6 +100,16 @@ pub fn register_well_known() {
         "qerror_drift_events_total",
         "qerror_nonfinite_dropped_total",
         "trace_events_dropped_total",
+        // Statistics-server (netserve) wire families. Per-tenant
+        // variants appear as labeled series the first time a tenant is
+        // touched: `net_requests_total{tenant=...}` etc.
+        "net_connections_total",
+        "net_connections_rejected_total",
+        "net_requests_total",
+        "net_overloaded_total",
+        "net_protocol_errors_total",
+        "net_bytes_in_total",
+        "net_bytes_out_total",
     ] {
         metrics::counter(name);
     }
@@ -118,6 +128,7 @@ pub fn register_well_known() {
         "daemon_breaker_open",
         "daemon_breaker_half_open",
         "catalog_epoch",
+        "net_active_connections",
     ] {
         metrics::gauge(name);
     }

@@ -127,6 +127,16 @@ pub enum TraceKind {
         /// New state (`open`, `half_open`, `closed`).
         state: &'static str,
     },
+    /// The statistics server finished handling one wire request.
+    NetRequest {
+        /// Tenant namespace the request addressed (empty for
+        /// tenant-less operations such as PING or METRICS).
+        tenant: String,
+        /// Wire operation name (`ping`, `estimate`, `analyze`, ...).
+        op: &'static str,
+        /// How it ended (`ok`, `error`, `overloaded`).
+        outcome: &'static str,
+    },
     /// A per-scope EWMA Q-error crossed the drift threshold upward.
     Drift {
         /// Quality-monitor scope.
@@ -170,6 +180,7 @@ impl TraceEvent {
             TraceKind::WalCheckpoint { .. } => "wal_checkpoint",
             TraceKind::DaemonSweep { .. } => "daemon_sweep",
             TraceKind::Breaker { .. } => "breaker",
+            TraceKind::NetRequest { .. } => "net_request",
             TraceKind::Drift { .. } => "drift",
         }
     }
@@ -433,6 +444,18 @@ pub fn breaker(column: &str, state: &'static str) {
     });
 }
 
+/// Records the completion of one statistics-server wire request.
+pub fn net_request(tenant: &str, op: &'static str, outcome: &'static str) {
+    if !active() {
+        return;
+    }
+    record(TraceKind::NetRequest {
+        tenant: tenant.to_string(),
+        op,
+        outcome,
+    });
+}
+
 /// Records an upward drift-threshold crossing of a scope's EWMA
 /// Q-error.
 pub fn drift(scope: &str, ewma_q: f64, threshold: f64) {
@@ -540,6 +563,18 @@ impl TraceEvent {
                 w.serialize_str(column);
                 w.map_key("state");
                 w.serialize_str(state);
+            }
+            TraceKind::NetRequest {
+                tenant,
+                op,
+                outcome,
+            } => {
+                w.map_key("tenant");
+                w.serialize_str(tenant);
+                w.map_key("op");
+                w.serialize_str(op);
+                w.map_key("outcome");
+                w.serialize_str(outcome);
             }
             TraceKind::Drift {
                 scope,

@@ -20,6 +20,7 @@
 //! | `cache_transparent` | §4–§6 practicality: the estimation cache is invisible — cached ≡ brute-force at every epoch |
 //! | `tracing_transparent` | §4–§6 practicality: the flight recorder only observes — recorder on ≡ recorder off, bit for bit |
 //! | `range_band_matches_execution` | value-carrying buckets: range / BETWEEN / band-join estimates equal executed counts with β = M statistics, stay inside `[0, |R|]` (`[0, |R|·|S|]` for bands) at every budget, and point BETWEEN is bit-for-bit the equality path |
+//! | `wire_equals_inprocess` | serving practicality: estimates + `StatsUse` trails served over a loopback socket are bit-identical to in-process `estimate_with_sources` for the same seed |
 
 use crate::exact;
 use crate::report::CheckReport;
@@ -1430,6 +1431,173 @@ pub fn check_range_band_matches_execution(w: &Workload) -> CheckReport {
     CheckReport::from_failures("range_band_matches_execution", cases, failures)
 }
 
+/// The serving layer must be estimate-preserving: for the same seed,
+/// estimates *and their `StatsUse` trails* obtained over a loopback
+/// socket from a `netserve` server are bit-identical to in-process
+/// [`engine::Engine::estimate_with_sources`]. The wire side ANALYZEs
+/// durably (journaled through the tenant's WAL) while the in-process
+/// side uses the plain catalog path, so this also pins "durable
+/// ANALYZE ≡ in-memory ANALYZE" at the estimate level.
+pub fn check_wire_equals_inprocess(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_wire");
+    const NAME: &str = "wire_equals_inprocess";
+    const TENANT: &str = "oracle";
+    let mut cases = 0;
+    let mut failures = Vec::new();
+
+    // One loopback server (and one tenant namespace) for the whole
+    // check. The scratch path is deterministic — pid + seed, no
+    // timestamps — because the selftest report must stay byte-stable.
+    let scratch =
+        std::env::temp_dir().join(format!("oracle-wire-{}-{}", std::process::id(), w.seed));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let server = match netserve::Server::start(netserve::ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        tenants_dir: scratch.clone(),
+        ..netserve::ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            return CheckReport::from_failures(
+                NAME,
+                0,
+                vec![format!("loopback server failed to start: {e}")],
+            )
+        }
+    };
+    let mut client = match netserve::Client::connect(server.local_addr()) {
+        Ok(c) => c,
+        Err(e) => return CheckReport::from_failures(NAME, 0, vec![format!("connect failed: {e}")]),
+    };
+
+    for (idx, set) in w.medium_sets.iter().enumerate() {
+        let (indices, nz) = nonzero_domain(set.freqs.as_slice());
+        if indices.len() < 2 {
+            continue;
+        }
+        let values: Vec<u64> = indices.iter().map(|&i| i * 3 + 1).collect();
+        let n = values.len();
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        let left = match relation_from_frequencies(
+            "l",
+            "a",
+            &values,
+            &freq_set,
+            w.subseed(9000 + idx as u64),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                push_fail(&mut failures, format!("{}: build l: {e}", set.name));
+                continue;
+            }
+        };
+        let right = match relation_from_frequencies(
+            "r",
+            "b",
+            &values,
+            &freq_set,
+            w.subseed(9500 + idx as u64),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                push_fail(&mut failures, format!("{}: build r: {e}", set.name));
+                continue;
+            }
+        };
+
+        for beta in betas_for(w, n) {
+            let case = format!("{} β={beta}", set.name);
+            let spec = BuilderSpec::VOptEndBiased(beta);
+
+            // In-process reference.
+            let mut engine = engine::Engine::new();
+            engine.register(left.clone());
+            engine.register(right.clone());
+            if let Err(e) = engine.analyze_all_with(spec) {
+                push_fail(&mut failures, format!("{case}: local ANALYZE: {e}"));
+                continue;
+            }
+
+            // Wire twin: LOAD replaces, ANALYZE rebuilds, so the one
+            // tenant namespace is reused across cases.
+            let wire_setup = client
+                .load_relation(TENANT, &left)
+                .and_then(|_| client.load_relation(TENANT, &right))
+                .and_then(|_| client.analyze(TENANT, "v_opt_end_biased", beta as u32));
+            if let Err(e) = wire_setup {
+                push_fail(&mut failures, format!("{case}: wire setup: {e}"));
+                continue;
+            }
+
+            let c = values[n / 2];
+            let (lo, hi) = (values[n / 4], values[3 * n / 4]);
+            let probes = [
+                "select count(*) from l".to_string(),
+                format!("select count(*) from l where l.a = {c}"),
+                format!("select count(*) from l where l.a < {c}"),
+                format!("select count(*) from l where l.a between {lo} and {hi}"),
+                "select count(*) from l, r where l.a = r.b".to_string(),
+            ];
+            for sql in &probes {
+                cases += 1;
+                let query = match engine.parse(sql) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        push_fail(&mut failures, format!("{case}: parse '{sql}': {e}"));
+                        continue;
+                    }
+                };
+                let (local_est, local_sources) = match engine.estimate_with_sources(&query) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        push_fail(
+                            &mut failures,
+                            format!("{case}: local estimate '{sql}': {e}"),
+                        );
+                        continue;
+                    }
+                };
+                let (wire_est, wire_sources) = match client.estimate(TENANT, sql) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        push_fail(&mut failures, format!("{case}: wire estimate '{sql}': {e}"));
+                        continue;
+                    }
+                };
+                if local_est.to_bits() != wire_est.to_bits() {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{case}: '{sql}' wire estimate {wire_est} ({:#018x}) ≠ \
+                             in-process {local_est} ({:#018x})",
+                            wire_est.to_bits(),
+                            local_est.to_bits()
+                        ),
+                    );
+                }
+                if local_sources != wire_sources {
+                    push_fail(
+                        &mut failures,
+                        format!(
+                            "{case}: '{sql}' wire StatsUse trail {wire_sources:?} ≠ \
+                             in-process {local_sources:?}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if let Err(e) = client.shutdown() {
+        push_fail(&mut failures, format!("graceful shutdown failed: {e}"));
+    }
+    if let Err(e) = server.join() {
+        push_fail(&mut failures, format!("server join failed: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    CheckReport::from_failures(NAME, cases, failures)
+}
+
 /// Runs every invariant check, in [`crate::report::EXPECTED_CHECKS`]
 /// order.
 pub fn run_all(w: &Workload) -> Vec<CheckReport> {
@@ -1446,6 +1614,7 @@ pub fn run_all(w: &Workload) -> Vec<CheckReport> {
         check_cache_transparent(w),
         check_tracing_transparent(w),
         check_range_band_matches_execution(w),
+        check_wire_equals_inprocess(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {

@@ -69,7 +69,10 @@ pub fn encode_histogram(hist: &StoredHistogram) -> Bytes {
     buf.freeze()
 }
 
-pub(crate) fn need(buf: &impl Buf, bytes: usize, what: &str) -> Result<()> {
+/// Guard used by every decoder in this module (and by the wire-protocol
+/// codec in `netserve`, which reuses these primitives): a typed
+/// "truncated input" error instead of a panic when `buf` runs short.
+pub fn need(buf: &impl Buf, bytes: usize, what: &str) -> Result<()> {
     if buf.remaining() < bytes {
         return Err(StoreError::Codec(format!(
             "truncated input: need {bytes} byte(s) for {what}, have {}",
@@ -459,14 +462,15 @@ pub(crate) fn get_spec(data: &mut Bytes) -> Result<Option<BuilderSpec>> {
 /// flipped bit inside a bucket average) — is detected at load time as a
 /// typed [`StoreError::Codec`] instead of silently producing wrong
 /// estimates.
-pub(crate) fn catalog_checksum(payload: &[u8]) -> u64 {
+pub fn catalog_checksum(payload: &[u8]) -> u64 {
     use std::hash::Hasher as _;
     let mut h = crate::fxhash::FxHasher::default();
     h.write(payload);
     h.finish()
 }
 
-pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
+/// Length-prefixed (u32 le) string, the workspace-wide wire idiom.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -479,7 +483,8 @@ pub(crate) fn put_key(buf: &mut BytesMut, key: &crate::catalog::StatKey) {
     }
 }
 
-pub(crate) fn get_str(data: &mut Bytes) -> Result<String> {
+/// Reads a [`put_str`]-encoded string, validating UTF-8.
+pub fn get_str(data: &mut Bytes) -> Result<String> {
     need(data, 4, "string length")?;
     let len = data.get_u32_le() as usize;
     need(data, len, "string bytes")?;

@@ -18,7 +18,7 @@ echo "==> cargo doc --no-deps (warnings denied, own crates only)"
 # warnings; the gate covers the crates this repo authors.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p histograms-repro -p freqdist -p vopt-hist -p relstore \
-  -p query -p engine -p experiments -p obs -p hist-bench
+  -p query -p engine -p experiments -p obs -p hist-bench -p netserve
 
 echo "==> builder-registry dispatch guard"
 # Histogram-constructor dispatch must live in the registry alone: a
@@ -62,6 +62,21 @@ if grep -RnE 'journal\.\{?[0-9a-zA-Z_:$<>]*\}?\.wal|"journal\.' \
     | grep -v 'crates/relstore/src/wal.rs'; then
   echo "error: journal file access found outside relstore::wal" >&2
   echo "       (route catalog persistence through relstore::DurableCatalog)" >&2
+  exit 1
+fi
+
+echo "==> socket-confinement guard"
+# Raw socket I/O lives in crates/netserve alone: every other crate,
+# binary, and test speaks to the statistics server through
+# netserve::{Server, Client}. A TcpListener/TcpStream anywhere else is
+# a second protocol implementation waiting to drift from the
+# checksummed VOHW framing and its admission-control semantics.
+if grep -RnE 'TcpListener|TcpStream|UdpSocket' \
+    --include='*.rs' \
+    src tests examples crates \
+  | grep -v '^crates/netserve/'; then
+  echo "error: raw socket I/O found outside crates/netserve" >&2
+  echo "       (speak the wire protocol through netserve::Server / netserve::Client)" >&2
   exit 1
 fi
 
@@ -223,6 +238,39 @@ then
   exit 1
 fi
 
+echo "==> wire-equivalence gate"
+# The serving layer's twelfth invariant must be declared in
+# EXPECTED_CHECKS (so a silently skipped run fails report validation)
+# and must actually have run and passed in the selftest above, with a
+# nonzero case count: estimates and StatsUse trails served over a
+# loopback socket are bit-identical to in-process calls.
+if ! grep -q '"wire_equals_inprocess"' crates/oracle/src/report.rs; then
+  echo "error: wire_equals_inprocess missing from oracle EXPECTED_CHECKS" >&2
+  exit 1
+fi
+if ! SELFTEST_REPORT="$selftest_report" python3 - <<'PY'
+import json
+import os
+import sys
+
+report = json.loads(os.environ["SELFTEST_REPORT"])
+check = next(
+    (c for c in report.get("checks", [])
+     if c.get("name") == "wire_equals_inprocess"),
+    None,
+)
+if check is None:
+    sys.exit("wire_equals_inprocess missing from selftest report")
+if not check.get("passed"):
+    sys.exit(f"wire_equals_inprocess failed: {check.get('failures')}")
+if not check.get("cases"):
+    sys.exit("wire_equals_inprocess verified zero cases")
+PY
+then
+  echo "error: wire-equivalence invariant missing, failing, or empty in selftest report" >&2
+  exit 1
+fi
+
 echo "==> bench smoke gate (deterministic digest + cache speedup)"
 # The load harness must (1) report the full histctl-bench-v1 schema,
 # (2) produce a byte-identical result digest across reruns with one
@@ -231,8 +279,11 @@ echo "==> bench smoke gate (deterministic digest + cache speedup)"
 # to run by design; the digest and op counts may not.
 bench_a="$(mktemp)"
 bench_b="$(mktemp)"
+bench_remote="$(mktemp)"
 trace_out="$(mktemp)"
-trap 'rm -f "$bench_a" "$bench_b" "$trace_out"' EXIT
+serve_log="$(mktemp)"
+tenants_dir="$(mktemp -d)"
+trap 'rm -rf "$bench_a" "$bench_b" "$bench_remote" "$trace_out" "$serve_log" "$tenants_dir"' EXIT
 target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json > "$bench_a"
 target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json > "$bench_b"
 if ! BENCH_A="$bench_a" BENCH_B="$bench_b" python3 - <<'PY'
@@ -275,6 +326,57 @@ if c["speedup"]["speedup"] < 10.0:
 PY
 then
   echo "error: bench smoke gate failed (schema, determinism, or speedup)" >&2
+  exit 1
+fi
+
+echo "==> loopback serving gate (remote digests = in-process digests)"
+# End-to-end over a real socket: a multi-tenant server on an ephemeral
+# loopback port must answer client requests, and a bench --remote run
+# with the same seed/ops/threads must report byte-identical result
+# digests to the in-process run captured above — the serving layer adds
+# latency, never error. The client-driven SHUTDOWN then checkpoints the
+# bench tenant, and the server process must exit cleanly.
+target/release/histctl serve --listen 127.0.0.1:0 --tenants "$tenants_dir" \
+  > "$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 100); do
+  addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" | head -1 || true)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "error: serve --listen did not report a bound address" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+target/release/histctl client --addr "$addr" --op ping > /dev/null
+target/release/histctl bench --threads 1,2,4 --ops 200 --seed 1 --json \
+  --remote "$addr" > "$bench_remote"
+target/release/histctl client --addr "$addr" --op shutdown > /dev/null
+wait "$serve_pid"
+if ! BENCH_A="$bench_a" BENCH_REMOTE="$bench_remote" python3 - <<'PY'
+import json
+import os
+import sys
+
+local = json.load(open(os.environ["BENCH_A"]))
+remote = json.load(open(os.environ["BENCH_REMOTE"]))
+if local.get("transport") != "inprocess" or remote.get("transport") != "remote":
+    sys.exit(
+        f"transport fields wrong: {local.get('transport')} / {remote.get('transport')}"
+    )
+dl = [(r["threads"], r["ops"], r["digest"]) for r in local["runs"]]
+dr = [(r["threads"], r["ops"], r["digest"]) for r in remote["runs"]]
+if dl != dr:
+    sys.exit(f"wire digests differ from in-process digests:\n{dl}\n{dr}")
+PY
+then
+  echo "error: loopback serving gate failed (wire digests != in-process digests)" >&2
+  exit 1
+fi
+if ! grep -q 'checkpointed' "$serve_log"; then
+  echo "error: graceful shutdown did not report tenant checkpoints" >&2
   exit 1
 fi
 

@@ -60,6 +60,21 @@ commands:
                  given tables with the maintenance daemon, performs N
                  bounded sweeps, and prints the daemon's event trace plus
                  journal/breaker state)
+  serve         --listen HOST:PORT --tenants DIR
+                [--max-conns N] [--queue-depth N]
+                (runs the networked multi-tenant statistics server:
+                 binds the VOHW frame protocol on HOST:PORT — port 0
+                 picks an ephemeral port, printed on the first stdout
+                 line — and gives every tenant its own journaled
+                 catalog, maintenance daemon, and admission queue under
+                 DIR. Runs until a client sends SHUTDOWN, then
+                 checkpoints every tenant)
+  client        --addr HOST:PORT --op OP [--tenant T] [--sql QUERY]
+                [--table name=file.csv] [--class CLASS] [--buckets B]
+                (one request against a running serve --listen server.
+                 OP is ping, load (--tenant --table), analyze (--tenant
+                 [--class] [--buckets]), estimate (--tenant --sql),
+                 epoch (--tenant), metrics, or shutdown)
   recover       --data-dir DIR
                 (replays the newest valid snapshot plus journal tail in
                  DIR read-only and prints what survived)
@@ -71,7 +86,7 @@ commands:
                  nonzero on any violation. --emit-snapshot writes the
                  seed's reference catalog; --snapshot verifies one first)
   bench         [--threads LIST] [--duration-ms D | --ops N]
-                [--workload selfjoin|chain|range]
+                [--workload selfjoin|chain|range] [--remote HOST:PORT]
                 [--seed S] [--buckets B] [--class CLASS] [--json] [--out FILE.json]
                 (closed-loop estimation load harness: T concurrent
                  threads drive cached estimates over an oracle-generated
@@ -83,7 +98,12 @@ commands:
                  fixed per-thread operation count whose result digest is
                  byte-identical across reruns with the same --seed.
                  --workload range mixes point, comparison, BETWEEN, and
-                 band-join queries through the cache)
+                 band-join queries through the cache. --remote drives
+                 the identical query stream over the wire against a
+                 serve --listen server instead of in-process: the
+                 report gains \"transport\":\"remote\" and its digests
+                 are bit-identical to the in-process run with the same
+                 seed — the serving layer adds latency, never error)
 
 CLASS names a registered histogram builder (default v_opt_end_biased),
 optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
@@ -532,6 +552,11 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use relstore::{Daemon, DaemonConfig, DaemonCore, DaemonEvent, DurableCatalog};
     use std::sync::Arc;
 
+    // `serve --listen` is the networked multi-tenant form; without it
+    // the command keeps its original single-catalog daemon behavior.
+    if flags.contains_key("listen") {
+        return cmd_serve_net(flags);
+    }
     let dir = required(flags, "data-dir")?;
     let tables = required(flags, "tables")?;
     let sweeps: u64 = flags
@@ -643,6 +668,144 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         store.journal_bytes(),
         store.generation()
     );
+    Ok(())
+}
+
+/// `histctl serve --listen HOST:PORT --tenants DIR`: the networked
+/// multi-tenant statistics server. Binds the VOHW frame protocol,
+/// gives every tenant its own journaled catalog and maintenance daemon
+/// under DIR, and runs until a client sends SHUTDOWN — which
+/// checkpoints every tenant before the process exits. The first stdout
+/// line reports the *bound* address, so scripts can pass port 0 and
+/// parse the ephemeral port the kernel picked.
+fn cmd_serve_net(flags: &HashMap<String, String>) -> Result<(), String> {
+    let listen = required(flags, "listen")?;
+    let tenants = required(flags, "tenants")?;
+    let max_connections: usize = flags
+        .get("max-conns")
+        .map(|s| parse_num(s, "max-conns"))
+        .transpose()?
+        .unwrap_or(64);
+    let queue_depth: usize = flags
+        .get("queue-depth")
+        .map(|s| parse_num(s, "queue-depth"))
+        .transpose()?
+        .unwrap_or(64);
+    obs::register_well_known();
+    let server = netserve::Server::start(netserve::ServerConfig {
+        listen: listen.to_string(),
+        tenants_dir: std::path::PathBuf::from(tenants),
+        max_connections,
+        queue_depth,
+        ..netserve::ServerConfig::default()
+    })
+    .map_err(|e| format!("bind {listen}: {e}"))?;
+    outln!(
+        "serving on {} (tenants in {tenants}, max {max_connections} connection(s), \
+         queue depth {queue_depth})",
+        server.local_addr()
+    );
+    let checkpointed = server.join().map_err(|e| e.to_string())?;
+    outln!("shutdown: checkpointed {checkpointed} tenant(s)");
+    Ok(())
+}
+
+/// `histctl client`: one typed request against a running
+/// `serve --listen` server. Payloads go to stdout (pipe-safe); errors —
+/// including typed remote errors and OVERLOADED backpressure — exit
+/// nonzero through the normal stderr path.
+fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = required(flags, "addr")?;
+    let op = required(flags, "op")?;
+    // Resolve every op-specific flag (and parse the CSV for `load`)
+    // before dialing, so usage errors don't depend on a live server.
+    if ![
+        "ping", "load", "analyze", "estimate", "epoch", "metrics", "shutdown",
+    ]
+    .contains(&op)
+    {
+        return Err(format!(
+            "--op must be ping|load|analyze|estimate|epoch|metrics|shutdown, got '{op}'"
+        ));
+    }
+    let tenant = if matches!(op, "load" | "analyze" | "estimate" | "epoch") {
+        required(flags, "tenant")?
+    } else {
+        ""
+    };
+    let sql = if op == "estimate" {
+        required(flags, "sql")?
+    } else {
+        ""
+    };
+    let relation = if op == "load" {
+        let table = required(flags, "table")?;
+        let (name, path) = table
+            .split_once('=')
+            .ok_or_else(|| format!("--table entry '{table}' is not name=file.csv"))?;
+        Some(read_csv(path.trim(), name.trim())?)
+    } else {
+        None
+    };
+
+    let mut client = netserve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match op {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            outln!("pong");
+        }
+        "load" => {
+            let relation = relation.expect("load resolved its table above");
+            let rows = client
+                .load_relation(tenant, &relation)
+                .map_err(|e| e.to_string())?;
+            outln!("loaded {rows} row(s) into {tenant}/{}", relation.name());
+        }
+        "analyze" => {
+            let buckets: u32 = flags
+                .get("buckets")
+                .map(|b| parse_num(b, "buckets"))
+                .transpose()?
+                .unwrap_or(10);
+            let class = flags
+                .get("class")
+                .map(String::as_str)
+                .unwrap_or("v_opt_end_biased");
+            let (histograms, epoch) = client
+                .analyze(tenant, class, buckets)
+                .map_err(|e| e.to_string())?;
+            outln!("analyzed {tenant}: {histograms} histogram(s), epoch {epoch}");
+        }
+        "estimate" => {
+            let (estimate, sources) = client.estimate(tenant, sql).map_err(|e| e.to_string())?;
+            let via = sources
+                .iter()
+                .map(|s| format!("{} [{}]", s.target, s.rung.name()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            outln!(
+                "estimate {estimate:.0}   via {}",
+                if via.is_empty() {
+                    "<no statistics lookups>".to_string()
+                } else {
+                    via
+                }
+            );
+        }
+        "epoch" => {
+            outln!("{}", client.epoch(tenant).map_err(|e| e.to_string())?);
+        }
+        "metrics" => {
+            emit(
+                format_args!("{}", client.metrics().map_err(|e| e.to_string())?),
+                false,
+            )?;
+        }
+        _ => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            outln!("shutdown requested");
+        }
+    }
     Ok(())
 }
 
@@ -783,10 +946,7 @@ struct BenchRun {
 /// Timing fields (throughput, quantiles) naturally vary; the digest and
 /// op counts do not.
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
-    use relstore::{Daemon, DaemonConfig, DaemonCore, DurableCatalog};
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
-    use std::time::{Duration, Instant};
+    use std::time::Instant;
 
     let seed: u64 = flags
         .get("seed")
@@ -830,19 +990,169 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     // Relations and queries come from the oracle's seed-deterministic
     // workload generator, so `bench` exercises the same distribution
     // shapes (zipf, cusp, uniform, stepped, random) the selftest proves
-    // correct.
+    // correct. The same pool feeds both transports, which is what makes
+    // the in-process and --remote digests comparable.
     let wl = oracle::Workload::generate(seed, oracle::Tier::Quick);
-    let mut eng = engine::Engine::new();
-    let dir = std::env::temp_dir().join(format!("histctl_bench_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    let store = Arc::new(DurableCatalog::open(&dir).map_err(|e| e.to_string())?);
-    eng.attach_catalog(store.catalog_arc());
+    let (relations, sql_pool) = bench_workload(&wl, workload)?;
+    let remote = flags.get("remote");
+    let runs = match remote {
+        Some(addr) => {
+            let class = flags
+                .get("class")
+                .map(String::as_str)
+                .unwrap_or("v_opt_end_biased");
+            bench_runs_remote(
+                addr,
+                class,
+                buckets as u32,
+                &relations,
+                &sql_pool,
+                &thread_counts,
+                seed,
+                ops,
+                duration_ms,
+            )?
+        }
+        None => bench_runs_local(
+            &relations,
+            &sql_pool,
+            &thread_counts,
+            seed,
+            ops,
+            duration_ms,
+            spec,
+        )?,
+    };
 
-    let mut core = DaemonCore::new(DaemonConfig {
-        jitter_seed: seed,
-        ..DaemonConfig::default()
-    });
-    let mut rel_names = Vec::new();
+    // Cached-vs-uncached single-lookup probe: a join over a wide domain
+    // (2048 distinct values) where recomputation walks the dictionaries
+    // while a cache hit is one shard probe plus a StatsUse replay.
+    let mut probe = engine::Engine::new();
+    for (name, rows, z, sub) in [
+        ("probe_l", 200_000u64, 1.1f64, 0xabcdu64),
+        ("probe_r", 180_000, 0.9, 0xdcba),
+    ] {
+        let freqs = zipf_frequencies(rows, 2048, z).map_err(|e| e.to_string())?;
+        let rel = relation_from_frequency_set(name, "v", &freqs, seed ^ sub)
+            .map_err(|e| e.to_string())?;
+        probe.register(rel);
+    }
+    probe.analyze_all_with(spec).map_err(|e| e.to_string())?;
+    let pq = probe
+        .parse("SELECT COUNT(*) FROM probe_l, probe_r WHERE probe_l.v = probe_r.v")
+        .map_err(|e| e.to_string())?;
+    probe
+        .estimate_with_sources(&pq)
+        .map_err(|e| e.to_string())?; // warm the cache
+    let median = |mut v: Vec<u64>| -> u64 {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    const TRIALS: usize = 501;
+    let cached_median = median(
+        (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                probe.estimate_with_sources(&pq).expect("cached probe");
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect(),
+    );
+    let uncached_median = median(
+        (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                probe
+                    .estimate_with_sources_uncached(&pq)
+                    .expect("uncached probe");
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect(),
+    );
+    let speedup = uncached_median as f64 / cached_median.max(1) as f64;
+
+    let mode = if ops.is_some() { "ops" } else { "duration" };
+    let transport = if remote.is_some() {
+        "remote"
+    } else {
+        "inprocess"
+    };
+    let json = {
+        let mut s = format!(
+            "{{\"schema\":\"histctl-bench-v1\",\"seed\":{seed},\"workload\":\"{workload}\",\
+             \"transport\":\"{transport}\",\
+             \"class\":\"{}\",\"buckets\":{buckets},\"mode\":\"{mode}\",\"queries\":{},\
+             \"runs\":[",
+            spec.name(),
+            sql_pool.len()
+        );
+        for (i, r) in runs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"threads\":{},\"ops\":{},\"elapsed_ms\":{:.3},\"throughput\":{:.1},\
+                 \"p50_ns\":{},\"p99_ns\":{},\"hit_rate\":{:.4},\"evictions\":{},\
+                 \"digest\":\"{:016x}\"}}",
+                r.threads,
+                r.ops,
+                r.elapsed_ms,
+                r.throughput,
+                r.p50_ns,
+                r.p99_ns,
+                r.hit_rate,
+                r.evictions,
+                r.digest
+            ));
+        }
+        s.push_str(&format!(
+            "],\"speedup\":{{\"cached_median_ns\":{cached_median},\
+             \"uncached_median_ns\":{uncached_median},\"speedup\":{speedup:.1}}}}}"
+        ));
+        s
+    };
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if flags.contains_key("json") {
+        outln!("{json}");
+    } else {
+        outln!(
+            "bench: workload={workload} transport={transport} seed={seed} queries={} mode={mode}",
+            sql_pool.len()
+        );
+        for r in &runs {
+            outln!(
+                "  threads {:>2}: {:>8} ops in {:>8.1} ms  ({:>10.0} ops/s)  \
+                 p50 {:>6} ns  p99 {:>7} ns  hit rate {:.1}%  digest {:016x}",
+                r.threads,
+                r.ops,
+                r.elapsed_ms,
+                r.throughput,
+                r.p50_ns,
+                r.p99_ns,
+                r.hit_rate * 100.0,
+                r.digest
+            );
+        }
+        outln!(
+            "  single lookup: cached {cached_median} ns vs uncached {uncached_median} ns \
+             ({speedup:.1}x)"
+        );
+    }
+    Ok(())
+}
+
+/// Builds the bench's relations (each a single column `v`) and SQL
+/// query pool for one workload shape. One source of truth shared by the
+/// in-process and `--remote` transports: both drive the identical query
+/// stream over identical relations, which is what makes their result
+/// digests directly comparable.
+fn bench_workload(
+    wl: &oracle::Workload,
+    workload: &str,
+) -> Result<(Vec<Relation>, Vec<String>), String> {
+    let mut relations = Vec::new();
     let mut sql_pool: Vec<String> = Vec::new();
     match workload {
         "selfjoin" => {
@@ -860,9 +1170,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                         wl.subseed(2 * i as u64 + sub),
                     )
                     .map_err(|e| e.to_string())?;
-                    core.register_with_spec(Arc::new(rel.clone()), "v", spec);
-                    eng.register(rel);
-                    rel_names.push(name);
+                    relations.push(rel);
                 }
                 sql_pool.push(format!(
                     "SELECT COUNT(*) FROM t{i}l, t{i}r WHERE t{i}l.v = t{i}r.v"
@@ -895,9 +1203,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                         wl.subseed(2 * i as u64 + sub),
                     )
                     .map_err(|e| e.to_string())?;
-                    core.register_with_spec(Arc::new(rel.clone()), "v", spec);
-                    eng.register(rel);
-                    rel_names.push(name);
+                    relations.push(rel);
                 }
                 let (q1, mid, q3) = (n / 4, n / 2, 3 * n / 4);
                 sql_pool.push(format!("SELECT COUNT(*) FROM t{i}l WHERE t{i}l.v = {mid}"));
@@ -923,9 +1229,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 let name = format!("c{i}");
                 let rel = relation_from_frequency_set(&name, "v", &set.freqs, wl.subseed(i as u64))
                     .map_err(|e| e.to_string())?;
-                core.register_with_spec(Arc::new(rel.clone()), "v", spec);
-                eng.register(rel);
-                rel_names.push(name);
+                relations.push(rel);
             }
             let m = wl.medium_sets.len();
             for i in 0..m.saturating_sub(2) {
@@ -943,6 +1247,44 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 ));
             }
         }
+    }
+    Ok((relations, sql_pool))
+}
+
+/// In-process bench transport: the engine attached to a journaled
+/// catalog whose maintenance daemon keeps re-ANALYZEing columns (so the
+/// catalog epoch advances under the readers' feet) while worker threads
+/// drive concurrent cached estimates.
+#[allow(clippy::too_many_arguments)]
+fn bench_runs_local(
+    relations: &[Relation],
+    sql_pool: &[String],
+    thread_counts: &[usize],
+    seed: u64,
+    ops: Option<u64>,
+    duration_ms: u64,
+    spec: BuilderSpec,
+) -> Result<Vec<BenchRun>, String> {
+    use relstore::{Daemon, DaemonConfig, DaemonCore, DurableCatalog};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut eng = engine::Engine::new();
+    let dir = std::env::temp_dir().join(format!("histctl_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Arc::new(DurableCatalog::open(&dir).map_err(|e| e.to_string())?);
+    eng.attach_catalog(store.catalog_arc());
+
+    let mut core = DaemonCore::new(DaemonConfig {
+        jitter_seed: seed,
+        ..DaemonConfig::default()
+    });
+    let mut rel_names = Vec::new();
+    for rel in relations {
+        core.register_with_spec(Arc::new(rel.clone()), "v", spec);
+        rel_names.push(rel.name().to_string());
+        eng.register(rel.clone());
     }
     eng.analyze_all_with(spec).map_err(|e| e.to_string())?;
     let pool: Vec<engine::ast::Query> = sql_pool
@@ -979,7 +1321,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let miss_counter = obs::counter("est_cache_miss_total");
     let evict_counter = obs::counter("est_cache_evict_total");
     let mut runs: Vec<BenchRun> = Vec::new();
-    for &threads in &thread_counts {
+    for &threads in thread_counts {
         let (hits0, miss0, evict0) = (hit_counter.get(), miss_counter.get(), evict_counter.get());
         let hist = obs::histogram(&obs::labeled(
             "bench_estimate_ns",
@@ -1047,125 +1389,138 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         });
     }
 
-    // Stop the churn before the speedup probe so the cached side
-    // measures steady-state hits, not epoch-bump recomputations.
+    // Stop the churn before the caller's speedup probe so the cached
+    // side measures steady-state hits, not epoch-bump recomputations.
     stop.store(true, Ordering::Relaxed);
-    let _core = churn
+    churn
         .join()
         .map_err(|_| "churn thread panicked".to_string())?;
-
-    // Cached-vs-uncached single-lookup probe: a join over a wide domain
-    // (2048 distinct values) where recomputation walks the dictionaries
-    // while a cache hit is one shard probe plus a StatsUse replay.
-    let mut probe = engine::Engine::new();
-    for (name, rows, z, sub) in [
-        ("probe_l", 200_000u64, 1.1f64, 0xabcdu64),
-        ("probe_r", 180_000, 0.9, 0xdcba),
-    ] {
-        let freqs = zipf_frequencies(rows, 2048, z).map_err(|e| e.to_string())?;
-        let rel = relation_from_frequency_set(name, "v", &freqs, seed ^ sub)
-            .map_err(|e| e.to_string())?;
-        probe.register(rel);
-    }
-    probe.analyze_all_with(spec).map_err(|e| e.to_string())?;
-    let pq = probe
-        .parse("SELECT COUNT(*) FROM probe_l, probe_r WHERE probe_l.v = probe_r.v")
-        .map_err(|e| e.to_string())?;
-    probe
-        .estimate_with_sources(&pq)
-        .map_err(|e| e.to_string())?; // warm the cache
-    let median = |mut v: Vec<u64>| -> u64 {
-        v.sort_unstable();
-        v[v.len() / 2]
-    };
-    const TRIALS: usize = 501;
-    let cached_median = median(
-        (0..TRIALS)
-            .map(|_| {
-                let t0 = Instant::now();
-                probe.estimate_with_sources(&pq).expect("cached probe");
-                t0.elapsed().as_nanos() as u64
-            })
-            .collect(),
-    );
-    let uncached_median = median(
-        (0..TRIALS)
-            .map(|_| {
-                let t0 = Instant::now();
-                probe
-                    .estimate_with_sources_uncached(&pq)
-                    .expect("uncached probe");
-                t0.elapsed().as_nanos() as u64
-            })
-            .collect(),
-    );
-    let speedup = uncached_median as f64 / cached_median.max(1) as f64;
     let _ = std::fs::remove_dir_all(&dir);
+    Ok(runs)
+}
 
-    let mode = if ops.is_some() { "ops" } else { "duration" };
-    let json = {
-        let mut s = format!(
-            "{{\"schema\":\"histctl-bench-v1\",\"seed\":{seed},\"workload\":\"{workload}\",\
-             \"class\":\"{}\",\"buckets\":{buckets},\"mode\":\"{mode}\",\"queries\":{},\
-             \"runs\":[",
-            spec.name(),
-            pool.len()
-        );
-        for (i, r) in runs.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!(
-                "{{\"threads\":{},\"ops\":{},\"elapsed_ms\":{:.3},\"throughput\":{:.1},\
-                 \"p50_ns\":{},\"p99_ns\":{},\"hit_rate\":{:.4},\"evictions\":{},\
-                 \"digest\":\"{:016x}\"}}",
-                r.threads,
-                r.ops,
-                r.elapsed_ms,
-                r.throughput,
-                r.p50_ns,
-                r.p99_ns,
-                r.hit_rate,
-                r.evictions,
-                r.digest
-            ));
-        }
-        s.push_str(&format!(
-            "],\"speedup\":{{\"cached_median_ns\":{cached_median},\
-             \"uncached_median_ns\":{uncached_median},\"speedup\":{speedup:.1}}}}}"
+/// Reads one unlabeled counter's value out of a Prometheus exposition.
+/// Missing counters read as zero, so METRICS deltas stay well-defined
+/// against a server that has not touched a family yet.
+fn prom_counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|value| value.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Remote bench transport: the identical query stream driven over the
+/// VOHW wire protocol against a `serve --listen` server, one connection
+/// per worker thread. Cache statistics come from METRICS counter deltas
+/// (the estimation cache lives in the server process). There is no
+/// churn daemon on this path — the remote tenant's statistics are built
+/// once by the initial ANALYZE — and the oracle's
+/// `wire_equals_inprocess` invariant guarantees every wire estimate is
+/// bit-identical to its in-process twin, so the digests reported here
+/// must equal an in-process run's with the same seed and op count.
+#[allow(clippy::too_many_arguments)]
+fn bench_runs_remote(
+    addr: &str,
+    class: &str,
+    buckets: u32,
+    relations: &[Relation],
+    sql_pool: &[String],
+    thread_counts: &[usize],
+    seed: u64,
+    ops: Option<u64>,
+    duration_ms: u64,
+) -> Result<Vec<BenchRun>, String> {
+    use std::time::{Duration, Instant};
+
+    const TENANT: &str = "bench";
+    let mut admin = netserve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    for rel in relations {
+        admin
+            .load_relation(TENANT, rel)
+            .map_err(|e| format!("load {}: {e}", rel.name()))?;
+    }
+    admin
+        .analyze(TENANT, class, buckets)
+        .map_err(|e| format!("remote ANALYZE: {e}"))?;
+
+    let mut runs = Vec::new();
+    for &threads in thread_counts {
+        let before = admin.metrics().map_err(|e| e.to_string())?;
+        let hist = obs::histogram(&obs::labeled(
+            "bench_estimate_ns",
+            "threads",
+            &threads.to_string(),
         ));
-        s
-    };
-    if let Some(path) = flags.get("out") {
-        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+        let started = Instant::now();
+        let per_thread: Vec<(u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    let hist = &hist;
+                    s.spawn(move || {
+                        let mut client = netserve::Client::connect(addr).expect("bench connect");
+                        let mut state = seed
+                            ^ ((threads as u64) << 32)
+                            ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        let mut digest = FNV_OFFSET;
+                        let mut n = 0u64;
+                        let deadline = Instant::now() + Duration::from_millis(duration_ms);
+                        loop {
+                            match ops {
+                                Some(k) if n >= k => break,
+                                None if Instant::now() >= deadline => break,
+                                _ => {}
+                            }
+                            let idx = (splitmix64(&mut state) % sql_pool.len() as u64) as usize;
+                            let t0 = Instant::now();
+                            let (est, _) = client
+                                .estimate(TENANT, &sql_pool[idx])
+                                .expect("remote estimate");
+                            hist.observe_ns(t0.elapsed().as_nanos() as u64);
+                            digest = fnv1a(digest, idx as u64);
+                            digest = fnv1a(digest, est.to_bits());
+                            n += 1;
+                        }
+                        (n, digest)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench worker"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        let after = admin.metrics().map_err(|e| e.to_string())?;
+        let total_ops: u64 = per_thread.iter().map(|(n, _)| n).sum();
+        // Thread digests fold in worker-index order, so the combined
+        // digest is schedule-independent — and transport-independent.
+        let digest = per_thread.iter().fold(FNV_OFFSET, |d, &(_, t)| fnv1a(d, t));
+        let hits = prom_counter(&after, "est_cache_hit_total")
+            - prom_counter(&before, "est_cache_hit_total");
+        let misses = prom_counter(&after, "est_cache_miss_total")
+            - prom_counter(&before, "est_cache_miss_total");
+        let probes = hits + misses;
+        runs.push(BenchRun {
+            threads,
+            ops: total_ops,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            throughput: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+            p50_ns: hist.quantile_ns(0.5).unwrap_or(0),
+            p99_ns: hist.quantile_ns(0.99).unwrap_or(0),
+            hit_rate: if probes == 0 {
+                0.0
+            } else {
+                hits as f64 / probes as f64
+            },
+            evictions: prom_counter(&after, "est_cache_evict_total")
+                - prom_counter(&before, "est_cache_evict_total"),
+            digest,
+        });
     }
-    if flags.contains_key("json") {
-        outln!("{json}");
-    } else {
-        outln!(
-            "bench: workload={workload} seed={seed} queries={} mode={mode}",
-            pool.len()
-        );
-        for r in &runs {
-            outln!(
-                "  threads {:>2}: {:>8} ops in {:>8.1} ms  ({:>10.0} ops/s)  \
-                 p50 {:>6} ns  p99 {:>7} ns  hit rate {:.1}%  digest {:016x}",
-                r.threads,
-                r.ops,
-                r.elapsed_ms,
-                r.throughput,
-                r.p50_ns,
-                r.p99_ns,
-                r.hit_rate * 100.0,
-                r.digest
-            );
-        }
-        outln!(
-            "  single lookup: cached {cached_median} ns vs uncached {uncached_median} ns \
-             ({speedup:.1}x)"
-        );
-    }
-    Ok(())
+    Ok(runs)
 }
 
 fn main() -> ExitCode {
@@ -1186,6 +1541,7 @@ fn main() -> ExitCode {
             "trace" => cmd_trace(&flags),
             "top" => cmd_top(&flags),
             "serve" => cmd_serve(&flags),
+            "client" => cmd_client(&flags),
             "recover" => cmd_recover(&flags),
             "selftest" => cmd_selftest(&flags),
             "bench" => cmd_bench(&flags),

@@ -724,3 +724,298 @@ fn any_command_dumps_the_recorder_via_trace_out() {
         );
     }
 }
+
+// --- serve --listen / client / bench --remote ------------------------
+
+/// A `histctl serve --listen` subprocess bound to an ephemeral port.
+/// Reads the first stdout line to learn the kernel-picked address and
+/// kills the process on drop so a failing test never leaks a listener.
+struct ServeGuard {
+    child: std::process::Child,
+    addr: String,
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+}
+
+impl ServeGuard {
+    fn start(tenants_dir: &str, extra: &[&str]) -> ServeGuard {
+        use std::io::BufRead;
+        let mut child = Command::new(env!("CARGO_BIN_EXE_histctl"))
+            .args(["serve", "--listen", "127.0.0.1:0", "--tenants", tenants_dir])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn histctl serve");
+        let mut stdout = std::io::BufReader::new(child.stdout.take().expect("serve stdout"));
+        let mut first = String::new();
+        stdout.read_line(&mut first).expect("serve banner");
+        let addr = first
+            .split_whitespace()
+            .nth(2)
+            .unwrap_or_else(|| panic!("no address in serve banner: {first:?}"))
+            .to_string();
+        assert!(
+            addr.starts_with("127.0.0.1:") && !addr.ends_with(":0"),
+            "serve must report the bound ephemeral port, got {addr:?} in {first:?}"
+        );
+        ServeGuard {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    /// Waits for the server to exit after a client-requested SHUTDOWN
+    /// and returns its remaining stdout (the checkpoint summary line).
+    fn wait(mut self) -> String {
+        use std::io::Read;
+        let status = self.child.wait().expect("serve exit status");
+        assert!(status.success(), "serve exited nonzero: {status:?}");
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("serve stdout tail");
+        // Disarm the drop kill: the child is already reaped.
+        std::mem::forget(self);
+        rest
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn serve_listen_client_round_trip_checkpoints_on_shutdown() {
+    let tenants = scratch("net_roundtrip_tenants");
+    let _ = std::fs::remove_dir_all(&tenants);
+    let server = ServeGuard::start(&tenants, &[]);
+    let addr = server.addr.clone();
+
+    let out = histctl(&["client", "--addr", &addr, "--op", "ping"]);
+    assert!(out.status.success(), "ping failed: {out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "pong");
+
+    let csv = generate_csv("net_roundtrip.csv");
+    let out = histctl(&[
+        "client",
+        "--addr",
+        &addr,
+        "--op",
+        "load",
+        "--tenant",
+        "acme",
+        "--table",
+        &format!("orders={csv}"),
+    ]);
+    assert!(out.status.success(), "load failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("5000 row(s) into acme/orders"),
+        "load output: {out:?}"
+    );
+
+    let out = histctl(&[
+        "client",
+        "--addr",
+        &addr,
+        "--op",
+        "analyze",
+        "--tenant",
+        "acme",
+        "--buckets",
+        "8",
+        "--class",
+        "max_diff",
+    ]);
+    assert!(out.status.success(), "analyze failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("1 histogram(s), epoch 1"),
+        "analyze output: {out:?}"
+    );
+
+    let out = histctl(&[
+        "client",
+        "--addr",
+        &addr,
+        "--op",
+        "estimate",
+        "--tenant",
+        "acme",
+        "--sql",
+        "select count(*) from orders where orders.value = 3",
+    ]);
+    assert!(out.status.success(), "estimate failed: {out:?}");
+    let estimate_line = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(
+        estimate_line.starts_with("estimate ") && estimate_line.contains("orders.value"),
+        "estimate output: {estimate_line}"
+    );
+
+    let out = histctl(&[
+        "client", "--addr", &addr, "--op", "epoch", "--tenant", "acme",
+    ]);
+    assert!(out.status.success(), "epoch failed: {out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1");
+
+    // Tenant isolation is visible from the CLI too: the same relation
+    // name in another tenant is unknown.
+    let out = histctl(&[
+        "client",
+        "--addr",
+        &addr,
+        "--op",
+        "estimate",
+        "--tenant",
+        "rival",
+        "--sql",
+        "select count(*) from orders",
+    ]);
+    assert!(!out.status.success(), "cross-tenant estimate must fail");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown relation"),
+        "cross-tenant stderr: {out:?}"
+    );
+
+    let out = histctl(&["client", "--addr", &addr, "--op", "metrics"]);
+    assert!(out.status.success(), "metrics failed: {out:?}");
+    let metrics = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        metrics.contains("net_requests_total{op=\"estimate\"}"),
+        "metrics should count wire requests by op: {metrics}"
+    );
+
+    let out = histctl(&["client", "--addr", &addr, "--op", "shutdown"]);
+    assert!(out.status.success(), "shutdown failed: {out:?}");
+    let tail = server.wait();
+    assert!(
+        tail.contains("checkpointed") && tail.contains("tenant(s)"),
+        "shutdown summary: {tail:?}"
+    );
+    // The graceful shutdown checkpointed the tenant's journal into a
+    // snapshot, recoverable offline by the existing recover command.
+    let out = histctl(&["recover", "--data-dir", &format!("{tenants}/acme")]);
+    assert!(out.status.success(), "recover failed: {out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("1 column histogram(s)"),
+        "recover output: {out:?}"
+    );
+}
+
+#[test]
+fn bench_remote_digests_match_the_inprocess_run() {
+    let tenants = scratch("net_bench_tenants");
+    let _ = std::fs::remove_dir_all(&tenants);
+    let server = ServeGuard::start(&tenants, &[]);
+    let addr = server.addr.clone();
+
+    let args = [
+        "bench",
+        "--threads",
+        "1,2",
+        "--ops",
+        "80",
+        "--seed",
+        "9",
+        "--workload",
+        "range",
+        "--json",
+    ];
+    let local = histctl(&args);
+    assert!(local.status.success(), "local bench failed: {local:?}");
+    let mut remote_args: Vec<&str> = args.to_vec();
+    remote_args.extend_from_slice(&["--remote", &addr]);
+    let remote = histctl(&remote_args);
+    assert!(remote.status.success(), "remote bench failed: {remote:?}");
+
+    let local_json = String::from_utf8_lossy(&local.stdout).to_string();
+    let remote_json = String::from_utf8_lossy(&remote.stdout).to_string();
+    assert!(
+        local_json.contains("\"transport\":\"inprocess\""),
+        "{local_json}"
+    );
+    assert!(
+        remote_json.contains("\"transport\":\"remote\""),
+        "{remote_json}"
+    );
+    // Same seed, same op counts -> bit-identical result digests across
+    // transports: the serving layer adds latency, never error.
+    assert_eq!(ops_of(&local_json), ops_of(&remote_json));
+    assert_eq!(
+        digests_of(&local_json),
+        digests_of(&remote_json),
+        "wire digests must equal in-process digests\nlocal:  {local_json}\nremote: {remote_json}"
+    );
+
+    let out = histctl(&["client", "--addr", &addr, "--op", "shutdown"]);
+    assert!(out.status.success(), "shutdown failed: {out:?}");
+    server.wait();
+}
+
+#[test]
+fn serve_connection_limit_rejects_with_a_typed_error() {
+    let tenants = scratch("net_connlimit_tenants");
+    let _ = std::fs::remove_dir_all(&tenants);
+    let server = ServeGuard::start(&tenants, &["--max-conns", "0"]);
+    let addr = server.addr.clone();
+    let out = histctl(&["client", "--addr", &addr, "--op", "ping"]);
+    assert!(!out.status.success(), "ping must be rejected at the limit");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("connection limit"),
+        "typed rejection on stderr: {out:?}"
+    );
+    // ServeGuard's drop kills the server (no client can reach SHUTDOWN).
+}
+
+#[test]
+fn client_and_serve_usage_errors_exit_nonzero() {
+    // client without --addr.
+    let out = histctl(&["client", "--op", "ping"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --addr"));
+
+    // client with an unknown op.
+    let out = histctl(&["client", "--addr", "127.0.0.1:1", "--op", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--op must be"),
+        "unknown op lists the valid ones: {out:?}"
+    );
+
+    // client estimate without --tenant.
+    let out = histctl(&[
+        "client",
+        "--addr",
+        "127.0.0.1:1",
+        "--op",
+        "estimate",
+        "--sql",
+        "select count(*) from t",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --tenant"));
+
+    // serve --listen without --tenants.
+    let out = histctl(&["serve", "--listen", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --tenants"));
+
+    // bench --remote against a dead address fails loudly, not silently.
+    let out = histctl(&[
+        "bench",
+        "--threads",
+        "1",
+        "--ops",
+        "5",
+        "--json",
+        "--remote",
+        "127.0.0.1:1",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("connect 127.0.0.1:1"),
+        "dead remote: {out:?}"
+    );
+}
