@@ -70,7 +70,12 @@ impl Client {
     /// frames come back as `Ok(Response::Error { .. })`; use the
     /// convenience wrappers to turn them into [`ClientError`]s.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.stream.write_all(&request.encode_frame())?;
+        // Encoding rejects over-cap payloads (e.g. a LoadRelation past
+        // ~2M rows per column) before any bytes hit the wire, so the
+        // failure is a local typed error, not a server-side Fatal
+        // frame followed by a hangup.
+        let frame = request.encode_frame().map_err(ClientError::Protocol)?;
+        self.stream.write_all(&frame)?;
         self.stream.flush()?;
         let (opcode, payload) = match proto::read_frame(&mut self.stream) {
             Ok(frame) => frame,

@@ -123,6 +123,9 @@ pub enum ErrorKind {
     ConnectionLimit,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// A SHUTDOWN frame arrived on a non-loopback listener that was
+    /// not started with remote shutdown enabled.
+    ShutdownDenied,
 }
 
 impl ErrorKind {
@@ -133,6 +136,7 @@ impl ErrorKind {
             ErrorKind::Engine => 2,
             ErrorKind::ConnectionLimit => 3,
             ErrorKind::ShuttingDown => 4,
+            ErrorKind::ShutdownDenied => 5,
         }
     }
 
@@ -143,6 +147,7 @@ impl ErrorKind {
             2 => ErrorKind::Engine,
             3 => ErrorKind::ConnectionLimit,
             4 => ErrorKind::ShuttingDown,
+            5 => ErrorKind::ShutdownDenied,
             other => return Err(format!("unknown error kind {other}")),
         })
     }
@@ -155,6 +160,7 @@ impl ErrorKind {
             ErrorKind::Engine => "engine",
             ErrorKind::ConnectionLimit => "connection_limit",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::ShutdownDenied => "shutdown_denied",
         }
     }
 }
@@ -240,7 +246,19 @@ impl std::fmt::Display for FrameError {
 }
 
 /// Encodes one full frame (header + payload + trailing checksum).
-pub fn encode_frame(opcode: u8, payload: &[u8]) -> Bytes {
+///
+/// The [`MAX_PAYLOAD`] cap is enforced on the *send* side too: an
+/// oversized payload would only produce a frame the peer must reject
+/// as fatal (and past 4 GiB the `u32` length prefix would silently
+/// wrap, corrupting the stream), so it is refused before any bytes
+/// hit the wire.
+pub fn encode_frame(opcode: u8, payload: &[u8]) -> Result<Bytes, String> {
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(format!(
+            "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame cap",
+            payload.len()
+        ));
+    }
     let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len() + 8);
     buf.put_slice(&MAGIC);
     buf.put_u16_le(VERSION);
@@ -249,7 +267,7 @@ pub fn encode_frame(opcode: u8, payload: &[u8]) -> Bytes {
     buf.put_slice(payload);
     let sum = catalog_checksum(&buf);
     buf.put_u64_le(sum);
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Reads exactly `buf.len()` bytes; `Ok(false)` means clean EOF before
@@ -325,7 +343,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u8, Bytes), FrameError> {
 
 /// Writes one frame to the stream and flushes it.
 pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::Result<()> {
-    let frame = encode_frame(opcode, payload);
+    let frame = encode_frame(opcode, payload)
+        .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
     w.write_all(&frame)?;
     w.flush()
 }
@@ -405,8 +424,11 @@ impl Request {
         (opcode, buf.freeze())
     }
 
-    /// The full wire frame for this request.
-    pub fn encode_frame(&self) -> Bytes {
+    /// The full wire frame for this request. Fails (rather than
+    /// emitting an unservable frame) when the payload exceeds
+    /// [`MAX_PAYLOAD`] — e.g. a `LoadRelation` of more than ~2M rows
+    /// per column.
+    pub fn encode_frame(&self) -> Result<Bytes, String> {
         let (opcode, payload) = self.encode();
         encode_frame(opcode, &payload)
     }
@@ -427,11 +449,20 @@ impl Request {
                 }
                 codec_err(need(&payload, 8, "row count"))?;
                 let rows = payload.get_u64_le() as usize;
-                codec_err(need(
-                    &payload,
-                    rows.saturating_mul(ncols) * 8,
-                    "column values",
-                ))?;
+                // Fully checked size math: a frame claiming 2^61 rows
+                // must fail here as a typed protocol error, not wrap
+                // the product to 0 and pass `need` on a tiny payload
+                // (allocating by `rows` afterwards). With the product
+                // checked, `need` then bounds `rows` by the remaining
+                // payload (itself capped at MAX_PAYLOAD) before any
+                // row-sized allocation happens.
+                let value_bytes = rows
+                    .checked_mul(ncols)
+                    .and_then(|cells| cells.checked_mul(8))
+                    .ok_or_else(|| {
+                        format!("row count {rows} x {ncols} column(s) overflows the payload size")
+                    })?;
+                codec_err(need(&payload, value_bytes, "column values"))?;
                 let mut values = Vec::with_capacity(ncols);
                 for _ in 0..ncols {
                     let mut column = Vec::with_capacity(rows);
@@ -570,8 +601,10 @@ impl Response {
         (opcode, buf.freeze())
     }
 
-    /// The full wire frame for this response.
-    pub fn encode_frame(&self) -> Bytes {
+    /// The full wire frame for this response. Fails when the payload
+    /// exceeds [`MAX_PAYLOAD`] (a METRICS exposition can in principle
+    /// outgrow the cap).
+    pub fn encode_frame(&self) -> Result<Bytes, String> {
         let (opcode, payload) = self.encode();
         encode_frame(opcode, &payload)
     }
@@ -642,13 +675,13 @@ mod tests {
     use super::*;
 
     fn round_trip_request(req: Request) {
-        let frame = req.encode_frame();
+        let frame = req.encode_frame().expect("frame encodes");
         let (opcode, payload) = read_frame(&mut frame.as_ref()).expect("frame reads back");
         assert_eq!(Request::decode(opcode, payload).expect("decodes"), req);
     }
 
     fn round_trip_response(resp: Response) {
-        let frame = resp.encode_frame();
+        let frame = resp.encode_frame().expect("frame encodes");
         let (opcode, payload) = read_frame(&mut frame.as_ref()).expect("frame reads back");
         assert_eq!(Response::decode(opcode, payload).expect("decodes"), resp);
     }
@@ -712,7 +745,7 @@ mod tests {
 
     #[test]
     fn corrupted_checksum_is_recoverable_not_fatal() {
-        let mut frame = Request::Ping.encode_frame().to_vec();
+        let mut frame = Request::Ping.encode_frame().unwrap().to_vec();
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
         match read_frame(&mut frame.as_slice()) {
@@ -723,7 +756,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_fatal() {
-        let mut frame = Request::Ping.encode_frame().to_vec();
+        let mut frame = Request::Ping.encode_frame().unwrap().to_vec();
         frame[0] = b'X';
         assert!(matches!(
             read_frame(&mut frame.as_slice()),
@@ -733,7 +766,7 @@ mod tests {
 
     #[test]
     fn oversized_length_prefix_is_fatal_without_allocation() {
-        let mut frame = Request::Ping.encode_frame().to_vec();
+        let mut frame = Request::Ping.encode_frame().unwrap().to_vec();
         frame[7..11].copy_from_slice(&u32::MAX.to_le_bytes());
         match read_frame(&mut frame.as_slice()) {
             Err(FrameError::Fatal(m)) => assert!(m.contains("oversized")),
@@ -743,7 +776,7 @@ mod tests {
 
     #[test]
     fn truncated_frame_is_io_and_clean_eof_is_closed() {
-        let frame = Request::Ping.encode_frame();
+        let frame = Request::Ping.encode_frame().unwrap();
         let cut = &frame[..frame.len() - 3];
         assert!(matches!(read_frame(&mut &cut[..]), Err(FrameError::Io(_))));
         assert!(matches!(read_frame(&mut &[][..]), Err(FrameError::Closed)));

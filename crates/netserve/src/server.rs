@@ -34,6 +34,11 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Per-tenant maintenance daemon tick.
     pub daemon_tick: Duration,
+    /// Honor SHUTDOWN frames even when bound to a non-loopback
+    /// address. The opcode is unauthenticated, so on a shared network
+    /// any client could otherwise stop the server for every tenant;
+    /// loopback listeners (the test/bench topology) always accept it.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -44,6 +49,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             queue_depth: 64,
             daemon_tick: Duration::from_millis(200),
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -54,7 +60,33 @@ struct Inner {
     /// Crash-style stop: skip the checkpoint pass (recovery tests).
     skip_checkpoint: AtomicBool,
     active: AtomicUsize,
+    /// Whether SHUTDOWN frames are honored, resolved once at bind time
+    /// from the listener address and `allow_remote_shutdown`.
+    wire_shutdown: bool,
     tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+}
+
+/// Owns one `active` connection slot; releasing on drop means the
+/// count is decremented even when the connection thread panics (an
+/// engine panic on adversarial input must not leak slots until the
+/// server wedges at `max_connections`) or the thread spawn itself
+/// fails before `serve_connection` runs.
+struct ConnectionSlot {
+    inner: Arc<Inner>,
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.inner.active.fetch_sub(1, Ordering::SeqCst);
+        obs::gauge("net_active_connections").set(self.inner.active.load(Ordering::SeqCst) as f64);
+    }
+}
+
+/// SHUTDOWN is unauthenticated, so it is only honored when the
+/// listener is loopback-bound (every peer is already local) or the
+/// operator opted in explicitly.
+fn wire_shutdown_allowed(addr: &SocketAddr, allow_remote_shutdown: bool) -> bool {
+    addr.ip().is_loopback() || allow_remote_shutdown
 }
 
 /// A running statistics server.
@@ -105,6 +137,14 @@ impl Inner {
                 text: obs::export::prometheus(),
             },
             Request::Shutdown => {
+                if !self.wire_shutdown {
+                    return Response::Error {
+                        kind: ErrorKind::ShutdownDenied,
+                        message: "SHUTDOWN over the wire is disabled on non-loopback \
+                                  listeners; start the server with --allow-remote-shutdown"
+                            .to_string(),
+                    };
+                }
                 self.stop.store(true, Ordering::SeqCst);
                 Response::ShutdownStarted
             }
@@ -196,13 +236,25 @@ impl Inner {
                 break;
             }
         }
-        self.active.fetch_sub(1, Ordering::SeqCst);
-        obs::gauge("net_active_connections").set(self.active.load(Ordering::SeqCst) as f64);
+        // The `active` slot is released by the ConnectionSlot guard
+        // held by the connection thread, not here: a panic anywhere in
+        // the frame/decode/handle path must still free the slot.
     }
 }
 
 fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let frame = response.encode_frame();
+    // Responses are server-built, but a METRICS exposition can in
+    // principle outgrow the frame cap: degrade to a typed error frame
+    // (always tiny) rather than corrupting the stream.
+    let frame = match response.encode_frame() {
+        Ok(frame) => frame,
+        Err(message) => Response::Error {
+            kind: ErrorKind::Protocol,
+            message,
+        }
+        .encode_frame()
+        .map_err(std::io::Error::other)?,
+    };
     obs::counter("net_bytes_out_total").add(frame.len() as u64);
     stream.write_all(&frame)?;
     stream.flush()
@@ -220,6 +272,7 @@ impl Server {
             stop: AtomicBool::new(false),
             skip_checkpoint: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            wire_shutdown: wire_shutdown_allowed(&addr, config.allow_remote_shutdown),
             tenants: Mutex::new(HashMap::new()),
             config,
         });
@@ -274,10 +327,21 @@ impl Server {
                                 );
                                 continue;
                             }
+                            let slot = ConnectionSlot {
+                                inner: Arc::clone(&accept_inner),
+                            };
                             let conn_inner = Arc::clone(&accept_inner);
+                            // The slot guard moves into the closure:
+                            // it is released when the connection ends,
+                            // when the thread panics, or — because a
+                            // failed spawn drops the closure unrun —
+                            // when the spawn itself fails.
                             let _ = std::thread::Builder::new()
                                 .name("netserve-conn".to_string())
-                                .spawn(move || conn_inner.serve_connection(stream));
+                                .spawn(move || {
+                                    let _slot = slot;
+                                    conn_inner.serve_connection(stream);
+                                });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(2));
@@ -344,5 +408,21 @@ impl Server {
         } else {
             Err(std::io::Error::other(failures.join("; ")))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_policy_gates_only_non_loopback_listeners() {
+        let v4_loop: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        let v6_loop: SocketAddr = "[::1]:9000".parse().unwrap();
+        let public: SocketAddr = "192.0.2.1:9000".parse().unwrap();
+        assert!(wire_shutdown_allowed(&v4_loop, false));
+        assert!(wire_shutdown_allowed(&v6_loop, false));
+        assert!(!wire_shutdown_allowed(&public, false));
+        assert!(wire_shutdown_allowed(&public, true));
     }
 }

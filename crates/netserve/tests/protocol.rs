@@ -9,7 +9,7 @@ use engine::{EstimateRung, StatsUse};
 use netserve::proto::{encode_frame, read_frame, MAGIC, MAX_PAYLOAD, VERSION};
 use netserve::{Client, ClientError, ErrorKind, Request, Response, Server, ServerConfig};
 use proptest::prelude::*;
-use relstore::codec::catalog_checksum;
+use relstore::codec::{catalog_checksum, put_str};
 use relstore::{Relation, Schema};
 use std::path::PathBuf;
 
@@ -101,13 +101,14 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         any::<u64>().prop_map(|epoch| Response::Epoch { epoch }),
         ".{0,120}".prop_map(|text| Response::Metrics { text }),
         ident().prop_map(|tenant| Response::Overloaded { tenant }),
-        (0u8..5, ".{0,60}").prop_map(|(kind, message)| Response::Error {
+        (0u8..6, ".{0,60}").prop_map(|(kind, message)| Response::Error {
             kind: match kind {
                 0 => ErrorKind::Protocol,
                 1 => ErrorKind::BadTenant,
                 2 => ErrorKind::Engine,
                 3 => ErrorKind::ConnectionLimit,
-                _ => ErrorKind::ShuttingDown,
+                4 => ErrorKind::ShuttingDown,
+                _ => ErrorKind::ShutdownDenied,
             },
             message
         }),
@@ -126,7 +127,7 @@ proptest! {
     /// Every request frame round-trips bit-exactly through the codec.
     #[test]
     fn any_request_round_trips(req in request_strategy()) {
-        let frame = req.encode_frame();
+        let frame = req.encode_frame().unwrap();
         let (opcode, payload) = read_frame(&mut frame.as_ref()).unwrap();
         prop_assert_eq!(Request::decode(opcode, payload).unwrap(), req);
     }
@@ -135,7 +136,7 @@ proptest! {
     /// f64 by bit pattern (NaN-safe).
     #[test]
     fn any_response_round_trips(resp in response_strategy()) {
-        let frame = resp.encode_frame();
+        let frame = resp.encode_frame().unwrap();
         let (opcode, payload) = read_frame(&mut frame.as_ref()).unwrap();
         let back = Response::decode(opcode, payload).unwrap();
         match (&resp, &back) {
@@ -160,7 +161,7 @@ proptest! {
         pos_frac in 0.0f64..1.0,
         bit in 0u32..8,
     ) {
-        let mut bytes = req.encode_frame().to_vec();
+        let mut bytes = req.encode_frame().unwrap().to_vec();
         let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
         bytes[pos] ^= 1u8 << bit;
         match read_frame(&mut bytes.as_slice()) {
@@ -184,7 +185,7 @@ fn corrupted_checksum_gets_typed_error_and_connection_survives() {
     let (server, dir) = start_server("checksum");
     let mut client = Client::connect(server.local_addr()).unwrap();
 
-    let mut frame = Request::Ping.encode_frame().to_vec();
+    let mut frame = Request::Ping.encode_frame().unwrap().to_vec();
     let last = frame.len() - 1;
     frame[last] ^= 0xFF;
     client.send_raw(&frame).unwrap();
@@ -210,7 +211,7 @@ fn unknown_opcode_gets_typed_error_and_connection_survives() {
     let (server, dir) = start_server("opcode");
     let mut client = Client::connect(server.local_addr()).unwrap();
 
-    client.send_raw(&encode_frame(0x6E, &[])).unwrap();
+    client.send_raw(&encode_frame(0x6E, &[]).unwrap()).unwrap();
     match client.read_response().unwrap() {
         Response::Error {
             kind: ErrorKind::Protocol,
@@ -261,7 +262,7 @@ fn oversized_length_prefix_gets_typed_error_then_close() {
     let (server, dir) = start_server("oversize");
     let mut client = Client::connect(server.local_addr()).unwrap();
 
-    let mut frame = Request::Ping.encode_frame().to_vec();
+    let mut frame = Request::Ping.encode_frame().unwrap().to_vec();
     frame[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
     client.send_raw(&frame).unwrap();
     match client.read_response().unwrap() {
@@ -290,7 +291,7 @@ fn bad_magic_gets_typed_error_then_close() {
     let (server, dir) = start_server("magic");
     let mut client = Client::connect(server.local_addr()).unwrap();
 
-    let mut frame = Request::Ping.encode_frame().to_vec();
+    let mut frame = Request::Ping.encode_frame().unwrap().to_vec();
     frame[0..4].copy_from_slice(b"NOPE");
     client.send_raw(&frame).unwrap();
     match client.read_response().unwrap() {
@@ -326,7 +327,7 @@ fn truncated_frame_drops_connection_but_tenant_stays_serviceable() {
 
     // A second connection sends half a frame and hangs up.
     let mut evil = Client::connect(server.local_addr()).unwrap();
-    let frame = Request::Ping.encode_frame();
+    let frame = Request::Ping.encode_frame().unwrap();
     evil.send_raw(&frame[..frame.len() / 2]).unwrap();
     drop(evil);
 
@@ -347,7 +348,9 @@ fn payload_decode_error_is_typed_and_recoverable() {
 
     // A syntactically valid frame whose ESTIMATE payload is garbage
     // (truncated string length prefix).
-    client.send_raw(&encode_frame(0x04, &[0xFF, 0xFF])).unwrap();
+    client
+        .send_raw(&encode_frame(0x04, &[0xFF, 0xFF]).unwrap())
+        .unwrap();
     match client.read_response().unwrap() {
         Response::Error {
             kind: ErrorKind::Protocol,
@@ -361,6 +364,76 @@ fn payload_decode_error_is_typed_and_recoverable() {
     client.shutdown().unwrap();
     server.join().unwrap();
     let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn overflowing_row_count_gets_typed_error_and_connection_survives() {
+    let (server, dir) = start_server("rowcount");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A checksum-valid LOAD_RELATION frame claiming 2^61 rows in one
+    // column: a naive `rows * ncols * 8` wraps to 0 in release, which
+    // would pass the size check on this tiny payload and then attempt
+    // a 2^61-capacity allocation. It must instead surface as a typed
+    // protocol error on a connection that keeps working.
+    let mut payload = BytesMut::new();
+    put_str(&mut payload, "acme");
+    put_str(&mut payload, "t");
+    payload.put_u16_le(1);
+    put_str(&mut payload, "a");
+    payload.put_u64_le(1u64 << 61);
+    client
+        .send_raw(&encode_frame(0x02, &payload).unwrap())
+        .unwrap();
+    match client.read_response().unwrap() {
+        Response::Error {
+            kind: ErrorKind::Protocol,
+            message,
+        } => assert!(message.contains("overflow"), "{message}"),
+        other => panic!("want protocol error, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection still works after overflowing row count");
+    client.shutdown().unwrap();
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn plausible_but_underfunded_row_count_is_a_typed_error() {
+    // No multiply overflow this time: 1M claimed rows, 8 payload
+    // bytes. The size check must reject it before any row-sized
+    // allocation or read.
+    let mut payload = BytesMut::new();
+    put_str(&mut payload, "acme");
+    put_str(&mut payload, "t");
+    payload.put_u16_le(1);
+    put_str(&mut payload, "a");
+    payload.put_u64_le(1_000_000);
+    payload.put_u64_le(42); // one row's worth of values
+    let frame = encode_frame(0x02, &payload).unwrap();
+    let (opcode, body) = read_frame(&mut frame.as_ref()).unwrap();
+    let err = Request::decode(opcode, body).unwrap_err();
+    assert!(err.contains("column values"), "{err}");
+}
+
+#[test]
+fn oversized_request_is_rejected_before_hitting_the_wire() {
+    // > 16 MiB of column values (3M rows x 8 bytes): the encode side
+    // refuses to build a frame the server is guaranteed to reject.
+    let req = Request::LoadRelation {
+        tenant: "acme".to_string(),
+        name: "big".to_string(),
+        columns: vec!["a".to_string()],
+        values: vec![vec![0u64; 3_000_000]],
+    };
+    let err = req.encode_frame().unwrap_err();
+    assert!(err.contains("exceeds"), "{err}");
+    assert!(
+        (3_000_000usize * 8) > MAX_PAYLOAD as usize,
+        "test premise: the payload is over the cap"
+    );
 }
 
 #[test]

@@ -61,14 +61,16 @@ commands:
                  bounded sweeps, and prints the daemon's event trace plus
                  journal/breaker state)
   serve         --listen HOST:PORT --tenants DIR
-                [--max-conns N] [--queue-depth N]
+                [--max-conns N] [--queue-depth N] [--allow-remote-shutdown]
                 (runs the networked multi-tenant statistics server:
                  binds the VOHW frame protocol on HOST:PORT — port 0
                  picks an ephemeral port, printed on the first stdout
                  line — and gives every tenant its own journaled
                  catalog, maintenance daemon, and admission queue under
                  DIR. Runs until a client sends SHUTDOWN, then
-                 checkpoints every tenant)
+                 checkpoints every tenant. SHUTDOWN is unauthenticated,
+                 so non-loopback listeners refuse it unless
+                 --allow-remote-shutdown is given)
   client        --addr HOST:PORT --op OP [--tenant T] [--sql QUERY]
                 [--table name=file.csv] [--class CLASS] [--buckets B]
                 (one request against a running serve --listen server.
@@ -144,7 +146,7 @@ macro_rules! outln {
 }
 
 /// Flags that are pure switches: present or absent, no value token.
-const BOOLEAN_FLAGS: &[&str] = &["json"];
+const BOOLEAN_FLAGS: &[&str] = &["json", "allow-remote-shutdown"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -697,6 +699,7 @@ fn cmd_serve_net(flags: &HashMap<String, String>) -> Result<(), String> {
         tenants_dir: std::path::PathBuf::from(tenants),
         max_connections,
         queue_depth,
+        allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
         ..netserve::ServerConfig::default()
     })
     .map_err(|e| format!("bind {listen}: {e}"))?;
