@@ -1,0 +1,269 @@
+//! A deterministic chaos proxy for exercising the retrying client.
+//!
+//! [`ChaosProxy`] sits between a client and a real server and
+//! misbehaves on a seeded schedule: it resets fresh connections, drops
+//! requests mid-frame, truncates responses, and delays forwarding —
+//! each connection's fate drawn from a splitmix64 stream keyed by
+//! `seed` and the connection index, so a given seed replays the exact
+//! same failure sequence. Every third connection is forced clean,
+//! which bounds how many retries a client needs to make progress: the
+//! oracle's `chaos_converges` invariant drives a retrying client
+//! through this proxy and proves the answers are bit-identical to a
+//! direct connection.
+//!
+//! The proxy is transport-level only — it never parses `VOHW` frames,
+//! so every cut lands wherever the byte budget says, including the
+//! middle of a header or checksum.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Chaos proxy tunables.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub listen: String,
+    /// Address of the real server to forward to.
+    pub upstream: String,
+    /// Seed for the fate stream; same seed → same failure sequence.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            upstream: String::new(),
+            seed: 0xc4a0_5150,
+        }
+    }
+}
+
+/// What happens to one proxied connection.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    /// Faithful bidirectional forwarding.
+    Clean,
+    /// Close immediately after accept, before dialing upstream.
+    Reset,
+    /// Forward only the first `after` request bytes, then cut both
+    /// directions — the server sees a torn frame.
+    DropRequest { after: u64 },
+    /// Forward requests faithfully but cut the response stream after
+    /// `after` bytes — the client sees a torn frame.
+    TruncateResponse { after: u64 },
+    /// Forward faithfully but sleep before relaying each chunk.
+    Delay { per_chunk: Duration },
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Draws the fate for connection `index` under `seed`. Every third
+/// connection is clean by construction so a retrying client always
+/// converges; the rest draw from the seeded stream. Frames are at
+/// least 19 bytes on the wire, so single-digit byte budgets always cut
+/// mid-frame.
+fn fate_for(seed: u64, index: u64) -> Fate {
+    if index % 3 == 2 {
+        return Fate::Clean;
+    }
+    let mut state = seed ^ (index + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    match splitmix64(&mut state) % 5 {
+        0 => Fate::Clean,
+        1 => Fate::Reset,
+        2 => Fate::DropRequest {
+            after: 1 + splitmix64(&mut state) % 10,
+        },
+        3 => Fate::TruncateResponse {
+            after: 1 + splitmix64(&mut state) % 10,
+        },
+        _ => Fate::Delay {
+            per_chunk: Duration::from_millis(1 + splitmix64(&mut state) % 4),
+        },
+    }
+}
+
+/// Copies bytes `from` → `to` until EOF, error, stop, or the budget
+/// runs out; then shuts both sockets down so the peer loops exit too.
+fn pump(
+    from: &TcpStream,
+    to: &TcpStream,
+    budget: Option<u64>,
+    delay: Option<Duration>,
+    stop: &AtomicBool,
+) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut from = from;
+    let mut to = to;
+    let mut remaining = budget;
+    let mut buf = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                let allowed = match remaining.as_mut() {
+                    Some(r) => {
+                        let take = (*r).min(n as u64) as usize;
+                        *r -= take as u64;
+                        take
+                    }
+                    None => n,
+                };
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                if allowed > 0 && (to.write_all(&buf[..allowed]).is_err() || to.flush().is_err()) {
+                    break;
+                }
+                if allowed < n || remaining == Some(0) {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+fn serve_fated(client: TcpStream, upstream: &str, fate: Fate, stop: &Arc<AtomicBool>) {
+    if matches!(fate, Fate::Reset) {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (req_budget, resp_budget, delay) = match fate {
+        Fate::Clean | Fate::Reset => (None, None, None),
+        Fate::DropRequest { after } => (Some(after), Some(0), None),
+        Fate::TruncateResponse { after } => (None, Some(after), None),
+        Fate::Delay { per_chunk } => (None, None, Some(per_chunk)),
+    };
+    let client2 = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let server2 = match server.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let up_stop = Arc::clone(stop);
+    let up = std::thread::Builder::new()
+        .name("chaos-up".to_string())
+        .spawn(move || pump(&client, &server, req_budget, delay, &up_stop));
+    pump(&server2, &client2, resp_budget, delay, stop);
+    if let Ok(handle) = up {
+        let _ = handle.join();
+    }
+}
+
+/// A running chaos proxy.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds `config.listen` and starts proxying to `config.upstream`.
+    pub fn start(config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("chaos-acceptor".to_string())
+            .spawn(move || {
+                let mut index: u64 = 0;
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((client, _peer)) => {
+                            let fate = fate_for(config.seed, index);
+                            index += 1;
+                            let upstream = config.upstream.clone();
+                            let conn_stop = Arc::clone(&accept_stop);
+                            let _ = std::thread::Builder::new()
+                                .name("chaos-conn".to_string())
+                                .spawn(move || serve_fated(client, &upstream, fate, &conn_stop));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                    }
+                }
+            })
+            .expect("spawn chaos acceptor thread");
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and tears down the forwarding threads (each
+    /// notices the flag within one 50ms read tick).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_stream_is_deterministic_and_periodically_clean() {
+        let a: Vec<String> = (0..64).map(|i| format!("{:?}", fate_for(42, i))).collect();
+        let b: Vec<String> = (0..64).map(|i| format!("{:?}", fate_for(42, i))).collect();
+        assert_eq!(a, b, "same seed must replay the same fates");
+        for i in (2..64).step_by(3) {
+            assert!(
+                matches!(fate_for(42, i), Fate::Clean),
+                "every third connection is forced clean (index {i})"
+            );
+        }
+        let c: Vec<String> = (0..64).map(|i| format!("{:?}", fate_for(43, i))).collect();
+        assert_ne!(a, c, "different seeds should draw different fates");
+    }
+}

@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod proto;
 pub mod server;
 pub mod tenant;
 
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosConfig, ChaosProxy};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use proto::{ErrorKind, FrameError, Request, Response};
 pub use server::{Server, ServerConfig};
 pub use tenant::{Tenant, TenantConfig};

@@ -126,6 +126,10 @@ pub enum ErrorKind {
     /// A SHUTDOWN frame arrived on a non-loopback listener that was
     /// not started with remote shutdown enabled.
     ShutdownDenied,
+    /// The connection missed a server deadline (a frame not delivered
+    /// whole within the read timeout, or a response write that
+    /// stalled). The server closes the connection after sending this.
+    Deadline,
 }
 
 impl ErrorKind {
@@ -137,6 +141,7 @@ impl ErrorKind {
             ErrorKind::ConnectionLimit => 3,
             ErrorKind::ShuttingDown => 4,
             ErrorKind::ShutdownDenied => 5,
+            ErrorKind::Deadline => 6,
         }
     }
 
@@ -148,6 +153,7 @@ impl ErrorKind {
             3 => ErrorKind::ConnectionLimit,
             4 => ErrorKind::ShuttingDown,
             5 => ErrorKind::ShutdownDenied,
+            6 => ErrorKind::Deadline,
             other => return Err(format!("unknown error kind {other}")),
         })
     }
@@ -161,6 +167,7 @@ impl ErrorKind {
             ErrorKind::ConnectionLimit => "connection_limit",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::ShutdownDenied => "shutdown_denied",
+            ErrorKind::Deadline => "deadline",
         }
     }
 }

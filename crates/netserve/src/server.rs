@@ -14,7 +14,7 @@ use crate::proto::{self, ErrorKind, FrameError, Request, Response};
 use crate::tenant::{validate_tenant_name, Tenant, TenantConfig};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,6 +39,16 @@ pub struct ServerConfig {
     /// any client could otherwise stop the server for every tenant;
     /// loopback listeners (the test/bench topology) always accept it.
     pub allow_remote_shutdown: bool,
+    /// Per-frame read deadline: a connection must deliver each request
+    /// frame *whole* within this window (measured from the previous
+    /// response). Byte trickle does not extend it, so one knob covers
+    /// both idle connections and slowloris half-frames. A miss gets a
+    /// typed `DEADLINE` error frame, the connection is closed, and its
+    /// slot is released. `None` (the default) disables the deadline.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for responses: a client that stops reading
+    /// cannot hold the connection thread forever. `None` disables it.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +60,73 @@ impl Default for ServerConfig {
             queue_depth: 64,
             daemon_tick: Duration::from_millis(200),
             allow_remote_shutdown: false,
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+/// Polling granularity for deadline-bounded reads. The socket-level
+/// timeout is kept this small and the real deadline is enforced by
+/// [`DeadlineReader`]: a socket timeout alone restarts on every
+/// arriving byte, which is exactly the hole a slowloris client
+/// (one byte per interval) drives through.
+const DEADLINE_TICK: Duration = Duration::from_millis(25);
+
+/// An [`Read`] adapter enforcing "the whole frame arrives within the
+/// deadline". [`DeadlineReader::arm`] is called before each
+/// `read_frame`; once armed, reads poll the socket in
+/// [`DEADLINE_TICK`] slices and surface `TimedOut` when the per-frame
+/// deadline passes — byte progress does *not* push the deadline out.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
+}
+
+impl<'a> DeadlineReader<'a> {
+    fn new(stream: &'a TcpStream, timeout: Option<Duration>) -> std::io::Result<Self> {
+        if timeout.is_some() {
+            stream.set_read_timeout(Some(DEADLINE_TICK))?;
+        }
+        Ok(Self {
+            stream,
+            timeout,
+            deadline: None,
+        })
+    }
+
+    /// Starts the next frame's delivery window.
+    fn arm(&mut self) {
+        self.deadline = self.timeout.map(|t| Instant::now() + t);
+    }
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut stream = self.stream;
+        let Some(deadline) = self.deadline else {
+            return stream.read(buf);
+        };
+        loop {
+            match stream.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "frame read deadline exceeded",
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
         }
     }
 }
@@ -161,20 +238,52 @@ impl Inner {
         }
     }
 
-    fn serve_connection(self: &Arc<Self>, mut stream: TcpStream) {
+    fn serve_connection(self: &Arc<Self>, stream: TcpStream) {
         obs::counter("net_connections_total").inc();
         obs::gauge("net_active_connections").set(self.active.load(Ordering::SeqCst) as f64);
+        // TCP_NODELAY on every connection: each request/response
+        // round-trip is one small frame each way, so Nagle buffering
+        // only adds latency here.
         let _ = stream.set_nodelay(true);
+        if let Some(wt) = self.config.write_timeout {
+            let _ = stream.set_write_timeout(Some(wt));
+        }
+        let mut reader = match DeadlineReader::new(&stream, self.config.read_timeout) {
+            Ok(reader) => reader,
+            Err(_) => return,
+        };
         loop {
-            let (opcode, payload) = match proto::read_frame(&mut stream) {
+            reader.arm();
+            let (opcode, payload) = match proto::read_frame(&mut reader) {
                 Ok(frame) => frame,
+                Err(FrameError::Io(e))
+                    if e.kind() == std::io::ErrorKind::TimedOut
+                        && self.config.read_timeout.is_some() =>
+                {
+                    // Deadline missed — idle too long, or a slow client
+                    // trickling a partial frame. Typed close; the
+                    // ConnectionSlot guard releases the slot as usual.
+                    obs::counter("net_deadline_total").inc();
+                    obs::trace::net_request("", "frame", "deadline");
+                    let _ = send(
+                        &stream,
+                        &Response::Error {
+                            kind: ErrorKind::Deadline,
+                            message: format!(
+                                "read deadline exceeded: no complete frame within {}ms",
+                                self.config.read_timeout.unwrap_or_default().as_millis()
+                            ),
+                        },
+                    );
+                    break;
+                }
                 Err(FrameError::Closed) | Err(FrameError::Io(_)) => break,
                 Err(FrameError::Corrupt(message)) => {
                     // Framing survived: answer and keep the connection.
                     obs::counter("net_protocol_errors_total").inc();
                     obs::trace::net_request("", "frame", "error");
                     if send(
-                        &mut stream,
+                        &stream,
                         &Response::Error {
                             kind: ErrorKind::Protocol,
                             message,
@@ -191,7 +300,7 @@ impl Inner {
                     obs::counter("net_protocol_errors_total").inc();
                     obs::trace::net_request("", "frame", "error");
                     let _ = send(
-                        &mut stream,
+                        &stream,
                         &Response::Error {
                             kind: ErrorKind::Protocol,
                             message,
@@ -229,7 +338,16 @@ impl Inner {
                 }
             };
             let shutdown_started = matches!(response, Response::ShutdownStarted);
-            if send(&mut stream, &response).is_err() {
+            if let Err(e) = send(&stream, &response) {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) {
+                    // A client that stopped reading: the write deadline
+                    // fired. Same accounting as a read deadline.
+                    obs::counter("net_deadline_total").inc();
+                    obs::trace::net_request("", "frame", "deadline");
+                }
                 break;
             }
             if shutdown_started {
@@ -242,7 +360,7 @@ impl Inner {
     }
 }
 
-fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+fn send(mut stream: &TcpStream, response: &Response) -> std::io::Result<()> {
     // Responses are server-built, but a METRICS exposition can in
     // principle outgrow the frame cap: degrade to a typed error frame
     // (always tiny) rather than corrupting the stream.
@@ -306,7 +424,7 @@ impl Server {
             .spawn(move || {
                 while !accept_inner.stop.load(Ordering::SeqCst) {
                     match listener.accept() {
-                        Ok((mut stream, _peer)) => {
+                        Ok((stream, _peer)) => {
                             let admitted = accept_inner
                                 .active
                                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
@@ -316,7 +434,7 @@ impl Server {
                             if !admitted {
                                 obs::counter("net_connections_rejected_total").inc();
                                 let _ = send(
-                                    &mut stream,
+                                    &stream,
                                     &Response::Error {
                                         kind: ErrorKind::ConnectionLimit,
                                         message: format!(
@@ -379,6 +497,13 @@ impl Server {
     /// [`Server::abort`], or a SHUTDOWN frame).
     pub fn stopping(&self) -> bool {
         self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently holding an admission slot. Chaos and
+    /// slow-client tests assert this drains back to zero — a leaked
+    /// slot would eventually wedge the server at `max_connections`.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active.load(Ordering::SeqCst)
     }
 
     /// Waits for shutdown: the acceptor exits, in-flight connections

@@ -1,0 +1,186 @@
+//! Fault-tolerance of the serving layer over real sockets: slow
+//! clients hit the frame deadline and get a typed close with their
+//! admission slot released, and a retrying client driven through the
+//! deterministic chaos proxy converges to the same answers as a direct
+//! connection.
+
+use netserve::{
+    ChaosConfig, ChaosProxy, Client, ErrorKind, Request, Response, RetryPolicy, Server,
+    ServerConfig,
+};
+use relstore::{Relation, Schema};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netserve-faults-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_relation() -> Relation {
+    let schema = Schema::new(["a", "b"]).unwrap();
+    Relation::from_columns(
+        "t",
+        schema,
+        vec![vec![1, 2, 2, 3, 3, 3], vec![9, 9, 8, 8, 7, 7]],
+    )
+    .unwrap()
+}
+
+#[test]
+fn slow_client_gets_typed_deadline_close_and_releases_its_slot() {
+    let dir = scratch("slowloris");
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        tenants_dir: dir.clone(),
+        max_connections: 1,
+        read_timeout: Some(Duration::from_millis(200)),
+        write_timeout: Some(Duration::from_millis(1000)),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let deadline_before = obs::counter("net_deadline_total").get();
+
+    // Half a PING frame, then stall: a slowloris client. The partial
+    // bytes must NOT keep the connection alive past the deadline.
+    let mut slow = Client::connect(server.local_addr()).unwrap();
+    let frame = Request::Ping.encode_frame().unwrap();
+    slow.send_raw(&frame[..frame.len() / 2]).unwrap();
+
+    let started = Instant::now();
+    match slow.read_response().unwrap() {
+        Response::Error {
+            kind: ErrorKind::Deadline,
+            message,
+        } => assert!(message.contains("deadline"), "{message}"),
+        other => panic!("want typed deadline error, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() >= Duration::from_millis(150),
+        "deadline must not fire early"
+    );
+    // The server closed the stream after the typed error.
+    assert!(
+        slow.read_response().is_err(),
+        "connection must be closed after the deadline frame"
+    );
+    assert!(
+        obs::counter("net_deadline_total").get() > deadline_before,
+        "deadline closes must be counted"
+    );
+
+    // max_connections is 1: if the timed-out connection leaked its
+    // slot, this fresh client would be rejected with CONNECTION_LIMIT.
+    let fresh_deadline = Instant::now() + Duration::from_secs(5);
+    let mut fresh = loop {
+        let mut candidate = Client::connect(server.local_addr()).unwrap();
+        match candidate.ping() {
+            Ok(()) => break candidate,
+            Err(_) if Instant::now() < fresh_deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("slot never released: {e}"),
+        }
+    };
+    assert_eq!(server.active_connections(), 1, "only the fresh client");
+    fresh.shutdown().unwrap();
+    drop(fresh);
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn idle_client_is_reaped_by_the_same_deadline() {
+    let dir = scratch("idle");
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        tenants_dir: dir.clone(),
+        read_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+
+    // Connect and send nothing at all.
+    let mut idle = Client::connect(server.local_addr()).unwrap();
+    match idle.read_response().unwrap() {
+        Response::Error {
+            kind: ErrorKind::Deadline,
+            ..
+        } => {}
+        other => panic!("want typed deadline error, got {other:?}"),
+    }
+
+    let mut live = Client::connect(server.local_addr()).unwrap();
+    live.ping().unwrap();
+    live.shutdown().unwrap();
+    drop(live);
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn retrying_client_through_chaos_proxy_matches_direct_answers() {
+    let dir = scratch("chaos");
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        tenants_dir: dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let proxy = ChaosProxy::start(ChaosConfig {
+        upstream: server.local_addr().to_string(),
+        seed: 0xfa11_0c4a,
+        ..ChaosConfig::default()
+    })
+    .expect("proxy starts");
+
+    // Ground truth over a direct connection.
+    let mut direct = Client::connect(server.local_addr()).unwrap();
+    direct.load_relation("acme", &tiny_relation()).unwrap();
+    let schema = Schema::new(["c"]).unwrap();
+    let other = Relation::from_columns("u", schema, vec![vec![1, 1, 2, 3, 3, 7]]).unwrap();
+    direct.load_relation("acme", &other).unwrap();
+    direct.analyze("acme", "v_opt_end_biased", 4).unwrap();
+    let queries = [
+        "select count(*) from t where t.a = 3",
+        "select count(*) from t where t.b = 9",
+        "select count(*) from t, u where t.a = u.c",
+    ];
+    let want: Vec<(f64, Vec<engine::StatsUse>)> = queries
+        .iter()
+        .map(|sql| direct.estimate("acme", sql).unwrap())
+        .collect();
+    drop(direct);
+
+    // The same reads through the chaos proxy, with retries. Budget of
+    // 8: every third proxied connection is clean by construction, and
+    // reconnect + replay needs at most a handful of attempts per op.
+    let mut chaotic = Client::connect_with_retry(proxy.local_addr(), RetryPolicy::with_retries(8))
+        .expect("connect through chaos proxy");
+    for (sql, want) in queries.iter().zip(&want) {
+        let (estimate, sources) = chaotic.estimate("acme", sql).expect("estimate via proxy");
+        assert_eq!(
+            estimate.to_bits(),
+            want.0.to_bits(),
+            "estimate must be bit-identical through the chaos proxy"
+        );
+        assert_eq!(sources, want.1, "StatsUse trail must match");
+    }
+    drop(chaotic);
+    proxy.stop();
+
+    // No leaked admission slots once the chaos connections unwind.
+    let drain = Instant::now() + Duration::from_secs(5);
+    while server.active_connections() > 0 && Instant::now() < drain {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.active_connections(), 0, "no leaked connection slots");
+
+    let mut admin = Client::connect(server.local_addr()).unwrap();
+    admin.shutdown().unwrap();
+    drop(admin);
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}

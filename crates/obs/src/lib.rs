@@ -110,6 +110,8 @@ pub fn register_well_known() {
         "net_protocol_errors_total",
         "net_bytes_in_total",
         "net_bytes_out_total",
+        "net_deadline_total",
+        "client_retry_total",
     ] {
         metrics::counter(name);
     }
@@ -129,6 +131,7 @@ pub fn register_well_known() {
         "daemon_breaker_half_open",
         "catalog_epoch",
         "net_active_connections",
+        "catalog_readonly",
     ] {
         metrics::gauge(name);
     }
@@ -191,5 +194,10 @@ mod tests {
         assert!(text.contains("trace_events_dropped_total"));
         assert!(text.contains(r#"qerror_ewma{rung="spec"}"#));
         assert!(text.contains(r#"qerror_ewma{rung="uniform"}"#));
+        // Fault-tolerance families: deadline closes, client retries,
+        // and the read-only degraded-mode gauge.
+        assert!(text.contains("net_deadline_total"));
+        assert!(text.contains("client_retry_total"));
+        assert!(text.contains("catalog_readonly"));
     }
 }

@@ -137,6 +137,23 @@ pub enum TraceKind {
         /// How it ended (`ok`, `error`, `overloaded`).
         outcome: &'static str,
     },
+    /// The durable catalog entered or left read-only degraded mode
+    /// after a durable-write failure (or a successful restore probe).
+    CatalogReadonly {
+        /// Whether the catalog is now read-only.
+        readonly: bool,
+        /// What triggered the transition: the failing write's error,
+        /// or `probe` for a successful checkpoint probe.
+        reason: String,
+    },
+    /// A retrying client is about to re-send (or re-connect) after a
+    /// transport failure.
+    ClientRetry {
+        /// Wire operation being retried (`connect` for the dial phase).
+        op: &'static str,
+        /// 1-based retry attempt number.
+        attempt: u64,
+    },
     /// A per-scope EWMA Q-error crossed the drift threshold upward.
     Drift {
         /// Quality-monitor scope.
@@ -181,6 +198,11 @@ impl TraceEvent {
             TraceKind::DaemonSweep { .. } => "daemon_sweep",
             TraceKind::Breaker { .. } => "breaker",
             TraceKind::NetRequest { .. } => "net_request",
+            TraceKind::CatalogReadonly { readonly: true, .. } => "catalog_readonly_enter",
+            TraceKind::CatalogReadonly {
+                readonly: false, ..
+            } => "catalog_readonly_exit",
+            TraceKind::ClientRetry { .. } => "client_retry",
             TraceKind::Drift { .. } => "drift",
         }
     }
@@ -456,6 +478,26 @@ pub fn net_request(tenant: &str, op: &'static str, outcome: &'static str) {
     });
 }
 
+/// Records a read-only degraded-mode transition of the durable
+/// catalog.
+pub fn catalog_readonly(readonly: bool, reason: &str) {
+    if !active() {
+        return;
+    }
+    record(TraceKind::CatalogReadonly {
+        readonly,
+        reason: reason.to_string(),
+    });
+}
+
+/// Records one client retry attempt (re-send or re-connect).
+pub fn client_retry(op: &'static str, attempt: u64) {
+    if !active() {
+        return;
+    }
+    record(TraceKind::ClientRetry { op, attempt });
+}
+
 /// Records an upward drift-threshold crossing of a scope's EWMA
 /// Q-error.
 pub fn drift(scope: &str, ewma_q: f64, threshold: f64) {
@@ -575,6 +617,18 @@ impl TraceEvent {
                 w.serialize_str(op);
                 w.map_key("outcome");
                 w.serialize_str(outcome);
+            }
+            TraceKind::CatalogReadonly { readonly, reason } => {
+                w.map_key("readonly");
+                w.serialize_u64(u64::from(*readonly));
+                w.map_key("reason");
+                w.serialize_str(reason);
+            }
+            TraceKind::ClientRetry { op, attempt } => {
+                w.map_key("op");
+                w.serialize_str(op);
+                w.map_key("attempt");
+                w.serialize_u64(*attempt);
             }
             TraceKind::Drift {
                 scope,

@@ -24,7 +24,7 @@ use relstore::catalog::StatKey;
 use relstore::codec::{decode_catalog, encode_catalog};
 use relstore::generate::{relation_from_frequencies, relation_from_matrix};
 use relstore::maintenance::{maintain_column_with_hook, MaintenanceOutcome, RefreshPolicy};
-use relstore::{Catalog, DurableCatalog, KillPoint, RefreshStage, Relation, StoreError};
+use relstore::{Catalog, DurableCatalog, IoFault, KillPoint, RefreshStage, Relation, StoreError};
 use std::path::{Path, PathBuf};
 use vopt_hist::BuilderSpec;
 
@@ -549,6 +549,142 @@ fn crash_recovery_scenario(w: &Workload) -> FaultReport {
     FaultReport::from_failures(NAME, injected, failures)
 }
 
+/// Drives one injected disk fault (error-return, process alive —
+/// contrast [`drive_kill_point`], where the process "dies") and checks
+/// the degraded-mode contract: the fault surfaces as a typed error
+/// naming itself, the store flips read-only, reads keep serving the
+/// committed state, writes are typed [`StoreError::ReadOnly`], the
+/// on-disk state stays byte-identically recoverable mid-degradation,
+/// and a successful checkpoint probe restores read-write.
+fn drive_io_fault(
+    relation: &Relation,
+    dir: &Path,
+    site: KillPoint,
+    fault: IoFault,
+    w: &Workload,
+) -> Result<(), String> {
+    let store = DurableCatalog::open(dir).map_err(|e| format!("open: {e}"))?;
+    store
+        .analyze(relation, "a", SPEC)
+        .map_err(|e| format!("seed analyze: {e}"))?;
+    store
+        .checkpoint()
+        .map_err(|e| format!("seed checkpoint: {e}"))?;
+    // Committed staleness that also makes the column overdue, so the
+    // refresh path actually reaches the journal for the fsync case.
+    let delta = 1_000_000 + w.subseed(7300) % 1_000;
+    store
+        .note_updates(relation.name(), delta)
+        .map_err(|e| format!("seed note_updates: {e}"))?;
+    let pre = durable_state(store.catalog());
+
+    store.arm_io_fault(site, fault);
+    let err = match site {
+        // Inline write path: a client note_updates hits the append.
+        KillPoint::JournalAppend => store.note_updates(relation.name(), 7).err(),
+        // Daemon refresh path: the rebuilt histogram's store hits the
+        // fsync.
+        KillPoint::JournalFsync => store
+            .maintain_column(relation, "a", SPEC, &RefreshPolicy::default())
+            .err(),
+        // Checkpoint path: the snapshot rotation itself fails.
+        KillPoint::SnapshotRotate => store.checkpoint().err(),
+        KillPoint::DaemonRefresh => {
+            return Err("DaemonRefresh is a crash site, not an io-fault site".into())
+        }
+    };
+    match err {
+        Some(e) if format!("{e}").contains(fault.name()) => {}
+        Some(other) => return Err(format!("fault surfaced as unexpected error {other:?}")),
+        None => return Err("armed io fault never fired".into()),
+    }
+    if !store.readonly() {
+        return Err("durable-write failure did not enter read-only mode".into());
+    }
+    if durable_state(store.catalog()) != pre {
+        return Err("degraded catalog no longer serves the last committed state".into());
+    }
+    match store.note_updates(relation.name(), 1) {
+        Err(StoreError::ReadOnly) => {}
+        Err(other) => {
+            return Err(format!(
+                "degraded write surfaced as {other:?}, not ReadOnly"
+            ))
+        }
+        Ok(()) => return Err("degraded store ACCEPTED a write".into()),
+    }
+    // Mid-degradation the directory must already be recoverable to the
+    // committed state — the read-only flip may not depend on any
+    // further successful writes.
+    let recovered = Catalog::recover(dir).map_err(|e| format!("degraded recover: {e}"))?;
+    if durable_state(&recovered) != pre {
+        return Err("disk state under degradation does not recover to the committed state".into());
+    }
+    // The fault was one-shot: the next checkpoint probe succeeds and
+    // restores read-write.
+    if !store.probe_restore() {
+        return Err("checkpoint probe failed to restore read-write".into());
+    }
+    if store.readonly() {
+        return Err("store still read-only after a successful probe".into());
+    }
+    store
+        .note_updates(relation.name(), 5)
+        .map_err(|e| format!("write after restore: {e}"))?;
+    let after_hist = encode_catalog(store.catalog()).to_vec();
+    drop(store);
+    // Recovery after the probe: histograms byte-identical, and the
+    // post-restore write survived in the new generation's journal.
+    // (Version counters restart at a checkpoint by design — see
+    // `snapshot_resets_staleness` — so only the post-probe delta is
+    // compared, not the full pre-fault counter.)
+    let recovered = Catalog::recover(dir).map_err(|e| format!("post-restore recover: {e}"))?;
+    if encode_catalog(&recovered).to_vec() != after_hist {
+        return Err("post-restore histogram state does not survive recovery".into());
+    }
+    let recovered_version = recovered
+        .version_snapshot()
+        .into_iter()
+        .find(|(name, _)| name == relation.name())
+        .map_or(0, |(_, v)| v);
+    if recovered_version != 5 {
+        return Err(format!(
+            "post-restore write lost: recovered version counter {recovered_version} ≠ 5"
+        ));
+    }
+    Ok(())
+}
+
+fn io_fault_scenario(w: &Workload) -> FaultReport {
+    const NAME: &str = "io_fault_degrades_and_recovers";
+    let mut failures = Vec::new();
+    let mut injected = 0;
+    let relation = match build_reference_catalog(w) {
+        Err(e) => {
+            failures.push(e);
+            return FaultReport::from_failures(NAME, injected, failures);
+        }
+        Ok((_, relation)) => relation,
+    };
+    // The grid: both errnos × every degradable durable-write site
+    // (inline journal append, refresh-path fsync, checkpoint rotate).
+    for fault in IoFault::ALL {
+        for site in [
+            KillPoint::JournalAppend,
+            KillPoint::JournalFsync,
+            KillPoint::SnapshotRotate,
+        ] {
+            let label = format!("{}-at-{}", fault.name(), site.name());
+            let dir = CrashDir::new(&label);
+            injected += 1;
+            if let Err(msg) = drive_io_fault(&relation, dir.path(), site, fault, w) {
+                failures.push(format!("{label}: {msg}"));
+            }
+        }
+    }
+    FaultReport::from_failures(NAME, injected, failures)
+}
+
 /// Runs every fault scenario, in [`crate::report::EXPECTED_FAULTS`]
 /// order.
 pub fn run_fault_checks(w: &Workload) -> Vec<FaultReport> {
@@ -558,6 +694,7 @@ pub fn run_fault_checks(w: &Workload) -> Vec<FaultReport> {
         truncation_scenario(w),
         aborted_refresh_scenario(w),
         crash_recovery_scenario(w),
+        io_fault_scenario(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {
@@ -610,6 +747,15 @@ mod tests {
         let report = crash_recovery_scenario(&w);
         // 4 kill points × {journal-only, post-checkpoint}.
         assert_eq!(report.injected, 8);
+        assert!(report.passed, "{:?}", report.failures);
+    }
+
+    #[test]
+    fn io_fault_grid_covers_both_errnos_at_every_degradable_site() {
+        let w = Workload::generate(9, Tier::Quick);
+        let report = io_fault_scenario(&w);
+        // {ENOSPC, EIO} × {journal append, journal fsync, snapshot rotate}.
+        assert_eq!(report.injected, 6);
         assert!(report.passed, "{:?}", report.failures);
     }
 

@@ -1598,6 +1598,205 @@ pub fn check_wire_equals_inprocess(w: &Workload) -> CheckReport {
     CheckReport::from_failures(NAME, cases, failures)
 }
 
+/// Retries must be convergent, not merely eventual: a retrying client
+/// driven through the deterministic chaos proxy (seeded resets,
+/// mid-frame drops, response truncation, delays) must return estimates
+/// and `StatsUse` trails bit-identical to a direct connection to the
+/// same server — and once the chaos connections unwind, the server
+/// must hold zero admission slots, or a leaked slot would eventually
+/// wedge it at `max_connections`.
+pub fn check_chaos_converges(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_chaos");
+    const NAME: &str = "chaos_converges";
+    const TENANT: &str = "oracle";
+    let mut cases = 0;
+    let mut failures = Vec::new();
+
+    let scratch =
+        std::env::temp_dir().join(format!("oracle-chaos-{}-{}", std::process::id(), w.seed));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let server = match netserve::Server::start(netserve::ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        tenants_dir: scratch.clone(),
+        ..netserve::ServerConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            return CheckReport::from_failures(
+                NAME,
+                0,
+                vec![format!("loopback server failed to start: {e}")],
+            )
+        }
+    };
+    let proxy = match netserve::ChaosProxy::start(netserve::ChaosConfig {
+        upstream: server.local_addr().to_string(),
+        seed: w.seed,
+        ..netserve::ChaosConfig::default()
+    }) {
+        Ok(p) => p,
+        Err(e) => {
+            return CheckReport::from_failures(
+                NAME,
+                0,
+                vec![format!("chaos proxy failed to start: {e}")],
+            )
+        }
+    };
+    let mut direct = match netserve::Client::connect(server.local_addr()) {
+        Ok(c) => c,
+        Err(e) => return CheckReport::from_failures(NAME, 0, vec![format!("connect failed: {e}")]),
+    };
+    // Short backoffs keep the check inside its budget; the retry count
+    // of 8 is generous against the proxy's forced-clean-every-third
+    // schedule.
+    let policy = netserve::RetryPolicy {
+        retries: 8,
+        backoff_base: std::time::Duration::from_millis(5),
+        backoff_max: std::time::Duration::from_millis(50),
+        connect_timeout: Some(std::time::Duration::from_secs(5)),
+        seed: w.seed,
+    };
+    let mut chaotic = match netserve::Client::connect_with_retry(proxy.local_addr(), policy) {
+        Ok(c) => c,
+        Err(e) => {
+            return CheckReport::from_failures(
+                NAME,
+                0,
+                vec![format!("connect through chaos proxy failed: {e}")],
+            )
+        }
+    };
+
+    for (idx, set) in w.medium_sets.iter().enumerate().take(2) {
+        let (indices, nz) = nonzero_domain(set.freqs.as_slice());
+        if indices.len() < 2 {
+            continue;
+        }
+        let values: Vec<u64> = indices.iter().map(|&i| i * 3 + 1).collect();
+        let n = values.len();
+        let freq_set = freqdist::FrequencySet::new(nz.clone());
+        let left = match relation_from_frequencies(
+            "l",
+            "a",
+            &values,
+            &freq_set,
+            w.subseed(9700 + idx as u64),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                push_fail(&mut failures, format!("{}: build l: {e}", set.name));
+                continue;
+            }
+        };
+        let right = match relation_from_frequencies(
+            "r",
+            "b",
+            &values,
+            &freq_set,
+            w.subseed(9750 + idx as u64),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                push_fail(&mut failures, format!("{}: build r: {e}", set.name));
+                continue;
+            }
+        };
+        let Some(beta) = betas_for(w, n).next() else {
+            continue;
+        };
+        let case = format!("{} β={beta}", set.name);
+
+        // Setup over the *direct* connection: LOAD_RELATION is not
+        // idempotent, so the chaos path only carries retryable reads.
+        let setup = direct
+            .load_relation(TENANT, &left)
+            .and_then(|_| direct.load_relation(TENANT, &right))
+            .and_then(|_| direct.analyze(TENANT, "v_opt_end_biased", beta as u32));
+        if let Err(e) = setup {
+            push_fail(&mut failures, format!("{case}: direct setup: {e}"));
+            continue;
+        }
+
+        let c = values[n / 2];
+        let (lo, hi) = (values[n / 4], values[3 * n / 4]);
+        let probes = [
+            "select count(*) from l".to_string(),
+            format!("select count(*) from l where l.a = {c}"),
+            format!("select count(*) from l where l.a < {c}"),
+            format!("select count(*) from l where l.a between {lo} and {hi}"),
+            "select count(*) from l, r where l.a = r.b".to_string(),
+        ];
+        for sql in &probes {
+            cases += 1;
+            let (direct_est, direct_sources) = match direct.estimate(TENANT, sql) {
+                Ok(r) => r,
+                Err(e) => {
+                    push_fail(
+                        &mut failures,
+                        format!("{case}: direct estimate '{sql}': {e}"),
+                    );
+                    continue;
+                }
+            };
+            let (chaos_est, chaos_sources) = match chaotic.estimate(TENANT, sql) {
+                Ok(r) => r,
+                Err(e) => {
+                    push_fail(
+                        &mut failures,
+                        format!("{case}: estimate '{sql}' through chaos proxy: {e}"),
+                    );
+                    continue;
+                }
+            };
+            if direct_est.to_bits() != chaos_est.to_bits() {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{case}: '{sql}' chaos estimate {chaos_est} ({:#018x}) ≠ \
+                         direct {direct_est} ({:#018x})",
+                        chaos_est.to_bits(),
+                        direct_est.to_bits()
+                    ),
+                );
+            }
+            if direct_sources != chaos_sources {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "{case}: '{sql}' chaos StatsUse trail {chaos_sources:?} ≠ \
+                         direct {direct_sources:?}"
+                    ),
+                );
+            }
+        }
+    }
+
+    drop(chaotic);
+    proxy.stop();
+    // Slot hygiene: every chaos connection must release its admission
+    // slot; only the direct client's slot may remain.
+    let drain = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while server.active_connections() > 1 && std::time::Instant::now() < drain {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let active = server.active_connections();
+    if active > 1 {
+        push_fail(
+            &mut failures,
+            format!("{active} connection slot(s) still held after the chaos connections closed"),
+        );
+    }
+    if let Err(e) = direct.shutdown() {
+        push_fail(&mut failures, format!("graceful shutdown failed: {e}"));
+    }
+    if let Err(e) = server.join() {
+        push_fail(&mut failures, format!("server join failed: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    CheckReport::from_failures(NAME, cases, failures)
+}
+
 /// Runs every invariant check, in [`crate::report::EXPECTED_CHECKS`]
 /// order.
 pub fn run_all(w: &Workload) -> Vec<CheckReport> {
@@ -1615,6 +1814,7 @@ pub fn run_all(w: &Workload) -> Vec<CheckReport> {
         check_tracing_transparent(w),
         check_range_band_matches_execution(w),
         check_wire_equals_inprocess(w),
+        check_chaos_converges(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {

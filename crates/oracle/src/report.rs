@@ -13,7 +13,7 @@ use serde::{Serialize, Serializer};
 /// any of these names — or reporting one with zero cases — fails
 /// validation, so commenting out a check is a detected failure, not a
 /// silent gap.
-pub const EXPECTED_CHECKS: [&str; 12] = [
+pub const EXPECTED_CHECKS: [&str; 13] = [
     "serial_dp_matches_exhaustive_optimum",
     "theorem_3_3_v_optimal_minimizes_sigma",
     "query_independence_self_join_optimum",
@@ -26,16 +26,18 @@ pub const EXPECTED_CHECKS: [&str; 12] = [
     "tracing_transparent",
     "range_band_matches_execution",
     "wire_equals_inprocess",
+    "chaos_converges",
 ];
 
 /// Every fault-injection scenario a selftest run must execute, under the
 /// same no-silent-gaps rule as [`EXPECTED_CHECKS`] (zero injections fail
 /// validation).
-pub const EXPECTED_FAULTS: [&str; 4] = [
+pub const EXPECTED_FAULTS: [&str; 5] = [
     "snapshot_corruption_detected",
     "snapshot_truncation_detected",
     "aborted_refresh_preserves_catalog",
     "crash_recovery_restores_committed_state",
+    "io_fault_degrades_and_recovers",
 ];
 
 /// Outcome of one invariant check across its whole workload.

@@ -411,10 +411,15 @@ impl DaemonCore {
     /// One production sweep against a durable store: refreshes go
     /// through [`DurableCatalog::maintain_column`] (journaled, failure
     /// streaks recorded), then the journal is compacted if it crossed
-    /// the configured threshold.
+    /// the configured threshold. When the store has degraded to
+    /// read-only (a durable write failed), the sweep first probes it
+    /// with a checkpoint via [`DurableCatalog::probe_restore`]: a
+    /// success restores read-write before any refresh runs, so one
+    /// clean sweep is enough to recover from a transient disk fault.
     pub fn tick(&mut self, store: &DurableCatalog) {
         let _span = obs::span("daemon_sweep");
         let started = std::time::Instant::now();
+        store.probe_restore();
         let policy = self.config.policy;
         self.tick_injected(&mut |task| {
             store.maintain_column(&task.relation, &task.column, task.spec, &policy)

@@ -32,6 +32,11 @@ pub enum StoreError {
     Io(String),
     /// A histogram or frequency-structure error bubbled up.
     Hist(String),
+    /// The durable catalog is in read-only degraded mode after a
+    /// failed durable write (e.g. ENOSPC on a journal fsync). Reads
+    /// keep serving the last committed state; writes are refused until
+    /// a probe (a successful checkpoint) restores read-write.
+    ReadOnly,
     /// An invalid parameter (e.g. empty sample, zero rows requested).
     InvalidParameter(String),
     /// A snapshot carries a recognised but no-longer-supported format
@@ -61,6 +66,13 @@ impl fmt::Display for StoreError {
             StoreError::Codec(msg) => write!(f, "codec error: {msg}"),
             StoreError::Io(msg) => write!(f, "io error: {msg}"),
             StoreError::Hist(msg) => write!(f, "histogram error: {msg}"),
+            StoreError::ReadOnly => {
+                write!(
+                    f,
+                    "catalog is read-only (degraded after a durable-write failure); \
+                     retry after the next successful checkpoint probe"
+                )
+            }
             StoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             StoreError::UnsupportedSnapshot { found, supported } => {
                 write!(

@@ -53,4 +53,4 @@ pub use error::{Result, StoreError};
 pub use par::par_map;
 pub use relation::Relation;
 pub use schema::{ColumnDef, Schema};
-pub use wal::{DurableCatalog, KillPoint};
+pub use wal::{DurableCatalog, IoFault, KillPoint};

@@ -40,6 +40,20 @@
 //! a crash at that instant would (torn append, skipped fsync, missing
 //! rename). The oracle drives every kill point and checks that recovery
 //! lands on a committed state — see `oracle::faults`.
+//!
+//! Orthogonally, [`DurableCatalog::arm_io_fault`] plants a one-shot
+//! *error-return* fault ([`IoFault::Enospc`] or [`IoFault::Eio`]) at
+//! one of the durable-write sites (journal append, journal fsync,
+//! snapshot rotate). Unlike a kill point — which models the process
+//! dying — an I/O fault models the *disk* failing under a live
+//! process: the write returns an error, nothing is committed, and the
+//! store flips into a **read-only degraded mode**. Reads keep serving
+//! the last committed state, writes return [`StoreError::ReadOnly`],
+//! the `catalog_readonly` gauge goes to 1 and a trace event is
+//! emitted. A successful [`DurableCatalog::checkpoint`] — the
+//! maintenance daemon probes one per sweep via
+//! [`DurableCatalog::probe_restore`] — proves durable writes work
+//! again and restores read-write.
 
 use crate::catalog::{Catalog, StatKey, StoredHistogram};
 use crate::catalog2d::StoredMatrixHistogram;
@@ -53,6 +67,7 @@ use parking_lot::Mutex;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use vopt_hist::{BuilderSpec, MatrixHistogram};
 
@@ -94,6 +109,43 @@ impl KillPoint {
         KillPoint::SnapshotRotate,
         KillPoint::DaemonRefresh,
     ];
+}
+
+/// An error-return disk fault [`DurableCatalog::arm_io_fault`] can
+/// plant at a durable-write site. Where a [`KillPoint`] simulates the
+/// *process* dying, an `IoFault` simulates the *disk* failing under a
+/// live process: the operation returns the corresponding `errno`-style
+/// error and the store enters read-only degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// `ENOSPC`: no space left on device.
+    Enospc,
+    /// `EIO`: a low-level device I/O error.
+    Eio,
+}
+
+impl IoFault {
+    /// Stable lowercase name, used in error messages and oracle output.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoFault::Enospc => "enospc",
+            IoFault::Eio => "eio",
+        }
+    }
+
+    /// The `std::io::Error` this fault surfaces as.
+    fn to_io_error(self) -> std::io::Error {
+        // Raw errnos (Linux/POSIX): ENOSPC = 28, EIO = 5. Using the OS
+        // mapping keeps the message ("No space left on device") what a
+        // real failure would produce.
+        std::io::Error::from_raw_os_error(match self {
+            IoFault::Enospc => 28,
+            IoFault::Eio => 5,
+        })
+    }
+
+    /// Both faults, in the order the oracle's grid drives them.
+    pub const ALL: [IoFault; 2] = [IoFault::Enospc, IoFault::Eio];
 }
 
 const TAG_PUT: u8 = 1;
@@ -398,6 +450,13 @@ pub struct DurableCatalog {
     catalog: Arc<Catalog>,
     journal: Mutex<JournalWriter>,
     kill: Mutex<Option<KillPoint>>,
+    /// One-shot error-return fault: fires when the named durable-write
+    /// site is next reached (only the journal-append, journal-fsync,
+    /// and snapshot-rotate sites check it).
+    io_fault: Mutex<Option<(KillPoint, IoFault)>>,
+    /// Read-only degraded mode, entered on any durable-write failure
+    /// and exited by the next successful checkpoint (the probe).
+    readonly: AtomicBool,
 }
 
 impl DurableCatalog {
@@ -450,6 +509,8 @@ impl DurableCatalog {
                 dirty: false,
             }),
             kill: Mutex::new(None),
+            io_fault: Mutex::new(None),
+            readonly: AtomicBool::new(false),
         })
     }
 
@@ -501,6 +562,67 @@ impl DurableCatalog {
         }
     }
 
+    /// Plants a one-shot error-return fault: the next durable write
+    /// that reaches `site` fails with `fault`'s errno and the store
+    /// enters read-only degraded mode. Sites checked:
+    /// [`KillPoint::JournalAppend`], [`KillPoint::JournalFsync`], and
+    /// [`KillPoint::SnapshotRotate`]. Used by the oracle's I/O-fault
+    /// grid.
+    pub fn arm_io_fault(&self, site: KillPoint, fault: IoFault) {
+        *self.io_fault.lock() = Some((site, fault));
+    }
+
+    fn take_io_fault(&self, site: KillPoint) -> Option<IoFault> {
+        let mut armed = self.io_fault.lock();
+        match *armed {
+            Some((s, fault)) if s == site => {
+                *armed = None;
+                Some(fault)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the store is in read-only degraded mode (reads keep
+    /// serving the last committed state; writes return
+    /// [`StoreError::ReadOnly`]).
+    pub fn readonly(&self) -> bool {
+        self.readonly.load(Ordering::SeqCst)
+    }
+
+    /// Flips into read-only degraded mode (idempotent): gauge to 1,
+    /// one trace event per transition.
+    fn enter_readonly(&self, reason: &str) {
+        if !self.readonly.swap(true, Ordering::SeqCst) {
+            obs::gauge("catalog_readonly").set(1.0);
+            obs::trace::catalog_readonly(true, reason);
+        }
+    }
+
+    /// The degraded-mode exit probe: when read-only, attempts a full
+    /// [`DurableCatalog::checkpoint`] — a real durable write covering
+    /// every site that can have failed — and read-write resumes iff it
+    /// succeeds. Returns whether the store is writable afterwards. The
+    /// maintenance daemon calls this once per sweep.
+    pub fn probe_restore(&self) -> bool {
+        if !self.readonly.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.checkpoint().is_ok() && !self.readonly.load(Ordering::SeqCst)
+    }
+
+    /// The typed error an injected `fault` at `site` surfaces as. The
+    /// message carries both names so tests and operators can tell an
+    /// injected ENOSPC from a real one.
+    fn injected_io_error(site: KillPoint, fault: IoFault) -> StoreError {
+        StoreError::Io(format!(
+            "injected {} at {}: {}",
+            fault.name(),
+            site.name(),
+            fault.to_io_error()
+        ))
+    }
+
     /// Appends one framed record and, still holding the journal lock,
     /// applies the matching in-memory mutation via `apply`. Holding the
     /// lock across both steps makes the pair atomic with respect to
@@ -523,6 +645,9 @@ impl DurableCatalog {
     /// complete, self-validating mutation either way.
     fn append_all_and_apply(&self, payloads: &[&[u8]], apply: impl FnOnce(&Catalog)) -> Result<()> {
         let _span = obs::span("wal_append");
+        if self.readonly.load(Ordering::SeqCst) {
+            return Err(StoreError::ReadOnly);
+        }
         let mut w = self.journal.lock();
         w.heal()?;
         let mut framed = Vec::new();
@@ -555,10 +680,36 @@ impl DurableCatalog {
                 KillPoint::JournalFsync.name()
             )));
         }
-        w.file
-            .write_all(&framed)
-            .and_then(|()| w.file.sync_data())
-            .map_err(|e| io_err("journal append", e))?;
+        if let Some(fault) = self.take_io_fault(KillPoint::JournalAppend) {
+            // Error return, not a crash: the write(2) failed wholesale,
+            // no bytes reached the file, and the live store degrades.
+            let err = Self::injected_io_error(KillPoint::JournalAppend, fault);
+            self.enter_readonly(&err.to_string());
+            return Err(err);
+        }
+        if let Some(fault) = self.take_io_fault(KillPoint::JournalFsync) {
+            // The frame was written but fsync failed: the record is not
+            // durable and must not count as committed. Truncate it back
+            // out so the on-disk journal stays aligned with the
+            // (unadvanced) in-memory state — the degraded store keeps
+            // serving, unlike a crash.
+            w.file
+                .write_all(&framed)
+                .map_err(|e| io_err("journal append", e))?;
+            w.dirty = true;
+            let healed = w.heal();
+            let err = Self::injected_io_error(KillPoint::JournalFsync, fault);
+            self.enter_readonly(&err.to_string());
+            healed?;
+            return Err(err);
+        }
+        if let Err(e) = w.file.write_all(&framed).and_then(|()| w.file.sync_data()) {
+            // A real (uninjected) append failure degrades identically.
+            w.dirty = true;
+            let err = io_err("journal append", e);
+            self.enter_readonly(&err.to_string());
+            return Err(err);
+        }
         w.bytes += framed.len() as u64;
         obs::gauge("wal_journal_bytes").set(w.bytes as f64);
         obs::counter("wal_append_total").add(payloads.len() as u64);
@@ -679,6 +830,13 @@ impl DurableCatalog {
         if !due {
             return Ok(MaintenanceOutcome::Fresh);
         }
+        if self.readonly.load(Ordering::SeqCst) {
+            // Degraded: skip the scan (its put would be refused anyway)
+            // but record the failure so the breaker machinery reacts.
+            let err = StoreError::ReadOnly;
+            self.catalog.note_refresh_failure(&key, &err.to_string());
+            return Err(err);
+        }
         if self.take_kill(KillPoint::DaemonRefresh) {
             let err = StoreError::Io(format!(
                 "kill point {}: crashed before refresh scan",
@@ -716,11 +874,19 @@ impl DurableCatalog {
         let snapshot = codec::encode_catalog(&self.catalog);
         let final_path = self.dir.join(snapshot_name(next));
         let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(next)));
+        // Any real I/O failure from here on degrades to read-only; a
+        // fired kill point does not (it models the process dying, and
+        // the store contract after one is drop-and-reopen).
+        let degrade = |e: StoreError| {
+            self.enter_readonly(&e.to_string());
+            e
+        };
         {
-            let mut tmp = File::create(&tmp_path).map_err(|e| io_err("create snapshot tmp", e))?;
+            let mut tmp =
+                File::create(&tmp_path).map_err(|e| degrade(io_err("create snapshot tmp", e)))?;
             tmp.write_all(&snapshot)
                 .and_then(|()| tmp.sync_all())
-                .map_err(|e| io_err("write snapshot tmp", e))?;
+                .map_err(|e| degrade(io_err("write snapshot tmp", e)))?;
         }
         if self.take_kill(KillPoint::SnapshotRotate) {
             return Err(StoreError::Io(format!(
@@ -728,22 +894,32 @@ impl DurableCatalog {
                 KillPoint::SnapshotRotate.name()
             )));
         }
-        fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename snapshot", e))?;
-        sync_dir(&self.dir)?;
+        if let Some(fault) = self.take_io_fault(KillPoint::SnapshotRotate) {
+            // The rotation failed mid-checkpoint: the previous
+            // generation stays current and fully readable; the
+            // lingering tmp file is ignored by loaders and cleaned up
+            // by the next successful checkpoint.
+            return Err(degrade(Self::injected_io_error(
+                KillPoint::SnapshotRotate,
+                fault,
+            )));
+        }
+        fs::rename(&tmp_path, &final_path).map_err(|e| degrade(io_err("rename snapshot", e)))?;
+        sync_dir(&self.dir).map_err(degrade)?;
         // Fresh journal for the new generation. Remove any crash
         // leftover first so the file really starts empty.
         let journal_path = self.dir.join(journal_name(next));
         match fs::remove_file(&journal_path) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(io_err("clear stale journal", e)),
+            Err(e) => return Err(degrade(io_err("clear stale journal", e))),
         }
         let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&journal_path)
-            .map_err(|e| io_err("create journal", e))?;
-        sync_dir(&self.dir)?;
+            .map_err(|e| degrade(io_err("create journal", e)))?;
+        sync_dir(&self.dir).map_err(degrade)?;
         let previous = w.generation;
         w.file = file;
         w.bytes = 0;
@@ -761,6 +937,12 @@ impl DurableCatalog {
         obs::gauge("wal_journal_bytes").set(0.0);
         obs::counter("wal_checkpoint_total").inc();
         obs::trace::wal_checkpoint(next);
+        // A checkpoint is a full durable write through every site that
+        // can have degraded us; surviving one proves the disk is back.
+        if self.readonly.swap(false, Ordering::SeqCst) {
+            obs::gauge("catalog_readonly").set(0.0);
+            obs::trace::catalog_readonly(false, "checkpoint probe succeeded");
+        }
         Ok(())
     }
 }
@@ -1025,6 +1207,104 @@ mod tests {
         drop(store);
         let recovered = Catalog::recover(scratch.path()).unwrap();
         assert_eq!(state_of(&recovered), pre);
+    }
+
+    /// Serialises the degraded-mode tests: they assert on the shared
+    /// `catalog_readonly` gauge, which each of them toggles.
+    static READONLY_GAUGE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn io_fault_on_journal_append_degrades_to_readonly_then_probe_restores() {
+        let _gauge = READONLY_GAUGE_LOCK.lock();
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        store.analyze(&rel, "c", SPEC).unwrap();
+        let committed = state_of(store.catalog());
+        store.arm_io_fault(KillPoint::JournalAppend, IoFault::Enospc);
+        let err = store.note_updates("t", 8).unwrap_err();
+        assert!(err.to_string().contains("enospc"), "{err}");
+        assert!(err.to_string().contains("journal_append"), "{err}");
+        // Degraded: reads serve the committed state, writes are typed.
+        assert!(store.readonly());
+        assert!(store.catalog().get(&StatKey::new("t", &["c"])).is_ok());
+        assert_eq!(state_of(store.catalog()), committed);
+        assert_eq!(store.note_updates("t", 1), Err(StoreError::ReadOnly));
+        // On-disk state is byte-identically the committed state.
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        assert_eq!(state_of(&recovered), committed);
+        // The probe (a clean checkpoint) restores read-write.
+        assert!(store.probe_restore());
+        assert!(!store.readonly());
+        store.note_updates("t", 2).unwrap();
+        assert_eq!(
+            store
+                .catalog()
+                .staleness(&StatKey::new("t", &["c"]))
+                .unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn io_fault_on_journal_fsync_commits_nothing_and_stays_aligned() {
+        let _gauge = READONLY_GAUGE_LOCK.lock();
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        store.analyze(&rel, "c", SPEC).unwrap();
+        let committed = state_of(store.catalog());
+        store.arm_io_fault(KillPoint::JournalFsync, IoFault::Eio);
+        let err = store.note_updates("t", 8).unwrap_err();
+        assert!(err.to_string().contains("eio"), "{err}");
+        assert!(store.readonly());
+        // Unlike the JournalFsync *kill point* (where the process dies
+        // and the unsynced frame may survive), the live degraded store
+        // truncates the unacknowledged frame: disk and memory agree.
+        assert_eq!(state_of(store.catalog()), committed);
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        assert_eq!(state_of(&recovered), committed);
+        assert!(store.probe_restore());
+        store.note_updates("t", 3).unwrap();
+    }
+
+    #[test]
+    fn enospc_mid_checkpoint_leaves_catalog_readable_and_recoverable() {
+        let _gauge = READONLY_GAUGE_LOCK.lock();
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        store.analyze(&rel, "c", SPEC).unwrap();
+        store.note_updates("t", 4).unwrap();
+        let committed = state_of(store.catalog());
+        store.arm_io_fault(KillPoint::SnapshotRotate, IoFault::Enospc);
+        let err = store.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("enospc"), "{err}");
+        assert!(err.to_string().contains("snapshot_rotate"), "{err}");
+        assert!(store.readonly());
+        assert_eq!(obs::gauge("catalog_readonly").get(), 1.0);
+        // The previous generation stays current; the catalog stays
+        // readable and byte-identically recoverable.
+        assert_eq!(store.generation(), 0);
+        assert_eq!(state_of(store.catalog()), committed);
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        assert_eq!(state_of(&recovered), committed);
+        // A refresh attempt while degraded is a typed failure that
+        // feeds the breaker.
+        store.catalog().note_updates("t", 100); // make the column due
+        let refresh = store
+            .maintain_column(&rel, "c", SPEC, &RefreshPolicy::default())
+            .unwrap_err();
+        assert_eq!(refresh, StoreError::ReadOnly);
+        assert!(store
+            .catalog()
+            .refresh_failure(&StatKey::new("t", &["c"]))
+            .is_some());
+        // A subsequent clean sweep's probe exits read-only mode.
+        assert!(store.probe_restore());
+        assert!(!store.readonly());
+        assert_eq!(obs::gauge("catalog_readonly").get(), 0.0);
+        assert_eq!(store.generation(), 1);
     }
 
     #[test]

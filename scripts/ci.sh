@@ -65,6 +65,21 @@ if grep -RnE 'journal\.\{?[0-9a-zA-Z_:$<>]*\}?\.wal|"journal\.' \
   exit 1
 fi
 
+echo "==> socket-timeout confinement guard"
+# Connection deadlines are a netserve policy, enforced in one place
+# (the server's DeadlineReader and the chaos proxy's bounded pumps).
+# A raw set_read_timeout/set_write_timeout anywhere else is an ad-hoc
+# deadline that bypasses the typed DEADLINE close, the
+# net_deadline_total counter, and the slot-release path.
+if grep -RnE 'set_read_timeout|set_write_timeout' \
+    --include='*.rs' \
+    src tests examples crates \
+  | grep -v '^crates/netserve/'; then
+  echo "error: raw socket timeout calls found outside crates/netserve" >&2
+  echo "       (deadlines are configured via netserve::ServerConfig)" >&2
+  exit 1
+fi
+
 echo "==> socket-confinement guard"
 # Raw socket I/O lives in crates/netserve alone: every other crate,
 # binary, and test speaks to the statistics server through
@@ -377,6 +392,86 @@ then
 fi
 if ! grep -q 'checkpointed' "$serve_log"; then
   echo "error: graceful shutdown did not report tenant checkpoints" >&2
+  exit 1
+fi
+
+echo "==> chaos-convergence gate (retrying bench through the proxy = direct digests)"
+# Fault tolerance end to end over real processes: a serve --listen
+# server, the deterministic chaos proxy in front of it (dropped
+# connections, truncated responses, injected resets, delays), and a
+# retrying bench --remote driven through the proxy. The chaotic run's
+# result digests must be byte-identical to a direct-connection run —
+# the fault layer adds retries, never error. SIGTERM must stop the
+# proxy cleanly and checkpoint the server's tenants.
+chaos_tenants="$(mktemp -d)"
+chaos_serve_log="$(mktemp)"
+chaos_log="$(mktemp)"
+bench_direct="$(mktemp)"
+bench_chaos="$(mktemp)"
+trap 'rm -rf "$bench_a" "$bench_b" "$bench_remote" "$trace_out" "$serve_log" \
+  "$tenants_dir" "$chaos_tenants" "$chaos_serve_log" "$chaos_log" \
+  "$bench_direct" "$bench_chaos"' EXIT
+target/release/histctl serve --listen 127.0.0.1:0 --tenants "$chaos_tenants" \
+  > "$chaos_serve_log" &
+chaos_serve_pid=$!
+chaos_addr=""
+for _ in $(seq 100); do
+  chaos_addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$chaos_serve_log" | head -1 || true)"
+  [ -n "$chaos_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$chaos_addr" ]; then
+  echo "error: chaos-gate serve --listen did not report a bound address" >&2
+  kill "$chaos_serve_pid" 2>/dev/null || true
+  exit 1
+fi
+target/release/histctl chaos --upstream "$chaos_addr" > "$chaos_log" &
+chaos_pid=$!
+proxy_addr=""
+for _ in $(seq 100); do
+  proxy_addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$chaos_log" | head -1 || true)"
+  [ -n "$proxy_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$proxy_addr" ]; then
+  echo "error: chaos proxy did not report a bound address" >&2
+  kill "$chaos_pid" "$chaos_serve_pid" 2>/dev/null || true
+  exit 1
+fi
+target/release/histctl bench --threads 1,2 --ops 150 --seed 1 --json \
+  --remote "$chaos_addr" > "$bench_direct"
+target/release/histctl bench --threads 1,2 --ops 150 --seed 1 --json \
+  --remote "$proxy_addr" --retries 8 > "$bench_chaos"
+kill -TERM "$chaos_pid"
+wait "$chaos_pid"
+target/release/histctl client --addr "$chaos_addr" --op shutdown > /dev/null
+wait "$chaos_serve_pid"
+if ! BENCH_DIRECT="$bench_direct" BENCH_CHAOS="$bench_chaos" python3 - <<'PY'
+import json
+import os
+import sys
+
+direct = json.load(open(os.environ["BENCH_DIRECT"]))
+chaos = json.load(open(os.environ["BENCH_CHAOS"]))
+dd = [(r["threads"], r["ops"], r["digest"]) for r in direct["runs"]]
+dc = [(r["threads"], r["ops"], r["digest"]) for r in chaos["runs"]]
+if dd != dc:
+    sys.exit(f"chaotic digests differ from direct digests:\n{dd}\n{dc}")
+for report, label in ((direct, "direct"), (chaos, "chaos")):
+    nodelay = report.get("nodelay")
+    if not nodelay or not nodelay.get("on_median_ns") or not nodelay.get("off_median_ns"):
+        sys.exit(f"{label} remote report missing the nodelay latency probe: {nodelay}")
+PY
+then
+  echo "error: chaos-convergence gate failed (digests or nodelay probe)" >&2
+  exit 1
+fi
+if ! grep -q 'chaos proxy stopped' "$chaos_log"; then
+  echo "error: SIGTERM did not stop the chaos proxy cleanly" >&2
+  exit 1
+fi
+if ! grep -q 'checkpointed' "$chaos_serve_log"; then
+  echo "error: chaos-gate shutdown did not report tenant checkpoints" >&2
   exit 1
 fi
 

@@ -62,21 +62,39 @@ commands:
                  journal/breaker state)
   serve         --listen HOST:PORT --tenants DIR
                 [--max-conns N] [--queue-depth N] [--allow-remote-shutdown]
+                [--read-timeout-ms MS] [--write-timeout-ms MS]
                 (runs the networked multi-tenant statistics server:
                  binds the VOHW frame protocol on HOST:PORT — port 0
                  picks an ephemeral port, printed on the first stdout
                  line — and gives every tenant its own journaled
                  catalog, maintenance daemon, and admission queue under
-                 DIR. Runs until a client sends SHUTDOWN, then
-                 checkpoints every tenant. SHUTDOWN is unauthenticated,
-                 so non-loopback listeners refuse it unless
-                 --allow-remote-shutdown is given)
+                 DIR. Runs until a client sends SHUTDOWN or the process
+                 gets SIGINT/SIGTERM; either path checkpoints every
+                 tenant. SHUTDOWN is unauthenticated, so non-loopback
+                 listeners refuse it unless --allow-remote-shutdown is
+                 given. The deadlines default to 30000 ms each and bound
+                 how long a connection may sit idle, dribble a partial
+                 frame, or stall a response write before it is closed
+                 with a typed DEADLINE error; 0 disables a deadline)
   client        --addr HOST:PORT --op OP [--tenant T] [--sql QUERY]
                 [--table name=file.csv] [--class CLASS] [--buckets B]
+                [--retries N]
                 (one request against a running serve --listen server.
                  OP is ping, load (--tenant --table), analyze (--tenant
                  [--class] [--buckets]), estimate (--tenant --sql),
-                 epoch (--tenant), metrics, or shutdown)
+                 epoch (--tenant), metrics, or shutdown. --retries
+                 turns on the fault-tolerant client: N extra attempts
+                 with seeded exponential backoff, reconnecting and
+                 replaying idempotent ops — load is replayed only when
+                 the failure struck before any bytes reached the server)
+  chaos         --upstream HOST:PORT [--listen HOST:PORT] [--seed S]
+                (runs the deterministic chaos proxy in front of a
+                 serve --listen server: each accepted connection draws
+                 a seeded fate — clean, reset, drop-request,
+                 truncate-response, or delay — and every third
+                 connection is forced clean so retrying clients always
+                 converge. The first stdout line reports the bound
+                 address; the proxy runs until SIGINT/SIGTERM)
   recover       --data-dir DIR
                 (replays the newest valid snapshot plus journal tail in
                  DIR read-only and prints what survived)
@@ -89,7 +107,8 @@ commands:
                  seed's reference catalog; --snapshot verifies one first)
   bench         [--threads LIST] [--duration-ms D | --ops N]
                 [--workload selfjoin|chain|range] [--remote HOST:PORT]
-                [--seed S] [--buckets B] [--class CLASS] [--json] [--out FILE.json]
+                [--retries N] [--seed S] [--buckets B] [--class CLASS]
+                [--json] [--out FILE.json]
                 (closed-loop estimation load harness: T concurrent
                  threads drive cached estimates over an oracle-generated
                  query pool while the maintenance daemon churns the
@@ -105,7 +124,11 @@ commands:
                  serve --listen server instead of in-process: the
                  report gains \"transport\":\"remote\" and its digests
                  are bit-identical to the in-process run with the same
-                 seed — the serving layer adds latency, never error)
+                 seed — the serving layer adds latency, never error.
+                 --retries N arms the fault-tolerant client on every
+                 remote connection, so the bench converges even through
+                 the chaos proxy; remote reports also record the
+                 TCP_NODELAY on/off single-op round-trip medians)
 
 CLASS names a registered histogram builder (default v_opt_end_biased),
 optionally with an explicit budget: 'max_diff', 'equi_depth:20', or
@@ -204,6 +227,42 @@ fn read_csv(path: &str, name: &str) -> Result<Relation, String> {
 fn load_histogram(path: &str) -> Result<StoredHistogram, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
     decode_histogram(bytes.into()).map_err(|e| e.to_string())
+}
+
+/// SIGINT/SIGTERM turn into a flag the long-running commands poll, so
+/// Ctrl-C runs the same checkpoint-all-tenants path as a wire SHUTDOWN
+/// instead of killing the process mid-journal. The workspace keeps
+/// `libc` out of the dependency tree, so the handler registers through
+/// the C `signal` symbol directly — the only unsafe code in the binary,
+/// confined to this module.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag-setting handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only stores an atomic
+        // is async-signal-safe; both signum values are valid.
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn received() -> bool {
+        SIGNALED.load(Ordering::SeqCst)
+    }
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -693,6 +752,19 @@ fn cmd_serve_net(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| parse_num(s, "queue-depth"))
         .transpose()?
         .unwrap_or(64);
+    // Connection deadlines default on (30 s): a slow-loris client that
+    // dribbles half a frame must not hold an admission slot forever.
+    // `0` disables a deadline for debugger-friendly sessions.
+    let deadline = |flag: &str| -> Result<Option<std::time::Duration>, String> {
+        let ms: u64 = flags
+            .get(flag)
+            .map(|s| parse_num(s, flag))
+            .transpose()?
+            .unwrap_or(30_000);
+        Ok((ms > 0).then(|| std::time::Duration::from_millis(ms)))
+    };
+    let read_timeout = deadline("read-timeout-ms")?;
+    let write_timeout = deadline("write-timeout-ms")?;
     obs::register_well_known();
     let server = netserve::Server::start(netserve::ServerConfig {
         listen: listen.to_string(),
@@ -700,16 +772,67 @@ fn cmd_serve_net(flags: &HashMap<String, String>) -> Result<(), String> {
         max_connections,
         queue_depth,
         allow_remote_shutdown: flags.contains_key("allow-remote-shutdown"),
+        read_timeout,
+        write_timeout,
         ..netserve::ServerConfig::default()
     })
     .map_err(|e| format!("bind {listen}: {e}"))?;
+    let timeout_ms = |t: Option<std::time::Duration>| match t {
+        Some(d) => format!("{}ms", d.as_millis()),
+        None => "off".to_string(),
+    };
     outln!(
         "serving on {} (tenants in {tenants}, max {max_connections} connection(s), \
-         queue depth {queue_depth})",
-        server.local_addr()
+         queue depth {queue_depth}, read/write deadlines {}/{})",
+        server.local_addr(),
+        timeout_ms(read_timeout),
+        timeout_ms(write_timeout)
     );
+    // SIGINT/SIGTERM run the same graceful path as a wire SHUTDOWN:
+    // flip the stop flag, drain connections, checkpoint every tenant.
+    signals::install();
+    while !server.stopping() && !signals::received() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    if signals::received() {
+        server.shutdown();
+    }
     let checkpointed = server.join().map_err(|e| e.to_string())?;
     outln!("shutdown: checkpointed {checkpointed} tenant(s)");
+    Ok(())
+}
+
+/// `histctl chaos`: the deterministic chaos proxy as a standalone
+/// process, for CI gates and manual fault drills. Prints the bound
+/// address on the first stdout line (pass --listen port 0 for an
+/// ephemeral port) and forwards to --upstream until SIGINT/SIGTERM.
+fn cmd_chaos(flags: &HashMap<String, String>) -> Result<(), String> {
+    let upstream = required(flags, "upstream")?;
+    let listen = flags
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(0xc4a0_5150);
+    let proxy = netserve::ChaosProxy::start(netserve::ChaosConfig {
+        listen: listen.to_string(),
+        upstream: upstream.to_string(),
+        seed,
+    })
+    .map_err(|e| format!("bind {listen}: {e}"))?;
+    outln!(
+        "chaos proxy on {} (upstream {upstream}, seed {seed})",
+        proxy.local_addr()
+    );
+    signals::install();
+    while !signals::received() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    proxy.stop();
+    outln!("chaos proxy stopped");
     Ok(())
 }
 
@@ -751,7 +874,17 @@ fn cmd_client(flags: &HashMap<String, String>) -> Result<(), String> {
         None
     };
 
-    let mut client = netserve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // --retries arms the fault-tolerant client: the dial and every
+    // idempotent op get N extra attempts with seeded backoff. With the
+    // default of 0 the behavior is the original single-shot client.
+    let retries: u32 = flags
+        .get("retries")
+        .map(|s| parse_num(s, "retries"))
+        .transpose()?
+        .unwrap_or(0);
+    let mut client =
+        netserve::Client::connect_with_retry(addr, netserve::RetryPolicy::with_retries(retries))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
     match op {
         "ping" => {
             client.ping().map_err(|e| e.to_string())?;
@@ -998,13 +1131,19 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let wl = oracle::Workload::generate(seed, oracle::Tier::Quick);
     let (relations, sql_pool) = bench_workload(&wl, workload)?;
     let remote = flags.get("remote");
+    let retries: u32 = flags
+        .get("retries")
+        .map(|s| parse_num(s, "retries"))
+        .transpose()?
+        .unwrap_or(0);
+    let mut nodelay_probe = None;
     let runs = match remote {
         Some(addr) => {
             let class = flags
                 .get("class")
                 .map(String::as_str)
                 .unwrap_or("v_opt_end_biased");
-            bench_runs_remote(
+            let runs = bench_runs_remote(
                 addr,
                 class,
                 buckets as u32,
@@ -1014,7 +1153,10 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
                 seed,
                 ops,
                 duration_ms,
-            )?
+                retries,
+            )?;
+            nodelay_probe = Some(remote_nodelay_probe(addr, seed, retries)?);
+            runs
         }
         None => bench_runs_local(
             &relations,
@@ -1110,8 +1252,14 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         s.push_str(&format!(
             "],\"speedup\":{{\"cached_median_ns\":{cached_median},\
-             \"uncached_median_ns\":{uncached_median},\"speedup\":{speedup:.1}}}}}"
+             \"uncached_median_ns\":{uncached_median},\"speedup\":{speedup:.1}}}"
         ));
+        if let Some((on_ns, off_ns)) = nodelay_probe {
+            s.push_str(&format!(
+                ",\"nodelay\":{{\"on_median_ns\":{on_ns},\"off_median_ns\":{off_ns}}}"
+            ));
+        }
+        s.push('}');
         s
     };
     if let Some(path) = flags.get("out") {
@@ -1142,6 +1290,12 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
             "  single lookup: cached {cached_median} ns vs uncached {uncached_median} ns \
              ({speedup:.1}x)"
         );
+        if let Some((on_ns, off_ns)) = nodelay_probe {
+            outln!(
+                "  wire round-trip: nodelay on {on_ns} ns vs off {off_ns} ns \
+                 (single-op median)"
+            );
+        }
     }
     Ok(())
 }
@@ -1435,15 +1589,29 @@ fn bench_runs_remote(
     seed: u64,
     ops: Option<u64>,
     duration_ms: u64,
+    retries: u32,
 ) -> Result<Vec<BenchRun>, String> {
     use std::time::{Duration, Instant};
 
     const TENANT: &str = "bench";
-    let mut admin = netserve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut admin = netserve::Client::connect_with_retry(addr, bench_retry_policy(seed, retries))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
     for rel in relations {
-        admin
-            .load_relation(TENANT, rel)
-            .map_err(|e| format!("load {}: {e}", rel.name()))?;
+        // The typed client only replays LOAD_RELATION on connect-phase
+        // failures (a half-delivered mutation must not be blindly
+        // resent). The bench knows more: its loads are idempotent
+        // upserts of a deterministic relation, so re-driving the whole
+        // call after any transport failure converges to the same
+        // catalog. That is what lets `bench --remote --retries` run
+        // through the chaos proxy end to end.
+        let mut attempt = 0;
+        loop {
+            match admin.load_relation(TENANT, rel) {
+                Ok(_) => break,
+                Err(netserve::ClientError::Io(_)) if attempt < retries => attempt += 1,
+                Err(e) => return Err(format!("load {}: {e}", rel.name())),
+            }
+        }
     }
     admin
         .analyze(TENANT, class, buckets)
@@ -1463,7 +1631,11 @@ fn bench_runs_remote(
                 .map(|worker| {
                     let hist = &hist;
                     s.spawn(move || {
-                        let mut client = netserve::Client::connect(addr).expect("bench connect");
+                        // Distinct jitter seeds per worker so retrying
+                        // clients fan out instead of stampeding.
+                        let policy = bench_retry_policy(seed ^ (worker as u64 + 1), retries);
+                        let mut client = netserve::Client::connect_with_retry(addr, policy)
+                            .expect("bench connect");
                         let mut state = seed
                             ^ ((threads as u64) << 32)
                             ^ (worker as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -1526,6 +1698,48 @@ fn bench_runs_remote(
     Ok(runs)
 }
 
+/// The remote bench's retry schedule: short backoffs (5 ms base,
+/// 100 ms cap) because the chaos proxy guarantees every third
+/// connection is clean — convergence needs persistence, not patience.
+fn bench_retry_policy(seed: u64, retries: u32) -> netserve::RetryPolicy {
+    netserve::RetryPolicy {
+        retries,
+        backoff_base: std::time::Duration::from_millis(5),
+        backoff_max: std::time::Duration::from_millis(100),
+        seed,
+        ..netserve::RetryPolicy::default()
+    }
+}
+
+/// Measures the single-op (PING) round-trip median with `TCP_NODELAY`
+/// on and off on the client socket. The server side always runs with
+/// `TCP_NODELAY`, so this isolates the client-side Nagle penalty —
+/// the before/after pair recorded in the remote bench report.
+fn remote_nodelay_probe(addr: &str, seed: u64, retries: u32) -> Result<(u64, u64), String> {
+    use std::time::Instant;
+
+    const TRIALS: usize = 101;
+    let mut medians = [0u64; 2];
+    for (slot, nodelay) in [(0usize, true), (1usize, false)] {
+        let mut client =
+            netserve::Client::connect_with_retry(addr, bench_retry_policy(seed, retries))
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+        client
+            .set_nodelay(nodelay)
+            .map_err(|e| format!("set_nodelay({nodelay}): {e}"))?;
+        let mut samples: Vec<u64> = (0..TRIALS)
+            .map(|_| {
+                let t0 = Instant::now();
+                client.ping().map_err(|e| format!("probe ping: {e}"))?;
+                Ok(t0.elapsed().as_nanos() as u64)
+            })
+            .collect::<Result<_, String>>()?;
+        samples.sort_unstable();
+        medians[slot] = samples[samples.len() / 2];
+    }
+    Ok((medians[0], medians[1]))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -1545,6 +1759,7 @@ fn main() -> ExitCode {
             "top" => cmd_top(&flags),
             "serve" => cmd_serve(&flags),
             "client" => cmd_client(&flags),
+            "chaos" => cmd_chaos(&flags),
             "recover" => cmd_recover(&flags),
             "selftest" => cmd_selftest(&flags),
             "bench" => cmd_bench(&flags),
