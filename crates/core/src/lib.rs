@@ -60,6 +60,7 @@ pub mod advisor;
 pub mod bucket;
 pub mod construct;
 pub mod error;
+pub mod feedback;
 pub mod histogram;
 pub mod interp;
 pub mod partition;
@@ -69,6 +70,7 @@ pub mod two_dim;
 pub use bucket::BucketStats;
 pub use construct::{OptResult, PrefixSums};
 pub use error::HistError;
+pub use feedback::{TuneConfig, TuneDelta, TuneSkip};
 pub use histogram::{Histogram, HistogramClass, RoundingMode};
 pub use interp::ValueBounds;
 pub use registry::{builder_named, builders, BuilderSpec, HistogramBuilder};

@@ -1,0 +1,171 @@
+//! Property-based tests for the feedback tuner's hard invariants: every
+//! tune step conserves total frequency mass exactly, keeps bucket value
+//! spans well-formed and pairwise disjoint, keeps the exception list
+//! strictly sorted with valid bucket references, never exceeds the β
+//! bucket budget, and is deterministic.
+
+use proptest::prelude::*;
+use vopt_hist::feedback::{total_mass, tune_step, TuneConfig};
+use vopt_hist::ValueBounds;
+
+type Parts = (Vec<u64>, u32, Vec<(u64, u32)>, Vec<ValueBounds>);
+
+/// Histograms over a contiguous integer domain partitioned into
+/// consecutive buckets of varying width (1–6 distinct values each, so
+/// the lcm transfer-quantum logic sees genuinely mixed distinct
+/// counts), one bucket designated default with its values unlisted.
+fn parts_strategy() -> impl Strategy<Value = Parts> {
+    prop::collection::vec((0u64..=500, 1u64..=6), 2..=8)
+        .prop_flat_map(|avg_sizes| {
+            let n = avg_sizes.len();
+            (Just(avg_sizes), 0..n)
+        })
+        .prop_map(|(avg_sizes, default)| {
+            let mut lo = 0u64;
+            let mut avgs = Vec::new();
+            let mut bounds = Vec::new();
+            let mut exceptions = Vec::new();
+            for (b, &(avg, size)) in avg_sizes.iter().enumerate() {
+                avgs.push(avg);
+                bounds.push(ValueBounds {
+                    lo,
+                    hi: lo + size,
+                    distinct: size,
+                });
+                if b != default {
+                    for v in lo..lo + size {
+                        exceptions.push((v, b as u32));
+                    }
+                }
+                lo += size;
+            }
+            (avgs, default as u32, exceptions, bounds)
+        })
+}
+
+/// Structural validity: spans well-formed and pairwise disjoint,
+/// exceptions strictly increasing with in-range bucket references,
+/// default bucket in range, parts parallel.
+fn assert_valid(avgs: &[u64], default: u32, exceptions: &[(u64, u32)], bounds: &[ValueBounds]) {
+    let n = avgs.len();
+    assert!(n >= 1);
+    assert!((default as usize) < n);
+    assert_eq!(bounds.len(), n);
+    for bb in bounds {
+        assert!(bb.lo < bb.hi, "span [{}, {}) malformed", bb.lo, bb.hi);
+        assert!(bb.distinct >= 1 && bb.distinct <= bb.hi - bb.lo);
+    }
+    let mut sorted: Vec<&ValueBounds> = bounds.iter().collect();
+    sorted.sort_by_key(|b| b.lo);
+    for w in sorted.windows(2) {
+        assert!(
+            w[0].hi <= w[1].lo,
+            "spans [{}, {}) and [{}, {}) overlap",
+            w[0].lo,
+            w[0].hi,
+            w[1].lo,
+            w[1].hi
+        );
+    }
+    for w in exceptions.windows(2) {
+        assert!(w[0].0 < w[1].0, "exceptions not strictly increasing");
+    }
+    for &(_, b) in exceptions {
+        assert!((b as usize) < n, "exception references bucket {b} of {n}");
+    }
+}
+
+proptest! {
+    /// The conserved quantity: Σ avg·distinct is bit-identical across
+    /// every applied step, whatever the observation said.
+    #[test]
+    fn every_step_conserves_total_mass(
+        parts in parts_strategy(),
+        hit_sel in 0usize..64,
+        actual in 0u32..=2_000,
+        beta in 1usize..=10,
+    ) {
+        let (avgs, default, exceptions, bounds) = parts;
+        let hit = hit_sel % avgs.len();
+        let estimate = avgs[hit] as f64;
+        let before = total_mass(&avgs, &bounds);
+        if let Ok(d) = tune_step(
+            &avgs, default, &exceptions, &bounds,
+            estimate, actual as f64, beta, &TuneConfig::default(),
+        ) {
+            prop_assert_eq!(total_mass(&d.bucket_avgs, &d.bounds), before);
+            prop_assert!(d.mass_moved > 0);
+        }
+    }
+
+    /// Structure survives: spans stay disjoint and well-formed, the
+    /// exception list stays sorted and in range, and the bucket count
+    /// never exceeds max(β, incoming count).
+    #[test]
+    fn every_step_keeps_structure_valid_and_within_budget(
+        parts in parts_strategy(),
+        hit_sel in 0usize..64,
+        actual in 0u32..=2_000,
+        beta in 1usize..=10,
+    ) {
+        let (avgs, default, exceptions, bounds) = parts;
+        let hit = hit_sel % avgs.len();
+        let estimate = avgs[hit] as f64;
+        let n_before = avgs.len();
+        if let Ok(d) = tune_step(
+            &avgs, default, &exceptions, &bounds,
+            estimate, actual as f64, beta, &TuneConfig::default(),
+        ) {
+            assert_valid(&d.bucket_avgs, d.default_bucket, &d.exceptions, &d.bounds);
+            prop_assert!(d.bucket_avgs.len() <= beta.max(n_before));
+            // Every originally listed value is still listed (tuning
+            // re-buckets values, it never forgets them), and the
+            // per-bucket distinct counts still sum up.
+            prop_assert_eq!(
+                d.exceptions.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                exceptions.iter().map(|&(v, _)| v).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// An applied step moves the hit bucket's estimate toward the
+    /// observed truth: the predicted Q-error never degrades.
+    #[test]
+    fn applied_steps_never_increase_qerror(
+        parts in parts_strategy(),
+        hit_sel in 0usize..64,
+        actual in 1u32..=2_000,
+        beta in 1usize..=10,
+    ) {
+        let (avgs, default, exceptions, bounds) = parts;
+        let hit = hit_sel % avgs.len();
+        let estimate = avgs[hit] as f64;
+        if let Ok(d) = tune_step(
+            &avgs, default, &exceptions, &bounds,
+            estimate, actual as f64, beta, &TuneConfig::default(),
+        ) {
+            prop_assert!(
+                d.qerror_post <= d.qerror_pre + 1e-9,
+                "q {} -> {}", d.qerror_pre, d.qerror_post
+            );
+        }
+    }
+
+    /// Tune steps are pure functions of their inputs — the daemon's
+    /// trace-determinism guarantee rests on this.
+    #[test]
+    fn tune_step_is_deterministic(
+        parts in parts_strategy(),
+        hit_sel in 0usize..64,
+        actual in 0u32..=2_000,
+        beta in 1usize..=10,
+    ) {
+        let (avgs, default, exceptions, bounds) = parts;
+        let hit = hit_sel % avgs.len();
+        let estimate = avgs[hit] as f64;
+        let cfg = TuneConfig::default();
+        let a = tune_step(&avgs, default, &exceptions, &bounds, estimate, actual as f64, beta, &cfg);
+        let b = tune_step(&avgs, default, &exceptions, &bounds, estimate, actual as f64, beta, &cfg);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -209,6 +209,7 @@ mod tests {
         Arc::new(vec![StatsUse {
             target: "t.a".into(),
             rung: EstimateRung::Spec,
+            tuned: false,
         }])
     }
 

@@ -68,6 +68,9 @@ pub struct Engine {
 /// from the rung, never from missing data.
 pub(crate) struct ColumnStats<'a> {
     pub(crate) rung: EstimateRung,
+    /// Whether feedback tuning has adjusted the histogram since its
+    /// last full build. Always false when self-tuning is off.
+    pub(crate) tuned: bool,
     hist: Option<&'a StoredHistogram>,
     domain: Option<&'a [u64]>,
     rows: f64,
@@ -643,8 +646,10 @@ impl Engine {
                 snap.staleness(&key).ok(),
             );
         }
+        let tuned = hist.is_some() && snap.tuned_count(&key) > 0;
         Ok(ColumnStats {
             rung,
+            tuned,
             hist,
             domain,
             rows,
@@ -666,7 +671,7 @@ impl Engine {
         &self,
         snap: &CatalogSnapshot,
         f: &FilterPredicate,
-    ) -> Result<(f64, EstimateRung)> {
+    ) -> Result<(f64, EstimateRung, bool)> {
         let stats = self.resolve_stats(snap, &f.column)?;
         let interval = f.op.to_predicate().normalize().interval();
         let sel = match (stats.rung, interval) {
@@ -687,7 +692,7 @@ impl Engine {
                 (mass / stats.rows.max(1.0)).clamp(0.0, 1.0)
             }
         };
-        Ok((sel, stats.rung))
+        Ok((sel, stats.rung, stats.tuned))
     }
 
     /// Estimates the query's `COUNT(*)` from catalog statistics alone —
@@ -718,7 +723,7 @@ impl Engine {
         if let Some(hit) = hit {
             let mut sources = Vec::with_capacity(hit.sources.len());
             for s in hit.sources.iter() {
-                record_stats_use(&mut sources, s.target.clone(), s.rung);
+                record_stats_use(&mut sources, s.target.clone(), s.rung, s.tuned);
             }
             return Ok((hit.estimate, sources));
         }
@@ -761,7 +766,7 @@ impl Engine {
         let (estimate, sources) = if let Some(hit) = hit {
             let mut sources = Vec::with_capacity(hit.sources.len());
             for s in hit.sources.iter() {
-                record_stats_use(&mut sources, s.target.clone(), s.rung);
+                record_stats_use(&mut sources, s.target.clone(), s.rung, s.tuned);
             }
             (hit.estimate, sources)
         } else {
@@ -813,15 +818,15 @@ impl Engine {
             }
         }
         for f in &query.filters {
-            let (sel, rung) = self.filter_selectivity(snap, f)?;
+            let (sel, rung, tuned) = self.filter_selectivity(snap, f)?;
             estimate *= sel;
-            record_stats_use(&mut sources, filter_target(f), rung);
+            record_stats_use(&mut sources, filter_target(f), rung, tuned);
         }
         // Join selectivities.
         for j in &query.joins {
-            let (sel, rung) = self.join_selectivity(snap, j)?;
+            let (sel, rung, tuned) = self.join_selectivity(snap, j)?;
             estimate *= sel;
-            record_stats_use(&mut sources, j.to_string(), rung);
+            record_stats_use(&mut sources, j.to_string(), rung, tuned);
         }
         Ok((estimate, sources))
     }
@@ -841,10 +846,11 @@ impl Engine {
         &self,
         snap: &CatalogSnapshot,
         j: &crate::ast::JoinPredicate,
-    ) -> Result<(f64, EstimateRung)> {
+    ) -> Result<(f64, EstimateRung, bool)> {
         let left = self.resolve_stats(snap, &j.left)?;
         let right = self.resolve_stats(snap, &j.right)?;
         let rung = left.rung.worse(right.rung);
+        let tuned = left.tuned || right.tuned;
         if let Some(w) = j.band {
             let sel = if left.rung == EstimateRung::Spec && right.rung == EstimateRung::Spec {
                 let lh = left.hist.expect("spec rung has a histogram");
@@ -856,7 +862,7 @@ impl Engine {
             } else {
                 UNIFORM_BAND_SELECTIVITY
             };
-            return Ok((sel, rung));
+            return Ok((sel, rung, tuned));
         }
         let (Some(l_dom), Some(r_dom)) = (left.domain, right.domain) else {
             let v_l = left
@@ -865,7 +871,7 @@ impl Engine {
             let v_r = right
                 .domain
                 .map_or(UNIFORM_DISTINCT_DEFAULT, |d| d.len() as f64);
-            return Ok(((1.0 / v_l.max(v_r).max(1.0)).clamp(0.0, 1.0), rung));
+            return Ok(((1.0 / v_l.max(v_r).max(1.0)).clamp(0.0, 1.0), rung, tuned));
         };
         let mut domain: Vec<u64> = l_dom.iter().chain(r_dom).copied().collect();
         domain.sort_unstable();
@@ -882,7 +888,7 @@ impl Engine {
         };
         let l_rows = self.relation(&j.left.table)?.num_rows() as f64;
         let r_rows = self.relation(&j.right.table)?.num_rows() as f64;
-        Ok(((overlap / (l_rows * r_rows)).clamp(0.0, 1.0), rung))
+        Ok(((overlap / (l_rows * r_rows)).clamp(0.0, 1.0), rung, tuned))
     }
 }
 
@@ -1080,6 +1086,7 @@ mod tests {
             vec![StatsUse {
                 target: "t.a".to_string(),
                 rung: EstimateRung::Uniform,
+                tuned: false,
             }]
         );
         // Execution works without statistics.

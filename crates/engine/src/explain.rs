@@ -163,9 +163,9 @@ impl Engine {
         predicate: &JoinPredicate,
         est_left_rows: f64,
         est_right_rows: f64,
-    ) -> Result<(f64, EstimateRung)> {
-        let (sel, rung) = self.join_selectivity(snap, predicate)?;
-        Ok((est_left_rows * est_right_rows * sel, rung))
+    ) -> Result<(f64, EstimateRung, bool)> {
+        let (sel, rung, tuned) = self.join_selectivity(snap, predicate)?;
+        Ok((est_left_rows * est_right_rows * sel, rung, tuned))
     }
 
     /// Executes the query with statistics-driven join ordering and
@@ -202,9 +202,9 @@ impl Engine {
             let filtered = self.filtered_base(t, filters)?;
             let mut est = self.relation(t)?.num_rows() as f64;
             for f in filters {
-                let (sel, rung) = self.filter_selectivity(&snap, f)?;
+                let (sel, rung, tuned) = self.filter_selectivity(&snap, f)?;
                 est *= sel;
-                record_stats_use(&mut stats_sources, filter_target(f), rung);
+                record_stats_use(&mut stats_sources, filter_target(f), rung, tuned);
             }
             steps.push(PlanStep {
                 description: if filters.is_empty() {
@@ -255,7 +255,7 @@ impl Engine {
         let first_idx = {
             let mut best = (f64::INFINITY, 0usize);
             for (i, j) in pending.iter().enumerate() {
-                let (e, _) = self.join_step_estimate(
+                let (e, _, _) = self.join_step_estimate(
                     &snap,
                     j,
                     est_rows[&j.left.table],
@@ -269,9 +269,9 @@ impl Engine {
         };
         let j = pending.remove(first_idx);
         let sp = obs::span("join");
-        let (mut acc_est, first_rung) =
+        let (mut acc_est, first_rung, first_tuned) =
             self.join_step_estimate(&snap, j, est_rows[&j.left.table], est_rows[&j.right.table])?;
-        record_stats_use(&mut stats_sources, j.to_string(), first_rung);
+        record_stats_use(&mut stats_sources, j.to_string(), first_rung, first_tuned);
         let mut acc = Self::materialize_join_step(
             &bases[&j.left.table],
             &j.left.to_string(),
@@ -300,8 +300,8 @@ impl Engine {
                 // pair: its selectivity within the intermediate is the
                 // pair-overlap selectivity scaled back up by one side's
                 // cardinality (the other side is already fixed per row).
-                let (sel, rung) = self.join_selectivity(&snap, j)?;
-                record_stats_use(&mut stats_sources, j.to_string(), rung);
+                let (sel, rung, tuned) = self.join_selectivity(&snap, j)?;
+                record_stats_use(&mut stats_sources, j.to_string(), rung, tuned);
                 acc_est *= sel * self.relation(&j.left.table)?.num_rows() as f64;
                 acc = match j.band {
                     None => {
@@ -324,7 +324,7 @@ impl Engine {
             }
             // Among joins that connect a new table, pick the smallest
             // estimated output.
-            let mut best: Option<(f64, usize, EstimateRung)> = None;
+            let mut best: Option<(f64, usize, EstimateRung, bool)> = None;
             for (i, j) in pending.iter().enumerate() {
                 let l_in = joined.contains(&j.left.table);
                 let r_in = joined.contains(&j.right.table);
@@ -332,12 +332,13 @@ impl Engine {
                     continue;
                 }
                 let new_table = if l_in { &j.right.table } else { &j.left.table };
-                let (e, rung) = self.join_step_estimate(&snap, j, acc_est, est_rows[new_table])?;
-                if best.is_none_or(|(b, _, _)| e < b) {
-                    best = Some((e, i, rung));
+                let (e, rung, tuned) =
+                    self.join_step_estimate(&snap, j, acc_est, est_rows[new_table])?;
+                if best.is_none_or(|(b, _, _, _)| e < b) {
+                    best = Some((e, i, rung, tuned));
                 }
             }
-            let Some((step_est, idx, step_rung)) = best else {
+            let Some((step_est, idx, step_rung, step_tuned)) = best else {
                 return Err(EngineError::InvalidJoinGraph(format!(
                     "tables {:?} are not connected to the rest of the query",
                     query
@@ -363,7 +364,7 @@ impl Engine {
             )?;
             acc_est = step_est;
             joined.insert(new_side.table.clone());
-            record_stats_use(&mut stats_sources, j.to_string(), step_rung);
+            record_stats_use(&mut stats_sources, j.to_string(), step_rung, step_tuned);
             steps.push(PlanStep {
                 description: format!("join {j}"),
                 estimated: acc_est,
@@ -490,6 +491,68 @@ mod tests {
         // Render does not panic and mentions the count.
         let text = out.to_string();
         assert!(text.contains("COUNT(*)"));
+    }
+
+    /// Join-order search scores many candidate orders, each scoring
+    /// pass consulting the same column statistics as the chosen plan —
+    /// but only the *final* plan's estimate may feed the quality
+    /// monitor. One explain_analyze must record exactly one
+    /// observation per consulted `col:` scope (the drift watchdog
+    /// attributes accuracy to columns; double-counting a stationary
+    /// workload would look like drift), and no scope at all for
+    /// columns outside the plan's statistics trail.
+    #[test]
+    fn candidate_scoring_does_not_pollute_column_quality_scopes() {
+        // Relation names unique to this test: the quality registry is
+        // process-global and other tests in this binary record their
+        // own `col:` scopes concurrently.
+        let mut e = Engine::new();
+        let f0 = zipf_frequencies(400, 20, 1.0).unwrap();
+        e.register(relation_from_frequency_set("qp_r0", "a", &f0, 1).unwrap());
+        let fm = zipf_frequencies(600, 20 * 10, 0.8).unwrap();
+        let arr = Arrangement::random_batch(200, 1, 7).remove(0);
+        let m = FreqMatrix::from_arrangement(&fm, 20, 10, &arr).unwrap();
+        let a_vals: Vec<u64> = (0..20).collect();
+        let b_vals: Vec<u64> = (0..10).collect();
+        e.register(relation_from_matrix("qp_r1", "a", "b", &a_vals, &b_vals, &m, 2).unwrap());
+        let f2 = zipf_frequencies(100, 10, 0.3).unwrap();
+        e.register(relation_from_frequency_set("qp_r2", "b", &f2, 3).unwrap());
+        e.analyze_all(6).unwrap();
+
+        let q = e
+            .parse(
+                "SELECT COUNT(*) FROM qp_r0, qp_r1, qp_r2 \
+                 WHERE qp_r0.a = qp_r1.a AND qp_r1.b = qp_r2.b",
+            )
+            .unwrap();
+        let out = e.explain_analyze(&q).unwrap();
+
+        let mut trail_columns: Vec<String> = out
+            .stats_sources
+            .iter()
+            .flat_map(|s| target_columns(&s.target))
+            .map(|c| format!("col:{c}"))
+            .collect();
+        trail_columns.sort_unstable();
+        trail_columns.dedup();
+        assert!(!trail_columns.is_empty());
+
+        let mut recorded: Vec<(String, u64)> = obs::quality::snapshot_prefixed("col:qp_")
+            .into_iter()
+            .map(|(scope, snap)| (scope, snap.count))
+            .collect();
+        recorded.sort();
+        // Exactly the trail's columns, no extras from discarded
+        // candidate orders...
+        assert_eq!(
+            recorded.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>(),
+            trail_columns
+        );
+        // ...and exactly one observation each, despite the join-order
+        // search having estimated each candidate step.
+        for (scope, count) in recorded {
+            assert_eq!(count, 1, "{scope} recorded {count} observations");
+        }
     }
 
     #[test]

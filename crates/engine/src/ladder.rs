@@ -91,6 +91,12 @@ pub struct StatsUse {
     pub target: String,
     /// The ladder rung that answered.
     pub rung: EstimateRung,
+    /// Whether feedback tuning has adjusted the answering statistics
+    /// since their last full build (for a join: either side). Always
+    /// `false` when self-tuning is off, so disabled-mode trails — and
+    /// their wire encoding — are bit-identical to the pre-feedback
+    /// behaviour.
+    pub tuned: bool,
 }
 
 /// Cached `estimate_rung_total{rung=…}` counter handle for one rung.
@@ -120,10 +126,19 @@ fn rung_counter(rung: EstimateRung) -> &'static Arc<obs::Counter> {
 /// and those must not inflate the ladder metrics. Cache hits replay
 /// their memoised lookups through here too, so the rung counters move
 /// identically hit vs. miss.
-pub(crate) fn record_stats_use(sources: &mut Vec<StatsUse>, target: String, rung: EstimateRung) {
+pub(crate) fn record_stats_use(
+    sources: &mut Vec<StatsUse>,
+    target: String,
+    rung: EstimateRung,
+    tuned: bool,
+) {
     rung_counter(rung).inc();
     obs::trace::rung_chosen(&target, rung.name());
-    sources.push(StatsUse { target, rung });
+    sources.push(StatsUse {
+        target,
+        rung,
+        tuned,
+    });
 }
 
 /// System R's textbook default selectivities, used on the `uniform`

@@ -31,6 +31,10 @@ pub struct StatsProvenance {
     pub target: String,
     /// The degradation-ladder rung that answered.
     pub rung: EstimateRung,
+    /// Whether feedback tuning adjusted the answering statistics since
+    /// their last full build (either side, for a join). Always `false`
+    /// with self-tuning off.
+    pub tuned: bool,
     /// Histogram class (builder name) the consulted entry was built
     /// with, if a histogram existed and recorded its spec. For a join
     /// this is the class of the staler side — the one that limits
@@ -103,6 +107,7 @@ impl StatsProvenance {
         Self {
             target: source.target.clone(),
             rung: source.rung,
+            tuned: source.tuned,
             class,
             staleness,
         }
@@ -150,12 +155,13 @@ impl fmt::Display for ProvenanceRecord {
         for s in &self.stats {
             writeln!(
                 f,
-                "  {:<46} rung={} class={} staleness={}",
+                "  {:<46} rung={} class={} staleness={}{}",
                 s.target,
                 s.rung.name(),
                 s.class.as_deref().unwrap_or("-"),
                 s.staleness
                     .map_or_else(|| "-".to_string(), |n| n.to_string()),
+                if s.tuned { " tuned" } else { "" },
             )?;
         }
         for st in &self.stages {

@@ -26,6 +26,11 @@ enum Op {
     ClearStats,
     /// Swap the degradation policy (a non-epoch input: clears the cache).
     SetPolicy(u64),
+    /// Apply one feedback tune to a relation's histogram. The tune goes
+    /// through the catalog's single mutation point, so it bumps the
+    /// epoch — every cached estimate computed from the pre-tune
+    /// statistics must miss on the next probe.
+    Tune(usize, u64, u64),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -39,7 +44,24 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(Op::Reanalyze),
         Just(Op::ClearStats),
         prop_oneof![Just(5u64), Just(500), Just(10_000)].prop_map(Op::SetPolicy),
+        ((0usize..2), (1u64..200), (1u64..200)).prop_map(|(r, e, a)| Op::Tune(r, e, a)),
     ]
+}
+
+/// Applies one feedback observation to `names[rel]`'s column through
+/// the catalog's compute/apply tune pair (the same split
+/// `DurableCatalog::tune_column` journals around). Skips — dead zone,
+/// quantisation — are fine: the cache contract is about what happens
+/// when the histogram *does* change.
+fn tune_relation(eng: &Engine, names: &[&str; 2], rel: usize, estimate: u64, actual: u64) {
+    let key = relstore::catalog::StatKey::new(names[rel], &["v"]);
+    let cfg = vopt_hist::feedback::TuneConfig::default();
+    if let Ok(Ok((hist, _))) =
+        eng.catalog()
+            .compute_tune(&key, estimate as f64, actual as f64, &cfg)
+    {
+        eng.catalog().apply_tune(&key, hist).expect("apply tune");
+    }
 }
 
 /// The query pool: every predicate shape the estimator knows, over two
@@ -113,6 +135,9 @@ proptest! {
                     hard_staleness_limit: limit,
                     ..EstimatePolicy::default()
                 }),
+                Op::Tune(rel, estimate, actual) => {
+                    tune_relation(&eng, &names, rel, estimate, actual);
+                }
             }
         }
         // Whatever state the interleaving left behind, every pool query
@@ -120,6 +145,183 @@ proptest! {
         for (idx, query) in pool.iter().enumerate() {
             assert_transparent(&eng, query, &format!("final state, query {idx}"));
         }
+    }
+}
+
+/// A feedback tune is a catalog mutation like any other: it bumps the
+/// epoch, so every estimate cached against the pre-tune statistics
+/// misses on its next probe. The [`StatsUse`] `tuned` marker makes a
+/// stale hit detectable end to end: the warm pre-tune trail carries
+/// `tuned: false`, so if the cache served it after the tune, the
+/// post-tune probe could not report `tuned: true`.
+#[test]
+fn tune_epoch_bump_flushes_cached_estimates() {
+    let left: Vec<u64> = (1..=10).map(|i| i * 13 % 50 + 1).collect();
+    let right: Vec<u64> = (1..=10).map(|i| i * 17 % 45 + 1).collect();
+    let (eng, pool) = build_engine(&left, &right, 4242);
+
+    // Warm the cache and pin the pre-tune state: histogram-backed
+    // estimates, not yet tuned.
+    let mut before = Vec::new();
+    for query in &pool {
+        let (est, src) = eng.estimate_with_sources(query).expect("warm");
+        let (est2, src2) = eng.estimate_with_sources(query).expect("re-probe");
+        assert_eq!(est.to_bits(), est2.to_bits());
+        assert_eq!(src, src2);
+        assert!(src.iter().all(|s| !s.tuned), "nothing tuned yet");
+        before.push((est, src));
+    }
+
+    // A feedback observation that must apply: the current average of
+    // `l.v`'s first mass-bearing bucket, reported 10× too low.
+    let key = relstore::catalog::StatKey::new("l", &["v"]);
+    let hist = eng.catalog().get(&key).expect("l statistics");
+    let avg = *hist
+        .bucket_avgs()
+        .iter()
+        .find(|&&a| a > 0)
+        .expect("some bucket carries mass");
+    let cfg = vopt_hist::feedback::TuneConfig::default();
+    let epoch_before = eng.catalog().epoch();
+    let (tuned_hist, report) = eng
+        .catalog()
+        .compute_tune(&key, avg as f64, avg as f64 * 10.0, &cfg)
+        .expect("entry exists")
+        .expect("observation outside the dead zone applies");
+    assert!(report.qerror_post <= report.qerror_pre);
+    eng.catalog().apply_tune(&key, tuned_hist).expect("apply");
+    assert_eq!(
+        eng.catalog().epoch(),
+        epoch_before + 1,
+        "a tune is one catalog mutation: exactly one epoch bump"
+    );
+
+    // Every cached entry is now stale by epoch. Each probe must agree
+    // bitwise with the uncached path, and every estimate that consults
+    // l's histogram must now say so via the tuned marker.
+    for (idx, query) in pool.iter().enumerate() {
+        assert_transparent(&eng, query, &format!("post-tune, query {idx}"));
+        let (_, src) = eng.estimate_with_sources(query).expect("post-tune");
+        for s in &src {
+            assert_eq!(
+                s.tuned,
+                s.target.contains("l.v"),
+                "query {idx}: tuned marker wrong for {}",
+                s.target
+            );
+        }
+        // The pre-tune trail said `tuned: false` everywhere; any query
+        // touching l.v proves the flush by flipping it.
+        if src.iter().any(|s| s.tuned) {
+            assert_ne!(
+                src, before[idx].1,
+                "query {idx}: stale trail survived the tune"
+            );
+        }
+    }
+}
+
+/// Tuning refines a histogram; it must not prop one up on the
+/// degradation ladder. Staleness past the hard limit demotes a tuned
+/// column to the same rung, at the same time, as an untuned one (the
+/// ladder looks at staleness, never at feedback) — though the demoted
+/// `end_biased` answer still reads the (tuned) histogram, so the
+/// `tuned` marker stays honest rather than vanishing. Only when the
+/// statistics are dropped outright is the feedback gone with them:
+/// estimates and trails become bit-identical to an engine that never
+/// saw feedback, `tuned: false` everywhere.
+#[test]
+fn tuned_then_invalidated_falls_down_ladder_exactly_as_untuned() {
+    let left: Vec<u64> = (1..=10).map(|i| i * 19 % 60 + 1).collect();
+    let right: Vec<u64> = (1..=10).map(|i| i * 23 % 55 + 1).collect();
+    let (mut tuned_eng, pool) = build_engine(&left, &right, 777);
+    let (mut plain_eng, _) = build_engine(&left, &right, 777);
+
+    // Tune only one engine, hard enough to visibly change l's histogram.
+    let key = relstore::catalog::StatKey::new("l", &["v"]);
+    let hist = tuned_eng.catalog().get(&key).expect("l statistics");
+    let avg = *hist
+        .bucket_avgs()
+        .iter()
+        .find(|&&a| a > 0)
+        .expect("some bucket carries mass");
+    let cfg = vopt_hist::feedback::TuneConfig::default();
+    let (tuned_hist, _) = tuned_eng
+        .catalog()
+        .compute_tune(&key, avg as f64, avg as f64 * 8.0, &cfg)
+        .expect("entry exists")
+        .expect("observation applies");
+    tuned_eng
+        .catalog()
+        .apply_tune(&key, tuned_hist)
+        .expect("apply");
+
+    // While the histogram is live the engines must disagree somewhere —
+    // otherwise the demotion assertion below proves nothing.
+    let diverged = pool.iter().any(|q| {
+        let (a, _) = tuned_eng.estimate_with_sources(q).expect("tuned");
+        let (b, _) = plain_eng.estimate_with_sources(q).expect("plain");
+        a.to_bits() != b.to_bits()
+    });
+    assert!(
+        diverged,
+        "the tune changed no estimate; pick a harder observation"
+    );
+
+    // Cross the hard staleness limit on l in both engines: both demote
+    // in lockstep. The tuned engine's demoted answers may differ in
+    // *value* (the end_biased rung still reads the tuned histogram) but
+    // never in rung, and its trail must keep reporting the feedback.
+    for eng in [&mut tuned_eng, &mut plain_eng] {
+        eng.set_estimate_policy(EstimatePolicy {
+            hard_staleness_limit: 10,
+            ..EstimatePolicy::default()
+        });
+        eng.catalog().note_updates("l", 1_000_000);
+    }
+    for (idx, query) in pool.iter().enumerate() {
+        let (_, sa) = tuned_eng.estimate_with_sources(query).expect("tuned");
+        let (_, sb) = plain_eng.estimate_with_sources(query).expect("plain");
+        let shape_a: Vec<_> = sa.iter().map(|s| (&s.target, s.rung)).collect();
+        let shape_b: Vec<_> = sb.iter().map(|s| (&s.target, s.rung)).collect();
+        assert_eq!(shape_a, shape_b, "query {idx}: demotion rungs diverged");
+        for s in &sa {
+            assert_eq!(
+                s.tuned,
+                s.target.contains("l.v"),
+                "query {idx}: tuned marker must survive demotion for {}",
+                s.target
+            );
+        }
+        assert_transparent(
+            &tuned_eng,
+            query,
+            &format!("demoted tuned engine, query {idx}"),
+        );
+    }
+
+    // Dropping the statistics abandons the tuned histogram entirely:
+    // from here the engines are indistinguishable, bit for bit.
+    tuned_eng.clear_statistics();
+    plain_eng.clear_statistics();
+    for (idx, query) in pool.iter().enumerate() {
+        let (a, sa) = tuned_eng.estimate_with_sources(query).expect("tuned");
+        let (b, sb) = plain_eng.estimate_with_sources(query).expect("plain");
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "query {idx}: statless estimates diverged ({a} vs {b})"
+        );
+        assert_eq!(sa, sb, "query {idx}: statless StatsUse trails diverged");
+        assert!(
+            sa.iter().all(|s| !s.tuned),
+            "query {idx}: no histogram, no tuned marker"
+        );
+        assert_transparent(
+            &tuned_eng,
+            query,
+            &format!("statless tuned engine, query {idx}"),
+        );
     }
 }
 

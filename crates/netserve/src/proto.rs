@@ -356,6 +356,12 @@ pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> std::io::R
     w.flush()
 }
 
+/// The wire byte for one `StatsUse`: the ladder rung in the low seven
+/// bits, the feedback-tuned marker in the high bit. With self-tuning
+/// off every `tuned` is false, so the byte equals the bare rung code
+/// and disabled-mode frames are bit-identical to the pre-feedback wire.
+const TUNED_BIT: u8 = 0x80;
+
 fn rung_to_u8(rung: EstimateRung) -> u8 {
     match rung {
         EstimateRung::Spec => 0,
@@ -582,7 +588,7 @@ impl Response {
                 buf.put_u32_le(sources.len() as u32);
                 for s in sources {
                     put_str(&mut buf, &s.target);
-                    buf.put_u8(rung_to_u8(s.rung));
+                    buf.put_u8(rung_to_u8(s.rung) | if s.tuned { TUNED_BIT } else { 0 });
                 }
                 OP_ESTIMATED
             }
@@ -641,8 +647,14 @@ impl Response {
                 for _ in 0..n {
                     let target = codec_err(get_str(&mut payload))?;
                     codec_err(need(&payload, 1, "rung"))?;
-                    let rung = rung_from_u8(payload.get_u8())?;
-                    sources.push(StatsUse { target, rung });
+                    let b = payload.get_u8();
+                    let tuned = b & TUNED_BIT != 0;
+                    let rung = rung_from_u8(b & !TUNED_BIT)?;
+                    sources.push(StatsUse {
+                        target,
+                        rung,
+                        tuned,
+                    });
                 }
                 Response::Estimated { estimate, sources }
             }
@@ -729,10 +741,12 @@ mod tests {
                 StatsUse {
                     target: "t.a".into(),
                     rung: EstimateRung::Spec,
+                    tuned: true,
                 },
                 StatsUse {
                     target: "t.b".into(),
                     rung: EstimateRung::Uniform,
+                    tuned: false,
                 },
             ],
         });

@@ -80,7 +80,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
 }
 
 fn stats_use_strategy() -> impl Strategy<Value = StatsUse> {
-    (".{0,30}", 0u8..4).prop_map(|(target, rung)| StatsUse {
+    (".{0,30}", 0u8..4, any::<bool>()).prop_map(|(target, rung, tuned)| StatsUse {
         target,
         rung: match rung {
             0 => EstimateRung::Spec,
@@ -88,6 +88,7 @@ fn stats_use_strategy() -> impl Strategy<Value = StatsUse> {
             2 => EstimateRung::Trivial,
             _ => EstimateRung::Uniform,
         },
+        tuned,
     })
 }
 

@@ -112,6 +112,10 @@ pub fn register_well_known() {
         "net_bytes_out_total",
         "net_deadline_total",
         "client_retry_total",
+        // Feedback tuning: steps that changed a histogram vs. steps
+        // evaluated but skipped (dead zone, zero mass, unrepresentable).
+        "tune_applied_total",
+        "tune_skipped_total",
     ] {
         metrics::counter(name);
     }
@@ -132,6 +136,10 @@ pub fn register_well_known() {
         "catalog_epoch",
         "net_active_connections",
         "catalog_readonly",
+        // Q-error of the most recent feedback observation that tuned a
+        // histogram, before and after the step.
+        "qerror_pre",
+        "qerror_post",
     ] {
         metrics::gauge(name);
     }

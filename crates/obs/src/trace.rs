@@ -163,6 +163,22 @@ pub enum TraceKind {
         /// The configured threshold.
         threshold: f64,
     },
+    /// A feedback tune step was journaled and applied to a histogram.
+    TuneApplied {
+        /// Catalog key display (`rel(col)`).
+        key: String,
+        /// Q-error of the triggering observation before the step.
+        qerror_pre: f64,
+        /// Q-error the tuned bucket predicts for the same observation.
+        qerror_post: f64,
+    },
+    /// A feedback tune step was evaluated but changed nothing.
+    TuneSkipped {
+        /// Catalog key display (`rel(col)`).
+        key: String,
+        /// Stable skip reason (`negligible_error`, `zero_mass`, ...).
+        reason: &'static str,
+    },
 }
 
 /// One recorded event with its merge ordering and causal context.
@@ -204,6 +220,8 @@ impl TraceEvent {
             } => "catalog_readonly_exit",
             TraceKind::ClientRetry { .. } => "client_retry",
             TraceKind::Drift { .. } => "drift",
+            TraceKind::TuneApplied { .. } => "tune_applied",
+            TraceKind::TuneSkipped { .. } => "tune_skipped",
         }
     }
 }
@@ -511,6 +529,29 @@ pub fn drift(scope: &str, ewma_q: f64, threshold: f64) {
     });
 }
 
+/// Records a feedback tune step that was journaled and applied.
+pub fn tune_applied(key: &str, qerror_pre: f64, qerror_post: f64) {
+    if !active() {
+        return;
+    }
+    record(TraceKind::TuneApplied {
+        key: key.to_string(),
+        qerror_pre,
+        qerror_post,
+    });
+}
+
+/// Records a feedback tune step that was evaluated but skipped.
+pub fn tune_skipped(key: &str, reason: &'static str) {
+    if !active() {
+        return;
+    }
+    record(TraceKind::TuneSkipped {
+        key: key.to_string(),
+        reason,
+    });
+}
+
 /// Drains every buffered event — the retired buffer plus all live
 /// per-thread rings — merged into one sequence-ordered stream. Events
 /// recorded concurrently with the drain may land in the next drain.
@@ -641,6 +682,24 @@ impl TraceEvent {
                 w.serialize_f64(*ewma_q);
                 w.map_key("threshold");
                 w.serialize_f64(*threshold);
+            }
+            TraceKind::TuneApplied {
+                key,
+                qerror_pre,
+                qerror_post,
+            } => {
+                w.map_key("key");
+                w.serialize_str(key);
+                w.map_key("qerror_pre");
+                w.serialize_f64(*qerror_pre);
+                w.map_key("qerror_post");
+                w.serialize_f64(*qerror_post);
+            }
+            TraceKind::TuneSkipped { key, reason } => {
+                w.map_key("key");
+                w.serialize_str(key);
+                w.map_key("reason");
+                w.serialize_str(reason);
             }
         }
         w.end_map();

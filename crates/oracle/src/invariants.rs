@@ -21,6 +21,7 @@
 //! | `tracing_transparent` | §4–§6 practicality: the flight recorder only observes — recorder on ≡ recorder off, bit for bit |
 //! | `range_band_matches_execution` | value-carrying buckets: range / BETWEEN / band-join estimates equal executed counts with β = M statistics, stay inside `[0, |R|]` (`[0, |R|·|S|]` for bands) at every budget, and point BETWEEN is bit-for-bit the equality path |
 //! | `wire_equals_inprocess` | serving practicality: estimates + `StatsUse` trails served over a loopback socket are bit-identical to in-process `estimate_with_sources` for the same seed |
+//! | `feedback_converges` | self-tuning practicality: on a stationary workload, journaled feedback tuning of drifted statistics has monotonically non-increasing median Q-error and ends within a constant factor of ANALYZE-fresh |
 
 use crate::exact;
 use crate::report::CheckReport;
@@ -1797,6 +1798,276 @@ pub fn check_chaos_converges(w: &Workload) -> CheckReport {
     CheckReport::from_failures(NAME, cases, failures)
 }
 
+/// The Q-error of one estimate against ground truth, both clamped to
+/// ≥ 1 tuple so empty results compare as "exactly right" rather than
+/// dividing by zero.
+fn qerror(estimate: f64, actual: f64) -> f64 {
+    let e = estimate.max(1.0);
+    let a = actual.max(1.0);
+    (e / a).max(a / e)
+}
+
+/// Median of a set of Q-errors (mean of the middle two when even).
+fn median_of(mut qs: Vec<f64>) -> f64 {
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("qerror is finite"));
+    let n = qs.len();
+    if n % 2 == 1 {
+        qs[n / 2]
+    } else {
+        (qs[n / 2 - 1] + qs[n / 2]) / 2.0
+    }
+}
+
+/// One data set's hot-query trajectory through the journaled feedback
+/// loop: the observed Q-error before each tuning round (so
+/// `qs.len() == rounds + 1`), the Q-error a fresh ANALYZE of the live
+/// data would give the same query, and how many tunes were actually
+/// applied. Produced by [`feedback_trajectories`]; consumed by the
+/// `feedback_converges` invariant and by `histctl tune --convergence`.
+#[derive(Debug, Clone)]
+pub struct FeedbackTrajectory {
+    /// The workload set's name.
+    pub set: String,
+    /// Observed Q-error of the stationary hot query, per round
+    /// (`qs[0]` is pre-tuning).
+    pub qs: Vec<f64>,
+    /// Q-error a fresh ANALYZE of the live data gives the same query.
+    pub fresh_q: f64,
+    /// Journaled tune steps actually applied across the rounds.
+    pub applied: u64,
+}
+
+/// Runs the feedback convergence study over a workload's medium sets:
+/// for each set a histogram is built on *drifted* (rotated)
+/// frequencies, and a stationary hot query — the range spanned by the
+/// stale histogram's most-wrong bucket — keeps reporting its true
+/// result size through [`relstore::DurableCatalog::tune_column`], the
+/// same journaled action the maintenance daemon's sweep issues.
+///
+/// Two deliberate choices keep the trajectories exact rather than
+/// statistical. The hot bucket is picked among buckets whose stored
+/// average is *unique*, so the tuner's nearest-average hit selection
+/// provably recovers the observed bucket on the first round (feedback
+/// carries only a scalar estimate, so equal-average buckets alias) —
+/// a set with no such bucket is skipped. And restructuring is
+/// disabled ([`TuneConfig::split_qerror`] = ∞): a split or merge
+/// relocates values across bucket boundaries, which re-targets the
+/// observation mid-flight — the per-step `q_post ≤ q_pre` contract
+/// only chains into a monotone trajectory under pure frequency
+/// transfers. Restructuring correctness is covered separately by the
+/// tuner's property tests.
+///
+/// [`TuneConfig::split_qerror`]: vopt_hist::feedback::TuneConfig
+pub fn feedback_trajectories(
+    w: &Workload,
+    rounds: usize,
+) -> (Vec<FeedbackTrajectory>, Vec<String>) {
+    let scratch =
+        std::env::temp_dir().join(format!("oracle-feedback-{}-{}", std::process::id(), w.seed));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let beta = w.betas.iter().copied().max().unwrap_or(3).max(2);
+    let cfg = vopt_hist::feedback::TuneConfig {
+        split_qerror: f64::INFINITY,
+        ..vopt_hist::feedback::TuneConfig::default()
+    };
+    let mut trajectories = Vec::new();
+    let mut errors = Vec::new();
+
+    'sets: for (si, set) in w.medium_sets.iter().enumerate() {
+        let truth = set.freqs.as_slice();
+        let n = truth.len();
+        // Stationary workload, drifted statistics: the stored histogram
+        // describes the value order rotated by a third — the data it
+        // was built on has since "moved" — while feedback reports the
+        // live truth.
+        let mut drifted = truth.to_vec();
+        drifted.rotate_left(n / 3);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let spec = BuilderSpec::VOptEndBiased(beta);
+        let built = spec
+            .build(&drifted)
+            .map_err(|e| e.to_string())
+            .and_then(|h| StoredHistogram::from_histogram(&values, &h).map_err(|e| e.to_string()))
+            .and_then(|stale| {
+                spec.build(truth)
+                    .map_err(|e| e.to_string())
+                    .and_then(|h| {
+                        StoredHistogram::from_histogram(&values, &h).map_err(|e| e.to_string())
+                    })
+                    .map(|fresh| (stale, fresh))
+            });
+        let (stale, fresh) = match built {
+            Ok(pair) => pair,
+            Err(e) => {
+                errors.push(format!("{}: build: {e}", set.name));
+                continue;
+            }
+        };
+        // The hot query: the range of the stale bucket most wrong about
+        // the live data, restricted to unique-average buckets. `actual`
+        // is the query's true mean frequency over that range and never
+        // changes — the workload is stationary.
+        let avgs = stale.bucket_avgs();
+        let (mut v_star, mut actual, mut worst) = (0u64, 1.0f64, 0.0f64);
+        for b in 0..stale.num_buckets() {
+            if avgs.iter().filter(|&&a| a == avgs[b]).count() > 1 {
+                continue;
+            }
+            let bb = stale.bucket_bounds(b);
+            let span_sum: u64 = (bb.lo..bb.hi.min(n as u64))
+                .map(|v| truth[v as usize])
+                .sum();
+            let a = span_sum as f64 / bb.distinct.max(1) as f64;
+            let q = qerror(avgs[b] as f64, a);
+            if q > worst {
+                worst = q;
+                v_star = bb.lo;
+                actual = a;
+            }
+        }
+        if worst == 0.0 {
+            // Every bucket average is duplicated (e.g. perfectly uniform
+            // data): no unambiguous hot query exists; the drift is
+            // invisible to scalar feedback, so the set contributes
+            // nothing to the trajectory.
+            continue;
+        }
+        let fresh_q = qerror(fresh.approx_frequency(v_star) as f64, actual);
+        let store = match relstore::DurableCatalog::open(scratch.join(format!("set{si}"))) {
+            Ok(s) => s,
+            Err(e) => {
+                errors.push(format!("{}: open store: {e}", set.name));
+                continue;
+            }
+        };
+        let key = StatKey::new("oracle_fb", &["v"]);
+        if let Err(e) = store.put_with_spec(key.clone(), stale, Some(spec)) {
+            errors.push(format!("{}: seed store: {e}", set.name));
+            continue;
+        }
+        let mut qs = Vec::with_capacity(rounds + 1);
+        for round in 0..=rounds {
+            let hist = match store.catalog().get(&key) {
+                Ok(h) => h,
+                Err(e) => {
+                    errors.push(format!("{}: get: {e}", set.name));
+                    continue 'sets;
+                }
+            };
+            let estimate = hist.approx_frequency(v_star) as f64;
+            qs.push(qerror(estimate, actual));
+            if round == rounds {
+                break;
+            }
+            if let Err(e) = store.tune_column(&key, estimate, actual, &cfg) {
+                errors.push(format!("{}: tune round {round}: {e}", set.name));
+                continue 'sets;
+            }
+        }
+        trajectories.push(FeedbackTrajectory {
+            set: set.name.clone(),
+            qs,
+            fresh_q,
+            applied: store.catalog().tuned_count(&key),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    (trajectories, errors)
+}
+
+/// Workload median of the observed Q-error at round `r`, across a
+/// study's trajectories.
+pub fn feedback_round_medians(trajectories: &[FeedbackTrajectory]) -> Vec<f64> {
+    let rounds = trajectories.iter().map(|t| t.qs.len()).min().unwrap_or(0);
+    (0..rounds)
+        .map(|r| median_of(trajectories.iter().map(|t| t.qs[r]).collect()))
+        .collect()
+}
+
+/// The self-tuning feedback loop converges: across the tuning rounds
+/// of [`feedback_trajectories`], the workload's median observed
+/// Q-error is monotonically non-increasing, every individual hot
+/// query ends no worse than it started, any hot query outside the
+/// tuner's dead zone produced at least one applied journaled tune,
+/// and the final median lands within a constant factor of what a
+/// fresh ANALYZE of the live data would estimate for the same
+/// queries. Aliasing can still arise mid-trajectory when a transfer
+/// lands two buckets on the same average, which is why the monotone
+/// assertion is on the workload median (and per-query only
+/// end-to-start), not on every per-query round.
+pub fn check_feedback_converges(w: &Workload) -> CheckReport {
+    let _span = obs::span("oracle_check_feedback_converges");
+    const NAME: &str = "feedback_converges";
+    /// Tuning rounds: one feedback observation per hot query each.
+    const ROUNDS: usize = 8;
+    /// The final median must land within this factor of ANALYZE-fresh.
+    const FRESH_FACTOR: f64 = 1.5;
+    let min_qerror = vopt_hist::feedback::TuneConfig::default().min_qerror;
+    let mut cases = 0;
+    let mut failures = Vec::new();
+    let (trajectories, errors) = feedback_trajectories(w, ROUNDS);
+    for e in errors {
+        push_fail(&mut failures, e);
+    }
+
+    for t in &trajectories {
+        // Each hot query ends no worse than it started.
+        cases += 1;
+        let (first, last) = (t.qs[0], *t.qs.last().expect("rounds >= 1"));
+        if last > first + 1e-9 {
+            push_fail(
+                &mut failures,
+                format!(
+                    "{}: hot-query Q-error regressed {first} → {last} after tuning",
+                    t.set
+                ),
+            );
+        }
+        // The loop must actually have closed: a hot query outside the
+        // tuner's dead zone must have produced at least one journaled,
+        // applied tune.
+        cases += 1;
+        if first > min_qerror && t.applied == 0 {
+            push_fail(
+                &mut failures,
+                format!("{}: initial Q-error {first} yet no tune was applied", t.set),
+            );
+        }
+    }
+
+    if !trajectories.is_empty() {
+        let medians = feedback_round_medians(&trajectories);
+        for (r, pair) in medians.windows(2).enumerate() {
+            cases += 1;
+            if pair[1] > pair[0] + 1e-9 {
+                push_fail(
+                    &mut failures,
+                    format!(
+                        "workload median Q-error rose {} → {} in round {}",
+                        pair[0],
+                        pair[1],
+                        r + 1
+                    ),
+                );
+            }
+        }
+        cases += 1;
+        let final_median = *medians.last().expect("rounds >= 1");
+        let fresh_median = median_of(trajectories.iter().map(|t| t.fresh_q).collect());
+        if final_median > fresh_median.max(1.0) * FRESH_FACTOR {
+            push_fail(
+                &mut failures,
+                format!(
+                    "final workload median Q-error {final_median} not within {FRESH_FACTOR}× of \
+                     ANALYZE-fresh {fresh_median} (started at {})",
+                    medians[0]
+                ),
+            );
+        }
+    }
+    CheckReport::from_failures(NAME, cases, failures)
+}
+
 /// Runs every invariant check, in [`crate::report::EXPECTED_CHECKS`]
 /// order.
 pub fn run_all(w: &Workload) -> Vec<CheckReport> {
@@ -1815,6 +2086,7 @@ pub fn run_all(w: &Workload) -> Vec<CheckReport> {
         check_range_band_matches_execution(w),
         check_wire_equals_inprocess(w),
         check_chaos_converges(w),
+        check_feedback_converges(w),
     ];
     for r in &reports {
         obs::counter(if r.passed {

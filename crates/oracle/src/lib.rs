@@ -43,6 +43,7 @@ pub mod runner;
 pub mod workload;
 
 pub use faults::{Failpoint, FailpointStore};
+pub use invariants::{feedback_round_medians, feedback_trajectories, FeedbackTrajectory};
 pub use report::{CheckReport, FaultReport, Report, EXPECTED_CHECKS, EXPECTED_FAULTS};
 pub use runner::{reference_snapshot, run, verify_snapshot};
 pub use workload::{Tier, Workload};

@@ -13,7 +13,7 @@ use serde::{Serialize, Serializer};
 /// any of these names — or reporting one with zero cases — fails
 /// validation, so commenting out a check is a detected failure, not a
 /// silent gap.
-pub const EXPECTED_CHECKS: [&str; 13] = [
+pub const EXPECTED_CHECKS: [&str; 14] = [
     "serial_dp_matches_exhaustive_optimum",
     "theorem_3_3_v_optimal_minimizes_sigma",
     "query_independence_self_join_optimum",
@@ -27,6 +27,7 @@ pub const EXPECTED_CHECKS: [&str; 13] = [
     "range_band_matches_execution",
     "wire_equals_inprocess",
     "chaos_converges",
+    "feedback_converges",
 ];
 
 /// Every fault-injection scenario a selftest run must execute, under the

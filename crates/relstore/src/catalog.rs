@@ -23,6 +23,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+use vopt_hist::feedback::{tune_step, TuneConfig, TuneSkip};
 use vopt_hist::{BuilderSpec, Histogram, MatrixHistogram, ValueBounds};
 
 /// A histogram in the paper's compact catalog layout.
@@ -239,7 +240,9 @@ impl StatKey {
         }
     }
 
-    fn display(&self) -> String {
+    /// Human-readable `relation(col, ...)` form used in error messages,
+    /// metrics labels, and daemon traces.
+    pub fn display(&self) -> String {
         format!("{}({})", self.relation, self.columns.join(", "))
     }
 }
@@ -251,6 +254,13 @@ struct Entry {
     /// How the histogram was built (None for raw `put`s, e.g. snapshots
     /// from codec versions that predate spec recording).
     spec: Option<BuilderSpec>,
+    /// Feedback tune steps applied since the histogram was last fully
+    /// (re)built. Like the per-relation version counters, this is *not*
+    /// part of the persisted snapshot format: after recovery it counts
+    /// tunes replayed from the journal since the last checkpoint, which
+    /// is exactly the "has this state diverged from a full build"
+    /// signal the provenance trail and `histctl tune --status` report.
+    tuned: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -258,6 +268,22 @@ struct MatrixEntry {
     histogram: StoredMatrixHistogram,
     built_at_version: u64,
     spec: Option<BuilderSpec>,
+}
+
+/// What one applied feedback tune step did — the observability payload
+/// of [`CatalogSnapshot::compute_tune`], fed to the `tune_applied_total`
+/// counter, the `qerror_pre`/`qerror_post` gauges, and daemon traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// Frequency mass moved between buckets (exactly conserved).
+    pub mass_moved: u64,
+    /// Q-error of the observation before the step.
+    pub qerror_pre: f64,
+    /// Q-error the tuned bucket would produce against the same
+    /// observation.
+    pub qerror_post: f64,
+    /// Whether the step also split/merged buckets.
+    pub restructured: bool,
 }
 
 /// The failure history of a catalog entry's refresh pipeline: how many
@@ -396,6 +422,68 @@ impl CatalogSnapshot {
         self.matrix_entries.get(key).and_then(|e| e.spec)
     }
 
+    /// Feedback tune steps applied to `key`'s histogram since it was
+    /// last fully (re)built (0 for missing entries, and for entries a
+    /// full ANALYZE/`put` just replaced). See the field note on `Entry`:
+    /// after crash recovery this counts tunes replayed from the journal
+    /// since the last checkpoint.
+    pub fn tuned_count(&self, key: &StatKey) -> u64 {
+        self.entries.get(key).map(|e| e.tuned).unwrap_or(0)
+    }
+
+    /// Computes — without mutating anything — the tuned histogram one
+    /// (estimate, actual) feedback observation produces for `key`,
+    /// delegating the mass-conserving update rule to
+    /// [`vopt_hist::feedback::tune_step`]. The β budget is the bucket
+    /// count of the entry's recorded [`BuilderSpec`], falling back to
+    /// the histogram's current bucket count for spec-less entries.
+    ///
+    /// The outer `Result` is "does the entry exist"; the inner one is
+    /// the tuner's applied-or-skipped verdict.
+    pub fn compute_tune(
+        &self,
+        key: &StatKey,
+        estimate: f64,
+        actual: f64,
+        cfg: &TuneConfig,
+    ) -> Result<std::result::Result<(StoredHistogram, TuneReport), TuneSkip>> {
+        let entry = self
+            .entries
+            .get(key)
+            .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
+        let hist = &entry.histogram;
+        let beta = entry
+            .spec
+            .map(|s| s.buckets())
+            .unwrap_or_else(|| hist.num_buckets());
+        let delta = match tune_step(
+            hist.bucket_avgs(),
+            hist.default_bucket(),
+            hist.exceptions(),
+            hist.bounds(),
+            estimate,
+            actual,
+            beta,
+            cfg,
+        ) {
+            Ok(delta) => delta,
+            Err(skip) => return Ok(Err(skip)),
+        };
+        let report = TuneReport {
+            mass_moved: delta.mass_moved,
+            qerror_pre: delta.qerror_pre,
+            qerror_post: delta.qerror_post,
+            restructured: delta.restructured,
+        };
+        let tuned = StoredHistogram::from_parts(
+            delta.bucket_avgs,
+            delta.default_bucket,
+            delta.exceptions,
+            delta.bounds,
+        )?;
+        Ok(Ok((tuned, report)))
+    }
+
     /// All keys currently stored, in unspecified order.
     pub fn keys(&self) -> Vec<StatKey> {
         self.entries.keys().cloned().collect()
@@ -522,10 +610,51 @@ impl Catalog {
                         histogram,
                         built_at_version: version,
                         spec,
+                        tuned: 0,
                     }),
                 );
             }
         });
+    }
+
+    /// Replaces `key`'s histogram with a feedback-tuned successor,
+    /// growing the entry's tune counter while keeping its build stamp
+    /// and spec: tuning refines the *existing* build, it is not a new
+    /// one, so staleness accounting and refresh scheduling are
+    /// unaffected. This is the single mutation point for feedback —
+    /// every tuned histogram enters the catalog here (live via
+    /// `DurableCatalog::tune_column`, or replayed from a WAL tune
+    /// record during recovery). Errors if no entry exists: feedback
+    /// can refine statistics, never invent them.
+    pub fn apply_tune(&self, key: &StatKey, histogram: StoredHistogram) -> Result<()> {
+        self.mutate(|snap| {
+            let entry = snap
+                .entries
+                .get(key)
+                .ok_or_else(|| StoreError::MissingStatistics { key: key.display() })?;
+            let mut next = Entry::clone(entry);
+            next.histogram = histogram;
+            next.tuned = next.tuned.saturating_add(1);
+            snap.entries.insert(key.clone(), Arc::new(next));
+            Ok(())
+        })
+    }
+
+    /// Feedback tune steps applied to `key` since its last full build.
+    pub fn tuned_count(&self, key: &StatKey) -> u64 {
+        self.read_snapshot().tuned_count(key)
+    }
+
+    /// Snapshot-read convenience for [`CatalogSnapshot::compute_tune`].
+    pub fn compute_tune(
+        &self,
+        key: &StatKey,
+        estimate: f64,
+        actual: f64,
+        cfg: &TuneConfig,
+    ) -> Result<std::result::Result<(StoredHistogram, TuneReport), TuneSkip>> {
+        self.read_snapshot()
+            .compute_tune(key, estimate, actual, cfg)
     }
 
     /// Records that a refresh (or first ANALYZE) of `key` failed with

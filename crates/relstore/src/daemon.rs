@@ -46,6 +46,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
 use std::time::Duration;
+use vopt_hist::feedback::TuneConfig;
 use vopt_hist::BuilderSpec;
 
 /// Tuning knobs for the maintenance daemon.
@@ -68,6 +69,15 @@ pub struct DaemonConfig {
     pub breaker_cooldown_ticks: u64,
     /// Journal size (bytes) above which a sweep checkpoints the store.
     pub compaction_bytes: u64,
+    /// Whether sweeps run the feedback tune pass: after the refresh
+    /// pass, each registered column's latest per-column (estimate,
+    /// actual) quality observation is fed through
+    /// [`DurableCatalog::tune_column`]. Off by default — with tuning
+    /// disabled, sweeps are bit-for-bit the pre-feedback behaviour
+    /// (identical traces, identical journals).
+    pub self_tune: bool,
+    /// Tuner parameters for the feedback pass.
+    pub tune: TuneConfig,
 }
 
 impl Default for DaemonConfig {
@@ -80,6 +90,8 @@ impl Default for DaemonConfig {
             breaker_threshold: 3,
             breaker_cooldown_ticks: 8,
             compaction_bytes: 1 << 20,
+            self_tune: false,
+            tune: TuneConfig::default(),
         }
     }
 }
@@ -161,6 +173,33 @@ pub enum DaemonEvent {
         /// The error string.
         error: String,
     },
+    /// The feedback pass journaled and applied a tune step.
+    Tuned {
+        /// Column key display (`rel(col)`).
+        column: String,
+        /// Virtual tick of the sweep.
+        tick: u64,
+    },
+    /// The feedback pass evaluated a column's latest observation but
+    /// changed nothing.
+    TuneSkipped {
+        /// Column key display.
+        column: String,
+        /// Virtual tick of the sweep.
+        tick: u64,
+        /// Stable skip reason (`negligible_error`, `zero_mass`, ...).
+        reason: String,
+    },
+    /// The feedback pass tried to tune but the store refused (e.g.
+    /// read-only degraded mode or a journal fault).
+    TuneFailed {
+        /// Column key display.
+        column: String,
+        /// Virtual tick of the sweep.
+        tick: u64,
+        /// The error string.
+        error: String,
+    },
 }
 
 /// A column the daemon maintains.
@@ -190,6 +229,11 @@ struct ColumnState {
     /// Consecutive failures since the last success.
     failures: u64,
     breaker: BreakerState,
+    /// Quality-scope observation count already consumed by the feedback
+    /// pass. Each recorded (estimate, actual) pair is fed to the tuner
+    /// at most once — a sweep over an idle workload tunes nothing, and
+    /// one observation can never drive more than one bounded step.
+    tuned_at_count: u64,
 }
 
 /// Ranks maintained columns for sweep order: higher priority refreshes
@@ -271,6 +315,7 @@ impl DaemonCore {
             retry_at: 0,
             failures: 0,
             breaker: BreakerState::Closed,
+            tuned_at_count: 0,
         });
     }
 
@@ -424,6 +469,9 @@ impl DaemonCore {
         self.tick_injected(&mut |task| {
             store.maintain_column(&task.relation, &task.column, task.spec, &policy)
         });
+        if self.config.self_tune {
+            self.tune_pass(store);
+        }
         let journal_bytes = store.journal_bytes();
         if journal_bytes >= self.config.compaction_bytes {
             match store.checkpoint() {
@@ -438,6 +486,48 @@ impl DaemonCore {
             }
         }
         obs::histogram("daemon_sweep_seconds").observe(started.elapsed());
+    }
+
+    /// The feedback pass of one sweep (only with
+    /// [`DaemonConfig::self_tune`] on): each registered column's
+    /// *newest unconsumed* per-column quality observation — the
+    /// `col:<relation>.<column>` scope the estimator's Q-error monitor
+    /// feeds — is run through [`DurableCatalog::tune_column`], which
+    /// journals and applies a bounded, mass-conserving histogram
+    /// adjustment. Runs after the refresh pass so a column that was
+    /// just fully re-ANALYZEd skips on the dead zone rather than
+    /// tuning a fresh build against a pre-refresh observation.
+    fn tune_pass(&mut self, store: &DurableCatalog) {
+        let now = self.tick;
+        for (task, state) in self.tasks.iter().zip(self.states.iter_mut()) {
+            let column = task.display();
+            let scope = format!("col:{}.{}", task.relation.name(), task.column);
+            let Some(snap) = obs::quality::scope_snapshot(&scope) else {
+                continue;
+            };
+            if snap.count <= state.tuned_at_count {
+                continue;
+            }
+            state.tuned_at_count = snap.count;
+            match store.tune_column(
+                &task.key(),
+                snap.last_estimate,
+                snap.last_actual,
+                &self.config.tune,
+            ) {
+                Ok(Ok(_)) => self.trace.push(DaemonEvent::Tuned { column, tick: now }),
+                Ok(Err(skip)) => self.trace.push(DaemonEvent::TuneSkipped {
+                    column,
+                    tick: now,
+                    reason: skip.reason().to_string(),
+                }),
+                Err(e) => self.trace.push(DaemonEvent::TuneFailed {
+                    column,
+                    tick: now,
+                    error: e.to_string(),
+                }),
+            }
+        }
     }
 }
 

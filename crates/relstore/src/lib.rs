@@ -43,7 +43,9 @@ pub mod schema;
 pub mod stats;
 pub mod wal;
 
-pub use catalog::{Catalog, CatalogSnapshot, RefreshFailure, RefreshStage, StoredHistogram};
+pub use catalog::{
+    Catalog, CatalogSnapshot, RefreshFailure, RefreshStage, StoredHistogram, TuneReport,
+};
 pub use catalog2d::StoredMatrixHistogram;
 pub use daemon::{
     BreakerState, Daemon, DaemonConfig, DaemonCore, DaemonEvent, DriftPrioritizer,

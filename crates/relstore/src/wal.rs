@@ -55,7 +55,7 @@
 //! [`DurableCatalog::probe_restore`] — proves durable writes work
 //! again and restores read-write.
 
-use crate::catalog::{Catalog, StatKey, StoredHistogram};
+use crate::catalog::{Catalog, StatKey, StoredHistogram, TuneReport};
 use crate::catalog2d::StoredMatrixHistogram;
 use crate::codec;
 use crate::error::{Result, StoreError};
@@ -69,6 +69,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use vopt_hist::feedback::{TuneConfig, TuneSkip};
 use vopt_hist::{BuilderSpec, MatrixHistogram};
 
 /// A crash site that [`DurableCatalog::arm_kill`] can plant a one-shot
@@ -151,6 +152,11 @@ impl IoFault {
 const TAG_PUT: u8 = 1;
 const TAG_PUT_MATRIX: u8 = 2;
 const TAG_NOTE_UPDATES: u8 = 3;
+/// A feedback tune step: the key plus the full tuned histogram. The
+/// record carries the *result*, not the (estimate, actual) observation,
+/// so replay is a deterministic `apply_tune` that cannot re-derive a
+/// different histogram from drifted quality state.
+const TAG_TUNE: u8 = 4;
 
 fn io_err(what: &str, e: std::io::Error) -> StoreError {
     StoreError::Io(format!("{what}: {e}"))
@@ -272,6 +278,14 @@ fn encode_put_matrix(
     Ok(buf.to_vec())
 }
 
+fn encode_tune(key: &StatKey, hist: &StoredHistogram) -> Result<Vec<u8>> {
+    let mut buf = BytesMut::new();
+    buf.put_u8(TAG_TUNE);
+    codec::put_key(&mut buf, key);
+    put_checked_blob(&mut buf, &codec::encode_histogram(hist))?;
+    Ok(buf.to_vec())
+}
+
 fn encode_note_updates(relation: &str, updates: u64) -> Vec<u8> {
     let mut buf = BytesMut::new();
     buf.put_u8(TAG_NOTE_UPDATES);
@@ -322,6 +336,21 @@ fn apply_record(catalog: &Catalog, mut payload: Bytes) -> Result<()> {
                 )));
             }
             catalog.note_updates(&relation, updates);
+        }
+        TAG_TUNE => {
+            let key = codec::get_key(&mut payload)?;
+            let hist = codec::decode_histogram(codec::get_blob(&mut payload)?)?;
+            if payload.has_remaining() {
+                return Err(StoreError::Codec(format!(
+                    "{} trailing byte(s) in journal tune record",
+                    payload.remaining()
+                )));
+            }
+            // A tune record always follows the put that created its
+            // entry (in the snapshot or earlier in this journal), so a
+            // missing entry here is corruption, surfaced as the typed
+            // error `apply_tune` returns.
+            catalog.apply_tune(&key, hist)?;
         }
         other => {
             return Err(StoreError::Codec(format!(
@@ -766,6 +795,46 @@ impl DurableCatalog {
         self.append_and_apply(&payload, |catalog| {
             catalog.put_matrix_with_spec(key, histogram, spec)
         })
+    }
+
+    /// Durable feedback tune: computes the bounded, mass-conserving
+    /// update one (estimate, actual) observation implies for `key`
+    /// ([`Catalog::compute_tune`]), journals the tuned histogram as a
+    /// [`TAG_TUNE`] record, and applies it — so tuned state survives
+    /// crash recovery exactly like an ANALYZE store. The outer `Result`
+    /// is "entry exists and the journal accepted the record"; the inner
+    /// one is the tuner's applied-or-skipped verdict, with skips
+    /// counted on `tune_skipped_total` and applications on
+    /// `tune_applied_total` plus the `qerror_pre`/`qerror_post` gauges.
+    pub fn tune_column(
+        &self,
+        key: &StatKey,
+        estimate: f64,
+        actual: f64,
+        cfg: &TuneConfig,
+    ) -> Result<std::result::Result<TuneReport, TuneSkip>> {
+        let _span = obs::span("tune_column");
+        let (tuned, report) = match self.catalog.compute_tune(key, estimate, actual, cfg)? {
+            Ok(pair) => pair,
+            Err(skip) => {
+                obs::counter("tune_skipped_total").inc();
+                obs::trace::tune_skipped(&key.display(), skip.reason());
+                return Ok(Err(skip));
+            }
+        };
+        let payload = encode_tune(key, &tuned)?;
+        self.append_and_apply(&payload, |catalog| {
+            // The entry cannot have vanished — a DurableCatalog never
+            // removes entries — but a concurrent ANALYZE may have
+            // replaced it between the computation and this apply;
+            // last-writer-wins in journal order, exactly like `put`.
+            let _ = catalog.apply_tune(key, tuned);
+        })?;
+        obs::counter("tune_applied_total").inc();
+        obs::gauge("qerror_pre").set(report.qerror_pre);
+        obs::gauge("qerror_post").set(report.qerror_post);
+        obs::trace::tune_applied(&key.display(), report.qerror_pre, report.qerror_post);
+        Ok(Ok(report))
     }
 
     /// Durable [`Catalog::note_updates`].
@@ -1370,5 +1439,272 @@ mod tests {
         let generations = snapshot_generations(scratch.path()).unwrap();
         // Current (3) and previous (2) survive; 1 and older are gone.
         assert_eq!(generations, vec![3, 2]);
+    }
+
+    #[test]
+    fn tune_survives_recovery_and_rebuild_resets_the_counter() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        let key = store.analyze(&rel, "c", SPEC).unwrap();
+        let before = store.catalog().get(&key).unwrap();
+        // Feed one observation: the stored estimate for the hottest
+        // value was 50, the workload saw 80.
+        let report = store
+            .tune_column(&key, 50.0, 80.0, &TuneConfig::default())
+            .unwrap()
+            .expect("applies");
+        assert!(report.qerror_post < report.qerror_pre);
+        let tuned = store.catalog().get(&key).unwrap();
+        assert_ne!(tuned, before);
+        assert_eq!(store.catalog().tuned_count(&key), 1);
+        // Mass is conserved across the durable step.
+        let mass =
+            |h: &StoredHistogram| vopt_hist::feedback::total_mass(h.bucket_avgs(), h.bounds());
+        assert_eq!(mass(&tuned), mass(&before));
+        let expected = state_of(store.catalog());
+        drop(store);
+        // Journal replay reproduces the tuned histogram AND the tune
+        // counter (the TAG_TUNE record replays through apply_tune).
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        assert_eq!(state_of(&recovered), expected);
+        assert_eq!(recovered.get(&key).unwrap(), tuned);
+        assert_eq!(recovered.tuned_count(&key), 1);
+        // A full re-ANALYZE resets the tuned counter: tuning refines a
+        // build, a rebuild starts a new one.
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        store.analyze(&rel, "c", SPEC).unwrap();
+        assert_eq!(store.catalog().tuned_count(&key), 0);
+        assert_eq!(store.catalog().get(&key).unwrap(), before);
+    }
+
+    #[test]
+    fn tuned_contents_survive_checkpoint_but_the_counter_does_not() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        let key = store.analyze(&rel, "c", SPEC).unwrap();
+        store
+            .tune_column(&key, 50.0, 80.0, &TuneConfig::default())
+            .unwrap()
+            .expect("applies");
+        let tuned = store.catalog().get(&key).unwrap();
+        store.checkpoint().unwrap();
+        drop(store);
+        let recovered = Catalog::recover(scratch.path()).unwrap();
+        // The histogram the tune produced is in the snapshot...
+        assert_eq!(recovered.get(&key).unwrap(), tuned);
+        // ...but like the version counters, the tune counter is not
+        // persisted in VOHG snapshots: recovered counts are tunes
+        // since the last checkpoint.
+        assert_eq!(recovered.tuned_count(&key), 0);
+    }
+
+    #[test]
+    fn tune_skip_touches_neither_journal_nor_catalog() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        let key = store.analyze(&rel, "c", SPEC).unwrap();
+        let bytes_before = store.journal_bytes();
+        let state_before = state_of(store.catalog());
+        let verdict = store
+            .tune_column(&key, 50.0, 50.0, &TuneConfig::default())
+            .unwrap();
+        assert_eq!(verdict, Err(vopt_hist::feedback::TuneSkip::NegligibleError));
+        assert_eq!(store.journal_bytes(), bytes_before);
+        assert_eq!(state_of(store.catalog()), state_before);
+        assert_eq!(store.catalog().tuned_count(&key), 0);
+    }
+
+    #[test]
+    fn tune_of_a_missing_entry_is_a_typed_error() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let err = store
+            .tune_column(
+                &StatKey::new("ghost", &["c"]),
+                1.0,
+                2.0,
+                &TuneConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, StoreError::MissingStatistics { .. }));
+    }
+
+    #[test]
+    fn degraded_store_refuses_tunes_and_restores_after_probe() {
+        let _gauge = READONLY_GAUGE_LOCK.lock();
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        let rel = relation();
+        let key = store.analyze(&rel, "c", SPEC).unwrap();
+        let committed = state_of(store.catalog());
+        store.arm_io_fault(KillPoint::JournalAppend, IoFault::Enospc);
+        let err = store
+            .tune_column(&key, 50.0, 80.0, &TuneConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+        // Degraded: the failed tune changed nothing, and further tunes
+        // are refused with the typed read-only error — exactly the
+        // ladder behaviour an un-tuned store has.
+        assert_eq!(state_of(store.catalog()), committed);
+        let err = store
+            .tune_column(&key, 50.0, 80.0, &TuneConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ReadOnly));
+        // A successful probe restores read-write and tuning resumes.
+        assert!(store.probe_restore());
+        store
+            .tune_column(&key, 50.0, 80.0, &TuneConfig::default())
+            .unwrap()
+            .expect("applies after restore");
+        assert_eq!(store.catalog().tuned_count(&key), 1);
+    }
+
+    #[test]
+    fn self_tuning_daemon_tunes_from_quality_feedback_once_per_observation() {
+        let scratch = ScratchDir::new();
+        let store = DurableCatalog::open(scratch.path()).unwrap();
+        // A relation name no other test's quality recording touches —
+        // the monitor's `col:` scopes are process-global.
+        let freqs = FrequencySet::new(vec![50, 30, 10, 5, 5]);
+        let rel = Arc::new(relation_from_frequency_set("wal_tune_rel", "c", &freqs, 3).unwrap());
+        let key = store.analyze(&rel, "c", SPEC).unwrap();
+        let mut core = crate::daemon::DaemonCore::new(crate::daemon::DaemonConfig {
+            self_tune: true,
+            ..Default::default()
+        });
+        core.register_with_spec(Arc::clone(&rel), "c", SPEC);
+        // No quality observation yet: the feedback pass does nothing.
+        core.tick(&store);
+        assert_eq!(store.catalog().tuned_count(&key), 0);
+        // One observation arrives on the column's quality scope; the
+        // next sweep consumes it exactly once.
+        obs::quality::record_quality(&format!("col:{}.c", rel.name()), 50.0, 80.0);
+        core.tick(&store);
+        assert_eq!(store.catalog().tuned_count(&key), 1);
+        assert!(core
+            .trace()
+            .iter()
+            .any(|e| matches!(e, crate::daemon::DaemonEvent::Tuned { .. })));
+        // Re-sweeping without a new observation tunes nothing more.
+        core.tick(&store);
+        core.tick(&store);
+        assert_eq!(store.catalog().tuned_count(&key), 1);
+    }
+
+    // Satellite: the journal-frame properties of the tune record —
+    // round-trip, truncation, and corruption all land in defined
+    // states (replayed exactly, dropped as torn, or a typed error;
+    // never a panic, never a silently different histogram).
+    mod tune_frame_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Parts for a valid multi-bucket histogram: one singleton
+        /// bucket per frequency, value `i` in bucket `i`, bucket 0
+        /// default (its value unlisted).
+        fn hist_from_freqs(freqs: &[u64]) -> StoredHistogram {
+            let bounds = (0..freqs.len() as u64)
+                .map(|v| vopt_hist::ValueBounds {
+                    lo: v,
+                    hi: v + 1,
+                    distinct: 1,
+                })
+                .collect();
+            let exceptions = (1..freqs.len() as u64).map(|v| (v, v as u32)).collect();
+            StoredHistogram::from_parts(freqs.to_vec(), 0, exceptions, bounds).unwrap()
+        }
+
+        /// A catalog holding a pre-existing entry for `key`, as every
+        /// tune record requires.
+        fn seeded(key: &StatKey, freqs: &[u64]) -> Catalog {
+            let catalog = Catalog::new();
+            catalog.put_with_spec(key.clone(), hist_from_freqs(freqs), Some(SPEC));
+            catalog
+        }
+
+        proptest! {
+            #[test]
+            fn tune_frame_round_trips(
+                freqs in proptest::collection::vec(0u64..=1_000, 2..20),
+                col in "[a-z]{1,8}",
+            ) {
+                let key = StatKey::new("t", &[col.as_str()]);
+                let tuned = hist_from_freqs(&freqs);
+                let payload = encode_tune(&key, &tuned).unwrap();
+                let framed = frame(&payload).unwrap();
+                let (valid_len, records) = scan_journal(&framed);
+                prop_assert_eq!(valid_len, framed.len());
+                prop_assert_eq!(records.len(), 1);
+                let catalog = seeded(&key, &freqs);
+                apply_record(&catalog, records[0].clone()).unwrap();
+                prop_assert_eq!(catalog.get(&key).unwrap(), tuned);
+                prop_assert_eq!(catalog.tuned_count(&key), 1);
+            }
+
+            #[test]
+            fn truncated_tune_frame_scans_as_torn_tail(
+                freqs in proptest::collection::vec(0u64..=1_000, 2..20),
+                cut_frac in 0.0f64..1.0,
+            ) {
+                let key = StatKey::new("t", &["c"]);
+                let payload = encode_tune(&key, &hist_from_freqs(&freqs)).unwrap();
+                let framed = frame(&payload).unwrap();
+                let cut = ((framed.len() as f64) * cut_frac) as usize;
+                let (valid_len, records) = scan_journal(&framed[..cut]);
+                // A short frame is a torn tail, discarded whole.
+                prop_assert_eq!(valid_len, 0);
+                prop_assert!(records.is_empty());
+            }
+
+            #[test]
+            fn truncated_tune_payload_is_a_typed_error(
+                freqs in proptest::collection::vec(0u64..=1_000, 2..20),
+                cut_frac in 0.0f64..1.0,
+            ) {
+                // Corruption that *forges a valid checksum*: the frame
+                // verifies but the record inside is short. Recovery
+                // must surface a typed error, not panic or misapply.
+                let key = StatKey::new("t", &["c"]);
+                let payload = encode_tune(&key, &hist_from_freqs(&freqs)).unwrap();
+                let cut = ((payload.len() as f64) * cut_frac) as usize;
+                if cut == payload.len() {
+                    return Ok(());
+                }
+                let catalog = seeded(&key, &freqs);
+                let before = codec::encode_catalog(&catalog).to_vec();
+                let err = apply_record(
+                    &catalog,
+                    Bytes::copy_from_slice(&payload[..cut]),
+                ).unwrap_err();
+                prop_assert!(matches!(
+                    err,
+                    StoreError::Codec(_) | StoreError::MissingStatistics { .. }
+                ));
+                prop_assert_eq!(codec::encode_catalog(&catalog).to_vec(), before);
+            }
+
+            #[test]
+            fn bit_flipped_tune_frame_never_replays_a_different_record(
+                freqs in proptest::collection::vec(0u64..=1_000, 2..20),
+                flip in 0usize..4096,
+            ) {
+                let key = StatKey::new("t", &["c"]);
+                let payload = encode_tune(&key, &hist_from_freqs(&freqs)).unwrap();
+                let mut framed = frame(&payload).unwrap();
+                let byte = flip / 8 % framed.len();
+                framed[byte] ^= 1 << (flip % 8);
+                let (_, records) = scan_journal(&framed);
+                // The FxHash-64 frame checksum rejects the flip: either
+                // the journal scans as torn (no records), or — when the
+                // flip lands in dead framing space that cannot happen
+                // here — the surviving record equals the original.
+                for record in records {
+                    prop_assert_eq!(record.as_ref(), payload.as_slice());
+                }
+            }
+        }
     }
 }

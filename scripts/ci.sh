@@ -173,6 +173,37 @@ if grep -RnE '[^/]/ *\([^)]*[a-z_0-9] *- *[a-z_0-9][^)]*\)' \
   exit 1
 fi
 
+echo "==> feedback-mutation confinement guard"
+# Histogram mutation from query feedback is correct only because it is
+# funnelled through one pure function and one journaled mutation
+# point. Two greppable rules: (1) `tune_step` — the arithmetic that
+# moves mass between buckets — is called only from the tuner module
+# itself (and its own property tests) and from the catalog's
+# `compute_tune`, which every journaled path consumes; (2) no
+# production crate outside relstore calls `apply_tune` directly —
+# live tuning goes through `DurableCatalog::tune_column` so the WAL
+# record, the epoch bump, and the obs counters can never be skipped
+# (tests may drive `apply_tune` to falsify the mutation point itself).
+if grep -RnE '\btune_step\s*\(' \
+    --include='*.rs' \
+    src tests examples crates \
+  | grep -v 'crates/core/src/feedback.rs' \
+  | grep -v 'crates/core/tests/feedback_properties.rs' \
+  | grep -v 'crates/relstore/src/catalog.rs'; then
+  echo "error: tune_step called outside the feedback tuner and Catalog::compute_tune" >&2
+  echo "       (feedback mutations go through DurableCatalog::tune_column)" >&2
+  exit 1
+fi
+if grep -RnE '\bapply_tune\s*\(' \
+    --include='*.rs' \
+    src examples \
+    crates/*/src \
+  | grep -v '^crates/relstore/src/'; then
+  echo "error: apply_tune called outside relstore's journaled tune path" >&2
+  echo "       (feedback mutations go through DurableCatalog::tune_column)" >&2
+  exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -283,6 +314,40 @@ if not check.get("cases"):
 PY
 then
   echo "error: wire-equivalence invariant missing, failing, or empty in selftest report" >&2
+  exit 1
+fi
+
+echo "==> feedback-convergence gate"
+# The self-tuning loop's fourteenth invariant must be declared in
+# EXPECTED_CHECKS (so a silently skipped run fails report validation)
+# and must actually have run and passed in the selftest above, with a
+# nonzero case count: on drifted statistics under a stationary hot
+# query, the journaled tuning path's median observed Q-error is
+# monotonically non-increasing and ends within 1.5x of ANALYZE-fresh.
+if ! grep -q '"feedback_converges"' crates/oracle/src/report.rs; then
+  echo "error: feedback_converges missing from oracle EXPECTED_CHECKS" >&2
+  exit 1
+fi
+if ! SELFTEST_REPORT="$selftest_report" python3 - <<'PY'
+import json
+import os
+import sys
+
+report = json.loads(os.environ["SELFTEST_REPORT"])
+check = next(
+    (c for c in report.get("checks", [])
+     if c.get("name") == "feedback_converges"),
+    None,
+)
+if check is None:
+    sys.exit("feedback_converges missing from selftest report")
+if not check.get("passed"):
+    sys.exit(f"feedback_converges failed: {check.get('failures')}")
+if not check.get("cases"):
+    sys.exit("feedback_converges verified zero cases")
+PY
+then
+  echo "error: feedback-convergence invariant missing, failing, or empty in selftest report" >&2
   exit 1
 fi
 

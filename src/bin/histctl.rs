@@ -54,12 +54,31 @@ commands:
                  the quality monitor's per-column Q-error aggregates)
   serve         --data-dir DIR --tables name=a.csv,name2=b.csv
                 [--sweeps N] [--tick-ms MS] [--buckets B] [--class CLASS]
-                [--jitter-seed S] [--compact-bytes BYTES]
+                [--jitter-seed S] [--compact-bytes BYTES] [--self-tune]
                 (runs the crash-safe statistics service: opens the
                  journaled catalog in DIR, registers every column of the
                  given tables with the maintenance daemon, performs N
                  bounded sweeps, and prints the daemon's event trace plus
-                 journal/breaker state)
+                 journal/breaker state. --self-tune closes the feedback
+                 loop: each sweep also consumes the newest per-column
+                 (estimate, actual) quality observation and applies a
+                 bounded, journaled histogram adjustment)
+  tune          --data-dir DIR (--status |
+                 --table T --column C --estimate E --actual A)
+                (feedback tuning against the journaled catalog in DIR.
+                 --status lists every column with the number of tune
+                 steps applied since its last full build; the apply form
+                 feeds one (estimate, actual) observation through the
+                 same journaled path the daemon's sweep uses and prints
+                 the applied delta or the skip reason)
+  tune          --convergence [--seed S] [--budget-ms MS] [--rounds K]
+                [--json]
+                (runs the oracle's feedback convergence study — the
+                 data behind the feedback_converges selftest invariant:
+                 histograms built on drifted data are tuned from query
+                 feedback for K rounds and the per-round Q-error
+                 trajectory is printed, as deterministic JSON with
+                 --json. Same flags, byte-identical output)
   serve         --listen HOST:PORT --tenants DIR
                 [--max-conns N] [--queue-depth N] [--allow-remote-shutdown]
                 [--read-timeout-ms MS] [--write-timeout-ms MS]
@@ -169,7 +188,13 @@ macro_rules! outln {
 }
 
 /// Flags that are pure switches: present or absent, no value token.
-const BOOLEAN_FLAGS: &[&str] = &["json", "allow-remote-shutdown"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "json",
+    "allow-remote-shutdown",
+    "status",
+    "self-tune",
+    "convergence",
+];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -650,6 +675,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(bytes) = flags.get("compact-bytes") {
         config.compaction_bytes = parse_num(bytes, "compact-bytes")?;
     }
+    if flags.contains_key("self-tune") {
+        config.self_tune = true;
+    }
 
     obs::register_well_known();
 
@@ -720,6 +748,23 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             DaemonEvent::CompactionFailed { tick, error } => {
                 outln!("  tick {tick}: compaction failed ({error})");
             }
+            DaemonEvent::Tuned { column, tick } => {
+                outln!("  tick {tick}: tuned {column} from feedback");
+            }
+            DaemonEvent::TuneSkipped {
+                column,
+                tick,
+                reason,
+            } => {
+                outln!("  tick {tick}: tune of {column} skipped ({reason})");
+            }
+            DaemonEvent::TuneFailed {
+                column,
+                tick,
+                error,
+            } => {
+                outln!("  tick {tick}: tune of {column} failed ({error})");
+            }
         }
     }
     let (closed, open, half_open) = core.breaker_counts();
@@ -729,6 +774,192 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         store.journal_bytes(),
         store.generation()
     );
+    Ok(())
+}
+
+/// `histctl tune`: the feedback loop's command-line surface. With
+/// `--status` it reports, for every column in the journaled catalog,
+/// how many tune steps have been applied since the column's last full
+/// build — the same divergence signal the provenance trail's `tuned`
+/// marker exposes per estimate. With `--table/--column/--estimate/
+/// --actual` it feeds a single observation through
+/// [`relstore::DurableCatalog::tune_column`], the identical journaled
+/// path the maintenance daemon's sweep uses, and prints what happened.
+/// With `--convergence` it runs the oracle's drifted-workload
+/// convergence study ([`oracle::feedback_trajectories`] — the data
+/// behind the `feedback_converges` invariant) and emits it as
+/// deterministic JSON, so the convergence claim is reproducible from
+/// the command line.
+fn cmd_tune(flags: &HashMap<String, String>) -> Result<(), String> {
+    use relstore::catalog::StatKey;
+    use relstore::DurableCatalog;
+
+    if flags.contains_key("convergence") {
+        return cmd_tune_convergence(flags);
+    }
+    let dir = required(flags, "data-dir")?;
+    let store = DurableCatalog::open(dir).map_err(|e| e.to_string())?;
+    if flags.contains_key("status") {
+        let mut keys = store.catalog().keys();
+        keys.sort_by_key(|k| k.display());
+        outln!("tuning status for {dir}: {} column(s)", keys.len());
+        for key in keys {
+            let tunes = store.catalog().tuned_count(&key);
+            let staleness = store.catalog().staleness(&key).unwrap_or(0);
+            outln!(
+                "  {:<30} tuned {} time(s) since last build, staleness {}",
+                key.display(),
+                tunes,
+                staleness
+            );
+        }
+        return Ok(());
+    }
+    let table = required(flags, "table")?;
+    let column = required(flags, "column")?;
+    let estimate: f64 = parse_num(required(flags, "estimate")?, "estimate")?;
+    let actual: f64 = parse_num(required(flags, "actual")?, "actual")?;
+    let key = StatKey::new(table, &[column]);
+    let cfg = vopt_hist::feedback::TuneConfig::default();
+    match store
+        .tune_column(&key, estimate, actual, &cfg)
+        .map_err(|e| e.to_string())?
+    {
+        Ok(report) => {
+            outln!(
+                "tuned {}: moved {} tuple(s), Q-error {:.4} -> {:.4}{}",
+                key.display(),
+                report.mass_moved,
+                report.qerror_pre,
+                report.qerror_post,
+                if report.restructured {
+                    " (restructured)"
+                } else {
+                    ""
+                }
+            );
+            outln!(
+                "  tuned {} time(s) since last build",
+                store.catalog().tuned_count(&key)
+            );
+        }
+        Err(skip) => {
+            outln!("tune of {} skipped ({})", key.display(), skip.reason());
+        }
+    }
+    Ok(())
+}
+
+/// `histctl tune --convergence [--seed S] [--budget-ms MS] [--rounds K]
+/// [--json]`: runs the oracle's feedback convergence study and prints
+/// either a human-readable trajectory table or a deterministic JSON
+/// artifact (schema `histctl-tune-v1`). Everything is derived from
+/// `(seed, tier, rounds)` — no wall clock — so two runs with the same
+/// flags produce byte-identical output.
+fn cmd_tune_convergence(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| parse_num(s, "seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let budget_ms: u64 = flags
+        .get("budget-ms")
+        .map(|s| parse_num(s, "budget-ms"))
+        .transpose()?
+        .unwrap_or(30_000);
+    let rounds: usize = flags
+        .get("rounds")
+        .map(|s| parse_num(s, "rounds"))
+        .transpose()?
+        .unwrap_or(8);
+    if rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
+    let tier = oracle::Tier::from_budget_ms(budget_ms);
+    let workload = oracle::Workload::generate(seed, tier);
+    let (trajectories, errors) = oracle::feedback_trajectories(&workload, rounds);
+    if !errors.is_empty() {
+        return Err(format!(
+            "convergence study hit {} error(s); first: {}",
+            errors.len(),
+            errors[0]
+        ));
+    }
+    if trajectories.is_empty() {
+        return Err("convergence study produced no trajectories".into());
+    }
+    let medians = oracle::feedback_round_medians(&trajectories);
+    let fresh_median = {
+        let mut qs: Vec<f64> = trajectories.iter().map(|t| t.fresh_q).collect();
+        qs.sort_by(f64::total_cmp);
+        let mid = qs.len() / 2;
+        if qs.len() % 2 == 1 {
+            qs[mid]
+        } else {
+            (qs[mid - 1] + qs[mid]) / 2.0
+        }
+    };
+    let fmt_list = |qs: &[f64]| {
+        qs.iter()
+            .map(|q| format!("{q:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if flags.contains_key("json") {
+        let tier_name = format!("{tier:?}").to_ascii_lowercase();
+        let sets = trajectories
+            .iter()
+            .map(|t| {
+                format!(
+                    "    {{\"set\": \"{}\", \"qerrors\": [{}], \"fresh_qerror\": {:.6}, \
+                     \"tunes_applied\": {}}}",
+                    t.set,
+                    fmt_list(&t.qs),
+                    t.fresh_q,
+                    t.applied
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        outln!("{{");
+        outln!("  \"schema\": \"histctl-tune-v1\",");
+        outln!("  \"seed\": {seed},");
+        outln!("  \"tier\": \"{tier_name}\",");
+        outln!("  \"rounds\": {rounds},");
+        outln!("  \"sets\": [");
+        outln!("{sets}");
+        outln!("  ],");
+        outln!("  \"median_qerror_per_round\": [{}],", fmt_list(&medians));
+        outln!("  \"fresh_median_qerror\": {fresh_median:.6},");
+        outln!(
+            "  \"median_improvement\": {:.6}",
+            medians[0] / medians[rounds].max(1e-12)
+        );
+        outln!("}}");
+    } else {
+        outln!(
+            "feedback convergence (seed {seed}, {tier:?} tier, {} set(s), {rounds} round(s)):",
+            trajectories.len()
+        );
+        for t in &trajectories {
+            outln!(
+                "  {:<22} Q-error {:.4} -> {:.4} ({} tune(s), fresh {:.4})",
+                t.set,
+                t.qs[0],
+                t.qs[rounds],
+                t.applied,
+                t.fresh_q
+            );
+        }
+        outln!("  median per round: {}", fmt_list(&medians));
+        outln!(
+            "  median Q-error {:.4} -> {:.4} ({:.2}x better; ANALYZE-fresh median {:.4})",
+            medians[0],
+            medians[rounds],
+            medians[0] / medians[rounds].max(1e-12),
+            fresh_median
+        );
+    }
     Ok(())
 }
 
@@ -1758,6 +1989,7 @@ fn main() -> ExitCode {
             "trace" => cmd_trace(&flags),
             "top" => cmd_top(&flags),
             "serve" => cmd_serve(&flags),
+            "tune" => cmd_tune(&flags),
             "client" => cmd_client(&flags),
             "chaos" => cmd_chaos(&flags),
             "recover" => cmd_recover(&flags),
